@@ -1,0 +1,49 @@
+#ifndef LEAPME_BENCH_BENCH_UTIL_H_
+#define LEAPME_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/leapme.h"
+#include "eval/experiment.h"
+#include "eval/leapme_adapter.h"
+
+namespace leapme::bench {
+
+/// Reads the evaluation scale from $LEAPME_SCALE ("test" | "bench" |
+/// "paper"); defaults to the CI-sized bench scale.
+inline eval::EvalScale ScaleFromEnv() {
+  const char* value = std::getenv("LEAPME_SCALE");
+  if (value == nullptr) return eval::EvalScale::kBench;
+  if (std::strcmp(value, "paper") == 0) return eval::EvalScale::kPaper;
+  if (std::strcmp(value, "test") == 0) return eval::EvalScale::kTest;
+  return eval::EvalScale::kBench;
+}
+
+/// Factory for a LEAPME variant under a feature configuration.
+inline eval::MatcherFactory LeapmeFactory(features::FeatureConfig config,
+                                          std::string display_name) {
+  return [config, display_name](const embedding::EmbeddingModel& model)
+             -> std::unique_ptr<baselines::PairMatcher> {
+    core::LeapmeOptions options;
+    options.feature_config = config;
+    return std::make_unique<eval::LeapmeAdapter>(&model, options,
+                                                 display_name);
+  };
+}
+
+/// Aborts with a message when `status` is not OK (benchmark binaries have
+/// no caller to propagate to).
+inline void CheckOk(const Status& status, const char* context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace leapme::bench
+
+#endif  // LEAPME_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,121 @@
+// Scalability extension: candidate blocking for the quadratic multi-source
+// pair space. Reports, per dataset and blocker, the reduction ratio and
+// pair completeness, and the end-to-end LEAPME quality when only blocked
+// candidates are scored (non-candidates count as non-matches).
+//
+// Environment knobs: LEAPME_SCALE.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "blocking/blocker.h"
+#include "data/splitting.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace leapme;
+
+// Pair-level quality when the matcher scores only `candidates` of the test
+// pairs and everything else defaults to non-match.
+ml::MatchQuality BlockedQuality(
+    core::LeapmeMatcher& matcher,
+    const std::vector<data::LabeledPair>& test_pairs,
+    const std::set<std::pair<data::PropertyId, data::PropertyId>>&
+        candidate_set) {
+  std::vector<data::PropertyPair> to_score;
+  std::vector<size_t> score_index(test_pairs.size(), SIZE_MAX);
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    auto key = std::make_pair(test_pairs[i].pair.a, test_pairs[i].pair.b);
+    if (candidate_set.count(key) > 0) {
+      score_index[i] = to_score.size();
+      to_score.push_back(test_pairs[i].pair);
+    }
+  }
+  auto decisions = matcher.ClassifyPairs(to_score);
+  leapme::bench::CheckOk(decisions.status(), "ClassifyPairs");
+  std::vector<int32_t> predictions(test_pairs.size(), 0);
+  std::vector<int32_t> labels(test_pairs.size(), 0);
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    labels[i] = test_pairs[i].label;
+    if (score_index[i] != SIZE_MAX) {
+      predictions[i] = (*decisions)[score_index[i]];
+    }
+  }
+  return ml::ComputeQuality(predictions, labels);
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::ScaleFromEnv();
+  std::printf("Candidate blocking for the quadratic pair space\n\n");
+  std::printf("%-12s %-14s %10s %12s %12s   %s\n", "dataset", "blocker",
+              "candidates", "completeness", "reduction", "LEAPME P/R/F1");
+
+  for (const auto& spec : eval::DefaultDatasetSpecs(scale)) {
+    auto eval_dataset = eval::BuildEvalDataset(spec);
+    bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
+    const data::Dataset& dataset = eval_dataset->dataset;
+
+    // Train one LEAPME matcher (80% sources).
+    Rng rng(7);
+    data::SourceSplit split = data::SplitSources(dataset, 0.8, rng);
+    auto train =
+        data::BuildTrainingPairs(dataset, split.train_sources, 2.0, rng);
+    bench::CheckOk(train.status(), "BuildTrainingPairs");
+    core::LeapmeMatcher matcher(eval_dataset->model.get());
+    bench::CheckOk(matcher.Fit(dataset, *train), "Fit");
+    std::vector<data::LabeledPair> test_pairs =
+        data::BuildTestPairs(dataset, split.train_sources);
+
+    blocking::NameTokenBlocker tokens;
+    blocking::EmbeddingBlocker embeddings(eval_dataset->model.get());
+    blocking::UnionBlocker both({&tokens, &embeddings});
+    blocking::Blocker* blockers[] = {&tokens, &embeddings, &both};
+
+    // Reference row: no blocking.
+    {
+      std::vector<data::PropertyPair> pairs;
+      std::vector<int32_t> labels;
+      for (const auto& labeled : test_pairs) {
+        pairs.push_back(labeled.pair);
+        labels.push_back(labeled.label);
+      }
+      auto decisions = matcher.ClassifyPairs(pairs);
+      bench::CheckOk(decisions.status(), "ClassifyPairs");
+      ml::MatchQuality full = ml::ComputeQuality(*decisions, labels);
+      std::printf("%-12s %-14s %10zu %12s %12s   %.2f/%.2f/%.2f\n",
+                  spec.name.c_str(), "(none)",
+                  dataset.AllCrossSourcePairs().size(), "1.00", "0.00",
+                  full.precision, full.recall, full.f1);
+    }
+
+    for (blocking::Blocker* blocker : blockers) {
+      auto candidates = blocker->Candidates(dataset);
+      bench::CheckOk(candidates.status(), blocker->Name().c_str());
+      blocking::BlockingQuality quality =
+          blocking::EvaluateBlocking(dataset, *candidates);
+      std::set<std::pair<data::PropertyId, data::PropertyId>> candidate_set;
+      for (const data::PropertyPair& pair : *candidates) {
+        candidate_set.emplace(pair.a, pair.b);
+      }
+      ml::MatchQuality end_to_end =
+          BlockedQuality(matcher, test_pairs, candidate_set);
+      std::printf("%-12s %-14s %10zu %12.2f %12.2f   %.2f/%.2f/%.2f\n",
+                  spec.name.c_str(), blocker->Name().c_str(),
+                  quality.candidate_count, quality.pair_completeness,
+                  quality.reduction_ratio, end_to_end.precision,
+                  end_to_end.recall, end_to_end.f1);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: the union blocker keeps nearly all true matches\n"
+      "(completeness ~1.0) while pruning most of the candidate space, so\n"
+      "end-to-end quality stays close to the unblocked reference at a\n"
+      "fraction of the scoring cost.\n");
+  return 0;
+}

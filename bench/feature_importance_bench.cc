@@ -1,0 +1,33 @@
+// Permutation feature importance (a quantitative companion to the paper's
+// §V-A feature-kind analysis): how much test F1 drops when each Table I
+// feature group is shuffled across test pairs of the trained classifier.
+//
+// Environment knobs: LEAPME_SCALE.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/importance.h"
+
+int main() {
+  const auto scale = leapme::bench::ScaleFromEnv();
+  std::printf("Permutation importance of the Table I feature groups\n\n");
+  for (const auto& spec : leapme::eval::DefaultDatasetSpecs(scale)) {
+    auto eval_dataset = leapme::eval::BuildEvalDataset(spec);
+    leapme::bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
+    auto importances = leapme::eval::PermutationImportance(*eval_dataset);
+    leapme::bench::CheckOk(importances.status(), "PermutationImportance");
+    std::printf("%s (baseline F1 %.2f):\n", spec.name.c_str(),
+                importances->front().baseline_f1);
+    for (const auto& importance : *importances) {
+      std::printf("  %-24s (%3zu cols)  F1 drop %+.3f  (-> %.2f)\n",
+                  importance.group.c_str(), importance.columns,
+                  importance.f1_drop, importance.permuted_f1);
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper §V-C): the name-embedding block carries the\n"
+      "most weight, followed by value embeddings and name string\n"
+      "distances; the format meta-features contribute least.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Substrate micro-benchmarks (google-benchmark): string metrics, q-gram
+// profiles, instance feature extraction, embedding pooling, GEMM, one NN
+// training step, minhash signatures. These measure the building blocks
+// whose cost dominates the end-to-end experiment harness.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/domain.h"
+#include "embedding/synthetic_model.h"
+#include "features/instance_features.h"
+#include "nn/mlp.h"
+#include "text/ngram.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace leapme;
+
+const char* kNameA = "camera resolution";
+const char* kNameB = "effective pixels (approx.)";
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Levenshtein(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_OptimalStringAlignment(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::OptimalStringAlignment(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_OptimalStringAlignment);
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::DamerauLevenshtein(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaroWinklerDistance(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_ThreeGramCosine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::ThreeGramCosineDistance(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_ThreeGramCosine);
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::TokenizeKeepNumbers("117 x 68.4 x 50 mm (approx.) WiFi"));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+embedding::SyntheticEmbeddingModel BuildModel(size_t dimension) {
+  embedding::SyntheticModelOptions options;
+  options.dimension = dimension;
+  return std::move(embedding::SyntheticEmbeddingModel::Build(
+                       data::DomainClusters(data::CameraDomain()), options))
+      .value();
+}
+
+void BM_InstanceFeatures(benchmark::State& state) {
+  auto model = BuildModel(static_cast<size_t>(state.range(0)));
+  features::InstanceFeatureExtractor extractor(&model);
+  std::vector<float> out(extractor.dimension());
+  for (auto _ : state) {
+    extractor.Extract("24.3 MP (approx.)", out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_InstanceFeatures)->Arg(48)->Arg(300);
+
+void BM_AverageEmbedding(benchmark::State& state) {
+  auto model = BuildModel(static_cast<size_t>(state.range(0)));
+  std::vector<std::string> words =
+      text::EmbeddingWords("camera resolution megapixels");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding::AverageEmbedding(model, words));
+  }
+}
+BENCHMARK(BM_AverageEmbedding)->Arg(48)->Arg(300);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  nn::Matrix a(n, n);
+  nn::Matrix b(n, n);
+  Rng rng(1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.NextDouble());
+    b.data()[i] = static_cast<float>(rng.NextDouble());
+  }
+  nn::Matrix out;
+  for (auto _ : state) {
+    nn::Gemm(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpTrainBatch(benchmark::State& state) {
+  const auto input_dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::Mlp mlp = nn::BuildMlp(input_dim, {128, 64}, 2, rng);
+  nn::AdamOptimizer adam(1e-3);
+  nn::Matrix batch(32, input_dim);
+  std::vector<int32_t> labels(32);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch.data()[i] = static_cast<float>(rng.NextDouble(-1, 1));
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int32_t>(rng.NextBounded(2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.TrainBatch(batch, labels, adam));
+  }
+}
+BENCHMARK(BM_MlpTrainBatch)->Arg(133)->Arg(637);
+
+void BM_MlpPredictBatch(benchmark::State& state) {
+  const auto input_dim = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  nn::Mlp mlp = nn::BuildMlp(input_dim, {128, 64}, 2, rng);
+  nn::Matrix batch(1024, input_dim);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch.data()[i] = static_cast<float>(rng.NextDouble(-1, 1));
+  }
+  nn::Matrix probabilities;
+  for (auto _ : state) {
+    mlp.Predict(batch, &probabilities);
+    benchmark::DoNotOptimize(probabilities.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MlpPredictBatch)->Arg(133)->Arg(637);
+
+void BM_MinhashSignature(benchmark::State& state) {
+  // 64 hash functions over a 100-token set, the LSH baseline's kernel.
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 100; ++i) {
+    tokens.push_back("token" + std::to_string(i));
+  }
+  std::vector<uint64_t> seeds(64);
+  Rng rng(4);
+  for (auto& seed : seeds) seed = rng.Next();
+  for (auto _ : state) {
+    std::vector<uint64_t> signature(64, ~uint64_t{0});
+    for (const std::string& token : tokens) {
+      uint64_t h = HashBytes(token.data(), token.size());
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        uint64_t value = Mix64(h ^ seeds[i]);
+        if (value < signature[i]) signature[i] = value;
+      }
+    }
+    benchmark::DoNotOptimize(signature.data());
+  }
+}
+BENCHMARK(BM_MinhashSignature);
+
+}  // namespace
+
+BENCHMARK_MAIN();

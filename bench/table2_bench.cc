@@ -1,0 +1,179 @@
+// Reproduces the paper's Table II: P/R/F1 of LEAPME (all features,
+// embeddings only, non-embeddings only) and the five baselines on the four
+// product datasets, for 20% and 80% training sources, in the three feature
+// sections Instances / Names / Both.
+//
+// Environment knobs:
+//   LEAPME_SCALE       test | bench (default) | paper
+//   LEAPME_TABLE2_REPS repetitions per cell (default 2; paper used 25)
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "baselines/aml.h"
+#include "baselines/fca_map.h"
+#include "baselines/lsh.h"
+#include "baselines/nezhadi.h"
+#include "baselines/semprop.h"
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+namespace {
+
+using leapme::Status;
+using leapme::baselines::AmlMatcher;
+using leapme::baselines::FcaMapMatcher;
+using leapme::baselines::LshMatcher;
+using leapme::baselines::NezhadiMatcher;
+using leapme::baselines::PairMatcher;
+using leapme::baselines::SemPropMatcher;
+using leapme::bench::CheckOk;
+using leapme::bench::LeapmeFactory;
+using leapme::bench::ScaleFromEnv;
+using leapme::embedding::EmbeddingModel;
+using leapme::eval::EvaluationOptions;
+using leapme::eval::EvaluationResult;
+using leapme::eval::MatcherFactory;
+using leapme::features::FeatureConfig;
+using leapme::features::KindSelection;
+using leapme::features::OriginSelection;
+
+const char* SectionName(OriginSelection origin) {
+  switch (origin) {
+    case OriginSelection::kInstancesOnly:
+      return "Instances";
+    case OriginSelection::kNamesOnly:
+      return "Names";
+    case OriginSelection::kBoth:
+      return "Both";
+  }
+  return "?";
+}
+
+const char* LeapmeVariantName(KindSelection kinds) {
+  switch (kinds) {
+    case KindSelection::kBoth:
+      return "LEAPME";
+    case KindSelection::kEmbeddingsOnly:
+      return "LEAPME(emb)";
+    case KindSelection::kNonEmbeddingsOnly:
+      return "LEAPME(-emb)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = ScaleFromEnv();
+  EvaluationOptions eval_options;
+  eval_options.repetitions = static_cast<size_t>(
+      leapme::eval::EnvInt("LEAPME_TABLE2_REPS", 2));
+
+  leapme::eval::ResultsTable table;
+  // Fix the column order to the paper's.
+  for (const char* approach :
+       {"LEAPME", "LEAPME(emb)", "LEAPME(-emb)", "Nezhadi", "AML", "FCA-Map",
+        "SemProp", "LSH"}) {
+    table.AddApproach(approach);
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+  for (const auto& spec : leapme::eval::DefaultDatasetSpecs(scale)) {
+    auto eval_dataset = leapme::eval::BuildEvalDataset(spec);
+    CheckOk(eval_dataset.status(), "BuildEvalDataset");
+    std::fprintf(stderr, "[table2] dataset %s: %zu sources, %zu properties, "
+                         "%zu instances, %zu matching pairs\n",
+                 spec.name.c_str(), eval_dataset->dataset.source_count(),
+                 eval_dataset->dataset.property_count(),
+                 eval_dataset->dataset.instance_count(),
+                 eval_dataset->dataset.CountMatchingPairs());
+
+    for (double fraction : {0.2, 0.8}) {
+      eval_options.train_fraction = fraction;
+      std::string row = leapme::StrFormat("%s %.0f%%", spec.name.c_str(),
+                                          fraction * 100.0);
+
+      // LEAPME: the nine feature configurations.
+      for (OriginSelection origin :
+           {OriginSelection::kInstancesOnly, OriginSelection::kNamesOnly,
+            OriginSelection::kBoth}) {
+        for (KindSelection kinds :
+             {KindSelection::kBoth, KindSelection::kEmbeddingsOnly,
+              KindSelection::kNonEmbeddingsOnly}) {
+          FeatureConfig config{origin, kinds};
+          auto result = leapme::eval::EvaluateMatcher(
+              LeapmeFactory(config, LeapmeVariantName(kinds)),
+              *eval_dataset, eval_options);
+          CheckOk(result.status(), "EvaluateMatcher(LEAPME)");
+          table.AddResult(SectionName(origin), row, LeapmeVariantName(kinds),
+                          result->mean);
+        }
+      }
+
+      // Baselines: name-based ones are reported in the Names and Both
+      // sections, the instance-based LSH in Instances and Both.
+      struct BaselineSpec {
+        const char* name;
+        MatcherFactory factory;
+        bool name_based;
+      };
+      const BaselineSpec baselines[] = {
+          {"Nezhadi",
+           [](const EmbeddingModel&) -> std::unique_ptr<PairMatcher> {
+             return std::make_unique<NezhadiMatcher>();
+           },
+           true},
+          {"AML",
+           [](const EmbeddingModel&) -> std::unique_ptr<PairMatcher> {
+             return std::make_unique<AmlMatcher>();
+           },
+           true},
+          {"FCA-Map",
+           [](const EmbeddingModel&) -> std::unique_ptr<PairMatcher> {
+             return std::make_unique<FcaMapMatcher>();
+           },
+           true},
+          {"SemProp",
+           [](const EmbeddingModel& model) -> std::unique_ptr<PairMatcher> {
+             return std::make_unique<SemPropMatcher>(&model);
+           },
+           true},
+          {"LSH",
+           [](const EmbeddingModel&) -> std::unique_ptr<PairMatcher> {
+             return std::make_unique<LshMatcher>();
+           },
+           false},
+      };
+      for (const BaselineSpec& baseline : baselines) {
+        auto result = leapme::eval::EvaluateMatcher(baseline.factory,
+                                                    *eval_dataset,
+                                                    eval_options);
+        CheckOk(result.status(), baseline.name);
+        if (baseline.name_based) {
+          table.AddResult("Names", row, baseline.name, result->mean);
+        } else {
+          table.AddResult("Instances", row, baseline.name, result->mean);
+        }
+        table.AddResult("Both", row, baseline.name, result->mean);
+      }
+      std::fprintf(stderr, "[table2] %s done\n", row.c_str());
+    }
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  std::printf("Table II reproduction (mean of %zu runs per cell; "
+              "scale=%s)\n\n%s\n",
+              eval_options.repetitions,
+              scale == leapme::eval::EvalScale::kPaper    ? "paper"
+              : scale == leapme::eval::EvalScale::kBench ? "bench"
+                                                         : "test",
+              table.Render().c_str());
+  std::printf("total time: %.1f s\n", elapsed);
+  return 0;
+}

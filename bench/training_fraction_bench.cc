@@ -1,0 +1,67 @@
+// Reproduces the paper's in-text training-data analysis ("We analyze the
+// impact of different amounts of training data", §V): LEAPME F1 as a
+// function of the fraction of sources used for training, per dataset,
+// plus the negative-sampling-ratio ablation (the paper fixes 1:2).
+//
+// Environment knobs:
+//   LEAPME_SCALE          test | bench (default) | paper
+//   LEAPME_FRACTION_REPS  repetitions per point (default 2)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "eval/report.h"
+
+int main() {
+  const auto scale = leapme::bench::ScaleFromEnv();
+  leapme::eval::EvaluationOptions eval_options;
+  eval_options.repetitions = static_cast<size_t>(
+      leapme::eval::EnvInt("LEAPME_FRACTION_REPS", 2));
+
+  leapme::eval::ResultsTable table;
+  const double fractions[] = {0.2, 0.4, 0.6, 0.8};
+
+  for (const auto& spec : leapme::eval::DefaultDatasetSpecs(scale)) {
+    auto eval_dataset = leapme::eval::BuildEvalDataset(spec);
+    leapme::bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
+
+    for (double fraction : fractions) {
+      eval_options.train_fraction = fraction;
+      eval_options.negative_ratio = 2.0;
+      auto result = leapme::eval::EvaluateMatcher(
+          leapme::bench::LeapmeFactory({}, "LEAPME"), *eval_dataset,
+          eval_options);
+      leapme::bench::CheckOk(result.status(), "EvaluateMatcher");
+      table.AddResult(
+          "Training fraction sweep",
+          leapme::StrFormat("%s %.0f%%", spec.name.c_str(), fraction * 100),
+          "LEAPME", result->mean);
+      std::fprintf(stderr, "[fractions] %s %.0f%%: F1=%.2f (%zu train pairs)\n",
+                   spec.name.c_str(), fraction * 100, result->mean.f1,
+                   result->mean_training_pairs);
+    }
+
+    // Negative-ratio ablation at the paper's 80% setting.
+    eval_options.train_fraction = 0.8;
+    for (double ratio : {1.0, 2.0, 4.0}) {
+      eval_options.negative_ratio = ratio;
+      auto result = leapme::eval::EvaluateMatcher(
+          leapme::bench::LeapmeFactory({}, "LEAPME"), *eval_dataset,
+          eval_options);
+      leapme::bench::CheckOk(result.status(), "EvaluateMatcher(neg)");
+      table.AddResult(
+          "Negative sampling ratio (80% training)",
+          leapme::StrFormat("%s 1:%.0f", spec.name.c_str(), ratio),
+          "LEAPME", result->mean);
+    }
+  }
+
+  std::printf("Training-data impact (paper §V in-text analysis)\n\n%s\n",
+              table.Render().c_str());
+  std::printf(
+      "expected shape: F1 grows with the training fraction; LEAPME is\n"
+      "already competitive at 20%% (paper observation 2). Higher negative\n"
+      "ratios trade recall for precision around the paper's 1:2 choice.\n");
+  return 0;
+}

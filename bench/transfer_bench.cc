@@ -1,0 +1,104 @@
+// The paper's transfer-learning study (§V, expanded in the arXiv
+// version): train LEAPME on one product domain and apply the trained
+// classifier to every other domain without target-domain labels.
+// Prints the 4x4 (train domain x test domain) F1 matrix.
+//
+// Environment knobs: LEAPME_SCALE.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "data/splitting.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace leapme;
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::ScaleFromEnv();
+  auto specs = eval::DefaultDatasetSpecs(scale);
+
+  // One embedding space spanning all four domains (as a single
+  // pre-trained GloVe model would).
+  std::vector<embedding::SemanticCluster> clusters;
+  for (const auto& spec : specs) {
+    for (auto& cluster : data::DomainClusters(*spec.domain)) {
+      clusters.push_back(std::move(cluster));
+    }
+  }
+  embedding::SyntheticModelOptions embedding_options = specs[0].embedding;
+  auto model =
+      embedding::SyntheticEmbeddingModel::Build(clusters, embedding_options);
+  bench::CheckOk(model.status(), "embedding model");
+
+  // Generate all four datasets.
+  std::vector<data::Dataset> datasets;
+  for (const auto& spec : specs) {
+    auto dataset = data::GenerateCatalog(*spec.domain, spec.generator);
+    bench::CheckOk(dataset.status(), "GenerateCatalog");
+    datasets.push_back(std::move(dataset).value());
+  }
+
+  // Train one matcher per source domain on all its cross-source pairs.
+  std::map<std::string, std::map<std::string, double>> f1;
+  for (size_t train_index = 0; train_index < datasets.size();
+       ++train_index) {
+    const data::Dataset& train_dataset = datasets[train_index];
+    Rng rng(31 + train_index);
+    std::vector<data::SourceId> all_sources;
+    for (data::SourceId s = 0; s < train_dataset.source_count(); ++s) {
+      all_sources.push_back(s);
+    }
+    auto training =
+        data::BuildTrainingPairs(train_dataset, all_sources, 2.0, rng);
+    bench::CheckOk(training.status(), "BuildTrainingPairs");
+    core::LeapmeMatcher matcher(&model.value());
+    bench::CheckOk(matcher.Fit(train_dataset, *training), "Fit");
+
+    for (size_t test_index = 0; test_index < datasets.size(); ++test_index) {
+      const data::Dataset& test_dataset = datasets[test_index];
+      std::vector<data::PropertyPair> pairs =
+          test_dataset.AllCrossSourcePairs();
+      StatusOr<std::vector<double>> scores =
+          test_index == train_index
+              ? matcher.ScorePairs(pairs)
+              : matcher.ScorePairsOn(test_dataset, pairs);
+      bench::CheckOk(scores.status(), "Score");
+      std::vector<int32_t> predictions(scores->size());
+      std::vector<int32_t> labels(scores->size());
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        predictions[i] = (*scores)[i] >= 0.5 ? 1 : 0;
+        labels[i] = test_dataset.IsMatch(pairs[i].a, pairs[i].b) ? 1 : 0;
+      }
+      f1[specs[train_index].name][specs[test_index].name] =
+          ml::ComputeQuality(predictions, labels).f1;
+    }
+    std::fprintf(stderr, "[transfer] trained on %s\n",
+                 specs[train_index].name.c_str());
+  }
+
+  std::printf("Transfer learning: F1 of train-domain row applied to "
+              "test-domain column\n\n%-12s", "train\\test");
+  for (const auto& spec : specs) {
+    std::printf(" %-11s", spec.name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& train_spec : specs) {
+    std::printf("%-12s", train_spec.name.c_str());
+    for (const auto& test_spec : specs) {
+      std::printf(" %-11.2f", f1[train_spec.name][test_spec.name]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nnote: diagonal cells score the training domain itself (training\n"
+      "pairs included), so they are optimistic; off-diagonal cells are\n"
+      "true zero-label transfer. Expected shape: transfer loses some F1\n"
+      "against the diagonal but stays clearly above the unsupervised\n"
+      "baselines' range on most pairs.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "baselines/aml.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace leapme::baselines {
+
+namespace {
+
+std::string NormalizeName(const std::string& name) {
+  std::vector<std::string> words = text::EmbeddingWords(name);
+  return JoinStrings(words, " ");
+}
+
+// Word-overlap similarity in the spirit of AML's WordMatcher: Jaccard
+// overlap of the token sets, with full containment of the smaller set
+// scored almost as high as equality (AML weighs shared words against each
+// name's own words, so "weight" vs "product weight" scores high).
+double TokenOverlapSimilarity(const std::string& a, const std::string& b) {
+  std::vector<std::string> ta = text::EmbeddingWords(a);
+  std::vector<std::string> tb = text::EmbeddingWords(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  size_t intersection = 0;
+  for (const std::string& token : sa) {
+    if (sb.count(token) > 0) ++intersection;
+  }
+  size_t unions = sa.size() + sb.size() - intersection;
+  double jaccard =
+      static_cast<double>(intersection) / static_cast<double>(unions);
+  // Containment only counts as strong evidence when the contained name has
+  // at least two words: a single shared head word ("resolution" inside
+  // "screen resolution") is weak evidence, and AML's word matcher weighs
+  // the unmatched qualifier against it.
+  double containment = 0.0;
+  if (std::min(sa.size(), sb.size()) >= 2) {
+    containment = static_cast<double>(intersection) /
+                  static_cast<double>(std::min(sa.size(), sb.size()));
+  }
+  return std::max(jaccard, 0.95 * containment);
+}
+
+double LcsSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t lcs = text::LongestCommonSubsequence(a, b);
+  return static_cast<double>(2 * lcs) / static_cast<double>(a.size() +
+                                                            b.size());
+}
+
+}  // namespace
+
+double AmlMatcher::TokenSimilarity(const std::string& a,
+                                   const std::string& b) {
+  return TokenOverlapSimilarity(NormalizeName(a), NormalizeName(b));
+}
+
+double AmlMatcher::NameSimilarity(const std::string& a,
+                                  const std::string& b) {
+  std::string na = NormalizeName(a);
+  std::string nb = NormalizeName(b);
+  if (na == nb && !na.empty()) return 1.0;
+  double similarity = TokenOverlapSimilarity(na, nb);
+  similarity = std::max(similarity, text::JaroWinklerSimilarity(na, nb));
+  similarity = std::max(similarity, LcsSimilarity(na, nb));
+  return similarity;
+}
+
+Status AmlMatcher::Fit(const data::Dataset& dataset,
+                       const std::vector<data::LabeledPair>&) {
+  normalized_names_.clear();
+  normalized_names_.reserve(dataset.property_count());
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    normalized_names_.push_back(dataset.property(id).name);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> AmlMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    scores.push_back(NameSimilarity(normalized_names_[pair.a],
+                                    normalized_names_[pair.b]));
+  }
+  return scores;
+}
+
+StatusOr<std::vector<int32_t>> AmlMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores, ScorePairs(pairs));
+  std::vector<int32_t> decisions(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    decisions[i] = scores[i] >= options_.threshold ? 1 : 0;
+  }
+  return decisions;
+}
+
+}  // namespace leapme::baselines

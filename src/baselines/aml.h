@@ -1,0 +1,58 @@
+#ifndef LEAPME_BASELINES_AML_H_
+#define LEAPME_BASELINES_AML_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+
+namespace leapme::baselines {
+
+/// Options for AmlMatcher.
+struct AmlOptions {
+  /// Minimum combined lexical similarity for a match. AML's string
+  /// matchers are conservative: they trade recall for precision.
+  double threshold = 0.9;
+};
+
+/// AML-style unsupervised lexical matcher (AgreementMakerLight [14]).
+///
+/// Reproduces the core of AML's string-matcher + selector pipeline on
+/// property names: names are normalized (lower-cased, punctuation
+/// stripped), and the pair similarity is the maximum of
+///   - exact normalized-name equality (similarity 1),
+///   - word-set Jaccard similarity,
+///   - Jaro-Winkler similarity,
+///   - longest-common-subsequence similarity.
+/// Pairs at or above the threshold match. No instance data and no
+/// training data are used.
+class AmlMatcher final : public PairMatcher {
+ public:
+  explicit AmlMatcher(AmlOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "AML"; }
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs) override;
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+  StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+
+  /// Lexical similarity in [0, 1] of two raw property names (exposed for
+  /// tests and for the SemProp syntactic matcher).
+  static double NameSimilarity(const std::string& a, const std::string& b);
+
+  /// Word-overlap-only similarity (no character-level metrics): 0 for
+  /// names sharing no token. This is the TF-IDF-flavored signal SemProp's
+  /// SynM thresholds at 0.2.
+  static double TokenSimilarity(const std::string& a, const std::string& b);
+
+ private:
+  AmlOptions options_;
+  std::vector<std::string> normalized_names_;
+  bool fitted_ = false;
+};
+
+}  // namespace leapme::baselines
+
+#endif  // LEAPME_BASELINES_AML_H_

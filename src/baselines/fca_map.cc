@@ -1,0 +1,48 @@
+#include "baselines/fca_map.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace leapme::baselines {
+
+Status FcaMapMatcher::Fit(const data::Dataset& dataset,
+                          const std::vector<data::LabeledPair>&) {
+  token_sets_.clear();
+  token_sets_.reserve(dataset.property_count());
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    std::vector<std::string> tokens =
+        text::EmbeddingWords(dataset.property(id).name);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    token_sets_.push_back(std::move(tokens));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> FcaMapMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ClassifyPairs called before Fit");
+  }
+  std::vector<int32_t> decisions(pairs.size(), 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& sa = token_sets_[pairs[i].a];
+    const auto& sb = token_sets_[pairs[i].b];
+    if (sa.empty() || sb.empty()) continue;
+    bool match = false;
+    if (sa == sb) {
+      match = true;  // identical intent: same formal concept
+    } else if (options_.allow_subset_intents) {
+      const auto& small = sa.size() <= sb.size() ? sa : sb;
+      const auto& large = sa.size() <= sb.size() ? sb : sa;
+      match = std::includes(large.begin(), large.end(), small.begin(),
+                            small.end());
+    }
+    decisions[i] = match ? 1 : 0;
+  }
+  return decisions;
+}
+
+}  // namespace leapme::baselines

@@ -1,0 +1,48 @@
+#ifndef LEAPME_BASELINES_FCA_MAP_H_
+#define LEAPME_BASELINES_FCA_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+
+namespace leapme::baselines {
+
+/// Options for FcaMapMatcher.
+struct FcaMapOptions {
+  /// Also match when one name's token set strictly contains the other's
+  /// (a partial formal concept), not only on identical token intents.
+  /// Off by default: the containment rule trades FCA-Map's hallmark
+  /// precision for recall.
+  bool allow_subset_intents = false;
+};
+
+/// FCA-Map-style unsupervised matcher [7], based on formal concept
+/// analysis over a token-level formal context.
+///
+/// The formal context has properties as objects and lower-cased name
+/// tokens as attributes. A formal concept whose intent is a full token set
+/// groups all properties sharing exactly those tokens; cross-source
+/// members of one concept's extent are matched. With
+/// `allow_subset_intents`, sub-concepts (token-set containment) also
+/// match, mirroring FCA-Map's partially-shared lexicon concepts.
+/// Extremely precise, recall limited to lexically identical/nested names.
+class FcaMapMatcher final : public PairMatcher {
+ public:
+  explicit FcaMapMatcher(FcaMapOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "FCA-Map"; }
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs) override;
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+
+ private:
+  FcaMapOptions options_;
+  std::vector<std::vector<std::string>> token_sets_;  // sorted unique tokens
+  bool fitted_ = false;
+};
+
+}  // namespace leapme::baselines
+
+#endif  // LEAPME_BASELINES_FCA_MAP_H_

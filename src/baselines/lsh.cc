@@ -1,0 +1,112 @@
+#include "baselines/lsh.h"
+
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+
+namespace leapme::baselines {
+
+Status LshMatcher::Fit(const data::Dataset& dataset,
+                       const std::vector<data::LabeledPair>&) {
+  if (options_.bands == 0 || options_.band_size == 0) {
+    return Status::InvalidArgument("bands and band_size must be positive");
+  }
+  const size_t signature_length = options_.bands * options_.band_size;
+
+  // Hash-function seeds derived from the master seed.
+  std::vector<uint64_t> hash_seeds(signature_length);
+  Rng seed_rng(options_.seed);
+  for (uint64_t& seed : hash_seeds) {
+    seed = seed_rng.Next();
+  }
+
+  signatures_.assign(dataset.property_count(), {});
+  token_counts_.assign(dataset.property_count(), 0);
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    std::set<std::string> tokens;
+    for (const data::InstanceValue& instance : dataset.instances(id)) {
+      for (const std::string& token :
+           text::EmbeddingWords(instance.value)) {
+        tokens.insert(token);
+      }
+    }
+    token_counts_[id] = tokens.size();
+    std::vector<uint64_t>& signature = signatures_[id];
+    signature.assign(signature_length,
+                     std::numeric_limits<uint64_t>::max());
+    for (const std::string& token : tokens) {
+      uint64_t token_hash = HashBytes(token.data(), token.size());
+      for (size_t h = 0; h < signature_length; ++h) {
+        uint64_t value = Mix64(token_hash ^ hash_seeds[h]);
+        if (value < signature[h]) {
+          signature[h] = value;
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LshMatcher::EstimatedJaccard(data::PropertyId a,
+                                    data::PropertyId b) const {
+  const auto& sa = signatures_[a];
+  const auto& sb = signatures_[b];
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t h = 0; h < sa.size(); ++h) {
+    if (sa[h] == sb[h]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(sa.size());
+}
+
+StatusOr<std::vector<int32_t>> LshMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ClassifyPairs called before Fit");
+  }
+  std::vector<int32_t> decisions(pairs.size(), 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    data::PropertyId a = pairs[i].a;
+    data::PropertyId b = pairs[i].b;
+    if (token_counts_[a] < options_.min_tokens ||
+        token_counts_[b] < options_.min_tokens) {
+      continue;
+    }
+    const auto& sa = signatures_[a];
+    const auto& sb = signatures_[b];
+    // Banding: a collision in any complete band is a candidate -> match.
+    for (size_t band = 0; band < options_.bands; ++band) {
+      bool band_equal = true;
+      for (size_t row = 0; row < options_.band_size; ++row) {
+        size_t h = band * options_.band_size + row;
+        if (sa[h] != sb[h]) {
+          band_equal = false;
+          break;
+        }
+      }
+      if (band_equal) {
+        decisions[i] = 1;
+        break;
+      }
+    }
+  }
+  return decisions;
+}
+
+StatusOr<std::vector<double>> LshMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    scores.push_back(EstimatedJaccard(pair.a, pair.b));
+  }
+  return scores;
+}
+
+}  // namespace leapme::baselines

@@ -1,0 +1,139 @@
+#include "baselines/nezhadi.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace leapme::baselines {
+
+namespace {
+
+double TokenOverlap(const std::string& a, const std::string& b) {
+  std::vector<std::string> ta = text::EmbeddingWords(a);
+  std::vector<std::string> tb = text::EmbeddingWords(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  std::vector<std::string> common;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(std::min(ta.size(), tb.size()));
+}
+
+double CommonPrefixRatio(const std::string& a, const std::string& b) {
+  size_t limit = std::min(a.size(), b.size());
+  if (limit == 0) return 0.0;
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return static_cast<double>(i) / static_cast<double>(limit);
+}
+
+double CommonSuffixRatio(const std::string& a, const std::string& b) {
+  size_t limit = std::min(a.size(), b.size());
+  if (limit == 0) return 0.0;
+  size_t i = 0;
+  while (i < limit && a[a.size() - 1 - i] == b[b.size() - 1 - i]) ++i;
+  return static_cast<double>(i) / static_cast<double>(limit);
+}
+
+std::unique_ptr<ml::BinaryClassifier> MakeLearner(NezhadiLearner learner) {
+  switch (learner) {
+    case NezhadiLearner::kAdaBoost:
+      return std::make_unique<ml::AdaBoost>();
+    case NezhadiLearner::kDecisionTree:
+      return std::make_unique<ml::DecisionTree>();
+    case NezhadiLearner::kLogisticRegression:
+      return std::make_unique<ml::LogisticRegression>();
+  }
+  LEAPME_LOG(Fatal) << "unknown Nezhadi learner";
+  return nullptr;
+}
+
+}  // namespace
+
+NezhadiMatcher::NezhadiMatcher(NezhadiOptions options)
+    : options_(options), classifier_(MakeLearner(options.learner)) {}
+
+void NezhadiMatcher::PairFeatures(const std::string& a, const std::string& b,
+                                  std::span<float> out) {
+  LEAPME_CHECK_EQ(out.size(), kFeatureCount);
+  size_t i = 0;
+  out[i++] = static_cast<float>(
+      1.0 - text::NormalizedByMaxLength(text::Levenshtein(a, b), a, b));
+  out[i++] = static_cast<float>(1.0 - text::NormalizedByMaxLength(
+                                          text::OptimalStringAlignment(a, b),
+                                          a, b));
+  out[i++] = static_cast<float>(
+      1.0 - text::NormalizedByMaxLength(text::LcsDistance(a, b), a, b));
+  out[i++] = static_cast<float>(1.0 - text::ThreeGramCosineDistance(a, b));
+  out[i++] = static_cast<float>(1.0 - text::ThreeGramJaccardDistance(a, b));
+  out[i++] = static_cast<float>(text::JaroWinklerSimilarity(a, b));
+  out[i++] = static_cast<float>(TokenOverlap(a, b));
+  out[i++] = static_cast<float>(CommonPrefixRatio(a, b));
+  out[i++] = static_cast<float>(CommonSuffixRatio(a, b));
+  double length_ratio =
+      a.empty() || b.empty()
+          ? 0.0
+          : static_cast<double>(std::min(a.size(), b.size())) /
+                static_cast<double>(std::max(a.size(), b.size()));
+  out[i++] = static_cast<float>(length_ratio);
+}
+
+nn::Matrix NezhadiMatcher::BuildDesign(
+    const std::vector<data::PropertyPair>& pairs) const {
+  nn::Matrix design(pairs.size(), kFeatureCount);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    PairFeatures(names_[pairs[i].a], names_[pairs[i].b], design.row(i));
+  }
+  return design;
+}
+
+Status NezhadiMatcher::Fit(
+    const data::Dataset& dataset,
+    const std::vector<data::LabeledPair>& training_pairs) {
+  if (training_pairs.empty()) {
+    return Status::InvalidArgument("Nezhadi requires labeled training pairs");
+  }
+  names_.clear();
+  names_.reserve(dataset.property_count());
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    names_.push_back(dataset.property(id).name);
+  }
+
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  for (const data::LabeledPair& labeled : training_pairs) {
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label != 0 ? 1 : 0);
+  }
+  nn::Matrix design = BuildDesign(pairs);
+  LEAPME_RETURN_IF_ERROR(classifier_->Fit(design, labels));
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> NezhadiMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  return classifier_->PredictProbability(BuildDesign(pairs));
+}
+
+StatusOr<std::vector<int32_t>> NezhadiMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores, ScorePairs(pairs));
+  std::vector<int32_t> decisions(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    decisions[i] = scores[i] >= options_.decision_threshold ? 1 : 0;
+  }
+  return decisions;
+}
+
+}  // namespace leapme::baselines

@@ -1,0 +1,64 @@
+#ifndef LEAPME_BASELINES_NEZHADI_H_
+#define LEAPME_BASELINES_NEZHADI_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+#include "ml/classifier.h"
+
+namespace leapme::baselines {
+
+/// Learner choices for the Nezhadi baseline.
+enum class NezhadiLearner : int {
+  kAdaBoost = 0,       ///< boosted stumps (their best performer)
+  kDecisionTree = 1,
+  kLogisticRegression = 2,
+};
+
+/// Options for NezhadiMatcher.
+struct NezhadiOptions {
+  NezhadiLearner learner = NezhadiLearner::kAdaBoost;
+  double decision_threshold = 0.5;
+};
+
+/// Supervised baseline after Nezhadi et al. [22]: ontology alignment via a
+/// classic ML classifier over multiple *string* similarity measures of the
+/// element names. Unlike LEAPME it uses neither word embeddings nor
+/// instance values — its feature vector is the name-similarity block only
+/// (token overlap, edit distances, q-gram profile distances,
+/// Jaro-Winkler, prefix/suffix overlap).
+class NezhadiMatcher final : public PairMatcher {
+ public:
+  explicit NezhadiMatcher(NezhadiOptions options = {});
+
+  std::string Name() const override { return "Nezhadi"; }
+  bool IsSupervised() const override { return true; }
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs) override;
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+  StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+
+  /// Number of features per pair.
+  static constexpr size_t kFeatureCount = 10;
+
+  /// Fills `out` (size kFeatureCount) with the pair's similarity features.
+  static void PairFeatures(const std::string& a, const std::string& b,
+                           std::span<float> out);
+
+ private:
+  nn::Matrix BuildDesign(const std::vector<data::PropertyPair>& pairs) const;
+
+  NezhadiOptions options_;
+  std::unique_ptr<ml::BinaryClassifier> classifier_;
+  std::vector<std::string> names_;
+  bool fitted_ = false;
+};
+
+}  // namespace leapme::baselines
+
+#endif  // LEAPME_BASELINES_NEZHADI_H_

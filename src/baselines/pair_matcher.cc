@@ -1,0 +1,16 @@
+#include "baselines/pair_matcher.h"
+
+namespace leapme::baselines {
+
+StatusOr<std::vector<double>> PairMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> decisions,
+                          ClassifyPairs(pairs));
+  std::vector<double> scores(decisions.size());
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    scores[i] = decisions[i] != 0 ? 1.0 : 0.0;
+  }
+  return scores;
+}
+
+}  // namespace leapme::baselines

@@ -1,0 +1,46 @@
+#ifndef LEAPME_BASELINES_PAIR_MATCHER_H_
+#define LEAPME_BASELINES_PAIR_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "data/splitting.h"
+
+namespace leapme::baselines {
+
+/// Uniform interface over the property-matching systems compared in the
+/// evaluation: LEAPME itself (via an adapter in eval/) and the five
+/// baselines (AML, FCA-Map, Nezhadi, SemProp, LSH).
+class PairMatcher {
+ public:
+  virtual ~PairMatcher() = default;
+
+  /// Display name used in the results tables.
+  virtual std::string Name() const = 0;
+
+  /// True when the matcher consumes labeled training pairs.
+  virtual bool IsSupervised() const { return false; }
+
+  /// Prepares matcher state from `dataset` (per-property indexes, and for
+  /// supervised matchers a trained model from `training_pairs`;
+  /// unsupervised matchers ignore the pairs and never read the
+  /// ground-truth references).
+  virtual Status Fit(const data::Dataset& dataset,
+                     const std::vector<data::LabeledPair>& training_pairs) = 0;
+
+  /// Hard 0/1 match decision for each pair. Requires a successful Fit.
+  virtual StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) = 0;
+
+  /// Similarity scores in [0, 1] for each pair (defaults to the hard
+  /// decisions when a matcher has no graded score).
+  virtual StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs);
+};
+
+}  // namespace leapme::baselines
+
+#endif  // LEAPME_BASELINES_PAIR_MATCHER_H_

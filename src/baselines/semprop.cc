@@ -1,0 +1,66 @@
+#include "baselines/semprop.h"
+
+#include <algorithm>
+
+#include "baselines/aml.h"
+#include "text/tokenizer.h"
+
+namespace leapme::baselines {
+
+Status SemPropMatcher::Fit(const data::Dataset& dataset,
+                           const std::vector<data::LabeledPair>&) {
+  names_.clear();
+  name_embeddings_.clear();
+  names_.reserve(dataset.property_count());
+  name_embeddings_.reserve(dataset.property_count());
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    const std::string& name = dataset.property(id).name;
+    names_.push_back(name);
+    name_embeddings_.push_back(embedding::AverageEmbedding(
+        *model_, text::EmbeddingWords(name)));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> SemPropMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    double sema = embedding::CosineSimilarity(name_embeddings_[pair.a],
+                                              name_embeddings_[pair.b]);
+    double synm = AmlMatcher::TokenSimilarity(names_[pair.a], names_[pair.b]);
+    // Report the stronger of the two signals, clamped to [0, 1].
+    scores.push_back(std::clamp(std::max(sema, synm), 0.0, 1.0));
+  }
+  return scores;
+}
+
+StatusOr<std::vector<int32_t>> SemPropMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ClassifyPairs called before Fit");
+  }
+  std::vector<int32_t> decisions(pairs.size(), 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const data::PropertyPair& pair = pairs[i];
+    double sema = embedding::CosineSimilarity(name_embeddings_[pair.a],
+                                              name_embeddings_[pair.b]);
+    if (sema >= options_.sema_positive_threshold) {
+      decisions[i] = 1;  // SeMa(+) match
+      continue;
+    }
+    double synm = AmlMatcher::TokenSimilarity(names_[pair.a], names_[pair.b]);
+    if (synm >= options_.synm_threshold &&
+        sema >= options_.sema_negative_threshold) {
+      decisions[i] = 1;  // SynM candidate surviving SeMa(-)
+    }
+  }
+  return decisions;
+}
+
+}  // namespace leapme::baselines

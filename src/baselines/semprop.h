@@ -1,0 +1,61 @@
+#ifndef LEAPME_BASELINES_SEMPROP_H_
+#define LEAPME_BASELINES_SEMPROP_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+#include "embedding/embedding_model.h"
+
+namespace leapme::baselines {
+
+/// Options for SemPropMatcher, defaulting to the thresholds the paper used
+/// for its SemProp runs (§V-A): SynM 0.2, SeMa(-) 0.2, SeMa(+) 0.4.
+struct SemPropOptions {
+  /// Minimum syntactic (lexical) name similarity for the syntactic matcher
+  /// SynM to emit a candidate.
+  double synm_threshold = 0.2;
+  /// SeMa(-): candidates whose semantic coherence falls below this are
+  /// discarded (negative semantic evidence).
+  double sema_negative_threshold = 0.2;
+  /// SeMa(+): semantic coherence at or above this is a match on its own.
+  double sema_positive_threshold = 0.4;
+};
+
+/// SemProp-style unsupervised matcher (Fernandez et al., "Seeping
+/// Semantics" [15]): links schema elements through word embeddings.
+///
+/// Two signals are combined:
+///   - SynM: lexical similarity of the names (AML-style combined string
+///     similarity).
+///   - SeMa: semantic coherence — cosine similarity between the average
+///     word embeddings of the two names.
+/// A pair matches when SeMa >= SeMa(+), or when SynM >= SynM-threshold and
+/// SeMa >= SeMa(-) (syntactic candidates surviving the negative semantic
+/// filter). Unsupervised; no instance values.
+class SemPropMatcher final : public PairMatcher {
+ public:
+  /// `model` must outlive the matcher.
+  SemPropMatcher(const embedding::EmbeddingModel* model,
+                 SemPropOptions options = {})
+      : model_(model), options_(options) {}
+
+  std::string Name() const override { return "SemProp"; }
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs) override;
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+  StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs) override;
+
+ private:
+  const embedding::EmbeddingModel* model_;
+  SemPropOptions options_;
+  std::vector<std::string> names_;
+  std::vector<embedding::Vector> name_embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace leapme::baselines
+
+#endif  // LEAPME_BASELINES_SEMPROP_H_

@@ -1,0 +1,175 @@
+#include "blocking/blocker.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+
+namespace leapme::blocking {
+
+namespace {
+
+// Canonicalizes and deduplicates a candidate list.
+std::vector<data::PropertyPair> Deduplicate(
+    std::vector<data::PropertyPair> pairs) {
+  for (data::PropertyPair& pair : pairs) {
+    if (pair.a > pair.b) std::swap(pair.a, pair.b);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const data::PropertyPair& x, const data::PropertyPair& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+// Emits all cross-source pairs within one bucket of property ids.
+void EmitBucketPairs(const data::Dataset& dataset,
+                     const std::vector<data::PropertyId>& bucket,
+                     std::vector<data::PropertyPair>* out) {
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    for (size_t j = i + 1; j < bucket.size(); ++j) {
+      if (dataset.property(bucket[i]).source !=
+          dataset.property(bucket[j]).source) {
+        out->push_back(data::PropertyPair{bucket[i], bucket[j]});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<data::PropertyPair>> NameTokenBlocker::Candidates(
+    const data::Dataset& dataset) {
+  std::unordered_map<std::string, std::vector<data::PropertyId>> index;
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    std::set<std::string> tokens;
+    for (const std::string& token :
+         text::EmbeddingWords(dataset.property(id).name)) {
+      tokens.insert(token);
+    }
+    for (const std::string& token : tokens) {
+      index[token].push_back(id);
+    }
+  }
+  const auto stop_size = static_cast<size_t>(
+      options_.max_token_frequency *
+      static_cast<double>(dataset.property_count()));
+  std::vector<data::PropertyPair> candidates;
+  for (const auto& [token, bucket] : index) {
+    if (bucket.size() <= 1 || bucket.size() > std::max<size_t>(stop_size, 2)) {
+      continue;
+    }
+    EmitBucketPairs(dataset, bucket, &candidates);
+  }
+  return Deduplicate(std::move(candidates));
+}
+
+StatusOr<std::vector<data::PropertyPair>> EmbeddingBlocker::Candidates(
+    const data::Dataset& dataset) {
+  if (options_.bands == 0 || options_.bits_per_band == 0 ||
+      options_.bits_per_band > 63) {
+    return Status::InvalidArgument("bad LSH configuration");
+  }
+  const size_t d = model_->dimension();
+  const size_t total_bits = options_.bands * options_.bits_per_band;
+
+  // Random hyperplanes, derived deterministically from the seed.
+  Rng rng(options_.seed);
+  std::vector<float> hyperplanes(total_bits * d);
+  for (float& value : hyperplanes) {
+    value = static_cast<float>(rng.NextGaussian());
+  }
+
+  // Per-band hash buckets.
+  std::vector<std::unordered_map<uint64_t, std::vector<data::PropertyId>>>
+      buckets(options_.bands);
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    embedding::Vector name_embedding = embedding::AverageEmbedding(
+        *model_, text::EmbeddingWords(dataset.property(id).name));
+    // All-zero embeddings (fully OOV names under the zero-vector policy)
+    // carry no locality signal; skip them rather than bucket them all
+    // together.
+    bool all_zero = true;
+    for (float value : name_embedding) {
+      if (value != 0.0f) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+
+    for (size_t band = 0; band < options_.bands; ++band) {
+      uint64_t signature = 0;
+      for (size_t bit = 0; bit < options_.bits_per_band; ++bit) {
+        const float* hyperplane =
+            hyperplanes.data() + (band * options_.bits_per_band + bit) * d;
+        float dot = 0.0f;
+        for (size_t k = 0; k < d; ++k) {
+          dot += hyperplane[k] * name_embedding[k];
+        }
+        signature = (signature << 1) | (dot >= 0.0f ? 1 : 0);
+      }
+      buckets[band][signature].push_back(id);
+    }
+  }
+
+  std::vector<data::PropertyPair> candidates;
+  for (const auto& band : buckets) {
+    for (const auto& [signature, bucket] : band) {
+      EmitBucketPairs(dataset, bucket, &candidates);
+    }
+  }
+  return Deduplicate(std::move(candidates));
+}
+
+StatusOr<std::vector<data::PropertyPair>> UnionBlocker::Candidates(
+    const data::Dataset& dataset) {
+  std::vector<data::PropertyPair> all;
+  for (Blocker* blocker : blockers_) {
+    if (blocker == nullptr) {
+      return Status::InvalidArgument("null blocker in union");
+    }
+    LEAPME_ASSIGN_OR_RETURN(std::vector<data::PropertyPair> candidates,
+                            blocker->Candidates(dataset));
+    all.insert(all.end(), candidates.begin(), candidates.end());
+  }
+  return Deduplicate(std::move(all));
+}
+
+BlockingQuality EvaluateBlocking(
+    const data::Dataset& dataset,
+    const std::vector<data::PropertyPair>& candidates) {
+  BlockingQuality quality;
+  quality.candidate_count = candidates.size();
+
+  size_t total_pairs = 0;
+  size_t total_matches = 0;
+  for (data::PropertyId a = 0; a < dataset.property_count(); ++a) {
+    for (data::PropertyId b = a + 1; b < dataset.property_count(); ++b) {
+      if (dataset.property(a).source == dataset.property(b).source) continue;
+      ++total_pairs;
+      if (dataset.IsMatch(a, b)) ++total_matches;
+    }
+  }
+  quality.total_pairs = total_pairs;
+
+  size_t retained_matches = 0;
+  for (const data::PropertyPair& pair : candidates) {
+    if (dataset.IsMatch(pair.a, pair.b)) ++retained_matches;
+  }
+  if (total_matches > 0) {
+    quality.pair_completeness = static_cast<double>(retained_matches) /
+                                static_cast<double>(total_matches);
+  }
+  if (total_pairs > 0) {
+    quality.reduction_ratio =
+        1.0 - static_cast<double>(candidates.size()) /
+                  static_cast<double>(total_pairs);
+  }
+  return quality;
+}
+
+}  // namespace leapme::blocking

@@ -1,0 +1,315 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/leapme.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "data/statistics.h"
+#include "data/tsv_io.h"
+#include "embedding/synthetic_model.h"
+#include "embedding/text_embedding_file.h"
+#include "graph/similarity_graph.h"
+#include "ml/metrics.h"
+
+namespace leapme::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: leapme <command> [--flag value ...]\n"
+    "\n"
+    "commands:\n"
+    "  generate   write a synthetic multi-source product catalog as TSV\n"
+    "             --domain cameras|headphones|phones|tvs --sources N\n"
+    "             --entities N --seed N --out FILE\n"
+    "  stats      print dataset statistics           --data FILE\n"
+    "  evaluate   train on a fraction of sources, report P/R/F1 on the rest\n"
+    "             --data FILE [--train-fraction 0.8] [--seed 7]\n"
+    "             [--embeddings GLOVE_FILE | --domain NAME] [--emb-dim 64]\n"
+    "             [--features origin/kinds] [--model-out FILE]\n"
+    "  match      print discovered matches among the held-out sources\n"
+    "             (evaluate flags plus [--threshold 0.5] [--limit 25])\n"
+    "  cluster    train, build the similarity graph over all pairs and\n"
+    "             print star clusters (evaluate flags plus [--threshold])\n";
+
+StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
+  for (const data::DomainSpec* domain : data::AllDomains()) {
+    if (domain->name == name) return domain;
+  }
+  return Status::InvalidArgument("unknown domain '" + name +
+                                 "' (cameras|headphones|phones|tvs)");
+}
+
+/// Builds the embedding model per the flags: a GloVe-format file, a
+/// domain-specific synthetic space, or a hashed-vector-only fallback.
+StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
+    const Flags& flags) {
+  const auto dimension =
+      static_cast<size_t>(flags.GetInt("emb-dim", 64));
+  if (flags.Has("embeddings")) {
+    LEAPME_ASSIGN_OR_RETURN(
+        auto model, embedding::TextEmbeddingFile::Load(
+                        flags.GetString("embeddings", "")));
+    return std::unique_ptr<embedding::EmbeddingModel>(
+        new embedding::TextEmbeddingFile(std::move(model)));
+  }
+  std::vector<embedding::SemanticCluster> clusters;
+  if (flags.Has("domain")) {
+    LEAPME_ASSIGN_OR_RETURN(const data::DomainSpec* domain,
+                            DomainByName(flags.GetString("domain", "")));
+    clusters = data::DomainClusters(*domain);
+  } else {
+    // No vocabulary: every word gets a deterministic hashed vector, so
+    // identical words still agree. Pass --embeddings or --domain for
+    // semantic matching beyond lexical identity.
+    std::fprintf(stderr,
+                 "note: no --embeddings/--domain given; using hashed "
+                 "word vectors only\n");
+    clusters.push_back({"placeholder", {"leapme"}});
+  }
+  embedding::SyntheticModelOptions options;
+  options.dimension = dimension;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.oov_policy = embedding::OovPolicy::kHashedVector;
+  LEAPME_ASSIGN_OR_RETURN(
+      auto model, embedding::SyntheticEmbeddingModel::Build(clusters,
+                                                            options));
+  return std::unique_ptr<embedding::EmbeddingModel>(
+      new embedding::SyntheticEmbeddingModel(std::move(model)));
+}
+
+StatusOr<features::FeatureConfig> ParseFeatureConfig(const Flags& flags) {
+  std::string text = flags.GetString("features", "both/all");
+  for (const features::FeatureConfig& config :
+       features::AllFeatureConfigs()) {
+    if (config.ToString() == text) return config;
+  }
+  return Status::InvalidArgument(
+      "unknown --features '" + text +
+      "' (expected e.g. both/all, names/embeddings, "
+      "instances/non-embeddings)");
+}
+
+/// Shared setup of evaluate/match/cluster: load data, build embeddings,
+/// split sources, train LEAPME.
+struct TrainedSession {
+  data::Dataset dataset{""};
+  std::unique_ptr<embedding::EmbeddingModel> model;
+  std::unique_ptr<core::LeapmeMatcher> matcher;
+  data::SourceSplit split;
+};
+
+StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
+  if (!flags.Has("data")) {
+    return Status::InvalidArgument("--data FILE is required");
+  }
+  TrainedSession session;
+  LEAPME_ASSIGN_OR_RETURN(session.dataset,
+                          data::ReadDatasetTsv(flags.GetString("data", "")));
+  LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  session.split = data::SplitSources(
+      session.dataset, flags.GetDouble("train-fraction", 0.8), rng);
+  LEAPME_ASSIGN_OR_RETURN(
+      std::vector<data::LabeledPair> training,
+      data::BuildTrainingPairs(session.dataset, session.split.train_sources,
+                               flags.GetDouble("negative-ratio", 2.0), rng));
+
+  core::LeapmeOptions options;
+  LEAPME_ASSIGN_OR_RETURN(options.feature_config, ParseFeatureConfig(flags));
+  options.decision_threshold = flags.GetDouble("threshold", 0.5);
+  session.matcher = std::make_unique<core::LeapmeMatcher>(
+      session.model.get(), options);
+  LEAPME_RETURN_IF_ERROR(session.matcher->Fit(session.dataset, training));
+  std::fprintf(stderr,
+               "trained on %zu pairs from %zu sources (%zu properties)\n",
+               training.size(), session.split.train_sources.size(),
+               session.dataset.property_count());
+
+  if (flags.Has("model-out")) {
+    LEAPME_RETURN_IF_ERROR(
+        session.matcher->SaveModel(flags.GetString("model-out", "")));
+    std::fprintf(stderr, "model saved to %s\n",
+                 flags.GetString("model-out", "").c_str());
+  }
+  return session;
+}
+
+const std::vector<std::string>& EvaluateFlags() {
+  static const auto* kFlags = new std::vector<std::string>{
+      "data",        "train-fraction", "seed",      "embeddings",
+      "domain",      "emb-dim",        "features",  "model-out",
+      "threshold",   "negative-ratio", "limit"};
+  return *kFlags;
+}
+
+}  // namespace
+
+Status RunGenerate(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(
+      {"domain", "sources", "entities", "seed", "out"}));
+  LEAPME_ASSIGN_OR_RETURN(
+      const data::DomainSpec* domain,
+      DomainByName(flags.GetString("domain", "cameras")));
+  data::GeneratorOptions options;
+  options.num_sources = static_cast<size_t>(flags.GetInt("sources", 8));
+  auto entities = static_cast<size_t>(flags.GetInt("entities", 50));
+  options.min_entities_per_source = entities;
+  options.max_entities_per_source = entities;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  LEAPME_ASSIGN_OR_RETURN(data::Dataset dataset,
+                          data::GenerateCatalog(*domain, options));
+  std::string out = flags.GetString("out", domain->name + ".tsv");
+  LEAPME_RETURN_IF_ERROR(data::WriteDatasetTsv(dataset, out));
+  std::printf("wrote %s: %zu sources, %zu properties, %zu instances, "
+              "%zu matching pairs\n",
+              out.c_str(), dataset.source_count(), dataset.property_count(),
+              dataset.instance_count(), dataset.CountMatchingPairs());
+  return Status::OK();
+}
+
+Status RunStats(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed({"data"}));
+  if (!flags.Has("data")) {
+    return Status::InvalidArgument("--data FILE is required");
+  }
+  LEAPME_ASSIGN_OR_RETURN(data::Dataset dataset,
+                          data::ReadDatasetTsv(flags.GetString("data", "")));
+  std::printf("%s", data::ComputeStatistics(dataset).ToString().c_str());
+  return Status::OK();
+}
+
+Status RunEvaluate(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
+  LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
+
+  std::vector<data::LabeledPair> test_pairs =
+      data::BuildTestPairs(session.dataset, session.split.train_sources);
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  for (const auto& labeled : test_pairs) {
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label);
+  }
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          session.matcher->ScorePairs(pairs));
+  std::vector<int32_t> predictions(scores.size());
+  const double threshold = session.matcher->options().decision_threshold;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  ml::MatchQuality quality = ml::ComputeQuality(predictions, labels);
+  ml::PrPoint best = ml::BestF1Point(scores, labels);
+  std::printf("test pairs: %zu (%zu sources held out)\n", pairs.size(),
+              session.split.test_sources.size());
+  std::printf("at threshold %.2f:  %s\n", threshold,
+              quality.ToString().c_str());
+  std::printf("best-F1 operating point: threshold %.2f -> P=%.2f R=%.2f "
+              "F1=%.2f\n",
+              best.threshold, best.precision, best.recall, best.f1);
+  std::printf("average precision: %.3f\n",
+              ml::AveragePrecision(scores, labels));
+  return Status::OK();
+}
+
+Status RunMatch(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
+  LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
+
+  std::vector<data::LabeledPair> test_pairs =
+      data::BuildTestPairs(session.dataset, session.split.train_sources);
+  std::vector<data::PropertyPair> pairs;
+  for (const auto& labeled : test_pairs) {
+    pairs.push_back(labeled.pair);
+  }
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          session.matcher->ScorePairs(pairs));
+
+  // Sort matches by score, print the strongest.
+  std::vector<size_t> order;
+  const double threshold = session.matcher->options().decision_threshold;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  auto limit = static_cast<size_t>(flags.GetInt("limit", 25));
+  std::printf("%zu matches at threshold %.2f; strongest %zu:\n",
+              order.size(), threshold, std::min(limit, order.size()));
+  for (size_t rank = 0; rank < order.size() && rank < limit; ++rank) {
+    size_t i = order[rank];
+    const auto& pa = session.dataset.property(pairs[i].a);
+    const auto& pb = session.dataset.property(pairs[i].b);
+    std::printf("  %.3f  %s/%s ~ %s/%s\n", scores[i],
+                session.dataset.source_name(pa.source).c_str(),
+                pa.name.c_str(),
+                session.dataset.source_name(pb.source).c_str(),
+                pb.name.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunCluster(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
+  LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
+
+  LEAPME_ASSIGN_OR_RETURN(
+      graph::SimilarityGraph similarity,
+      session.matcher->BuildSimilarityGraph(
+          session.dataset.AllCrossSourcePairs()));
+  const double threshold = session.matcher->options().decision_threshold;
+  graph::Clusters clusters = graph::StarClusters(similarity, threshold);
+  graph::ClusterQuality quality =
+      graph::EvaluateClusters(clusters, session.dataset);
+  std::printf("similarity graph: %zu edges; %zu non-singleton clusters "
+              "(pair-level P=%.2f R=%.2f F1=%.2f)\n",
+              similarity.edge_count(), quality.non_singleton_clusters,
+              quality.precision, quality.recall, quality.f1);
+  for (const auto& cluster : clusters) {
+    if (cluster.size() < 2) continue;
+    std::printf("  [");
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      std::printf("%s'%s'", i == 0 ? "" : ", ",
+                  session.dataset.property(cluster[i]).name.c_str());
+    }
+    std::printf("]\n");
+  }
+  return Status::OK();
+}
+
+int RunCli(int argc, const char* const* argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  Status status;
+  if (flags->command() == "generate") {
+    status = RunGenerate(*flags);
+  } else if (flags->command() == "stats") {
+    status = RunStats(*flags);
+  } else if (flags->command() == "evaluate") {
+    status = RunEvaluate(*flags);
+  } else if (flags->command() == "match") {
+    status = RunMatch(*flags);
+  } else if (flags->command() == "cluster") {
+    status = RunCluster(*flags);
+  } else {
+    std::fprintf(stderr, "%s", kUsage);
+    return flags->command().empty() ? 0 : 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace leapme::cli

@@ -1,0 +1,41 @@
+#ifndef LEAPME_CLI_COMMANDS_H_
+#define LEAPME_CLI_COMMANDS_H_
+
+#include "cli/flags.h"
+#include "common/status.h"
+
+namespace leapme::cli {
+
+/// `leapme generate`: writes a synthetic multi-source product catalog as
+/// TSV. Flags: --domain cameras|headphones|phones|tvs, --sources N,
+/// --entities N, --seed N, --out FILE.
+Status RunGenerate(const Flags& flags);
+
+/// `leapme evaluate`: trains LEAPME on a fraction of a TSV dataset's
+/// sources and reports P/R/F1 (plus best-F1 operating point and average
+/// precision) on the remaining sources. Flags: --data FILE,
+/// --train-fraction F, --seed N, --embeddings GLOVE_FILE | --domain NAME,
+/// --emb-dim N, --reps N, --features origin/kinds, --model-out FILE.
+Status RunEvaluate(const Flags& flags);
+
+/// `leapme match`: trains on a fraction of sources and prints the
+/// discovered matches (similarity edges) for the remaining pairs.
+/// Flags as for evaluate, plus --threshold T and --limit N.
+Status RunMatch(const Flags& flags);
+
+/// `leapme cluster`: full pipeline — train, build the similarity graph
+/// over all cross-source pairs, star-cluster it and print the clusters.
+/// Flags as for evaluate, plus --threshold T.
+Status RunCluster(const Flags& flags);
+
+/// `leapme stats`: prints dataset statistics (sources, properties,
+/// alignment coverage, balance). Flags: --data FILE.
+Status RunStats(const Flags& flags);
+
+/// Dispatches to the command handlers; prints usage on empty/unknown
+/// command. Returns the process exit code.
+int RunCli(int argc, const char* const* argv);
+
+}  // namespace leapme::cli
+
+#endif  // LEAPME_CLI_COMMANDS_H_

@@ -1,0 +1,74 @@
+#include "cli/flags.h"
+
+#include "common/string_util.h"
+
+namespace leapme::cli {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    flags.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      return Status::InvalidArgument("expected --flag, got '" + token + "'");
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    size_t equals = key.find('=');
+    if (equals != std::string::npos) {
+      value = key.substr(equals + 1);
+      key = key.substr(0, equals);
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + key + " needs a value");
+      }
+      value = argv[++i];
+    }
+    if (key.empty()) {
+      return Status::InvalidArgument("empty flag name");
+    }
+    flags.values_[key] = value;
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::optional<double> parsed = ParseDouble(it->second);
+  return parsed ? static_cast<int64_t>(*parsed) : fallback;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return ParseDouble(it->second).value_or(fallback);
+}
+
+Status Flags::CheckAllowed(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const std::string& candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag --" + key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace leapme::cli

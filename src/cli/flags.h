@@ -1,0 +1,42 @@
+#ifndef LEAPME_CLI_FLAGS_H_
+#define LEAPME_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace leapme::cli {
+
+/// Minimal command-line parser for the leapme tool: a positional command
+/// followed by `--key value` flags.
+class Flags {
+ public:
+  /// Parses argv[1..]: the first non-flag token is the command; every
+  /// flag must have a value. Unknown flags are kept (validated per
+  /// command). Fails on a flag without value.
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+
+  /// Fails when any present flag is not in `allowed` (catches typos).
+  Status CheckAllowed(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace leapme::cli
+
+#endif  // LEAPME_CLI_FLAGS_H_

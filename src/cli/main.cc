@@ -1,0 +1,7 @@
+// Entry point of the `leapme` command-line tool. See cli/commands.h.
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return leapme::cli::RunCli(argc, argv);
+}

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace leapme {
+
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace leapme

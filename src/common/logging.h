@@ -1,0 +1,62 @@
+#ifndef LEAPME_COMMON_LOGGING_H_
+#define LEAPME_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace leapme {
+
+/// Severity levels for the minimal logging facility. FATAL aborts.
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is emitted to stderr (default: kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. Not for direct use —
+/// use the LEAPME_LOG / LEAPME_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace leapme
+
+#define LEAPME_LOG(severity)                                       \
+  ::leapme::internal_logging::LogMessage(                          \
+      ::leapme::LogSeverity::k##severity, __FILE__, __LINE__)      \
+      .stream()
+
+/// Invariant check: logs the failed condition and aborts when false.
+/// Used for programmer errors (not data errors — those return Status).
+#define LEAPME_CHECK(condition)                                     \
+  if (!(condition))                                                 \
+  LEAPME_LOG(Fatal) << "Check failed: " #condition " "
+
+#define LEAPME_CHECK_EQ(a, b) LEAPME_CHECK((a) == (b))
+#define LEAPME_CHECK_NE(a, b) LEAPME_CHECK((a) != (b))
+#define LEAPME_CHECK_LT(a, b) LEAPME_CHECK((a) < (b))
+#define LEAPME_CHECK_LE(a, b) LEAPME_CHECK((a) <= (b))
+#define LEAPME_CHECK_GT(a, b) LEAPME_CHECK((a) > (b))
+#define LEAPME_CHECK_GE(a, b) LEAPME_CHECK((a) >= (b))
+
+#endif  // LEAPME_COMMON_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace leapme {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(state);
+}
+
+uint64_t HashBytes(const void* data, size_t length) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; draws until u1 is nonzero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+Rng Rng::Fork() {
+  return Rng(Next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Shuffle(indices);
+  if (k < n) {
+    indices.resize(k);
+  }
+  return indices;
+}
+
+}  // namespace leapme

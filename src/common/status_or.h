@@ -1,0 +1,98 @@
+#ifndef LEAPME_COMMON_STATUS_OR_H_
+#define LEAPME_COMMON_STATUS_OR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace leapme {
+
+/// Either a value of type T or an error Status. The union-of-outcomes return
+/// type used throughout the library for fallible constructors and loaders.
+///
+/// Usage:
+///   StatusOr<Model> model = Model::Load(path);
+///   if (!model.ok()) return model.status();
+///   Use(model.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a successful value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error. `status` must be non-OK; an OK status here is
+  /// a programming error and is converted to an Internal error.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors. Calling these on a non-OK StatusOr aborts the process (the
+  /// library equivalent of dereferencing a disengaged optional).
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace leapme
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define LEAPME_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  LEAPME_ASSIGN_OR_RETURN_IMPL_(                                 \
+      LEAPME_STATUS_MACROS_CONCAT_(_status_or_, __LINE__), lhs, rexpr)
+
+#define LEAPME_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) {                                     \
+    return statusor.status();                               \
+  }                                                         \
+  lhs = std::move(statusor).value()
+
+#define LEAPME_STATUS_MACROS_CONCAT_(x, y) LEAPME_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define LEAPME_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // LEAPME_COMMON_STATUS_OR_H_

@@ -1,0 +1,49 @@
+#ifndef LEAPME_COMMON_STRING_UTIL_H_
+#define LEAPME_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leapme {
+
+/// Returns `text` lower-cased (ASCII only; bytes >= 0x80 pass through).
+std::string AsciiToLower(std::string_view text);
+
+/// Returns `text` upper-cased (ASCII only).
+std::string AsciiToUpper(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Splits on `delimiter`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+/// Splits on any ASCII whitespace run, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator);
+
+/// Parses `text` as a double after trimming whitespace. The entire trimmed
+/// text must be consumed (sign, digits, '.', exponent only); otherwise
+/// returns nullopt.
+std::optional<double> ParseDouble(std::string_view text);
+
+/// True if `text` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace leapme
+
+#endif  // LEAPME_COMMON_STRING_UTIL_H_

@@ -1,0 +1,359 @@
+#include "core/leapme.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "ml/metrics.h"
+
+namespace leapme::core {
+
+LeapmeMatcher::LeapmeMatcher(const embedding::EmbeddingModel* model,
+                             LeapmeOptions options)
+    : model_(model),
+      options_(std::move(options)),
+      pipeline_(model, options_.pair_features),
+      columns_(pipeline_.schema().SelectedColumns(options_.feature_config)) {}
+
+Status LeapmeMatcher::Fit(
+    const data::Dataset& dataset,
+    const std::vector<data::LabeledPair>& training_pairs) {
+  if (training_pairs.empty()) {
+    return Status::InvalidArgument("no training pairs");
+  }
+  if (options_.calibration_fraction < 0.0 ||
+      options_.calibration_fraction >= 1.0) {
+    return Status::InvalidArgument("calibration_fraction must be in [0, 1)");
+  }
+  decision_threshold_ = options_.decision_threshold;
+  if (columns_.empty()) {
+    return Status::InvalidArgument(
+        "feature config selects no features: " +
+        options_.feature_config.ToString());
+  }
+
+  // Algorithm 1 steps 1-3: instance features and per-property aggregation
+  // for every property of the dataset.
+  property_count_ = dataset.property_count();
+  property_features_.clear();
+  property_features_.reserve(property_count_);
+  std::vector<std::string> values;
+  for (data::PropertyId id = 0; id < property_count_; ++id) {
+    const auto& instances = dataset.instances(id);
+    values.clear();
+    values.reserve(instances.size());
+    for (const data::InstanceValue& instance : instances) {
+      values.push_back(instance.value);
+    }
+    property_features_.push_back(
+        pipeline_.ComputeProperty(dataset.property(id).name, values));
+  }
+
+  // Step 4: pair features for the labeled pairs.
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  pairs.reserve(training_pairs.size());
+  labels.reserve(training_pairs.size());
+  for (const data::LabeledPair& labeled : training_pairs) {
+    if (labeled.pair.a >= property_count_ ||
+        labeled.pair.b >= property_count_) {
+      return Status::InvalidArgument(
+          StrFormat("training pair (%u, %u) out of range", labeled.pair.a,
+                    labeled.pair.b));
+    }
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label != 0 ? 1 : 0);
+  }
+  nn::Matrix design = DesignMatrix(pairs);
+  if (options_.standardize_features) {
+    LEAPME_RETURN_IF_ERROR(scaler_.FitTransform(&design));
+  }
+
+  // Step 5: train the classifier.
+  Rng init_rng(options_.seed);
+  mlp_ = nn::BuildMlp(columns_.size(), options_.hidden_sizes,
+                      /*num_classes=*/2, init_rng, options_.dropout_rate);
+  nn::Trainer trainer(options_.trainer);
+
+  // Optional threshold calibration: hold out the tail of the (already
+  // shuffled) pair list, train on the head, sweep thresholds on the
+  // holdout, then adopt the best-F1 threshold.
+  size_t train_rows = design.rows();
+  size_t holdout_rows = 0;
+  if (options_.calibration_fraction > 0.0) {
+    holdout_rows = static_cast<size_t>(options_.calibration_fraction *
+                                       static_cast<double>(design.rows()));
+    holdout_rows = std::min(holdout_rows, design.rows() - 1);
+    train_rows = design.rows() - holdout_rows;
+  }
+  if (holdout_rows == 0) {
+    LEAPME_ASSIGN_OR_RETURN(training_losses_,
+                            trainer.Fit(mlp_, design, labels));
+    fitted_ = true;
+    return Status::OK();
+  }
+
+  nn::Matrix train_design = design.RowSlice(0, train_rows);
+  std::vector<int32_t> train_labels(labels.begin(),
+                                    labels.begin() + train_rows);
+  LEAPME_ASSIGN_OR_RETURN(training_losses_,
+                          trainer.Fit(mlp_, train_design, train_labels));
+
+  nn::Matrix holdout_design = design.RowSlice(train_rows, design.rows());
+  std::vector<int32_t> holdout_labels(labels.begin() + train_rows,
+                                      labels.end());
+  nn::Matrix probabilities;
+  mlp_.Predict(holdout_design, &probabilities);
+  std::vector<double> holdout_scores(probabilities.rows());
+  for (size_t i = 0; i < probabilities.rows(); ++i) {
+    holdout_scores[i] = probabilities(i, 1);
+  }
+  ml::PrPoint best = ml::BestF1Point(holdout_scores, holdout_labels);
+  if (best.f1 > 0.0) {
+    decision_threshold_ = best.threshold;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+nn::Matrix LeapmeMatcher::DesignMatrix(
+    const std::vector<data::PropertyPair>& pairs) const {
+  std::vector<const features::PropertyFeatures*> lhs;
+  std::vector<const features::PropertyFeatures*> rhs;
+  lhs.reserve(pairs.size());
+  rhs.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    lhs.push_back(&property_features_[pair.a]);
+    rhs.push_back(&property_features_[pair.b]);
+  }
+  return pipeline_.BuildDesignMatrix(lhs, rhs, columns_);
+}
+
+StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  for (const data::PropertyPair& pair : pairs) {
+    if (pair.a >= property_count_ || pair.b >= property_count_) {
+      return Status::InvalidArgument(
+          StrFormat("pair (%u, %u) out of range", pair.a, pair.b));
+    }
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  // Batched inference keeps the transient design matrix small even for
+  // hundreds of thousands of candidate pairs.
+  constexpr size_t kBatch = 4096;
+  nn::Matrix probabilities;
+  for (size_t start = 0; start < pairs.size(); start += kBatch) {
+    size_t end = std::min(start + kBatch, pairs.size());
+    std::vector<data::PropertyPair> chunk(pairs.begin() + start,
+                                          pairs.begin() + end);
+    nn::Matrix design = DesignMatrix(chunk);
+    if (options_.standardize_features) {
+      LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
+    }
+    mlp_.Predict(design, &probabilities);
+    for (size_t i = 0; i < probabilities.rows(); ++i) {
+      scores.push_back(probabilities(i, 1));  // positive-class output
+    }
+  }
+  return scores;
+}
+
+StatusOr<std::vector<int32_t>> LeapmeMatcher::ClassifyPairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores, ScorePairs(pairs));
+  std::vector<int32_t> decisions(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    decisions[i] = scores[i] >= decision_threshold_ ? 1 : 0;
+  }
+  return decisions;
+}
+
+StatusOr<std::vector<double>> LeapmeMatcher::ScorePairsOn(
+    const data::Dataset& dataset,
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairsOn called before Fit");
+  }
+  // Features for the foreign dataset's properties.
+  std::vector<features::PropertyFeatures> foreign;
+  foreign.reserve(dataset.property_count());
+  std::vector<std::string> values;
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    values.clear();
+    for (const data::InstanceValue& instance : dataset.instances(id)) {
+      values.push_back(instance.value);
+    }
+    foreign.push_back(
+        pipeline_.ComputeProperty(dataset.property(id).name, values));
+  }
+
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  constexpr size_t kBatch = 4096;
+  nn::Matrix probabilities;
+  for (size_t start = 0; start < pairs.size(); start += kBatch) {
+    size_t end = std::min(start + kBatch, pairs.size());
+    std::vector<const features::PropertyFeatures*> lhs;
+    std::vector<const features::PropertyFeatures*> rhs;
+    for (size_t i = start; i < end; ++i) {
+      if (pairs[i].a >= foreign.size() || pairs[i].b >= foreign.size()) {
+        return Status::InvalidArgument(
+            StrFormat("pair (%u, %u) out of range", pairs[i].a, pairs[i].b));
+      }
+      lhs.push_back(&foreign[pairs[i].a]);
+      rhs.push_back(&foreign[pairs[i].b]);
+    }
+    nn::Matrix design = pipeline_.BuildDesignMatrix(lhs, rhs, columns_);
+    if (options_.standardize_features) {
+      LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
+    }
+    mlp_.Predict(design, &probabilities);
+    for (size_t i = 0; i < probabilities.rows(); ++i) {
+      scores.push_back(probabilities(i, 1));
+    }
+  }
+  return scores;
+}
+
+StatusOr<graph::SimilarityGraph> LeapmeMatcher::BuildSimilarityGraph(
+    const std::vector<data::PropertyPair>& pairs) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores, ScorePairs(pairs));
+  graph::SimilarityGraph graph(property_count_);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (scores[i] >= decision_threshold_) {
+      graph.AddEdge(pairs[i].a, pairs[i].b, scores[i]);
+    }
+  }
+  return graph;
+}
+
+Status LeapmeMatcher::SaveModel(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SaveModel called before Fit");
+  }
+  const std::string mlp_path = path + ".mlp";
+  LEAPME_RETURN_IF_ERROR(nn::SaveMlp(mlp_, mlp_path));
+
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "leapme-matcher 1\n";
+  out << "embedding_dim " << model_->dimension() << "\n";
+  out << "threshold " << decision_threshold_ << "\n";
+  out << "standardize " << (options_.standardize_features ? 1 : 0) << "\n";
+  out << "absolute_diff "
+      << (options_.pair_features.absolute_difference ? 1 : 0) << "\n";
+  out << "normalize_distances "
+      << (options_.pair_features.normalize_string_distances ? 1 : 0) << "\n";
+  out << "origin " << static_cast<int>(options_.feature_config.origin)
+      << "\n";
+  out << "kinds " << static_cast<int>(options_.feature_config.kinds) << "\n";
+  out << "columns " << columns_.size();
+  for (size_t column : columns_) {
+    out << " " << column;
+  }
+  out << "\n";
+  out << "scaler " << (scaler_.fitted() ? scaler_.mean().size() : 0) << "\n";
+  if (scaler_.fitted()) {
+    for (float value : scaler_.mean()) out << value << " ";
+    out << "\n";
+    for (float value : scaler_.stddev()) out << value << " ";
+    out << "\n";
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
+    const embedding::EmbeddingModel* model, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "leapme-matcher" || version != 1) {
+    return Status::Corruption("bad matcher header in " + path);
+  }
+
+  LeapmeOptions options;
+  std::string key;
+  size_t embedding_dim = 0;
+  std::vector<size_t> columns;
+  std::vector<float> scaler_mean;
+  std::vector<float> scaler_stddev;
+  while (in >> key) {
+    if (key == "embedding_dim") {
+      in >> embedding_dim;
+    } else if (key == "threshold") {
+      in >> options.decision_threshold;
+    } else if (key == "standardize") {
+      int flag = 0;
+      in >> flag;
+      options.standardize_features = flag != 0;
+    } else if (key == "absolute_diff") {
+      int flag = 0;
+      in >> flag;
+      options.pair_features.absolute_difference = flag != 0;
+    } else if (key == "normalize_distances") {
+      int flag = 0;
+      in >> flag;
+      options.pair_features.normalize_string_distances = flag != 0;
+    } else if (key == "origin") {
+      int value = 0;
+      in >> value;
+      options.feature_config.origin =
+          static_cast<features::OriginSelection>(value);
+    } else if (key == "kinds") {
+      int value = 0;
+      in >> value;
+      options.feature_config.kinds =
+          static_cast<features::KindSelection>(value);
+    } else if (key == "columns") {
+      size_t count = 0;
+      in >> count;
+      columns.resize(count);
+      for (size_t& column : columns) in >> column;
+    } else if (key == "scaler") {
+      size_t count = 0;
+      in >> count;
+      scaler_mean.resize(count);
+      scaler_stddev.resize(count);
+      for (float& value : scaler_mean) in >> value;
+      for (float& value : scaler_stddev) in >> value;
+    } else {
+      return Status::Corruption("unknown key '" + key + "' in " + path);
+    }
+  }
+  if (embedding_dim == 0) {
+    return Status::Corruption("missing embedding_dim in " + path);
+  }
+  if (model->dimension() != embedding_dim) {
+    return Status::InvalidArgument(
+        StrFormat("model dimension %zu != saved %zu", model->dimension(),
+                  embedding_dim));
+  }
+
+  LeapmeMatcher matcher(model, options);
+  if (matcher.columns_ != columns) {
+    return Status::Corruption("saved columns disagree with feature config");
+  }
+  matcher.decision_threshold_ = options.decision_threshold;
+  LEAPME_ASSIGN_OR_RETURN(matcher.mlp_, nn::LoadMlp(path + ".mlp"));
+  if (!scaler_mean.empty()) {
+    LEAPME_RETURN_IF_ERROR(
+        matcher.scaler_.Restore(scaler_mean, scaler_stddev));
+  }
+  matcher.fitted_ = true;
+  return matcher;
+}
+
+}  // namespace leapme::core

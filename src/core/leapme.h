@@ -1,0 +1,141 @@
+#ifndef LEAPME_CORE_LEAPME_H_
+#define LEAPME_CORE_LEAPME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "data/splitting.h"
+#include "embedding/embedding_model.h"
+#include "features/feature_pipeline.h"
+#include "graph/similarity_graph.h"
+#include "ml/scaler.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace leapme::core {
+
+/// Configuration of the LEAPME matcher. Defaults reproduce the paper's
+/// §IV-D setup: all features, hidden layers 128/64, batch 32, epochs
+/// 10@1e-3 + 5@1e-4 + 5@1e-5, decision threshold 0.5 on the positive
+/// softmax output.
+struct LeapmeOptions {
+  features::PairFeatureOptions pair_features;
+  /// Which of the nine feature configurations to use (§V-A).
+  features::FeatureConfig feature_config;
+  nn::TrainerOptions trainer;
+  std::vector<size_t> hidden_sizes = {128, 64};
+  /// Dropout rate after each hidden ReLU (0 = the paper's configuration).
+  double dropout_rate = 0.0;
+  double decision_threshold = 0.5;
+  /// Calibrate the decision threshold after training: hold out
+  /// `calibration_fraction` of the training pairs, train on the rest, and
+  /// replace `decision_threshold` with the best-F1 threshold on the
+  /// holdout. Off (0) by default — the paper uses the fixed argmax
+  /// threshold 0.5.
+  double calibration_fraction = 0.0;
+  /// Standardize features (z-score fitted on the training pairs) before
+  /// training and inference. Raw LEAPME features mix [0,1] distances with
+  /// unbounded counts and instance values; standardization keeps the
+  /// network trainable across feature configurations.
+  bool standardize_features = true;
+  /// Seed for weight initialization (the trainer has its own shuffle seed).
+  uint64_t seed = 1234;
+};
+
+/// LEAPME (Algorithm 1): supervised property matching with embedding and
+/// instance features.
+///
+/// Usage:
+///   LeapmeMatcher matcher(&model, options);
+///   LEAPME_RETURN_IF_ERROR(matcher.Fit(dataset, training_pairs));
+///   auto scores = matcher.ScorePairs(test_pairs);
+///   auto graph = matcher.BuildSimilarityGraph(test_pairs);
+class LeapmeMatcher {
+ public:
+  /// `model` must outlive the matcher.
+  LeapmeMatcher(const embedding::EmbeddingModel* model,
+                LeapmeOptions options = {});
+
+  /// Algorithm 1 steps 1-5: computes instance/property features for every
+  /// property of `dataset`, assembles pair features for the labeled
+  /// `training_pairs`, and trains the neural classifier.
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs);
+
+  /// Similarity score (positive-class softmax output) for each pair.
+  /// Requires a successful Fit on the same dataset.
+  StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs);
+
+  /// Hard 0/1 decisions at the configured threshold.
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs);
+
+  /// Scores `pairs` and returns the similarity graph containing every pair
+  /// whose score reaches the decision threshold (the paper's Sim output).
+  StatusOr<graph::SimilarityGraph> BuildSimilarityGraph(
+      const std::vector<data::PropertyPair>& pairs);
+
+  /// Transfer matching: scores pairs of a *different* dataset with the
+  /// classifier trained by Fit. Property features of `dataset` are
+  /// computed on the fly against the same embedding model; the fitted
+  /// feature scaler is reused. This is the §V transfer-learning setting:
+  /// train on one product domain, match another.
+  StatusOr<std::vector<double>> ScorePairsOn(
+      const data::Dataset& dataset,
+      const std::vector<data::PropertyPair>& pairs);
+
+  /// Mean training loss per epoch of the last Fit.
+  const std::vector<double>& training_losses() const {
+    return training_losses_;
+  }
+
+  /// The active decision threshold (equals options().decision_threshold
+  /// unless calibration replaced it during Fit).
+  double decision_threshold() const { return decision_threshold_; }
+
+  /// Width of the classifier input under the active feature config.
+  size_t input_dimension() const { return columns_.size(); }
+
+  const LeapmeOptions& options() const { return options_; }
+
+  /// Precomputed features of property `id` (valid after Fit).
+  const features::PropertyFeatures& property_features(
+      data::PropertyId id) const {
+    return property_features_[id];
+  }
+
+  /// Persists the trained classifier (network weights, feature scaler,
+  /// selected feature columns and decision threshold) to `path`. The
+  /// cached per-dataset property features are not saved — a loaded
+  /// matcher scores new datasets via ScorePairsOn.
+  Status SaveModel(const std::string& path) const;
+
+  /// Restores a matcher saved with SaveModel. `model` must have the same
+  /// embedding dimension as at save time.
+  static StatusOr<LeapmeMatcher> LoadModel(
+      const embedding::EmbeddingModel* model, const std::string& path);
+
+ private:
+  /// Builds the (masked) design matrix for a pair list.
+  nn::Matrix DesignMatrix(const std::vector<data::PropertyPair>& pairs) const;
+
+  const embedding::EmbeddingModel* model_;
+  LeapmeOptions options_;
+  features::FeaturePipeline pipeline_;
+  std::vector<size_t> columns_;  // selected feature columns
+  std::vector<features::PropertyFeatures> property_features_;
+  size_t property_count_ = 0;
+  ml::StandardScaler scaler_;
+  nn::Mlp mlp_;
+  double decision_threshold_ = 0.5;
+  bool fitted_ = false;
+  std::vector<double> training_losses_;
+};
+
+}  // namespace leapme::core
+
+#endif  // LEAPME_CORE_LEAPME_H_

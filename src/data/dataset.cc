@@ -1,0 +1,98 @@
+#include "data/dataset.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace leapme::data {
+
+SourceId Dataset::AddSource(std::string source_name) {
+  source_names_.push_back(std::move(source_name));
+  return static_cast<SourceId>(source_names_.size() - 1);
+}
+
+PropertyId Dataset::AddProperty(SourceId source, std::string name,
+                                std::string reference) {
+  LEAPME_CHECK_LT(source, source_names_.size());
+  properties_.push_back(
+      PropertyRecord{std::move(name), source, std::move(reference)});
+  instances_.emplace_back();
+  return static_cast<PropertyId>(properties_.size() - 1);
+}
+
+void Dataset::AddInstance(PropertyId property, std::string entity,
+                          std::string value) {
+  LEAPME_CHECK_LT(property, instances_.size());
+  instances_[property].push_back(
+      InstanceValue{std::move(entity), std::move(value)});
+}
+
+size_t Dataset::instance_count() const {
+  size_t total = 0;
+  for (const auto& values : instances_) {
+    total += values.size();
+  }
+  return total;
+}
+
+bool Dataset::IsMatch(PropertyId a, PropertyId b) const {
+  const PropertyRecord& pa = properties_[a];
+  const PropertyRecord& pb = properties_[b];
+  return pa.source != pb.source && !pa.reference.empty() &&
+         pa.reference == pb.reference;
+}
+
+std::vector<PropertyId> Dataset::PropertiesOfSource(SourceId source) const {
+  std::vector<PropertyId> result;
+  for (PropertyId id = 0; id < properties_.size(); ++id) {
+    if (properties_[id].source == source) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+std::vector<PropertyPair> Dataset::AllCrossSourcePairs() const {
+  std::vector<PropertyPair> pairs;
+  for (PropertyId a = 0; a < properties_.size(); ++a) {
+    for (PropertyId b = a + 1; b < properties_.size(); ++b) {
+      if (properties_[a].source != properties_[b].source) {
+        pairs.push_back(PropertyPair{a, b});
+      }
+    }
+  }
+  return pairs;
+}
+
+size_t Dataset::CountMatchingPairs() const {
+  size_t count = 0;
+  for (PropertyId a = 0; a < properties_.size(); ++a) {
+    for (PropertyId b = a + 1; b < properties_.size(); ++b) {
+      if (IsMatch(a, b)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Status Dataset::Validate(bool require_instances) const {
+  for (PropertyId id = 0; id < properties_.size(); ++id) {
+    const PropertyRecord& record = properties_[id];
+    if (record.source >= source_names_.size()) {
+      return Status::Corruption(
+          StrFormat("property %u references unknown source %u", id,
+                    record.source));
+    }
+    if (record.name.empty()) {
+      return Status::Corruption(StrFormat("property %u has empty name", id));
+    }
+    if (require_instances && instances_[id].empty()) {
+      return Status::Corruption(
+          StrFormat("property %u ('%s') has no instances", id,
+                    record.name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace leapme::data

@@ -1,0 +1,118 @@
+#ifndef LEAPME_DATA_DATASET_H_
+#define LEAPME_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace leapme::data {
+
+/// Identifier of a source within a Dataset.
+using SourceId = uint32_t;
+
+/// Identifier of a property (a named attribute of one source's schema)
+/// within a Dataset.
+using PropertyId = uint32_t;
+
+/// One property instance value: the (e, v) part of the paper's
+/// (p, e, v) tuple, stored under its property.
+struct InstanceValue {
+  std::string entity;  ///< entity identifier within the source
+  std::string value;   ///< literal value
+};
+
+/// A property of one source's class schema, together with its alignment to
+/// the reference ontology (the evaluation ground truth).
+struct PropertyRecord {
+  std::string name;        ///< surface name, e.g. "effective pixels"
+  SourceId source = 0;     ///< owning source
+  /// Reference-ontology property this is aligned to; empty when unaligned.
+  /// Two properties match iff they share a non-empty reference and belong
+  /// to different sources (paper §V-B).
+  std::string reference;
+};
+
+/// An unordered pair of property ids (a < b canonically).
+struct PropertyPair {
+  PropertyId a = 0;
+  PropertyId b = 0;
+
+  friend bool operator==(const PropertyPair&, const PropertyPair&) = default;
+};
+
+/// Multi-source property-instance collection for one entity class
+/// (e.g. "cameras"): the input of the property matching task.
+///
+/// Storage is property-centric — instances are grouped under their
+/// property, which is also the first processing step of Algorithm 1.
+class Dataset {
+ public:
+  explicit Dataset(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Registers a source and returns its id.
+  SourceId AddSource(std::string source_name);
+
+  /// Registers a property of `source`. `reference` may be empty.
+  PropertyId AddProperty(SourceId source, std::string name,
+                         std::string reference);
+
+  /// Appends one instance value to `property`.
+  void AddInstance(PropertyId property, std::string entity,
+                   std::string value);
+
+  size_t source_count() const { return source_names_.size(); }
+  size_t property_count() const { return properties_.size(); }
+
+  /// Total number of instances across all properties.
+  size_t instance_count() const;
+
+  const std::string& source_name(SourceId id) const {
+    return source_names_[id];
+  }
+  const std::vector<std::string>& source_names() const {
+    return source_names_;
+  }
+
+  const PropertyRecord& property(PropertyId id) const {
+    return properties_[id];
+  }
+  const std::vector<PropertyRecord>& properties() const { return properties_; }
+
+  const std::vector<InstanceValue>& instances(PropertyId id) const {
+    return instances_[id];
+  }
+
+  /// Ground truth: true when `a` and `b` come from different sources and
+  /// are aligned to the same non-empty reference property.
+  bool IsMatch(PropertyId a, PropertyId b) const;
+
+  /// All property ids belonging to `source`.
+  std::vector<PropertyId> PropertiesOfSource(SourceId source) const;
+
+  /// Every cross-source property pair (a < b), the candidate space of the
+  /// matching task.
+  std::vector<PropertyPair> AllCrossSourcePairs() const;
+
+  /// Number of matching cross-source pairs (ground-truth positives).
+  size_t CountMatchingPairs() const;
+
+  /// Validates internal consistency (source ids in range, no property
+  /// without instances when `require_instances`).
+  Status Validate(bool require_instances = false) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> source_names_;
+  std::vector<PropertyRecord> properties_;
+  std::vector<std::vector<InstanceValue>> instances_;  // parallel to properties_
+};
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_DATASET_H_

@@ -1,0 +1,659 @@
+#include "data/domain.h"
+
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace leapme::data {
+
+namespace {
+
+// Shorthand builders keeping the ontology tables below readable.
+//
+// Surface-name convention (mirrors real product catalogs): the first names
+// of each list are lexical *variants* of the canonical phrase (shared head
+// word, added qualifier, abbreviation) that string-similarity matchers can
+// catch; true synonyms with disjoint wording come last and are only
+// reachable through embedding semantics. The generator picks names with
+// strongly skewed (Zipf^2) popularity, so variants dominate and the
+// synonym tail is the hard minority, as in the DI2KG/WDC data.
+
+ReferenceProperty Num(std::string reference,
+                      std::vector<std::string> names, double min, double max,
+                      int decimals, std::vector<std::string> units,
+                      double prevalence = 0.85, double fill = 0.9) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  NumericValueSpec spec;
+  spec.min = min;
+  spec.max = max;
+  spec.decimals = decimals;
+  spec.units = std::move(units);
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  p.fill_rate = fill;
+  return p;
+}
+
+ReferenceProperty Price(std::string reference,
+                        std::vector<std::string> names, double min,
+                        double max, double prevalence = 0.9) {
+  ReferenceProperty p = Num(std::move(reference), std::move(names), min, max,
+                            2, {"$", "USD", "EUR"}, prevalence);
+  std::get<NumericValueSpec>(p.value).unit_before = true;
+  return p;
+}
+
+ReferenceProperty Enum(std::string reference,
+                       std::vector<std::string> names,
+                       std::vector<std::vector<std::string>> values,
+                       double prevalence = 0.85, double fill = 0.9) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  EnumValueSpec spec;
+  spec.values = std::move(values);
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  p.fill_rate = fill;
+  return p;
+}
+
+ReferenceProperty Code(std::string reference,
+                       std::vector<std::string> names,
+                       std::vector<std::string> prefixes, int digits = 4,
+                       double prevalence = 0.9) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  ModelCodeSpec spec;
+  spec.prefixes = std::move(prefixes);
+  spec.digits = digits;
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  return p;
+}
+
+ReferenceProperty Dims(std::string reference,
+                       std::vector<std::string> names, double min,
+                       double max, double prevalence = 0.7) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  DimensionsSpec spec;
+  spec.min = min;
+  spec.max = max;
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  return p;
+}
+
+ReferenceProperty Text(std::string reference,
+                       std::vector<std::string> names,
+                       std::vector<std::string> pool, double prevalence = 0.6) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  TextValueSpec spec;
+  spec.word_pool = std::move(pool);
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  return p;
+}
+
+ReferenceProperty Flag(std::string reference,
+                       std::vector<std::string> names,
+                       std::vector<std::string> details = {},
+                       double prevalence = 0.7) {
+  ReferenceProperty p;
+  p.reference = std::move(reference);
+  p.surface_names = std::move(names);
+  BooleanValueSpec spec;
+  spec.true_details = std::move(details);
+  p.value = spec;
+  p.source_prevalence = prevalence;
+  return p;
+}
+
+std::vector<std::string> CommonDecorationPrefixes() {
+  return {"product", "item", "spec", "tech", "general"};
+}
+
+std::vector<std::string> CommonDecorationSuffixes() {
+  return {"info", "details", "spec", "value", "data"};
+}
+
+DomainSpec BuildCameraDomain() {
+  DomainSpec d;
+  d.name = "cameras";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Num("resolution",
+          {"resolution", "camera resolution", "max resolution",
+           "effective pixels", "megapixels"},
+          8, 61, 1, {"MP", "megapixels", "million pixels"}, 0.95, 0.95),
+      Enum("sensor type",
+           {"sensor type", "sensor", "type of sensor", "imager"},
+           {{"CMOS", "cmos sensor"},
+            {"CCD", "ccd sensor"},
+            {"BSI-CMOS", "backside illuminated cmos"},
+            {"Foveon X3"}},
+           0.8),
+      Num("sensor size",
+          {"sensor size", "sensor format", "size of sensor", "imager size"},
+          0.3, 2.0, 2, {"inch", "\"", "in"}, 0.7),
+      Num("iso", {"iso", "iso range", "max iso", "light sensitivity"}, 100,
+          409600, 0, {}, 0.85),
+      Enum("shutter speed",
+           {"shutter speed", "max shutter speed", "shutter",
+            "exposure time"},
+           {{"1/4000 s", "1/4000"},
+            {"1/8000 s", "1/8000"},
+            {"1/2000 s", "1/2000"},
+            {"1/1000 s", "1/1000"},
+            {"30 s", "30 sec"}},
+           0.8),
+      Num("aperture",
+          {"aperture", "max aperture", "aperture range", "f number"}, 1.2,
+          5.6, 1, {"f"}, 0.75),
+      Num("focal length",
+          {"focal length", "focal range", "lens focal length",
+           "focal distance"},
+          10, 600, 0, {"mm", "millimeters"}, 0.8),
+      Num("optical zoom",
+          {"optical zoom", "optical zoom factor", "zoom",
+           "lens magnification"},
+          1, 83, 0, {"x", "times"}, 0.85),
+      Num("digital zoom",
+          {"digital zoom", "digital zoom factor", "dig zoom"}, 2, 16, 0,
+          {"x", "times"}, 0.6),
+      Num("screen size",
+          {"screen size", "screen diagonal", "lcd screen size",
+           "display size", "monitor size"},
+          2.5, 3.5, 1, {"inch", "\"", "in"}, 0.85),
+      Num("screen resolution",
+          {"screen resolution", "lcd screen resolution", "screen dots",
+           "display dots"},
+          230, 2360, 0, {"k dots", "thousand dots", "dots"}, 0.6),
+      Enum("viewfinder",
+           {"viewfinder", "viewfinder type", "finder", "eyepiece"},
+           {{"optical", "optical viewfinder"},
+            {"electronic", "electronic viewfinder", "EVF"},
+            {"none", "no viewfinder"},
+            {"hybrid"}},
+           0.65),
+      Code("battery", {"battery", "battery model", "battery pack",
+                       "power cell"},
+           {"NP", "LP", "EN-EL", "DMW-BL", "BLN"}, 3, 0.7),
+      Num("battery life",
+          {"battery life", "battery life shots", "shots per charge",
+           "cipa rating"},
+          200, 1900, 0, {"shots", "images", "frames"}, 0.7),
+      Num("weight",
+          {"weight", "body weight", "weight with battery", "mass"}, 200,
+          1500, 0, {"g", "grams", "gr"}, 0.9),
+      Dims("dimensions",
+           {"dimensions", "body dimensions", "dimensions w x h x d",
+            "measurements"},
+           50, 160, 0.75),
+      Enum("brand", {"brand", "brand name", "manufacturer", "maker"},
+           {{"Canon"},
+            {"Nikon"},
+            {"Sony"},
+            {"Panasonic"},
+            {"Fujifilm"},
+            {"Olympus"},
+            {"Pentax"}},
+           0.95, 0.98),
+      Code("model", {"model", "model name", "model number", "product code"},
+           {"EOS", "D", "A", "DMC", "X-T", "E-M"}, 4, 0.95),
+      Price("price", {"price", "price usd", "retail price", "cost"}, 99,
+            6499),
+      Enum("video resolution",
+           {"video resolution", "max video resolution", "video mode",
+            "movie format"},
+           {{"4K UHD", "4K", "2160p"},
+            {"Full HD", "1080p", "FHD"},
+            {"HD", "720p"},
+            {"8K", "4320p"}},
+           0.8),
+      Num("frame rate",
+          {"frame rate", "video frame rate", "fps", "frames per second"},
+          24, 240, 0, {"fps", "frames/s"}, 0.65),
+      Enum("storage type",
+           {"storage type", "storage media", "memory card type",
+            "card slot"},
+           {{"SD", "SD card", "SDHC/SDXC"},
+            {"CompactFlash", "CF"},
+            {"XQD"},
+            {"Memory Stick", "MS Duo"}},
+           0.75),
+      Enum("connectivity",
+           {"connectivity", "connectivity ports", "interfaces", "ports"},
+           {{"USB 3.0", "usb3"},
+            {"USB 2.0", "usb2"},
+            {"USB-C", "usb type-c"},
+            {"micro HDMI", "hdmi"}},
+           0.6),
+      Flag("wifi", {"wifi", "wifi support", "wi-fi", "wireless lan"},
+           {"802.11ac", "802.11n", "dual band"}, 0.75),
+      Flag("gps", {"gps", "gps receiver", "built-in gps", "geotagging"},
+           {"built-in", "via smartphone", "glonass"}, 0.55),
+      Flag("flash", {"flash", "built-in flash", "flash type", "strobe"},
+           {"pop-up", "hot shoe", "guide number 12"}, 0.7),
+      Enum("image stabilization",
+           {"image stabilization", "stabilization", "image stabilizer",
+            "anti shake"},
+           {{"optical", "optical stabilization", "lens shift"},
+            {"sensor shift", "5-axis", "ibis"},
+            {"digital", "electronic"},
+            {"none", "no stabilization"}},
+           0.7),
+      Enum("file format",
+           {"file format", "image file format", "file types",
+            "recording format"},
+           {{"JPEG", "jpg"},
+            {"RAW", "raw + jpeg"},
+            {"RAW, JPEG", "raw/jpeg"},
+            {"HEIF"}},
+           0.6),
+      Num("burst mode",
+          {"burst mode", "burst rate", "continuous shooting",
+           "drive speed"},
+          3, 30, 0, {"fps", "frames per second", "shots/s"}, 0.65),
+      Num("autofocus points",
+          {"autofocus points", "af points", "autofocus areas",
+           "focus points"},
+          9, 693, 0, {"points", "pt"}, 0.6),
+      Enum("lens mount",
+           {"lens mount", "mount", "lens mount type", "bayonet"},
+           {{"EF", "canon ef"},
+            {"F", "nikon f"},
+            {"E", "sony e"},
+            {"micro four thirds", "mft", "m43"},
+            {"fixed lens", "built-in lens"}},
+           0.6),
+      Enum("color", {"color", "body color", "colour", "finish"},
+           {{"black"}, {"silver"}, {"white"}, {"red"}, {"graphite", "grey"}},
+           0.7),
+      Num("warranty",
+          {"warranty", "warranty period", "warranty years", "guarantee"}, 1,
+          3, 0, {"years", "yr", "year"}, 0.55),
+      Num("release year",
+          {"release year", "year of release", "year", "announced"}, 2009,
+          2020, 0, {}, 0.6),
+      Text("highlights",
+           {"highlights", "key highlights", "key features", "about"},
+           {"fast", "autofocus", "weather", "sealed", "compact",
+            "lightweight", "professional", "travel", "vlogging",
+            "touchscreen", "tilting", "bluetooth", "timelapse", "panorama"},
+           0.5),
+  };
+  return d;
+}
+
+DomainSpec BuildHeadphoneDomain() {
+  DomainSpec d;
+  d.name = "headphones";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Enum("brand", {"brand", "brand name", "manufacturer", "maker"},
+           {{"Sony"},
+            {"Bose"},
+            {"Sennheiser"},
+            {"Audio-Technica"},
+            {"JBL"},
+            {"Beats"},
+            {"AKG"}},
+           0.95, 0.98),
+      Code("model", {"model", "model name", "model number", "product code"},
+           {"WH", "QC", "HD", "ATH-M", "K"}, 3, 0.95),
+      Enum("type", {"type", "headphone type", "form factor",
+                    "wearing style"},
+           {{"over-ear", "circumaural", "around ear"},
+            {"on-ear", "supra-aural"},
+            {"in-ear", "earbuds", "canal"},
+            {"true wireless"}},
+           0.85),
+      Num("driver size",
+          {"driver size", "driver diameter", "driver", "transducer size"},
+          6, 53, 0, {"mm", "millimeters"}, 0.8),
+      Num("impedance",
+          {"impedance", "nominal impedance", "impedance ohms",
+           "resistance"},
+          16, 600, 0, {"ohm", "ohms", "Ω"}, 0.8),
+      Num("sensitivity",
+          {"sensitivity", "sensitivity db", "spl", "loudness"}, 85, 120, 0,
+          {"dB", "db/mw", "decibels"}, 0.75),
+      Enum("frequency response",
+           {"frequency response", "frequency range", "freq response",
+            "audio bandwidth"},
+           {{"20 Hz - 20 kHz", "20-20000 hz"},
+            {"10 Hz - 40 kHz", "10-40000 hz"},
+            {"5 Hz - 40 kHz", "5-40000 hz"},
+            {"15 Hz - 25 kHz", "15-25000 hz"}},
+           0.75),
+      Num("cable length",
+          {"cable length", "cable", "cord length", "wire length"}, 0.8, 3.0,
+          1, {"m", "meters", "metres"}, 0.6),
+      Flag("wireless",
+           {"wireless", "wireless connection", "bluetooth", "cordless"},
+           {"bluetooth 5.0", "2.4 ghz", "rf"}, 0.85),
+      Enum("bluetooth version",
+           {"bluetooth version", "bt version", "bluetooth release",
+            "wireless standard"},
+           {{"5.0"}, {"4.2"}, {"5.2"}, {"4.1"}},
+           0.6),
+      Num("battery life",
+          {"battery life", "battery life hours", "playtime",
+           "playback time"},
+          4, 80, 0, {"hours", "h", "hrs"}, 0.7),
+      Flag("noise cancelling",
+           {"noise cancelling", "active noise cancelling", "anc",
+            "noise reduction"},
+           {"hybrid anc", "feedforward", "adaptive"}, 0.7),
+      Flag("microphone",
+           {"microphone", "built-in microphone", "mic", "voice input"},
+           {"boom", "inline", "dual mic"}, 0.7),
+      Num("weight", {"weight", "net weight", "weight grams", "mass"}, 4,
+          400, 0, {"g", "grams", "gr"}, 0.85),
+      Enum("color", {"color", "colour", "color finish", "finish"},
+           {{"black"}, {"white"}, {"blue"}, {"silver"}, {"rose gold"}},
+           0.75),
+      Price("price", {"price", "retail price", "price usd", "cost"}, 19,
+            899),
+      Num("warranty", {"warranty", "warranty period", "guarantee"}, 1, 3, 0,
+          {"years", "yr", "year"}, 0.5),
+      Flag("foldable",
+           {"foldable", "foldable design", "folding", "collapsible"},
+           {"flat folding", "swivel"}, 0.5),
+  };
+  return d;
+}
+
+DomainSpec BuildPhoneDomain() {
+  DomainSpec d;
+  d.name = "phones";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Enum("brand", {"brand", "brand name", "manufacturer", "maker"},
+           {{"Samsung"}, {"Apple"}, {"Huawei"}, {"Xiaomi"}, {"OnePlus"},
+            {"Motorola"}, {"Nokia"}},
+           0.95, 0.98),
+      Code("model", {"model", "model name", "model number", "device name"},
+           {"Galaxy S", "iPhone", "P", "Mi", "Moto G"}, 2, 0.95),
+      Num("display size",
+          {"display size", "display diagonal", "screen size",
+           "screen diagonal"},
+          4.0, 7.2, 1, {"inch", "\"", "in"}, 0.9),
+      Enum("display resolution",
+           {"display resolution", "screen resolution", "resolution",
+            "display pixels"},
+           {{"1080 x 2400", "fhd+"},
+            {"1440 x 3200", "qhd+"},
+            {"720 x 1600", "hd+"},
+            {"1170 x 2532"}},
+           0.8),
+      Enum("cpu", {"cpu", "cpu model", "processor", "chipset"},
+           {{"Snapdragon 888"},
+            {"Snapdragon 765G"},
+            {"A14 Bionic"},
+            {"Kirin 9000"},
+            {"Dimensity 1200"},
+            {"Exynos 2100"}},
+           0.8),
+      Num("cores", {"cores", "cpu cores", "number of cores", "core count"},
+          4, 8, 0, {"cores", "core"}, 0.6),
+      Num("ram", {"ram", "ram size", "ram memory", "system memory"}, 2, 16,
+          0, {"GB", "gigabytes", "gb ram"}, 0.85),
+      Num("storage",
+          {"storage", "internal storage", "storage capacity", "rom"}, 32,
+          512, 0, {"GB", "gigabytes"}, 0.85),
+      Num("rear camera",
+          {"rear camera", "rear camera resolution", "main camera",
+           "back camera"},
+          8, 108, 0, {"MP", "megapixels"}, 0.85),
+      Num("front camera",
+          {"front camera", "front camera resolution", "selfie camera",
+           "secondary camera"},
+          5, 44, 0, {"MP", "megapixels"}, 0.75),
+      Num("battery capacity",
+          {"battery capacity", "battery", "battery mah",
+           "accumulator capacity"},
+          1800, 6000, 0, {"mAh", "milliamp hours"}, 0.9),
+      Enum("os", {"os", "os version", "operating system", "platform"},
+           {{"Android 11", "android"},
+            {"Android 12"},
+            {"iOS 14", "ios"},
+            {"iOS 15"}},
+           0.8),
+      Num("weight", {"weight", "net weight", "weight grams", "mass"}, 135,
+          240, 0, {"g", "grams", "gr"}, 0.8),
+      Dims("dimensions",
+           {"dimensions", "body dimensions", "device size", "measurements"},
+           7, 170, 0.7),
+      Enum("sim type", {"sim type", "sim card type", "sim", "sim format"},
+           {{"nano SIM", "nano-sim"},
+            {"dual SIM", "dual sim"},
+            {"eSIM", "esim"},
+            {"micro SIM"}},
+           0.65),
+      Enum("network", {"network", "network type", "cellular",
+                       "mobile bands"},
+           {{"5G", "5g ready"}, {"4G LTE", "lte"}, {"3G"}}, 0.7),
+      Flag("nfc", {"nfc", "nfc support", "near field communication",
+                   "contactless"},
+           {"google pay", "type a/b"}, 0.6),
+      Enum("color", {"color", "colour", "color options", "finish"},
+           {{"black", "phantom black"},
+            {"white"},
+            {"blue"},
+            {"green"},
+            {"gold"}},
+           0.75),
+      Price("price", {"price", "retail price", "price usd", "cost"}, 99,
+            1599),
+      Num("warranty", {"warranty", "warranty period", "guarantee"}, 1, 3, 0,
+          {"years", "yr", "year"}, 0.5),
+      Num("release year",
+          {"release year", "launch year", "year", "announced"}, 2015, 2021,
+          0, {}, 0.6),
+      Num("refresh rate",
+          {"refresh rate", "display refresh rate", "screen refresh",
+           "hz rating"},
+          60, 144, 0, {"Hz", "hertz"}, 0.55),
+  };
+  return d;
+}
+
+DomainSpec BuildTvDomain() {
+  DomainSpec d;
+  d.name = "tvs";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Enum("brand", {"brand", "brand name", "manufacturer", "maker"},
+           {{"Samsung"}, {"LG"}, {"Sony"}, {"TCL"}, {"Hisense"}, {"Philips"}},
+           0.95, 0.98),
+      Code("model", {"model", "model name", "model number", "product code"},
+           {"QN", "OLED", "XR", "U", "PUS"}, 4, 0.95),
+      Num("screen size",
+          {"screen size", "screen diagonal", "display size",
+           "diagonal inches"},
+          24, 85, 0, {"inch", "\"", "in"}, 0.95),
+      Enum("resolution",
+           {"resolution", "display resolution", "native resolution",
+            "pixel resolution"},
+           {{"4K UHD", "3840 x 2160", "4k"},
+            {"Full HD", "1920 x 1080", "1080p"},
+            {"8K", "7680 x 4320"},
+            {"HD Ready", "1366 x 768"}},
+           0.9),
+      Enum("panel type",
+           {"panel type", "panel", "display technology", "screen type"},
+           {{"OLED"}, {"QLED"}, {"LED", "led lcd"}, {"Mini LED"}}, 0.8),
+      Num("refresh rate",
+          {"refresh rate", "refresh rate hz", "screen refresh",
+           "motion rate"},
+          50, 144, 0, {"Hz", "hertz"}, 0.75),
+      Enum("smart platform",
+           {"smart platform", "smart tv platform", "smart tv os",
+            "operating system"},
+           {{"Tizen"}, {"webOS"}, {"Android TV", "google tv"}, {"Roku TV"}},
+           0.75),
+      Num("hdmi ports", {"hdmi ports", "hdmi", "hdmi inputs",
+                         "hdmi connections"},
+          1, 4, 0, {"ports", "x hdmi"}, 0.7),
+      Num("usb ports", {"usb ports", "usb", "usb inputs"}, 1, 3, 0,
+          {"ports", "x usb"}, 0.6),
+      Num("speakers power",
+          {"speakers power", "speaker power", "audio output",
+           "sound output"},
+          10, 80, 0, {"W", "watts"}, 0.7),
+      Enum("hdr", {"hdr", "hdr support", "hdr format",
+                   "high dynamic range"},
+           {{"HDR10+", "hdr10 plus"},
+            {"Dolby Vision"},
+            {"HDR10"},
+            {"HLG"},
+            {"none", "no hdr"}},
+           0.7),
+      Num("weight",
+          {"weight", "weight without stand", "net weight", "mass"}, 3, 45,
+          1, {"kg", "kilograms"}, 0.75),
+      Dims("dimensions",
+           {"dimensions", "dimensions without stand", "set size",
+            "measurements"},
+           30, 1900, 0.7),
+      Enum("energy class",
+           {"energy class", "energy rating", "energy efficiency class",
+            "power label"},
+           {{"A"}, {"B"}, {"C"}, {"D"}, {"E"}, {"F"}, {"G"}}, 0.65),
+      Enum("color", {"color", "colour", "bezel color", "finish"},
+           {{"black"}, {"silver"}, {"titan gray", "grey"}, {"white"}}, 0.6),
+      Price("price", {"price", "retail price", "price usd", "cost"}, 149,
+            4999),
+      Num("warranty", {"warranty", "warranty period", "guarantee"}, 1, 5, 0,
+          {"years", "yr", "year"}, 0.5),
+      Num("release year",
+          {"release year", "model year", "year", "announced"}, 2016, 2021,
+          0, {}, 0.6),
+      Flag("wifi", {"wifi", "wifi support", "wi-fi", "wireless lan"},
+           {"802.11ac", "wifi direct", "dual band"}, 0.7),
+      Enum("tuner", {"tuner", "tv tuner", "tuner type",
+                     "broadcast reception"},
+           {{"DVB-T2", "dvb-t2/c/s2"},
+            {"ATSC"},
+            {"DVB-C"},
+            {"analog", "analog tuner"}},
+           0.55),
+  };
+  return d;
+}
+
+}  // namespace
+
+const DomainSpec& CameraDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildCameraDomain());
+  return *kDomain;
+}
+
+const DomainSpec& HeadphoneDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildHeadphoneDomain());
+  return *kDomain;
+}
+
+const DomainSpec& PhoneDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildPhoneDomain());
+  return *kDomain;
+}
+
+const DomainSpec& TvDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildTvDomain());
+  return *kDomain;
+}
+
+std::vector<const DomainSpec*> AllDomains() {
+  return {&CameraDomain(), &HeadphoneDomain(), &PhoneDomain(), &TvDomain()};
+}
+
+std::vector<embedding::SemanticCluster> DomainClusters(
+    const DomainSpec& domain) {
+  std::vector<embedding::SemanticCluster> clusters;
+  for (const ReferenceProperty& property : domain.properties) {
+    embedding::SemanticCluster cluster;
+    cluster.name = domain.name + "/" + property.reference;
+    std::set<std::string> words;
+    auto add_words = [&words](std::string_view phrase) {
+      for (const std::string& word : text::EmbeddingWords(phrase)) {
+        // Purely numeric tokens stay out of the vocabulary: pre-trained
+        // GloVe knows frequent numbers, but their vectors carry little
+        // property-level semantics.
+        if (!text::TokenInClass(word, text::TokenClass::kNumericString)) {
+          words.insert(word);
+        }
+      }
+    };
+    for (const std::string& name : property.surface_names) {
+      add_words(name);
+    }
+    if (const auto* numeric = std::get_if<NumericValueSpec>(&property.value)) {
+      for (const std::string& unit : numeric->units) {
+        add_words(unit);
+      }
+    } else if (const auto* enumeration =
+                   std::get_if<EnumValueSpec>(&property.value)) {
+      for (const auto& renderings : enumeration->values) {
+        for (const std::string& rendering : renderings) {
+          add_words(rendering);
+        }
+      }
+    } else if (const auto* dims =
+                   std::get_if<DimensionsSpec>(&property.value)) {
+      for (const std::string& unit : dims->units) {
+        add_words(unit);
+      }
+    } else if (const auto* txt = std::get_if<TextValueSpec>(&property.value)) {
+      for (const std::string& word : txt->word_pool) {
+        add_words(word);
+      }
+    } else if (const auto* flag =
+                   std::get_if<BooleanValueSpec>(&property.value)) {
+      for (const std::string& detail : flag->true_details) {
+        add_words(detail);
+      }
+    }
+    cluster.words.assign(words.begin(), words.end());
+    if (!cluster.words.empty()) {
+      clusters.push_back(std::move(cluster));
+    }
+  }
+
+  embedding::SemanticCluster decorations;
+  decorations.name = domain.name + "/decorations";
+  std::set<std::string> decoration_words;
+  for (const std::string& word : domain.decoration_prefixes) {
+    decoration_words.insert(text::EmbeddingWords(word).front());
+  }
+  for (const std::string& word : domain.decoration_suffixes) {
+    decoration_words.insert(text::EmbeddingWords(word).front());
+  }
+  decorations.words.assign(decoration_words.begin(), decoration_words.end());
+  clusters.push_back(std::move(decorations));
+
+  // Boolean renderings share one cluster across all flag properties — the
+  // generator's BooleanValueSpec values ("Yes", "TRUE", ...) are common
+  // English words any pre-trained model knows, and they are deliberately
+  // uninformative about *which* flag property they belong to.
+  embedding::SemanticCluster booleans;
+  booleans.name = domain.name + "/booleans";
+  booleans.words = {"yes", "no", "true", "false", "y", "n"};
+  clusters.push_back(std::move(booleans));
+  return clusters;
+}
+
+}  // namespace leapme::data

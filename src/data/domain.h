@@ -1,0 +1,109 @@
+#ifndef LEAPME_DATA_DOMAIN_H_
+#define LEAPME_DATA_DOMAIN_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "embedding/synthetic_model.h"
+
+namespace leapme::data {
+
+/// Numeric value with an optional unit, e.g. "24.3 MP" / "1/4000 s".
+struct NumericValueSpec {
+  double min = 0.0;
+  double max = 1.0;
+  int decimals = 0;  ///< 0 renders integers
+  /// Synonymous unit renderings ("g", "grams", "gr"); empty = unit-less.
+  std::vector<std::string> units;
+  bool unit_before = false;  ///< "$ 499" instead of "499 $"
+};
+
+/// Closed set of logical values, each with synonymous renderings,
+/// e.g. {{"CMOS", "cmos sensor"}, {"CCD"}}.
+struct EnumValueSpec {
+  std::vector<std::vector<std::string>> values;
+};
+
+/// Vendor-style model codes, e.g. "EOS-4821".
+struct ModelCodeSpec {
+  std::vector<std::string> prefixes;
+  int digits = 4;
+};
+
+/// Physical dimensions "117 x 68 x 50 mm".
+struct DimensionsSpec {
+  double min = 40.0;
+  double max = 400.0;
+  std::vector<std::string> units = {"mm", "in"};
+  int axes = 3;
+};
+
+/// Free-text values sampled from a word pool.
+struct TextValueSpec {
+  std::vector<std::string> word_pool;
+  size_t min_words = 2;
+  size_t max_words = 6;
+};
+
+/// Yes/no flags rendered in per-source styles ("Yes", "TRUE", "1", ...).
+/// `true_details` are property-specific qualifiers some sources append to
+/// positive values ("Yes (802.11ac)"), which is what keeps different flag
+/// properties distinguishable from instance data alone.
+struct BooleanValueSpec {
+  std::vector<std::string> true_details;
+};
+
+/// Tagged union of the value generators.
+using ValueSpec = std::variant<NumericValueSpec, EnumValueSpec, ModelCodeSpec,
+                               DimensionsSpec, TextValueSpec,
+                               BooleanValueSpec>;
+
+/// One property of a domain's reference ontology: the ground-truth match
+/// class. Sources render it under one of its synonymous surface names with
+/// source-specific value formatting.
+struct ReferenceProperty {
+  /// Canonical reference name; the alignment target (ground truth).
+  std::string reference;
+  /// Synonymous surface names ordered by popularity ("resolution",
+  /// "megapixels", "effective pixels", "mp"); sources pick Zipf-weighted.
+  std::vector<std::string> surface_names;
+  ValueSpec value;
+  /// Probability that a source's schema carries this property.
+  double source_prevalence = 0.85;
+  /// Probability that an entity of a carrying source has a value for it.
+  double fill_rate = 0.9;
+};
+
+/// A product domain: the reference ontology plus domain-wide noise pools.
+struct DomainSpec {
+  std::string name;
+  std::vector<ReferenceProperty> properties;
+  /// Words prepended/appended to surface names as per-source decoration
+  /// ("product weight", "weight details").
+  std::vector<std::string> decoration_prefixes;
+  std::vector<std::string> decoration_suffixes;
+};
+
+/// The four evaluation domains (paper §V-B). Cameras is the large,
+/// balanced, "high-quality" domain; the other three are smaller and
+/// noisier ("low-quality").
+const DomainSpec& CameraDomain();
+const DomainSpec& HeadphoneDomain();
+const DomainSpec& PhoneDomain();
+const DomainSpec& TvDomain();
+
+/// All four domains in evaluation order.
+std::vector<const DomainSpec*> AllDomains();
+
+/// Builds the semantic clusters for the synthetic embedding space of
+/// `domain`: one cluster per reference property containing the words of
+/// its surface names, units and enum renderings, plus one cluster for the
+/// decoration words. This encodes the GloVe property that domain synonyms
+/// live close together in embedding space (see DESIGN.md §1).
+std::vector<embedding::SemanticCluster> DomainClusters(
+    const DomainSpec& domain);
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_DOMAIN_H_

@@ -1,0 +1,430 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace leapme::data {
+
+namespace {
+
+// Picks an index in [0, n) with Zipf-like weights 1/(i+1)^2: synonym rank
+// 0 is by far the most popular surface name across sources, matching the
+// skew of real product catalogs where most sites agree on the common name
+// and a minority uses alternative terms.
+size_t ZipfIndex(Rng& rng, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double rank = static_cast<double>(i + 1);
+    total += 1.0 / (rank * rank);
+  }
+  double target = rng.NextDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double rank = static_cast<double>(i + 1);
+    cumulative += 1.0 / (rank * rank);
+    if (target <= cumulative) return i;
+  }
+  return n - 1;
+}
+
+// Per-source styling applied uniformly to that source's decorated names.
+enum class NameStyle : int {
+  kNone = 0,
+  kUnderscores,
+  kTitleCase,
+  kAllCaps,
+  kPrefixWord,
+  kSuffixWord,
+};
+
+std::string ApplyStyle(const std::string& name, NameStyle style,
+                       const DomainSpec& domain, Rng& rng) {
+  switch (style) {
+    case NameStyle::kNone:
+      return name;
+    case NameStyle::kUnderscores:
+      return ReplaceAll(name, " ", "_");
+    case NameStyle::kTitleCase: {
+      std::string out = name;
+      bool at_word_start = true;
+      for (char& c : out) {
+        if (c == ' ' || c == '_' || c == '-') {
+          at_word_start = true;
+        } else if (at_word_start) {
+          c = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(c)));
+          at_word_start = false;
+        }
+      }
+      return out;
+    }
+    case NameStyle::kAllCaps:
+      return AsciiToUpper(name);
+    case NameStyle::kPrefixWord: {
+      if (domain.decoration_prefixes.empty()) return name;
+      size_t i = rng.NextBounded(domain.decoration_prefixes.size());
+      return domain.decoration_prefixes[i] + " " + name;
+    }
+    case NameStyle::kSuffixWord: {
+      if (domain.decoration_suffixes.empty()) return name;
+      size_t i = rng.NextBounded(domain.decoration_suffixes.size());
+      return name + " " + domain.decoration_suffixes[i];
+    }
+  }
+  return name;
+}
+
+// The universe-level ("canonical") value of one (entity, property) slot:
+// what the product actually is, before any source-specific rendering.
+struct CanonicalValue {
+  double number = 0.0;           // numeric
+  double axes[3] = {0, 0, 0};    // dimensions
+  size_t enum_index = 0;         // enumeration
+  std::string code;              // model code
+  std::vector<std::string> words;  // text
+  bool flag = false;             // boolean
+};
+
+// Deterministically derives the canonical value of property `r` for
+// universe entity `e`: the same entity reports the same resolution on
+// every site that lists it.
+CanonicalValue MakeCanonical(const ReferenceProperty& property, size_t e,
+                             size_t r, uint64_t seed) {
+  Rng rng(Mix64(seed ^ (e * 0x9e3779b97f4a7c15ULL) ^
+                (r * 0xc2b2ae3d27d4eb4fULL)));
+  CanonicalValue canonical;
+  if (const auto* numeric = std::get_if<NumericValueSpec>(&property.value)) {
+    canonical.number = rng.NextDouble(numeric->min, numeric->max);
+    if (numeric->decimals == 0) {
+      canonical.number = std::round(canonical.number);
+    }
+  } else if (const auto* enumeration =
+                 std::get_if<EnumValueSpec>(&property.value)) {
+    canonical.enum_index = rng.NextBounded(enumeration->values.size());
+  } else if (const auto* code = std::get_if<ModelCodeSpec>(&property.value)) {
+    const std::string& prefix =
+        code->prefixes[rng.NextBounded(code->prefixes.size())];
+    canonical.code = prefix + "-";
+    for (int i = 0; i < code->digits; ++i) {
+      canonical.code += static_cast<char>('0' + rng.NextBounded(10));
+    }
+  } else if (const auto* dims = std::get_if<DimensionsSpec>(&property.value)) {
+    for (int axis = 0; axis < dims->axes && axis < 3; ++axis) {
+      canonical.axes[axis] = std::round(rng.NextDouble(dims->min, dims->max));
+    }
+  } else if (const auto* txt = std::get_if<TextValueSpec>(&property.value)) {
+    size_t count = txt->min_words +
+                   rng.NextBounded(txt->max_words - txt->min_words + 1);
+    for (size_t i = 0; i < count; ++i) {
+      canonical.words.push_back(
+          txt->word_pool[rng.NextBounded(txt->word_pool.size())]);
+    }
+  } else {
+    canonical.flag = rng.NextBool();
+  }
+  return canonical;
+}
+
+// Per-source value formatting decisions for one carried property.
+struct SourceProperty {
+  size_t reference_index = 0;
+  PropertyId property_id = 0;
+  size_t unit_index = 0;
+  bool space_before_unit = true;
+  bool comma_decimal = false;
+  size_t enum_rendering_seed = 0;
+  size_t dimension_separator = 0;
+  size_t boolean_style = 0;
+};
+
+const std::vector<std::string>& DimensionSeparators() {
+  static const auto* kSeparators =
+      new std::vector<std::string>{" x ", " X ", "x", " * "};
+  return *kSeparators;
+}
+
+std::string FormatNumber(double value, int decimals, bool comma_decimal) {
+  std::string text = StrFormat("%.*f", decimals, value);
+  if (comma_decimal) {
+    text = ReplaceAll(text, ".", ",");
+  }
+  return text;
+}
+
+// Renders the canonical value under the source's format, with optional
+// per-instance noise.
+std::string RenderValue(const ReferenceProperty& property,
+                        const SourceProperty& sp,
+                        const CanonicalValue& canonical, Rng& rng,
+                        double noise_probability) {
+  std::string rendered;
+  if (const auto* numeric = std::get_if<NumericValueSpec>(&property.value)) {
+    double value = canonical.number;
+    if (rng.NextBool(noise_probability)) {
+      // Sources disagree slightly on numeric specs now and then.
+      value *= rng.NextDouble(0.95, 1.05);
+      if (numeric->decimals == 0) value = std::round(value);
+    }
+    std::string number =
+        FormatNumber(value, numeric->decimals, sp.comma_decimal);
+    if (numeric->units.empty()) {
+      rendered = number;
+    } else {
+      const std::string& unit = numeric->units[sp.unit_index];
+      const char* space = sp.space_before_unit ? " " : "";
+      rendered = numeric->unit_before ? unit + space + number
+                                      : number + space + unit;
+    }
+    if (rng.NextBool(noise_probability)) {
+      rendered = rng.NextBool() ? number : rendered + " (approx.)";
+    }
+  } else if (const auto* enumeration =
+                 std::get_if<EnumValueSpec>(&property.value)) {
+    const auto& logical = enumeration->values[canonical.enum_index];
+    size_t rendering = sp.enum_rendering_seed % logical.size();
+    if (rng.NextBool(noise_probability) && logical.size() > 1) {
+      rendering = rng.NextBounded(logical.size());
+    }
+    rendered = logical[rendering];
+  } else if (std::holds_alternative<ModelCodeSpec>(property.value)) {
+    rendered = canonical.code;
+  } else if (const auto* dims = std::get_if<DimensionsSpec>(&property.value)) {
+    const std::string& separator =
+        DimensionSeparators()[sp.dimension_separator];
+    std::vector<std::string> axes;
+    for (int axis = 0; axis < dims->axes && axis < 3; ++axis) {
+      axes.push_back(FormatNumber(canonical.axes[axis], 0,
+                                  /*comma_decimal=*/false));
+    }
+    rendered = JoinStrings(axes, separator) + " " +
+               dims->units[sp.enum_rendering_seed % dims->units.size()];
+  } else if (std::holds_alternative<TextValueSpec>(property.value)) {
+    // Sources quote a (possibly partial) view of the same description.
+    std::vector<std::string> words = canonical.words;
+    if (rng.NextBool(noise_probability) && words.size() > 2) {
+      words.resize(words.size() - 1);
+    }
+    rendered = JoinStrings(words, " ");
+  } else {
+    const auto* flag_spec = std::get_if<BooleanValueSpec>(&property.value);
+    const auto& style = BooleanStyles()[sp.boolean_style];
+    rendered = canonical.flag ? style.first : style.second;
+    // Sources often qualify positive flags ("Yes (802.11ac)"), which is
+    // what keeps different flag properties distinguishable from instance
+    // data alone.
+    if (canonical.flag && flag_spec != nullptr &&
+        !flag_spec->true_details.empty() && rng.NextBool(0.6)) {
+      rendered += " (" +
+                  flag_spec->true_details[sp.enum_rendering_seed %
+                                          flag_spec->true_details.size()] +
+                  ")";
+    }
+  }
+  return rendered;
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& BooleanStyles() {
+  static const auto* kStyles =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"Yes", "No"},
+          {"yes", "no"},
+          {"TRUE", "FALSE"},
+          {"true", "false"},
+          {"Y", "N"},
+          {"1", "0"},
+      };
+  return *kStyles;
+}
+
+GeneratorOptions HighQualityOptions(size_t num_sources,
+                                    size_t entities_per_source) {
+  GeneratorOptions options;
+  options.num_sources = num_sources;
+  options.min_entities_per_source = entities_per_source;
+  options.max_entities_per_source = entities_per_source;
+  options.name_decoration_probability = 0.2;
+  options.value_noise_probability = 0.04;
+  options.unaligned_properties_per_source = 1.0;
+  options.homonym_probability = 0.002;
+  return options;
+}
+
+GeneratorOptions LowQualityOptions(size_t num_sources) {
+  GeneratorOptions options;
+  options.num_sources = num_sources;
+  options.min_entities_per_source = 8;
+  options.max_entities_per_source = 120;
+  options.name_decoration_probability = 0.4;
+  options.value_noise_probability = 0.12;
+  options.unaligned_properties_per_source = 3.0;
+  options.homonym_probability = 0.008;
+  return options;
+}
+
+StatusOr<Dataset> GenerateCatalog(const DomainSpec& domain,
+                                  const GeneratorOptions& options) {
+  if (options.num_sources < 2) {
+    return Status::InvalidArgument("need at least two sources");
+  }
+  if (options.min_entities_per_source == 0 ||
+      options.min_entities_per_source > options.max_entities_per_source) {
+    return Status::InvalidArgument("bad entities-per-source range");
+  }
+  if (domain.properties.empty()) {
+    return Status::InvalidArgument("domain has no reference properties");
+  }
+  const size_t universe = options.universe_entities > 0
+                              ? options.universe_entities
+                              : 2 * options.max_entities_per_source;
+  if (universe < options.max_entities_per_source) {
+    return Status::InvalidArgument(
+        "universe_entities smaller than entities per source");
+  }
+
+  Rng rng(options.seed);
+  Dataset dataset(domain.name);
+
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    SourceId source = dataset.AddSource(
+        StrFormat("%s_source_%02zu", domain.name.c_str(), s));
+    // Sources have a house naming style, but apply it inconsistently
+    // (hand-maintained catalogs decorate only some rows). A uniformly
+    // styled source would make *all* its property names share a prefix or
+    // suffix word, which mass-produces high-string-similarity non-matches
+    // that real catalogs do not exhibit.
+    auto source_style = static_cast<NameStyle>(1 + rng.NextBounded(5));
+
+    std::vector<SourceProperty> carried;
+    std::set<std::string> used_names;
+
+    for (size_t r = 0; r < domain.properties.size(); ++r) {
+      const ReferenceProperty& reference = domain.properties[r];
+      if (!rng.NextBool(reference.source_prevalence)) continue;
+
+      // Surface-name choice: usually a synonym of the right property,
+      // rarely a homonym borrowed from another property's synonym set.
+      std::string base_name;
+      if (rng.NextBool(options.homonym_probability) &&
+          domain.properties.size() > 1) {
+        size_t other = rng.NextBounded(domain.properties.size());
+        if (other == r) other = (other + 1) % domain.properties.size();
+        const auto& donor = domain.properties[other].surface_names;
+        base_name = donor[ZipfIndex(rng, donor.size())];
+      } else {
+        base_name = reference.surface_names[ZipfIndex(
+            rng, reference.surface_names.size())];
+      }
+      std::string name =
+          rng.NextBool(options.name_decoration_probability)
+              ? ApplyStyle(base_name, source_style, domain, rng)
+              : base_name;
+      // Schemas cannot contain duplicate property names; fall back to an
+      // undecorated synonym, then to a numbered variant.
+      if (used_names.count(name) > 0) {
+        name = base_name;
+      }
+      size_t disambiguator = 2;
+      while (used_names.count(name) > 0) {
+        name = StrFormat("%s %zu", base_name.c_str(), disambiguator++);
+      }
+      used_names.insert(name);
+
+      SourceProperty sp;
+      sp.reference_index = r;
+      sp.property_id = dataset.AddProperty(source, name, reference.reference);
+      if (const auto* numeric =
+              std::get_if<NumericValueSpec>(&reference.value)) {
+        if (!numeric->units.empty()) {
+          sp.unit_index = rng.NextBounded(numeric->units.size());
+        }
+        sp.space_before_unit = rng.NextBool(0.8);
+        sp.comma_decimal = rng.NextBool(0.15);
+      }
+      sp.enum_rendering_seed = rng.NextBounded(8);
+      sp.dimension_separator = rng.NextBounded(DimensionSeparators().size());
+      sp.boolean_style = rng.NextBounded(BooleanStyles().size());
+      carried.push_back(sp);
+    }
+
+    // Junk properties aligned to nothing: auto-extracted schemas contain
+    // wrapper artifacts with meaningless names.
+    auto junk_count = static_cast<size_t>(std::floor(
+        options.unaligned_properties_per_source + rng.NextDouble()));
+    std::vector<PropertyId> junk_ids;
+    std::vector<size_t> junk_formats;
+    for (size_t j = 0; j < junk_count; ++j) {
+      std::string junk_name =
+          StrFormat("col_%llu", static_cast<unsigned long long>(
+                                    rng.NextBounded(900) + 100));
+      if (used_names.count(junk_name) > 0) continue;
+      used_names.insert(junk_name);
+      junk_ids.push_back(dataset.AddProperty(source, junk_name, ""));
+      // Format keyed by the column name: two sources only share a junk
+      // format by coincidence, not by construction.
+      junk_formats.push_back(
+          HashBytes(junk_name.data(), junk_name.size()) % 4);
+    }
+
+    // Entities: a sample of the shared product universe.
+    size_t entity_count =
+        options.min_entities_per_source +
+        rng.NextBounded(options.max_entities_per_source -
+                        options.min_entities_per_source + 1);
+    std::vector<size_t> universe_ids = rng.SampleIndices(universe,
+                                                         entity_count);
+    for (size_t universe_id : universe_ids) {
+      std::string entity = StrFormat("prod_%05zu", universe_id);
+      for (const SourceProperty& sp : carried) {
+        const ReferenceProperty& reference =
+            domain.properties[sp.reference_index];
+        if (!rng.NextBool(reference.fill_rate)) continue;
+        CanonicalValue canonical = MakeCanonical(
+            reference, universe_id, sp.reference_index, options.seed);
+        dataset.AddInstance(
+            sp.property_id, entity,
+            RenderValue(reference, sp, canonical, rng,
+                        options.value_noise_probability));
+      }
+      for (size_t j = 0; j < junk_ids.size(); ++j) {
+        if (!rng.NextBool(0.5)) continue;
+        // Each junk column has its own format (wrapper artifacts are
+        // internally consistent: one is a counter, another a hex id...).
+        std::string value;
+        switch (junk_formats[j]) {
+          case 0:
+            value = StrFormat("%llu", static_cast<unsigned long long>(
+                                          rng.NextBounded(100000)));
+            break;
+          case 1:
+            value = StrFormat("0x%04llx", static_cast<unsigned long long>(
+                                              rng.NextBounded(65536)));
+            break;
+          case 2:
+            value = StrFormat("%c%c-%llu",
+                              static_cast<char>('A' + rng.NextBounded(26)),
+                              static_cast<char>('A' + rng.NextBounded(26)),
+                              static_cast<unsigned long long>(
+                                  rng.NextBounded(1000)));
+            break;
+          default:
+            value = StrFormat("node[%llu]", static_cast<unsigned long long>(
+                                                rng.NextBounded(512)));
+            break;
+        }
+        dataset.AddInstance(junk_ids[j], entity, value);
+      }
+    }
+  }
+
+  LEAPME_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace leapme::data

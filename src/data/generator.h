@@ -1,0 +1,69 @@
+#ifndef LEAPME_DATA_GENERATOR_H_
+#define LEAPME_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "data/domain.h"
+
+namespace leapme::data {
+
+/// Knobs of the synthetic multi-source catalog generator (the DI2KG / WDC
+/// substitute; see DESIGN.md §1).
+struct GeneratorOptions {
+  size_t num_sources = 10;
+  /// Entities per source drawn uniformly from [min, max]; min == max gives
+  /// the balanced "high-quality" setting of the camera dataset.
+  size_t min_entities_per_source = 100;
+  size_t max_entities_per_source = 100;
+  /// Size of the shared product universe the sources sample from. Real
+  /// multi-source product corpora (DI2KG, WDC) describe overlapping
+  /// products, so matching properties share underlying values across
+  /// sources — the signal instance-based matching relies on. 0 = twice
+  /// the maximum entities per source.
+  size_t universe_entities = 0;
+  uint64_t seed = 42;
+  /// Probability that a source decorates a property name (prefix/suffix
+  /// word, underscores, case styling).
+  double name_decoration_probability = 0.25;
+  /// Probability that a rendered value is perturbed (unit dropped, approx
+  /// marker added, digits typo).
+  double value_noise_probability = 0.05;
+  /// Expected number of junk properties per source that align to no
+  /// reference property ("col_3", "field_7").
+  double unaligned_properties_per_source = 1.5;
+  /// Probability that a source picks a surface name belonging to a
+  /// *different* reference property (homonym noise; hurts precision of
+  /// name-only matchers). Keep small: the paper's unsupervised baselines
+  /// reach precision ~0.95-0.99.
+  double homonym_probability = 0.01;
+};
+
+/// Baseline option sets mirroring the paper's dataset characteristics
+/// (§V-B): cameras = many balanced sources; headphones/phones/tvs =
+/// fewer, imbalanced, noisier sources.
+GeneratorOptions HighQualityOptions(size_t num_sources = 24,
+                                    size_t entities_per_source = 100);
+GeneratorOptions LowQualityOptions(size_t num_sources = 10);
+
+/// Generates a multi-source Dataset for `domain`.
+///
+/// For each source: a subset of reference properties is selected by
+/// prevalence; each selected property gets a per-source surface name
+/// (Zipf-weighted synonym choice + optional decoration) and a per-source
+/// value format; entities then fill properties by fill-rate. Ground truth
+/// is recorded in PropertyRecord::reference.
+StatusOr<Dataset> GenerateCatalog(const DomainSpec& domain,
+                                  const GeneratorOptions& options);
+
+/// Boolean renderings ("Yes"/"No", "TRUE"/"FALSE", ...) used by the
+/// generator for BooleanValueSpec, exposed so the embedding vocabulary can
+/// cover them.
+const std::vector<std::pair<std::string, std::string>>& BooleanStyles();
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_GENERATOR_H_

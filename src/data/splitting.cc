@@ -1,0 +1,111 @@
+#include "data/splitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace leapme::data {
+
+namespace {
+
+std::vector<bool> TrainMask(const Dataset& dataset,
+                            const std::vector<SourceId>& train_sources) {
+  std::vector<bool> mask(dataset.source_count(), false);
+  for (SourceId source : train_sources) {
+    mask[source] = true;
+  }
+  return mask;
+}
+
+}  // namespace
+
+SourceSplit SplitSources(const Dataset& dataset, double train_fraction,
+                         Rng& rng) {
+  const size_t n = dataset.source_count();
+  auto train_count = static_cast<size_t>(
+      std::ceil(train_fraction * static_cast<double>(n)));
+  train_count = std::clamp<size_t>(train_count, 2, n > 0 ? n - 1 : 0);
+
+  std::vector<size_t> order = rng.SampleIndices(n, n);
+  SourceSplit split;
+  for (size_t i = 0; i < n; ++i) {
+    auto id = static_cast<SourceId>(order[i]);
+    if (i < train_count) {
+      split.train_sources.push_back(id);
+    } else {
+      split.test_sources.push_back(id);
+    }
+  }
+  std::sort(split.train_sources.begin(), split.train_sources.end());
+  std::sort(split.test_sources.begin(), split.test_sources.end());
+  return split;
+}
+
+StatusOr<std::vector<LabeledPair>> BuildTrainingPairs(
+    const Dataset& dataset, const std::vector<SourceId>& train_sources,
+    double negative_ratio, Rng& rng) {
+  if (negative_ratio < 0.0) {
+    return Status::InvalidArgument("negative_ratio must be >= 0");
+  }
+  std::vector<bool> is_train = TrainMask(dataset, train_sources);
+
+  std::vector<PropertyId> train_properties;
+  for (PropertyId id = 0; id < dataset.property_count(); ++id) {
+    if (is_train[dataset.property(id).source]) {
+      train_properties.push_back(id);
+    }
+  }
+
+  std::vector<LabeledPair> pairs;
+  std::vector<PropertyPair> negatives;
+  for (size_t i = 0; i < train_properties.size(); ++i) {
+    for (size_t j = i + 1; j < train_properties.size(); ++j) {
+      PropertyId a = train_properties[i];
+      PropertyId b = train_properties[j];
+      if (dataset.property(a).source == dataset.property(b).source) continue;
+      if (dataset.IsMatch(a, b)) {
+        pairs.push_back(LabeledPair{PropertyPair{a, b}, 1});
+      } else {
+        negatives.push_back(PropertyPair{a, b});
+      }
+    }
+  }
+  size_t positive_count = pairs.size();
+  if (positive_count == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("no positive pairs among %zu training sources",
+                  train_sources.size()));
+  }
+
+  auto wanted_negatives = static_cast<size_t>(
+      std::llround(negative_ratio * static_cast<double>(positive_count)));
+  rng.Shuffle(negatives);
+  if (wanted_negatives < negatives.size()) {
+    negatives.resize(wanted_negatives);
+  }
+  for (const PropertyPair& pair : negatives) {
+    pairs.push_back(LabeledPair{pair, 0});
+  }
+  rng.Shuffle(pairs);
+  return pairs;
+}
+
+std::vector<LabeledPair> BuildTestPairs(
+    const Dataset& dataset, const std::vector<SourceId>& train_sources) {
+  std::vector<bool> is_train = TrainMask(dataset, train_sources);
+  std::vector<LabeledPair> pairs;
+  for (PropertyId a = 0; a < dataset.property_count(); ++a) {
+    for (PropertyId b = a + 1; b < dataset.property_count(); ++b) {
+      const PropertyRecord& pa = dataset.property(a);
+      const PropertyRecord& pb = dataset.property(b);
+      if (pa.source == pb.source) continue;
+      if (is_train[pa.source] && is_train[pb.source]) continue;
+      pairs.push_back(
+          LabeledPair{PropertyPair{a, b}, dataset.IsMatch(a, b) ? 1 : 0});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace leapme::data

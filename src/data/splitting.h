@@ -1,0 +1,48 @@
+#ifndef LEAPME_DATA_SPLITTING_H_
+#define LEAPME_DATA_SPLITTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace leapme::data {
+
+/// A split of a dataset's sources into training and test sources
+/// (paper §V-B: "we take a fraction of the sources of a dataset, at
+/// random, for training").
+struct SourceSplit {
+  std::vector<SourceId> train_sources;
+  std::vector<SourceId> test_sources;
+};
+
+/// Randomly assigns ceil(train_fraction * source_count) sources to
+/// training, at least 2 (pairs need two sources) and at most
+/// source_count - 1 (the test side needs one source).
+SourceSplit SplitSources(const Dataset& dataset, double train_fraction,
+                         Rng& rng);
+
+/// A property pair with its 0/1 match label.
+struct LabeledPair {
+  PropertyPair pair;
+  int32_t label = 0;
+};
+
+/// Builds the labeled training pairs: every matching pair whose two
+/// properties both belong to training sources, plus `negative_ratio`
+/// randomly sampled non-matching pairs per positive (the paper uses 2).
+/// Fails when the training sources yield no positive pair.
+StatusOr<std::vector<LabeledPair>> BuildTrainingPairs(
+    const Dataset& dataset, const std::vector<SourceId>& train_sources,
+    double negative_ratio, Rng& rng);
+
+/// Builds the test pairs: every cross-source pair with at least one
+/// property outside the training sources, labeled by ground truth.
+std::vector<LabeledPair> BuildTestPairs(
+    const Dataset& dataset, const std::vector<SourceId>& train_sources);
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_SPLITTING_H_

@@ -1,0 +1,80 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace leapme::data {
+
+DatasetStatistics ComputeStatistics(const Dataset& dataset) {
+  DatasetStatistics stats;
+  stats.name = dataset.name();
+  stats.sources = dataset.source_count();
+  stats.properties = dataset.property_count();
+  stats.instances = dataset.instance_count();
+  stats.matching_pairs = dataset.CountMatchingPairs();
+  stats.cross_source_pairs = dataset.AllCrossSourcePairs().size();
+
+  std::set<std::string> references;
+  stats.per_source.resize(dataset.source_count());
+  std::vector<std::set<std::string>> entities(dataset.source_count());
+  for (SourceId s = 0; s < dataset.source_count(); ++s) {
+    stats.per_source[s].name = dataset.source_name(s);
+  }
+  for (PropertyId id = 0; id < dataset.property_count(); ++id) {
+    const PropertyRecord& record = dataset.property(id);
+    SourceStatistics& source = stats.per_source[record.source];
+    ++source.properties;
+    if (!record.reference.empty()) {
+      ++source.aligned_properties;
+      ++stats.aligned_properties;
+      references.insert(record.reference);
+    }
+    source.instances += dataset.instances(id).size();
+    for (const InstanceValue& instance : dataset.instances(id)) {
+      entities[record.source].insert(instance.entity);
+    }
+  }
+  stats.distinct_references = references.size();
+
+  stats.min_entities_per_source = stats.sources > 0 ? SIZE_MAX : 0;
+  for (SourceId s = 0; s < dataset.source_count(); ++s) {
+    stats.per_source[s].entities = entities[s].size();
+    stats.min_entities_per_source =
+        std::min(stats.min_entities_per_source, entities[s].size());
+    stats.max_entities_per_source =
+        std::max(stats.max_entities_per_source, entities[s].size());
+  }
+  if (stats.properties > 0) {
+    stats.mean_instances_per_property =
+        static_cast<double>(stats.instances) /
+        static_cast<double>(stats.properties);
+  }
+  return stats;
+}
+
+std::string DatasetStatistics::ToString() const {
+  std::string out = StrFormat(
+      "dataset %s\n"
+      "  sources:                %zu\n"
+      "  properties:             %zu (%zu aligned to %zu references)\n"
+      "  instances:              %zu (%.1f per property)\n"
+      "  cross-source pairs:     %zu (%zu matching)\n"
+      "  entities per source:    %zu - %zu%s\n",
+      name.c_str(), sources, properties, aligned_properties,
+      distinct_references, instances, mean_instances_per_property,
+      cross_source_pairs, matching_pairs, min_entities_per_source,
+      max_entities_per_source,
+      min_entities_per_source == max_entities_per_source ? " (balanced)"
+                                                         : " (imbalanced)");
+  for (const SourceStatistics& source : per_source) {
+    out += StrFormat("    %-28s %3zu properties, %5zu instances, "
+                     "%4zu entities\n",
+                     source.name.c_str(), source.properties,
+                     source.instances, source.entities);
+  }
+  return out;
+}
+
+}  // namespace leapme::data

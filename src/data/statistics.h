@@ -1,0 +1,49 @@
+#ifndef LEAPME_DATA_STATISTICS_H_
+#define LEAPME_DATA_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace leapme::data {
+
+/// Per-source statistics of a dataset.
+struct SourceStatistics {
+  std::string name;
+  size_t properties = 0;
+  size_t aligned_properties = 0;  ///< properties with a reference
+  size_t instances = 0;
+  size_t entities = 0;  ///< distinct entity ids in this source
+};
+
+/// Aggregate statistics of a dataset — the numbers the paper reports per
+/// dataset (§V-B: sources, properties, matching pairs) plus balance
+/// indicators distinguishing "high-quality" from "low-quality" data.
+struct DatasetStatistics {
+  std::string name;
+  size_t sources = 0;
+  size_t properties = 0;
+  size_t aligned_properties = 0;
+  size_t instances = 0;
+  size_t matching_pairs = 0;
+  size_t cross_source_pairs = 0;
+  size_t distinct_references = 0;
+  /// min/max entities per source: equal for balanced datasets.
+  size_t min_entities_per_source = 0;
+  size_t max_entities_per_source = 0;
+  /// Mean instances per property.
+  double mean_instances_per_property = 0.0;
+  std::vector<SourceStatistics> per_source;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes the statistics of `dataset`.
+DatasetStatistics ComputeStatistics(const Dataset& dataset);
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_STATISTICS_H_

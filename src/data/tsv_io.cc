@@ -1,0 +1,114 @@
+#include "data/tsv_io.h"
+
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace leapme::data {
+
+namespace {
+
+std::string Sanitize(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadDatasetTsv(const std::string& path,
+                                 std::string dataset_name) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open dataset file: " + path);
+  }
+  Dataset dataset(dataset_name.empty() ? path : std::move(dataset_name));
+
+  std::map<std::string, SourceId> sources;
+  // (source, property name) -> property id
+  std::map<std::pair<SourceId, std::string>, PropertyId> properties;
+
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitString(line, '\t');
+    if (!saw_header) {
+      saw_header = true;
+      if (fields.size() < 4 || fields[0] != "source") {
+        return Status::Corruption(
+            StrFormat("%s:1: expected header 'source\\tentity\\tproperty\\t"
+                      "value\\treference'",
+                      path.c_str()));
+      }
+      continue;
+    }
+    if (fields.size() < 4 || fields.size() > 5) {
+      return Status::Corruption(StrFormat("%s:%zu: expected 4-5 fields, got %zu",
+                                          path.c_str(), line_number,
+                                          fields.size()));
+    }
+    const std::string& source_name = fields[0];
+    const std::string& entity = fields[1];
+    const std::string& property_name = fields[2];
+    const std::string& value = fields[3];
+    std::string reference = fields.size() == 5 ? fields[4] : "";
+    if (source_name.empty() || property_name.empty()) {
+      return Status::Corruption(StrFormat(
+          "%s:%zu: empty source or property", path.c_str(), line_number));
+    }
+
+    auto source_it = sources.find(source_name);
+    if (source_it == sources.end()) {
+      source_it =
+          sources.emplace(source_name, dataset.AddSource(source_name)).first;
+    }
+    SourceId source = source_it->second;
+
+    auto key = std::make_pair(source, property_name);
+    auto property_it = properties.find(key);
+    if (property_it == properties.end()) {
+      PropertyId id =
+          dataset.AddProperty(source, property_name, std::move(reference));
+      property_it = properties.emplace(std::move(key), id).first;
+    }
+    dataset.AddInstance(property_it->second, entity, value);
+  }
+  if (!saw_header) {
+    return Status::Corruption("empty dataset file: " + path);
+  }
+  return dataset;
+}
+
+Status WriteDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "source\tentity\tproperty\tvalue\treference\n";
+  for (PropertyId id = 0; id < dataset.property_count(); ++id) {
+    const PropertyRecord& record = dataset.property(id);
+    const std::string source = Sanitize(dataset.source_name(record.source));
+    const std::string name = Sanitize(record.name);
+    const std::string reference = Sanitize(record.reference);
+    for (const InstanceValue& instance : dataset.instances(id)) {
+      out << source << '\t' << Sanitize(instance.entity) << '\t' << name
+          << '\t' << Sanitize(instance.value) << '\t' << reference << '\n';
+    }
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace leapme::data

@@ -1,0 +1,25 @@
+#ifndef LEAPME_DATA_TSV_IO_H_
+#define LEAPME_DATA_TSV_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace leapme::data {
+
+/// Reads a Dataset from a tab-separated file with the header
+/// `source<TAB>entity<TAB>property<TAB>value<TAB>reference`, one instance
+/// per line. The `reference` column may be empty (unaligned property).
+/// This is the interchange format for plugging real data (e.g. DI2KG / WDC
+/// exports) into the pipeline.
+StatusOr<Dataset> ReadDatasetTsv(const std::string& path,
+                                 std::string dataset_name = "");
+
+/// Writes `dataset` in the format ReadDatasetTsv expects. Tabs and
+/// newlines inside values are replaced by spaces.
+Status WriteDatasetTsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace leapme::data
+
+#endif  // LEAPME_DATA_TSV_IO_H_

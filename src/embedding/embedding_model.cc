@@ -1,0 +1,44 @@
+#include "embedding/embedding_model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace leapme::embedding {
+
+Vector EmbeddingModel::Embed(std::string_view word) const {
+  Vector out(dimension(), 0.0f);
+  Lookup(word, out);
+  return out;
+}
+
+Vector AverageEmbedding(const EmbeddingModel& model,
+                        const std::vector<std::string>& words) {
+  Vector sum(model.dimension(), 0.0f);
+  if (words.empty()) return sum;
+  Vector buffer(model.dimension(), 0.0f);
+  for (const std::string& word : words) {
+    model.Lookup(word, buffer);
+    AddInPlace(sum, buffer);
+  }
+  ScaleInPlace(sum, 1.0f / static_cast<float>(words.size()));
+  return sum;
+}
+
+void HashedWordVector(std::string_view word, std::span<float> out) {
+  Rng rng(HashBytes(word.data(), word.size()));
+  double norm_sq = 0.0;
+  for (float& value : out) {
+    double g = rng.NextGaussian();
+    value = static_cast<float>(g);
+    norm_sq += g * g;
+  }
+  if (norm_sq > 0.0) {
+    auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& value : out) {
+      value *= inv;
+    }
+  }
+}
+
+}  // namespace leapme::embedding

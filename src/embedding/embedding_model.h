@@ -1,0 +1,64 @@
+#ifndef LEAPME_EMBEDDING_EMBEDDING_MODEL_H_
+#define LEAPME_EMBEDDING_EMBEDDING_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+
+namespace leapme::embedding {
+
+/// Policy for words absent from the embedding vocabulary.
+enum class OovPolicy : int {
+  /// Map unknown words to the all-zero vector (the paper's choice for the
+  /// pre-trained GloVe vectors).
+  kZeroVector = 0,
+  /// Map unknown words to a deterministic hash-derived unit vector, so that
+  /// repeated occurrences of the same unknown word still agree with each
+  /// other while remaining far from in-vocabulary clusters.
+  kHashedVector = 1,
+};
+
+/// Interface of a word-embedding model: a map word -> R^d.
+///
+/// Implementations: TextEmbeddingFile (GloVe-format files) and
+/// SyntheticEmbeddingModel (the deterministic semantic-space substitute for
+/// pre-trained GloVe; see DESIGN.md §1).
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Dimension d of the embedding space.
+  virtual size_t dimension() const = 0;
+
+  /// True if `word` is in the model vocabulary.
+  virtual bool Contains(std::string_view word) const = 0;
+
+  /// Writes the embedding of `word` into `out` (size = dimension()).
+  /// Returns false when the word is out of vocabulary; `out` then holds the
+  /// OOV vector dictated by `oov_policy()`.
+  virtual bool Lookup(std::string_view word, std::span<float> out) const = 0;
+
+  /// The policy applied to out-of-vocabulary words by Lookup.
+  virtual OovPolicy oov_policy() const = 0;
+
+  /// Convenience: returns the embedding as a fresh Vector.
+  Vector Embed(std::string_view word) const;
+};
+
+/// Average of the embeddings of `words` (the pooling used for both property
+/// names and instance values, Table I ids 4 and 6). Per the paper, unknown
+/// words contribute their OOV vector and count toward the average. Returns
+/// the all-zero vector when `words` is empty.
+Vector AverageEmbedding(const EmbeddingModel& model,
+                        const std::vector<std::string>& words);
+
+/// Fills `out` with the deterministic hash-derived unit vector for `word`
+/// used by OovPolicy::kHashedVector.
+void HashedWordVector(std::string_view word, std::span<float> out);
+
+}  // namespace leapme::embedding
+
+#endif  // LEAPME_EMBEDDING_EMBEDDING_MODEL_H_

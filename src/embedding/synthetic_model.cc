@@ -1,0 +1,109 @@
+#include "embedding/synthetic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace leapme::embedding {
+
+namespace {
+
+// Draws a unit-length gaussian direction from `rng`.
+Vector UnitGaussian(Rng& rng, size_t dimension) {
+  Vector v(dimension);
+  for (float& value : v) {
+    value = static_cast<float>(rng.NextGaussian());
+  }
+  NormalizeInPlace(v);
+  return v;
+}
+
+}  // namespace
+
+StatusOr<SyntheticEmbeddingModel> SyntheticEmbeddingModel::Build(
+    const std::vector<SemanticCluster>& clusters,
+    const SyntheticModelOptions& options) {
+  if (options.dimension == 0) {
+    return Status::InvalidArgument("embedding dimension must be positive");
+  }
+  SyntheticEmbeddingModel model(options);
+  model.cluster_count_ = clusters.size();
+
+  // word -> accumulated vector and number of contributing clusters.
+  std::unordered_map<std::string, std::pair<Vector, size_t>> accumulated;
+
+  for (const SemanticCluster& cluster : clusters) {
+    if (cluster.words.empty()) {
+      return Status::InvalidArgument("cluster '" + cluster.name +
+                                     "' has no words");
+    }
+    // The centroid depends only on the cluster name, so adding clusters
+    // never perturbs existing ones.
+    Rng centroid_rng(options.seed ^
+                     HashBytes(cluster.name.data(), cluster.name.size()));
+    Vector centroid = UnitGaussian(centroid_rng, options.dimension);
+
+    for (const std::string& raw_word : cluster.words) {
+      if (raw_word.empty()) {
+        return Status::InvalidArgument("cluster '" + cluster.name +
+                                       "' contains an empty word");
+      }
+      std::string word = AsciiToLower(raw_word);
+      // Word perturbation depends only on the word text and seed.
+      Rng word_rng(Mix64(options.seed) ^ HashBytes(word.data(), word.size()));
+      const bool maverick =
+          options.maverick_fraction > 0.0 &&
+          word_rng.NextDouble() < options.maverick_fraction;
+      const double sigma = maverick ? options.maverick_sigma
+                                    : options.intra_cluster_sigma;
+      Vector v = centroid;
+      for (float& value : v) {
+        value += static_cast<float>(
+            sigma * word_rng.NextGaussian() /
+            std::sqrt(static_cast<double>(options.dimension)));
+      }
+      // try_emplace leaves `v` untouched when the key already exists.
+      auto [it, inserted] =
+          accumulated.try_emplace(std::move(word), std::move(v), size_t{1});
+      if (!inserted) {
+        AddInPlace(it->second.first, v);
+        ++it->second.second;
+      }
+    }
+  }
+
+  for (auto& [word, entry] : accumulated) {
+    Vector& v = entry.first;
+    if (entry.second > 1) {
+      ScaleInPlace(v, 1.0f / static_cast<float>(entry.second));
+    }
+    size_t offset = model.storage_.size();
+    model.storage_.insert(model.storage_.end(), v.begin(), v.end());
+    model.offsets_.emplace(word, offset);
+  }
+  return model;
+}
+
+bool SyntheticEmbeddingModel::Contains(std::string_view word) const {
+  return offsets_.find(AsciiToLower(word)) != offsets_.end();
+}
+
+bool SyntheticEmbeddingModel::Lookup(std::string_view word,
+                                     std::span<float> out) const {
+  auto it = offsets_.find(AsciiToLower(word));
+  if (it == offsets_.end()) {
+    if (options_.oov_policy == OovPolicy::kHashedVector) {
+      HashedWordVector(word, out);
+    } else {
+      std::fill(out.begin(), out.end(), 0.0f);
+    }
+    return false;
+  }
+  const float* begin = storage_.data() + it->second;
+  std::copy(begin, begin + options_.dimension, out.begin());
+  return true;
+}
+
+}  // namespace leapme::embedding

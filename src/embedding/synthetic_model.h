@@ -1,0 +1,82 @@
+#ifndef LEAPME_EMBEDDING_SYNTHETIC_MODEL_H_
+#define LEAPME_EMBEDDING_SYNTHETIC_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status_or.h"
+#include "embedding/embedding_model.h"
+
+namespace leapme::embedding {
+
+/// Specification of one semantic cluster of the synthetic embedding space:
+/// a set of words that should receive nearby vectors (synonyms / same
+/// semantic field), e.g. {"resolution", "megapixels", "mp"}.
+struct SemanticCluster {
+  std::string name;                 ///< diagnostic label of the cluster
+  std::vector<std::string> words;   ///< member words (lower-cased)
+};
+
+/// Options for SyntheticEmbeddingModel.
+struct SyntheticModelOptions {
+  size_t dimension = 300;   ///< embedding dimension d
+  uint64_t seed = 17;       ///< master seed; same seed => same space
+  /// Standard deviation of the per-word perturbation around its cluster
+  /// centroid, relative to unit-length centroids. Small values make
+  /// synonyms nearly identical; larger values blur clusters.
+  double intra_cluster_sigma = 0.25;
+  /// Fraction of vocabulary words that are "mavericks": words displaced
+  /// far from their cluster centroid (displacement sigma
+  /// `maverick_sigma`). Models the domain jargon that pre-trained GloVe
+  /// places poorly ("cipa", "ibis", "f-stop"): synonym pairs through a
+  /// maverick word are invisible to fixed-threshold semantic matchers but
+  /// remain learnable from other features. Selection is by word hash, so
+  /// a word is consistently maverick or not across clusters.
+  double maverick_fraction = 0.0;
+  double maverick_sigma = 2.5;
+  OovPolicy oov_policy = OovPolicy::kZeroVector;
+};
+
+/// Deterministic stand-in for pre-trained GloVe vectors (see DESIGN.md §1).
+///
+/// Every cluster receives a random unit centroid drawn from the seeded
+/// stream; every member word receives centroid + sigma * perturbation where
+/// the perturbation is derived deterministically from the word text, so a
+/// word's vector does not depend on cluster enumeration order. Words that
+/// appear in several clusters receive the average of their per-cluster
+/// vectors (mimicking polysemy). The essential GloVe property this
+/// preserves is *semantic proximity despite lexical distance*: "mp" and
+/// "resolution" end up close, "mp" and "weight" far apart.
+class SyntheticEmbeddingModel final : public EmbeddingModel {
+ public:
+  /// Builds the space. Fails when `options.dimension` is 0, a cluster is
+  /// empty, or a word is empty.
+  static StatusOr<SyntheticEmbeddingModel> Build(
+      const std::vector<SemanticCluster>& clusters,
+      const SyntheticModelOptions& options = {});
+
+  size_t dimension() const override { return options_.dimension; }
+  bool Contains(std::string_view word) const override;
+  bool Lookup(std::string_view word, std::span<float> out) const override;
+  OovPolicy oov_policy() const override { return options_.oov_policy; }
+
+  size_t vocabulary_size() const { return offsets_.size(); }
+  size_t cluster_count() const { return cluster_count_; }
+
+ private:
+  explicit SyntheticEmbeddingModel(const SyntheticModelOptions& options)
+      : options_(options) {}
+
+  SyntheticModelOptions options_;
+  size_t cluster_count_ = 0;
+  std::unordered_map<std::string, size_t> offsets_;
+  std::vector<float> storage_;
+};
+
+}  // namespace leapme::embedding
+
+#endif  // LEAPME_EMBEDDING_SYNTHETIC_MODEL_H_

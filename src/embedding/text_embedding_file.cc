@@ -1,0 +1,99 @@
+#include "embedding/text_embedding_file.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace leapme::embedding {
+
+StatusOr<TextEmbeddingFile> TextEmbeddingFile::Load(const std::string& path,
+                                                    OovPolicy oov_policy) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open embedding file: " + path);
+  }
+  TextEmbeddingFile model(0, oov_policy);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::vector<std::string> pieces = SplitWhitespace(line);
+    if (pieces.empty()) continue;
+    // Skip a word2vec header "<vocab_size> <dim>".
+    if (line_number == 1 && pieces.size() == 2 && ParseDouble(pieces[0]) &&
+        ParseDouble(pieces[1])) {
+      continue;
+    }
+    if (pieces.size() < 2) {
+      return Status::Corruption(StrFormat(
+          "%s:%zu: expected 'word v1 ... vd'", path.c_str(), line_number));
+    }
+    size_t dim = pieces.size() - 1;
+    if (model.dimension_ == 0) {
+      model.dimension_ = dim;
+    } else if (dim != model.dimension_) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: dimension %zu != %zu", path.c_str(), line_number,
+                    dim, model.dimension_));
+    }
+    size_t offset = model.storage_.size();
+    for (size_t i = 1; i < pieces.size(); ++i) {
+      std::optional<double> value = ParseDouble(pieces[i]);
+      if (!value) {
+        return Status::Corruption(StrFormat("%s:%zu: bad float '%s'",
+                                            path.c_str(), line_number,
+                                            pieces[i].c_str()));
+      }
+      model.storage_.push_back(static_cast<float>(*value));
+    }
+    model.offsets_.emplace(pieces[0], offset);
+  }
+  if (model.offsets_.empty()) {
+    return Status::InvalidArgument("embedding file is empty: " + path);
+  }
+  return model;
+}
+
+StatusOr<TextEmbeddingFile> TextEmbeddingFile::FromEntries(
+    std::vector<std::pair<std::string, Vector>> entries,
+    OovPolicy oov_policy) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("no embedding entries");
+  }
+  size_t dim = entries.front().second.size();
+  TextEmbeddingFile model(dim, oov_policy);
+  for (auto& [word, vector] : entries) {
+    if (vector.size() != dim) {
+      return Status::InvalidArgument(
+          StrFormat("entry '%s' has dimension %zu != %zu", word.c_str(),
+                    vector.size(), dim));
+    }
+    size_t offset = model.storage_.size();
+    model.storage_.insert(model.storage_.end(), vector.begin(), vector.end());
+    model.offsets_.emplace(std::move(word), offset);
+  }
+  return model;
+}
+
+bool TextEmbeddingFile::Contains(std::string_view word) const {
+  return offsets_.find(std::string(word)) != offsets_.end();
+}
+
+bool TextEmbeddingFile::Lookup(std::string_view word,
+                               std::span<float> out) const {
+  auto it = offsets_.find(std::string(word));
+  if (it == offsets_.end()) {
+    if (oov_policy_ == OovPolicy::kHashedVector) {
+      HashedWordVector(word, out);
+    } else {
+      std::fill(out.begin(), out.end(), 0.0f);
+    }
+    return false;
+  }
+  const float* begin = storage_.data() + it->second;
+  std::copy(begin, begin + dimension_, out.begin());
+  return true;
+}
+
+}  // namespace leapme::embedding

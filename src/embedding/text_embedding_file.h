@@ -1,0 +1,53 @@
+#ifndef LEAPME_EMBEDDING_TEXT_EMBEDDING_FILE_H_
+#define LEAPME_EMBEDDING_TEXT_EMBEDDING_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status_or.h"
+#include "embedding/embedding_model.h"
+
+namespace leapme::embedding {
+
+/// Embedding model backed by a GloVe / word2vec style text file: one line
+/// per word, "word v1 v2 ... vd", whitespace separated. This is how a user
+/// plugs the real pre-trained GloVe Common-Crawl vectors into LEAPME.
+class TextEmbeddingFile final : public EmbeddingModel {
+ public:
+  /// Loads `path`. The dimension is inferred from the first line; lines
+  /// with a different dimension cause a Corruption error. An optional
+  /// word2vec-style "<count> <dim>" header line is skipped.
+  static StatusOr<TextEmbeddingFile> Load(
+      const std::string& path, OovPolicy oov_policy = OovPolicy::kZeroVector);
+
+  /// Builds a model directly from in-memory (word, vector) pairs; all
+  /// vectors must share a dimension.
+  static StatusOr<TextEmbeddingFile> FromEntries(
+      std::vector<std::pair<std::string, Vector>> entries,
+      OovPolicy oov_policy = OovPolicy::kZeroVector);
+
+  size_t dimension() const override { return dimension_; }
+  bool Contains(std::string_view word) const override;
+  bool Lookup(std::string_view word, std::span<float> out) const override;
+  OovPolicy oov_policy() const override { return oov_policy_; }
+
+  /// Number of words in the vocabulary.
+  size_t vocabulary_size() const { return offsets_.size(); }
+
+ private:
+  TextEmbeddingFile(size_t dimension, OovPolicy oov_policy)
+      : dimension_(dimension), oov_policy_(oov_policy) {}
+
+  size_t dimension_;
+  OovPolicy oov_policy_;
+  // All vectors stored contiguously; offsets_ maps word -> start index.
+  std::unordered_map<std::string, size_t> offsets_;
+  std::vector<float> storage_;
+};
+
+}  // namespace leapme::embedding
+
+#endif  // LEAPME_EMBEDDING_TEXT_EMBEDDING_FILE_H_

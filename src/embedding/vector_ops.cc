@@ -1,0 +1,59 @@
+#include "embedding/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace leapme::embedding {
+
+void AddInPlace(Vector& a, std::span<const float> b) {
+  LEAPME_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += b[i];
+  }
+}
+
+void ScaleInPlace(Vector& a, float s) {
+  for (float& value : a) {
+    value *= s;
+  }
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  LEAPME_CHECK_EQ(a.size(), b.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+float Norm(std::span<const float> a) {
+  return std::sqrt(Dot(a, a));
+}
+
+float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  float norm_a = Norm(a);
+  float norm_b = Norm(b);
+  if (norm_a == 0.0f || norm_b == 0.0f) return 0.0f;
+  return Dot(a, b) / (norm_a * norm_b);
+}
+
+float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
+  LEAPME_CHECK_EQ(a.size(), b.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+void NormalizeInPlace(Vector& a) {
+  float norm = Norm(a);
+  if (norm > 0.0f) {
+    ScaleInPlace(a, 1.0f / norm);
+  }
+}
+
+}  // namespace leapme::embedding

@@ -1,0 +1,36 @@
+#ifndef LEAPME_EMBEDDING_VECTOR_OPS_H_
+#define LEAPME_EMBEDDING_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leapme::embedding {
+
+/// Dense float vector used for word embeddings and pooled embeddings.
+using Vector = std::vector<float>;
+
+/// a += b. Sizes must match.
+void AddInPlace(Vector& a, std::span<const float> b);
+
+/// a *= s.
+void ScaleInPlace(Vector& a, float s);
+
+/// Dot product. Sizes must match.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm.
+float Norm(std::span<const float> a);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+float CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean distance. Sizes must match.
+float EuclideanDistance(std::span<const float> a, std::span<const float> b);
+
+/// Normalizes `a` to unit length in place; leaves an all-zero vector as-is.
+void NormalizeInPlace(Vector& a);
+
+}  // namespace leapme::embedding
+
+#endif  // LEAPME_EMBEDDING_VECTOR_OPS_H_

@@ -1,0 +1,172 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/splitting.h"
+
+namespace leapme::eval {
+
+namespace {
+
+DatasetSpec MakeSpec(const std::string& name, const data::DomainSpec& domain,
+                     data::GeneratorOptions generator, size_t embedding_dim,
+                     uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = name;
+  spec.domain = &domain;
+  generator.seed = seed;
+  spec.generator = generator;
+  spec.embedding.dimension = embedding_dim;
+  spec.embedding.seed = seed ^ 0x5eedULL;
+  // Hashed OOV vectors, not the zero vector: pre-trained GloVe covers 1.9M
+  // words, so in the paper's setting two *different* unknown-ish words
+  // almost never collide on the same vector. With our small synthetic
+  // vocabulary the zero-vector policy would alias every out-of-vocabulary
+  // word ("col_123" == "col_987"), an artifact real GloVe does not have.
+  spec.embedding.oov_policy = embedding::OovPolicy::kHashedVector;
+  // Bimodal cluster geometry mirroring pre-trained GloVe on product
+  // vocabulary: most domain synonyms sit tightly together (well-modeled
+  // common words), while a minority of jargon words land far from their
+  // semantic field. The maverick tail is what fixed-threshold semantic
+  // matchers (SemProp) lose recall on, and what the supervised combination
+  // of embedding and instance features recovers.
+  spec.embedding.intra_cluster_sigma = 0.3;
+  spec.embedding.maverick_fraction = 0.18;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> DefaultDatasetSpecs(EvalScale scale) {
+  size_t camera_sources = 24;
+  size_t camera_entities = 100;
+  size_t small_sources = 10;
+  size_t embedding_dim = 300;
+  switch (scale) {
+    case EvalScale::kPaper:
+      break;
+    case EvalScale::kBench:
+      camera_sources = 12;
+      camera_entities = 40;
+      small_sources = 8;
+      embedding_dim = 48;
+      break;
+    case EvalScale::kTest:
+      camera_sources = 6;
+      camera_entities = 12;
+      small_sources = 5;
+      embedding_dim = 16;
+      break;
+  }
+
+  std::vector<DatasetSpec> specs;
+  specs.push_back(MakeSpec(
+      "cameras", data::CameraDomain(),
+      data::HighQualityOptions(camera_sources, camera_entities),
+      embedding_dim, 101));
+  specs.push_back(MakeSpec("headphones", data::HeadphoneDomain(),
+                           data::LowQualityOptions(small_sources),
+                           embedding_dim, 202));
+  specs.push_back(MakeSpec("phones", data::PhoneDomain(),
+                           data::LowQualityOptions(small_sources),
+                           embedding_dim, 303));
+  specs.push_back(MakeSpec("tvs", data::TvDomain(),
+                           data::LowQualityOptions(small_sources),
+                           embedding_dim, 404));
+  if (scale == EvalScale::kTest) {
+    for (DatasetSpec& spec : specs) {
+      spec.generator.min_entities_per_source =
+          std::min<size_t>(spec.generator.min_entities_per_source, 8);
+      spec.generator.max_entities_per_source =
+          std::min<size_t>(spec.generator.max_entities_per_source, 16);
+    }
+  }
+  return specs;
+}
+
+StatusOr<EvalDataset> BuildEvalDataset(const DatasetSpec& spec) {
+  if (spec.domain == nullptr) {
+    return Status::InvalidArgument("DatasetSpec has no domain");
+  }
+  EvalDataset result;
+  LEAPME_ASSIGN_OR_RETURN(result.dataset,
+                          data::GenerateCatalog(*spec.domain, spec.generator));
+  LEAPME_ASSIGN_OR_RETURN(
+      auto model, embedding::SyntheticEmbeddingModel::Build(
+                      data::DomainClusters(*spec.domain), spec.embedding));
+  result.model =
+      std::make_unique<embedding::SyntheticEmbeddingModel>(std::move(model));
+  return result;
+}
+
+StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
+                                           const EvalDataset& eval_dataset,
+                                           const EvaluationOptions& options) {
+  if (options.repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be positive");
+  }
+  const data::Dataset& dataset = eval_dataset.dataset;
+
+  EvaluationResult result;
+  size_t total_train = 0;
+  size_t total_test = 0;
+  for (size_t rep = 0; rep < options.repetitions; ++rep) {
+    Rng rng(options.seed + rep);
+    data::SourceSplit split =
+        data::SplitSources(dataset, options.train_fraction, rng);
+    LEAPME_ASSIGN_OR_RETURN(
+        std::vector<data::LabeledPair> training_pairs,
+        data::BuildTrainingPairs(dataset, split.train_sources,
+                                 options.negative_ratio, rng));
+    std::vector<data::LabeledPair> test_pairs =
+        data::BuildTestPairs(dataset, split.train_sources);
+    if (test_pairs.empty()) {
+      return Status::FailedPrecondition("no test pairs in split");
+    }
+
+    std::unique_ptr<baselines::PairMatcher> matcher =
+        factory(*eval_dataset.model);
+    if (matcher == nullptr) {
+      return Status::InvalidArgument("matcher factory returned null");
+    }
+    LEAPME_RETURN_IF_ERROR(matcher->Fit(dataset, training_pairs));
+
+    std::vector<data::PropertyPair> pairs;
+    std::vector<int32_t> labels;
+    pairs.reserve(test_pairs.size());
+    labels.reserve(test_pairs.size());
+    for (const data::LabeledPair& labeled : test_pairs) {
+      pairs.push_back(labeled.pair);
+      labels.push_back(labeled.label);
+    }
+    LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> predictions,
+                            matcher->ClassifyPairs(pairs));
+    result.per_repetition.push_back(ml::ComputeQuality(predictions, labels));
+    total_train += training_pairs.size();
+    total_test += test_pairs.size();
+  }
+  result.mean = ml::MeanQuality(result.per_repetition);
+  result.mean_training_pairs = total_train / options.repetitions;
+  result.mean_test_pairs = total_test / options.repetitions;
+  return result;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  std::optional<double> parsed = ParseDouble(value);
+  return parsed.value_or(fallback);
+}
+
+}  // namespace leapme::eval

@@ -1,0 +1,91 @@
+#ifndef LEAPME_EVAL_EXPERIMENT_H_
+#define LEAPME_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "embedding/synthetic_model.h"
+#include "ml/metrics.h"
+
+namespace leapme::eval {
+
+/// One evaluation dataset: which domain, how it is generated, and how the
+/// synthetic embedding space is built.
+struct DatasetSpec {
+  std::string name;
+  const data::DomainSpec* domain = nullptr;
+  data::GeneratorOptions generator;
+  embedding::SyntheticModelOptions embedding;
+};
+
+/// Scale knob for the default dataset specs: `kPaper` approximates the
+/// paper's dataset sizes (24 camera sources, 100 entities each);
+/// `kBench` is sized for the 2-core CI benchmark budget; `kTest` is tiny.
+enum class EvalScale : int {
+  kTest = 0,
+  kBench = 1,
+  kPaper = 2,
+};
+
+/// The four evaluation datasets (cameras balanced/high-quality, the rest
+/// small and imbalanced/low-quality — paper §V-B) at the given scale.
+std::vector<DatasetSpec> DefaultDatasetSpecs(EvalScale scale);
+
+/// A generated dataset together with its embedding model.
+struct EvalDataset {
+  data::Dataset dataset;
+  std::unique_ptr<embedding::SyntheticEmbeddingModel> model;
+};
+
+/// Generates the catalog and builds the embedding space of `spec`.
+StatusOr<EvalDataset> BuildEvalDataset(const DatasetSpec& spec);
+
+/// Creates a fresh matcher instance (matchers are stateful, so every
+/// repetition gets a new one). Receives the embedding model.
+using MatcherFactory =
+    std::function<std::unique_ptr<baselines::PairMatcher>(
+        const embedding::EmbeddingModel&)>;
+
+/// Options of one matcher evaluation.
+struct EvaluationOptions {
+  double train_fraction = 0.8;
+  /// Number of repetitions with different random source splits (paper: 25).
+  size_t repetitions = 3;
+  double negative_ratio = 2.0;  ///< negatives per positive (paper: 2)
+  uint64_t seed = 2024;
+};
+
+/// Result of one matcher evaluation, averaged over repetitions.
+struct EvaluationResult {
+  ml::MatchQuality mean;
+  std::vector<ml::MatchQuality> per_repetition;
+  size_t mean_training_pairs = 0;
+  size_t mean_test_pairs = 0;
+};
+
+/// Evaluates a matcher on `eval_dataset`: repeatedly splits sources,
+/// builds training pairs (1 positive : `negative_ratio` negatives among
+/// training sources) and test pairs (everything else), fits a fresh
+/// matcher and measures P/R/F1 on the test pairs. Repetition r uses split
+/// seed `seed + r`, so different matchers evaluated with the same options
+/// see the same splits.
+StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
+                                           const EvalDataset& eval_dataset,
+                                           const EvaluationOptions& options);
+
+/// Reads an integer / double configuration override from the environment
+/// (used by the benchmark binaries: LEAPME_TABLE2_REPS etc.).
+int64_t EnvInt(const char* name, int64_t fallback);
+double EnvDouble(const char* name, double fallback);
+
+}  // namespace leapme::eval
+
+#endif  // LEAPME_EVAL_EXPERIMENT_H_

@@ -1,0 +1,46 @@
+#ifndef LEAPME_EVAL_IMPORTANCE_H_
+#define LEAPME_EVAL_IMPORTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "eval/experiment.h"
+
+namespace leapme::eval {
+
+/// Importance of one feature group, measured by permutation: how much F1
+/// drops when the group's columns are shuffled across test pairs
+/// (breaking their relationship to the label while preserving their
+/// marginal distribution).
+struct FeatureGroupImportance {
+  std::string group;       ///< e.g. "name embedding diff"
+  size_t columns = 0;      ///< number of feature columns in the group
+  double baseline_f1 = 0.0;
+  double permuted_f1 = 0.0;
+  double f1_drop = 0.0;    ///< baseline - permuted; higher = more important
+};
+
+/// Options for PermutationImportance.
+struct ImportanceOptions {
+  double train_fraction = 0.8;
+  double negative_ratio = 2.0;
+  uint64_t seed = 77;
+  /// Permutation repetitions averaged per group.
+  size_t permutations = 3;
+};
+
+/// Trains LEAPME (all features, paper defaults) on `eval_dataset` and
+/// measures the permutation importance of the six semantic feature groups
+/// of Table I: character meta-features, token meta-features, numeric
+/// value, value-embedding difference, name-embedding difference, and the
+/// name string distances. A quantitative companion to the paper's §V-A
+/// feature-kind ablation: instead of retraining without a group, it asks
+/// how much the *trained* classifier relies on it.
+StatusOr<std::vector<FeatureGroupImportance>> PermutationImportance(
+    const EvalDataset& eval_dataset, const ImportanceOptions& options = {});
+
+}  // namespace leapme::eval
+
+#endif  // LEAPME_EVAL_IMPORTANCE_H_

@@ -1,0 +1,51 @@
+#ifndef LEAPME_EVAL_LEAPME_ADAPTER_H_
+#define LEAPME_EVAL_LEAPME_ADAPTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pair_matcher.h"
+#include "core/leapme.h"
+
+namespace leapme::eval {
+
+/// Adapts LeapmeMatcher to the PairMatcher interface so the experiment
+/// runner can treat LEAPME and the baselines uniformly.
+class LeapmeAdapter final : public baselines::PairMatcher {
+ public:
+  /// `model` must outlive the adapter. `display_name` appears in reports
+  /// ("LEAPME", "LEAPME(emb)", "LEAPME(-emb)").
+  LeapmeAdapter(const embedding::EmbeddingModel* model,
+                core::LeapmeOptions options, std::string display_name)
+      : matcher_(model, std::move(options)),
+        display_name_(std::move(display_name)) {}
+
+  std::string Name() const override { return display_name_; }
+  bool IsSupervised() const override { return true; }
+
+  Status Fit(const data::Dataset& dataset,
+             const std::vector<data::LabeledPair>& training_pairs) override {
+    return matcher_.Fit(dataset, training_pairs);
+  }
+
+  StatusOr<std::vector<int32_t>> ClassifyPairs(
+      const std::vector<data::PropertyPair>& pairs) override {
+    return matcher_.ClassifyPairs(pairs);
+  }
+
+  StatusOr<std::vector<double>> ScorePairs(
+      const std::vector<data::PropertyPair>& pairs) override {
+    return matcher_.ScorePairs(pairs);
+  }
+
+  core::LeapmeMatcher& matcher() { return matcher_; }
+
+ private:
+  core::LeapmeMatcher matcher_;
+  std::string display_name_;
+};
+
+}  // namespace leapme::eval
+
+#endif  // LEAPME_EVAL_LEAPME_ADAPTER_H_

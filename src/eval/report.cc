@@ -1,0 +1,95 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace leapme::eval {
+
+void ResultsTable::AddApproach(const std::string& approach) {
+  if (std::find(approaches_.begin(), approaches_.end(), approach) ==
+      approaches_.end()) {
+    approaches_.push_back(approach);
+  }
+}
+
+void ResultsTable::AddResult(const std::string& section,
+                             const std::string& row_key,
+                             const std::string& approach,
+                             const ml::MatchQuality& quality) {
+  AddApproach(approach);
+  RowId id{section, row_key};
+  if (cells_.find(id) == cells_.end()) {
+    row_order_.push_back(id);
+  }
+  cells_[id][approach] = quality;
+}
+
+std::string ResultsTable::Render() const {
+  // Column widths: row header then P/R/F1 per approach.
+  size_t header_width = 24;
+  for (const RowId& row : row_order_) {
+    header_width = std::max(header_width,
+                            row.section.size() + row.row_key.size() + 3);
+  }
+
+  std::string out;
+  // Approach header line.
+  out += StrFormat("%-*s", static_cast<int>(header_width), "");
+  for (const std::string& approach : approaches_) {
+    out += StrFormat("| %-20s ", approach.c_str());
+  }
+  out += "\n";
+  out += StrFormat("%-*s", static_cast<int>(header_width), "");
+  for (size_t i = 0; i < approaches_.size(); ++i) {
+    out += StrFormat("| %-6s %-6s %-6s ", "P", "R", "F1");
+  }
+  out += "\n";
+  out += std::string(header_width + approaches_.size() * 23, '-') + "\n";
+
+  std::string last_section;
+  for (const RowId& row : row_order_) {
+    if (row.section != last_section) {
+      out += "[" + row.section + "]\n";
+      last_section = row.section;
+    }
+    const auto& row_cells = cells_.at(row);
+    double best_f1 = -1.0;
+    for (const auto& [approach, quality] : row_cells) {
+      best_f1 = std::max(best_f1, quality.f1);
+    }
+    out += StrFormat("  %-*s", static_cast<int>(header_width - 2),
+                     row.row_key.c_str());
+    for (const std::string& approach : approaches_) {
+      auto it = row_cells.find(approach);
+      if (it == row_cells.end()) {
+        out += StrFormat("| %-6s %-6s %-6s ", "-", "-", "-");
+      } else {
+        const ml::MatchQuality& q = it->second;
+        const char* mark = (q.f1 >= best_f1 - 1e-9) ? "*" : "";
+        out += StrFormat("| %-6.2f %-6.2f %.2f%-2s ", q.precision, q.recall,
+                         q.f1, mark);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ResultsTable::RenderCsv() const {
+  std::string out = "section,row,approach,precision,recall,f1\n";
+  for (const RowId& row : row_order_) {
+    const auto& row_cells = cells_.at(row);
+    for (const std::string& approach : approaches_) {
+      auto it = row_cells.find(approach);
+      if (it == row_cells.end()) continue;
+      out += StrFormat("%s,%s,%s,%.4f,%.4f,%.4f\n", row.section.c_str(),
+                       row.row_key.c_str(), approach.c_str(),
+                       it->second.precision, it->second.recall,
+                       it->second.f1);
+    }
+  }
+  return out;
+}
+
+}  // namespace leapme::eval

@@ -1,0 +1,50 @@
+#ifndef LEAPME_EVAL_REPORT_H_
+#define LEAPME_EVAL_REPORT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/metrics.h"
+
+namespace leapme::eval {
+
+/// Accumulates P/R/F1 results keyed by (row, approach) and renders them as
+/// an aligned text table in the layout of the paper's Table II: one row
+/// per (section, dataset, training fraction), three columns (P, R, F1) per
+/// approach, best F1 of each row marked with '*'.
+class ResultsTable {
+ public:
+  /// Declares the approach column order (columns render in declaration
+  /// order; missing cells render as '-').
+  void AddApproach(const std::string& approach);
+
+  /// Adds one result cell. `section` is the feature-origin group
+  /// ("Instances", "Names", "Both"); `row_key` typically
+  /// "<dataset> <fraction>".
+  void AddResult(const std::string& section, const std::string& row_key,
+                 const std::string& approach, const ml::MatchQuality& quality);
+
+  /// Renders the aligned table ('\n'-terminated).
+  std::string Render() const;
+
+  /// Renders as CSV: section,row,approach,precision,recall,f1.
+  std::string RenderCsv() const;
+
+ private:
+  struct RowId {
+    std::string section;
+    std::string row_key;
+    auto operator<=>(const RowId&) const = default;
+  };
+
+  std::vector<std::string> approaches_;
+  // Insertion-ordered rows.
+  std::vector<RowId> row_order_;
+  std::map<RowId, std::map<std::string, ml::MatchQuality>> cells_;
+};
+
+}  // namespace leapme::eval
+
+#endif  // LEAPME_EVAL_REPORT_H_

@@ -1,0 +1,128 @@
+#include "features/feature_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace leapme::features {
+
+FeaturePipeline::FeaturePipeline(const embedding::EmbeddingModel* model,
+                                 PairFeatureOptions options)
+    : model_(model),
+      options_(options),
+      schema_(model->dimension()),
+      instance_extractor_(model) {}
+
+PropertyFeatures FeaturePipeline::ComputeProperty(
+    std::string_view name, std::span<const std::string> values) const {
+  const size_t instance_dim = instance_extractor_.dimension();  // 29 + d
+
+  PropertyFeatures features;
+  features.name = std::string(name);
+  features.vector.assign(property_dimension(), 0.0f);
+
+  // Table I id 5: the average of every instance feature.
+  size_t used = values.size();
+  if (options_.max_instances_per_property > 0) {
+    used = std::min(used, options_.max_instances_per_property);
+  }
+  if (used > 0) {
+    embedding::Vector instance(instance_dim, 0.0f);
+    for (size_t i = 0; i < used; ++i) {
+      instance_extractor_.Extract(values[i], instance);
+      for (size_t j = 0; j < instance_dim; ++j) {
+        features.vector[j] += instance[j];
+      }
+    }
+    const auto inv = 1.0f / static_cast<float>(used);
+    for (size_t j = 0; j < instance_dim; ++j) {
+      features.vector[j] *= inv;
+    }
+  }
+
+  // Table I id 6: the average embedding of the property-name words.
+  embedding::Vector name_embedding =
+      embedding::AverageEmbedding(*model_, text::EmbeddingWords(name));
+  std::copy(name_embedding.begin(), name_embedding.end(),
+            features.vector.begin() + instance_dim);
+  return features;
+}
+
+void FeaturePipeline::ComputePair(const PropertyFeatures& a,
+                                  const PropertyFeatures& b,
+                                  std::span<float> out) const {
+  LEAPME_CHECK_EQ(out.size(), pair_dimension());
+  const size_t property_dim = property_dimension();
+  LEAPME_CHECK_EQ(a.vector.size(), property_dim);
+  LEAPME_CHECK_EQ(b.vector.size(), property_dim);
+
+  // Table I id 7: difference between the two property feature vectors.
+  if (options_.absolute_difference) {
+    for (size_t i = 0; i < property_dim; ++i) {
+      out[i] = std::fabs(a.vector[i] - b.vector[i]);
+    }
+  } else {
+    for (size_t i = 0; i < property_dim; ++i) {
+      out[i] = a.vector[i] - b.vector[i];
+    }
+  }
+
+  // Table I ids 8-15: string distances between the property names.
+  const std::string& n1 = a.name;
+  const std::string& n2 = b.name;
+  size_t offset = property_dim;
+  if (options_.normalize_string_distances) {
+    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
+        text::OptimalStringAlignment(n1, n2), n1, n2));
+    out[offset++] = static_cast<float>(
+        text::NormalizedByMaxLength(text::Levenshtein(n1, n2), n1, n2));
+    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
+        text::DamerauLevenshtein(n1, n2), n1, n2));
+    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
+        text::LcsDistance(n1, n2), n1, n2));
+    // The q-gram count distance is normalized by the total gram count.
+    double total_grams = std::max<double>(
+        1.0, static_cast<double>(n1.size() + n2.size()));
+    out[offset++] =
+        static_cast<float>(text::ThreeGramDistance(n1, n2) / total_grams);
+  } else {
+    out[offset++] =
+        static_cast<float>(text::OptimalStringAlignment(n1, n2));
+    out[offset++] = static_cast<float>(text::Levenshtein(n1, n2));
+    out[offset++] = static_cast<float>(text::DamerauLevenshtein(n1, n2));
+    out[offset++] = static_cast<float>(text::LcsDistance(n1, n2));
+    out[offset++] = static_cast<float>(text::ThreeGramDistance(n1, n2));
+  }
+  out[offset++] = static_cast<float>(text::ThreeGramCosineDistance(n1, n2));
+  out[offset++] = static_cast<float>(text::ThreeGramJaccardDistance(n1, n2));
+  out[offset++] = static_cast<float>(text::JaroWinklerDistance(n1, n2));
+  LEAPME_CHECK_EQ(offset, pair_dimension());
+}
+
+nn::Matrix FeaturePipeline::BuildDesignMatrix(
+    const std::vector<const PropertyFeatures*>& lhs,
+    const std::vector<const PropertyFeatures*>& rhs,
+    const std::vector<size_t>& columns) const {
+  LEAPME_CHECK_EQ(lhs.size(), rhs.size());
+  const size_t full_dim = pair_dimension();
+  const size_t out_dim = columns.empty() ? full_dim : columns.size();
+  nn::Matrix design(lhs.size(), out_dim);
+  std::vector<float> full(full_dim, 0.0f);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    ComputePair(*lhs[i], *rhs[i], full);
+    auto row = design.row(i);
+    if (columns.empty()) {
+      std::copy(full.begin(), full.end(), row.begin());
+    } else {
+      for (size_t c = 0; c < columns.size(); ++c) {
+        row[c] = full[columns[c]];
+      }
+    }
+  }
+  return design;
+}
+
+}  // namespace leapme::features

@@ -1,0 +1,82 @@
+#ifndef LEAPME_FEATURES_FEATURE_PIPELINE_H_
+#define LEAPME_FEATURES_FEATURE_PIPELINE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embedding/embedding_model.h"
+#include "features/feature_schema.h"
+#include "features/instance_features.h"
+#include "nn/matrix.h"
+
+namespace leapme::features {
+
+/// Options of the pair-feature computation.
+struct PairFeatureOptions {
+  /// Use |v1 - v2| for the property-vector difference instead of v1 - v2.
+  /// The absolute difference keeps the pair feature order-independent,
+  /// which matches the undirected pair semantics (ablated in
+  /// feature_ablation_bench).
+  bool absolute_difference = true;
+  /// Divide edit-style distances (OSA, Levenshtein, Damerau-Levenshtein,
+  /// LCS) by max(|name1|, |name2|) so all string-distance features share
+  /// the [0, 1] scale of the q-gram profile / Jaro-Winkler distances.
+  bool normalize_string_distances = true;
+  /// Cap on the instances aggregated per property (0 = use all).
+  size_t max_instances_per_property = 0;
+};
+
+/// Precomputed per-property state: the property feature vector (Table I
+/// ids 5-6) plus the raw name for string distances.
+struct PropertyFeatures {
+  std::string name;
+  /// Layout: [29 meta means][d value-embedding mean][d name embedding];
+  /// size = 29 + 2d.
+  embedding::Vector vector;
+};
+
+/// End-to-end feature computation of Algorithm 1 steps 1-4: instance
+/// features -> per-property aggregation -> pair features.
+class FeaturePipeline {
+ public:
+  /// `model` must outlive the pipeline.
+  FeaturePipeline(const embedding::EmbeddingModel* model,
+                  PairFeatureOptions options = {});
+
+  const FeatureSchema& schema() const { return schema_; }
+  const PairFeatureOptions& options() const { return options_; }
+  size_t pair_dimension() const { return schema_.size(); }
+  size_t property_dimension() const {
+    return FeatureSchema::PropertyDimension(schema_.embedding_dim());
+  }
+
+  /// Computes the property features of a property with surface name `name`
+  /// and the given instance values (Algorithm 1 lines 2-5).
+  PropertyFeatures ComputeProperty(
+      std::string_view name, std::span<const std::string> values) const;
+
+  /// Computes the pair feature vector (Algorithm 1 line 8 / Table I ids
+  /// 7-15) into `out` (size = pair_dimension()).
+  void ComputePair(const PropertyFeatures& a, const PropertyFeatures& b,
+                   std::span<float> out) const;
+
+  /// Convenience: builds the design matrix for a list of pairs, gathering
+  /// only `columns` (from FeatureSchema::SelectedColumns). Empty `columns`
+  /// keeps all features.
+  nn::Matrix BuildDesignMatrix(
+      const std::vector<const PropertyFeatures*>& lhs,
+      const std::vector<const PropertyFeatures*>& rhs,
+      const std::vector<size_t>& columns) const;
+
+ private:
+  const embedding::EmbeddingModel* model_;
+  PairFeatureOptions options_;
+  FeatureSchema schema_;
+  InstanceFeatureExtractor instance_extractor_;
+};
+
+}  // namespace leapme::features
+
+#endif  // LEAPME_FEATURES_FEATURE_PIPELINE_H_

@@ -1,0 +1,123 @@
+#include "features/feature_schema.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace leapme::features {
+
+namespace {
+
+const char* OriginName(OriginSelection origin) {
+  switch (origin) {
+    case OriginSelection::kInstancesOnly:
+      return "instances";
+    case OriginSelection::kNamesOnly:
+      return "names";
+    case OriginSelection::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+const char* KindName(KindSelection kinds) {
+  switch (kinds) {
+    case KindSelection::kEmbeddingsOnly:
+      return "embeddings";
+    case KindSelection::kNonEmbeddingsOnly:
+      return "non-embeddings";
+    case KindSelection::kBoth:
+      return "all";
+  }
+  return "?";
+}
+
+constexpr const char* kCharClassNames[] = {
+    "upper", "lower", "letter_other", "mark", "number",
+    "punct", "symbol", "separator", "other"};
+
+constexpr const char* kTokenClassNames[] = {
+    "word", "lower_word", "capitalized", "upper_word", "numeric"};
+
+}  // namespace
+
+std::string FeatureConfig::ToString() const {
+  return StrFormat("%s/%s", OriginName(origin), KindName(kinds));
+}
+
+std::vector<FeatureConfig> AllFeatureConfigs() {
+  std::vector<FeatureConfig> configs;
+  for (OriginSelection origin :
+       {OriginSelection::kInstancesOnly, OriginSelection::kNamesOnly,
+        OriginSelection::kBoth}) {
+    for (KindSelection kinds :
+         {KindSelection::kEmbeddingsOnly, KindSelection::kNonEmbeddingsOnly,
+          KindSelection::kBoth}) {
+      configs.push_back(FeatureConfig{origin, kinds});
+    }
+  }
+  return configs;
+}
+
+FeatureSchema::FeatureSchema(size_t embedding_dim)
+    : embedding_dim_(embedding_dim) {
+  slots_.reserve(PairDimension(embedding_dim));
+  // Difference of the two property vectors (Table I id 7), in property
+  // vector layout order:
+  //   meta features averaged from instances (ids 1-3) ...
+  for (const char* name : kCharClassNames) {
+    slots_.push_back({StrFormat("diff.char.%s.frac", name),
+                      FeatureOrigin::kInstance, false});
+    slots_.push_back({StrFormat("diff.char.%s.count", name),
+                      FeatureOrigin::kInstance, false});
+  }
+  for (const char* name : kTokenClassNames) {
+    slots_.push_back({StrFormat("diff.token.%s.frac", name),
+                      FeatureOrigin::kInstance, false});
+    slots_.push_back({StrFormat("diff.token.%s.count", name),
+                      FeatureOrigin::kInstance, false});
+  }
+  slots_.push_back({"diff.numeric_value", FeatureOrigin::kInstance, false});
+  //   ... then the averaged value-word embedding (id 4) ...
+  for (size_t i = 0; i < embedding_dim; ++i) {
+    slots_.push_back({StrFormat("diff.value_emb.%zu", i),
+                      FeatureOrigin::kInstance, true});
+  }
+  //   ... then the name-word embedding (id 6).
+  for (size_t i = 0; i < embedding_dim; ++i) {
+    slots_.push_back(
+        {StrFormat("diff.name_emb.%zu", i), FeatureOrigin::kName, true});
+  }
+  // Name string distances (Table I ids 8-15).
+  for (const char* name :
+       {"osa", "levenshtein", "damerau_levenshtein", "lcs", "qgram3",
+        "cosine3", "jaccard3", "jaro_winkler"}) {
+    slots_.push_back(
+        {StrFormat("dist.%s", name), FeatureOrigin::kName, false});
+  }
+  LEAPME_CHECK_EQ(slots_.size(), PairDimension(embedding_dim));
+}
+
+std::vector<size_t> FeatureSchema::SelectedColumns(
+    const FeatureConfig& config) const {
+  std::vector<size_t> columns;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const FeatureSlot& slot = slots_[i];
+    bool origin_ok =
+        config.origin == OriginSelection::kBoth ||
+        (config.origin == OriginSelection::kInstancesOnly &&
+         slot.origin == FeatureOrigin::kInstance) ||
+        (config.origin == OriginSelection::kNamesOnly &&
+         slot.origin == FeatureOrigin::kName);
+    bool kind_ok =
+        config.kinds == KindSelection::kBoth ||
+        (config.kinds == KindSelection::kEmbeddingsOnly && slot.is_embedding) ||
+        (config.kinds == KindSelection::kNonEmbeddingsOnly &&
+         !slot.is_embedding);
+    if (origin_ok && kind_ok) {
+      columns.push_back(i);
+    }
+  }
+  return columns;
+}
+
+}  // namespace leapme::features

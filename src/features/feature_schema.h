@@ -1,0 +1,99 @@
+#ifndef LEAPME_FEATURES_FEATURE_SCHEMA_H_
+#define LEAPME_FEATURES_FEATURE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace leapme::features {
+
+/// Whether a pair-feature slot derives from instance values or from
+/// property names — the first ablation dimension of the paper's §V-A.
+enum class FeatureOrigin : int {
+  kInstance = 0,
+  kName = 1,
+};
+
+/// Metadata of one slot of the pair feature vector.
+struct FeatureSlot {
+  std::string name;       ///< diagnostic name, e.g. "diff.char.upper.frac"
+  FeatureOrigin origin;   ///< instance-derived or name-derived
+  bool is_embedding;      ///< true for embedding-vector components
+};
+
+/// Which feature origins a configuration keeps (paper §V-A rows).
+enum class OriginSelection : int {
+  kInstancesOnly = 0,
+  kNamesOnly = 1,
+  kBoth = 2,
+};
+
+/// Which feature kinds a configuration keeps (paper §V-A columns).
+enum class KindSelection : int {
+  kEmbeddingsOnly = 0,
+  kNonEmbeddingsOnly = 1,
+  kBoth = 2,
+};
+
+/// One of the nine feature configurations of the evaluation
+/// (3 origins x 3 kinds).
+struct FeatureConfig {
+  OriginSelection origin = OriginSelection::kBoth;
+  KindSelection kinds = KindSelection::kBoth;
+
+  /// "both/embeddings", "names/all", ... used in reports.
+  std::string ToString() const;
+
+  friend bool operator==(const FeatureConfig&, const FeatureConfig&) = default;
+};
+
+/// All nine configurations in the paper's row-major order (instances,
+/// names, both) x (embeddings, non-embeddings, both).
+std::vector<FeatureConfig> AllFeatureConfigs();
+
+/// Describes the full pair feature vector layout for a given embedding
+/// dimension d (Table I): element-wise property-vector difference
+/// (29 + 2d slots) followed by the 8 name string distances. With d = 300
+/// the total is 637, matching the paper.
+class FeatureSchema {
+ public:
+  /// Builds the schema for embedding dimension `embedding_dim`.
+  explicit FeatureSchema(size_t embedding_dim);
+
+  size_t embedding_dim() const { return embedding_dim_; }
+  size_t size() const { return slots_.size(); }
+  const std::vector<FeatureSlot>& slots() const { return slots_; }
+  const FeatureSlot& slot(size_t i) const { return slots_[i]; }
+
+  /// Indices of the slots kept by `config`, in ascending order.
+  std::vector<size_t> SelectedColumns(const FeatureConfig& config) const;
+
+  // Layout constants (offsets into the pair vector).
+  static constexpr size_t kCharClassFeatures = 18;  // 9 classes x {frac,count}
+  static constexpr size_t kTokenClassFeatures = 10;  // 5 classes x {frac,count}
+  static constexpr size_t kNumericValueFeatures = 1;
+  static constexpr size_t kMetaFeatures =
+      kCharClassFeatures + kTokenClassFeatures + kNumericValueFeatures;  // 29
+  static constexpr size_t kStringDistanceFeatures = 8;  // Table I ids 8-15
+
+  /// Dimension of one instance feature vector: 29 + d (paper: 329).
+  static size_t InstanceDimension(size_t embedding_dim) {
+    return kMetaFeatures + embedding_dim;
+  }
+  /// Dimension of one property feature vector: 29 + 2d (paper: 629).
+  static size_t PropertyDimension(size_t embedding_dim) {
+    return kMetaFeatures + 2 * embedding_dim;
+  }
+  /// Dimension of one pair feature vector: 37 + 2d (paper: 637).
+  static size_t PairDimension(size_t embedding_dim) {
+    return PropertyDimension(embedding_dim) + kStringDistanceFeatures;
+  }
+
+ private:
+  size_t embedding_dim_;
+  std::vector<FeatureSlot> slots_;
+};
+
+}  // namespace leapme::features
+
+#endif  // LEAPME_FEATURES_FEATURE_SCHEMA_H_

@@ -1,0 +1,38 @@
+#ifndef LEAPME_FEATURES_INSTANCE_FEATURES_H_
+#define LEAPME_FEATURES_INSTANCE_FEATURES_H_
+
+#include <span>
+#include <string_view>
+
+#include "embedding/embedding_model.h"
+#include "features/feature_schema.h"
+
+namespace leapme::features {
+
+/// Computes the per-instance feature vector of Table I ids 1-4 (the
+/// TAPON-style meta-features plus the value-word embedding average):
+///   [0, 18)   fraction & count of each of the 9 character classes
+///   [18, 28)  fraction & count of each of the 5 token classes
+///   [28]      numeric value of the instance (-1 when not a number)
+///   [29, 29+d) average embedding of the instance's words
+class InstanceFeatureExtractor {
+ public:
+  /// `model` must outlive the extractor.
+  explicit InstanceFeatureExtractor(const embedding::EmbeddingModel* model);
+
+  /// 29 + d (paper: 329 with d = 300).
+  size_t dimension() const {
+    return FeatureSchema::InstanceDimension(model_->dimension());
+  }
+
+  /// Writes the features of instance `value` into `out`
+  /// (size = dimension()).
+  void Extract(std::string_view value, std::span<float> out) const;
+
+ private:
+  const embedding::EmbeddingModel* model_;
+};
+
+}  // namespace leapme::features
+
+#endif  // LEAPME_FEATURES_INSTANCE_FEATURES_H_

@@ -1,0 +1,162 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace leapme::graph {
+
+namespace {
+
+/// Union-find over property ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+}  // namespace
+
+void SimilarityGraph::AddEdge(data::PropertyId a, data::PropertyId b,
+                              double score) {
+  LEAPME_CHECK_LT(a, num_properties_);
+  LEAPME_CHECK_LT(b, num_properties_);
+  LEAPME_CHECK_NE(a, b);
+  edges_.push_back(SimilarityEdge{a, b, score});
+}
+
+std::vector<SimilarityEdge> SimilarityGraph::EdgesAbove(
+    double threshold) const {
+  std::vector<SimilarityEdge> result;
+  for (const SimilarityEdge& edge : edges_) {
+    if (edge.score >= threshold) {
+      result.push_back(edge);
+    }
+  }
+  return result;
+}
+
+Clusters ConnectedComponentClusters(const SimilarityGraph& graph,
+                                    double threshold) {
+  const size_t n = graph.num_properties();
+  DisjointSets sets(n);
+  for (const SimilarityEdge& edge : graph.edges()) {
+    if (edge.score >= threshold) {
+      sets.Union(edge.a, edge.b);
+    }
+  }
+  std::vector<std::vector<data::PropertyId>> by_root(n);
+  for (size_t i = 0; i < n; ++i) {
+    by_root[sets.Find(i)].push_back(static_cast<data::PropertyId>(i));
+  }
+  Clusters clusters;
+  for (auto& members : by_root) {
+    if (!members.empty()) {
+      clusters.push_back(std::move(members));
+    }
+  }
+  return clusters;
+}
+
+Clusters StarClusters(const SimilarityGraph& graph, double threshold) {
+  const size_t n = graph.num_properties();
+  // Adjacency restricted to edges above threshold.
+  std::vector<std::vector<std::pair<size_t, double>>> adjacency(n);
+  std::vector<double> weight(n, 0.0);
+  for (const SimilarityEdge& edge : graph.edges()) {
+    if (edge.score < threshold) continue;
+    adjacency[edge.a].emplace_back(edge.b, edge.score);
+    adjacency[edge.b].emplace_back(edge.a, edge.score);
+    weight[edge.a] += edge.score;
+    weight[edge.b] += edge.score;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;  // deterministic tie-break
+  });
+
+  std::vector<bool> assigned(n, false);
+  Clusters clusters;
+  for (size_t center : order) {
+    if (assigned[center]) continue;
+    assigned[center] = true;
+    std::vector<data::PropertyId> cluster{
+        static_cast<data::PropertyId>(center)};
+    for (const auto& [neighbor, score] : adjacency[center]) {
+      (void)score;
+      if (!assigned[neighbor]) {
+        assigned[neighbor] = true;
+        cluster.push_back(static_cast<data::PropertyId>(neighbor));
+      }
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+ClusterQuality EvaluateClusters(const Clusters& clusters,
+                                const data::Dataset& dataset) {
+  ClusterQuality quality;
+  quality.cluster_count = clusters.size();
+
+  size_t predicted = 0;
+  size_t correct = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.size() > 1) {
+      ++quality.non_singleton_clusters;
+    }
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        const auto& pa = dataset.property(cluster[i]);
+        const auto& pb = dataset.property(cluster[j]);
+        if (pa.source == pb.source) continue;  // same-source pairs don't count
+        ++predicted;
+        if (dataset.IsMatch(cluster[i], cluster[j])) {
+          ++correct;
+        }
+      }
+    }
+  }
+  size_t actual = dataset.CountMatchingPairs();
+  if (predicted > 0) {
+    quality.precision =
+        static_cast<double>(correct) / static_cast<double>(predicted);
+  }
+  if (actual > 0) {
+    quality.recall =
+        static_cast<double>(correct) / static_cast<double>(actual);
+  }
+  if (quality.precision + quality.recall > 0.0) {
+    quality.f1 = 2.0 * quality.precision * quality.recall /
+                 (quality.precision + quality.recall);
+  }
+  return quality;
+}
+
+}  // namespace leapme::graph

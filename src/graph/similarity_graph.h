@@ -1,0 +1,76 @@
+#ifndef LEAPME_GRAPH_SIMILARITY_GRAPH_H_
+#define LEAPME_GRAPH_SIMILARITY_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace leapme::graph {
+
+/// One scored correspondence between two properties.
+struct SimilarityEdge {
+  data::PropertyId a = 0;
+  data::PropertyId b = 0;
+  double score = 0.0;  ///< classifier similarity in [0, 1]
+};
+
+/// The output of LEAPME (Algorithm 1): property pairs with similarity
+/// scores, forming a similarity graph over the properties of all sources.
+/// This graph is the input of the clustering post-processing step the
+/// paper describes as future work (§VI).
+class SimilarityGraph {
+ public:
+  /// `num_properties` fixes the node id space [0, num_properties).
+  explicit SimilarityGraph(size_t num_properties = 0)
+      : num_properties_(num_properties) {}
+
+  size_t num_properties() const { return num_properties_; }
+  void set_num_properties(size_t n) { num_properties_ = n; }
+
+  void AddEdge(data::PropertyId a, data::PropertyId b, double score);
+
+  const std::vector<SimilarityEdge>& edges() const { return edges_; }
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Edges with score >= threshold.
+  std::vector<SimilarityEdge> EdgesAbove(double threshold) const;
+
+ private:
+  size_t num_properties_;
+  std::vector<SimilarityEdge> edges_;
+};
+
+/// Clusters as lists of property ids; singletons included for isolated
+/// properties.
+using Clusters = std::vector<std::vector<data::PropertyId>>;
+
+/// Connected components of the graph restricted to edges with
+/// score >= threshold — the simplest way to derive clusters of equivalent
+/// properties from the match result.
+Clusters ConnectedComponentClusters(const SimilarityGraph& graph,
+                                    double threshold);
+
+/// Star clustering: repeatedly pick the unassigned node with the highest
+/// summed edge weight as a cluster center and attach its unassigned
+/// neighbors (score >= threshold). More robust than connected components
+/// against single spurious bridge edges.
+Clusters StarClusters(const SimilarityGraph& graph, double threshold);
+
+/// Pair-level quality of a clustering against the dataset's ground truth:
+/// a predicted pair is any same-cluster cross-source property pair; an
+/// actual pair is any ground-truth match.
+struct ClusterQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t cluster_count = 0;
+  size_t non_singleton_clusters = 0;
+};
+
+ClusterQuality EvaluateClusters(const Clusters& clusters,
+                                const data::Dataset& dataset);
+
+}  // namespace leapme::graph
+
+#endif  // LEAPME_GRAPH_SIMILARITY_GRAPH_H_

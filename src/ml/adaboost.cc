@@ -1,0 +1,85 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leapme::ml {
+
+Status AdaBoost::Fit(const nn::Matrix& inputs,
+                     const std::vector<int32_t>& labels) {
+  if (inputs.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (inputs.rows() != labels.size()) {
+    return Status::InvalidArgument("inputs/labels size mismatch");
+  }
+  learners_.clear();
+  alphas_.clear();
+
+  const size_t n = inputs.rows();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    DecisionTreeOptions stump_options;
+    stump_options.max_depth = options_.stump_depth;
+    stump_options.min_samples_split = 2;
+    stump_options.min_samples_leaf = 1;
+    DecisionTree stump(stump_options);
+    LEAPME_RETURN_IF_ERROR(stump.FitWeighted(inputs, labels, weights));
+
+    std::vector<int32_t> predictions = stump.Predict(inputs);
+    double error = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((predictions[i] != 0) != (labels[i] != 0)) {
+        error += weights[i];
+      }
+    }
+    // Numerical floors keep alpha finite for (near-)perfect stumps.
+    error = std::clamp(error, 1e-10, 1.0 - 1e-10);
+    if (error >= 0.5) {
+      // Weak learner no better than chance: stop boosting. Keep at least
+      // one learner so prediction is well defined.
+      if (!learners_.empty()) break;
+    }
+    double alpha = 0.5 * std::log((1.0 - error) / error);
+    learners_.push_back(std::move(stump));
+    alphas_.push_back(alpha);
+
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double y = labels[i] != 0 ? 1.0 : -1.0;
+      double h = predictions[i] != 0 ? 1.0 : -1.0;
+      weights[i] *= std::exp(-alpha * y * h);
+      weight_sum += weights[i];
+    }
+    for (double& w : weights) {
+      w /= weight_sum;
+    }
+    if (error <= 1e-9) break;  // perfect fit; further rounds are no-ops
+  }
+  return Status::OK();
+}
+
+std::vector<double> AdaBoost::PredictProbability(
+    const nn::Matrix& inputs) const {
+  std::vector<double> margins(inputs.rows(), 0.0);
+  double alpha_sum = 0.0;
+  for (size_t t = 0; t < learners_.size(); ++t) {
+    std::vector<int32_t> predictions = learners_[t].Predict(inputs);
+    for (size_t i = 0; i < margins.size(); ++i) {
+      margins[i] += alphas_[t] * (predictions[i] != 0 ? 1.0 : -1.0);
+    }
+    alpha_sum += alphas_[t];
+  }
+  // Map the normalized margin in [-1, 1] through a logistic link so the
+  // output behaves like a probability.
+  std::vector<double> probabilities(margins.size(), 0.5);
+  if (alpha_sum <= 0.0) return probabilities;
+  for (size_t i = 0; i < margins.size(); ++i) {
+    double normalized = margins[i] / alpha_sum;
+    probabilities[i] = 1.0 / (1.0 + std::exp(-4.0 * normalized));
+  }
+  return probabilities;
+}
+
+}  // namespace leapme::ml

@@ -1,0 +1,44 @@
+#ifndef LEAPME_ML_ADABOOST_H_
+#define LEAPME_ML_ADABOOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace leapme::ml {
+
+/// Options for AdaBoost.
+struct AdaBoostOptions {
+  size_t rounds = 50;         ///< number of boosting rounds
+  size_t stump_depth = 1;     ///< depth of each weak learner
+};
+
+/// Discrete AdaBoost over shallow CART trees ("stumps"). This is the
+/// learner configuration used for the Nezhadi et al. baseline, whose best
+/// published results came from boosted decision trees over string
+/// similarity features.
+class AdaBoost final : public BinaryClassifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {}) : options_(options) {}
+
+  Status Fit(const nn::Matrix& inputs,
+             const std::vector<int32_t>& labels) override;
+  std::vector<double> PredictProbability(
+      const nn::Matrix& inputs) const override;
+  std::string Name() const override { return "adaboost"; }
+
+  /// Number of weak learners actually kept (early-stops on perfect fit).
+  size_t learner_count() const { return learners_.size(); }
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<DecisionTree> learners_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_ADABOOST_H_

@@ -1,0 +1,15 @@
+#include "ml/classifier.h"
+
+namespace leapme::ml {
+
+std::vector<int32_t> BinaryClassifier::Predict(const nn::Matrix& inputs,
+                                               double threshold) const {
+  std::vector<double> probabilities = PredictProbability(inputs);
+  std::vector<int32_t> decisions(probabilities.size());
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    decisions[i] = probabilities[i] >= threshold ? 1 : 0;
+  }
+  return decisions;
+}
+
+}  // namespace leapme::ml

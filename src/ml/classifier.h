@@ -1,0 +1,40 @@
+#ifndef LEAPME_ML_CLASSIFIER_H_
+#define LEAPME_ML_CLASSIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "nn/matrix.h"
+
+namespace leapme::ml {
+
+/// Binary classifier over dense feature vectors: the common interface of
+/// the classic learners (logistic regression, CART, AdaBoost) and of the
+/// neural classifier wrapper, so that the LEAPME pipeline and the Nezhadi
+/// baseline can swap learners for ablations.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on `inputs` (N x D) and 0/1 `labels` (length N).
+  virtual Status Fit(const nn::Matrix& inputs,
+                     const std::vector<int32_t>& labels) = 0;
+
+  /// Probability of the positive class for each row of `inputs`.
+  /// Must be called after a successful Fit.
+  virtual std::vector<double> PredictProbability(
+      const nn::Matrix& inputs) const = 0;
+
+  /// Human-readable learner name ("logreg", "cart", "adaboost", "mlp").
+  virtual std::string Name() const = 0;
+
+  /// Hard decisions at `threshold` on the positive probability.
+  std::vector<int32_t> Predict(const nn::Matrix& inputs,
+                               double threshold = 0.5) const;
+};
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_CLASSIFIER_H_

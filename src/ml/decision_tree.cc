@@ -1,0 +1,163 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace leapme::ml {
+
+namespace {
+
+// Weighted Gini impurity of a (positive weight, total weight) split side.
+double Gini(double positive_weight, double total_weight) {
+  if (total_weight <= 0.0) return 0.0;
+  double p = positive_weight / total_weight;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const nn::Matrix& inputs,
+                         const std::vector<int32_t>& labels) {
+  std::vector<double> weights(inputs.rows(),
+                              1.0 / std::max<size_t>(inputs.rows(), 1));
+  return FitWeighted(inputs, labels, weights);
+}
+
+Status DecisionTree::FitWeighted(const nn::Matrix& inputs,
+                                 const std::vector<int32_t>& labels,
+                                 const std::vector<double>& weights) {
+  if (inputs.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (inputs.rows() != labels.size() || labels.size() != weights.size()) {
+    return Status::InvalidArgument("inputs/labels/weights size mismatch");
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("negative sample weight");
+    }
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument("sample weights sum to zero");
+  }
+  nodes_.clear();
+  std::vector<size_t> all_indices(inputs.rows());
+  for (size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
+  BuildNode(inputs, labels, weights, all_indices, 0);
+  return Status::OK();
+}
+
+int32_t DecisionTree::BuildNode(const nn::Matrix& inputs,
+                                const std::vector<int32_t>& labels,
+                                const std::vector<double>& weights,
+                                std::vector<size_t>& sample_indices,
+                                size_t depth) {
+  double total_weight = 0.0;
+  double positive_weight = 0.0;
+  for (size_t idx : sample_indices) {
+    total_weight += weights[idx];
+    if (labels[idx] != 0) positive_weight += weights[idx];
+  }
+
+  auto make_leaf = [&]() -> int32_t {
+    Node leaf;
+    leaf.positive_probability =
+        total_weight > 0.0 ? positive_weight / total_weight : 0.0;
+    nodes_.push_back(leaf);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+
+  bool pure = positive_weight <= 0.0 || positive_weight >= total_weight;
+  if (pure || depth >= options_.max_depth ||
+      sample_indices.size() < options_.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Exhaustive best-split search: for every feature, sort samples by value
+  // and scan split points between distinct values.
+  const size_t d = inputs.cols();
+  double best_impurity = std::numeric_limits<double>::infinity();
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<size_t> order = sample_indices;
+  for (size_t feature = 0; feature < d; ++feature) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return inputs(a, feature) < inputs(b, feature);
+    });
+    double left_weight = 0.0;
+    double left_positive = 0.0;
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      size_t idx = order[i];
+      left_weight += weights[idx];
+      if (labels[idx] != 0) left_positive += weights[idx];
+      float current = inputs(idx, feature);
+      float next = inputs(order[i + 1], feature);
+      if (current == next) continue;
+      if (i + 1 < options_.min_samples_leaf ||
+          order.size() - i - 1 < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_weight = total_weight - left_weight;
+      double right_positive = positive_weight - left_positive;
+      double impurity = Gini(left_positive, left_weight) * left_weight +
+                        Gini(right_positive, right_weight) * right_weight;
+      if (impurity < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int32_t>(feature);
+        best_threshold = 0.5f * (current + next);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  for (size_t idx : sample_indices) {
+    if (inputs(idx, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_indices.push_back(idx);
+    } else {
+      right_indices.push_back(idx);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) {
+    return make_leaf();
+  }
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  auto node_index = static_cast<int32_t>(nodes_.size() - 1);
+  int32_t left = BuildNode(inputs, labels, weights, left_indices, depth + 1);
+  int32_t right = BuildNode(inputs, labels, weights, right_indices, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<double> DecisionTree::PredictProbability(
+    const nn::Matrix& inputs) const {
+  std::vector<double> probabilities(inputs.rows(), 0.0);
+  if (nodes_.empty()) return probabilities;
+  for (size_t i = 0; i < inputs.rows(); ++i) {
+    // The root is always node 0: BuildNode pushes internal nodes before
+    // recursing into children.
+    int32_t current = 0;
+    while (nodes_[current].left >= 0) {
+      const Node& node = nodes_[current];
+      float value = inputs(i, static_cast<size_t>(node.feature));
+      current = value <= node.threshold ? node.left : node.right;
+    }
+    probabilities[i] = nodes_[current].positive_probability;
+  }
+  return probabilities;
+}
+
+}  // namespace leapme::ml

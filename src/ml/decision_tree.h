@@ -1,0 +1,63 @@
+#ifndef LEAPME_ML_DECISION_TREE_H_
+#define LEAPME_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace leapme::ml {
+
+/// Options for DecisionTree.
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 4;
+  size_t min_samples_leaf = 2;
+};
+
+/// CART binary decision tree with Gini impurity and axis-aligned numeric
+/// splits. Supports per-sample weights (needed by AdaBoost).
+class DecisionTree final : public BinaryClassifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const nn::Matrix& inputs,
+             const std::vector<int32_t>& labels) override;
+
+  /// Weighted fit; `weights` must be non-negative and sum to a positive
+  /// value.
+  Status FitWeighted(const nn::Matrix& inputs,
+                     const std::vector<int32_t>& labels,
+                     const std::vector<double>& weights);
+
+  std::vector<double> PredictProbability(
+      const nn::Matrix& inputs) const override;
+  std::string Name() const override { return "cart"; }
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold and child links; leaves have
+    // left == -1 and carry the positive-class probability.
+    int32_t feature = -1;
+    float threshold = 0.0f;
+    int32_t left = -1;
+    int32_t right = -1;
+    double positive_probability = 0.0;
+  };
+
+  int32_t BuildNode(const nn::Matrix& inputs,
+                    const std::vector<int32_t>& labels,
+                    const std::vector<double>& weights,
+                    std::vector<size_t>& sample_indices, size_t depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_DECISION_TREE_H_

@@ -1,0 +1,66 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+namespace leapme::ml {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Status LogisticRegression::Fit(const nn::Matrix& inputs,
+                               const std::vector<int32_t>& labels) {
+  if (inputs.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (inputs.rows() != labels.size()) {
+    return Status::InvalidArgument("inputs/labels size mismatch");
+  }
+  const size_t n = inputs.rows();
+  const size_t d = inputs.cols();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(d);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      auto row = inputs.row(i);
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) {
+        z += weights_[j] * row[j];
+      }
+      double error = Sigmoid(z) - (labels[i] != 0 ? 1.0 : 0.0);
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] += error * row[j];
+      }
+      grad_bias += error;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options_.learning_rate *
+                     (grad[j] * inv_n + options_.l2 * weights_[j]);
+    }
+    bias_ -= options_.learning_rate * grad_bias * inv_n;
+  }
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegression::PredictProbability(
+    const nn::Matrix& inputs) const {
+  std::vector<double> probabilities(inputs.rows(), 0.0);
+  for (size_t i = 0; i < inputs.rows(); ++i) {
+    auto row = inputs.row(i);
+    double z = bias_;
+    for (size_t j = 0; j < weights_.size() && j < row.size(); ++j) {
+      z += weights_[j] * row[j];
+    }
+    probabilities[i] = Sigmoid(z);
+  }
+  return probabilities;
+}
+
+}  // namespace leapme::ml

@@ -1,0 +1,44 @@
+#ifndef LEAPME_ML_LOGISTIC_REGRESSION_H_
+#define LEAPME_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace leapme::ml {
+
+/// Options for LogisticRegression.
+struct LogisticRegressionOptions {
+  size_t epochs = 200;          ///< full-batch gradient steps
+  double learning_rate = 0.5;   ///< step size
+  double l2 = 1e-4;             ///< L2 regularization strength
+};
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent. A linear reference learner: on LEAPME's feature vectors it
+/// shows what a *linear* combination of embedding components achieves,
+/// motivating the paper's choice of a nonlinear NN (§IV-C).
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const nn::Matrix& inputs,
+             const std::vector<int32_t>& labels) override;
+  std::vector<double> PredictProbability(
+      const nn::Matrix& inputs) const override;
+  std::string Name() const override { return "logreg"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_LOGISTIC_REGRESSION_H_

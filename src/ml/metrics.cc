@@ -1,0 +1,147 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace leapme::ml {
+
+void ConfusionCounts::Add(bool predicted_positive, bool actually_positive) {
+  if (predicted_positive && actually_positive) {
+    ++true_positives;
+  } else if (predicted_positive && !actually_positive) {
+    ++false_positives;
+  } else if (!predicted_positive && actually_positive) {
+    ++false_negatives;
+  } else {
+    ++true_negatives;
+  }
+}
+
+std::string MatchQuality::ToString() const {
+  return StrFormat("P=%.2f R=%.2f F1=%.2f", precision, recall, f1);
+}
+
+MatchQuality ComputeQuality(const ConfusionCounts& counts) {
+  MatchQuality quality;
+  size_t predicted = counts.true_positives + counts.false_positives;
+  size_t actual = counts.true_positives + counts.false_negatives;
+  if (predicted > 0) {
+    quality.precision = static_cast<double>(counts.true_positives) /
+                        static_cast<double>(predicted);
+  }
+  if (actual > 0) {
+    quality.recall = static_cast<double>(counts.true_positives) /
+                     static_cast<double>(actual);
+  }
+  if (quality.precision + quality.recall > 0.0) {
+    quality.f1 = 2.0 * quality.precision * quality.recall /
+                 (quality.precision + quality.recall);
+  }
+  return quality;
+}
+
+MatchQuality ComputeQuality(const std::vector<int32_t>& predictions,
+                            const std::vector<int32_t>& labels) {
+  LEAPME_CHECK_EQ(predictions.size(), labels.size());
+  ConfusionCounts counts;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    counts.Add(predictions[i] != 0, labels[i] != 0);
+  }
+  return ComputeQuality(counts);
+}
+
+MatchQuality MeanQuality(const std::vector<MatchQuality>& qualities) {
+  MatchQuality mean;
+  if (qualities.empty()) return mean;
+  for (const MatchQuality& q : qualities) {
+    mean.precision += q.precision;
+    mean.recall += q.recall;
+    mean.f1 += q.f1;
+  }
+  auto n = static_cast<double>(qualities.size());
+  mean.precision /= n;
+  mean.recall /= n;
+  mean.f1 /= n;
+  return mean;
+}
+
+double Accuracy(const std::vector<int32_t>& predictions,
+                const std::vector<int32_t>& labels) {
+  LEAPME_CHECK_EQ(predictions.size(), labels.size());
+  if (predictions.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if ((predictions[i] != 0) == (labels[i] != 0)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<double>& scores, const std::vector<int32_t>& labels) {
+  LEAPME_CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  size_t total_positives = 0;
+  for (int32_t label : labels) {
+    if (label != 0) ++total_positives;
+  }
+
+  std::vector<PrPoint> curve;
+  size_t true_positives = 0;
+  size_t predicted = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ++predicted;
+    if (labels[order[i]] != 0) ++true_positives;
+    // Emit a point only at threshold boundaries (last of a score run).
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    PrPoint point;
+    point.threshold = scores[order[i]];
+    point.precision = static_cast<double>(true_positives) /
+                      static_cast<double>(predicted);
+    point.recall = total_positives == 0
+                       ? 0.0
+                       : static_cast<double>(true_positives) /
+                             static_cast<double>(total_positives);
+    if (point.precision + point.recall > 0.0) {
+      point.f1 = 2.0 * point.precision * point.recall /
+                 (point.precision + point.recall);
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int32_t>& labels) {
+  std::vector<PrPoint> curve = PrecisionRecallCurve(scores, labels);
+  double area = 0.0;
+  double previous_recall = 0.0;
+  for (const PrPoint& point : curve) {
+    area += (point.recall - previous_recall) * point.precision;
+    previous_recall = point.recall;
+  }
+  return area;
+}
+
+PrPoint BestF1Point(const std::vector<double>& scores,
+                    const std::vector<int32_t>& labels) {
+  PrPoint best;
+  for (const PrPoint& point : PrecisionRecallCurve(scores, labels)) {
+    if (point.f1 > best.f1) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace leapme::ml

@@ -1,0 +1,73 @@
+#ifndef LEAPME_ML_METRICS_H_
+#define LEAPME_ML_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leapme::ml {
+
+/// Binary confusion counts.
+struct ConfusionCounts {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  void Add(bool predicted_positive, bool actually_positive);
+};
+
+/// Precision / recall / F1 triple — the paper's match-quality metrics.
+struct MatchQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes P/R/F1 from confusion counts. Degenerate conventions: precision
+/// is 0 when nothing was predicted positive; recall is 0 when there are no
+/// actual positives; F1 is 0 when P + R == 0.
+MatchQuality ComputeQuality(const ConfusionCounts& counts);
+
+/// Computes P/R/F1 directly from parallel 0/1 prediction / label vectors.
+MatchQuality ComputeQuality(const std::vector<int32_t>& predictions,
+                            const std::vector<int32_t>& labels);
+
+/// Element-wise mean of qualities (used to average over the repeated runs
+/// with different random source splits). Empty input -> zeros.
+MatchQuality MeanQuality(const std::vector<MatchQuality>& qualities);
+
+/// Fraction of correct hard decisions.
+double Accuracy(const std::vector<int32_t>& predictions,
+                const std::vector<int32_t>& labels);
+
+/// One precision/recall operating point of a score threshold sweep.
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Sweeps the decision threshold over every distinct score and returns
+/// the precision/recall curve ordered by descending threshold (recall
+/// non-decreasing). Useful for picking operating points beyond the
+/// paper's fixed 0.5.
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<int32_t>& labels);
+
+/// Average precision (area under the PR curve, step interpolation).
+/// 0 when there are no positive labels.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int32_t>& labels);
+
+/// The PR point with the highest F1 (ties: highest threshold). Returns a
+/// zero point when the curve is empty.
+PrPoint BestF1Point(const std::vector<double>& scores,
+                    const std::vector<int32_t>& labels);
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_METRICS_H_

@@ -1,0 +1,70 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace leapme::ml {
+
+namespace {
+constexpr float kMinStddev = 1e-6f;
+}  // namespace
+
+Status StandardScaler::Fit(const nn::Matrix& inputs) {
+  if (inputs.rows() == 0) {
+    return Status::InvalidArgument("cannot fit scaler on empty matrix");
+  }
+  const size_t n = inputs.rows();
+  const size_t d = inputs.cols();
+  mean_.assign(d, 0.0f);
+  stddev_.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0);
+  std::vector<double> sum_sq(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = inputs.data() + r * d;
+    for (size_t c = 0; c < d; ++c) {
+      sum[c] += row[c];
+      sum_sq[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t c = 0; c < d; ++c) {
+    double mean = sum[c] * inv_n;
+    double variance = std::max(0.0, sum_sq[c] * inv_n - mean * mean);
+    mean_[c] = static_cast<float>(mean);
+    stddev_[c] = static_cast<float>(std::sqrt(variance));
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::Restore(std::vector<float> mean,
+                               std::vector<float> stddev) {
+  if (mean.empty() || mean.size() != stddev.size()) {
+    return Status::InvalidArgument("bad scaler statistics");
+  }
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+  return Status::OK();
+}
+
+Status StandardScaler::Transform(nn::Matrix* inputs) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("Transform called before Fit");
+  }
+  if (inputs->cols() != mean_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("scaler fitted on %zu columns, matrix has %zu",
+                  mean_.size(), inputs->cols()));
+  }
+  const size_t d = inputs->cols();
+  for (size_t r = 0; r < inputs->rows(); ++r) {
+    float* row = inputs->data() + r * d;
+    for (size_t c = 0; c < d; ++c) {
+      float stddev = std::max(stddev_[c], kMinStddev);
+      row[c] = (row[c] - mean_[c]) / stddev;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace leapme::ml

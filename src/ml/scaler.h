@@ -1,0 +1,44 @@
+#ifndef LEAPME_ML_SCALER_H_
+#define LEAPME_ML_SCALER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace leapme::ml {
+
+/// Per-column z-score standardization fitted on a training design matrix
+/// and applied to train and test matrices alike. Neural-network training
+/// needs inputs on comparable scales: LEAPME's raw feature vector mixes
+/// [0,1] distances with unbounded meta-feature counts and instance values.
+class StandardScaler {
+ public:
+  /// Computes per-column mean and standard deviation of `inputs`.
+  Status Fit(const nn::Matrix& inputs);
+
+  /// Standardizes `inputs` in place: (x - mean) / max(std, epsilon).
+  /// Requires a prior Fit with the same column count.
+  Status Transform(nn::Matrix* inputs) const;
+
+  Status FitTransform(nn::Matrix* inputs) {
+    LEAPME_RETURN_IF_ERROR(Fit(*inputs));
+    return Transform(inputs);
+  }
+
+  /// Restores a scaler from previously saved statistics (deserialization).
+  /// Both vectors must be non-empty and of equal length.
+  Status Restore(std::vector<float> mean, std::vector<float> stddev);
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace leapme::ml
+
+#endif  // LEAPME_ML_SCALER_H_

@@ -1,0 +1,45 @@
+#ifndef LEAPME_NN_DENSE_LAYER_H_
+#define LEAPME_NN_DENSE_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace leapme::nn {
+
+/// Fully connected layer: output = input * W + b, with W of shape
+/// (input_dim x output_dim) and bias b of length output_dim.
+class DenseLayer final : public Layer {
+ public:
+  /// Creates the layer with He-uniform initialized weights (suited to the
+  /// ReLU activations the LEAPME network uses) and zero bias.
+  DenseLayer(size_t input_dim, size_t output_dim, Rng& rng);
+
+  /// Creates the layer with explicit weights/bias (used by deserialization).
+  DenseLayer(Matrix weights, std::vector<float> bias);
+
+  void Forward(const Matrix& input, Matrix* output) override;
+  void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  std::vector<Parameter> Parameters() override;
+  std::string TypeName() const override { return "dense"; }
+  size_t OutputDim(size_t input_dim) const override;
+
+  size_t input_dim() const { return weights_.rows(); }
+  size_t output_dim() const { return weights_.cols(); }
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+
+ private:
+  Matrix weights_;       // input_dim x output_dim
+  Matrix bias_;          // 1 x output_dim
+  Matrix grad_weights_;  // same shape as weights_
+  Matrix grad_bias_;     // same shape as bias_
+  Matrix last_input_;    // cached for Backward
+};
+
+}  // namespace leapme::nn
+
+#endif  // LEAPME_NN_DENSE_LAYER_H_

@@ -1,0 +1,59 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace leapme::nn {
+
+void Softmax(const Matrix& logits, Matrix* probabilities) {
+  probabilities->Resize(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.data() + r * logits.cols();
+    float* out = probabilities->data() + r * logits.cols();
+    float max_logit = in[0];
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      max_logit = std::max(max_logit, in[c]);
+    }
+    float sum = 0.0f;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      out[c] = std::exp(in[c] - max_logit);
+      sum += out[c];
+    }
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      out[c] /= sum;
+    }
+  }
+}
+
+double SoftmaxCrossEntropy::Forward(const Matrix& logits,
+                                    const std::vector<int32_t>& labels,
+                                    Matrix* probabilities) const {
+  LEAPME_CHECK_EQ(logits.rows(), labels.size());
+  Softmax(logits, probabilities);
+  double loss = 0.0;
+  constexpr float kEpsilon = 1e-12f;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    auto label = static_cast<size_t>(labels[r]);
+    LEAPME_CHECK_LT(label, logits.cols());
+    loss -= std::log(
+        std::max((*probabilities)(r, label), kEpsilon));
+  }
+  return loss / static_cast<double>(logits.rows());
+}
+
+void SoftmaxCrossEntropy::Backward(const Matrix& probabilities,
+                                   const std::vector<int32_t>& labels,
+                                   Matrix* grad_logits) const {
+  LEAPME_CHECK_EQ(probabilities.rows(), labels.size());
+  *grad_logits = probabilities;
+  const float inv_batch = 1.0f / static_cast<float>(probabilities.rows());
+  for (size_t r = 0; r < probabilities.rows(); ++r) {
+    auto label = static_cast<size_t>(labels[r]);
+    (*grad_logits)(r, label) -= 1.0f;
+  }
+  grad_logits->ScaleInPlace(inv_batch);
+}
+
+}  // namespace leapme::nn

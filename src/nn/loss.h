@@ -1,0 +1,33 @@
+#ifndef LEAPME_NN_LOSS_H_
+#define LEAPME_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace leapme::nn {
+
+/// Softmax cross-entropy over class logits. The LEAPME network ends in a
+/// two-neuron layer whose softmax-normalized positive output doubles as the
+/// pair similarity score (paper §IV-D).
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes row-wise softmax of `logits` into `probabilities` and returns
+  /// the mean cross-entropy against integer `labels` (values in
+  /// [0, num_classes)).
+  double Forward(const Matrix& logits, const std::vector<int32_t>& labels,
+                 Matrix* probabilities) const;
+
+  /// Gradient of the mean loss w.r.t. the logits:
+  /// (softmax - onehot) / batch_size.
+  void Backward(const Matrix& probabilities,
+                const std::vector<int32_t>& labels, Matrix* grad_logits) const;
+};
+
+/// Row-wise softmax (numerically stabilized by max subtraction).
+void Softmax(const Matrix& logits, Matrix* probabilities);
+
+}  // namespace leapme::nn
+
+#endif  // LEAPME_NN_LOSS_H_

@@ -1,0 +1,142 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace leapme::nn {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  LEAPME_CHECK_EQ(data_.size(), rows * cols);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::RowSlice(size_t begin, size_t end) const {
+  LEAPME_CHECK_LE(begin, end);
+  LEAPME_CHECK_LE(end, rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+            out.data_.begin());
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  LEAPME_CHECK_EQ(rows_, other.rows_);
+  LEAPME_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Matrix::ScaleInPlace(float s) {
+  for (float& value : data_) {
+    value *= s;
+  }
+}
+
+double Matrix::SquaredNorm() const {
+  double sum = 0.0;
+  for (float value : data_) {
+    sum += static_cast<double>(value) * static_cast<double>(value);
+  }
+  return sum;
+}
+
+std::string Matrix::ShapeString() const {
+  return StrFormat("%zux%zu", rows_, cols_);
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  LEAPME_CHECK_EQ(a.cols(), b.rows());
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  out->Resize(n, m);
+  // i-k-j loop order: the inner loop is a contiguous AXPY over B and OUT
+  // rows, which GCC auto-vectorizes.
+  for (size_t i = 0; i < n; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out->data() + i * m;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = b.data() + kk * m;
+      for (size_t j = 0; j < m; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
+  LEAPME_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows();
+  const size_t n = a.cols();
+  const size_t m = b.cols();
+  out->Resize(n, m);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a.data() + kk * n;
+    const float* b_row = b.data() + kk * m;
+    for (size_t i = 0; i < n; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) continue;
+      float* out_row = out->data() + i * m;
+      for (size_t j = 0; j < m; ++j) {
+        out_row[j] += a_ki * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
+  LEAPME_CHECK_EQ(a.cols(), b.cols());
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.rows();
+  out->Resize(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out->data() + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* b_row = b.data() + j * k;
+      float sum = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * b_row[kk];
+      }
+      out_row[j] = sum;
+    }
+  }
+}
+
+void ColumnSums(const Matrix& m, std::vector<float>* out) {
+  out->assign(m.cols(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (size_t c = 0; c < m.cols(); ++c) {
+      (*out)[c] += row[c];
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, std::span<const float> bias) {
+  LEAPME_CHECK_EQ(m->cols(), bias.size());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->data() + r * m->cols();
+    for (size_t c = 0; c < m->cols(); ++c) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+}  // namespace leapme::nn

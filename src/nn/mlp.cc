@@ -1,0 +1,191 @@
+#include "nn/mlp.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "nn/activation.h"
+#include "nn/dense_layer.h"
+
+namespace leapme::nn {
+
+void Mlp::AddDense(size_t input_dim, size_t output_dim, Rng& rng) {
+  layers_.push_back(std::make_unique<DenseLayer>(input_dim, output_dim, rng));
+}
+
+void Mlp::AddLayer(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+void Mlp::AddRelu() { layers_.push_back(std::make_unique<ReluLayer>()); }
+
+void Mlp::AddDropout(double rate, uint64_t seed) {
+  layers_.push_back(std::make_unique<DropoutLayer>(rate, seed));
+}
+
+void Mlp::Forward(const Matrix& input, Matrix* logits) {
+  LEAPME_CHECK(!layers_.empty());
+  activations_.resize(layers_.size());
+  const Matrix* current = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->Forward(*current, &activations_[i]);
+    current = &activations_[i];
+  }
+  *logits = activations_.back();
+}
+
+void Mlp::Predict(const Matrix& input, Matrix* probabilities) {
+  for (auto& layer : layers_) {
+    layer->SetTraining(false);
+  }
+  Matrix logits;
+  Forward(input, &logits);
+  Softmax(logits, probabilities);
+}
+
+double Mlp::EvaluateLoss(const Matrix& input,
+                         const std::vector<int32_t>& labels) {
+  for (auto& layer : layers_) {
+    layer->SetTraining(false);
+  }
+  Matrix logits;
+  Forward(input, &logits);
+  return loss_.Forward(logits, labels, &probabilities_);
+}
+
+double Mlp::TrainBatch(const Matrix& input,
+                       const std::vector<int32_t>& labels,
+                       Optimizer& optimizer) {
+  for (auto& layer : layers_) {
+    layer->SetTraining(true);
+  }
+  Matrix logits;
+  Forward(input, &logits);
+  double loss = loss_.Forward(logits, labels, &probabilities_);
+  loss_.Backward(probabilities_, labels, &grad_);
+  for (size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->Backward(grad_, &grad_scratch_);
+    std::swap(grad_, grad_scratch_);
+  }
+  optimizer.Step(Parameters());
+  return loss;
+}
+
+std::vector<Parameter> Mlp::Parameters() {
+  std::vector<Parameter> parameters;
+  for (auto& layer : layers_) {
+    for (Parameter& p : layer->Parameters()) {
+      parameters.push_back(p);
+    }
+  }
+  return parameters;
+}
+
+Mlp BuildMlp(size_t input_dim, const std::vector<size_t>& hidden_sizes,
+             size_t num_classes, Rng& rng, double dropout_rate) {
+  Mlp mlp;
+  size_t current = input_dim;
+  for (size_t hidden : hidden_sizes) {
+    mlp.AddDense(current, hidden, rng);
+    mlp.AddRelu();
+    if (dropout_rate > 0.0) {
+      mlp.AddDropout(dropout_rate, rng.Next());
+    }
+    current = hidden;
+  }
+  mlp.AddDense(current, num_classes, rng);
+  return mlp;
+}
+
+Status SaveMlp(const Mlp& mlp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "leapme-mlp 1\n";
+  out << mlp.layer_count() << "\n";
+  for (size_t i = 0; i < mlp.layer_count(); ++i) {
+    const Layer& layer = mlp.layer(i);
+    out << layer.TypeName() << "\n";
+    if (layer.TypeName() == "dropout") {
+      out << static_cast<const DropoutLayer&>(layer).rate() << "\n";
+    } else if (layer.TypeName() == "dense") {
+      const auto& dense = static_cast<const DenseLayer&>(layer);
+      out << dense.input_dim() << " " << dense.output_dim() << "\n";
+      const Matrix& w = dense.weights();
+      for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c) {
+          out << w(r, c) << (c + 1 == w.cols() ? '\n' : ' ');
+        }
+      }
+      const Matrix& b = dense.bias();
+      for (size_t c = 0; c < b.cols(); ++c) {
+        out << b(0, c) << (c + 1 == b.cols() ? '\n' : ' ');
+      }
+    }
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<Mlp> LoadMlp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "leapme-mlp" || version != 1) {
+    return Status::Corruption("bad model header in " + path);
+  }
+  size_t layer_count = 0;
+  in >> layer_count;
+  Mlp mlp;
+  for (size_t i = 0; i < layer_count; ++i) {
+    std::string type;
+    in >> type;
+    if (type == "relu") {
+      mlp.AddRelu();
+    } else if (type == "dropout") {
+      double rate = 0.0;
+      in >> rate;
+      if (!in || rate < 0.0 || rate >= 1.0) {
+        return Status::Corruption("bad dropout rate in " + path);
+      }
+      mlp.AddDropout(rate);
+    } else if (type == "tanh") {
+      mlp.AddLayer(std::make_unique<TanhLayer>());
+    } else if (type == "dense") {
+      size_t input_dim = 0;
+      size_t output_dim = 0;
+      in >> input_dim >> output_dim;
+      if (!in || input_dim == 0 || output_dim == 0) {
+        return Status::Corruption("bad dense shape in " + path);
+      }
+      Matrix weights(input_dim, output_dim);
+      for (size_t r = 0; r < input_dim; ++r) {
+        for (size_t c = 0; c < output_dim; ++c) {
+          in >> weights(r, c);
+        }
+      }
+      std::vector<float> bias(output_dim);
+      for (float& value : bias) {
+        in >> value;
+      }
+      if (!in) {
+        return Status::Corruption("truncated dense layer in " + path);
+      }
+      mlp.AddLayer(std::make_unique<DenseLayer>(std::move(weights),
+                                                std::move(bias)));
+    } else {
+      return Status::Corruption("unknown layer type '" + type + "' in " +
+                                path);
+    }
+  }
+  return mlp;
+}
+
+}  // namespace leapme::nn

@@ -1,0 +1,86 @@
+#include "text/char_class.h"
+
+#include <cctype>
+
+namespace leapme::text {
+
+namespace {
+
+bool IsPunctuationChar(unsigned char c) {
+  switch (c) {
+    case '.':
+    case ',':
+    case ';':
+    case ':':
+    case '!':
+    case '?':
+    case '\'':
+    case '"':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case '-':
+    case '_':
+    case '/':
+    case '\\':
+    case '#':
+    case '%':
+    case '&':
+    case '*':
+    case '@':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSymbolChar(unsigned char c) {
+  switch (c) {
+    case '$':
+    case '+':
+    case '<':
+    case '=':
+    case '>':
+    case '^':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CharClass ClassifyChar(unsigned char c) {
+  if (c >= 'A' && c <= 'Z') return CharClass::kUppercaseLetter;
+  if (c >= 'a' && c <= 'z') return CharClass::kLowercaseLetter;
+  if (c >= '0' && c <= '9') return CharClass::kNumber;
+  if (std::isspace(c)) return CharClass::kSeparator;
+  if (IsPunctuationChar(c)) return CharClass::kPunctuation;
+  if (IsSymbolChar(c)) return CharClass::kSymbol;
+  if (c >= 0xC0) return CharClass::kOtherLetter;  // UTF-8 lead byte
+  if (c >= 0x80) return CharClass::kMark;         // UTF-8 continuation byte
+  return CharClass::kOther;
+}
+
+CharClassCounts CountCharClasses(std::string_view text) {
+  CharClassCounts result;
+  for (unsigned char c : text) {
+    ++result.counts[static_cast<size_t>(ClassifyChar(c))];
+  }
+  result.total = text.size();
+  return result;
+}
+
+bool IsLetter(unsigned char c) {
+  CharClass cls = ClassifyChar(c);
+  return cls == CharClass::kUppercaseLetter ||
+         cls == CharClass::kLowercaseLetter || cls == CharClass::kOtherLetter;
+}
+
+}  // namespace leapme::text

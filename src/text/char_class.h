@@ -1,0 +1,54 @@
+#ifndef LEAPME_TEXT_CHAR_CLASS_H_
+#define LEAPME_TEXT_CHAR_CLASS_H_
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace leapme::text {
+
+/// Character classes used by the TAPON-style instance meta-features
+/// (Table I, id 1 of the paper): letters split into uppercase / lowercase /
+/// caseless, plus marks, numbers, punctuation, symbols, separators and a
+/// catch-all. The classification approximates Unicode general categories on
+/// ASCII and treats non-ASCII bytes conservatively.
+enum class CharClass : int {
+  kUppercaseLetter = 0,  ///< A-Z
+  kLowercaseLetter = 1,  ///< a-z
+  kOtherLetter = 2,      ///< caseless / non-ASCII letters (UTF-8 lead bytes)
+  kMark = 3,             ///< combining marks (UTF-8 continuation bytes)
+  kNumber = 4,           ///< 0-9
+  kPunctuation = 5,      ///< . , ; : ! ? ' " ( ) [ ] { } - _ / \ # % & * @
+  kSymbol = 6,           ///< $ + < = > ^ ` | ~
+  kSeparator = 7,        ///< space, tab, newline and other ASCII whitespace
+  kOther = 8,            ///< control characters and anything unclassified
+};
+
+/// Number of distinct character classes.
+inline constexpr size_t kNumCharClasses = 9;
+
+/// Classifies one byte of (possibly UTF-8) text.
+CharClass ClassifyChar(unsigned char c);
+
+/// Per-class byte counts for a string.
+struct CharClassCounts {
+  std::array<size_t, kNumCharClasses> counts{};
+  size_t total = 0;
+
+  size_t count(CharClass c) const { return counts[static_cast<size_t>(c)]; }
+  /// Fraction of bytes in class `c`; 0 when the string is empty.
+  double fraction(CharClass c) const {
+    return total == 0 ? 0.0 : static_cast<double>(count(c)) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Counts the character classes of every byte in `text`.
+CharClassCounts CountCharClasses(std::string_view text);
+
+/// True when the byte is a letter of any case.
+bool IsLetter(unsigned char c);
+
+}  // namespace leapme::text
+
+#endif  // LEAPME_TEXT_CHAR_CLASS_H_

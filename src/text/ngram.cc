@@ -1,0 +1,73 @@
+#include "text/ngram.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace leapme::text {
+
+NgramProfile::NgramProfile(std::string_view text, size_t n) : gram_size_(n) {
+  if (n == 0 || text.size() < n) {
+    return;
+  }
+  for (size_t i = 0; i + n <= text.size(); ++i) {
+    ++grams_[std::string(text.substr(i, n))];
+    ++total_;
+  }
+}
+
+size_t NgramProfile::count(std::string_view gram) const {
+  auto it = grams_.find(std::string(gram));
+  return it == grams_.end() ? 0 : it->second;
+}
+
+double QgramDistance(const NgramProfile& a, const NgramProfile& b) {
+  double distance = 0.0;
+  for (const auto& [gram, count_a] : a.grams()) {
+    size_t count_b = b.count(gram);
+    distance += std::abs(static_cast<double>(count_a) -
+                         static_cast<double>(count_b));
+  }
+  for (const auto& [gram, count_b] : b.grams()) {
+    if (a.count(gram) == 0) {
+      distance += static_cast<double>(count_b);
+    }
+  }
+  return distance;
+}
+
+double CosineDistance(const NgramProfile& a, const NgramProfile& b) {
+  if (a.total() == 0 && b.total() == 0) return 0.0;
+  if (a.total() == 0 || b.total() == 0) return 1.0;
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [gram, count_a] : a.grams()) {
+    auto ca = static_cast<double>(count_a);
+    norm_a += ca * ca;
+    size_t count_b = b.count(gram);
+    if (count_b > 0) {
+      dot += ca * static_cast<double>(count_b);
+    }
+  }
+  for (const auto& [gram, count_b] : b.grams()) {
+    auto cb = static_cast<double>(count_b);
+    norm_b += cb * cb;
+  }
+  return 1.0 - dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double JaccardDistance(const NgramProfile& a, const NgramProfile& b) {
+  if (a.distinct() == 0 && b.distinct() == 0) return 0.0;
+  if (a.distinct() == 0 || b.distinct() == 0) return 1.0;
+  size_t intersection = 0;
+  for (const auto& [gram, count_a] : a.grams()) {
+    (void)count_a;
+    if (b.count(gram) > 0) {
+      ++intersection;
+    }
+  }
+  size_t unions = a.distinct() + b.distinct() - intersection;
+  return 1.0 - static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+}  // namespace leapme::text

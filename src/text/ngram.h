@@ -1,0 +1,56 @@
+#ifndef LEAPME_TEXT_NGRAM_H_
+#define LEAPME_TEXT_NGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace leapme::text {
+
+/// Bag of character n-grams with multiplicities ("q-gram profile").
+/// Profiles back the q-gram, cosine and Jaccard distances of Table I
+/// (ids 12-14), following the semantics of the R `stringdist` package the
+/// paper's implementation relies on: no padding; a string shorter than `n`
+/// contributes no n-grams.
+class NgramProfile {
+ public:
+  /// Builds the profile of `text` with gram size `n` (n >= 1).
+  NgramProfile(std::string_view text, size_t n);
+
+  size_t gram_size() const { return gram_size_; }
+
+  /// Total number of grams (sum of multiplicities).
+  size_t total() const { return total_; }
+
+  /// Number of distinct grams.
+  size_t distinct() const { return grams_.size(); }
+
+  /// Multiplicity of `gram` (0 when absent).
+  size_t count(std::string_view gram) const;
+
+  const std::unordered_map<std::string, size_t>& grams() const {
+    return grams_;
+  }
+
+ private:
+  size_t gram_size_;
+  size_t total_ = 0;
+  std::unordered_map<std::string, size_t> grams_;
+};
+
+/// Sum over all grams of |count_a - count_b| (the stringdist "qgram"
+/// distance). Two strings both shorter than the gram size have distance 0.
+double QgramDistance(const NgramProfile& a, const NgramProfile& b);
+
+/// 1 - cosine similarity between the gram count vectors. Returns 0 for two
+/// empty profiles and 1 when exactly one profile is empty.
+double CosineDistance(const NgramProfile& a, const NgramProfile& b);
+
+/// 1 - |A ∩ B| / |A ∪ B| over the distinct gram sets. Returns 0 for two
+/// empty profiles and 1 when exactly one profile is empty.
+double JaccardDistance(const NgramProfile& a, const NgramProfile& b);
+
+}  // namespace leapme::text
+
+#endif  // LEAPME_TEXT_NGRAM_H_

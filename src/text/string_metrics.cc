@@ -1,0 +1,204 @@
+#include "text/string_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "text/ngram.h"
+
+namespace leapme::text {
+
+namespace {
+
+constexpr size_t kQgramSize = 3;
+
+}  // namespace
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Single-row DP over the shorter string to bound memory.
+  if (m > n) return Levenshtein(b, a);
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[m];
+}
+
+size_t OptimalStringAlignment(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> prev2(m + 1);
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Lowrance-Wagner algorithm with full transposition support.
+  const size_t kInf = n + m;
+  std::vector<std::vector<size_t>> d(n + 2, std::vector<size_t>(m + 2, 0));
+  d[0][0] = kInf;
+  for (size_t i = 0; i <= n; ++i) {
+    d[i + 1][0] = kInf;
+    d[i + 1][1] = i;
+  }
+  for (size_t j = 0; j <= m; ++j) {
+    d[0][j + 1] = kInf;
+    d[1][j + 1] = j;
+  }
+  std::unordered_map<char, size_t> last_row;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t last_match_col = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t i1 = last_row.count(b[j - 1]) ? last_row[b[j - 1]] : 0;
+      size_t j1 = last_match_col;
+      size_t cost = 1;
+      if (a[i - 1] == b[j - 1]) {
+        cost = 0;
+        last_match_col = j;
+      }
+      size_t substitution = d[i][j] + cost;
+      size_t insertion = d[i + 1][j] + 1;
+      size_t deletion = d[i][j + 1] + 1;
+      size_t transposition = kInf;
+      if (i1 > 0 && j1 > 0) {
+        transposition = d[i1][j1] + (i - i1 - 1) + 1 + (j - j1 - 1);
+      }
+      d[i + 1][j + 1] =
+          std::min({substitution, insertion, deletion, transposition});
+    }
+    last_row[a[i - 1]] = i;
+  }
+  return d[n + 1][m + 1];
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0;
+  if (m > n) return LongestCommonSubsequence(b, a);
+  std::vector<size_t> row(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diagonal = 0;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t above = row[j];
+      if (a[i - 1] == b[j - 1]) {
+        row[j] = diagonal + 1;
+      } else {
+        row[j] = std::max(row[j], row[j - 1]);
+      }
+      diagonal = above;
+    }
+  }
+  return row[m];
+}
+
+size_t LcsDistance(std::string_view a, std::string_view b) {
+  return a.size() + b.size() - 2 * LongestCommonSubsequence(a, b);
+}
+
+double ThreeGramDistance(std::string_view a, std::string_view b) {
+  return QgramDistance(NgramProfile(a, kQgramSize),
+                       NgramProfile(b, kQgramSize));
+}
+
+double ThreeGramCosineDistance(std::string_view a, std::string_view b) {
+  return CosineDistance(NgramProfile(a, kQgramSize),
+                        NgramProfile(b, kQgramSize));
+}
+
+double ThreeGramJaccardDistance(std::string_view a, std::string_view b) {
+  return JaccardDistance(NgramProfile(a, kQgramSize),
+                         NgramProfile(b, kQgramSize));
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window =
+      std::max(n, m) <= 1 ? 0 : std::max(n, m) / 2 - 1;
+  std::vector<bool> a_matched(n, false);
+  std::vector<bool> b_matched(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double mm = static_cast<double>(matches);
+  return (mm / static_cast<double>(n) + mm / static_cast<double>(m) +
+          (mm - static_cast<double>(transpositions) / 2.0) / mm) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double JaroWinklerDistance(std::string_view a, std::string_view b,
+                           double prefix_scale) {
+  return 1.0 - JaroWinklerSimilarity(a, b, prefix_scale);
+}
+
+double NormalizedByMaxLength(size_t distance, std::string_view a,
+                             std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+}  // namespace leapme::text

@@ -1,0 +1,128 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/char_class.h"
+
+namespace leapme::text {
+
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  return IsLetter(c) || (c >= '0' && c <= '9');
+}
+
+bool IsDigit(unsigned char c) { return c >= '0' && c <= '9'; }
+
+bool IsUpper(unsigned char c) { return c >= 'A' && c <= 'Z'; }
+bool IsLower(unsigned char c) { return c >= 'a' && c <= 'z'; }
+
+std::vector<std::string> TokenizeImpl(std::string_view text,
+                                      bool keep_decimal_points) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    auto c = static_cast<unsigned char>(text[i]);
+    if (!IsTokenChar(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < n) {
+      auto cur = static_cast<unsigned char>(text[i]);
+      if (IsTokenChar(cur)) {
+        ++i;
+        continue;
+      }
+      // Keep a '.' or ',' that is surrounded by digits ("24.3", "1,5").
+      if (keep_decimal_points && (cur == '.' || cur == ',') && i > start &&
+          IsDigit(static_cast<unsigned char>(text[i - 1])) && i + 1 < n &&
+          IsDigit(static_cast<unsigned char>(text[i + 1]))) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  return TokenizeImpl(text, /*keep_decimal_points=*/false);
+}
+
+std::vector<std::string> TokenizeKeepNumbers(std::string_view text) {
+  return TokenizeImpl(text, /*keep_decimal_points=*/true);
+}
+
+std::vector<std::string> EmbeddingWords(std::string_view text) {
+  std::vector<std::string> tokens = TokenizeKeepNumbers(text);
+  for (std::string& token : tokens) {
+    token = AsciiToLower(token);
+  }
+  return tokens;
+}
+
+bool TokenInClass(std::string_view token, TokenClass token_class) {
+  if (token.empty()) return false;
+  auto first = static_cast<unsigned char>(token.front());
+  switch (token_class) {
+    case TokenClass::kWord: {
+      for (char c : token) {
+        if (!IsLetter(static_cast<unsigned char>(c))) return false;
+      }
+      return true;
+    }
+    case TokenClass::kLowercaseWord:
+      return TokenInClass(token, TokenClass::kWord) && IsLower(first);
+    case TokenClass::kCapitalizedWord: {
+      if (!TokenInClass(token, TokenClass::kWord) || !IsUpper(first)) {
+        return false;
+      }
+      // Single capital letters ("X") count as uppercase words, not
+      // capitalized words; require a non-uppercase continuation.
+      return token.size() >= 2 &&
+             !IsUpper(static_cast<unsigned char>(token[1]));
+    }
+    case TokenClass::kUppercaseWord: {
+      for (char c : token) {
+        if (!IsUpper(static_cast<unsigned char>(c))) return false;
+      }
+      return true;
+    }
+    case TokenClass::kNumericString: {
+      bool has_digit = false;
+      for (char c : token) {
+        auto uc = static_cast<unsigned char>(c);
+        if (IsDigit(uc)) {
+          has_digit = true;
+        } else if (uc != '.' && uc != ',') {
+          return false;
+        }
+      }
+      return has_digit;
+    }
+  }
+  return false;
+}
+
+TokenClassCounts CountTokenClasses(std::string_view text) {
+  TokenClassCounts result;
+  std::vector<std::string> tokens = TokenizeKeepNumbers(text);
+  result.total_tokens = tokens.size();
+  for (const std::string& token : tokens) {
+    for (size_t c = 0; c < kNumTokenClasses; ++c) {
+      if (TokenInClass(token, static_cast<TokenClass>(c))) {
+        ++result.counts[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace leapme::text

@@ -1,0 +1,65 @@
+#ifndef LEAPME_TEXT_TOKENIZER_H_
+#define LEAPME_TEXT_TOKENIZER_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leapme::text {
+
+/// Token classes used by the TAPON-style instance meta-features
+/// (Table I, id 2): words, lowercase-initial words, capitalized words,
+/// uppercase words, numeric strings.
+///
+/// A single token can fall into several classes (e.g. "Nikon" is both a
+/// word and a capitalized word), matching the paper's per-class
+/// fraction/count features.
+enum class TokenClass : int {
+  kWord = 0,            ///< token consisting solely of letters
+  kLowercaseWord = 1,   ///< word starting with a lowercase letter
+  kCapitalizedWord = 2, ///< word starting uppercase followed by non-uppercase
+  kUppercaseWord = 3,   ///< word of uppercase letters only (length >= 1)
+  kNumericString = 4,   ///< token parseable as a number (digits, '.', sign)
+};
+
+/// Number of distinct token classes.
+inline constexpr size_t kNumTokenClasses = 5;
+
+/// Splits `text` into tokens at non-alphanumeric boundaries. A token is a
+/// maximal run of letters and digits; everything else separates tokens.
+/// "24.3 MP (approx.)" -> {"24", "3", "MP", "approx"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Like Tokenize but keeps decimal points inside digit runs, so numeric
+/// values survive as single tokens: "24.3 MP" -> {"24.3", "MP"}.
+std::vector<std::string> TokenizeKeepNumbers(std::string_view text);
+
+/// Lower-cased word tokens for embedding lookup: TokenizeKeepNumbers
+/// followed by ASCII lower-casing.
+std::vector<std::string> EmbeddingWords(std::string_view text);
+
+/// True if `token` belongs to `token_class`.
+bool TokenInClass(std::string_view token, TokenClass token_class);
+
+/// Per-class token counts for a string.
+struct TokenClassCounts {
+  std::array<size_t, kNumTokenClasses> counts{};
+  size_t total_tokens = 0;
+
+  size_t count(TokenClass c) const { return counts[static_cast<size_t>(c)]; }
+  /// Fraction of tokens in class `c`; 0 when there are no tokens.
+  double fraction(TokenClass c) const {
+    return total_tokens == 0 ? 0.0
+                             : static_cast<double>(count(c)) /
+                                   static_cast<double>(total_tokens);
+  }
+};
+
+/// Tokenizes `text` (keeping numbers) and counts token classes.
+TokenClassCounts CountTokenClasses(std::string_view text);
+
+}  // namespace leapme::text
+
+#endif  // LEAPME_TEXT_TOKENIZER_H_

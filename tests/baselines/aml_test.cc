@@ -1,0 +1,95 @@
+#include "baselines/aml.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::baselines {
+namespace {
+
+data::Dataset MakeDataset() {
+  data::Dataset dataset("aml");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "resolution", "resolution");        // 0
+  dataset.AddProperty(s0, "weight", "weight");                // 1
+  dataset.AddProperty(s1, "Resolution", "resolution");        // 2
+  dataset.AddProperty(s1, "product weight", "weight");        // 3
+  dataset.AddProperty(s1, "megapixels", "resolution");        // 4
+  return dataset;
+}
+
+TEST(AmlNameSimilarityTest, ExactAndCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(AmlMatcher::NameSimilarity("weight", "weight"), 1.0);
+  EXPECT_DOUBLE_EQ(AmlMatcher::NameSimilarity("Weight", "WEIGHT"), 1.0);
+  EXPECT_DOUBLE_EQ(AmlMatcher::NameSimilarity("screen_size", "screen size"),
+                   1.0);
+}
+
+TEST(AmlNameSimilarityTest, DisjointNamesLow) {
+  EXPECT_LT(AmlMatcher::NameSimilarity("megapixels", "qqq"), 0.5);
+}
+
+TEST(AmlNameSimilarityTest, SingleSharedHeadWordIsWeakEvidence) {
+  // "resolution" vs "screen resolution": one-word containment is damped.
+  double sim = AmlMatcher::NameSimilarity("resolution",
+                                          "screen resolution");
+  EXPECT_LT(sim, 0.9);
+}
+
+TEST(AmlNameSimilarityTest, MultiWordContainmentIsStrongEvidence) {
+  double sim = AmlMatcher::NameSimilarity("battery life",
+                                          "battery life hours");
+  EXPECT_GE(sim, 0.9);
+}
+
+TEST(AmlTokenSimilarityTest, ZeroWithoutSharedTokens) {
+  EXPECT_DOUBLE_EQ(AmlMatcher::TokenSimilarity("weight", "price"), 0.0);
+  EXPECT_GT(AmlMatcher::TokenSimilarity("screen size", "screen type"), 0.0);
+}
+
+TEST(AmlMatcherTest, MatchesExactNamesOnly) {
+  data::Dataset dataset = MakeDataset();
+  AmlMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions =
+      matcher.ClassifyPairs({{0, 2}, {1, 3}, {0, 4}, {1, 2}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);  // resolution ~ Resolution
+  EXPECT_EQ((*decisions)[2], 0);  // resolution ~ megapixels (synonym)
+  EXPECT_EQ((*decisions)[3], 0);  // weight ~ Resolution
+}
+
+TEST(AmlMatcherTest, ClassifyBeforeFitFails) {
+  AmlMatcher matcher;
+  EXPECT_FALSE(matcher.ClassifyPairs({{0, 1}}).ok());
+}
+
+TEST(AmlMatcherTest, ScoresAreSimilarities) {
+  data::Dataset dataset = MakeDataset();
+  AmlMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto scores = matcher.ScorePairs({{0, 2}, {0, 4}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], 1.0);
+  EXPECT_LT((*scores)[1], 1.0);
+}
+
+TEST(AmlMatcherTest, ThresholdOptionControlsDecision) {
+  data::Dataset dataset = MakeDataset();
+  AmlOptions lax;
+  lax.threshold = 0.1;
+  AmlMatcher lax_matcher(lax);
+  ASSERT_TRUE(lax_matcher.Fit(dataset, {}).ok());
+  // With an absurdly low threshold, even weak pairs match.
+  auto decisions = lax_matcher.ClassifyPairs({{1, 3}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);
+}
+
+TEST(AmlMatcherTest, IsUnsupervised) {
+  AmlMatcher matcher;
+  EXPECT_FALSE(matcher.IsSupervised());
+  EXPECT_EQ(matcher.Name(), "AML");
+}
+
+}  // namespace
+}  // namespace leapme::baselines

@@ -1,0 +1,88 @@
+#include "baselines/fca_map.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::baselines {
+namespace {
+
+data::Dataset MakeDataset() {
+  data::Dataset dataset("fca");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "screen size", "screen size");       // 0
+  dataset.AddProperty(s0, "weight", "weight");                 // 1
+  dataset.AddProperty(s1, "Screen Size", "screen size");       // 2
+  dataset.AddProperty(s1, "screen size info", "screen size");  // 3
+  dataset.AddProperty(s1, "display size", "screen size");      // 4
+  return dataset;
+}
+
+TEST(FcaMapTest, MatchesIdenticalTokenIntents) {
+  data::Dataset dataset = MakeDataset();
+  FcaMapMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 2}, {0, 4}, {1, 2}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);  // same tokens modulo case
+  EXPECT_EQ((*decisions)[1], 0);  // display size: different intent
+  EXPECT_EQ((*decisions)[2], 0);  // weight vs screen size
+}
+
+TEST(FcaMapTest, SubsetIntentsOffByDefault) {
+  data::Dataset dataset = MakeDataset();
+  FcaMapMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 3}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 0);  // "screen size" subset of "... info"
+}
+
+TEST(FcaMapTest, SubsetIntentsOptIn) {
+  data::Dataset dataset = MakeDataset();
+  FcaMapOptions options;
+  options.allow_subset_intents = true;
+  FcaMapMatcher matcher(options);
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 3}, {1, 3}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);
+  EXPECT_EQ((*decisions)[1], 0);
+}
+
+TEST(FcaMapTest, EmptyTokenSetsNeverMatch) {
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "...", "");
+  dataset.AddProperty(s1, "---", "");
+  FcaMapMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 1}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 0);
+}
+
+TEST(FcaMapTest, TokenOrderIrrelevant) {
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "size screen", "");
+  dataset.AddProperty(s1, "screen size", "");
+  FcaMapMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  EXPECT_EQ(matcher.ClassifyPairs({{0, 1}}).value()[0], 1);
+}
+
+TEST(FcaMapTest, ClassifyBeforeFitFails) {
+  FcaMapMatcher matcher;
+  EXPECT_FALSE(matcher.ClassifyPairs({{0, 1}}).ok());
+}
+
+TEST(FcaMapTest, IsUnsupervised) {
+  FcaMapMatcher matcher;
+  EXPECT_FALSE(matcher.IsSupervised());
+  EXPECT_EQ(matcher.Name(), "FCA-Map");
+}
+
+}  // namespace
+}  // namespace leapme::baselines

@@ -1,0 +1,125 @@
+#include "baselines/lsh.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::baselines {
+namespace {
+
+// Two sources describing overlapping products: weight values overlap
+// heavily across sources, prices do not overlap with weights.
+data::Dataset MakeDataset() {
+  data::Dataset dataset("lsh");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  data::PropertyId w0 = dataset.AddProperty(s0, "weight", "weight");    // 0
+  data::PropertyId p0 = dataset.AddProperty(s0, "price", "price");     // 1
+  data::PropertyId w1 = dataset.AddProperty(s1, "mass", "weight");     // 2
+  data::PropertyId p1 = dataset.AddProperty(s1, "cost", "price");      // 3
+  const char* weights[] = {"520 g", "610 g", "480 g", "730 g", "555 g"};
+  const char* prices[] = {"$ 499", "$ 1299", "$ 899", "$ 650", "$ 720"};
+  for (int i = 0; i < 5; ++i) {
+    dataset.AddInstance(w0, "e" + std::to_string(i), weights[i]);
+    dataset.AddInstance(w1, "x" + std::to_string(i), weights[i]);
+    dataset.AddInstance(p0, "e" + std::to_string(i), prices[i]);
+    dataset.AddInstance(p1, "x" + std::to_string(i), prices[i]);
+  }
+  return dataset;
+}
+
+TEST(LshTest, MatchesOverlappingValueSets) {
+  data::Dataset dataset = MakeDataset();
+  LshMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 2}, {1, 3}, {0, 3}, {1, 2}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);  // weight ~ mass: identical token sets
+  EXPECT_EQ((*decisions)[1], 1);  // price ~ cost
+  EXPECT_EQ((*decisions)[2], 0);  // weight ~ cost: disjoint values
+  EXPECT_EQ((*decisions)[3], 0);
+}
+
+TEST(LshTest, EstimatedJaccardTracksTrueOverlap) {
+  data::Dataset dataset = MakeDataset();
+  LshMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  double same = matcher.EstimatedJaccard(0, 2);     // identical sets
+  double disjoint = matcher.EstimatedJaccard(0, 3);  // disjoint sets
+  EXPECT_NEAR(same, 1.0, 1e-9);
+  EXPECT_LT(disjoint, 0.3);
+}
+
+TEST(LshTest, MinTokensGate) {
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  data::PropertyId p0 = dataset.AddProperty(s0, "flag", "");
+  data::PropertyId p1 = dataset.AddProperty(s1, "flag2", "");
+  dataset.AddInstance(p0, "e", "yes");
+  dataset.AddInstance(p1, "x", "yes");
+  LshOptions options;
+  options.min_tokens = 3;
+  LshMatcher matcher(options);
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  // Identical but tiny token sets never match under the gate.
+  EXPECT_EQ(matcher.ClassifyPairs({{p0, p1}}).value()[0], 0);
+}
+
+TEST(LshTest, DeterministicForFixedSeed) {
+  data::Dataset dataset = MakeDataset();
+  LshMatcher a;
+  LshMatcher b;
+  ASSERT_TRUE(a.Fit(dataset, {}).ok());
+  ASSERT_TRUE(b.Fit(dataset, {}).ok());
+  EXPECT_EQ(a.ClassifyPairs({{0, 2}, {0, 3}}).value(),
+            b.ClassifyPairs({{0, 2}, {0, 3}}).value());
+}
+
+TEST(LshTest, RejectsZeroBandsOrBandSize) {
+  data::Dataset dataset = MakeDataset();
+  LshOptions no_bands;
+  no_bands.bands = 0;
+  EXPECT_FALSE(LshMatcher(no_bands).Fit(dataset, {}).ok());
+  LshOptions no_rows;
+  no_rows.band_size = 0;
+  EXPECT_FALSE(LshMatcher(no_rows).Fit(dataset, {}).ok());
+}
+
+TEST(LshTest, ClassifyBeforeFitFails) {
+  LshMatcher matcher;
+  EXPECT_FALSE(matcher.ClassifyPairs({{0, 1}}).ok());
+}
+
+TEST(LshTest, MoreBandsIncreaseSensitivity) {
+  // A pair with partial overlap: the candidate probability rises with the
+  // number of bands.
+  data::Dataset dataset("partial");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  data::PropertyId p0 = dataset.AddProperty(s0, "p", "");
+  data::PropertyId p1 = dataset.AddProperty(s1, "q", "");
+  for (int i = 0; i < 20; ++i) {
+    dataset.AddInstance(p0, "e", "tok" + std::to_string(i));
+    dataset.AddInstance(p1, "x", "tok" + std::to_string(i + 14));  // ~18% J
+  }
+  LshOptions few;
+  few.bands = 1;
+  few.band_size = 2;
+  LshOptions many;
+  many.bands = 64;
+  many.band_size = 2;
+  LshMatcher few_matcher(few);
+  LshMatcher many_matcher(many);
+  ASSERT_TRUE(few_matcher.Fit(dataset, {}).ok());
+  ASSERT_TRUE(many_matcher.Fit(dataset, {}).ok());
+  EXPECT_LE(few_matcher.ClassifyPairs({{p0, p1}}).value()[0],
+            many_matcher.ClassifyPairs({{p0, p1}}).value()[0]);
+}
+
+TEST(LshTest, IsUnsupervisedInstanceBased) {
+  LshMatcher matcher;
+  EXPECT_FALSE(matcher.IsSupervised());
+  EXPECT_EQ(matcher.Name(), "LSH");
+}
+
+}  // namespace
+}  // namespace leapme::baselines

@@ -1,0 +1,127 @@
+#include "baselines/nezhadi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "ml/metrics.h"
+
+namespace leapme::baselines {
+namespace {
+
+TEST(NezhadiFeaturesTest, IdenticalNamesAllSimilarityOne) {
+  std::vector<float> features(NezhadiMatcher::kFeatureCount);
+  NezhadiMatcher::PairFeatures("weight", "weight", features);
+  for (float value : features) {
+    EXPECT_FLOAT_EQ(value, 1.0f);
+  }
+}
+
+TEST(NezhadiFeaturesTest, DisjointNamesLowSimilarity) {
+  std::vector<float> features(NezhadiMatcher::kFeatureCount);
+  NezhadiMatcher::PairFeatures("abc", "wxyzuv", features);
+  // All similarity features are low; the final slot is the length ratio
+  // (3/6 here), which is a shape signal rather than a similarity.
+  for (size_t i = 0; i + 1 < features.size(); ++i) {
+    EXPECT_LE(features[i], 0.2f) << "feature " << i;
+  }
+  EXPECT_FLOAT_EQ(features.back(), 0.5f);
+}
+
+TEST(NezhadiFeaturesTest, FeaturesInUnitInterval) {
+  std::vector<float> features(NezhadiMatcher::kFeatureCount);
+  for (const auto& [a, b] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"screen size", "display size"},
+           {"", "x"},
+           {"battery life", "battery"},
+           {"optical zoom", "zoom"}}) {
+    NezhadiMatcher::PairFeatures(a, b, features);
+    for (float value : features) {
+      EXPECT_GE(value, 0.0f);
+      EXPECT_LE(value, 1.0f + 1e-6);
+    }
+  }
+}
+
+TEST(NezhadiMatcherTest, RequiresTraining) {
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  dataset.AddProperty(s0, "p", "r");
+  NezhadiMatcher matcher;
+  EXPECT_TRUE(matcher.IsSupervised());
+  EXPECT_FALSE(matcher.Fit(dataset, {}).ok());
+  EXPECT_FALSE(matcher.ClassifyPairs({{0, 0}}).ok());
+}
+
+class NezhadiEndToEndTest
+    : public ::testing::TestWithParam<NezhadiLearner> {};
+
+TEST_P(NezhadiEndToEndTest, LearnsNameMatchingOnGeneratedData) {
+  data::GeneratorOptions options;
+  options.num_sources = 6;
+  options.min_entities_per_source = 4;
+  options.max_entities_per_source = 4;
+  options.seed = 91;
+  auto dataset = data::GenerateCatalog(data::TvDomain(), options);
+  ASSERT_TRUE(dataset.ok());
+  Rng rng(92);
+  data::SourceSplit split = data::SplitSources(*dataset, 0.6, rng);
+  auto train =
+      data::BuildTrainingPairs(*dataset, split.train_sources, 2.0, rng);
+  ASSERT_TRUE(train.ok());
+  auto test = data::BuildTestPairs(*dataset, split.train_sources);
+
+  NezhadiOptions matcher_options;
+  matcher_options.learner = GetParam();
+  NezhadiMatcher matcher(matcher_options);
+  ASSERT_TRUE(matcher.Fit(*dataset, *train).ok());
+
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  for (const auto& labeled : test) {
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label);
+  }
+  auto decisions = matcher.ClassifyPairs(pairs);
+  ASSERT_TRUE(decisions.ok());
+  ml::MatchQuality quality = ml::ComputeQuality(*decisions, labels);
+  EXPECT_GT(quality.f1, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Learners, NezhadiEndToEndTest,
+                         ::testing::Values(NezhadiLearner::kAdaBoost,
+                                           NezhadiLearner::kDecisionTree,
+                                           NezhadiLearner::kLogisticRegression),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case NezhadiLearner::kAdaBoost:
+                               return "AdaBoost";
+                             case NezhadiLearner::kDecisionTree:
+                               return "DecisionTree";
+                             default:
+                               return "LogisticRegression";
+                           }
+                         });
+
+TEST(NezhadiMatcherTest, ScoresAreProbabilities) {
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "weight", "weight");
+  dataset.AddProperty(s0, "price", "price");
+  dataset.AddProperty(s1, "weight", "weight");
+  dataset.AddProperty(s1, "price", "price");
+  std::vector<data::LabeledPair> train{
+      {{0, 2}, 1}, {{1, 3}, 1}, {{0, 3}, 0}, {{1, 2}, 0}};
+  NezhadiMatcher matcher;
+  ASSERT_TRUE(matcher.Fit(dataset, train).ok());
+  auto scores = matcher.ScorePairs({{0, 2}, {0, 3}});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[0], (*scores)[1]);
+}
+
+}  // namespace
+}  // namespace leapme::baselines

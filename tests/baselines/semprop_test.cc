@@ -1,0 +1,118 @@
+#include "baselines/semprop.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/text_embedding_file.h"
+
+namespace leapme::baselines {
+namespace {
+
+embedding::TextEmbeddingFile MakeModel() {
+  // "resolution" and "megapixels" are semantically close; "weight" is far.
+  auto model = embedding::TextEmbeddingFile::FromEntries(
+      {{"resolution", {1.0f, 0.0f, 0.0f}},
+       {"megapixels", {0.95f, 0.3f, 0.0f}},
+       {"weight", {0.0f, 0.0f, 1.0f}},
+       {"mass", {0.1f, 0.0f, 0.95f}},
+       {"screen", {0.3f, 0.9f, 0.0f}}});
+  return std::move(model).value();
+}
+
+data::Dataset MakeDataset() {
+  data::Dataset dataset("semprop");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "resolution", "resolution");  // 0
+  dataset.AddProperty(s0, "weight", "weight");          // 1
+  dataset.AddProperty(s1, "megapixels", "resolution");  // 2
+  dataset.AddProperty(s1, "mass", "weight");            // 3
+  return dataset;
+}
+
+TEST(SemPropTest, MatchesSemanticSynonyms) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  SemPropMatcher matcher(&model);
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  auto decisions = matcher.ClassifyPairs({{0, 2}, {1, 3}, {0, 3}, {1, 2}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0], 1);  // resolution ~ megapixels (SeMa+)
+  EXPECT_EQ((*decisions)[1], 1);  // weight ~ mass (SeMa+)
+  EXPECT_EQ((*decisions)[2], 0);  // resolution ~ mass
+  EXPECT_EQ((*decisions)[3], 0);  // weight ~ megapixels
+}
+
+TEST(SemPropTest, SemaPositiveThresholdRespected) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  SemPropOptions options;
+  options.sema_positive_threshold = 0.999;  // nothing passes
+  options.synm_threshold = 1.1;             // nothing passes
+  SemPropMatcher matcher(&model, options);
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  std::vector<int32_t> decisions =
+      matcher.ClassifyPairs({{0, 2}, {1, 3}}).value();
+  for (int32_t decision : decisions) {
+    EXPECT_EQ(decision, 0);
+  }
+}
+
+TEST(SemPropTest, SynMArmRequiresSemaNegativeSurvival) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  data::Dataset dataset("x");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  // Names share a token ("screen") so SynM fires; but embeddings are
+  // opposed -> the SeMa(-) filter must reject when its threshold is high.
+  dataset.AddProperty(s0, "screen weight", "");
+  dataset.AddProperty(s1, "screen resolution", "");
+  SemPropOptions strict;
+  strict.sema_positive_threshold = 2.0;   // disable SeMa+ arm
+  strict.sema_negative_threshold = 0.99;  // nothing survives
+  SemPropMatcher strict_matcher(&model, strict);
+  ASSERT_TRUE(strict_matcher.Fit(dataset, {}).ok());
+  EXPECT_EQ(strict_matcher.ClassifyPairs({{0, 1}}).value()[0], 0);
+
+  SemPropOptions lax;
+  lax.sema_positive_threshold = 2.0;
+  lax.sema_negative_threshold = -1.0;  // everything survives
+  SemPropMatcher lax_matcher(&model, lax);
+  ASSERT_TRUE(lax_matcher.Fit(dataset, {}).ok());
+  EXPECT_EQ(lax_matcher.ClassifyPairs({{0, 1}}).value()[0], 1);
+}
+
+TEST(SemPropTest, PaperThresholdDefaults) {
+  SemPropOptions options;
+  EXPECT_DOUBLE_EQ(options.synm_threshold, 0.2);
+  EXPECT_DOUBLE_EQ(options.sema_negative_threshold, 0.2);
+  EXPECT_DOUBLE_EQ(options.sema_positive_threshold, 0.4);
+}
+
+TEST(SemPropTest, ScoresInUnitInterval) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  SemPropMatcher matcher(&model);
+  ASSERT_TRUE(matcher.Fit(dataset, {}).ok());
+  std::vector<double> scores =
+      matcher.ScorePairs({{0, 2}, {0, 3}, {1, 2}, {1, 3}}).value();
+  for (double score : scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(SemPropTest, ClassifyBeforeFitFails) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  SemPropMatcher matcher(&model);
+  EXPECT_FALSE(matcher.ClassifyPairs({{0, 1}}).ok());
+}
+
+TEST(SemPropTest, IsUnsupervised) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  SemPropMatcher matcher(&model);
+  EXPECT_FALSE(matcher.IsSupervised());
+  EXPECT_EQ(matcher.Name(), "SemProp");
+}
+
+}  // namespace
+}  // namespace leapme::baselines

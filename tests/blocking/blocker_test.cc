@@ -1,0 +1,175 @@
+#include "blocking/blocker.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/generator.h"
+#include "embedding/synthetic_model.h"
+
+namespace leapme::blocking {
+namespace {
+
+data::Dataset MakeSmallDataset() {
+  data::Dataset dataset("block");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "screen size", "screen size");      // 0
+  dataset.AddProperty(s0, "weight", "weight");                // 1
+  dataset.AddProperty(s1, "display size", "screen size");     // 2
+  dataset.AddProperty(s1, "weight info", "weight");           // 3
+  dataset.AddProperty(s1, "megapixels", "resolution");        // 4
+  return dataset;
+}
+
+bool Contains(const std::vector<data::PropertyPair>& pairs,
+              data::PropertyPair pair) {
+  if (pair.a > pair.b) std::swap(pair.a, pair.b);
+  return std::find(pairs.begin(), pairs.end(), pair) != pairs.end();
+}
+
+TEST(NameTokenBlockerTest, SharedTokenPairsAreCandidates) {
+  data::Dataset dataset = MakeSmallDataset();
+  NameTokenBlocker blocker;
+  auto candidates = blocker.Candidates(dataset);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(Contains(*candidates, {0, 2}));  // share "size"
+  EXPECT_TRUE(Contains(*candidates, {1, 3}));  // share "weight"
+  EXPECT_FALSE(Contains(*candidates, {1, 4}));  // no shared tokens
+}
+
+TEST(NameTokenBlockerTest, NoSameSourceCandidates) {
+  data::Dataset dataset = MakeSmallDataset();
+  NameTokenBlocker blocker;
+  auto candidates = blocker.Candidates(dataset);
+  ASSERT_TRUE(candidates.ok());
+  for (const data::PropertyPair& pair : *candidates) {
+    EXPECT_NE(dataset.property(pair.a).source,
+              dataset.property(pair.b).source);
+    EXPECT_LT(pair.a, pair.b);
+  }
+}
+
+TEST(NameTokenBlockerTest, CandidatesAreDeduplicated) {
+  // "screen size" and "display size options"? Multiple shared tokens must
+  // not duplicate the pair.
+  data::Dataset dataset("dup");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "screen size class", "");
+  dataset.AddProperty(s1, "screen size rating", "");
+  NameTokenBlocker blocker;
+  auto candidates = blocker.Candidates(dataset);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 1u);  // two shared tokens, one pair
+}
+
+TEST(EmbeddingBlockerTest, SynonymsBecomeCandidates) {
+  auto model = embedding::SyntheticEmbeddingModel::Build(
+      {{"res", {"resolution", "megapixels"}},
+       {"weight", {"weight", "mass"}}},
+      {.dimension = 32, .seed = 3, .intra_cluster_sigma = 0.05});
+  ASSERT_TRUE(model.ok());
+  data::Dataset dataset("emb");
+  data::SourceId s0 = dataset.AddSource("a");
+  data::SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "resolution", "resolution");  // 0
+  dataset.AddProperty(s0, "weight", "weight");          // 1
+  dataset.AddProperty(s1, "megapixels", "resolution");  // 2
+  dataset.AddProperty(s1, "mass", "weight");            // 3
+
+  EmbeddingBlockerOptions options;
+  options.bands = 16;
+  options.bits_per_band = 4;
+  EmbeddingBlocker blocker(&model.value(), options);
+  auto candidates = blocker.Candidates(dataset);
+  ASSERT_TRUE(candidates.ok());
+  // Token blocking could never find these (no shared tokens).
+  EXPECT_TRUE(Contains(*candidates, {0, 2}));
+  EXPECT_TRUE(Contains(*candidates, {1, 3}));
+}
+
+TEST(EmbeddingBlockerTest, RejectsBadConfiguration) {
+  auto model = embedding::SyntheticEmbeddingModel::Build(
+      {{"c", {"x"}}}, {.dimension = 8});
+  ASSERT_TRUE(model.ok());
+  data::Dataset dataset = MakeSmallDataset();
+  EmbeddingBlockerOptions zero_bands;
+  zero_bands.bands = 0;
+  EXPECT_FALSE(EmbeddingBlocker(&model.value(), zero_bands)
+                   .Candidates(dataset)
+                   .ok());
+  EmbeddingBlockerOptions too_many_bits;
+  too_many_bits.bits_per_band = 64;
+  EXPECT_FALSE(EmbeddingBlocker(&model.value(), too_many_bits)
+                   .Candidates(dataset)
+                   .ok());
+}
+
+TEST(UnionBlockerTest, CombinesCandidateSets) {
+  auto model = embedding::SyntheticEmbeddingModel::Build(
+      {{"res", {"resolution", "megapixels"}},
+       {"size", {"screen", "display", "size"}},
+       {"weight", {"weight", "info"}}},
+      {.dimension = 32, .seed = 5, .intra_cluster_sigma = 0.05});
+  ASSERT_TRUE(model.ok());
+  data::Dataset dataset = MakeSmallDataset();
+  NameTokenBlocker tokens;
+  EmbeddingBlocker embeddings(&model.value());
+  UnionBlocker both({&tokens, &embeddings});
+  auto token_candidates = tokens.Candidates(dataset);
+  auto union_candidates = both.Candidates(dataset);
+  ASSERT_TRUE(token_candidates.ok());
+  ASSERT_TRUE(union_candidates.ok());
+  EXPECT_GE(union_candidates->size(), token_candidates->size());
+}
+
+TEST(UnionBlockerTest, NullBlockerRejected) {
+  data::Dataset dataset = MakeSmallDataset();
+  UnionBlocker broken({nullptr});
+  EXPECT_FALSE(broken.Candidates(dataset).ok());
+}
+
+TEST(EvaluateBlockingTest, FullCrossProductIsCompleteWithZeroReduction) {
+  data::Dataset dataset = MakeSmallDataset();
+  auto all = dataset.AllCrossSourcePairs();
+  BlockingQuality quality = EvaluateBlocking(dataset, all);
+  EXPECT_DOUBLE_EQ(quality.pair_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(quality.reduction_ratio, 0.0);
+  EXPECT_EQ(quality.candidate_count, all.size());
+}
+
+TEST(EvaluateBlockingTest, EmptyCandidatesFullReduction) {
+  data::Dataset dataset = MakeSmallDataset();
+  BlockingQuality quality = EvaluateBlocking(dataset, {});
+  EXPECT_DOUBLE_EQ(quality.pair_completeness, 0.0);
+  EXPECT_DOUBLE_EQ(quality.reduction_ratio, 1.0);
+}
+
+TEST(BlockingOnGeneratedDataTest, UnionBlockerKeepsMostMatches) {
+  data::GeneratorOptions generator;
+  generator.num_sources = 5;
+  generator.min_entities_per_source = 8;
+  generator.max_entities_per_source = 8;
+  generator.seed = 17;
+  auto dataset = data::GenerateCatalog(data::HeadphoneDomain(), generator);
+  ASSERT_TRUE(dataset.ok());
+  auto model = embedding::SyntheticEmbeddingModel::Build(
+      data::DomainClusters(data::HeadphoneDomain()),
+      {.dimension = 32,
+       .seed = 18,
+       .oov_policy = embedding::OovPolicy::kHashedVector});
+  ASSERT_TRUE(model.ok());
+
+  NameTokenBlocker tokens;
+  EmbeddingBlocker embeddings(&model.value());
+  UnionBlocker both({&tokens, &embeddings});
+  auto candidates = both.Candidates(*dataset);
+  ASSERT_TRUE(candidates.ok());
+  BlockingQuality quality = EvaluateBlocking(*dataset, *candidates);
+  EXPECT_GT(quality.pair_completeness, 0.9);
+  EXPECT_GT(quality.reduction_ratio, 0.3);
+}
+
+}  // namespace
+}  // namespace leapme::blocking

@@ -1,0 +1,73 @@
+#include "cli/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::cli {
+namespace {
+
+StatusOr<Flags> ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "leapme");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesCommandAndFlags) {
+  auto flags = ParseArgs({"generate", "--domain", "tvs", "--sources", "6"});
+  ASSERT_TRUE(flags.ok()) << flags.status();
+  EXPECT_EQ(flags->command(), "generate");
+  EXPECT_EQ(flags->GetString("domain", ""), "tvs");
+  EXPECT_EQ(flags->GetInt("sources", 0), 6);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = ParseArgs({"match", "--threshold=0.7", "--data=x.tsv"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("threshold", 0.0), 0.7);
+  EXPECT_EQ(flags->GetString("data", ""), "x.tsv");
+}
+
+TEST(FlagsTest, EmptyArgvIsUsageCase) {
+  auto flags = ParseArgs({});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->command().empty());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  auto flags = ParseArgs({"evaluate", "--data"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, NonFlagTokenAfterCommandFails) {
+  auto flags = ParseArgs({"evaluate", "stray"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, FallbacksUsedForMissingAndMalformed) {
+  auto flags = ParseArgs({"evaluate", "--reps", "abc"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("reps", 5), 5);       // malformed -> fallback
+  EXPECT_EQ(flags->GetInt("missing", 9), 9);    // absent -> fallback
+  EXPECT_DOUBLE_EQ(flags->GetDouble("missing", 0.5), 0.5);
+}
+
+TEST(FlagsTest, HasReflectsPresence) {
+  auto flags = ParseArgs({"evaluate", "--data", "x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("data"));
+  EXPECT_FALSE(flags->Has("domain"));
+}
+
+TEST(FlagsTest, CheckAllowedCatchesTypos) {
+  auto flags = ParseArgs({"evaluate", "--datq", "x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->CheckAllowed({"data", "seed"}).IsInvalidArgument());
+  EXPECT_TRUE(flags->CheckAllowed({"datq"}).ok());
+}
+
+TEST(FlagsTest, LastValueWinsOnRepeat) {
+  auto flags = ParseArgs({"evaluate", "--seed", "1", "--seed", "2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace leapme::cli

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrip) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, InfoBelowThresholdDoesNotCrash) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  LEAPME_LOG(Info) << "suppressed message";
+  LEAPME_LOG(Warning) << "also suppressed";
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  LEAPME_CHECK(1 + 1 == 2) << "never shown";
+  LEAPME_CHECK_EQ(4, 4);
+  LEAPME_CHECK_NE(4, 5);
+  LEAPME_CHECK_LT(1, 2);
+  LEAPME_CHECK_LE(2, 2);
+  LEAPME_CHECK_GT(3, 2);
+  LEAPME_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ LEAPME_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureAborts) {
+  EXPECT_DEATH({ LEAPME_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ LEAPME_LOG(Fatal) << "fatal message"; }, "fatal message");
+}
+
+}  // namespace
+}  // namespace leapme

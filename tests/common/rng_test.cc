@@ -1,0 +1,197 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng rng(7);
+  uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(7);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBounded(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble(-2.5, 4.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(RngTest, NextDoubleIsRoughlyUniform) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianHasZeroMeanUnitVariance) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(variance, 1.0, 0.1);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(37);
+  int positives = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++positives;
+  }
+  EXPECT_NEAR(positives / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(47);
+  std::vector<size_t> sample = rng.SampleIndices(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (size_t index : sample) {
+    EXPECT_LT(index, 20u);
+  }
+}
+
+TEST(RngTest, SampleIndicesMoreThanAvailableReturnsPermutation) {
+  Rng rng(53);
+  std::vector<size_t> sample = rng.SampleIndices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~uint64_t{0});
+  Rng rng(67);
+  std::vector<int> v{1, 2, 3};
+  std::shuffle(v.begin(), v.end(), rng);  // compiles and runs
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Mix64Test, DeterministicAndSpread) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HashBytesTest, KnownProperties) {
+  EXPECT_EQ(HashBytes("abc", 3), HashBytes("abc", 3));
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abd", 3));
+  EXPECT_NE(HashBytes("", 0), HashBytes("a", 1));
+}
+
+}  // namespace
+}  // namespace leapme

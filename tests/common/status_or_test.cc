@@ -1,0 +1,88 @@
+#include "common/status_or.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> result{Status::OK()};
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, ValueOrReturnsFallbackOnError) {
+  StatusOr<int> error(Status::Internal("x"));
+  EXPECT_EQ(error.value_or(-1), -1);
+  StatusOr<int> ok(5);
+  EXPECT_EQ(ok.value_or(-1), 5);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  std::string extracted = std::move(result).value();
+  EXPECT_EQ(extracted, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusOrTest, WorksWithMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(9));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  LEAPME_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnAssignsOnSuccess) {
+  int out = 0;
+  ASSERT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status status = UseAssignOrReturn(-1, &out);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(out, 0);
+}
+
+TEST(StatusOrTest, CopyableWhenValueCopyable) {
+  StatusOr<std::string> a(std::string("x"));
+  StatusOr<std::string> b = a;
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "x");
+}
+
+}  // namespace
+}  // namespace leapme

@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::IoError("disk").ToString(), "IoError: disk");
+  EXPECT_EQ(Status::Corruption("bits").ToString(), "Corruption: bits");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyOwnCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::OutOfRange("index 7");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.message(), "index 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 9; ++code) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Status FailingFunction() { return Status::Internal("inner"); }
+
+Status Propagating() {
+  LEAPME_RETURN_IF_ERROR(FailingFunction());
+  return Status::OK();
+}
+
+Status NotPropagating() {
+  LEAPME_RETURN_IF_ERROR(Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFailure) {
+  EXPECT_EQ(Propagating(), Status::Internal("inner"));
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  EXPECT_EQ(NotPropagating(), Status::AlreadyExists("reached end"));
+}
+
+}  // namespace
+}  // namespace leapme

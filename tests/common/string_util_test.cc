@@ -1,0 +1,86 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(AsciiCaseTest, LowerAndUpper) {
+  EXPECT_EQ(AsciiToLower("Hello World 42!"), "hello world 42!");
+  EXPECT_EQ(AsciiToUpper("Hello World 42!"), "HELLO WORLD 42!");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StripWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(SplitStringTest, KeepsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinStringsTest, Basics) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, "-"), "solo");
+  EXPECT_EQ(JoinStrings({}, "-"), "");
+}
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  EXPECT_EQ(ParseDouble("3.5"), 3.5);
+  EXPECT_EQ(ParseDouble("-2"), -2.0);
+  EXPECT_EQ(ParseDouble("  42  "), 42.0);
+  EXPECT_EQ(ParseDouble("1e3"), 1000.0);
+  EXPECT_EQ(ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsPartialAndInvalid) {
+  EXPECT_FALSE(ParseDouble("3.5 MP").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("   ").has_value());
+  EXPECT_FALSE(ParseDouble("12abc").has_value());
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("screen size", "screen"));
+  EXPECT_FALSE(StartsWith("screen", "screen size"));
+  EXPECT_TRUE(EndsWith("screen size", "size"));
+  EXPECT_FALSE(EndsWith("size", "screen size"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a b c", " ", "_"), "a_b_c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+  EXPECT_EQ(ReplaceAll("abc", "", "y"), "abc");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  // Long output exceeding any small internal buffer.
+  std::string long_output = StrFormat("%0512d", 1);
+  EXPECT_EQ(long_output.size(), 512u);
+}
+
+}  // namespace
+}  // namespace leapme

@@ -1,0 +1,248 @@
+#include "core/leapme.h"
+
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/generator.h"
+#include "embedding/synthetic_model.h"
+#include "ml/metrics.h"
+
+namespace leapme::core {
+namespace {
+
+// Small but realistic fixture: a generated headphone catalog plus its
+// synthetic embedding space, shared across tests (generation is cheap but
+// not free).
+class LeapmeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorOptions generator;
+    generator.num_sources = 5;
+    generator.min_entities_per_source = 12;
+    generator.max_entities_per_source = 12;
+    generator.seed = 71;
+    dataset_ = new data::Dataset(
+        data::GenerateCatalog(data::HeadphoneDomain(), generator).value());
+
+    embedding::SyntheticModelOptions embedding;
+    embedding.dimension = 16;
+    embedding.seed = 72;
+    embedding.oov_policy = embedding::OovPolicy::kHashedVector;
+    model_ = new embedding::SyntheticEmbeddingModel(
+        embedding::SyntheticEmbeddingModel::Build(
+            data::DomainClusters(data::HeadphoneDomain()), embedding)
+            .value());
+
+    Rng rng(73);
+    split_ = new data::SourceSplit(data::SplitSources(*dataset_, 0.6, rng));
+    train_pairs_ = new std::vector<data::LabeledPair>(
+        data::BuildTrainingPairs(*dataset_, split_->train_sources, 2.0, rng)
+            .value());
+    test_pairs_ = new std::vector<data::LabeledPair>(
+        data::BuildTestPairs(*dataset_, split_->train_sources));
+  }
+
+  static data::Dataset* dataset_;
+  static embedding::SyntheticEmbeddingModel* model_;
+  static data::SourceSplit* split_;
+  static std::vector<data::LabeledPair>* train_pairs_;
+  static std::vector<data::LabeledPair>* test_pairs_;
+};
+
+data::Dataset* LeapmeTest::dataset_ = nullptr;
+embedding::SyntheticEmbeddingModel* LeapmeTest::model_ = nullptr;
+data::SourceSplit* LeapmeTest::split_ = nullptr;
+std::vector<data::LabeledPair>* LeapmeTest::train_pairs_ = nullptr;
+std::vector<data::LabeledPair>* LeapmeTest::test_pairs_ = nullptr;
+
+TEST_F(LeapmeTest, DefaultOptionsMatchPaper) {
+  LeapmeOptions options;
+  EXPECT_EQ(options.hidden_sizes, (std::vector<size_t>{128, 64}));
+  EXPECT_EQ(options.trainer.batch_size, 32u);
+  EXPECT_EQ(options.trainer.schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(options.decision_threshold, 0.5);
+  EXPECT_EQ(options.feature_config.origin,
+            features::OriginSelection::kBoth);
+}
+
+TEST_F(LeapmeTest, FitAndScoreEndToEnd) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  EXPECT_FALSE(matcher.training_losses().empty());
+  EXPECT_EQ(matcher.training_losses().size(), 20u);
+
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  for (const auto& labeled : *test_pairs_) {
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label);
+  }
+  auto scores = matcher.ScorePairs(pairs);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), pairs.size());
+  for (double score : *scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+
+  auto decisions = matcher.ClassifyPairs(pairs);
+  ASSERT_TRUE(decisions.ok());
+  ml::MatchQuality quality = ml::ComputeQuality(*decisions, labels);
+  // The matcher must far outperform chance on this small dataset.
+  EXPECT_GT(quality.f1, 0.4);
+}
+
+TEST_F(LeapmeTest, TrainingLossDecreases) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  const auto& losses = matcher.training_losses();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(LeapmeTest, ScoreBeforeFitFails) {
+  LeapmeMatcher matcher(model_);
+  auto scores = matcher.ScorePairs({{0, 1}});
+  EXPECT_FALSE(scores.ok());
+  EXPECT_TRUE(scores.status().IsFailedPrecondition());
+}
+
+TEST_F(LeapmeTest, EmptyTrainingPairsRejected) {
+  LeapmeMatcher matcher(model_);
+  EXPECT_FALSE(matcher.Fit(*dataset_, {}).ok());
+}
+
+TEST_F(LeapmeTest, OutOfRangeTrainingPairRejected) {
+  LeapmeMatcher matcher(model_);
+  std::vector<data::LabeledPair> bad{
+      {{0, static_cast<data::PropertyId>(dataset_->property_count() + 5)},
+       1}};
+  EXPECT_FALSE(matcher.Fit(*dataset_, bad).ok());
+}
+
+TEST_F(LeapmeTest, OutOfRangeScorePairRejected) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  auto scores = matcher.ScorePairs(
+      {{0, static_cast<data::PropertyId>(dataset_->property_count())}});
+  EXPECT_FALSE(scores.ok());
+}
+
+TEST_F(LeapmeTest, InputDimensionFollowsFeatureConfig) {
+  for (const features::FeatureConfig& config :
+       features::AllFeatureConfigs()) {
+    LeapmeOptions options;
+    options.feature_config = config;
+    LeapmeMatcher matcher(model_, options);
+    EXPECT_GT(matcher.input_dimension(), 0u) << config.ToString();
+    EXPECT_LE(matcher.input_dimension(),
+              features::FeatureSchema::PairDimension(model_->dimension()));
+  }
+}
+
+TEST_F(LeapmeTest, AllNineConfigsTrainSuccessfully) {
+  for (const features::FeatureConfig& config :
+       features::AllFeatureConfigs()) {
+    LeapmeOptions options;
+    options.feature_config = config;
+    LeapmeMatcher matcher(model_, options);
+    EXPECT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok())
+        << config.ToString();
+  }
+}
+
+TEST_F(LeapmeTest, BuildSimilarityGraphThresholdsEdges) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  std::vector<data::PropertyPair> pairs;
+  for (const auto& labeled : *test_pairs_) {
+    pairs.push_back(labeled.pair);
+  }
+  auto graph = matcher.BuildSimilarityGraph(pairs);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_properties(), dataset_->property_count());
+  for (const auto& edge : graph->edges()) {
+    EXPECT_GE(edge.score, matcher.options().decision_threshold);
+  }
+}
+
+TEST_F(LeapmeTest, DeterministicWithFixedSeeds) {
+  auto run = [&]() {
+    LeapmeMatcher matcher(model_);
+    EXPECT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+    std::vector<data::PropertyPair> pairs;
+    for (size_t i = 0; i < 20 && i < test_pairs_->size(); ++i) {
+      pairs.push_back((*test_pairs_)[i].pair);
+    }
+    return matcher.ScorePairs(pairs).value();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(LeapmeTest, StandardizationOffStillTrains) {
+  LeapmeOptions options;
+  options.standardize_features = false;
+  LeapmeMatcher matcher(model_, options);
+  EXPECT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+}
+
+TEST_F(LeapmeTest, ThresholdCalibrationAdjustsThreshold) {
+  LeapmeOptions options;
+  options.calibration_fraction = 0.25;
+  LeapmeMatcher matcher(model_, options);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  // Calibration replaces the fixed 0.5 with the holdout's best-F1 point.
+  EXPECT_GT(matcher.decision_threshold(), 0.0);
+  EXPECT_LT(matcher.decision_threshold(), 1.0);
+
+  std::vector<data::PropertyPair> pairs;
+  std::vector<int32_t> labels;
+  for (const auto& labeled : *test_pairs_) {
+    pairs.push_back(labeled.pair);
+    labels.push_back(labeled.label);
+  }
+  auto decisions = matcher.ClassifyPairs(pairs);
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_GT(ml::ComputeQuality(*decisions, labels).f1, 0.4);
+}
+
+TEST_F(LeapmeTest, CalibrationFractionValidated) {
+  LeapmeOptions options;
+  options.calibration_fraction = 1.5;
+  LeapmeMatcher matcher(model_, options);
+  EXPECT_FALSE(matcher.Fit(*dataset_, *train_pairs_).ok());
+}
+
+TEST_F(LeapmeTest, WithoutCalibrationThresholdIsConfigured) {
+  LeapmeOptions options;
+  options.decision_threshold = 0.42;
+  LeapmeMatcher matcher(model_, options);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_pairs_).ok());
+  EXPECT_DOUBLE_EQ(matcher.decision_threshold(), 0.42);
+}
+
+TEST_F(LeapmeTest, HigherThresholdNeverIncreasesPositives) {
+  LeapmeOptions lax;
+  lax.decision_threshold = 0.3;
+  LeapmeOptions strict;
+  strict.decision_threshold = 0.9;
+  std::vector<data::PropertyPair> pairs;
+  for (const auto& labeled : *test_pairs_) {
+    pairs.push_back(labeled.pair);
+  }
+  LeapmeMatcher lax_matcher(model_, lax);
+  LeapmeMatcher strict_matcher(model_, strict);
+  ASSERT_TRUE(lax_matcher.Fit(*dataset_, *train_pairs_).ok());
+  ASSERT_TRUE(strict_matcher.Fit(*dataset_, *train_pairs_).ok());
+  auto lax_decisions = lax_matcher.ClassifyPairs(pairs).value();
+  auto strict_decisions = strict_matcher.ClassifyPairs(pairs).value();
+  size_t lax_count = 0;
+  size_t strict_count = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    lax_count += lax_decisions[i];
+    strict_count += strict_decisions[i];
+  }
+  EXPECT_LE(strict_count, lax_count);
+}
+
+}  // namespace
+}  // namespace leapme::core

@@ -1,0 +1,124 @@
+// Tests for LeapmeMatcher model persistence (SaveModel / LoadModel).
+
+#include <algorithm>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/leapme.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "embedding/synthetic_model.h"
+
+namespace leapme::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorOptions generator;
+    generator.num_sources = 4;
+    generator.min_entities_per_source = 8;
+    generator.max_entities_per_source = 8;
+    generator.seed = 55;
+    dataset_ = new data::Dataset(
+        data::GenerateCatalog(data::TvDomain(), generator).value());
+    model_ = new embedding::SyntheticEmbeddingModel(
+        embedding::SyntheticEmbeddingModel::Build(
+            data::DomainClusters(data::TvDomain()),
+            {.dimension = 16,
+             .seed = 56,
+             .oov_policy = embedding::OovPolicy::kHashedVector})
+            .value());
+    Rng rng(57);
+    std::vector<data::SourceId> sources{0, 1, 2};
+    train_ = new std::vector<data::LabeledPair>(
+        data::BuildTrainingPairs(*dataset_, sources, 2.0, rng).value());
+  }
+
+  static std::string Path(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  static data::Dataset* dataset_;
+  static embedding::SyntheticEmbeddingModel* model_;
+  static std::vector<data::LabeledPair>* train_;
+};
+
+data::Dataset* PersistenceTest::dataset_ = nullptr;
+embedding::SyntheticEmbeddingModel* PersistenceTest::model_ = nullptr;
+std::vector<data::LabeledPair>* PersistenceTest::train_ = nullptr;
+
+TEST_F(PersistenceTest, SaveBeforeFitFails) {
+  LeapmeMatcher matcher(model_);
+  EXPECT_TRUE(matcher.SaveModel(Path("nope.model")).IsFailedPrecondition());
+}
+
+TEST_F(PersistenceTest, RoundTripPreservesScores) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("roundtrip.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 100));
+  auto original = matcher.ScorePairs(pairs).value();
+  // The loaded matcher has no cached property features; ScorePairsOn
+  // recomputes them from the dataset.
+  auto restored = loaded->ScorePairsOn(*dataset_, pairs).value();
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(original[i], restored[i], 1e-5) << "pair " << i;
+  }
+}
+
+TEST_F(PersistenceTest, RoundTripPreservesOptions) {
+  LeapmeOptions options;
+  options.decision_threshold = 0.7;
+  options.feature_config.origin = features::OriginSelection::kNamesOnly;
+  LeapmeMatcher matcher(model_, options);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("options.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->options().decision_threshold, 0.7);
+  EXPECT_EQ(loaded->options().feature_config.origin,
+            features::OriginSelection::kNamesOnly);
+  EXPECT_EQ(loaded->input_dimension(), matcher.input_dimension());
+}
+
+TEST_F(PersistenceTest, DimensionMismatchRejected) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("dim.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  auto other_model = embedding::SyntheticEmbeddingModel::Build(
+      data::DomainClusters(data::TvDomain()), {.dimension = 32, .seed = 58});
+  ASSERT_TRUE(other_model.ok());
+  auto loaded = LeapmeMatcher::LoadModel(&other_model.value(), path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, MissingFileFails) {
+  EXPECT_FALSE(LeapmeMatcher::LoadModel(model_, "/nonexistent.model").ok());
+}
+
+TEST_F(PersistenceTest, CorruptHeaderFails) {
+  std::string path = Path("corrupt.model");
+  {
+    std::ofstream out(path);
+    out << "not-a-matcher 9\n";
+  }
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace leapme::core

@@ -1,0 +1,113 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::data {
+namespace {
+
+Dataset MakeTwoSourceDataset() {
+  Dataset dataset("test");
+  SourceId s0 = dataset.AddSource("source_a");
+  SourceId s1 = dataset.AddSource("source_b");
+  PropertyId p0 = dataset.AddProperty(s0, "resolution", "resolution");
+  PropertyId p1 = dataset.AddProperty(s0, "weight", "weight");
+  PropertyId p2 = dataset.AddProperty(s1, "megapixels", "resolution");
+  PropertyId p3 = dataset.AddProperty(s1, "col_9", "");
+  dataset.AddInstance(p0, "e1", "24.3 MP");
+  dataset.AddInstance(p0, "e2", "20.1 MP");
+  dataset.AddInstance(p1, "e1", "520 g");
+  dataset.AddInstance(p2, "x1", "24 megapixels");
+  dataset.AddInstance(p3, "x1", "zz91");
+  return dataset;
+}
+
+TEST(DatasetTest, CountsAndNames) {
+  Dataset dataset = MakeTwoSourceDataset();
+  EXPECT_EQ(dataset.name(), "test");
+  EXPECT_EQ(dataset.source_count(), 2u);
+  EXPECT_EQ(dataset.property_count(), 4u);
+  EXPECT_EQ(dataset.instance_count(), 5u);
+  EXPECT_EQ(dataset.source_name(0), "source_a");
+  EXPECT_EQ(dataset.property(2).name, "megapixels");
+  EXPECT_EQ(dataset.property(2).source, 1u);
+}
+
+TEST(DatasetTest, InstancesGroupedByProperty) {
+  Dataset dataset = MakeTwoSourceDataset();
+  const auto& instances = dataset.instances(0);
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].entity, "e1");
+  EXPECT_EQ(instances[0].value, "24.3 MP");
+  EXPECT_TRUE(dataset.instances(3).size() == 1);
+}
+
+TEST(DatasetTest, IsMatchRequiresDifferentSourceSameReference) {
+  Dataset dataset = MakeTwoSourceDataset();
+  EXPECT_TRUE(dataset.IsMatch(0, 2));   // resolution across sources
+  EXPECT_TRUE(dataset.IsMatch(2, 0));   // symmetric
+  EXPECT_FALSE(dataset.IsMatch(0, 1));  // same source
+  EXPECT_FALSE(dataset.IsMatch(1, 2));  // different references
+}
+
+TEST(DatasetTest, UnalignedPropertiesNeverMatch) {
+  Dataset dataset("x");
+  SourceId s0 = dataset.AddSource("a");
+  SourceId s1 = dataset.AddSource("b");
+  PropertyId p0 = dataset.AddProperty(s0, "col_1", "");
+  PropertyId p1 = dataset.AddProperty(s1, "col_1", "");
+  EXPECT_FALSE(dataset.IsMatch(p0, p1));
+}
+
+TEST(DatasetTest, PropertiesOfSource) {
+  Dataset dataset = MakeTwoSourceDataset();
+  EXPECT_EQ(dataset.PropertiesOfSource(0),
+            (std::vector<PropertyId>{0, 1}));
+  EXPECT_EQ(dataset.PropertiesOfSource(1),
+            (std::vector<PropertyId>{2, 3}));
+}
+
+TEST(DatasetTest, AllCrossSourcePairsExcludeSameSource) {
+  Dataset dataset = MakeTwoSourceDataset();
+  std::vector<PropertyPair> pairs = dataset.AllCrossSourcePairs();
+  // 2 properties in s0 x 2 in s1 = 4 cross pairs.
+  EXPECT_EQ(pairs.size(), 4u);
+  for (const PropertyPair& pair : pairs) {
+    EXPECT_NE(dataset.property(pair.a).source,
+              dataset.property(pair.b).source);
+    EXPECT_LT(pair.a, pair.b);
+  }
+}
+
+TEST(DatasetTest, CountMatchingPairs) {
+  Dataset dataset = MakeTwoSourceDataset();
+  EXPECT_EQ(dataset.CountMatchingPairs(), 1u);
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentDataset) {
+  Dataset dataset = MakeTwoSourceDataset();
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_TRUE(dataset.Validate(/*require_instances=*/true).ok());
+}
+
+TEST(DatasetTest, ValidateRejectsEmptyPropertyWithRequireInstances) {
+  Dataset dataset("x");
+  SourceId s0 = dataset.AddSource("a");
+  dataset.AddProperty(s0, "lonely", "");
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_FALSE(dataset.Validate(/*require_instances=*/true).ok());
+}
+
+TEST(DatasetTest, EmptyDatasetIsValid) {
+  Dataset dataset;
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_EQ(dataset.CountMatchingPairs(), 0u);
+  EXPECT_TRUE(dataset.AllCrossSourcePairs().empty());
+}
+
+TEST(PropertyPairTest, Equality) {
+  EXPECT_EQ((PropertyPair{1, 2}), (PropertyPair{1, 2}));
+  EXPECT_FALSE((PropertyPair{1, 2}) == (PropertyPair{2, 1}));
+}
+
+}  // namespace
+}  // namespace leapme::data

@@ -1,0 +1,196 @@
+#include "data/splitting.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/generator.h"
+
+namespace leapme::data {
+namespace {
+
+Dataset MakeDataset(size_t num_sources = 6) {
+  GeneratorOptions options;
+  options.num_sources = num_sources;
+  options.min_entities_per_source = 6;
+  options.max_entities_per_source = 6;
+  options.seed = 31;
+  auto dataset = GenerateCatalog(HeadphoneDomain(), options);
+  return std::move(dataset).value();
+}
+
+TEST(SplitSourcesTest, PartitionIsCompleteAndDisjoint) {
+  Dataset dataset = MakeDataset();
+  Rng rng(1);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  std::set<SourceId> all(split.train_sources.begin(),
+                         split.train_sources.end());
+  for (SourceId id : split.test_sources) {
+    EXPECT_TRUE(all.insert(id).second);  // disjoint
+  }
+  EXPECT_EQ(all.size(), dataset.source_count());
+}
+
+TEST(SplitSourcesTest, FractionControlsTrainCount) {
+  Dataset dataset = MakeDataset(10);
+  Rng rng(2);
+  SourceSplit split = SplitSources(dataset, 0.8, rng);
+  EXPECT_EQ(split.train_sources.size(), 8u);
+  EXPECT_EQ(split.test_sources.size(), 2u);
+}
+
+TEST(SplitSourcesTest, AtLeastTwoTrainSources) {
+  Dataset dataset = MakeDataset(6);
+  Rng rng(3);
+  SourceSplit split = SplitSources(dataset, 0.01, rng);
+  EXPECT_GE(split.train_sources.size(), 2u);
+}
+
+TEST(SplitSourcesTest, AtLeastOneTestSource) {
+  Dataset dataset = MakeDataset(6);
+  Rng rng(4);
+  SourceSplit split = SplitSources(dataset, 1.0, rng);
+  EXPECT_GE(split.test_sources.size(), 1u);
+}
+
+TEST(SplitSourcesTest, DifferentSeedsGiveDifferentSplits) {
+  Dataset dataset = MakeDataset(10);
+  Rng rng_a(5);
+  Rng rng_b(6);
+  SourceSplit a = SplitSources(dataset, 0.5, rng_a);
+  SourceSplit b = SplitSources(dataset, 0.5, rng_b);
+  EXPECT_NE(a.train_sources, b.train_sources);
+}
+
+TEST(BuildTrainingPairsTest, RespectsNegativeRatio) {
+  Dataset dataset = MakeDataset();
+  Rng rng(7);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  auto pairs = BuildTrainingPairs(dataset, split.train_sources, 2.0, rng);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  size_t positives = 0;
+  size_t negatives = 0;
+  for (const LabeledPair& pair : *pairs) {
+    if (pair.label != 0) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  EXPECT_GT(positives, 0u);
+  // Ratio holds unless the negative pool was exhausted.
+  EXPECT_LE(negatives, 2 * positives);
+  EXPECT_GE(negatives, positives);  // plenty of negatives available here
+}
+
+TEST(BuildTrainingPairsTest, PairsComeFromTrainSourcesOnly) {
+  Dataset dataset = MakeDataset();
+  Rng rng(8);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  std::set<SourceId> train(split.train_sources.begin(),
+                           split.train_sources.end());
+  auto pairs = BuildTrainingPairs(dataset, split.train_sources, 2.0, rng);
+  ASSERT_TRUE(pairs.ok());
+  for (const LabeledPair& pair : *pairs) {
+    EXPECT_TRUE(train.count(dataset.property(pair.pair.a).source) > 0);
+    EXPECT_TRUE(train.count(dataset.property(pair.pair.b).source) > 0);
+    EXPECT_NE(dataset.property(pair.pair.a).source,
+              dataset.property(pair.pair.b).source);
+  }
+}
+
+TEST(BuildTrainingPairsTest, LabelsMatchGroundTruth) {
+  Dataset dataset = MakeDataset();
+  Rng rng(9);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  auto pairs = BuildTrainingPairs(dataset, split.train_sources, 1.0, rng);
+  ASSERT_TRUE(pairs.ok());
+  for (const LabeledPair& pair : *pairs) {
+    EXPECT_EQ(pair.label != 0, dataset.IsMatch(pair.pair.a, pair.pair.b));
+  }
+}
+
+TEST(BuildTrainingPairsTest, ZeroNegativeRatioGivesOnlyPositives) {
+  Dataset dataset = MakeDataset();
+  Rng rng(10);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  auto pairs = BuildTrainingPairs(dataset, split.train_sources, 0.0, rng);
+  ASSERT_TRUE(pairs.ok());
+  for (const LabeledPair& pair : *pairs) {
+    EXPECT_EQ(pair.label, 1);
+  }
+}
+
+TEST(BuildTrainingPairsTest, NegativeRatioRejected) {
+  Dataset dataset = MakeDataset();
+  Rng rng(11);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  EXPECT_FALSE(
+      BuildTrainingPairs(dataset, split.train_sources, -1.0, rng).ok());
+}
+
+TEST(BuildTrainingPairsTest, FailsWithoutPositives) {
+  // A dataset with no aligned properties has no positive pairs.
+  Dataset dataset("empty");
+  SourceId s0 = dataset.AddSource("a");
+  SourceId s1 = dataset.AddSource("b");
+  dataset.AddProperty(s0, "x", "");
+  dataset.AddProperty(s1, "y", "");
+  Rng rng(12);
+  auto pairs = BuildTrainingPairs(dataset, {s0, s1}, 2.0, rng);
+  EXPECT_FALSE(pairs.ok());
+  EXPECT_TRUE(pairs.status().IsFailedPrecondition());
+}
+
+TEST(BuildTestPairsTest, ExcludesTrainOnlyPairs) {
+  Dataset dataset = MakeDataset();
+  Rng rng(13);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  std::set<SourceId> train(split.train_sources.begin(),
+                           split.train_sources.end());
+  std::vector<LabeledPair> pairs = BuildTestPairs(dataset,
+                                                  split.train_sources);
+  EXPECT_FALSE(pairs.empty());
+  for (const LabeledPair& pair : pairs) {
+    SourceId sa = dataset.property(pair.pair.a).source;
+    SourceId sb = dataset.property(pair.pair.b).source;
+    EXPECT_NE(sa, sb);
+    EXPECT_FALSE(train.count(sa) > 0 && train.count(sb) > 0);
+  }
+}
+
+TEST(BuildTestPairsTest, TrainAndTestPairsPartitionCrossPairs) {
+  Dataset dataset = MakeDataset();
+  Rng rng(14);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  std::vector<LabeledPair> test_pairs =
+      BuildTestPairs(dataset, split.train_sources);
+  // Every cross-source pair is either within the training sources or in
+  // the test pairs.
+  size_t train_pair_count = 0;
+  std::set<SourceId> train(split.train_sources.begin(),
+                           split.train_sources.end());
+  for (const PropertyPair& pair : dataset.AllCrossSourcePairs()) {
+    if (train.count(dataset.property(pair.a).source) > 0 &&
+        train.count(dataset.property(pair.b).source) > 0) {
+      ++train_pair_count;
+    }
+  }
+  EXPECT_EQ(train_pair_count + test_pairs.size(),
+            dataset.AllCrossSourcePairs().size());
+}
+
+TEST(BuildTestPairsTest, LabelsMatchGroundTruth) {
+  Dataset dataset = MakeDataset();
+  Rng rng(15);
+  SourceSplit split = SplitSources(dataset, 0.5, rng);
+  for (const LabeledPair& pair :
+       BuildTestPairs(dataset, split.train_sources)) {
+    EXPECT_EQ(pair.label != 0, dataset.IsMatch(pair.pair.a, pair.pair.b));
+  }
+}
+
+}  // namespace
+}  // namespace leapme::data

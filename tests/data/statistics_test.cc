@@ -1,0 +1,85 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/generator.h"
+
+namespace leapme::data {
+namespace {
+
+Dataset MakeSmallDataset() {
+  Dataset dataset("stats");
+  SourceId s0 = dataset.AddSource("a");
+  SourceId s1 = dataset.AddSource("b");
+  PropertyId p0 = dataset.AddProperty(s0, "weight", "weight");
+  PropertyId p1 = dataset.AddProperty(s0, "col_1", "");
+  PropertyId p2 = dataset.AddProperty(s1, "mass", "weight");
+  dataset.AddInstance(p0, "e1", "10 g");
+  dataset.AddInstance(p0, "e2", "20 g");
+  dataset.AddInstance(p1, "e1", "x");
+  dataset.AddInstance(p2, "y1", "0.5 kg");
+  return dataset;
+}
+
+TEST(StatisticsTest, CountsBasics) {
+  DatasetStatistics stats = ComputeStatistics(MakeSmallDataset());
+  EXPECT_EQ(stats.name, "stats");
+  EXPECT_EQ(stats.sources, 2u);
+  EXPECT_EQ(stats.properties, 3u);
+  EXPECT_EQ(stats.aligned_properties, 2u);
+  EXPECT_EQ(stats.instances, 4u);
+  EXPECT_EQ(stats.matching_pairs, 1u);
+  EXPECT_EQ(stats.cross_source_pairs, 2u);
+  EXPECT_EQ(stats.distinct_references, 1u);
+}
+
+TEST(StatisticsTest, EntityBalance) {
+  DatasetStatistics stats = ComputeStatistics(MakeSmallDataset());
+  EXPECT_EQ(stats.min_entities_per_source, 1u);  // source b: {y1}
+  EXPECT_EQ(stats.max_entities_per_source, 2u);  // source a: {e1, e2}
+}
+
+TEST(StatisticsTest, PerSourceBreakdown) {
+  DatasetStatistics stats = ComputeStatistics(MakeSmallDataset());
+  ASSERT_EQ(stats.per_source.size(), 2u);
+  EXPECT_EQ(stats.per_source[0].name, "a");
+  EXPECT_EQ(stats.per_source[0].properties, 2u);
+  EXPECT_EQ(stats.per_source[0].aligned_properties, 1u);
+  EXPECT_EQ(stats.per_source[0].instances, 3u);
+  EXPECT_EQ(stats.per_source[1].properties, 1u);
+}
+
+TEST(StatisticsTest, MeanInstancesPerProperty) {
+  DatasetStatistics stats = ComputeStatistics(MakeSmallDataset());
+  EXPECT_NEAR(stats.mean_instances_per_property, 4.0 / 3.0, 1e-12);
+}
+
+TEST(StatisticsTest, EmptyDataset) {
+  Dataset empty("empty");
+  DatasetStatistics stats = ComputeStatistics(empty);
+  EXPECT_EQ(stats.sources, 0u);
+  EXPECT_EQ(stats.min_entities_per_source, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_instances_per_property, 0.0);
+}
+
+TEST(StatisticsTest, BalancedGeneratorReportsBalanced) {
+  GeneratorOptions options = HighQualityOptions(4, 10);
+  options.seed = 3;
+  auto dataset = GenerateCatalog(CameraDomain(), options);
+  ASSERT_TRUE(dataset.ok());
+  DatasetStatistics stats = ComputeStatistics(*dataset);
+  EXPECT_EQ(stats.min_entities_per_source, stats.max_entities_per_source);
+  EXPECT_NE(stats.ToString().find("(balanced)"), std::string::npos);
+}
+
+TEST(StatisticsTest, ToStringContainsHeadlineNumbers) {
+  DatasetStatistics stats = ComputeStatistics(MakeSmallDataset());
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("sources:"), std::string::npos);
+  EXPECT_NE(text.find("(imbalanced)"), std::string::npos);
+  EXPECT_NE(text.find("1 matching"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leapme::data

@@ -1,0 +1,69 @@
+#include "embedding/embedding_model.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/text_embedding_file.h"
+#include "embedding/vector_ops.h"
+
+namespace leapme::embedding {
+namespace {
+
+TextEmbeddingFile MakeModel(OovPolicy policy = OovPolicy::kZeroVector) {
+  auto model = TextEmbeddingFile::FromEntries(
+      {{"camera", {1.0f, 0.0f}},
+       {"resolution", {0.0f, 1.0f}},
+       {"mp", {0.0f, 0.5f}}},
+      policy);
+  return std::move(model).value();
+}
+
+TEST(AverageEmbeddingTest, AveragesKnownWords) {
+  TextEmbeddingFile model = MakeModel();
+  Vector avg = AverageEmbedding(model, {"camera", "resolution"});
+  EXPECT_FLOAT_EQ(avg[0], 0.5f);
+  EXPECT_FLOAT_EQ(avg[1], 0.5f);
+}
+
+TEST(AverageEmbeddingTest, EmptyWordListIsZero) {
+  TextEmbeddingFile model = MakeModel();
+  Vector avg = AverageEmbedding(model, {});
+  EXPECT_FLOAT_EQ(avg[0], 0.0f);
+  EXPECT_FLOAT_EQ(avg[1], 0.0f);
+}
+
+TEST(AverageEmbeddingTest, OovWordsCountTowardAverage) {
+  // Paper policy: unknown words map to the zero vector AND count in the
+  // denominator, diluting the average.
+  TextEmbeddingFile model = MakeModel();
+  Vector with_oov = AverageEmbedding(model, {"camera", "zzz"});
+  EXPECT_FLOAT_EQ(with_oov[0], 0.5f);
+  EXPECT_FLOAT_EQ(with_oov[1], 0.0f);
+}
+
+TEST(AverageEmbeddingTest, SingleWordEqualsItsVector) {
+  TextEmbeddingFile model = MakeModel();
+  Vector avg = AverageEmbedding(model, {"mp"});
+  EXPECT_EQ(avg, model.Embed("mp"));
+}
+
+TEST(HashedWordVectorTest, UnitNormAndDeterminism) {
+  Vector a(16, 0.0f);
+  Vector b(16, 0.0f);
+  HashedWordVector("some-word", a);
+  HashedWordVector("some-word", b);
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-5);
+  Vector c(16, 0.0f);
+  HashedWordVector("other-word", c);
+  EXPECT_LT(CosineSimilarity(a, c), 0.9f);
+}
+
+TEST(EmbedTest, ReturnsFreshVector) {
+  TextEmbeddingFile model = MakeModel();
+  Vector v = model.Embed("camera");
+  EXPECT_EQ(v.size(), model.dimension());
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace leapme::embedding

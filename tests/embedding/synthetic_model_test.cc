@@ -1,0 +1,161 @@
+#include "embedding/synthetic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/vector_ops.h"
+
+namespace leapme::embedding {
+namespace {
+
+std::vector<SemanticCluster> TestClusters() {
+  return {
+      {"resolution", {"resolution", "megapixels", "mp"}},
+      {"weight", {"weight", "mass", "grams"}},
+      {"zoom", {"zoom", "magnification"}},
+  };
+}
+
+SyntheticModelOptions SmallOptions() {
+  SyntheticModelOptions options;
+  options.dimension = 32;
+  options.seed = 7;
+  return options;
+}
+
+TEST(SyntheticModelTest, BuildSucceeds) {
+  auto model = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->dimension(), 32u);
+  EXPECT_EQ(model->vocabulary_size(), 8u);
+  EXPECT_EQ(model->cluster_count(), 3u);
+}
+
+TEST(SyntheticModelTest, RejectsZeroDimension) {
+  SyntheticModelOptions options;
+  options.dimension = 0;
+  EXPECT_FALSE(SyntheticEmbeddingModel::Build(TestClusters(), options).ok());
+}
+
+TEST(SyntheticModelTest, RejectsEmptyCluster) {
+  std::vector<SemanticCluster> clusters{{"empty", {}}};
+  EXPECT_FALSE(
+      SyntheticEmbeddingModel::Build(clusters, SmallOptions()).ok());
+}
+
+TEST(SyntheticModelTest, RejectsEmptyWord) {
+  std::vector<SemanticCluster> clusters{{"bad", {"ok", ""}}};
+  EXPECT_FALSE(
+      SyntheticEmbeddingModel::Build(clusters, SmallOptions()).ok());
+}
+
+TEST(SyntheticModelTest, SynonymsAreCloserThanStrangers) {
+  auto model = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  ASSERT_TRUE(model.ok());
+  Vector resolution = model->Embed("resolution");
+  Vector megapixels = model->Embed("megapixels");
+  Vector weight = model->Embed("weight");
+  float synonym_sim = CosineSimilarity(resolution, megapixels);
+  float stranger_sim = CosineSimilarity(resolution, weight);
+  EXPECT_GT(synonym_sim, 0.7f);
+  EXPECT_LT(stranger_sim, 0.5f);
+  EXPECT_GT(synonym_sim, stranger_sim);
+}
+
+TEST(SyntheticModelTest, LookupIsCaseInsensitive) {
+  auto model = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->Contains("MP"));
+  Vector upper = model->Embed("MP");
+  Vector lower = model->Embed("mp");
+  EXPECT_EQ(upper, lower);
+}
+
+TEST(SyntheticModelTest, DeterministicAcrossBuilds) {
+  auto a = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  auto b = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Embed("zoom"), b->Embed("zoom"));
+}
+
+TEST(SyntheticModelTest, DifferentSeedsDifferentSpaces) {
+  SyntheticModelOptions other = SmallOptions();
+  other.seed = 99;
+  auto a = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  auto b = SyntheticEmbeddingModel::Build(TestClusters(), other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->Embed("zoom"), b->Embed("zoom"));
+}
+
+TEST(SyntheticModelTest, AddingClustersDoesNotMoveExistingWords) {
+  auto small =
+      SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  auto clusters = TestClusters();
+  clusters.push_back({"price", {"price", "cost"}});
+  auto large = SyntheticEmbeddingModel::Build(clusters, SmallOptions());
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(small->Embed("weight"), large->Embed("weight"));
+}
+
+TEST(SyntheticModelTest, PolysemousWordAveragesClusters) {
+  std::vector<SemanticCluster> clusters{
+      {"a", {"shared", "alpha"}},
+      {"b", {"shared", "beta"}},
+  };
+  auto model = SyntheticEmbeddingModel::Build(clusters, SmallOptions());
+  ASSERT_TRUE(model.ok());
+  Vector shared = model->Embed("shared");
+  Vector alpha = model->Embed("alpha");
+  Vector beta = model->Embed("beta");
+  // The polysemous word correlates with both senses.
+  EXPECT_GT(CosineSimilarity(shared, alpha), 0.3f);
+  EXPECT_GT(CosineSimilarity(shared, beta), 0.3f);
+}
+
+TEST(SyntheticModelTest, ZeroVectorOovPolicy) {
+  auto model = SyntheticEmbeddingModel::Build(TestClusters(), SmallOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Contains("unknownword"));
+  Vector oov = model->Embed("unknownword");
+  EXPECT_FLOAT_EQ(Norm(oov), 0.0f);
+}
+
+TEST(SyntheticModelTest, HashedOovPolicy) {
+  SyntheticModelOptions options = SmallOptions();
+  options.oov_policy = OovPolicy::kHashedVector;
+  auto model = SyntheticEmbeddingModel::Build(TestClusters(), options);
+  ASSERT_TRUE(model.ok());
+  Vector a = model->Embed("unknown_a");
+  Vector b = model->Embed("unknown_b");
+  Vector a_again = model->Embed("unknown_a");
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-5);
+  EXPECT_EQ(a, a_again);   // deterministic per word
+  EXPECT_NE(a, b);         // distinct words disagree
+}
+
+TEST(SyntheticModelTest, MavericksLandFarFromCluster) {
+  // With maverick_fraction = 1 every word is displaced; synonym cosine
+  // similarity collapses compared to the tight configuration.
+  SyntheticModelOptions tight = SmallOptions();
+  tight.intra_cluster_sigma = 0.1;
+  SyntheticModelOptions scattered = SmallOptions();
+  scattered.maverick_fraction = 1.0;
+  scattered.maverick_sigma = 3.0;
+  auto tight_model = SyntheticEmbeddingModel::Build(TestClusters(), tight);
+  auto scattered_model =
+      SyntheticEmbeddingModel::Build(TestClusters(), scattered);
+  ASSERT_TRUE(tight_model.ok());
+  ASSERT_TRUE(scattered_model.ok());
+  float tight_sim = CosineSimilarity(tight_model->Embed("resolution"),
+                                     tight_model->Embed("megapixels"));
+  float scattered_sim =
+      CosineSimilarity(scattered_model->Embed("resolution"),
+                       scattered_model->Embed("megapixels"));
+  EXPECT_GT(tight_sim, 0.9f);
+  EXPECT_LT(scattered_sim, tight_sim);
+}
+
+}  // namespace
+}  // namespace leapme::embedding

@@ -1,0 +1,111 @@
+#include "embedding/text_embedding_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace leapme::embedding {
+namespace {
+
+class TextEmbeddingFileTest : public ::testing::Test {
+ protected:
+  std::string WriteTempFile(const std::string& contents) {
+    std::string path = ::testing::TempDir() + "/" +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       ".vec";
+    std::ofstream out(path);
+    out << contents;
+    return path;
+  }
+};
+
+TEST_F(TextEmbeddingFileTest, LoadsGloveFormat) {
+  std::string path = WriteTempFile(
+      "resolution 0.1 0.2 0.3\n"
+      "mp 0.1 0.25 0.28\n"
+      "weight -0.9 0.0 0.4\n");
+  auto model = TextEmbeddingFile::Load(path);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->dimension(), 3u);
+  EXPECT_EQ(model->vocabulary_size(), 3u);
+  EXPECT_TRUE(model->Contains("resolution"));
+  Vector v = model->Embed("weight");
+  EXPECT_FLOAT_EQ(v[0], -0.9f);
+  EXPECT_FLOAT_EQ(v[2], 0.4f);
+}
+
+TEST_F(TextEmbeddingFileTest, SkipsWord2VecHeader) {
+  std::string path = WriteTempFile(
+      "2 3\n"
+      "a 1 2 3\n"
+      "b 4 5 6\n");
+  auto model = TextEmbeddingFile::Load(path);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->vocabulary_size(), 2u);
+  EXPECT_EQ(model->dimension(), 3u);
+}
+
+TEST_F(TextEmbeddingFileTest, MissingFileIsIoError) {
+  auto model = TextEmbeddingFile::Load("/nonexistent/path.vec");
+  EXPECT_FALSE(model.ok());
+  EXPECT_TRUE(model.status().IsIoError());
+}
+
+TEST_F(TextEmbeddingFileTest, DimensionMismatchIsCorruption) {
+  std::string path = WriteTempFile(
+      "a 1 2 3\n"
+      "b 4 5\n");
+  auto model = TextEmbeddingFile::Load(path);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(TextEmbeddingFileTest, BadFloatIsCorruption) {
+  std::string path = WriteTempFile("a 1 two 3\n");
+  EXPECT_FALSE(TextEmbeddingFile::Load(path).ok());
+}
+
+TEST_F(TextEmbeddingFileTest, EmptyFileIsError) {
+  std::string path = WriteTempFile("");
+  EXPECT_FALSE(TextEmbeddingFile::Load(path).ok());
+}
+
+TEST_F(TextEmbeddingFileTest, OovZeroVectorByDefault) {
+  std::string path = WriteTempFile("a 1 2\n");
+  auto model = TextEmbeddingFile::Load(path);
+  ASSERT_TRUE(model.ok());
+  Vector oov = model->Embed("missing");
+  EXPECT_FLOAT_EQ(oov[0], 0.0f);
+  EXPECT_FLOAT_EQ(oov[1], 0.0f);
+}
+
+TEST_F(TextEmbeddingFileTest, OovHashedPolicy) {
+  std::string path = WriteTempFile("a 1 2\n");
+  auto model = TextEmbeddingFile::Load(path, OovPolicy::kHashedVector);
+  ASSERT_TRUE(model.ok());
+  Vector oov = model->Embed("missing");
+  EXPECT_NE(oov[0], 0.0f);
+}
+
+TEST(TextEmbeddingFileFromEntriesTest, BuildsInMemoryModel) {
+  auto model = TextEmbeddingFile::FromEntries(
+      {{"x", {1.0f, 0.0f}}, {"y", {0.0f, 1.0f}}});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->dimension(), 2u);
+  EXPECT_TRUE(model->Contains("x"));
+  EXPECT_FALSE(model->Contains("z"));
+}
+
+TEST(TextEmbeddingFileFromEntriesTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(TextEmbeddingFile::FromEntries({}).ok());
+  EXPECT_FALSE(TextEmbeddingFile::FromEntries(
+                   {{"a", {1.0f}}, {"b", {1.0f, 2.0f}}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace leapme::embedding

@@ -1,0 +1,69 @@
+#include "embedding/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace leapme::embedding {
+namespace {
+
+TEST(VectorOpsTest, AddInPlace) {
+  Vector a{1.0f, 2.0f, 3.0f};
+  Vector b{0.5f, -1.0f, 2.0f};
+  AddInPlace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 1.5f);
+  EXPECT_FLOAT_EQ(a[1], 1.0f);
+  EXPECT_FLOAT_EQ(a[2], 5.0f);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  Vector a{2.0f, -4.0f};
+  ScaleInPlace(a, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  EXPECT_FLOAT_EQ(a[1], -2.0f);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vector a{3.0f, 4.0f};
+  Vector b{1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b), 3.0f);
+  EXPECT_FLOAT_EQ(Norm(a), 5.0f);
+  EXPECT_FLOAT_EQ(Norm(Vector{0.0f, 0.0f}), 0.0f);
+}
+
+TEST(VectorOpsTest, CosineSimilarityBasics) {
+  Vector a{1.0f, 0.0f};
+  Vector b{0.0f, 1.0f};
+  Vector c{2.0f, 0.0f};
+  Vector d{-1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, c), 1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, d), -1.0f);
+}
+
+TEST(VectorOpsTest, CosineSimilarityZeroVectorIsZero) {
+  Vector zero{0.0f, 0.0f};
+  Vector a{1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(CosineSimilarity(zero, a), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(zero, zero), 0.0f);
+}
+
+TEST(VectorOpsTest, EuclideanDistance) {
+  Vector a{0.0f, 0.0f};
+  Vector b{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(EuclideanDistance(b, b), 0.0f);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  Vector a{3.0f, 4.0f};
+  NormalizeInPlace(a);
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-6);
+  EXPECT_NEAR(a[0], 0.6f, 1e-6);
+  Vector zero{0.0f, 0.0f};
+  NormalizeInPlace(zero);  // must not divide by zero
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace leapme::embedding

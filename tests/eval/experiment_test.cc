@@ -1,0 +1,132 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "baselines/aml.h"
+#include "baselines/lsh.h"
+
+namespace leapme::eval {
+namespace {
+
+TEST(DefaultDatasetSpecsTest, FourDatasetsAtEveryScale) {
+  for (EvalScale scale :
+       {EvalScale::kTest, EvalScale::kBench, EvalScale::kPaper}) {
+    auto specs = DefaultDatasetSpecs(scale);
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].name, "cameras");
+    EXPECT_EQ(specs[1].name, "headphones");
+    EXPECT_EQ(specs[2].name, "phones");
+    EXPECT_EQ(specs[3].name, "tvs");
+    for (const DatasetSpec& spec : specs) {
+      EXPECT_NE(spec.domain, nullptr);
+      EXPECT_GE(spec.generator.num_sources, 2u);
+    }
+  }
+}
+
+TEST(DefaultDatasetSpecsTest, PaperScaleMatchesPaperNumbers) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kPaper);
+  // Cameras: 24 sources, 100 entities per source, 300-d embeddings.
+  EXPECT_EQ(specs[0].generator.num_sources, 24u);
+  EXPECT_EQ(specs[0].generator.min_entities_per_source, 100u);
+  EXPECT_EQ(specs[0].embedding.dimension, 300u);
+  // Low-quality datasets are imbalanced.
+  EXPECT_LT(specs[1].generator.min_entities_per_source,
+            specs[1].generator.max_entities_per_source);
+}
+
+TEST(BuildEvalDatasetTest, ProducesDatasetAndModel) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+  auto built = BuildEvalDataset(specs[1]);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_GT(built->dataset.property_count(), 10u);
+  EXPECT_NE(built->model, nullptr);
+  EXPECT_EQ(built->model->dimension(), specs[1].embedding.dimension);
+}
+
+TEST(BuildEvalDatasetTest, NullDomainRejected) {
+  DatasetSpec spec;
+  EXPECT_FALSE(BuildEvalDataset(spec).ok());
+}
+
+TEST(EvaluateMatcherTest, RunsUnsupervisedBaseline) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+  auto built = BuildEvalDataset(specs[1]);
+  ASSERT_TRUE(built.ok());
+  EvaluationOptions options;
+  options.repetitions = 2;
+  options.train_fraction = 0.5;
+  MatcherFactory factory = [](const embedding::EmbeddingModel&) {
+    return std::unique_ptr<baselines::PairMatcher>(
+        new baselines::AmlMatcher());
+  };
+  auto result = EvaluateMatcher(factory, *built, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->per_repetition.size(), 2u);
+  EXPECT_GE(result->mean.precision, 0.0);
+  EXPECT_LE(result->mean.precision, 1.0);
+  EXPECT_GT(result->mean_test_pairs, 0u);
+}
+
+TEST(EvaluateMatcherTest, SameSeedSameResult) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+  auto built = BuildEvalDataset(specs[3]);
+  ASSERT_TRUE(built.ok());
+  EvaluationOptions options;
+  options.repetitions = 1;
+  MatcherFactory factory = [](const embedding::EmbeddingModel&) {
+    return std::unique_ptr<baselines::PairMatcher>(
+        new baselines::LshMatcher());
+  };
+  auto a = EvaluateMatcher(factory, *built, options);
+  auto b = EvaluateMatcher(factory, *built, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean.f1, b->mean.f1);
+}
+
+TEST(EvaluateMatcherTest, ZeroRepetitionsRejected) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+  auto built = BuildEvalDataset(specs[1]);
+  ASSERT_TRUE(built.ok());
+  EvaluationOptions options;
+  options.repetitions = 0;
+  MatcherFactory factory = [](const embedding::EmbeddingModel&) {
+    return std::unique_ptr<baselines::PairMatcher>(
+        new baselines::AmlMatcher());
+  };
+  EXPECT_FALSE(EvaluateMatcher(factory, *built, options).ok());
+}
+
+TEST(EvaluateMatcherTest, NullFactoryResultRejected) {
+  auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+  auto built = BuildEvalDataset(specs[1]);
+  ASSERT_TRUE(built.ok());
+  EvaluationOptions options;
+  options.repetitions = 1;
+  MatcherFactory factory = [](const embedding::EmbeddingModel&) {
+    return std::unique_ptr<baselines::PairMatcher>();
+  };
+  EXPECT_FALSE(EvaluateMatcher(factory, *built, options).ok());
+}
+
+TEST(EnvIntTest, ParsesAndFallsBack) {
+  ::setenv("LEAPME_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(EnvInt("LEAPME_TEST_ENV_INT", 7), 42);
+  ::setenv("LEAPME_TEST_ENV_INT", "not a number", 1);
+  EXPECT_EQ(EnvInt("LEAPME_TEST_ENV_INT", 7), 7);
+  ::unsetenv("LEAPME_TEST_ENV_INT");
+  EXPECT_EQ(EnvInt("LEAPME_TEST_ENV_INT", 7), 7);
+}
+
+TEST(EnvDoubleTest, ParsesAndFallsBack) {
+  ::setenv("LEAPME_TEST_ENV_DOUBLE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("LEAPME_TEST_ENV_DOUBLE", 0.5), 0.25);
+  ::unsetenv("LEAPME_TEST_ENV_DOUBLE");
+  EXPECT_DOUBLE_EQ(EnvDouble("LEAPME_TEST_ENV_DOUBLE", 0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace leapme::eval

@@ -1,0 +1,78 @@
+#include "eval/importance.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::eval {
+namespace {
+
+class ImportanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto specs = DefaultDatasetSpecs(EvalScale::kTest);
+    built_ = new EvalDataset(std::move(BuildEvalDataset(specs[1])).value());
+  }
+  static EvalDataset* built_;
+};
+
+EvalDataset* ImportanceTest::built_ = nullptr;
+
+TEST_F(ImportanceTest, CoversSixGroupsSortedByDrop) {
+  ImportanceOptions options;
+  options.permutations = 1;
+  auto importances = PermutationImportance(*built_, options);
+  ASSERT_TRUE(importances.ok()) << importances.status();
+  ASSERT_EQ(importances->size(), 6u);
+  for (size_t i = 1; i < importances->size(); ++i) {
+    EXPECT_GE((*importances)[i - 1].f1_drop, (*importances)[i].f1_drop);
+  }
+  // Column counts add up to the full pair dimension: 37 + 2d.
+  size_t total = 0;
+  for (const auto& importance : *importances) {
+    total += importance.columns;
+  }
+  EXPECT_EQ(total, 37u + 2 * built_->model->dimension());
+}
+
+TEST_F(ImportanceTest, BaselineConsistentAcrossGroups) {
+  ImportanceOptions options;
+  options.permutations = 1;
+  auto importances = PermutationImportance(*built_, options);
+  ASSERT_TRUE(importances.ok());
+  double baseline = importances->front().baseline_f1;
+  for (const auto& importance : *importances) {
+    EXPECT_DOUBLE_EQ(importance.baseline_f1, baseline);
+    EXPECT_NEAR(importance.f1_drop,
+                importance.baseline_f1 - importance.permuted_f1, 1e-12);
+  }
+  EXPECT_GT(baseline, 0.3);  // the trained model must actually work
+}
+
+TEST_F(ImportanceTest, SomeGroupMatters) {
+  ImportanceOptions options;
+  options.permutations = 2;
+  auto importances = PermutationImportance(*built_, options);
+  ASSERT_TRUE(importances.ok());
+  // At least one feature group must carry real signal.
+  EXPECT_GT(importances->front().f1_drop, 0.02);
+}
+
+TEST_F(ImportanceTest, ZeroPermutationsRejected) {
+  ImportanceOptions options;
+  options.permutations = 0;
+  EXPECT_FALSE(PermutationImportance(*built_, options).ok());
+}
+
+TEST_F(ImportanceTest, DeterministicForFixedSeed) {
+  ImportanceOptions options;
+  options.permutations = 1;
+  auto a = PermutationImportance(*built_, options);
+  auto b = PermutationImportance(*built_, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].f1_drop, (*b)[i].f1_drop);
+  }
+}
+
+}  // namespace
+}  // namespace leapme::eval

@@ -1,0 +1,77 @@
+#include "eval/leapme_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "embedding/synthetic_model.h"
+
+namespace leapme::eval {
+namespace {
+
+class LeapmeAdapterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorOptions generator;
+    generator.num_sources = 4;
+    generator.min_entities_per_source = 6;
+    generator.max_entities_per_source = 6;
+    generator.seed = 81;
+    dataset_ = new data::Dataset(
+        data::GenerateCatalog(data::PhoneDomain(), generator).value());
+    model_ = new embedding::SyntheticEmbeddingModel(
+        embedding::SyntheticEmbeddingModel::Build(
+            data::DomainClusters(data::PhoneDomain()),
+            {.dimension = 16, .seed = 82})
+            .value());
+    Rng rng(83);
+    train_ = new std::vector<data::LabeledPair>(
+        data::BuildTrainingPairs(*dataset_, {0, 1, 2}, 2.0, rng).value());
+  }
+
+  static data::Dataset* dataset_;
+  static embedding::SyntheticEmbeddingModel* model_;
+  static std::vector<data::LabeledPair>* train_;
+};
+
+data::Dataset* LeapmeAdapterTest::dataset_ = nullptr;
+embedding::SyntheticEmbeddingModel* LeapmeAdapterTest::model_ = nullptr;
+std::vector<data::LabeledPair>* LeapmeAdapterTest::train_ = nullptr;
+
+TEST_F(LeapmeAdapterTest, ReportsDisplayNameAndSupervision) {
+  LeapmeAdapter adapter(model_, {}, "LEAPME(emb)");
+  EXPECT_EQ(adapter.Name(), "LEAPME(emb)");
+  EXPECT_TRUE(adapter.IsSupervised());
+}
+
+TEST_F(LeapmeAdapterTest, DelegatesFitAndClassify) {
+  LeapmeAdapter adapter(model_, {}, "LEAPME");
+  ASSERT_TRUE(adapter.Fit(*dataset_, *train_).ok());
+  std::vector<data::PropertyPair> pairs{(*train_)[0].pair,
+                                        (*train_)[1].pair};
+  auto decisions = adapter.ClassifyPairs(pairs);
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ(decisions->size(), 2u);
+}
+
+TEST_F(LeapmeAdapterTest, ScoresAgreeWithUnderlyingMatcher) {
+  core::LeapmeOptions options;
+  LeapmeAdapter adapter(model_, options, "LEAPME");
+  core::LeapmeMatcher direct(model_, options);
+  ASSERT_TRUE(adapter.Fit(*dataset_, *train_).ok());
+  ASSERT_TRUE(direct.Fit(*dataset_, *train_).ok());
+  std::vector<data::PropertyPair> pairs{(*train_)[0].pair,
+                                        (*train_)[2].pair};
+  EXPECT_EQ(adapter.ScorePairs(pairs).value(),
+            direct.ScorePairs(pairs).value());
+}
+
+TEST_F(LeapmeAdapterTest, MatcherAccessorExposesCore) {
+  LeapmeAdapter adapter(model_, {}, "LEAPME");
+  ASSERT_TRUE(adapter.Fit(*dataset_, *train_).ok());
+  EXPECT_FALSE(adapter.matcher().training_losses().empty());
+}
+
+}  // namespace
+}  // namespace leapme::eval

@@ -1,0 +1,81 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace leapme::eval {
+namespace {
+
+TEST(ResultsTableTest, RendersSectionsRowsAndCells) {
+  ResultsTable table;
+  table.AddApproach("LEAPME");
+  table.AddApproach("AML");
+  table.AddResult("Names", "cameras 80%", "LEAPME", {0.9, 0.8, 0.85});
+  table.AddResult("Names", "cameras 80%", "AML", {0.99, 0.5, 0.66});
+  std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("LEAPME"), std::string::npos);
+  EXPECT_NE(rendered.find("AML"), std::string::npos);
+  EXPECT_NE(rendered.find("[Names]"), std::string::npos);
+  EXPECT_NE(rendered.find("cameras 80%"), std::string::npos);
+  EXPECT_NE(rendered.find("0.85"), std::string::npos);
+}
+
+TEST(ResultsTableTest, BestF1Marked) {
+  ResultsTable table;
+  table.AddResult("S", "row", "winner", {0.9, 0.9, 0.9});
+  table.AddResult("S", "row", "loser", {0.5, 0.5, 0.5});
+  std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("0.90*"), std::string::npos);
+  EXPECT_EQ(rendered.find("0.50*"), std::string::npos);
+}
+
+TEST(ResultsTableTest, MissingCellsRenderDashes) {
+  ResultsTable table;
+  table.AddApproach("A");
+  table.AddApproach("B");
+  table.AddResult("S", "row", "A", {1, 1, 1});
+  std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("-"), std::string::npos);
+}
+
+TEST(ResultsTableTest, RowOrderIsInsertionOrder) {
+  ResultsTable table;
+  table.AddResult("S", "zrow", "A", {1, 1, 1});
+  table.AddResult("S", "arow", "A", {1, 1, 1});
+  std::string rendered = table.Render();
+  EXPECT_LT(rendered.find("zrow"), rendered.find("arow"));
+}
+
+TEST(ResultsTableTest, CsvHasHeaderAndRows) {
+  ResultsTable table;
+  table.AddResult("Names", "cameras 80%", "LEAPME", {0.9, 0.8, 0.85});
+  std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("section,row,approach,precision,recall,f1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("Names,cameras 80%,LEAPME,0.9000,0.8000,0.8500"),
+            std::string::npos);
+}
+
+TEST(ResultsTableTest, DuplicateApproachRegistrationIsIdempotent) {
+  ResultsTable table;
+  table.AddApproach("A");
+  table.AddApproach("A");
+  table.AddResult("S", "r", "A", {1, 1, 1});
+  std::string csv = table.RenderCsv();
+  // Exactly one data row.
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(ResultsTableTest, UpdatingCellOverwrites) {
+  ResultsTable table;
+  table.AddResult("S", "r", "A", {0.1, 0.1, 0.1});
+  table.AddResult("S", "r", "A", {0.9, 0.9, 0.9});
+  std::string csv = table.RenderCsv();
+  EXPECT_EQ(csv.find("0.1000"), std::string::npos);
+  EXPECT_NE(csv.find("0.9000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leapme::eval

@@ -1,0 +1,166 @@
+#include "features/feature_schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace leapme::features {
+namespace {
+
+TEST(FeatureSchemaTest, PaperDimensionsAt300) {
+  // Table I: instance features 329, property features 629, pair 637.
+  EXPECT_EQ(FeatureSchema::InstanceDimension(300), 329u);
+  EXPECT_EQ(FeatureSchema::PropertyDimension(300), 629u);
+  EXPECT_EQ(FeatureSchema::PairDimension(300), 637u);
+}
+
+TEST(FeatureSchemaTest, SlotCountMatchesPairDimension) {
+  for (size_t d : {1u, 16u, 48u, 300u}) {
+    FeatureSchema schema(d);
+    EXPECT_EQ(schema.size(), FeatureSchema::PairDimension(d));
+    EXPECT_EQ(schema.embedding_dim(), d);
+  }
+}
+
+TEST(FeatureSchemaTest, SlotNamesAreUnique) {
+  FeatureSchema schema(8);
+  std::set<std::string> names;
+  for (const FeatureSlot& slot : schema.slots()) {
+    EXPECT_TRUE(names.insert(slot.name).second) << slot.name;
+  }
+}
+
+TEST(FeatureSchemaTest, LayoutOrdering) {
+  FeatureSchema schema(4);
+  // First slots: char-class diffs (instance, non-embedding).
+  EXPECT_EQ(schema.slot(0).origin, FeatureOrigin::kInstance);
+  EXPECT_FALSE(schema.slot(0).is_embedding);
+  // Meta block ends at 29; value-embedding block follows.
+  EXPECT_TRUE(schema.slot(FeatureSchema::kMetaFeatures).is_embedding);
+  EXPECT_EQ(schema.slot(FeatureSchema::kMetaFeatures).origin,
+            FeatureOrigin::kInstance);
+  // Name-embedding block.
+  size_t name_emb_start = FeatureSchema::kMetaFeatures + 4;
+  EXPECT_TRUE(schema.slot(name_emb_start).is_embedding);
+  EXPECT_EQ(schema.slot(name_emb_start).origin, FeatureOrigin::kName);
+  // Final 8 slots: string distances (name, non-embedding).
+  for (size_t i = schema.size() - 8; i < schema.size(); ++i) {
+    EXPECT_EQ(schema.slot(i).origin, FeatureOrigin::kName);
+    EXPECT_FALSE(schema.slot(i).is_embedding);
+  }
+}
+
+TEST(FeatureSchemaTest, StringDistanceSlotNames) {
+  FeatureSchema schema(2);
+  const auto& slots = schema.slots();
+  size_t base = slots.size() - 8;
+  EXPECT_EQ(slots[base + 0].name, "dist.osa");
+  EXPECT_EQ(slots[base + 1].name, "dist.levenshtein");
+  EXPECT_EQ(slots[base + 2].name, "dist.damerau_levenshtein");
+  EXPECT_EQ(slots[base + 3].name, "dist.lcs");
+  EXPECT_EQ(slots[base + 4].name, "dist.qgram3");
+  EXPECT_EQ(slots[base + 5].name, "dist.cosine3");
+  EXPECT_EQ(slots[base + 6].name, "dist.jaccard3");
+  EXPECT_EQ(slots[base + 7].name, "dist.jaro_winkler");
+}
+
+TEST(AllFeatureConfigsTest, NineConfigurations) {
+  auto configs = AllFeatureConfigs();
+  EXPECT_EQ(configs.size(), 9u);
+  std::set<std::string> names;
+  for (const FeatureConfig& config : configs) {
+    EXPECT_TRUE(names.insert(config.ToString()).second);
+  }
+}
+
+TEST(FeatureConfigTest, ToStringFormat) {
+  FeatureConfig config{OriginSelection::kNamesOnly,
+                       KindSelection::kEmbeddingsOnly};
+  EXPECT_EQ(config.ToString(), "names/embeddings");
+  FeatureConfig both;
+  EXPECT_EQ(both.ToString(), "both/all");
+}
+
+TEST(SelectedColumnsTest, BothAllSelectsEverything) {
+  FeatureSchema schema(8);
+  FeatureConfig config;
+  EXPECT_EQ(schema.SelectedColumns(config).size(), schema.size());
+}
+
+TEST(SelectedColumnsTest, InstancesOnlyExcludesNameSlots) {
+  FeatureSchema schema(8);
+  FeatureConfig config{OriginSelection::kInstancesOnly,
+                       KindSelection::kBoth};
+  auto columns = schema.SelectedColumns(config);
+  // 29 meta + 8 value embedding.
+  EXPECT_EQ(columns.size(), FeatureSchema::kMetaFeatures + 8);
+  for (size_t column : columns) {
+    EXPECT_EQ(schema.slot(column).origin, FeatureOrigin::kInstance);
+  }
+}
+
+TEST(SelectedColumnsTest, NamesOnlySelectsNameSlots) {
+  FeatureSchema schema(8);
+  FeatureConfig config{OriginSelection::kNamesOnly, KindSelection::kBoth};
+  auto columns = schema.SelectedColumns(config);
+  // 8 name embedding + 8 string distances.
+  EXPECT_EQ(columns.size(), 16u);
+}
+
+TEST(SelectedColumnsTest, EmbeddingsOnly) {
+  FeatureSchema schema(8);
+  FeatureConfig config{OriginSelection::kBoth,
+                       KindSelection::kEmbeddingsOnly};
+  auto columns = schema.SelectedColumns(config);
+  EXPECT_EQ(columns.size(), 16u);  // 2 * d
+  for (size_t column : columns) {
+    EXPECT_TRUE(schema.slot(column).is_embedding);
+  }
+}
+
+TEST(SelectedColumnsTest, NonEmbeddingsOnly) {
+  FeatureSchema schema(8);
+  FeatureConfig config{OriginSelection::kBoth,
+                       KindSelection::kNonEmbeddingsOnly};
+  auto columns = schema.SelectedColumns(config);
+  EXPECT_EQ(columns.size(),
+            FeatureSchema::kMetaFeatures +
+                FeatureSchema::kStringDistanceFeatures);
+}
+
+TEST(SelectedColumnsTest, NineConfigsPartitionConsistently) {
+  FeatureSchema schema(16);
+  // For each origin row, embeddings-only + non-embeddings-only = both.
+  for (OriginSelection origin :
+       {OriginSelection::kInstancesOnly, OriginSelection::kNamesOnly,
+        OriginSelection::kBoth}) {
+    size_t emb = schema
+                     .SelectedColumns(FeatureConfig{
+                         origin, KindSelection::kEmbeddingsOnly})
+                     .size();
+    size_t non = schema
+                     .SelectedColumns(FeatureConfig{
+                         origin, KindSelection::kNonEmbeddingsOnly})
+                     .size();
+    size_t all = schema
+                     .SelectedColumns(FeatureConfig{origin,
+                                                    KindSelection::kBoth})
+                     .size();
+    EXPECT_EQ(emb + non, all);
+  }
+}
+
+TEST(SelectedColumnsTest, ColumnsAreSortedAndInRange) {
+  FeatureSchema schema(8);
+  for (const FeatureConfig& config : AllFeatureConfigs()) {
+    auto columns = schema.SelectedColumns(config);
+    EXPECT_FALSE(columns.empty()) << config.ToString();
+    for (size_t i = 1; i < columns.size(); ++i) {
+      EXPECT_LT(columns[i - 1], columns[i]);
+    }
+    EXPECT_LT(columns.back(), schema.size());
+  }
+}
+
+}  // namespace
+}  // namespace leapme::features

@@ -1,0 +1,100 @@
+#include "features/instance_features.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/text_embedding_file.h"
+
+namespace leapme::features {
+namespace {
+
+embedding::TextEmbeddingFile MakeModel() {
+  auto model = embedding::TextEmbeddingFile::FromEntries(
+      {{"mp", {1.0f, 0.0f}},
+       {"grams", {0.0f, 1.0f}},
+       {"g", {0.0f, 0.8f}}});
+  return std::move(model).value();
+}
+
+TEST(InstanceFeaturesTest, DimensionIs29PlusD) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  EXPECT_EQ(extractor.dimension(), 31u);
+}
+
+TEST(InstanceFeaturesTest, CharClassBlock) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> features(extractor.dimension());
+  extractor.Extract("24.3 MP", features);
+  // Layout: [frac, count] per char class, classes in enum order:
+  // upper(0), lower(1), other(2), mark(3), number(4), punct(5), symbol(6),
+  // separator(7), other(8).
+  EXPECT_FLOAT_EQ(features[0 * 2 + 1], 2.0f);  // upper count: M, P
+  EXPECT_FLOAT_EQ(features[4 * 2 + 1], 3.0f);  // digits: 2,4,3
+  EXPECT_FLOAT_EQ(features[5 * 2 + 1], 1.0f);  // punctuation: '.'
+  EXPECT_FLOAT_EQ(features[7 * 2 + 1], 1.0f);  // separator: ' '
+  EXPECT_NEAR(features[4 * 2], 3.0f / 7.0f, 1e-6);  // digit fraction
+}
+
+TEST(InstanceFeaturesTest, TokenClassBlock) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> features(extractor.dimension());
+  extractor.Extract("24.3 MP", features);
+  size_t base = 18;  // after char classes
+  // Token classes: word(0), lower word(1), capitalized(2), upper(3),
+  // numeric(4); tokens are {"24.3", "MP"}.
+  EXPECT_FLOAT_EQ(features[base + 0 * 2 + 1], 1.0f);  // word: MP
+  EXPECT_FLOAT_EQ(features[base + 3 * 2 + 1], 1.0f);  // upper word: MP
+  EXPECT_FLOAT_EQ(features[base + 4 * 2 + 1], 1.0f);  // numeric: 24.3
+  EXPECT_FLOAT_EQ(features[base + 4 * 2], 0.5f);      // numeric fraction
+}
+
+TEST(InstanceFeaturesTest, NumericValueFeature) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> features(extractor.dimension());
+  extractor.Extract("352", features);
+  EXPECT_FLOAT_EQ(features[28], 352.0f);
+  extractor.Extract("352 g", features);
+  EXPECT_FLOAT_EQ(features[28], -1.0f);  // not a pure number
+  extractor.Extract("", features);
+  EXPECT_FLOAT_EQ(features[28], -1.0f);
+}
+
+TEST(InstanceFeaturesTest, EmbeddingBlockAveragesWords) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> features(extractor.dimension());
+  extractor.Extract("352 grams", features);
+  // Words: {"352" (OOV -> zero), "grams" (0,1)}; average = (0, 0.5).
+  EXPECT_FLOAT_EQ(features[29], 0.0f);
+  EXPECT_FLOAT_EQ(features[30], 0.5f);
+}
+
+TEST(InstanceFeaturesTest, EmptyValueAllZeroExceptNumeric) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> features(extractor.dimension());
+  extractor.Extract("", features);
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (i == 28) {
+      EXPECT_FLOAT_EQ(features[i], -1.0f);
+    } else {
+      EXPECT_FLOAT_EQ(features[i], 0.0f) << "slot " << i;
+    }
+  }
+}
+
+TEST(InstanceFeaturesTest, DeterministicExtraction) {
+  embedding::TextEmbeddingFile model = MakeModel();
+  InstanceFeatureExtractor extractor(&model);
+  std::vector<float> a(extractor.dimension());
+  std::vector<float> b(extractor.dimension());
+  extractor.Extract("24.3 MP", a);
+  extractor.Extract("24.3 MP", b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace leapme::features

@@ -1,0 +1,157 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace leapme::graph {
+namespace {
+
+// A dataset with two reference properties across three sources:
+// properties 0,2,4 -> "resolution"; 1,3,5 -> "weight".
+data::Dataset MakeDataset() {
+  data::Dataset dataset("g");
+  for (int s = 0; s < 3; ++s) {
+    data::SourceId source = dataset.AddSource("s" + std::to_string(s));
+    dataset.AddProperty(source, "res" + std::to_string(s), "resolution");
+    dataset.AddProperty(source, "wgt" + std::to_string(s), "weight");
+  }
+  return dataset;
+}
+
+TEST(SimilarityGraphTest, AddAndFilterEdges) {
+  SimilarityGraph graph(4);
+  graph.AddEdge(0, 1, 0.9);
+  graph.AddEdge(1, 2, 0.4);
+  graph.AddEdge(2, 3, 0.95);
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_EQ(graph.EdgesAbove(0.5).size(), 2u);
+  EXPECT_EQ(graph.EdgesAbove(0.0).size(), 3u);
+  EXPECT_TRUE(graph.EdgesAbove(0.99).empty());
+}
+
+TEST(ConnectedComponentsTest, GroupsLinkedNodes) {
+  SimilarityGraph graph(6);
+  graph.AddEdge(0, 2, 0.9);
+  graph.AddEdge(2, 4, 0.8);
+  graph.AddEdge(1, 3, 0.9);
+  Clusters clusters = ConnectedComponentClusters(graph, 0.5);
+  // {0,2,4}, {1,3}, {5}.
+  EXPECT_EQ(clusters.size(), 3u);
+  size_t total = 0;
+  for (const auto& cluster : clusters) {
+    total += cluster.size();
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(ConnectedComponentsTest, ThresholdPrunesEdges) {
+  SimilarityGraph graph(3);
+  graph.AddEdge(0, 1, 0.3);
+  graph.AddEdge(1, 2, 0.9);
+  Clusters clusters = ConnectedComponentClusters(graph, 0.5);
+  EXPECT_EQ(clusters.size(), 2u);  // {0}, {1,2}
+}
+
+TEST(ConnectedComponentsTest, EmptyGraphAllSingletons) {
+  SimilarityGraph graph(4);
+  Clusters clusters = ConnectedComponentClusters(graph, 0.5);
+  EXPECT_EQ(clusters.size(), 4u);
+  for (const auto& cluster : clusters) {
+    EXPECT_EQ(cluster.size(), 1u);
+  }
+}
+
+TEST(StarClustersTest, CenterAbsorbsNeighbors) {
+  SimilarityGraph graph(4);
+  // Node 0 is the hub.
+  graph.AddEdge(0, 1, 0.9);
+  graph.AddEdge(0, 2, 0.9);
+  graph.AddEdge(0, 3, 0.9);
+  Clusters clusters = StarClusters(graph, 0.5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 4u);
+  EXPECT_EQ(clusters[0][0], 0u);  // hub chosen as center
+}
+
+TEST(StarClustersTest, BridgeDoesNotMergeTwoStars) {
+  // Two dense stars joined by one weak bridge: connected components merge
+  // them, star clustering keeps them apart.
+  SimilarityGraph graph(7);
+  graph.AddEdge(0, 1, 0.95);
+  graph.AddEdge(0, 2, 0.95);
+  graph.AddEdge(3, 4, 0.95);
+  graph.AddEdge(3, 5, 0.95);
+  graph.AddEdge(2, 6, 0.55);
+  graph.AddEdge(6, 4, 0.55);
+  Clusters components = ConnectedComponentClusters(graph, 0.5);
+  Clusters stars = StarClusters(graph, 0.5);
+  EXPECT_EQ(components.size(), 1u);
+  EXPECT_GT(stars.size(), 1u);
+}
+
+TEST(StarClustersTest, AllNodesAssignedExactlyOnce) {
+  SimilarityGraph graph(5);
+  graph.AddEdge(0, 1, 0.8);
+  graph.AddEdge(1, 2, 0.8);
+  graph.AddEdge(3, 4, 0.8);
+  Clusters clusters = StarClusters(graph, 0.5);
+  std::vector<bool> seen(5, false);
+  for (const auto& cluster : clusters) {
+    for (data::PropertyId id : cluster) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST(EvaluateClustersTest, PerfectClustering) {
+  data::Dataset dataset = MakeDataset();
+  Clusters clusters{{0, 2, 4}, {1, 3, 5}};
+  ClusterQuality quality = EvaluateClusters(clusters, dataset);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.f1, 1.0);
+  EXPECT_EQ(quality.cluster_count, 2u);
+  EXPECT_EQ(quality.non_singleton_clusters, 2u);
+}
+
+TEST(EvaluateClustersTest, AllSingletonsZeroRecall) {
+  data::Dataset dataset = MakeDataset();
+  Clusters clusters{{0}, {1}, {2}, {3}, {4}, {5}};
+  ClusterQuality quality = EvaluateClusters(clusters, dataset);
+  EXPECT_DOUBLE_EQ(quality.recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality.precision, 0.0);
+  EXPECT_EQ(quality.non_singleton_clusters, 0u);
+}
+
+TEST(EvaluateClustersTest, MixedClusterLowersPrecision) {
+  data::Dataset dataset = MakeDataset();
+  // One big cluster mixing both references.
+  Clusters clusters{{0, 1, 2, 3, 4, 5}};
+  ClusterQuality quality = EvaluateClusters(clusters, dataset);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  // Cluster of 6 nodes: 12 cross-source pairs, 6 correct.
+  EXPECT_DOUBLE_EQ(quality.precision, 0.5);
+  EXPECT_LT(quality.f1, 1.0);
+}
+
+TEST(EvaluateClustersTest, SameSourcePairsDoNotCount) {
+  data::Dataset dataset = MakeDataset();
+  // Cluster containing both properties of source 0 only: the same-source
+  // pair is skipped, so nothing is predicted.
+  Clusters clusters{{0, 1}, {2}, {3}, {4}, {5}};
+  ClusterQuality quality = EvaluateClusters(clusters, dataset);
+  EXPECT_DOUBLE_EQ(quality.precision, 0.0);
+}
+
+TEST(SimilarityGraphDeathTest, RejectsOutOfRangeAndSelfEdges) {
+  SimilarityGraph graph(2);
+  EXPECT_DEATH(graph.AddEdge(0, 5, 0.5), "Check failed");
+  EXPECT_DEATH(graph.AddEdge(1, 1, 0.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace leapme::graph

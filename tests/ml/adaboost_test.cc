@@ -1,0 +1,87 @@
+#include "ml/adaboost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace leapme::ml {
+namespace {
+
+TEST(AdaBoostTest, LearnsSimpleThreshold) {
+  nn::Matrix inputs(6, 1, {1, 2, 3, 10, 11, 12});
+  std::vector<int32_t> labels{0, 0, 0, 1, 1, 1};
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  EXPECT_EQ(model.Predict(inputs), labels);
+  EXPECT_GE(model.learner_count(), 1u);
+}
+
+TEST(AdaBoostTest, StumpsCombineBeyondSingleSplit) {
+  // Interval concept: positive iff 3 < x < 7 — impossible for one stump,
+  // learnable by boosting several.
+  nn::Matrix inputs(10, 1, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  std::vector<int32_t> labels{0, 0, 0, 1, 1, 1, 0, 0, 0, 0};
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  EXPECT_GT(Accuracy(model.Predict(inputs), labels), 0.9);
+  EXPECT_GT(model.learner_count(), 1u);
+}
+
+TEST(AdaBoostTest, PerfectStumpStopsEarly) {
+  nn::Matrix inputs(4, 1, {0, 1, 10, 11});
+  std::vector<int32_t> labels{0, 0, 1, 1};
+  AdaBoostOptions options;
+  options.rounds = 50;
+  AdaBoost model(options);
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  EXPECT_EQ(model.learner_count(), 1u);
+}
+
+TEST(AdaBoostTest, ProbabilitiesAreOrdered) {
+  nn::Matrix inputs(6, 1, {1, 2, 3, 10, 11, 12});
+  std::vector<int32_t> labels{0, 0, 0, 1, 1, 1};
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  std::vector<double> probabilities = model.PredictProbability(inputs);
+  EXPECT_LT(probabilities[0], 0.5);
+  EXPECT_GT(probabilities[5], 0.5);
+  for (double p : probabilities) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AdaBoostTest, RejectsEmptyAndMismatched) {
+  AdaBoost model;
+  nn::Matrix empty;
+  EXPECT_FALSE(model.Fit(empty, {}).ok());
+  nn::Matrix inputs(2, 1);
+  EXPECT_FALSE(model.Fit(inputs, {1}).ok());
+}
+
+TEST(AdaBoostTest, NoisyBlobsGeneralize) {
+  Rng rng(41);
+  const size_t n = 200;
+  nn::Matrix inputs(n, 3);
+  std::vector<int32_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = rng.NextBool();
+    inputs(i, 0) =
+        static_cast<float>((positive ? 1.5 : -1.5) + rng.NextGaussian());
+    inputs(i, 1) = static_cast<float>(rng.NextGaussian());  // noise feature
+    inputs(i, 2) = static_cast<float>(rng.NextGaussian());  // noise feature
+    labels[i] = positive ? 1 : 0;
+  }
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  EXPECT_GT(Accuracy(model.Predict(inputs), labels), 0.85);
+}
+
+TEST(AdaBoostTest, NameIsAdaboost) {
+  AdaBoost model;
+  EXPECT_EQ(model.Name(), "adaboost");
+}
+
+}  // namespace
+}  // namespace leapme::ml

@@ -1,0 +1,118 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace leapme::ml {
+namespace {
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  nn::Matrix inputs(6, 1, {1, 2, 3, 10, 11, 12});
+  std::vector<int32_t> labels{0, 0, 0, 1, 1, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(inputs, labels).ok());
+  std::vector<int32_t> predictions = tree.Predict(inputs);
+  EXPECT_EQ(predictions, labels);
+}
+
+TEST(DecisionTreeTest, LearnsXor) {
+  // XOR needs depth >= 2; a working recursive splitter handles it.
+  nn::Matrix inputs(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<int32_t> labels{0, 1, 1, 0};
+  DecisionTreeOptions options;
+  options.min_samples_split = 2;
+  options.min_samples_leaf = 1;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(inputs, labels).ok());
+  EXPECT_EQ(tree.Predict(inputs), labels);
+}
+
+TEST(DecisionTreeTest, PureDataGivesSingleLeaf) {
+  nn::Matrix inputs(3, 1, {1, 2, 3});
+  std::vector<int32_t> labels{1, 1, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(inputs, labels).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  for (double p : tree.PredictProbability(inputs)) {
+    EXPECT_DOUBLE_EQ(p, 1.0);
+  }
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroIsMajorityVote) {
+  nn::Matrix inputs(4, 1, {1, 2, 3, 4});
+  std::vector<int32_t> labels{1, 1, 1, 0};
+  DecisionTreeOptions options;
+  options.max_depth = 0;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(inputs, labels).ok());
+  for (double p : tree.PredictProbability(inputs)) {
+    EXPECT_DOUBLE_EQ(p, 0.75);
+  }
+}
+
+TEST(DecisionTreeTest, WeightedFitRespectsWeights) {
+  // One mislabeled point with huge weight flips the leaf probability.
+  nn::Matrix inputs(3, 1, {1, 1, 1});
+  std::vector<int32_t> labels{0, 0, 1};
+  std::vector<double> weights{0.05, 0.05, 0.9};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.FitWeighted(inputs, labels, weights).ok());
+  EXPECT_GT(tree.PredictProbability(inputs)[0], 0.5);
+}
+
+TEST(DecisionTreeTest, RejectsBadWeights) {
+  nn::Matrix inputs(2, 1, {1, 2});
+  std::vector<int32_t> labels{0, 1};
+  DecisionTree tree;
+  EXPECT_FALSE(tree.FitWeighted(inputs, labels, {0.5, -0.5}).ok());
+  EXPECT_FALSE(tree.FitWeighted(inputs, labels, {0.0, 0.0}).ok());
+  EXPECT_FALSE(tree.FitWeighted(inputs, labels, {1.0}).ok());
+}
+
+TEST(DecisionTreeTest, RejectsEmpty) {
+  DecisionTree tree;
+  nn::Matrix empty;
+  EXPECT_FALSE(tree.Fit(empty, {}).ok());
+}
+
+TEST(DecisionTreeTest, GeneralizationOnNoisyBlobs) {
+  Rng rng(31);
+  const size_t n = 300;
+  nn::Matrix inputs(n, 2);
+  std::vector<int32_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = rng.NextBool();
+    double cx = positive ? 2.0 : -2.0;
+    inputs(i, 0) = static_cast<float>(cx + rng.NextGaussian());
+    inputs(i, 1) = static_cast<float>(rng.NextGaussian());
+    labels[i] = positive ? 1 : 0;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(inputs, labels).ok());
+  EXPECT_GT(Accuracy(tree.Predict(inputs), labels), 0.9);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafLimitsNodeCount) {
+  Rng rng(32);
+  const size_t n = 100;
+  nn::Matrix inputs(n, 1);
+  std::vector<int32_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    inputs(i, 0) = static_cast<float>(rng.NextDouble());
+    labels[i] = rng.NextBool() ? 1 : 0;  // pure noise
+  }
+  DecisionTreeOptions shallow;
+  shallow.min_samples_leaf = 20;
+  DecisionTreeOptions deep;
+  deep.min_samples_leaf = 1;
+  DecisionTree shallow_tree(shallow);
+  DecisionTree deep_tree(deep);
+  ASSERT_TRUE(shallow_tree.Fit(inputs, labels).ok());
+  ASSERT_TRUE(deep_tree.Fit(inputs, labels).ok());
+  EXPECT_LT(shallow_tree.node_count(), deep_tree.node_count());
+}
+
+}  // namespace
+}  // namespace leapme::ml

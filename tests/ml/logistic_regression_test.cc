@@ -1,0 +1,104 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace leapme::ml {
+namespace {
+
+void MakeSeparable(size_t n, nn::Matrix* inputs, std::vector<int32_t>* labels,
+                   uint64_t seed) {
+  Rng rng(seed);
+  inputs->Resize(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble(-1, 1);
+    double x1 = rng.NextDouble(-1, 1);
+    (*inputs)(i, 0) = static_cast<float>(x0);
+    (*inputs)(i, 1) = static_cast<float>(x1);
+    (*labels)[i] = (2 * x0 - x1) > 0 ? 1 : 0;
+  }
+}
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  nn::Matrix inputs;
+  std::vector<int32_t> labels;
+  MakeSeparable(200, &inputs, &labels, 21);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  std::vector<int32_t> predictions = model.Predict(inputs);
+  EXPECT_GT(Accuracy(predictions, labels), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInUnitInterval) {
+  nn::Matrix inputs;
+  std::vector<int32_t> labels;
+  MakeSeparable(50, &inputs, &labels, 22);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  for (double p : model.PredictProbability(inputs)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsEmptyAndMismatched) {
+  LogisticRegression model;
+  nn::Matrix empty;
+  EXPECT_FALSE(model.Fit(empty, {}).ok());
+  nn::Matrix inputs(2, 1);
+  EXPECT_FALSE(model.Fit(inputs, {1}).ok());
+}
+
+TEST(LogisticRegressionTest, AllPositiveLabelsPredictPositive) {
+  nn::Matrix inputs(4, 1, {1, 2, 3, 4});
+  std::vector<int32_t> labels{1, 1, 1, 1};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  for (double p : model.PredictProbability(inputs)) {
+    EXPECT_GT(p, 0.5);
+  }
+}
+
+TEST(LogisticRegressionTest, ThresholdControlsDecisions) {
+  nn::Matrix inputs;
+  std::vector<int32_t> labels;
+  MakeSeparable(100, &inputs, &labels, 23);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(inputs, labels).ok());
+  std::vector<int32_t> strict = model.Predict(inputs, 0.99);
+  std::vector<int32_t> lax = model.Predict(inputs, 0.01);
+  size_t strict_positives = 0;
+  size_t lax_positives = 0;
+  for (size_t i = 0; i < strict.size(); ++i) {
+    strict_positives += strict[i];
+    lax_positives += lax[i];
+  }
+  EXPECT_LE(strict_positives, lax_positives);
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  nn::Matrix inputs;
+  std::vector<int32_t> labels;
+  MakeSeparable(100, &inputs, &labels, 24);
+  LogisticRegressionOptions strong;
+  strong.l2 = 1.0;
+  LogisticRegressionOptions weak;
+  weak.l2 = 0.0;
+  LogisticRegression strong_model(strong);
+  LogisticRegression weak_model(weak);
+  ASSERT_TRUE(strong_model.Fit(inputs, labels).ok());
+  ASSERT_TRUE(weak_model.Fit(inputs, labels).ok());
+  double strong_norm = 0.0;
+  double weak_norm = 0.0;
+  for (size_t i = 0; i < 2; ++i) {
+    strong_norm += strong_model.weights()[i] * strong_model.weights()[i];
+    weak_norm += weak_model.weights()[i] * weak_model.weights()[i];
+  }
+  EXPECT_LT(strong_norm, weak_norm);
+}
+
+}  // namespace
+}  // namespace leapme::ml

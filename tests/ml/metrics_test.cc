@@ -1,0 +1,89 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::ml {
+namespace {
+
+TEST(ConfusionCountsTest, AddRoutesToQuadrants) {
+  ConfusionCounts counts;
+  counts.Add(true, true);
+  counts.Add(true, false);
+  counts.Add(false, true);
+  counts.Add(false, false);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 1u);
+  EXPECT_EQ(counts.false_negatives, 1u);
+  EXPECT_EQ(counts.true_negatives, 1u);
+}
+
+TEST(ComputeQualityTest, PerfectPrediction) {
+  MatchQuality q = ComputeQuality({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(ComputeQualityTest, KnownMixedCase) {
+  // predictions: TP, FP, FN, TN.
+  MatchQuality q = ComputeQuality({1, 1, 0, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.f1, 0.5);
+}
+
+TEST(ComputeQualityTest, NoPredictedPositives) {
+  MatchQuality q = ComputeQuality({0, 0}, {1, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+TEST(ComputeQualityTest, NoActualPositives) {
+  MatchQuality q = ComputeQuality({1, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+TEST(ComputeQualityTest, F1IsHarmonicMean) {
+  // P = 1.0, R = 0.5 -> F1 = 2*1*0.5/1.5 = 2/3.
+  MatchQuality q = ComputeQuality({1, 0, 0}, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_NEAR(q.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ComputeQualityTest, NonBinaryLabelsTreatedAsPositive) {
+  MatchQuality q = ComputeQuality({2, 0}, {7, 0});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(MeanQualityTest, AveragesComponentwise) {
+  MatchQuality a{1.0, 0.5, 0.6, };
+  MatchQuality b{0.0, 0.5, 0.2};
+  MatchQuality mean = MeanQuality({a, b});
+  EXPECT_DOUBLE_EQ(mean.precision, 0.5);
+  EXPECT_DOUBLE_EQ(mean.recall, 0.5);
+  EXPECT_DOUBLE_EQ(mean.f1, 0.4);
+}
+
+TEST(MeanQualityTest, EmptyIsZero) {
+  MatchQuality mean = MeanQuality({});
+  EXPECT_DOUBLE_EQ(mean.precision, 0.0);
+  EXPECT_DOUBLE_EQ(mean.f1, 0.0);
+}
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MatchQualityTest, ToStringFormat) {
+  MatchQuality q{0.5, 0.25, 0.333};
+  EXPECT_EQ(q.ToString(), "P=0.50 R=0.25 F1=0.33");
+}
+
+}  // namespace
+}  // namespace leapme::ml

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace leapme::ml {
+namespace {
+
+TEST(PrCurveTest, PerfectRankingReachesPrecisionOne) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<int32_t> labels{1, 1, 0, 0};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+}
+
+TEST(PrCurveTest, ThresholdsDescendRecallNonDecreasing) {
+  std::vector<double> scores{0.3, 0.9, 0.5, 0.7, 0.1, 0.6};
+  std::vector<int32_t> labels{0, 1, 1, 0, 1, 0};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOnePoint) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  std::vector<int32_t> labels{1, 0, 1};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(PrCurveTest, NoPositivesGivesZeroRecall) {
+  std::vector<double> scores{0.9, 0.1};
+  std::vector<int32_t> labels{0, 0};
+  auto curve = PrecisionRecallCurve(scores, labels);
+  for (const PrPoint& point : curve) {
+    EXPECT_DOUBLE_EQ(point.recall, 0.0);
+    EXPECT_DOUBLE_EQ(point.f1, 0.0);
+  }
+}
+
+TEST(PrCurveTest, EmptyInputEmptyCurve) {
+  EXPECT_TRUE(PrecisionRecallCurve({}, {}).empty());
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.8, 0.2}, {1, 1, 0}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingIsLow) {
+  double ap = AveragePrecision({0.9, 0.8, 0.2}, {0, 0, 1});
+  EXPECT_NEAR(ap, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.6}, {0, 0}), 0.0);
+}
+
+TEST(AveragePrecisionTest, BetweenZeroAndOne) {
+  std::vector<double> scores{0.9, 0.1, 0.8, 0.4, 0.6};
+  std::vector<int32_t> labels{1, 1, 0, 1, 0};
+  double ap = AveragePrecision(scores, labels);
+  EXPECT_GT(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST(BestF1PointTest, FindsOptimalThreshold) {
+  // Scores: one high-scoring positive, one low-scoring positive and a
+  // mid-scoring negative. Including both positives costs precision but
+  // maximizes F1.
+  std::vector<double> scores{0.9, 0.5, 0.3};
+  std::vector<int32_t> labels{1, 0, 1};
+  PrPoint best = BestF1Point(scores, labels);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  EXPECT_NEAR(best.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(best.threshold, 0.3);
+}
+
+TEST(BestF1PointTest, EmptyInputGivesZeroPoint) {
+  PrPoint best = BestF1Point({}, {});
+  EXPECT_DOUBLE_EQ(best.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace leapme::ml

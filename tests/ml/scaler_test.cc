@@ -1,0 +1,73 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace leapme::ml {
+namespace {
+
+TEST(ScalerTest, FitComputesMeanAndStddev) {
+  nn::Matrix m(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(m).ok());
+  EXPECT_FLOAT_EQ(scaler.mean()[0], 2.5f);
+  EXPECT_FLOAT_EQ(scaler.mean()[1], 25.0f);
+  EXPECT_NEAR(scaler.stddev()[0], std::sqrt(1.25), 1e-5);
+}
+
+TEST(ScalerTest, TransformStandardizesColumns) {
+  nn::Matrix m(4, 1, {1, 2, 3, 4});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.FitTransform(&m).ok());
+  float sum = 0.0f;
+  float sum_sq = 0.0f;
+  for (size_t r = 0; r < 4; ++r) {
+    sum += m(r, 0);
+    sum_sq += m(r, 0) * m(r, 0);
+  }
+  EXPECT_NEAR(sum, 0.0f, 1e-5);
+  EXPECT_NEAR(sum_sq / 4.0f, 1.0f, 1e-5);
+}
+
+TEST(ScalerTest, ConstantColumnDoesNotDivideByZero) {
+  nn::Matrix m(3, 1, {5, 5, 5});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.FitTransform(&m).ok());
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_FALSE(std::isnan(m(r, 0)));
+    EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
+  }
+}
+
+TEST(ScalerTest, TransformUsesTrainingStatistics) {
+  nn::Matrix train(2, 1, {0, 2});  // mean 1, std 1
+  nn::Matrix test(1, 1, {3});
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(train).ok());
+  ASSERT_TRUE(scaler.Transform(&test).ok());
+  EXPECT_FLOAT_EQ(test(0, 0), 2.0f);  // (3 - 1) / 1
+}
+
+TEST(ScalerTest, TransformBeforeFitFails) {
+  StandardScaler scaler;
+  nn::Matrix m(1, 1, {1});
+  EXPECT_TRUE(scaler.Transform(&m).IsFailedPrecondition());
+}
+
+TEST(ScalerTest, ColumnCountMismatchFails) {
+  StandardScaler scaler;
+  nn::Matrix train(2, 2);
+  ASSERT_TRUE(scaler.Fit(train).ok());
+  nn::Matrix wrong(2, 3);
+  EXPECT_FALSE(scaler.Transform(&wrong).ok());
+}
+
+TEST(ScalerTest, EmptyMatrixFails) {
+  StandardScaler scaler;
+  nn::Matrix empty;
+  EXPECT_FALSE(scaler.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace leapme::ml

@@ -1,0 +1,108 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace leapme::nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Matrix logits(2, 3, {1, 2, 3, -1, 0, 1});
+  Matrix probabilities;
+  Softmax(logits, &probabilities);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) {
+      sum += probabilities(r, c);
+      EXPECT_GT(probabilities(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToConstantShift) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(1, 2, {101, 102});
+  Matrix pa, pb;
+  Softmax(a, &pa);
+  Softmax(b, &pb);
+  EXPECT_NEAR(pa(0, 0), pb(0, 0), 1e-6);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Matrix logits(1, 2, {1000.0f, 0.0f});
+  Matrix probabilities;
+  Softmax(logits, &probabilities);
+  EXPECT_NEAR(probabilities(0, 0), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(probabilities(0, 1)));
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(1, 2, {0, 0});
+  std::vector<int32_t> labels{1};
+  Matrix probabilities;
+  double value = loss.Forward(logits, labels, &probabilities);
+  EXPECT_NEAR(value, std::log(2.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(1, 2, {-10, 10});
+  std::vector<int32_t> labels{1};
+  Matrix probabilities;
+  EXPECT_LT(loss.Forward(logits, labels, &probabilities), 1e-4);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentWrongHighLoss) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(1, 2, {10, -10});
+  std::vector<int32_t> labels{1};
+  Matrix probabilities;
+  EXPECT_GT(loss.Forward(logits, labels, &probabilities), 5.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, MeanOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(2, 2, {0, 0, 0, 0});
+  std::vector<int32_t> labels{0, 1};
+  Matrix probabilities;
+  EXPECT_NEAR(loss.Forward(logits, labels, &probabilities), std::log(2.0),
+              1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, BackwardIsSoftmaxMinusOneHotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(2, 2, {0, 0, 0, 0});
+  std::vector<int32_t> labels{0, 1};
+  Matrix probabilities;
+  loss.Forward(logits, labels, &probabilities);
+  Matrix grad;
+  loss.Backward(probabilities, labels, &grad);
+  // softmax = 0.5 everywhere; gradient = (0.5 - onehot)/2.
+  EXPECT_NEAR(grad(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(grad(1, 0), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(grad(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(3, 4, {1, 2, 3, 4, -1, 0, 1, 2, 5, 5, 5, 5});
+  std::vector<int32_t> labels{0, 3, 2};
+  Matrix probabilities;
+  loss.Forward(logits, labels, &probabilities);
+  Matrix grad;
+  loss.Backward(probabilities, labels, &grad);
+  for (size_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 4; ++c) {
+      sum += grad(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace leapme::nn

@@ -1,0 +1,110 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace leapme::nn {
+namespace {
+
+// A single scalar parameter with a quadratic loss L(w) = 0.5 * w^2, whose
+// gradient is w itself: any sane optimizer drives w toward 0.
+struct ScalarProblem {
+  Matrix value{1, 1, {5.0f}};
+  Matrix gradient{1, 1};
+
+  std::vector<Parameter> params() {
+    return {{"w", &value, &gradient}};
+  }
+  void ComputeGradient() { gradient(0, 0) = value(0, 0); }
+  float w() const { return value(0, 0); }
+};
+
+TEST(SgdTest, SingleStep) {
+  ScalarProblem problem;
+  SgdOptimizer sgd(0.1);
+  problem.ComputeGradient();
+  sgd.Step(problem.params());
+  EXPECT_FLOAT_EQ(problem.w(), 5.0f - 0.1f * 5.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ScalarProblem problem;
+  SgdOptimizer sgd(0.1);
+  for (int i = 0; i < 200; ++i) {
+    problem.ComputeGradient();
+    sgd.Step(problem.params());
+  }
+  EXPECT_NEAR(problem.w(), 0.0f, 1e-4);
+}
+
+TEST(MomentumTest, ConvergesOnQuadratic) {
+  ScalarProblem problem;
+  MomentumOptimizer momentum(0.05, 0.9);
+  for (int i = 0; i < 300; ++i) {
+    problem.ComputeGradient();
+    momentum.Step(problem.params());
+  }
+  EXPECT_NEAR(problem.w(), 0.0f, 1e-3);
+}
+
+TEST(MomentumTest, AcceleratesVersusPlainSgdEarly) {
+  ScalarProblem sgd_problem;
+  ScalarProblem momentum_problem;
+  SgdOptimizer sgd(0.01);
+  MomentumOptimizer momentum(0.01, 0.9);
+  for (int i = 0; i < 20; ++i) {
+    sgd_problem.ComputeGradient();
+    sgd.Step(sgd_problem.params());
+    momentum_problem.ComputeGradient();
+    momentum.Step(momentum_problem.params());
+  }
+  EXPECT_LT(momentum_problem.w(), sgd_problem.w());
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ScalarProblem problem;
+  AdamOptimizer adam(0.3);
+  for (int i = 0; i < 400; ++i) {
+    problem.ComputeGradient();
+    adam.Step(problem.params());
+  }
+  EXPECT_NEAR(problem.w(), 0.0f, 1e-2);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  ScalarProblem problem;
+  AdamOptimizer adam(0.1);
+  problem.ComputeGradient();
+  adam.Step(problem.params());
+  EXPECT_NEAR(problem.w(), 5.0f - 0.1f, 1e-3);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  SgdOptimizer sgd(0.1);
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.1);
+  sgd.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.01);
+}
+
+TEST(MakeOptimizerTest, CreatesRequestedKind) {
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kSgd, 0.1), nullptr);
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kMomentum, 0.1), nullptr);
+  EXPECT_NE(MakeOptimizer(OptimizerKind::kAdam, 0.1), nullptr);
+}
+
+TEST(OptimizerTest, MultipleParametersUpdatedIndependently) {
+  Matrix w1(1, 1, {1.0f});
+  Matrix g1(1, 1, {1.0f});
+  Matrix w2(1, 1, {2.0f});
+  Matrix g2(1, 1, {-1.0f});
+  std::vector<Parameter> params{{"w1", &w1, &g1}, {"w2", &w2, &g2}};
+  SgdOptimizer sgd(0.5);
+  sgd.Step(params);
+  EXPECT_FLOAT_EQ(w1(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(w2(0, 0), 2.5f);
+}
+
+}  // namespace
+}  // namespace leapme::nn

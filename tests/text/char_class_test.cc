@@ -1,0 +1,89 @@
+#include "text/char_class.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::text {
+namespace {
+
+TEST(ClassifyCharTest, Letters) {
+  EXPECT_EQ(ClassifyChar('A'), CharClass::kUppercaseLetter);
+  EXPECT_EQ(ClassifyChar('Z'), CharClass::kUppercaseLetter);
+  EXPECT_EQ(ClassifyChar('a'), CharClass::kLowercaseLetter);
+  EXPECT_EQ(ClassifyChar('z'), CharClass::kLowercaseLetter);
+}
+
+TEST(ClassifyCharTest, Digits) {
+  for (char c = '0'; c <= '9'; ++c) {
+    EXPECT_EQ(ClassifyChar(static_cast<unsigned char>(c)),
+              CharClass::kNumber);
+  }
+}
+
+TEST(ClassifyCharTest, Separators) {
+  EXPECT_EQ(ClassifyChar(' '), CharClass::kSeparator);
+  EXPECT_EQ(ClassifyChar('\t'), CharClass::kSeparator);
+  EXPECT_EQ(ClassifyChar('\n'), CharClass::kSeparator);
+}
+
+TEST(ClassifyCharTest, PunctuationAndSymbols) {
+  EXPECT_EQ(ClassifyChar('.'), CharClass::kPunctuation);
+  EXPECT_EQ(ClassifyChar(','), CharClass::kPunctuation);
+  EXPECT_EQ(ClassifyChar('-'), CharClass::kPunctuation);
+  EXPECT_EQ(ClassifyChar('/'), CharClass::kPunctuation);
+  EXPECT_EQ(ClassifyChar('('), CharClass::kPunctuation);
+  EXPECT_EQ(ClassifyChar('$'), CharClass::kSymbol);
+  EXPECT_EQ(ClassifyChar('+'), CharClass::kSymbol);
+  EXPECT_EQ(ClassifyChar('='), CharClass::kSymbol);
+  EXPECT_EQ(ClassifyChar('~'), CharClass::kSymbol);
+}
+
+TEST(ClassifyCharTest, ControlIsOther) {
+  EXPECT_EQ(ClassifyChar('\0'), CharClass::kOther);
+  EXPECT_EQ(ClassifyChar(0x01), CharClass::kOther);
+}
+
+TEST(ClassifyCharTest, Utf8Bytes) {
+  // Lead byte of a multi-byte sequence counts as a (caseless) letter,
+  // continuation bytes as marks.
+  EXPECT_EQ(ClassifyChar(0xC3), CharClass::kOtherLetter);
+  EXPECT_EQ(ClassifyChar(0xA9), CharClass::kMark);
+}
+
+TEST(CountCharClassesTest, MixedString) {
+  CharClassCounts counts = CountCharClasses("24.3 MP");
+  EXPECT_EQ(counts.total, 7u);
+  EXPECT_EQ(counts.count(CharClass::kNumber), 3u);
+  EXPECT_EQ(counts.count(CharClass::kPunctuation), 1u);
+  EXPECT_EQ(counts.count(CharClass::kSeparator), 1u);
+  EXPECT_EQ(counts.count(CharClass::kUppercaseLetter), 2u);
+  EXPECT_DOUBLE_EQ(counts.fraction(CharClass::kNumber), 3.0 / 7.0);
+}
+
+TEST(CountCharClassesTest, EmptyString) {
+  CharClassCounts counts = CountCharClasses("");
+  EXPECT_EQ(counts.total, 0u);
+  for (size_t c = 0; c < kNumCharClasses; ++c) {
+    EXPECT_DOUBLE_EQ(counts.fraction(static_cast<CharClass>(c)), 0.0);
+  }
+}
+
+TEST(CountCharClassesTest, FractionsSumToOne) {
+  CharClassCounts counts = CountCharClasses("Weight: 352 g (approx.)");
+  double sum = 0.0;
+  for (size_t c = 0; c < kNumCharClasses; ++c) {
+    sum += counts.fraction(static_cast<CharClass>(c));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(IsLetterTest, Basics) {
+  EXPECT_TRUE(IsLetter('a'));
+  EXPECT_TRUE(IsLetter('Q'));
+  EXPECT_TRUE(IsLetter(0xC3));
+  EXPECT_FALSE(IsLetter('5'));
+  EXPECT_FALSE(IsLetter(' '));
+  EXPECT_FALSE(IsLetter('-'));
+}
+
+}  // namespace
+}  // namespace leapme::text

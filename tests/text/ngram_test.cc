@@ -1,0 +1,103 @@
+#include "text/ngram.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::text {
+namespace {
+
+TEST(NgramProfileTest, CountsTrigrams) {
+  NgramProfile profile("abcab", 3);
+  // Grams: abc, bca, cab.
+  EXPECT_EQ(profile.total(), 3u);
+  EXPECT_EQ(profile.distinct(), 3u);
+  EXPECT_EQ(profile.count("abc"), 1u);
+  EXPECT_EQ(profile.count("bca"), 1u);
+  EXPECT_EQ(profile.count("cab"), 1u);
+  EXPECT_EQ(profile.count("xyz"), 0u);
+}
+
+TEST(NgramProfileTest, Multiplicities) {
+  NgramProfile profile("aaaa", 2);
+  EXPECT_EQ(profile.total(), 3u);
+  EXPECT_EQ(profile.distinct(), 1u);
+  EXPECT_EQ(profile.count("aa"), 3u);
+}
+
+TEST(NgramProfileTest, ShortStringHasNoGrams) {
+  NgramProfile profile("ab", 3);
+  EXPECT_EQ(profile.total(), 0u);
+  EXPECT_EQ(profile.distinct(), 0u);
+}
+
+TEST(NgramProfileTest, GramSizeOne) {
+  NgramProfile profile("aba", 1);
+  EXPECT_EQ(profile.total(), 3u);
+  EXPECT_EQ(profile.count("a"), 2u);
+  EXPECT_EQ(profile.count("b"), 1u);
+}
+
+TEST(QgramDistanceTest, IdenticalStringsZero) {
+  NgramProfile a("resolution", 3);
+  EXPECT_DOUBLE_EQ(QgramDistance(a, a), 0.0);
+}
+
+TEST(QgramDistanceTest, DisjointStringsSumOfTotals) {
+  NgramProfile a("abcd", 3);  // abc, bcd
+  NgramProfile b("wxyz", 3);  // wxy, xyz
+  EXPECT_DOUBLE_EQ(QgramDistance(a, b), 4.0);
+}
+
+TEST(QgramDistanceTest, Symmetric) {
+  NgramProfile a("screen size", 3);
+  NgramProfile b("screen resolution", 3);
+  EXPECT_DOUBLE_EQ(QgramDistance(a, b), QgramDistance(b, a));
+}
+
+TEST(CosineDistanceTest, IdenticalZeroDisjointOne) {
+  NgramProfile a("display", 3);
+  NgramProfile b("display", 3);
+  NgramProfile c("qwzxrv", 3);
+  EXPECT_NEAR(CosineDistance(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(CosineDistance(a, c), 1.0, 1e-9);
+}
+
+TEST(CosineDistanceTest, EmptyProfiles) {
+  NgramProfile empty("", 3);
+  NgramProfile non_empty("abcdef", 3);
+  EXPECT_DOUBLE_EQ(CosineDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(empty, non_empty), 1.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(non_empty, empty), 1.0);
+}
+
+TEST(CosineDistanceTest, WithinUnitInterval) {
+  NgramProfile a("optical zoom", 3);
+  NgramProfile b("digital zoom", 3);
+  double d = CosineDistance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(JaccardDistanceTest, IdenticalZeroDisjointOne) {
+  NgramProfile a("weight", 3);
+  NgramProfile b("weight", 3);
+  NgramProfile c("qqqqqq", 3);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, c), 1.0);
+}
+
+TEST(JaccardDistanceTest, EmptyProfiles) {
+  NgramProfile empty("ab", 3);
+  NgramProfile non_empty("abcdef", 3);
+  EXPECT_DOUBLE_EQ(JaccardDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(empty, non_empty), 1.0);
+}
+
+TEST(JaccardDistanceTest, KnownValue) {
+  // "abcd" -> {abc, bcd}; "abce" -> {abc, bce}; intersection 1, union 3.
+  NgramProfile a("abcd", 3);
+  NgramProfile b("abce", 3);
+  EXPECT_NEAR(JaccardDistance(a, b), 1.0 - 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace leapme::text

@@ -1,0 +1,157 @@
+// Exhaustive cross-validation of the edit distances against a brute-force
+// reference on all short strings over a small alphabet. Catches subtle DP
+// indexing bugs that hand-picked cases miss.
+
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/string_metrics.h"
+
+namespace leapme::text {
+namespace {
+
+// All strings of length <= max_length over `alphabet`.
+std::vector<std::string> AllStrings(const std::string& alphabet,
+                                    size_t max_length) {
+  std::vector<std::string> result{""};
+  std::vector<std::string> previous{""};
+  for (size_t length = 1; length <= max_length; ++length) {
+    std::vector<std::string> current;
+    for (const std::string& prefix : previous) {
+      for (char c : alphabet) {
+        current.push_back(prefix + c);
+      }
+    }
+    result.insert(result.end(), current.begin(), current.end());
+    previous = std::move(current);
+  }
+  return result;
+}
+
+// Brute-force Levenshtein via BFS over edit operations is exponential;
+// instead use the textbook full-matrix DP as an independent reference
+// implementation (different code shape from the production rolling-row
+// version).
+size_t ReferenceLevenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::vector<size_t>> d(a.size() + 1,
+                                     std::vector<size_t>(b.size() + 1));
+  for (size_t i = 0; i <= a.size(); ++i) d[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) d[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+// Reference full Damerau-Levenshtein: BFS in string space from `a`,
+// applying insert/delete/substitute/adjacent-transpose, bounded by the
+// Levenshtein distance (an upper bound on DL). Feasible for tiny strings.
+size_t ReferenceDamerauLevenshtein(const std::string& a,
+                                   const std::string& b,
+                                   const std::string& alphabet) {
+  if (a == b) return 0;
+  size_t bound = ReferenceLevenshtein(a, b);
+  std::map<std::string, size_t> distance{{a, 0}};
+  std::queue<std::string> frontier;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop();
+    size_t dist = distance[current];
+    if (dist >= bound) continue;
+    auto visit = [&](const std::string& next) {
+      auto it = distance.find(next);
+      if (it == distance.end() || it->second > dist + 1) {
+        distance[next] = dist + 1;
+        if (next == b) {
+          bound = std::min(bound, dist + 1);
+        }
+        frontier.push(next);
+      }
+    };
+    // Deletions.
+    for (size_t i = 0; i < current.size(); ++i) {
+      visit(current.substr(0, i) + current.substr(i + 1));
+    }
+    // Insertions (bounded length keeps the search finite).
+    if (current.size() < b.size() + 1) {
+      for (size_t i = 0; i <= current.size(); ++i) {
+        for (char c : alphabet) {
+          visit(current.substr(0, i) + c + current.substr(i));
+        }
+      }
+    }
+    // Substitutions.
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (char c : alphabet) {
+        if (current[i] != c) {
+          std::string next = current;
+          next[i] = c;
+          visit(next);
+        }
+      }
+    }
+    // Adjacent transpositions.
+    for (size_t i = 0; i + 1 < current.size(); ++i) {
+      std::string next = current;
+      std::swap(next[i], next[i + 1]);
+      visit(next);
+    }
+  }
+  auto it = distance.find(b);
+  return it == distance.end() ? bound : it->second;
+}
+
+TEST(ExhaustiveMetricsTest, LevenshteinMatchesReference) {
+  auto strings = AllStrings("ab", 4);
+  for (const std::string& a : strings) {
+    for (const std::string& b : strings) {
+      EXPECT_EQ(Levenshtein(a, b), ReferenceLevenshtein(a, b))
+          << "'" << a << "' vs '" << b << "'";
+    }
+  }
+}
+
+TEST(ExhaustiveMetricsTest, DamerauLevenshteinMatchesReference) {
+  const std::string alphabet = "ab";
+  auto strings = AllStrings(alphabet, 3);
+  for (const std::string& a : strings) {
+    for (const std::string& b : strings) {
+      EXPECT_EQ(DamerauLevenshtein(a, b),
+                ReferenceDamerauLevenshtein(a, b, alphabet))
+          << "'" << a << "' vs '" << b << "'";
+    }
+  }
+}
+
+TEST(ExhaustiveMetricsTest, OsaBetweenDlAndLevenshtein) {
+  auto strings = AllStrings("abc", 3);
+  for (const std::string& a : strings) {
+    for (const std::string& b : strings) {
+      size_t osa = OptimalStringAlignment(a, b);
+      EXPECT_LE(DamerauLevenshtein(a, b), osa);
+      EXPECT_LE(osa, Levenshtein(a, b));
+    }
+  }
+}
+
+TEST(ExhaustiveMetricsTest, LcsDistanceMatchesDefinition) {
+  auto strings = AllStrings("ab", 4);
+  for (const std::string& a : strings) {
+    for (const std::string& b : strings) {
+      EXPECT_EQ(LcsDistance(a, b),
+                a.size() + b.size() - 2 * LongestCommonSubsequence(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leapme::text

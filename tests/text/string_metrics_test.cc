@@ -1,0 +1,201 @@
+#include "text/string_metrics.h"
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace leapme::text {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("same", "same"), 0u);
+}
+
+TEST(OsaTest, TranspositionCostsOne) {
+  EXPECT_EQ(OptimalStringAlignment("ca", "ac"), 1u);
+  EXPECT_EQ(Levenshtein("ca", "ac"), 2u);
+}
+
+TEST(OsaTest, RestrictedTranspositionDiffersFromFullDl) {
+  // The classic case: OSA("ca","abc") = 3 but full DL = 2.
+  EXPECT_EQ(OptimalStringAlignment("ca", "abc"), 3u);
+  EXPECT_EQ(DamerauLevenshtein("ca", "abc"), 2u);
+}
+
+TEST(DamerauLevenshteinTest, KnownValues) {
+  EXPECT_EQ(DamerauLevenshtein("abcdef", "abcdef"), 0u);
+  EXPECT_EQ(DamerauLevenshtein("ab", "ba"), 1u);
+  EXPECT_EQ(DamerauLevenshtein("", "xyz"), 3u);
+  EXPECT_EQ(DamerauLevenshtein("specification", "spceification"), 1u);
+}
+
+TEST(LcsTest, SubsequenceLength) {
+  EXPECT_EQ(LongestCommonSubsequence("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubsequence("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubsequence("same", "same"), 4u);
+}
+
+TEST(LcsDistanceTest, InsertDeleteOnly) {
+  EXPECT_EQ(LcsDistance("abcde", "ace"), 2u);
+  EXPECT_EQ(LcsDistance("abc", "xyz"), 6u);
+  EXPECT_EQ(LcsDistance("", ""), 0u);
+  // Substitution costs 2 under LCS (delete + insert).
+  EXPECT_EQ(LcsDistance("abc", "axc"), 2u);
+}
+
+TEST(ThreeGramDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(ThreeGramDistance("resolution", "resolution"), 0.0);
+  // Disjoint trigram sets: |a|-2 + |b|-2 grams all differ.
+  EXPECT_DOUBLE_EQ(ThreeGramDistance("abcd", "wxyz"), 4.0);
+}
+
+TEST(ThreeGramCosineTest, Range) {
+  EXPECT_NEAR(ThreeGramCosineDistance("display", "display"), 0.0, 1e-9);
+  EXPECT_NEAR(ThreeGramCosineDistance("abcdef", "uvwxyz"), 1.0, 1e-9);
+}
+
+TEST(ThreeGramJaccardTest, Range) {
+  EXPECT_DOUBLE_EQ(ThreeGramJaccardDistance("weight", "weight"), 0.0);
+  EXPECT_DOUBLE_EQ(ThreeGramJaccardDistance("abcdef", "uvwxyz"), 1.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+  EXPECT_NEAR(JaroWinklerSimilarity("dwayne", "duane"), 0.84, 1e-2);
+  // Prefix bonus caps at 4 characters.
+  double with_long_prefix = JaroWinklerSimilarity("abcdefgh", "abcdefxy");
+  double with_four_prefix = JaroWinklerSimilarity("abcdxxxx", "abcdyyyy");
+  EXPECT_GT(with_long_prefix, with_four_prefix);
+}
+
+TEST(JaroWinklerDistanceTest, Complement) {
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("abc", "xyz"), 1.0);
+}
+
+TEST(NormalizedByMaxLengthTest, Basics) {
+  EXPECT_DOUBLE_EQ(NormalizedByMaxLength(2, "abcd", "ab"), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizedByMaxLength(0, "", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedByMaxLength(3, "abc", ""), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over string pairs: metric axioms that must hold for any
+// inputs (identity, symmetry, bounds, triangle inequality for Levenshtein).
+
+using StringPair = std::tuple<std::string, std::string>;
+
+class MetricPropertyTest : public ::testing::TestWithParam<StringPair> {};
+
+TEST_P(MetricPropertyTest, IdentityOfIndiscernibles) {
+  const auto& [a, b] = GetParam();
+  EXPECT_EQ(Levenshtein(a, a), 0u);
+  EXPECT_EQ(OptimalStringAlignment(b, b), 0u);
+  EXPECT_EQ(DamerauLevenshtein(a, a), 0u);
+  EXPECT_EQ(LcsDistance(b, b), 0u);
+}
+
+TEST_P(MetricPropertyTest, Symmetry) {
+  const auto& [a, b] = GetParam();
+  EXPECT_EQ(Levenshtein(a, b), Levenshtein(b, a));
+  EXPECT_EQ(OptimalStringAlignment(a, b), OptimalStringAlignment(b, a));
+  EXPECT_EQ(DamerauLevenshtein(a, b), DamerauLevenshtein(b, a));
+  EXPECT_EQ(LcsDistance(a, b), LcsDistance(b, a));
+  EXPECT_DOUBLE_EQ(ThreeGramDistance(a, b), ThreeGramDistance(b, a));
+  EXPECT_DOUBLE_EQ(ThreeGramCosineDistance(a, b),
+                   ThreeGramCosineDistance(b, a));
+  EXPECT_DOUBLE_EQ(ThreeGramJaccardDistance(a, b),
+                   ThreeGramJaccardDistance(b, a));
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance(a, b), JaroWinklerDistance(b, a));
+}
+
+TEST_P(MetricPropertyTest, OrderingOfEditDistances) {
+  const auto& [a, b] = GetParam();
+  // Adding edit operations can only shorten the distance:
+  // DL <= OSA <= Levenshtein <= LCS distance.
+  EXPECT_LE(DamerauLevenshtein(a, b), OptimalStringAlignment(a, b));
+  EXPECT_LE(OptimalStringAlignment(a, b), Levenshtein(a, b));
+  EXPECT_LE(Levenshtein(a, b), LcsDistance(a, b));
+}
+
+TEST_P(MetricPropertyTest, EditDistanceBounds) {
+  const auto& [a, b] = GetParam();
+  size_t lev = Levenshtein(a, b);
+  size_t longest = std::max(a.size(), b.size());
+  size_t shortest = std::min(a.size(), b.size());
+  EXPECT_LE(lev, longest);
+  EXPECT_GE(lev, longest - shortest);
+}
+
+TEST_P(MetricPropertyTest, NormalizedDistancesInUnitInterval) {
+  const auto& [a, b] = GetParam();
+  for (double d : {ThreeGramCosineDistance(a, b),
+                   ThreeGramJaccardDistance(a, b), JaroWinklerDistance(a, b),
+                   NormalizedByMaxLength(Levenshtein(a, b), a, b)}) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(MetricPropertyTest, JaroSimilarityBounds) {
+  const auto& [a, b] = GetParam();
+  double jaro = JaroSimilarity(a, b);
+  double jw = JaroWinklerSimilarity(a, b);
+  EXPECT_GE(jaro, 0.0);
+  EXPECT_LE(jaro, 1.0);
+  EXPECT_GE(jw, jaro);  // Winkler prefix boost never lowers similarity
+  EXPECT_LE(jw, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PairCorpus, MetricPropertyTest,
+    ::testing::Values(
+        StringPair{"", ""}, StringPair{"", "resolution"},
+        StringPair{"a", "b"}, StringPair{"ab", "ba"},
+        StringPair{"resolution", "camera resolution"},
+        StringPair{"megapixels", "effective pixels"},
+        StringPair{"screen size", "display size"},
+        StringPair{"optical zoom", "digital zoom"},
+        StringPair{"wi-fi", "wifi"}, StringPair{"WEIGHT", "weight"},
+        StringPair{"1/4000 s", "1/8000 s"},
+        StringPair{"battery life", "battery"},
+        StringPair{"abcdefghijklmnop", "ponmlkjihgfedcba"},
+        StringPair{"aaaaaaa", "aaaaaab"}));
+
+// Triangle inequality spot checks for Levenshtein on string triples.
+class TriangleTest : public ::testing::TestWithParam<
+                         std::tuple<std::string, std::string, std::string>> {
+};
+
+TEST_P(TriangleTest, LevenshteinTriangleInequality) {
+  const auto& [a, b, c] = GetParam();
+  EXPECT_LE(Levenshtein(a, c), Levenshtein(a, b) + Levenshtein(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TripleCorpus, TriangleTest,
+    ::testing::Values(
+        std::make_tuple("resolution", "megapixels", "mp"),
+        std::make_tuple("", "abc", "abcdef"),
+        std::make_tuple("screen", "screen size", "display size"),
+        std::make_tuple("a", "ab", "abc"),
+        std::make_tuple("zoom", "optical zoom", "digital zoom")));
+
+}  // namespace
+}  // namespace leapme::text

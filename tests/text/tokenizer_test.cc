@@ -1,0 +1,117 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace leapme::text {
+namespace {
+
+TEST(TokenizeTest, SplitsAtNonAlphanumerics) {
+  EXPECT_EQ(Tokenize("24.3 MP (approx.)"),
+            (std::vector<std::string>{"24", "3", "MP", "approx"}));
+  EXPECT_EQ(Tokenize("wi-fi"), (std::vector<std::string>{"wi", "fi"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("---").empty());
+}
+
+TEST(TokenizeKeepNumbersTest, KeepsDecimalPoints) {
+  EXPECT_EQ(TokenizeKeepNumbers("24.3 MP"),
+            (std::vector<std::string>{"24.3", "MP"}));
+  EXPECT_EQ(TokenizeKeepNumbers("1,5 kg"),
+            (std::vector<std::string>{"1,5", "kg"}));
+  // A trailing dot is not a decimal point.
+  EXPECT_EQ(TokenizeKeepNumbers("42."), (std::vector<std::string>{"42"}));
+  // A dot between letters still splits.
+  EXPECT_EQ(TokenizeKeepNumbers("a.b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EmbeddingWordsTest, Lowercases) {
+  EXPECT_EQ(EmbeddingWords("Camera Resolution 24.3MP"),
+            (std::vector<std::string>{"camera", "resolution", "24.3mp"}));
+}
+
+TEST(TokenInClassTest, Word) {
+  EXPECT_TRUE(TokenInClass("resolution", TokenClass::kWord));
+  EXPECT_TRUE(TokenInClass("MP", TokenClass::kWord));
+  EXPECT_FALSE(TokenInClass("24", TokenClass::kWord));
+  EXPECT_FALSE(TokenInClass("a1", TokenClass::kWord));
+  EXPECT_FALSE(TokenInClass("", TokenClass::kWord));
+}
+
+TEST(TokenInClassTest, LowercaseWord) {
+  EXPECT_TRUE(TokenInClass("resolution", TokenClass::kLowercaseWord));
+  EXPECT_FALSE(TokenInClass("Resolution", TokenClass::kLowercaseWord));
+  EXPECT_FALSE(TokenInClass("42", TokenClass::kLowercaseWord));
+}
+
+TEST(TokenInClassTest, CapitalizedWord) {
+  EXPECT_TRUE(TokenInClass("Nikon", TokenClass::kCapitalizedWord));
+  EXPECT_FALSE(TokenInClass("NIKON", TokenClass::kCapitalizedWord));
+  EXPECT_FALSE(TokenInClass("nikon", TokenClass::kCapitalizedWord));
+  // Single capital letters are uppercase words, not capitalized words.
+  EXPECT_FALSE(TokenInClass("N", TokenClass::kCapitalizedWord));
+}
+
+TEST(TokenInClassTest, UppercaseWord) {
+  EXPECT_TRUE(TokenInClass("CMOS", TokenClass::kUppercaseWord));
+  EXPECT_TRUE(TokenInClass("X", TokenClass::kUppercaseWord));
+  EXPECT_FALSE(TokenInClass("Cmos", TokenClass::kUppercaseWord));
+  EXPECT_FALSE(TokenInClass("CMOS2", TokenClass::kUppercaseWord));
+}
+
+TEST(TokenInClassTest, NumericString) {
+  EXPECT_TRUE(TokenInClass("42", TokenClass::kNumericString));
+  EXPECT_TRUE(TokenInClass("24.3", TokenClass::kNumericString));
+  EXPECT_TRUE(TokenInClass("1,5", TokenClass::kNumericString));
+  EXPECT_FALSE(TokenInClass("24a", TokenClass::kNumericString));
+  EXPECT_FALSE(TokenInClass(".", TokenClass::kNumericString));
+  EXPECT_FALSE(TokenInClass("", TokenClass::kNumericString));
+}
+
+TEST(CountTokenClassesTest, MixedValue) {
+  TokenClassCounts counts = CountTokenClasses("Nikon D750 24.3 MP");
+  EXPECT_EQ(counts.total_tokens, 4u);  // Nikon, D750, 24.3, MP
+  EXPECT_EQ(counts.count(TokenClass::kWord), 2u);         // Nikon, MP
+  EXPECT_EQ(counts.count(TokenClass::kCapitalizedWord), 1u);  // Nikon
+  EXPECT_EQ(counts.count(TokenClass::kUppercaseWord), 1u);    // MP
+  EXPECT_EQ(counts.count(TokenClass::kNumericString), 1u);    // 24.3
+  EXPECT_DOUBLE_EQ(counts.fraction(TokenClass::kNumericString), 0.25);
+}
+
+TEST(CountTokenClassesTest, EmptyValue) {
+  TokenClassCounts counts = CountTokenClasses("");
+  EXPECT_EQ(counts.total_tokens, 0u);
+  EXPECT_DOUBLE_EQ(counts.fraction(TokenClass::kWord), 0.0);
+}
+
+// Property sweep: every token produced by the tokenizer is non-empty and
+// contains no separator bytes.
+class TokenizerPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerPropertyTest, TokensAreCleanAndNonEmpty) {
+  for (const std::string& token : TokenizeKeepNumbers(GetParam())) {
+    EXPECT_FALSE(token.empty());
+    for (char c : token) {
+      EXPECT_NE(c, ' ');
+      EXPECT_NE(c, '\t');
+    }
+  }
+}
+
+TEST_P(TokenizerPropertyTest, EmbeddingWordsAreLowercase) {
+  for (const std::string& word : EmbeddingWords(GetParam())) {
+    for (char c : word) {
+      EXPECT_FALSE(c >= 'A' && c <= 'Z') << word;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TokenizerPropertyTest,
+    ::testing::Values("", " ", "24.3 MP", "Nikon D750", "1/4000 s",
+                      "117 x 68 x 50 mm", "f/1.8 - f/16", "$ 1,299.00",
+                      "RAW, JPEG", "ISO 100-25600", "Wi-Fi + NFC",
+                      "..leading.and.trailing..", "ALL CAPS VALUE",
+                      "mixedCase tokens1 2tokens"));
+
+}  // namespace
+}  // namespace leapme::text

@@ -1,0 +1,129 @@
+// Temporary calibration probe: measures name ambiguity and similarity
+// distributions of the generated datasets.
+#include <cstdio>
+#include <map>
+#include <set>
+#include "baselines/aml.h"
+#include "embedding/vector_ops.h"
+#include "core/leapme.h"
+#include "eval/experiment.h"
+#include "eval/leapme_adapter.h"
+#include "text/tokenizer.h"
+#include "common/string_util.h"
+
+using namespace leapme;
+
+int main() {
+  if (std::getenv("LEAPME_PROBE_FULL") != nullptr) {
+    // One paper-scale LEAPME evaluation on cameras (Both/all, 80%).
+    auto specs = eval::DefaultDatasetSpecs(eval::EvalScale::kPaper);
+    auto ed = eval::BuildEvalDataset(specs[0]);
+    if (!ed.ok()) { std::printf("err\n"); return 1; }
+    std::printf("cameras paper scale: %zu props, %zu matches\n",
+                ed->dataset.property_count(), ed->dataset.CountMatchingPairs());
+    eval::EvaluationOptions opts;
+    opts.train_fraction = 0.8;
+    opts.repetitions = 1;
+    eval::MatcherFactory factory =
+        [](const embedding::EmbeddingModel& model) {
+          core::LeapmeOptions options;
+          return std::unique_ptr<baselines::PairMatcher>(
+              new eval::LeapmeAdapter(&model, options, "LEAPME"));
+        };
+    auto result = eval::EvaluateMatcher(factory, *ed, opts);
+    if (!result.ok()) { std::printf("err: %s\n", result.status().ToString().c_str()); return 1; }
+    std::printf("LEAPME both/all 80%%: %s\n", result->mean.ToString().c_str());
+
+    // Threshold sweep: train once, score test pairs, evaluate P/R at
+    // several thresholds to separate calibration issues from
+    // inseparability.
+    {
+      leapme::Rng rng(opts.seed);
+      auto split = data::SplitSources(ed->dataset, 0.8, rng);
+      auto train = data::BuildTrainingPairs(ed->dataset, split.train_sources, 2.0, rng);
+      auto test = data::BuildTestPairs(ed->dataset, split.train_sources);
+      core::LeapmeOptions options;
+      core::LeapmeMatcher matcher(ed->model.get(), options);
+      auto st = matcher.Fit(ed->dataset, *train); (void)st;
+      std::printf("train pairs=%zu losses: first=%.4f last=%.4f\n",
+                  train->size(), matcher.training_losses().front(),
+                  matcher.training_losses().back());
+      std::vector<data::PropertyPair> pairs; std::vector<int32_t> labels;
+      for (auto& lp : test) { pairs.push_back(lp.pair); labels.push_back(lp.label); }
+      auto scores = matcher.ScorePairs(pairs);
+      for (double thr : {0.5, 0.7, 0.9, 0.95, 0.99}) {
+        std::vector<int32_t> pred(scores->size());
+        for (size_t i = 0; i < scores->size(); ++i) pred[i] = (*scores)[i] >= thr;
+        auto q = ml::ComputeQuality(pred, labels);
+        std::printf("  thr=%.2f %s\n", thr, q.ToString().c_str());
+      }
+      // top FPs at 0.99
+      int shown = 0;
+      for (size_t i = 0; i < scores->size() && shown < 15; ++i) {
+        if ((*scores)[i] >= 0.99 && labels[i] == 0) {
+          const auto& pa = ed->dataset.property(pairs[i].a);
+          const auto& pb = ed->dataset.property(pairs[i].b);
+          std::printf("  FP@0.99: '%s'[%s] ~ '%s'[%s]\n", pa.name.c_str(),
+                      pa.reference.c_str(), pb.name.c_str(), pb.reference.c_str());
+          shown++;
+        }
+      }
+    }
+    return 0;
+  }
+  auto specs = eval::DefaultDatasetSpecs(eval::EvalScale::kBench);
+  for (const auto& spec : specs) {
+    auto ed = eval::BuildEvalDataset(spec);
+    if (!ed.ok()) { std::printf("err\n"); return 1; }
+    const auto& ds = ed->dataset;
+    // exact normalized-name pairs: match vs non-match
+    size_t same_name_match = 0, same_name_nonmatch = 0;
+    size_t total_match = 0;
+    std::map<std::pair<std::string,std::string>, int> nonmatch_examples;
+    for (data::PropertyId a = 0; a < ds.property_count(); ++a) {
+      for (data::PropertyId b = a + 1; b < ds.property_count(); ++b) {
+        if (ds.property(a).source == ds.property(b).source) continue;
+        bool is_match = ds.IsMatch(a, b);
+        if (is_match) total_match++;
+        auto na = JoinStrings(text::EmbeddingWords(ds.property(a).name), " ");
+        auto nb = JoinStrings(text::EmbeddingWords(ds.property(b).name), " ");
+        if (na == nb && !na.empty()) {
+          if (is_match) same_name_match++;
+          else {
+            same_name_nonmatch++;
+            if (nonmatch_examples.size() < 8)
+              nonmatch_examples[{ds.property(a).reference.empty()?"<junk>":ds.property(a).reference,
+                                 ds.property(b).reference.empty()?"<junk>":ds.property(b).reference}]++;
+          }
+        }
+      }
+    }
+    std::printf("%s: matches=%zu same-name match=%zu nonmatch=%zu (exact-name P=%.2f, R=%.2f)\n",
+                spec.name.c_str(), total_match, same_name_match, same_name_nonmatch,
+                same_name_match / double(same_name_match + same_name_nonmatch),
+                same_name_match / double(total_match));
+    for (auto& [k, v] : nonmatch_examples)
+      std::printf("   collision: %s <-> %s x%d\n", k.first.c_str(), k.second.c_str(), v);
+    // SemProp: name embedding cos distribution for match vs nonmatch (sampled)
+    std::vector<embedding::Vector> embs;
+    for (data::PropertyId a = 0; a < ds.property_count(); ++a)
+      embs.push_back(embedding::AverageEmbedding(*ed->model, text::EmbeddingWords(ds.property(a).name)));
+    size_t m_hi=0,m_n=0,n_hi=0,n_n=0;
+    for (data::PropertyId a = 0; a < ds.property_count(); ++a)
+      for (data::PropertyId b = a + 1; b < ds.property_count(); ++b) {
+        if (ds.property(a).source == ds.property(b).source) continue;
+        double cs = embedding::CosineSimilarity(embs[a], embs[b]);
+        if (ds.IsMatch(a,b)) { m_n++; if (cs >= 0.4) m_hi++; }
+        else { n_n++; if (cs >= 0.4) { n_hi++;
+          static int shown = 0;
+          if (spec.name == "cameras" && shown < 25) {
+            std::printf("   FP cos=%.2f: '%s' [%s] ~ '%s' [%s]\n", cs,
+              ds.property(a).name.c_str(), ds.property(a).reference.c_str(),
+              ds.property(b).name.c_str(), ds.property(b).reference.c_str());
+            shown++; } } }
+      }
+    std::printf("   cos>=0.4: matches %.2f%% (%zu/%zu)  nonmatches %.2f%% (%zu/%zu)\n",
+      100.0*m_hi/m_n, m_hi, m_n, 100.0*n_hi/n_n, n_hi, n_n);
+  }
+  return 0;
+}
