@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_bench.dir/baseline_bench.cc.o"
+  "CMakeFiles/baseline_bench.dir/baseline_bench.cc.o.d"
+  "baseline_bench"
+  "baseline_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

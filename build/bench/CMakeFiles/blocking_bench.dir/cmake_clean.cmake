@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_bench.dir/blocking_bench.cc.o"
+  "CMakeFiles/blocking_bench.dir/blocking_bench.cc.o.d"
+  "blocking_bench"
+  "blocking_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

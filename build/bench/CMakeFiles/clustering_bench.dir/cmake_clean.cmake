@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_bench.dir/clustering_bench.cc.o"
+  "CMakeFiles/clustering_bench.dir/clustering_bench.cc.o.d"
+  "clustering_bench"
+  "clustering_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

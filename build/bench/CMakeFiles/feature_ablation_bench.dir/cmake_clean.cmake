@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_ablation_bench.dir/feature_ablation_bench.cc.o"
+  "CMakeFiles/feature_ablation_bench.dir/feature_ablation_bench.cc.o.d"
+  "feature_ablation_bench"
+  "feature_ablation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_ablation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

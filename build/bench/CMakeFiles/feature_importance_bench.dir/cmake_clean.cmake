@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_importance_bench.dir/feature_importance_bench.cc.o"
+  "CMakeFiles/feature_importance_bench.dir/feature_importance_bench.cc.o.d"
+  "feature_importance_bench"
+  "feature_importance_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_importance_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

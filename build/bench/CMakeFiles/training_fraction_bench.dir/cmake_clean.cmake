@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_fraction_bench.dir/training_fraction_bench.cc.o"
+  "CMakeFiles/training_fraction_bench.dir/training_fraction_bench.cc.o.d"
+  "training_fraction_bench"
+  "training_fraction_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_fraction_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

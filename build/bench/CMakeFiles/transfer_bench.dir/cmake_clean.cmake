@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_bench.dir/transfer_bench.cc.o"
+  "CMakeFiles/transfer_bench.dir/transfer_bench.cc.o.d"
+  "transfer_bench"
+  "transfer_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

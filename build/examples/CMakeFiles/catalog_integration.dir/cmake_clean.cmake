@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_integration.dir/catalog_integration.cpp.o"
+  "CMakeFiles/catalog_integration.dir/catalog_integration.cpp.o.d"
+  "catalog_integration"
+  "catalog_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

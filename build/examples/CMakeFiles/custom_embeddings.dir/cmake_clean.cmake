@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_embeddings.dir/custom_embeddings.cpp.o"
+  "CMakeFiles/custom_embeddings.dir/custom_embeddings.cpp.o.d"
+  "custom_embeddings"
+  "custom_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalable_matching.dir/scalable_matching.cpp.o"
+  "CMakeFiles/scalable_matching.dir/scalable_matching.cpp.o.d"
+  "scalable_matching"
+  "scalable_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalable_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

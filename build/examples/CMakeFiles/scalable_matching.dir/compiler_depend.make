@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scalable_matching.
+# This may be replaced when dependencies are built.

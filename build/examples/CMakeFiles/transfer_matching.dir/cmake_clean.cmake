@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_matching.dir/transfer_matching.cpp.o"
+  "CMakeFiles/transfer_matching.dir/transfer_matching.cpp.o.d"
+  "transfer_matching"
+  "transfer_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aml.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/aml.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/aml.cc.o.d"
+  "/root/repo/src/baselines/fca_map.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/fca_map.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/fca_map.cc.o.d"
+  "/root/repo/src/baselines/lsh.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/lsh.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/lsh.cc.o.d"
+  "/root/repo/src/baselines/nezhadi.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/nezhadi.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/nezhadi.cc.o.d"
+  "/root/repo/src/baselines/pair_matcher.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/pair_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/pair_matcher.cc.o.d"
+  "/root/repo/src/baselines/semprop.cc" "src/baselines/CMakeFiles/leapme_baselines.dir/semprop.cc.o" "gcc" "src/baselines/CMakeFiles/leapme_baselines.dir/semprop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leapme_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/leapme_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/leapme_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/leapme_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leapme_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

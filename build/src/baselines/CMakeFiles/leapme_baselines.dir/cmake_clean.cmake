@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_baselines.dir/aml.cc.o"
+  "CMakeFiles/leapme_baselines.dir/aml.cc.o.d"
+  "CMakeFiles/leapme_baselines.dir/fca_map.cc.o"
+  "CMakeFiles/leapme_baselines.dir/fca_map.cc.o.d"
+  "CMakeFiles/leapme_baselines.dir/lsh.cc.o"
+  "CMakeFiles/leapme_baselines.dir/lsh.cc.o.d"
+  "CMakeFiles/leapme_baselines.dir/nezhadi.cc.o"
+  "CMakeFiles/leapme_baselines.dir/nezhadi.cc.o.d"
+  "CMakeFiles/leapme_baselines.dir/pair_matcher.cc.o"
+  "CMakeFiles/leapme_baselines.dir/pair_matcher.cc.o.d"
+  "CMakeFiles/leapme_baselines.dir/semprop.cc.o"
+  "CMakeFiles/leapme_baselines.dir/semprop.cc.o.d"
+  "libleapme_baselines.a"
+  "libleapme_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

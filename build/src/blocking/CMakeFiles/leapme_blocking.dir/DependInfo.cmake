@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/blocker.cc" "src/blocking/CMakeFiles/leapme_blocking.dir/blocker.cc.o" "gcc" "src/blocking/CMakeFiles/leapme_blocking.dir/blocker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leapme_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/leapme_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/leapme_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

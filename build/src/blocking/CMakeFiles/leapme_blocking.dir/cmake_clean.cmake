@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_blocking.dir/blocker.cc.o"
+  "CMakeFiles/leapme_blocking.dir/blocker.cc.o.d"
+  "libleapme_blocking.a"
+  "libleapme_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

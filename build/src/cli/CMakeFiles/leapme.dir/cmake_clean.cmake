@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme.dir/main.cc.o"
+  "CMakeFiles/leapme.dir/main.cc.o.d"
+  "leapme"
+  "leapme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_cli.dir/commands.cc.o"
+  "CMakeFiles/leapme_cli.dir/commands.cc.o.d"
+  "CMakeFiles/leapme_cli.dir/flags.cc.o"
+  "CMakeFiles/leapme_cli.dir/flags.cc.o.d"
+  "libleapme_cli.a"
+  "libleapme_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_common.dir/logging.cc.o"
+  "CMakeFiles/leapme_common.dir/logging.cc.o.d"
+  "CMakeFiles/leapme_common.dir/rng.cc.o"
+  "CMakeFiles/leapme_common.dir/rng.cc.o.d"
+  "CMakeFiles/leapme_common.dir/status.cc.o"
+  "CMakeFiles/leapme_common.dir/status.cc.o.d"
+  "CMakeFiles/leapme_common.dir/string_util.cc.o"
+  "CMakeFiles/leapme_common.dir/string_util.cc.o.d"
+  "libleapme_common.a"
+  "libleapme_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

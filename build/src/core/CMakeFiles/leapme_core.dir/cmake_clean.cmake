@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_core.dir/leapme.cc.o"
+  "CMakeFiles/leapme_core.dir/leapme.cc.o.d"
+  "libleapme_core.a"
+  "libleapme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

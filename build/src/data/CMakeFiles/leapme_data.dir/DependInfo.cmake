@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/leapme_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/domain.cc" "src/data/CMakeFiles/leapme_data.dir/domain.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/domain.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/leapme_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/splitting.cc" "src/data/CMakeFiles/leapme_data.dir/splitting.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/splitting.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/leapme_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/statistics.cc.o.d"
+  "/root/repo/src/data/tsv_io.cc" "src/data/CMakeFiles/leapme_data.dir/tsv_io.cc.o" "gcc" "src/data/CMakeFiles/leapme_data.dir/tsv_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leapme_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/leapme_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_data.dir/dataset.cc.o"
+  "CMakeFiles/leapme_data.dir/dataset.cc.o.d"
+  "CMakeFiles/leapme_data.dir/domain.cc.o"
+  "CMakeFiles/leapme_data.dir/domain.cc.o.d"
+  "CMakeFiles/leapme_data.dir/generator.cc.o"
+  "CMakeFiles/leapme_data.dir/generator.cc.o.d"
+  "CMakeFiles/leapme_data.dir/splitting.cc.o"
+  "CMakeFiles/leapme_data.dir/splitting.cc.o.d"
+  "CMakeFiles/leapme_data.dir/statistics.cc.o"
+  "CMakeFiles/leapme_data.dir/statistics.cc.o.d"
+  "CMakeFiles/leapme_data.dir/tsv_io.cc.o"
+  "CMakeFiles/leapme_data.dir/tsv_io.cc.o.d"
+  "libleapme_data.a"
+  "libleapme_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding_model.cc" "src/embedding/CMakeFiles/leapme_embedding.dir/embedding_model.cc.o" "gcc" "src/embedding/CMakeFiles/leapme_embedding.dir/embedding_model.cc.o.d"
+  "/root/repo/src/embedding/synthetic_model.cc" "src/embedding/CMakeFiles/leapme_embedding.dir/synthetic_model.cc.o" "gcc" "src/embedding/CMakeFiles/leapme_embedding.dir/synthetic_model.cc.o.d"
+  "/root/repo/src/embedding/text_embedding_file.cc" "src/embedding/CMakeFiles/leapme_embedding.dir/text_embedding_file.cc.o" "gcc" "src/embedding/CMakeFiles/leapme_embedding.dir/text_embedding_file.cc.o.d"
+  "/root/repo/src/embedding/vector_ops.cc" "src/embedding/CMakeFiles/leapme_embedding.dir/vector_ops.cc.o" "gcc" "src/embedding/CMakeFiles/leapme_embedding.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_embedding.dir/embedding_model.cc.o"
+  "CMakeFiles/leapme_embedding.dir/embedding_model.cc.o.d"
+  "CMakeFiles/leapme_embedding.dir/synthetic_model.cc.o"
+  "CMakeFiles/leapme_embedding.dir/synthetic_model.cc.o.d"
+  "CMakeFiles/leapme_embedding.dir/text_embedding_file.cc.o"
+  "CMakeFiles/leapme_embedding.dir/text_embedding_file.cc.o.d"
+  "CMakeFiles/leapme_embedding.dir/vector_ops.cc.o"
+  "CMakeFiles/leapme_embedding.dir/vector_ops.cc.o.d"
+  "libleapme_embedding.a"
+  "libleapme_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

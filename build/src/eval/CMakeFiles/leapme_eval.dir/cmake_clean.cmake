@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_eval.dir/experiment.cc.o"
+  "CMakeFiles/leapme_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/leapme_eval.dir/importance.cc.o"
+  "CMakeFiles/leapme_eval.dir/importance.cc.o.d"
+  "CMakeFiles/leapme_eval.dir/report.cc.o"
+  "CMakeFiles/leapme_eval.dir/report.cc.o.d"
+  "libleapme_eval.a"
+  "libleapme_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_pipeline.cc" "src/features/CMakeFiles/leapme_features.dir/feature_pipeline.cc.o" "gcc" "src/features/CMakeFiles/leapme_features.dir/feature_pipeline.cc.o.d"
+  "/root/repo/src/features/feature_schema.cc" "src/features/CMakeFiles/leapme_features.dir/feature_schema.cc.o" "gcc" "src/features/CMakeFiles/leapme_features.dir/feature_schema.cc.o.d"
+  "/root/repo/src/features/instance_features.cc" "src/features/CMakeFiles/leapme_features.dir/instance_features.cc.o" "gcc" "src/features/CMakeFiles/leapme_features.dir/instance_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leapme_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/leapme_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leapme_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

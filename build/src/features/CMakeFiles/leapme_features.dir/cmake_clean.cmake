@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_features.dir/feature_pipeline.cc.o"
+  "CMakeFiles/leapme_features.dir/feature_pipeline.cc.o.d"
+  "CMakeFiles/leapme_features.dir/feature_schema.cc.o"
+  "CMakeFiles/leapme_features.dir/feature_schema.cc.o.d"
+  "CMakeFiles/leapme_features.dir/instance_features.cc.o"
+  "CMakeFiles/leapme_features.dir/instance_features.cc.o.d"
+  "libleapme_features.a"
+  "libleapme_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_graph.dir/similarity_graph.cc.o"
+  "CMakeFiles/leapme_graph.dir/similarity_graph.cc.o.d"
+  "libleapme_graph.a"
+  "libleapme_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleapme_graph.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_ml.dir/adaboost.cc.o"
+  "CMakeFiles/leapme_ml.dir/adaboost.cc.o.d"
+  "CMakeFiles/leapme_ml.dir/classifier.cc.o"
+  "CMakeFiles/leapme_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/leapme_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/leapme_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/leapme_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/leapme_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/leapme_ml.dir/metrics.cc.o"
+  "CMakeFiles/leapme_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/leapme_ml.dir/scaler.cc.o"
+  "CMakeFiles/leapme_ml.dir/scaler.cc.o.d"
+  "libleapme_ml.a"
+  "libleapme_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_nn.dir/activation.cc.o"
+  "CMakeFiles/leapme_nn.dir/activation.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/dense_layer.cc.o"
+  "CMakeFiles/leapme_nn.dir/dense_layer.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/loss.cc.o"
+  "CMakeFiles/leapme_nn.dir/loss.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/matrix.cc.o"
+  "CMakeFiles/leapme_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/mlp.cc.o"
+  "CMakeFiles/leapme_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/optimizer.cc.o"
+  "CMakeFiles/leapme_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/leapme_nn.dir/trainer.cc.o"
+  "CMakeFiles/leapme_nn.dir/trainer.cc.o.d"
+  "libleapme_nn.a"
+  "libleapme_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leapme_text.dir/char_class.cc.o"
+  "CMakeFiles/leapme_text.dir/char_class.cc.o.d"
+  "CMakeFiles/leapme_text.dir/ngram.cc.o"
+  "CMakeFiles/leapme_text.dir/ngram.cc.o.d"
+  "CMakeFiles/leapme_text.dir/string_metrics.cc.o"
+  "CMakeFiles/leapme_text.dir/string_metrics.cc.o.d"
+  "CMakeFiles/leapme_text.dir/tokenizer.cc.o"
+  "CMakeFiles/leapme_text.dir/tokenizer.cc.o.d"
+  "libleapme_text.a"
+  "libleapme_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leapme_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_tests.dir/blocking/blocker_test.cc.o"
+  "CMakeFiles/blocking_tests.dir/blocking/blocker_test.cc.o.d"
+  "blocking_tests"
+  "blocking_tests.pdb"
+  "blocking_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

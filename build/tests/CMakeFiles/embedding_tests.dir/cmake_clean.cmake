@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_tests.dir/embedding/embedding_model_test.cc.o"
+  "CMakeFiles/embedding_tests.dir/embedding/embedding_model_test.cc.o.d"
+  "CMakeFiles/embedding_tests.dir/embedding/synthetic_model_test.cc.o"
+  "CMakeFiles/embedding_tests.dir/embedding/synthetic_model_test.cc.o.d"
+  "CMakeFiles/embedding_tests.dir/embedding/text_embedding_file_test.cc.o"
+  "CMakeFiles/embedding_tests.dir/embedding/text_embedding_file_test.cc.o.d"
+  "CMakeFiles/embedding_tests.dir/embedding/vector_ops_test.cc.o"
+  "CMakeFiles/embedding_tests.dir/embedding/vector_ops_test.cc.o.d"
+  "embedding_tests"
+  "embedding_tests.pdb"
+  "embedding_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

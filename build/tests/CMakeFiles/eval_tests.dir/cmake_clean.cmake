@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tests.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/eval_tests.dir/eval/experiment_test.cc.o.d"
+  "CMakeFiles/eval_tests.dir/eval/importance_test.cc.o"
+  "CMakeFiles/eval_tests.dir/eval/importance_test.cc.o.d"
+  "CMakeFiles/eval_tests.dir/eval/leapme_adapter_test.cc.o"
+  "CMakeFiles/eval_tests.dir/eval/leapme_adapter_test.cc.o.d"
+  "CMakeFiles/eval_tests.dir/eval/report_test.cc.o"
+  "CMakeFiles/eval_tests.dir/eval/report_test.cc.o.d"
+  "eval_tests"
+  "eval_tests.pdb"
+  "eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/features/feature_pipeline_test.cc" "tests/CMakeFiles/features_tests.dir/features/feature_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/features_tests.dir/features/feature_pipeline_test.cc.o.d"
+  "/root/repo/tests/features/feature_schema_test.cc" "tests/CMakeFiles/features_tests.dir/features/feature_schema_test.cc.o" "gcc" "tests/CMakeFiles/features_tests.dir/features/feature_schema_test.cc.o.d"
+  "/root/repo/tests/features/instance_features_test.cc" "tests/CMakeFiles/features_tests.dir/features/instance_features_test.cc.o" "gcc" "tests/CMakeFiles/features_tests.dir/features/instance_features_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/leapme_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/leapme_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/leapme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/leapme_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/leapme_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/leapme_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/leapme_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/leapme_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/leapme_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leapme_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/leapme_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leapme_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leapme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/adaboost_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/adaboost_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/decision_tree_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/decision_tree_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/logistic_regression_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/logistic_regression_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/pr_curve_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/pr_curve_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/scaler_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dense_layer_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/dense_layer_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dropout_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/dropout_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/mlp_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/trainer_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/trainer_test.cc.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

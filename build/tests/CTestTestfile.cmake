@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/text_tests[1]_include.cmake")
+include("/root/repo/build/tests/embedding_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/data_tests[1]_include.cmake")
+include("/root/repo/build/tests/features_tests[1]_include.cmake")
+include("/root/repo/build/tests/blocking_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
