@@ -63,19 +63,40 @@ int main() {
        }},
   };
 
-  eval::ResultsTable table;
+  // Build every dataset up front, then fan the independent (dataset,
+  // matcher) cells out across the thread pool. Outcomes come back in task
+  // order and each cell is internally seeded, so the table is identical
+  // to the former sequential double loop.
+  std::vector<eval::EvalDataset> datasets;
+  std::vector<std::string> dataset_names;
   for (const auto& spec : eval::DefaultDatasetSpecs(scale)) {
     auto eval_dataset = eval::BuildEvalDataset(spec);
     bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
-    for (const NamedFactory& matcher : matchers) {
-      auto result =
-          eval::EvaluateMatcher(matcher.factory, *eval_dataset, options);
-      bench::CheckOk(result.status(), matcher.name);
-      table.AddResult("Baselines (80% training)", spec.name, matcher.name,
-                      result->mean);
-    }
-    std::fprintf(stderr, "[baselines] %s done\n", spec.name.c_str());
+    datasets.push_back(std::move(*eval_dataset));
+    dataset_names.push_back(spec.name);
   }
+  std::vector<eval::EvaluationTask> tasks;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (const NamedFactory& matcher : matchers) {
+      eval::EvaluationTask task;
+      task.dataset_name = dataset_names[d];
+      task.matcher_name = matcher.name;
+      task.dataset = &datasets[d];
+      task.factory = matcher.factory;
+      task.options = options;
+      tasks.push_back(std::move(task));
+    }
+  }
+  auto outcomes = eval::RunEvaluations(tasks, bench::BenchThreads());
+  bench::CheckOk(outcomes.status(), "RunEvaluations");
+
+  eval::ResultsTable table;
+  for (const eval::EvaluationOutcome& outcome : *outcomes) {
+    table.AddResult("Baselines (80% training)", outcome.dataset_name,
+                    outcome.matcher_name, outcome.result.mean);
+  }
+  std::fprintf(stderr, "[baselines] %zu evaluations on %zu threads\n",
+               outcomes->size(), bench::BenchThreads());
 
   std::printf("Baseline comparison (paper §V-C observation 1)\n\n%s\n",
               table.Render().c_str());

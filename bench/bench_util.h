@@ -7,11 +7,24 @@
 #include <memory>
 #include <string>
 
+#include "common/parallel.h"
 #include "core/leapme.h"
 #include "eval/experiment.h"
 #include "eval/leapme_adapter.h"
 
 namespace leapme::bench {
+
+/// Thread count the benchmark binaries report and fan out with:
+/// $LEAPME_BENCH_THREADS when set, otherwise the global pool width
+/// (--threads / LEAPME_THREADS / hardware concurrency).
+inline size_t BenchThreads() {
+  const char* value = std::getenv("LEAPME_BENCH_THREADS");
+  if (value != nullptr && *value != '\0') {
+    long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return GlobalThreadCount();
+}
 
 /// Reads the evaluation scale from $LEAPME_SCALE ("test" | "bench" |
 /// "paper"); defaults to the CI-sized bench scale.

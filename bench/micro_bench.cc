@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/domain.h"
 #include "embedding/synthetic_model.h"
+#include "features/feature_pipeline.h"
 #include "features/instance_features.h"
 #include "nn/mlp.h"
 #include "text/ngram.h"
@@ -110,6 +112,66 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// 1-vs-N thread scaling of the parallel GEMM path (the matrix is large
+// enough to cross the row-partitioning threshold). The `threads` counter
+// lands in the benchmark JSON so scaling runs are self-describing.
+void BM_GemmThreads(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  SetGlobalThreadCount(threads);
+  nn::Matrix a(n, n);
+  nn::Matrix b(n, n);
+  Rng rng(1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.NextDouble());
+    b.data()[i] = static_cast<float>(rng.NextDouble());
+  }
+  nn::Matrix out;
+  for (auto _ : state) {
+    nn::Gemm(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.counters["threads"] = static_cast<double>(threads);
+  SetGlobalThreadCount(0);  // restore --threads/LEAPME_THREADS/hardware
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->UseRealTime();  // wall clock: the submitting thread mostly waits
+
+// 1-vs-N thread scaling of the feature stage: design-matrix assembly
+// (string distances + vector differences per row) over a block of pairs.
+void BM_BuildDesignMatrixThreads(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  auto model = BuildModel(48);
+  features::FeaturePipeline pipeline(&model);
+  const data::DomainSpec& domain = data::CameraDomain();
+  std::vector<features::PropertyFeatures> properties;
+  std::vector<std::string> values = {"24.3 MP", "6000 x 4000",
+                                     "approx. 24 megapixels"};
+  for (const data::ReferenceProperty& property : domain.properties) {
+    for (const std::string& name : property.surface_names) {
+      properties.push_back(pipeline.ComputeProperty(name, values));
+    }
+  }
+  constexpr size_t kPairs = 2048;
+  std::vector<const features::PropertyFeatures*> lhs(kPairs);
+  std::vector<const features::PropertyFeatures*> rhs(kPairs);
+  for (size_t i = 0; i < kPairs; ++i) {
+    lhs[i] = &properties[i % properties.size()];
+    rhs[i] = &properties[(i * 7 + 3) % properties.size()];
+  }
+  for (auto _ : state) {
+    nn::Matrix design = pipeline.BuildDesignMatrix(lhs, rhs, {}, threads);
+    benchmark::DoNotOptimize(design.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kPairs);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_BuildDesignMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_MlpTrainBatch(benchmark::State& state) {
   const auto input_dim = static_cast<size_t>(state.range(0));

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/leapme.h"
 #include "data/domain.h"
@@ -32,6 +33,8 @@ constexpr const char* kUsage =
     "             --data FILE [--train-fraction 0.8] [--seed 7]\n"
     "             [--embeddings GLOVE_FILE | --domain NAME] [--emb-dim 64]\n"
     "             [--features origin/kinds] [--model-out FILE]\n"
+    "             [--threads N] (0 = LEAPME_THREADS env or all cores;\n"
+    "             results are identical at any thread count)\n"
     "  match      print discovered matches among the held-out sources\n"
     "             (evaluate flags plus [--threshold 0.5] [--limit 25])\n"
     "  cluster    train, build the similarity graph over all pairs and\n"
@@ -109,6 +112,13 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
     return Status::InvalidArgument("--data FILE is required");
   }
   TrainedSession session;
+  // --threads beats the LEAPME_THREADS environment variable, which beats
+  // hardware concurrency (0 keeps whatever the environment decided).
+  const auto threads = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt("threads", 0)));
+  if (threads > 0) {
+    SetGlobalThreadCount(threads);
+  }
   LEAPME_ASSIGN_OR_RETURN(session.dataset,
                           data::ReadDatasetTsv(flags.GetString("data", "")));
   LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
@@ -124,6 +134,7 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
   core::LeapmeOptions options;
   LEAPME_ASSIGN_OR_RETURN(options.feature_config, ParseFeatureConfig(flags));
   options.decision_threshold = flags.GetDouble("threshold", 0.5);
+  options.threads = threads;
   session.matcher = std::make_unique<core::LeapmeMatcher>(
       session.model.get(), options);
   LEAPME_RETURN_IF_ERROR(session.matcher->Fit(session.dataset, training));
@@ -145,7 +156,7 @@ const std::vector<std::string>& EvaluateFlags() {
   static const auto* kFlags = new std::vector<std::string>{
       "data",        "train-fraction", "seed",      "embeddings",
       "domain",      "emb-dim",        "features",  "model-out",
-      "threshold",   "negative-ratio", "limit"};
+      "threshold",   "negative-ratio", "limit",     "threads"};
   return *kFlags;
 }
 

@@ -1,0 +1,259 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+namespace leapme {
+
+namespace {
+
+/// Set while the current thread executes chunks of a pool job; nested
+/// ParallelFor calls observe it and run inline instead of re-entering the
+/// pool (which would deadlock on the submission lock).
+thread_local bool tls_in_parallel_job = false;
+
+}  // namespace
+
+/// Shared state of one ParallelFor invocation. Chunks are claimed from
+/// `next` by atomic increment; `remaining` counts chunks not yet finished
+/// (or abandoned), and reaching zero completes the job.
+struct ThreadPool::Job {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> remaining{0};
+  std::atomic<bool> cancelled{false};
+  /// Worker sign-up budget (excludes the submitting thread); workers that
+  /// decrement it below zero sit the job out (per-call thread cap).
+  std::atomic<ptrdiff_t> helpers_allowed{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  size_t error_chunk = std::numeric_limits<size_t>::max();
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    job_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    if (job != nullptr &&
+        job->helpers_allowed.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      RunChunks(job.get());
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  const bool saved = tls_in_parallel_job;
+  tls_in_parallel_job = true;
+  for (;;) {
+    const size_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->num_chunks) break;
+    if (!job->cancelled.load(std::memory_order_acquire)) {
+      const size_t chunk_begin = job->begin + chunk * job->grain;
+      const size_t chunk_end = std::min(chunk_begin + job->grain, job->end);
+      try {
+        (*job->fn)(chunk_begin, chunk_end);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job->mu);
+          if (chunk < job->error_chunk) {
+            job->error_chunk = chunk;
+            job->error = std::current_exception();
+          }
+        }
+        job->cancelled.store(true, std::memory_order_release);
+      }
+    }
+    if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk: wake the submitter. Taking job->mu orders the notify
+      // after the submitter enters its wait (or it sees remaining == 0).
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->done_cv.notify_all();
+    }
+  }
+  tls_in_parallel_job = saved;
+}
+
+void ThreadPool::RunInline(size_t begin, size_t end, size_t grain,
+                           const std::function<void(size_t, size_t)>& fn) {
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+    fn(chunk_begin, std::min(chunk_begin + grain, end));
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             size_t max_threads,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  size_t width = thread_count();
+  if (max_threads > 0) width = std::min(width, max_threads);
+  if (tls_in_parallel_job || num_chunks <= 1 || width <= 1 ||
+      workers_.empty()) {
+    RunInline(begin, end, grain, fn);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  job->remaining.store(num_chunks, std::memory_order_relaxed);
+  job->helpers_allowed.store(static_cast<ptrdiff_t>(width) - 1,
+                             std::memory_order_relaxed);
+
+  // One job at a time: a second user thread submitting concurrently waits
+  // here until the pool is free (nested calls never reach this point).
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  RunChunks(job.get());
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+size_t g_configured_threads = 0;  // 0 = DefaultThreadCount()
+
+size_t ResolvedThreadCount() {
+  return g_configured_threads > 0 ? g_configured_threads
+                                  : DefaultThreadCount();
+}
+
+}  // namespace
+
+size_t DefaultThreadCount() {
+  const char* env = std::getenv("LEAPME_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void SetGlobalThreadCount(size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_configured_threads = threads;
+  if (g_pool != nullptr && g_pool->thread_count() != ResolvedThreadCount()) {
+    // Drop our reference; threads still running jobs on the old pool keep
+    // it alive through their own shared_ptr until they finish.
+    g_pool.reset();
+  }
+}
+
+size_t GlobalThreadCount() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_pool != nullptr ? g_pool->thread_count() : ResolvedThreadCount();
+}
+
+std::shared_ptr<ThreadPool> GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ThreadPool>(ResolvedThreadCount());
+  }
+  return g_pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(begin, end, grain, /*max_threads=*/0, fn);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain, size_t max_threads,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  // Avoid starting the pool at all for work that runs inline anyway.
+  if (tls_in_parallel_job || max_threads == 1 || end - begin <= grain) {
+    for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+      fn(chunk_begin, std::min(chunk_begin + grain, end));
+    }
+    return;
+  }
+  GlobalThreadPool()->ParallelFor(begin, end, grain, max_threads, fn);
+}
+
+Status ParallelForStatus(size_t begin, size_t end, size_t grain,
+                         const std::function<Status(size_t, size_t)>& fn,
+                         size_t max_threads) {
+  if (grain < 1) grain = 1;
+  std::mutex mu;
+  Status first = Status::OK();
+  size_t first_chunk = std::numeric_limits<size_t>::max();
+  std::atomic<bool> failed{false};
+  ParallelFor(begin, end, grain, max_threads,
+              [&](size_t chunk_begin, size_t chunk_end) {
+                if (failed.load(std::memory_order_acquire)) return;
+                Status status = fn(chunk_begin, chunk_end);
+                if (status.ok()) return;
+                std::lock_guard<std::mutex> lock(mu);
+                const size_t chunk = (chunk_begin - begin) / grain;
+                if (chunk < first_chunk) {
+                  first_chunk = chunk;
+                  first = std::move(status);
+                }
+                failed.store(true, std::memory_order_release);
+              });
+  return first;
+}
+
+}  // namespace leapme

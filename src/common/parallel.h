@@ -1,0 +1,113 @@
+#ifndef LEAPME_COMMON_PARALLEL_H_
+#define LEAPME_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace leapme {
+
+/// A lazily started pool of worker threads executing statically chunked
+/// parallel-for jobs. One process-wide instance (GlobalThreadPool) backs
+/// every parallel loop in the library; its width comes from the
+/// LEAPME_THREADS environment variable, SetGlobalThreadCount (the CLI's
+/// --threads flag), or hardware concurrency, in that order of precedence.
+///
+/// Determinism contract: ParallelFor splits [begin, end) into
+/// ceil(n / grain) chunks whose boundaries depend only on `grain` — never
+/// on the thread count or on scheduling — and the body receives every
+/// chunk exactly once. A body that reads shared inputs and writes only
+/// outputs derived from its own chunk indices therefore produces
+/// bit-identical results at any thread count, including the inline
+/// single-thread path.
+class ThreadPool {
+ public:
+  /// Starts `threads` - 1 workers; the submitting thread participates in
+  /// every job, so `threads` == 1 means no worker threads at all.
+  explicit ThreadPool(size_t threads);
+
+  /// Joins all workers (in-flight jobs finish first).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution width of a job: workers plus the submitting thread.
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` for every grain-sized chunk of
+  /// [begin, end) and blocks until all chunks are done. The submitting
+  /// thread executes chunks alongside the workers. `max_threads` caps the
+  /// number of threads running this job (0 = pool width). The first
+  /// exception thrown by a body (lowest failing chunk among those
+  /// observed) is rethrown on the submitting thread after remaining
+  /// chunks are abandoned. Calls made from inside a job body run inline,
+  /// so nested parallelism cannot deadlock.
+  void ParallelFor(size_t begin, size_t end, size_t grain, size_t max_threads,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static void RunChunks(Job* job);
+  static void RunInline(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                  // guards job_, generation_, shutdown_
+  std::condition_variable job_cv_; // workers wait for a new generation
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::mutex submit_mu_;           // serializes concurrent submissions
+};
+
+/// Thread count the global pool uses when SetGlobalThreadCount was not
+/// called: LEAPME_THREADS when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+size_t DefaultThreadCount();
+
+/// Overrides the global pool width (0 = back to DefaultThreadCount()).
+/// An already-started pool of a different width is replaced; threads that
+/// still hold the old pool finish their jobs on it first.
+void SetGlobalThreadCount(size_t threads);
+
+/// Width of the global pool (without forcing it to start).
+size_t GlobalThreadCount();
+
+/// The process-wide pool, started on first use. Callers keep the returned
+/// shared_ptr for the duration of their job so SetGlobalThreadCount can
+/// swap the pool underneath without racing running work.
+std::shared_ptr<ThreadPool> GlobalThreadPool();
+
+/// Statically chunked parallel loop over [begin, end) on the global pool:
+/// fn(chunk_begin, chunk_end) for consecutive chunks of at most `grain`
+/// indices. Runs inline — same chunk boundaries, ascending order — when
+/// the range fits in one chunk, the effective width is 1, or the caller
+/// is itself inside a pool job.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// ParallelFor with a per-call thread cap (0 = pool width). `max_threads`
+/// == 1 always runs inline.
+void ParallelFor(size_t begin, size_t end, size_t grain, size_t max_threads,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Fallible-body variant for the library's exception-free Status idiom:
+/// runs chunks until a body returns non-OK, then returns the Status of
+/// the lowest observed failing chunk (chunks claimed after a failure are
+/// skipped). `max_threads` as above.
+Status ParallelForStatus(size_t begin, size_t end, size_t grain,
+                         const std::function<Status(size_t, size_t)>& fn,
+                         size_t max_threads = 0);
+
+}  // namespace leapme
+
+#endif  // LEAPME_COMMON_PARALLEL_H_

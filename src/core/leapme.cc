@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "ml/metrics.h"
 
@@ -33,21 +34,26 @@ Status LeapmeMatcher::Fit(
   }
 
   // Algorithm 1 steps 1-3: instance features and per-property aggregation
-  // for every property of the dataset.
+  // for every property of the dataset. Properties are independent, so the
+  // loop fans out across the thread pool (each slot written exactly once).
   property_count_ = dataset.property_count();
-  property_features_.clear();
-  property_features_.reserve(property_count_);
-  std::vector<std::string> values;
-  for (data::PropertyId id = 0; id < property_count_; ++id) {
-    const auto& instances = dataset.instances(id);
-    values.clear();
-    values.reserve(instances.size());
-    for (const data::InstanceValue& instance : instances) {
-      values.push_back(instance.value);
-    }
-    property_features_.push_back(
-        pipeline_.ComputeProperty(dataset.property(id).name, values));
-  }
+  property_features_.assign(property_count_, {});
+  ParallelFor(0, property_count_, /*grain=*/1, options_.threads,
+              [&](size_t begin, size_t end) {
+                std::vector<std::string> values;
+                for (size_t id = begin; id < end; ++id) {
+                  const auto& instances =
+                      dataset.instances(static_cast<data::PropertyId>(id));
+                  values.clear();
+                  values.reserve(instances.size());
+                  for (const data::InstanceValue& instance : instances) {
+                    values.push_back(instance.value);
+                  }
+                  property_features_[id] = pipeline_.ComputeProperty(
+                      dataset.property(static_cast<data::PropertyId>(id)).name,
+                      values);
+                }
+              });
 
   // Step 4: pair features for the labeled pairs.
   std::vector<data::PropertyPair> pairs;
@@ -126,7 +132,7 @@ nn::Matrix LeapmeMatcher::DesignMatrix(
     lhs.push_back(&property_features_[pair.a]);
     rhs.push_back(&property_features_[pair.b]);
   }
-  return pipeline_.BuildDesignMatrix(lhs, rhs, columns_);
+  return pipeline_.BuildDesignMatrix(lhs, rhs, columns_, options_.threads);
 }
 
 StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
@@ -140,25 +146,27 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
           StrFormat("pair (%u, %u) out of range", pair.a, pair.b));
     }
   }
-  std::vector<double> scores;
-  scores.reserve(pairs.size());
-  // Batched inference keeps the transient design matrix small even for
-  // hundreds of thousands of candidate pairs.
-  constexpr size_t kBatch = 4096;
-  nn::Matrix probabilities;
-  for (size_t start = 0; start < pairs.size(); start += kBatch) {
-    size_t end = std::min(start + kBatch, pairs.size());
-    std::vector<data::PropertyPair> chunk(pairs.begin() + start,
-                                          pairs.begin() + end);
-    nn::Matrix design = DesignMatrix(chunk);
-    if (options_.standardize_features) {
-      LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
-    }
-    mlp_.Predict(design, &probabilities);
-    for (size_t i = 0; i < probabilities.rows(); ++i) {
-      scores.push_back(probabilities(i, 1));  // positive-class output
-    }
-  }
+  // Batches bound the transient design matrix and score in parallel; each
+  // batch writes its own score range through the const inference path.
+  const size_t batch = std::max<size_t>(1, options_.score_batch_size);
+  std::vector<double> scores(pairs.size());
+  LEAPME_RETURN_IF_ERROR(ParallelForStatus(
+      0, pairs.size(), batch,
+      [&](size_t start, size_t end) -> Status {
+        std::vector<data::PropertyPair> chunk(pairs.begin() + start,
+                                              pairs.begin() + end);
+        nn::Matrix design = DesignMatrix(chunk);
+        if (options_.standardize_features) {
+          LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
+        }
+        nn::Matrix probabilities;
+        mlp_.Infer(design, &probabilities);
+        for (size_t i = 0; i < probabilities.rows(); ++i) {
+          scores[start + i] = probabilities(i, 1);  // positive-class output
+        }
+        return Status::OK();
+      },
+      options_.threads));
   return scores;
 }
 
@@ -178,44 +186,51 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScorePairsOn(
   if (!fitted_) {
     return Status::FailedPrecondition("ScorePairsOn called before Fit");
   }
-  // Features for the foreign dataset's properties.
-  std::vector<features::PropertyFeatures> foreign;
-  foreign.reserve(dataset.property_count());
-  std::vector<std::string> values;
-  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
-    values.clear();
-    for (const data::InstanceValue& instance : dataset.instances(id)) {
-      values.push_back(instance.value);
-    }
-    foreign.push_back(
-        pipeline_.ComputeProperty(dataset.property(id).name, values));
-  }
+  // Features for the foreign dataset's properties, in parallel as in Fit.
+  std::vector<features::PropertyFeatures> foreign(dataset.property_count());
+  ParallelFor(0, dataset.property_count(), /*grain=*/1, options_.threads,
+              [&](size_t begin, size_t end) {
+                std::vector<std::string> values;
+                for (size_t id = begin; id < end; ++id) {
+                  values.clear();
+                  for (const data::InstanceValue& instance :
+                       dataset.instances(static_cast<data::PropertyId>(id))) {
+                    values.push_back(instance.value);
+                  }
+                  foreign[id] = pipeline_.ComputeProperty(
+                      dataset.property(static_cast<data::PropertyId>(id)).name,
+                      values);
+                }
+              });
 
-  std::vector<double> scores;
-  scores.reserve(pairs.size());
-  constexpr size_t kBatch = 4096;
-  nn::Matrix probabilities;
-  for (size_t start = 0; start < pairs.size(); start += kBatch) {
-    size_t end = std::min(start + kBatch, pairs.size());
-    std::vector<const features::PropertyFeatures*> lhs;
-    std::vector<const features::PropertyFeatures*> rhs;
-    for (size_t i = start; i < end; ++i) {
-      if (pairs[i].a >= foreign.size() || pairs[i].b >= foreign.size()) {
-        return Status::InvalidArgument(
-            StrFormat("pair (%u, %u) out of range", pairs[i].a, pairs[i].b));
-      }
-      lhs.push_back(&foreign[pairs[i].a]);
-      rhs.push_back(&foreign[pairs[i].b]);
-    }
-    nn::Matrix design = pipeline_.BuildDesignMatrix(lhs, rhs, columns_);
-    if (options_.standardize_features) {
-      LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
-    }
-    mlp_.Predict(design, &probabilities);
-    for (size_t i = 0; i < probabilities.rows(); ++i) {
-      scores.push_back(probabilities(i, 1));
-    }
-  }
+  const size_t batch = std::max<size_t>(1, options_.score_batch_size);
+  std::vector<double> scores(pairs.size());
+  LEAPME_RETURN_IF_ERROR(ParallelForStatus(
+      0, pairs.size(), batch,
+      [&](size_t start, size_t end) -> Status {
+        std::vector<const features::PropertyFeatures*> lhs;
+        std::vector<const features::PropertyFeatures*> rhs;
+        for (size_t i = start; i < end; ++i) {
+          if (pairs[i].a >= foreign.size() || pairs[i].b >= foreign.size()) {
+            return Status::InvalidArgument(StrFormat(
+                "pair (%u, %u) out of range", pairs[i].a, pairs[i].b));
+          }
+          lhs.push_back(&foreign[pairs[i].a]);
+          rhs.push_back(&foreign[pairs[i].b]);
+        }
+        nn::Matrix design =
+            pipeline_.BuildDesignMatrix(lhs, rhs, columns_, options_.threads);
+        if (options_.standardize_features) {
+          LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
+        }
+        nn::Matrix probabilities;
+        mlp_.Infer(design, &probabilities);
+        for (size_t i = 0; i < probabilities.rows(); ++i) {
+          scores[start + i] = probabilities(i, 1);
+        }
+        return Status::OK();
+      },
+      options_.threads));
   return scores;
 }
 

@@ -43,6 +43,16 @@ struct LeapmeOptions {
   bool standardize_features = true;
   /// Seed for weight initialization (the trainer has its own shuffle seed).
   uint64_t seed = 1234;
+  /// Rows scored per inference batch in ScorePairs / ScorePairsOn. Batches
+  /// keep the transient design matrix small even for hundreds of thousands
+  /// of candidate pairs, and are the unit of parallel scoring. The batch
+  /// size only affects memory and scheduling, never scores.
+  size_t score_batch_size = 4096;
+  /// Thread cap for this matcher's parallel work (per-property feature
+  /// aggregation, design-matrix assembly, batched scoring). 0 = full
+  /// process-wide pool width (--threads / LEAPME_THREADS / hardware);
+  /// 1 = fully sequential. Results are bit-identical at any setting.
+  size_t threads = 0;
 };
 
 /// LEAPME (Algorithm 1): supervised property matching with embedding and

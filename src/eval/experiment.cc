@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "data/splitting.h"
@@ -109,48 +110,88 @@ StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
   }
   const data::Dataset& dataset = eval_dataset.dataset;
 
+  // Repetitions are independent: each derives its RNG from `seed + rep`
+  // and writes only its own slot, so the fan-out cannot change metrics.
+  const size_t reps = options.repetitions;
   EvaluationResult result;
+  result.per_repetition.resize(reps);
+  std::vector<size_t> train_counts(reps, 0);
+  std::vector<size_t> test_counts(reps, 0);
+  LEAPME_RETURN_IF_ERROR(ParallelForStatus(
+      0, reps, /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t rep = begin; rep < end; ++rep) {
+          Rng rng(options.seed + rep);
+          data::SourceSplit split =
+              data::SplitSources(dataset, options.train_fraction, rng);
+          LEAPME_ASSIGN_OR_RETURN(
+              std::vector<data::LabeledPair> training_pairs,
+              data::BuildTrainingPairs(dataset, split.train_sources,
+                                       options.negative_ratio, rng));
+          std::vector<data::LabeledPair> test_pairs =
+              data::BuildTestPairs(dataset, split.train_sources);
+          if (test_pairs.empty()) {
+            return Status::FailedPrecondition("no test pairs in split");
+          }
+
+          std::unique_ptr<baselines::PairMatcher> matcher =
+              factory(*eval_dataset.model);
+          if (matcher == nullptr) {
+            return Status::InvalidArgument("matcher factory returned null");
+          }
+          LEAPME_RETURN_IF_ERROR(matcher->Fit(dataset, training_pairs));
+
+          std::vector<data::PropertyPair> pairs;
+          std::vector<int32_t> labels;
+          pairs.reserve(test_pairs.size());
+          labels.reserve(test_pairs.size());
+          for (const data::LabeledPair& labeled : test_pairs) {
+            pairs.push_back(labeled.pair);
+            labels.push_back(labeled.label);
+          }
+          LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> predictions,
+                                  matcher->ClassifyPairs(pairs));
+          result.per_repetition[rep] = ml::ComputeQuality(predictions, labels);
+          train_counts[rep] = training_pairs.size();
+          test_counts[rep] = test_pairs.size();
+        }
+        return Status::OK();
+      },
+      options.threads));
+  result.mean = ml::MeanQuality(result.per_repetition);
   size_t total_train = 0;
   size_t total_test = 0;
-  for (size_t rep = 0; rep < options.repetitions; ++rep) {
-    Rng rng(options.seed + rep);
-    data::SourceSplit split =
-        data::SplitSources(dataset, options.train_fraction, rng);
-    LEAPME_ASSIGN_OR_RETURN(
-        std::vector<data::LabeledPair> training_pairs,
-        data::BuildTrainingPairs(dataset, split.train_sources,
-                                 options.negative_ratio, rng));
-    std::vector<data::LabeledPair> test_pairs =
-        data::BuildTestPairs(dataset, split.train_sources);
-    if (test_pairs.empty()) {
-      return Status::FailedPrecondition("no test pairs in split");
-    }
-
-    std::unique_ptr<baselines::PairMatcher> matcher =
-        factory(*eval_dataset.model);
-    if (matcher == nullptr) {
-      return Status::InvalidArgument("matcher factory returned null");
-    }
-    LEAPME_RETURN_IF_ERROR(matcher->Fit(dataset, training_pairs));
-
-    std::vector<data::PropertyPair> pairs;
-    std::vector<int32_t> labels;
-    pairs.reserve(test_pairs.size());
-    labels.reserve(test_pairs.size());
-    for (const data::LabeledPair& labeled : test_pairs) {
-      pairs.push_back(labeled.pair);
-      labels.push_back(labeled.label);
-    }
-    LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> predictions,
-                            matcher->ClassifyPairs(pairs));
-    result.per_repetition.push_back(ml::ComputeQuality(predictions, labels));
-    total_train += training_pairs.size();
-    total_test += test_pairs.size();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    total_train += train_counts[rep];
+    total_test += test_counts[rep];
   }
-  result.mean = ml::MeanQuality(result.per_repetition);
-  result.mean_training_pairs = total_train / options.repetitions;
-  result.mean_test_pairs = total_test / options.repetitions;
+  result.mean_training_pairs = total_train / reps;
+  result.mean_test_pairs = total_test / reps;
   return result;
+}
+
+StatusOr<std::vector<EvaluationOutcome>> RunEvaluations(
+    const std::vector<EvaluationTask>& tasks, size_t max_threads) {
+  std::vector<EvaluationOutcome> outcomes(tasks.size());
+  LEAPME_RETURN_IF_ERROR(ParallelForStatus(
+      0, tasks.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const EvaluationTask& task = tasks[i];
+          if (task.dataset == nullptr) {
+            return Status::InvalidArgument(
+                StrFormat("evaluation task %zu has no dataset", i));
+          }
+          outcomes[i].dataset_name = task.dataset_name;
+          outcomes[i].matcher_name = task.matcher_name;
+          LEAPME_ASSIGN_OR_RETURN(
+              outcomes[i].result,
+              EvaluateMatcher(task.factory, *task.dataset, task.options));
+        }
+        return Status::OK();
+      },
+      max_threads));
+  return outcomes;
 }
 
 int64_t EnvInt(const char* name, int64_t fallback) {

@@ -61,6 +61,10 @@ struct EvaluationOptions {
   size_t repetitions = 3;
   double negative_ratio = 2.0;  ///< negatives per positive (paper: 2)
   uint64_t seed = 2024;
+  /// Thread cap for the repetition fan-out (0 = global pool width). Each
+  /// repetition derives its RNG from `seed + rep` and writes its own result
+  /// slot, so metrics are identical at any thread count.
+  size_t threads = 0;
 };
 
 /// Result of one matcher evaluation, averaged over repetitions.
@@ -80,6 +84,30 @@ struct EvaluationResult {
 StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
                                            const EvalDataset& eval_dataset,
                                            const EvaluationOptions& options);
+
+/// One (dataset, matcher) cell of a batch evaluation run.
+struct EvaluationTask {
+  std::string dataset_name;
+  std::string matcher_name;
+  const EvalDataset* dataset = nullptr;  ///< must outlive RunEvaluations
+  MatcherFactory factory;
+  EvaluationOptions options;
+};
+
+/// Outcome of one EvaluationTask, carrying its labels for reporting.
+struct EvaluationOutcome {
+  std::string dataset_name;
+  std::string matcher_name;
+  EvaluationResult result;
+};
+
+/// Fans independent (dataset, matcher) evaluations out across the global
+/// thread pool. Outcomes are returned in task order regardless of
+/// scheduling, and each task is internally deterministic, so the results
+/// match a sequential run exactly. `max_threads` caps the fan-out for
+/// this call (0 = pool width).
+StatusOr<std::vector<EvaluationOutcome>> RunEvaluations(
+    const std::vector<EvaluationTask>& tasks, size_t max_threads = 0);
 
 /// Reads an integer / double configuration override from the environment
 /// (used by the benchmark binaries: LEAPME_TABLE2_REPS etc.).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "text/string_metrics.h"
 #include "text/tokenizer.h"
 
@@ -105,23 +106,29 @@ void FeaturePipeline::ComputePair(const PropertyFeatures& a,
 nn::Matrix FeaturePipeline::BuildDesignMatrix(
     const std::vector<const PropertyFeatures*>& lhs,
     const std::vector<const PropertyFeatures*>& rhs,
-    const std::vector<size_t>& columns) const {
+    const std::vector<size_t>& columns, size_t max_threads) const {
   LEAPME_CHECK_EQ(lhs.size(), rhs.size());
   const size_t full_dim = pair_dimension();
   const size_t out_dim = columns.empty() ? full_dim : columns.size();
   nn::Matrix design(lhs.size(), out_dim);
-  std::vector<float> full(full_dim, 0.0f);
-  for (size_t i = 0; i < lhs.size(); ++i) {
-    ComputePair(*lhs[i], *rhs[i], full);
-    auto row = design.row(i);
-    if (columns.empty()) {
-      std::copy(full.begin(), full.end(), row.begin());
-    } else {
-      for (size_t c = 0; c < columns.size(); ++c) {
-        row[c] = full[columns[c]];
-      }
-    }
-  }
+  // Each row is a pure function of its own pair; the chunks share nothing
+  // but the scratch buffer, which is per-chunk.
+  constexpr size_t kRowGrain = 32;
+  ParallelFor(0, lhs.size(), kRowGrain, max_threads,
+              [&](size_t row_begin, size_t row_end) {
+                std::vector<float> full(full_dim, 0.0f);
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  ComputePair(*lhs[i], *rhs[i], full);
+                  auto row = design.row(i);
+                  if (columns.empty()) {
+                    std::copy(full.begin(), full.end(), row.begin());
+                  } else {
+                    for (size_t c = 0; c < columns.size(); ++c) {
+                      row[c] = full[columns[c]];
+                    }
+                  }
+                }
+              });
   return design;
 }
 

@@ -64,11 +64,14 @@ class FeaturePipeline {
 
   /// Convenience: builds the design matrix for a list of pairs, gathering
   /// only `columns` (from FeatureSchema::SelectedColumns). Empty `columns`
-  /// keeps all features.
+  /// keeps all features. Rows are filled in parallel on the global thread
+  /// pool (each row depends only on its own pair, so results are
+  /// bit-identical at any thread count); `max_threads` caps the fan-out
+  /// for this call (0 = pool width).
   nn::Matrix BuildDesignMatrix(
       const std::vector<const PropertyFeatures*>& lhs,
       const std::vector<const PropertyFeatures*>& rhs,
-      const std::vector<size_t>& columns) const;
+      const std::vector<size_t>& columns, size_t max_threads = 0) const;
 
  private:
   const embedding::EmbeddingModel* model_;

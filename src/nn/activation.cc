@@ -19,6 +19,16 @@ void ReluLayer::Forward(const Matrix& input, Matrix* output) {
   }
 }
 
+void ReluLayer::ForwardInference(const Matrix& input, Matrix* output) const {
+  output->Resize(input.rows(), input.cols());
+  for (size_t i = 0; i < input.size(); ++i) {
+    float v = input.data()[i];
+    if (v > 0.0f) {
+      output->data()[i] = v;
+    }
+  }
+}
+
 void ReluLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {
   LEAPME_CHECK_EQ(grad_output.rows(), mask_.rows());
   LEAPME_CHECK_EQ(grad_output.cols(), mask_.cols());
@@ -50,6 +60,12 @@ void DropoutLayer::Forward(const Matrix& input, Matrix* output) {
   }
 }
 
+void DropoutLayer::ForwardInference(const Matrix& input,
+                                    Matrix* output) const {
+  output->Resize(input.rows(), input.cols());
+  std::copy(input.data(), input.data() + input.size(), output->data());
+}
+
 void DropoutLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {
   grad_input->Resize(grad_output.rows(), grad_output.cols());
   if (!training_ || rate_ == 0.0) {
@@ -69,6 +85,13 @@ void TanhLayer::Forward(const Matrix& input, Matrix* output) {
     output->data()[i] = std::tanh(input.data()[i]);
   }
   last_output_ = *output;
+}
+
+void TanhLayer::ForwardInference(const Matrix& input, Matrix* output) const {
+  output->Resize(input.rows(), input.cols());
+  for (size_t i = 0; i < input.size(); ++i) {
+    output->data()[i] = std::tanh(input.data()[i]);
+  }
 }
 
 void TanhLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {

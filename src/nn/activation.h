@@ -14,6 +14,7 @@ class ReluLayer final : public Layer {
  public:
   void Forward(const Matrix& input, Matrix* output) override;
   void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  void ForwardInference(const Matrix& input, Matrix* output) const override;
   std::string TypeName() const override { return "relu"; }
   size_t OutputDim(size_t input_dim) const override { return input_dim; }
 
@@ -32,6 +33,7 @@ class DropoutLayer final : public Layer {
 
   void Forward(const Matrix& input, Matrix* output) override;
   void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  void ForwardInference(const Matrix& input, Matrix* output) const override;
   std::string TypeName() const override { return "dropout"; }
   size_t OutputDim(size_t input_dim) const override { return input_dim; }
   void SetTraining(bool training) override { training_ = training; }
@@ -51,6 +53,7 @@ class TanhLayer final : public Layer {
  public:
   void Forward(const Matrix& input, Matrix* output) override;
   void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  void ForwardInference(const Matrix& input, Matrix* output) const override;
   std::string TypeName() const override { return "tanh"; }
   size_t OutputDim(size_t input_dim) const override { return input_dim; }
 

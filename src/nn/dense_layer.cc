@@ -35,6 +35,12 @@ void DenseLayer::Forward(const Matrix& input, Matrix* output) {
   AddRowVector(output, bias_.row(0));
 }
 
+void DenseLayer::ForwardInference(const Matrix& input, Matrix* output) const {
+  LEAPME_CHECK_EQ(input.cols(), weights_.rows());
+  Gemm(input, weights_, output);
+  AddRowVector(output, bias_.row(0));
+}
+
 void DenseLayer::Backward(const Matrix& grad_output, Matrix* grad_input) {
   LEAPME_CHECK_EQ(grad_output.cols(), weights_.cols());
   LEAPME_CHECK_EQ(grad_output.rows(), last_input_.rows());

@@ -23,6 +23,7 @@ class DenseLayer final : public Layer {
 
   void Forward(const Matrix& input, Matrix* output) override;
   void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  void ForwardInference(const Matrix& input, Matrix* output) const override;
   std::vector<Parameter> Parameters() override;
   std::string TypeName() const override { return "dense"; }
   size_t OutputDim(size_t input_dim) const override;

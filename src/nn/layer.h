@@ -32,6 +32,15 @@ class Layer {
   /// gradients (overwriting them; gradients are per-batch).
   virtual void Backward(const Matrix& grad_output, Matrix* grad_input) = 0;
 
+  /// Inference-mode forward pass that leaves the layer untouched: no
+  /// cached activations, no training-state dependence (dropout is the
+  /// identity). Because it is const and writes only `output`, concurrent
+  /// calls on one layer are safe — the parallel batched scorer shares one
+  /// trained network across pool threads through this path. Arithmetic is
+  /// identical to Forward in inference mode.
+  virtual void ForwardInference(const Matrix& input,
+                                Matrix* output) const = 0;
+
   /// Trainable parameters (empty for activations).
   virtual std::vector<Parameter> Parameters() { return {}; }
 

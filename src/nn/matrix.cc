@@ -3,9 +3,89 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace leapme::nn {
+
+namespace {
+
+// The GEMMs fan out over output rows once the multiply-accumulate count
+// amortizes a pool wakeup (a few microseconds). Both paths run the same
+// per-row kernel, so sequential and parallel results are bit-identical.
+constexpr size_t kGemmParallelMacs = size_t{1} << 21;  // ~2M mul-adds
+constexpr size_t kGemmChunkMacs = size_t{1} << 18;     // ~256k per chunk
+
+bool UseParallelGemm(size_t n, size_t k, size_t m) {
+  return n > 1 && k * m > 0 && n * k * m >= kGemmParallelMacs;
+}
+
+size_t GemmRowGrain(size_t k, size_t m) {
+  return std::max<size_t>(1, kGemmChunkMacs / std::max<size_t>(1, k * m));
+}
+
+// out rows [r0, r1) of a * b, i-k-j order: the inner loop is a contiguous
+// AXPY over B and OUT rows, which GCC auto-vectorizes.
+void GemmRows(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
+              size_t r1) {
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  for (size_t i = r0; i < r1; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out->data() + i * m;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = b.data() + kk * m;
+      for (size_t j = 0; j < m; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+// out rows [r0, r1) of a^T * b. Accumulation runs over kk ascending per
+// element, exactly like the k-outer sequential loop, so both orders
+// produce identical bits; this i-outer form gives each thread a disjoint
+// band of output rows.
+void GemmTransposeARows(const Matrix& a, const Matrix& b, Matrix* out,
+                        size_t r0, size_t r1) {
+  const size_t k = a.rows();
+  const size_t n = a.cols();
+  const size_t m = b.cols();
+  for (size_t i = r0; i < r1; ++i) {
+    float* out_row = out->data() + i * m;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float a_ki = a.data()[kk * n + i];
+      if (a_ki == 0.0f) continue;
+      const float* b_row = b.data() + kk * m;
+      for (size_t j = 0; j < m; ++j) {
+        out_row[j] += a_ki * b_row[j];
+      }
+    }
+  }
+}
+
+// out rows [r0, r1) of a * b^T (dot products of row pairs).
+void GemmTransposeBRows(const Matrix& a, const Matrix& b, Matrix* out,
+                        size_t r0, size_t r1) {
+  const size_t k = a.cols();
+  const size_t m = b.rows();
+  for (size_t i = r0; i < r1; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out->data() + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* b_row = b.data() + j * k;
+      float sum = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * b_row[kk];
+      }
+      out_row[j] = sum;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> values)
     : rows_(rows), cols_(cols), data_(std::move(values)) {
@@ -63,19 +143,11 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t k = a.cols();
   const size_t m = b.cols();
   out->Resize(n, m);
-  // i-k-j loop order: the inner loop is a contiguous AXPY over B and OUT
-  // rows, which GCC auto-vectorizes.
-  for (size_t i = 0; i < n; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* out_row = out->data() + i * m;
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float a_ik = a_row[kk];
-      if (a_ik == 0.0f) continue;
-      const float* b_row = b.data() + kk * m;
-      for (size_t j = 0; j < m; ++j) {
-        out_row[j] += a_ik * b_row[j];
-      }
-    }
+  if (UseParallelGemm(n, k, m)) {
+    ParallelFor(0, n, GemmRowGrain(k, m),
+                [&](size_t r0, size_t r1) { GemmRows(a, b, out, r0, r1); });
+  } else {
+    GemmRows(a, b, out, 0, n);
   }
 }
 
@@ -85,6 +157,15 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t n = a.cols();
   const size_t m = b.cols();
   out->Resize(n, m);
+  if (UseParallelGemm(n, k, m)) {
+    ParallelFor(0, n, GemmRowGrain(k, m), [&](size_t r0, size_t r1) {
+      GemmTransposeARows(a, b, out, r0, r1);
+    });
+    return;
+  }
+  // Sequential path keeps the cache-friendly k-outer order (contiguous
+  // reads of A and B rows); per-element accumulation order matches the
+  // row-banded parallel kernel, so results are bit-identical.
   for (size_t kk = 0; kk < k; ++kk) {
     const float* a_row = a.data() + kk * n;
     const float* b_row = b.data() + kk * m;
@@ -105,17 +186,12 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t k = a.cols();
   const size_t m = b.rows();
   out->Resize(n, m);
-  for (size_t i = 0; i < n; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* out_row = out->data() + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      const float* b_row = b.data() + j * k;
-      float sum = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) {
-        sum += a_row[kk] * b_row[kk];
-      }
-      out_row[j] = sum;
-    }
+  if (UseParallelGemm(n, k, m)) {
+    ParallelFor(0, n, GemmRowGrain(k, m), [&](size_t r0, size_t r1) {
+      GemmTransposeBRows(a, b, out, r0, r1);
+    });
+  } else {
+    GemmTransposeBRows(a, b, out, 0, n);
   }
 }
 

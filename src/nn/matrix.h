@@ -75,6 +75,10 @@ class Matrix {
 };
 
 /// out = a * b. Shapes: (n x k) * (k x m) -> (n x m). `out` is resized.
+/// Above ~2M multiply-accumulates the work is row-partitioned across the
+/// global thread pool (common/parallel.h); the parallel and sequential
+/// paths share one per-row kernel, so results are bit-identical at any
+/// thread count. The same applies to the transposed variants below.
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).

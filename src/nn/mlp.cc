@@ -43,6 +43,19 @@ void Mlp::Predict(const Matrix& input, Matrix* probabilities) {
   Softmax(logits, probabilities);
 }
 
+void Mlp::Infer(const Matrix& input, Matrix* probabilities) const {
+  LEAPME_CHECK(!layers_.empty());
+  // Ping-pong between two local buffers; no member state is written.
+  Matrix buffers[2];
+  const Matrix* current = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Matrix* next = &buffers[i % 2];
+    layers_[i]->ForwardInference(*current, next);
+    current = next;
+  }
+  Softmax(*current, probabilities);
+}
+
 double Mlp::EvaluateLoss(const Matrix& input,
                          const std::vector<int32_t>& labels) {
   for (auto& layer : layers_) {

@@ -52,6 +52,14 @@ class Mlp {
   /// Forward + softmax; returns class probabilities.
   void Predict(const Matrix& input, Matrix* probabilities);
 
+  /// Forward + softmax in inference mode through the layers' const
+  /// ForwardInference path. Unlike Predict it touches no layer or scratch
+  /// state, so concurrent Infer calls on one trained network are safe —
+  /// this is what the parallel batched scorer uses. Arithmetic (and hence
+  /// output bits) matches Predict for dropout-free networks; with dropout
+  /// layers both run the identity at inference.
+  void Infer(const Matrix& input, Matrix* probabilities) const;
+
   /// Mean loss on (inputs, labels) in inference mode, without updating
   /// any parameters (used for validation-based early stopping).
   double EvaluateLoss(const Matrix& input, const std::vector<int32_t>& labels);

@@ -1,0 +1,231 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace leapme {
+namespace {
+
+/// Runs every test against a 4-wide global pool (the pool still works on a
+/// single-core machine; workers just time-share) and restores the
+/// environment-driven default afterwards.
+class ParallelForTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetGlobalThreadCount(4); }
+  void TearDown() override { SetGlobalThreadCount(0); }
+};
+
+TEST_F(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 1013;  // prime: exercises a ragged tail chunk
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(0, kN, /*grain=*/7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelForTest, GrainLargerThanRangeRunsOneChunk) {
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ParallelFor(10, 20, /*grain=*/100, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 10u);
+  EXPECT_EQ(chunks[0].second, 20u);
+}
+
+TEST_F(ParallelForTest, GrainZeroIsTreatedAsOne) {
+  std::atomic<size_t> calls{0};
+  ParallelFor(0, 5, /*grain=*/0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 5u);
+}
+
+TEST_F(ParallelForTest, ChunkBoundariesDependOnlyOnGrain) {
+  // The determinism contract: the same (range, grain) yields the same
+  // chunk set at any thread count.
+  auto collect = [](size_t max_threads) {
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> chunks;
+    ParallelFor(3, 103, /*grain=*/9, max_threads,
+                [&](size_t begin, size_t end) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  chunks.emplace(begin, end);
+                });
+    return chunks;
+  };
+  const auto sequential = collect(1);
+  const auto parallel = collect(4);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_EQ(sequential.size(), 12u);  // ceil(100 / 9)
+}
+
+TEST_F(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(ParallelFor(0, 64, 1,
+                           [&](size_t begin, size_t) {
+                             if (begin == 17) {
+                               throw std::runtime_error("chunk 17 failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelForTest, InlinePathReportsFirstException) {
+  // max_threads == 1 claims chunks in ascending order, so the earliest
+  // failing chunk's exception is the one observed.
+  try {
+    ParallelFor(0, 100, 10, /*max_threads=*/1, [&](size_t begin, size_t) {
+      throw std::runtime_error("failed at " + std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "failed at 0");
+  }
+}
+
+TEST_F(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 32;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  ParallelFor(0, kOuter, 1, [&](size_t outer_begin, size_t outer_end) {
+    for (size_t outer = outer_begin; outer < outer_end; ++outer) {
+      ParallelFor(0, kInner, 4, [&](size_t begin, size_t end) {
+        for (size_t inner = begin; inner < end; ++inner) {
+          counts[outer * kInner + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST_F(ParallelForTest, MaxThreadsOneStaysOnCallingThread) {
+  const std::thread::id self = std::this_thread::get_id();
+  ParallelFor(0, 100, 3, /*max_threads=*/1, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+  });
+}
+
+TEST_F(ParallelForTest, StatusOkWhenAllChunksSucceed) {
+  std::atomic<size_t> sum{0};
+  Status status = ParallelForStatus(1, 101, 10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST_F(ParallelForTest, StatusReportsLowestFailingChunkSequentially) {
+  Status status = ParallelForStatus(
+      0, 100, 10,
+      [&](size_t begin, size_t) -> Status {
+        if (begin >= 30) {
+          return Status::Internal("chunk at " + std::to_string(begin));
+        }
+        return Status::OK();
+      },
+      /*max_threads=*/1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("chunk at 30"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ParallelForTest, StatusFailurePropagatesInParallel) {
+  Status status = ParallelForStatus(0, 256, 1, [&](size_t begin, size_t) {
+    return begin == 200 ? Status::Internal("boom") : Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ThreadPoolTest, DirectPoolComputesCorrectSum) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1, 100001, 64, /*max_threads=*/0,
+                   [&](size_t begin, size_t end) {
+                     uint64_t local = 0;
+                     for (size_t i = begin; i < end; ++i) local += i;
+                     sum.fetch_add(local, std::memory_order_relaxed);
+                   });
+  EXPECT_EQ(sum.load(), 5000050000ull);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerializeSafely) {
+  ThreadPool pool(3);
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kN = 512;
+  std::vector<std::vector<int>> hits(kSubmitters, std::vector<int>(kN, 0));
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      pool.ParallelFor(0, kN, 16, /*max_threads=*/0,
+                       [&, s](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) ++hits[s][i];
+                       });
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[s][i], 1) << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelEnvTest, DefaultThreadCountParsesEnvironment) {
+  const char* saved = std::getenv("LEAPME_THREADS");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  ::setenv("LEAPME_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3u);
+  ::setenv("LEAPME_THREADS", "not-a-number", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);  // falls back to hardware
+  ::setenv("LEAPME_THREADS", "-2", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+
+  if (saved != nullptr) {
+    ::setenv("LEAPME_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("LEAPME_THREADS");
+  }
+}
+
+TEST(ParallelEnvTest, SetGlobalThreadCountOverridesAndRestores) {
+  SetGlobalThreadCount(2);
+  EXPECT_EQ(GlobalThreadCount(), 2u);
+  auto pool = GlobalThreadPool();
+  EXPECT_EQ(pool->thread_count(), 2u);
+  SetGlobalThreadCount(0);
+  EXPECT_EQ(GlobalThreadCount(), DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace leapme
