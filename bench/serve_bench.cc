@@ -1,0 +1,318 @@
+// Serving benchmark: throughput and latency of the online scoring path,
+// both in-process (MatcherService::Score, isolating the micro-batcher)
+// and over a loopback TCP connection (the full wire path). Prints one
+// JSON object so runs are easy to diff and plot.
+//
+// Environment knobs: LEAPME_SCALE (test | bench | paper).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "embedding/caching_model.h"
+#include "embedding/synthetic_model.h"
+#include "serve/json.h"
+#include "serve/tcp_server.h"
+
+namespace {
+
+using namespace leapme;
+
+struct LoadShape {
+  size_t sources;
+  size_t entities;
+  size_t clients;
+  size_t requests_per_client;
+  size_t pairs_per_request;
+};
+
+LoadShape ShapeFor(eval::EvalScale scale) {
+  switch (scale) {
+    case eval::EvalScale::kTest:
+      return {3, 6, 2, 5, 4};
+    case eval::EvalScale::kPaper:
+      return {6, 12, 8, 200, 32};
+    default:
+      return {4, 10, 8, 40, 16};
+  }
+}
+
+struct LoadResult {
+  double elapsed_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t requests = 0;
+  uint64_t pairs = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double quantile) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank =
+      static_cast<size_t>(quantile * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Runs `clients` threads of `body(client_index)` (which returns that
+/// client's per-request latencies in microseconds) and aggregates.
+template <typename Body>
+LoadResult RunLoad(const LoadShape& shape, const Body& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(shape.clients);
+  const auto begin = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < shape.clients; ++c) {
+    threads.emplace_back([&, c] { latencies[c] = body(c); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  LoadResult result;
+  result.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  std::vector<double> all;
+  for (const auto& slice : latencies) {
+    all.insert(all.end(), slice.begin(), slice.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.requests = all.size();
+  result.pairs = all.size() * shape.pairs_per_request;
+  result.p50_us = Percentile(all, 0.50);
+  result.p95_us = Percentile(all, 0.95);
+  result.p99_us = Percentile(all, 0.99);
+  return result;
+}
+
+void AppendLoadResult(std::string* out, const char* key,
+                      const LoadResult& result) {
+  *out += std::string("\"") + key + "\":{\"requests\":" +
+          std::to_string(result.requests) +
+          ",\"pairs\":" + std::to_string(result.pairs) + ",\"elapsed_s\":" +
+          serve::FormatJsonDouble(result.elapsed_s) + ",\"pairs_per_sec\":" +
+          serve::FormatJsonDouble(
+              result.elapsed_s > 0.0
+                  ? static_cast<double>(result.pairs) / result.elapsed_s
+                  : 0.0) +
+          ",\"latency_p50_us\":" + serve::FormatJsonDouble(result.p50_us) +
+          ",\"latency_p95_us\":" + serve::FormatJsonDouble(result.p95_us) +
+          ",\"latency_p99_us\":" + serve::FormatJsonDouble(result.p99_us) +
+          "}";
+}
+
+/// Minimal blocking line client for the TCP phase.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool RoundTrip(const std::string& line, std::string* response) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+serve::PropertySpec SpecOf(const data::Dataset& dataset,
+                           data::PropertyId id) {
+  serve::PropertySpec spec;
+  spec.name = dataset.property(id).name;
+  for (const auto& instance : dataset.instances(id)) {
+    spec.values.push_back(instance.value);
+  }
+  return spec;
+}
+
+std::string SpecJson(const serve::PropertySpec& spec) {
+  std::string out = "{\"name\":";
+  serve::AppendJsonString(&out, spec.name);
+  out += ",\"values\":[";
+  for (size_t i = 0; i < spec.values.size(); ++i) {
+    if (i > 0) out += ',';
+    serve::AppendJsonString(&out, spec.values[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const LoadShape shape = ShapeFor(bench::ScaleFromEnv());
+
+  data::GeneratorOptions generator;
+  generator.num_sources = shape.sources;
+  generator.min_entities_per_source = shape.entities;
+  generator.max_entities_per_source = shape.entities;
+  generator.seed = 91;
+  auto dataset = data::GenerateCatalog(data::TvDomain(), generator);
+  bench::CheckOk(dataset.status(), "GenerateCatalog");
+
+  auto base_model = embedding::SyntheticEmbeddingModel::Build(
+      data::DomainClusters(data::TvDomain()),
+      {.dimension = 32,
+       .seed = 92,
+       .oov_policy = embedding::OovPolicy::kHashedVector});
+  bench::CheckOk(base_model.status(), "SyntheticEmbeddingModel::Build");
+  embedding::CachingEmbeddingModel cached(&base_model.value(), 1 << 16);
+
+  Rng rng(93);
+  data::SourceSplit split = data::SplitSources(*dataset, 0.8, rng);
+  auto training =
+      data::BuildTrainingPairs(*dataset, split.train_sources, 2.0, rng);
+  bench::CheckOk(training.status(), "BuildTrainingPairs");
+  core::LeapmeMatcher matcher(&cached);
+  bench::CheckOk(matcher.Fit(*dataset, *training), "Fit");
+
+  serve::MatcherService service(&matcher, &cached);
+
+  // Request corpus: windows over all cross-source pairs, as specs (for
+  // the in-process phase) and as pre-rendered JSON lines (for TCP).
+  const std::vector<data::PropertyPair> pairs =
+      dataset->AllCrossSourcePairs();
+  std::vector<serve::PropertySpec> specs;
+  specs.reserve(dataset->property_count());
+  for (data::PropertyId id = 0; id < dataset->property_count(); ++id) {
+    specs.push_back(SpecOf(*dataset, id));
+  }
+  auto request_pairs = [&](size_t client, size_t request) {
+    std::vector<serve::PropertyPairSpec> window(shape.pairs_per_request);
+    const size_t start =
+        (client * 131 + request * shape.pairs_per_request) % pairs.size();
+    for (size_t i = 0; i < window.size(); ++i) {
+      const auto& pair = pairs[(start + i) % pairs.size()];
+      window[i] = {specs[pair.a], specs[pair.b]};
+    }
+    return window;
+  };
+
+  // Phase 1: straight into the micro-batcher, no sockets.
+  LoadResult in_process = RunLoad(shape, [&](size_t client) {
+    std::vector<double> latencies;
+    for (size_t request = 0; request < shape.requests_per_client;
+         ++request) {
+      const auto window = request_pairs(client, request);
+      const auto begin = std::chrono::steady_clock::now();
+      auto scores = service.Score(window);
+      bench::CheckOk(scores.status(), "MatcherService::Score");
+      latencies.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count());
+    }
+    return latencies;
+  });
+
+  // Phase 2: the same load through the TCP front end on loopback.
+  serve::TcpServer server(&service, {.port = 0});
+  bench::CheckOk(server.Start(), "TcpServer::Start");
+  LoadResult tcp = RunLoad(shape, [&](size_t client) {
+    std::vector<double> latencies;
+    LineClient connection(server.port());
+    if (!connection.connected()) {
+      std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n",
+                   server.port());
+      std::exit(1);
+    }
+    for (size_t request = 0; request < shape.requests_per_client;
+         ++request) {
+      const auto window = request_pairs(client, request);
+      std::string line = "{\"op\":\"score\",\"pairs\":[";
+      for (size_t i = 0; i < window.size(); ++i) {
+        if (i > 0) line += ',';
+        line += "{\"a\":" + SpecJson(window[i].a) +
+                ",\"b\":" + SpecJson(window[i].b) + "}";
+      }
+      line += "]}";
+      std::string response;
+      const auto begin = std::chrono::steady_clock::now();
+      if (!connection.RoundTrip(line, &response)) {
+        std::fprintf(stderr, "connection lost mid-benchmark\n");
+        std::exit(1);
+      }
+      latencies.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count());
+    }
+    return latencies;
+  });
+  const serve::ServiceStats stats = service.Snapshot();
+  server.Stop();
+
+  std::string out = "{\"config\":{\"threads\":" +
+                    std::to_string(bench::BenchThreads()) +
+                    ",\"clients\":" + std::to_string(shape.clients) +
+                    ",\"requests_per_client\":" +
+                    std::to_string(shape.requests_per_client) +
+                    ",\"pairs_per_request\":" +
+                    std::to_string(shape.pairs_per_request) +
+                    ",\"properties\":" +
+                    std::to_string(dataset->property_count()) + "},";
+  AppendLoadResult(&out, "in_process", in_process);
+  out += ',';
+  AppendLoadResult(&out, "tcp", tcp);
+  out += ",\"service\":{\"pairs_scored\":" +
+         std::to_string(stats.pairs_scored) +
+         ",\"batches\":" + std::to_string(stats.batches) +
+         ",\"mean_batch_size\":" +
+         serve::FormatJsonDouble(
+             stats.batches > 0
+                 ? static_cast<double>(stats.pairs_scored) /
+                       static_cast<double>(stats.batches)
+                 : 0.0) +
+         ",\"property_cache_hits\":" +
+         std::to_string(stats.property_cache_hits) +
+         ",\"property_cache_misses\":" +
+         std::to_string(stats.property_cache_misses) +
+         ",\"embedding_cache_hits\":" +
+         std::to_string(stats.embedding_cache_hits) +
+         ",\"embedding_cache_misses\":" +
+         std::to_string(stats.embedding_cache_misses) + "}}";
+  std::printf("%s\n", out.c_str());
+  return 0;
+}

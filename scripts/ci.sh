@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus a ThreadSanitizer pass over
+# the concurrency surface (the shared execution engine and the online
+# scoring service).
+#
+#   scripts/ci.sh            # full run
+#   SKIP_TSAN=1 scripts/ci.sh  # tier-1 only
+#
+# Both build trees are kept (build/, build-tsan/) so incremental reruns
+# are cheap.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tier 2: ThreadSanitizer on the parallel + serve labels =="
+  cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -L 'parallel|serve'
+fi
+
+echo "ci.sh: all checks passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 
 #include "common/parallel.h"
@@ -12,10 +13,13 @@
 #include "data/splitting.h"
 #include "data/statistics.h"
 #include "data/tsv_io.h"
+#include "embedding/caching_model.h"
 #include "embedding/synthetic_model.h"
 #include "embedding/text_embedding_file.h"
 #include "graph/similarity_graph.h"
 #include "ml/metrics.h"
+#include "serve/matcher_service.h"
+#include "serve/tcp_server.h"
 
 namespace leapme::cli {
 
@@ -33,12 +37,20 @@ constexpr const char* kUsage =
     "             --data FILE [--train-fraction 0.8] [--seed 7]\n"
     "             [--embeddings GLOVE_FILE | --domain NAME] [--emb-dim 64]\n"
     "             [--features origin/kinds] [--model-out FILE]\n"
-    "             [--threads N] (0 = LEAPME_THREADS env or all cores;\n"
-    "             results are identical at any thread count)\n"
+    "             [--threads N] (defaults to LEAPME_THREADS env or all\n"
+    "             cores; results are identical at any thread count)\n"
     "  match      print discovered matches among the held-out sources\n"
-    "             (evaluate flags plus [--threshold 0.5] [--limit 25])\n"
-    "  cluster    train, build the similarity graph over all pairs and\n"
-    "             print star clusters (evaluate flags plus [--threshold])\n";
+    "             (evaluate flags plus [--threshold 0.5] [--limit 25]);\n"
+    "             with --model-in FILE scores all cross-source pairs\n"
+    "             using a saved model instead of retraining\n"
+    "  cluster    train (or load --model-in FILE), build the similarity\n"
+    "             graph over all pairs and print star clusters\n"
+    "             (evaluate flags plus [--threshold])\n"
+    "  serve      serve a saved model over TCP (line-delimited JSON)\n"
+    "             --model FILE --port N [--host 127.0.0.1]\n"
+    "             [--max-batch 256] [--batch-window-us 200]\n"
+    "             [--emb-cache 65536] [--prop-cache 4096] [--threads N]\n"
+    "             plus the evaluate embedding flags\n";
 
 StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
   for (const data::DomainSpec* domain : data::AllDomains()) {
@@ -52,8 +64,9 @@ StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
 /// domain-specific synthetic space, or a hashed-vector-only fallback.
 StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
     const Flags& flags) {
-  const auto dimension =
-      static_cast<size_t>(flags.GetInt("emb-dim", 64));
+  LEAPME_ASSIGN_OR_RETURN(const int64_t emb_dim,
+                          flags.GetIntInRange("emb-dim", 64, 1, 65536));
+  const auto dimension = static_cast<size_t>(emb_dim);
   if (flags.Has("embeddings")) {
     LEAPME_ASSIGN_OR_RETURN(
         auto model, embedding::TextEmbeddingFile::Load(
@@ -77,7 +90,11 @@ StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
   }
   embedding::SyntheticModelOptions options;
   options.dimension = dimension;
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      flags.GetIntInRange("seed", 7, 0,
+                          std::numeric_limits<int64_t>::max()));
+  options.seed = static_cast<uint64_t>(seed);
   options.oov_policy = embedding::OovPolicy::kHashedVector;
   LEAPME_ASSIGN_OR_RETURN(
       auto model, embedding::SyntheticEmbeddingModel::Build(clusters,
@@ -98,42 +115,90 @@ StatusOr<features::FeatureConfig> ParseFeatureConfig(const Flags& flags) {
       "instances/non-embeddings)");
 }
 
+/// Applies --threads to the global pool. The flag must be a positive
+/// integer; when absent the LEAPME_THREADS environment variable or
+/// hardware concurrency decides (see DefaultThreadCount).
+StatusOr<size_t> ApplyThreadsFlag(const Flags& flags) {
+  LEAPME_ASSIGN_OR_RETURN(const int64_t threads,
+                          flags.GetIntInRange("threads", 0, 1, 65536));
+  if (threads > 0) {
+    SetGlobalThreadCount(static_cast<size_t>(threads));
+  }
+  return static_cast<size_t>(threads);
+}
+
 /// Shared setup of evaluate/match/cluster: load data, build embeddings,
-/// split sources, train LEAPME.
+/// then either train LEAPME on a source split or — with --model-in —
+/// restore a matcher saved by `evaluate --model-out`.
 struct TrainedSession {
   data::Dataset dataset{""};
   std::unique_ptr<embedding::EmbeddingModel> model;
   std::unique_ptr<core::LeapmeMatcher> matcher;
   data::SourceSplit split;
+  /// True when the matcher came from --model-in: it has no cached
+  /// property features or source split, so callers score all
+  /// cross-source pairs via ScorePairsOn.
+  bool from_saved_model = false;
 };
+
+StatusOr<TrainedSession> LoadSessionFromModel(const Flags& flags) {
+  TrainedSession session;
+  session.from_saved_model = true;
+  LEAPME_ASSIGN_OR_RETURN(session.dataset,
+                          data::ReadDatasetTsv(flags.GetString("data", "")));
+  LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
+  LEAPME_ASSIGN_OR_RETURN(
+      core::LeapmeMatcher loaded,
+      core::LeapmeMatcher::LoadModel(session.model.get(),
+                                     flags.GetString("model-in", "")));
+  session.matcher =
+      std::make_unique<core::LeapmeMatcher>(std::move(loaded));
+  std::fprintf(stderr, "loaded model %s (input dimension %zu)\n",
+               flags.GetString("model-in", "").c_str(),
+               session.matcher->input_dimension());
+  return session;
+}
 
 StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
   if (!flags.Has("data")) {
     return Status::InvalidArgument("--data FILE is required");
   }
-  TrainedSession session;
   // --threads beats the LEAPME_THREADS environment variable, which beats
-  // hardware concurrency (0 keeps whatever the environment decided).
-  const auto threads = static_cast<size_t>(
-      std::max<int64_t>(0, flags.GetInt("threads", 0)));
-  if (threads > 0) {
-    SetGlobalThreadCount(threads);
+  // hardware concurrency.
+  LEAPME_ASSIGN_OR_RETURN(const size_t threads, ApplyThreadsFlag(flags));
+  if (flags.Has("model-in")) {
+    if (flags.Has("model-out")) {
+      return Status::InvalidArgument(
+          "--model-in and --model-out are mutually exclusive");
+    }
+    return LoadSessionFromModel(flags);
   }
+  TrainedSession session;
   LEAPME_ASSIGN_OR_RETURN(session.dataset,
                           data::ReadDatasetTsv(flags.GetString("data", "")));
   LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
 
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
-  session.split = data::SplitSources(
-      session.dataset, flags.GetDouble("train-fraction", 0.8), rng);
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      flags.GetIntInRange("seed", 7, 0,
+                          std::numeric_limits<int64_t>::max()));
+  LEAPME_ASSIGN_OR_RETURN(
+      const double train_fraction,
+      flags.GetDoubleInRange("train-fraction", 0.8, 0.0, 1.0));
+  LEAPME_ASSIGN_OR_RETURN(
+      const double negative_ratio,
+      flags.GetDoubleInRange("negative-ratio", 2.0, 0.0, 1e6));
+  Rng rng(static_cast<uint64_t>(seed));
+  session.split = data::SplitSources(session.dataset, train_fraction, rng);
   LEAPME_ASSIGN_OR_RETURN(
       std::vector<data::LabeledPair> training,
       data::BuildTrainingPairs(session.dataset, session.split.train_sources,
-                               flags.GetDouble("negative-ratio", 2.0), rng));
+                               negative_ratio, rng));
 
   core::LeapmeOptions options;
   LEAPME_ASSIGN_OR_RETURN(options.feature_config, ParseFeatureConfig(flags));
-  options.decision_threshold = flags.GetDouble("threshold", 0.5);
+  LEAPME_ASSIGN_OR_RETURN(options.decision_threshold,
+                          flags.GetDoubleInRange("threshold", 0.5, 0.0, 1.0));
   options.threads = threads;
   session.matcher = std::make_unique<core::LeapmeMatcher>(
       session.model.get(), options);
@@ -152,11 +217,33 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
   return session;
 }
 
+/// The decision threshold of a session: --threshold when given, else the
+/// matcher's (possibly calibrated or restored) threshold.
+StatusOr<double> SessionThreshold(const Flags& flags,
+                                  const TrainedSession& session) {
+  return flags.GetDoubleInRange("threshold", session.matcher->decision_threshold(),
+                                0.0, 1.0);
+}
+
+/// Scores the session's pairs: the trained path uses the cached property
+/// features (ScorePairs); the --model-in path recomputes them for the
+/// dataset at hand (ScorePairsOn). Both produce bit-identical scores for
+/// the same model and properties.
+StatusOr<std::vector<double>> ScoreSessionPairs(
+    const TrainedSession& session,
+    const std::vector<data::PropertyPair>& pairs) {
+  if (session.from_saved_model) {
+    return session.matcher->ScorePairsOn(session.dataset, pairs);
+  }
+  return session.matcher->ScorePairs(pairs);
+}
+
 const std::vector<std::string>& EvaluateFlags() {
   static const auto* kFlags = new std::vector<std::string>{
       "data",        "train-fraction", "seed",      "embeddings",
       "domain",      "emb-dim",        "features",  "model-out",
-      "threshold",   "negative-ratio", "limit",     "threads"};
+      "model-in",    "threshold",      "negative-ratio",
+      "limit",       "threads"};
   return *kFlags;
 }
 
@@ -169,11 +256,18 @@ Status RunGenerate(const Flags& flags) {
       const data::DomainSpec* domain,
       DomainByName(flags.GetString("domain", "cameras")));
   data::GeneratorOptions options;
-  options.num_sources = static_cast<size_t>(flags.GetInt("sources", 8));
-  auto entities = static_cast<size_t>(flags.GetInt("entities", 50));
-  options.min_entities_per_source = entities;
-  options.max_entities_per_source = entities;
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  LEAPME_ASSIGN_OR_RETURN(const int64_t sources,
+                          flags.GetIntInRange("sources", 8, 1, 1 << 20));
+  options.num_sources = static_cast<size_t>(sources);
+  LEAPME_ASSIGN_OR_RETURN(const int64_t entities,
+                          flags.GetIntInRange("entities", 50, 1, 1 << 24));
+  options.min_entities_per_source = static_cast<size_t>(entities);
+  options.max_entities_per_source = static_cast<size_t>(entities);
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      flags.GetIntInRange("seed", 42, 0,
+                          std::numeric_limits<int64_t>::max()));
+  options.seed = static_cast<uint64_t>(seed);
   LEAPME_ASSIGN_OR_RETURN(data::Dataset dataset,
                           data::GenerateCatalog(*domain, options));
   std::string out = flags.GetString("out", domain->name + ".tsv");
@@ -198,6 +292,13 @@ Status RunStats(const Flags& flags) {
 
 Status RunEvaluate(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
+  if (flags.Has("model-in")) {
+    // Evaluation needs held-out sources from a train/test split, which a
+    // saved model does not carry.
+    return Status::InvalidArgument(
+        "evaluate retrains from --data; --model-in is for match/cluster/"
+        "serve");
+  }
   LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
 
   std::vector<data::LabeledPair> test_pairs =
@@ -211,7 +312,7 @@ Status RunEvaluate(const Flags& flags) {
   LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
                           session.matcher->ScorePairs(pairs));
   std::vector<int32_t> predictions(scores.size());
-  const double threshold = session.matcher->options().decision_threshold;
+  const double threshold = session.matcher->decision_threshold();
   for (size_t i = 0; i < scores.size(); ++i) {
     predictions[i] = scores[i] >= threshold ? 1 : 0;
   }
@@ -233,24 +334,34 @@ Status RunMatch(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
   LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
 
-  std::vector<data::LabeledPair> test_pairs =
-      data::BuildTestPairs(session.dataset, session.split.train_sources);
+  // The trained path scores the held-out sources; a saved model has no
+  // split, so it scores every cross-source pair of --data.
   std::vector<data::PropertyPair> pairs;
-  for (const auto& labeled : test_pairs) {
-    pairs.push_back(labeled.pair);
+  if (session.from_saved_model) {
+    pairs = session.dataset.AllCrossSourcePairs();
+  } else {
+    for (const auto& labeled : data::BuildTestPairs(
+             session.dataset, session.split.train_sources)) {
+      pairs.push_back(labeled.pair);
+    }
   }
   LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
-                          session.matcher->ScorePairs(pairs));
+                          ScoreSessionPairs(session, pairs));
 
   // Sort matches by score, print the strongest.
   std::vector<size_t> order;
-  const double threshold = session.matcher->options().decision_threshold;
+  LEAPME_ASSIGN_OR_RETURN(const double threshold,
+                          SessionThreshold(flags, session));
   for (size_t i = 0; i < scores.size(); ++i) {
     if (scores[i] >= threshold) order.push_back(i);
   }
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return scores[a] > scores[b]; });
-  auto limit = static_cast<size_t>(flags.GetInt("limit", 25));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t limit_flag,
+      flags.GetIntInRange("limit", 25, 0,
+                          std::numeric_limits<int64_t>::max()));
+  auto limit = static_cast<size_t>(limit_flag);
   std::printf("%zu matches at threshold %.2f; strongest %zu:\n",
               order.size(), threshold, std::min(limit, order.size()));
   for (size_t rank = 0; rank < order.size() && rank < limit; ++rank) {
@@ -270,11 +381,21 @@ Status RunCluster(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
   LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
 
-  LEAPME_ASSIGN_OR_RETURN(
-      graph::SimilarityGraph similarity,
-      session.matcher->BuildSimilarityGraph(
-          session.dataset.AllCrossSourcePairs()));
-  const double threshold = session.matcher->options().decision_threshold;
+  LEAPME_ASSIGN_OR_RETURN(const double threshold,
+                          SessionThreshold(flags, session));
+  // Score all cross-source pairs (ScorePairs for the trained path,
+  // ScorePairsOn for --model-in) and keep the edges above threshold —
+  // the same Sim graph BuildSimilarityGraph produces.
+  const std::vector<data::PropertyPair> pairs =
+      session.dataset.AllCrossSourcePairs();
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          ScoreSessionPairs(session, pairs));
+  graph::SimilarityGraph similarity(session.dataset.property_count());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (scores[i] >= threshold) {
+      similarity.AddEdge(pairs[i].a, pairs[i].b, scores[i]);
+    }
+  }
   graph::Clusters clusters = graph::StarClusters(similarity, threshold);
   graph::ClusterQuality quality =
       graph::EvaluateClusters(clusters, session.dataset);
@@ -292,6 +413,57 @@ Status RunCluster(const Flags& flags) {
     std::printf("]\n");
   }
   return Status::OK();
+}
+
+Status RunServe(const Flags& flags) {
+  LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(
+      {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
+       "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed"}));
+  if (!flags.Has("model")) {
+    return Status::InvalidArgument("--model FILE is required");
+  }
+  LEAPME_RETURN_IF_ERROR(ApplyThreadsFlag(flags).status());
+  LEAPME_ASSIGN_OR_RETURN(const int64_t port,
+                          flags.GetIntInRange("port", 7207, 1, 65535));
+  LEAPME_ASSIGN_OR_RETURN(const int64_t max_batch,
+                          flags.GetIntInRange("max-batch", 256, 1, 65536));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t batch_window_us,
+      flags.GetIntInRange("batch-window-us", 200, 0, 1000000));
+  LEAPME_ASSIGN_OR_RETURN(const int64_t emb_cache,
+                          flags.GetIntInRange("emb-cache", 65536, 1, 1 << 28));
+  LEAPME_ASSIGN_OR_RETURN(const int64_t prop_cache,
+                          flags.GetIntInRange("prop-cache", 4096, 1, 1 << 28));
+
+  LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<embedding::EmbeddingModel> base,
+                          BuildEmbeddings(flags));
+  embedding::CachingEmbeddingModel cached(base.get(),
+                                          static_cast<size_t>(emb_cache));
+  LEAPME_ASSIGN_OR_RETURN(
+      core::LeapmeMatcher matcher,
+      core::LeapmeMatcher::LoadModel(&cached, flags.GetString("model", "")));
+  std::fprintf(stderr, "loaded model %s (input dimension %zu)\n",
+               flags.GetString("model", "").c_str(),
+               matcher.input_dimension());
+
+  serve::ServiceOptions service_options;
+  service_options.max_batch = static_cast<size_t>(max_batch);
+  service_options.batch_window_us = static_cast<size_t>(batch_window_us);
+  service_options.property_cache_capacity = static_cast<size_t>(prop_cache);
+  serve::MatcherService service(&matcher, &cached, service_options);
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<int>(port);
+  serve::TcpServer server(&service, server_options);
+  LEAPME_RETURN_IF_ERROR(server.Start());
+  std::fprintf(stderr,
+               "leapme serve listening on %s:%d (max-batch %lld, window "
+               "%lld us); Ctrl-C to stop\n",
+               server_options.host.c_str(), server.port(),
+               static_cast<long long>(max_batch),
+               static_cast<long long>(batch_window_us));
+  return server.ServeUntilShutdown();
 }
 
 int RunCli(int argc, const char* const* argv) {
@@ -312,6 +484,8 @@ int RunCli(int argc, const char* const* argv) {
     status = RunMatch(*flags);
   } else if (flags->command() == "cluster") {
     status = RunCluster(*flags);
+  } else if (flags->command() == "serve") {
+    status = RunServe(*flags);
   } else {
     std::fprintf(stderr, "%s", kUsage);
     return flags->command().empty() ? 0 : 2;

@@ -18,15 +18,28 @@ Status RunGenerate(const Flags& flags);
 /// --emb-dim N, --reps N, --features origin/kinds, --model-out FILE.
 Status RunEvaluate(const Flags& flags);
 
-/// `leapme match`: trains on a fraction of sources and prints the
-/// discovered matches (similarity edges) for the remaining pairs.
-/// Flags as for evaluate, plus --threshold T and --limit N.
+/// `leapme match`: prints the discovered matches (similarity edges).
+/// Trains on a fraction of sources and scores the remaining pairs, or —
+/// with --model-in FILE — loads a matcher saved by `evaluate
+/// --model-out` and scores every cross-source pair without retraining.
+/// Flags as for evaluate, plus --model-in FILE, --threshold T, --limit N.
 Status RunMatch(const Flags& flags);
 
-/// `leapme cluster`: full pipeline — train, build the similarity graph
-/// over all cross-source pairs, star-cluster it and print the clusters.
-/// Flags as for evaluate, plus --threshold T.
+/// `leapme cluster`: full pipeline — train (or load via --model-in),
+/// build the similarity graph over all cross-source pairs, star-cluster
+/// it and print the clusters. Flags as for evaluate, plus --model-in
+/// FILE and --threshold T.
 Status RunCluster(const Flags& flags);
+
+/// `leapme serve`: long-lived TCP scoring server over a saved model.
+/// Loads the matcher from --model FILE, wraps the embedding model in a
+/// bounded LRU cache, and answers line-delimited JSON score / topk /
+/// stats requests on --port N, micro-batching concurrent requests into
+/// single inference calls (see src/serve/). Flags: --model FILE --port N
+/// [--host A] [--max-batch N] [--batch-window-us N] [--emb-cache N]
+/// [--prop-cache N] [--threads N] plus the evaluate embedding flags
+/// (--embeddings | --domain, --emb-dim, --seed).
+Status RunServe(const Flags& flags);
 
 /// `leapme stats`: prints dataset statistics (sources, properties,
 /// alignment coverage, balance). Flags: --data FILE.

@@ -1,5 +1,7 @@
 #include "cli/flags.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace leapme::cli {
@@ -53,6 +55,44 @@ double Flags::GetDouble(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return ParseDouble(it->second).value_or(fallback);
+}
+
+StatusOr<int64_t> Flags::GetIntInRange(const std::string& key,
+                                       int64_t fallback, int64_t min,
+                                       int64_t max) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::optional<double> parsed = ParseDouble(it->second);
+  if (!parsed || *parsed != std::floor(*parsed)) {
+    return Status::InvalidArgument("--" + key + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  if (*parsed < static_cast<double>(min) ||
+      *parsed > static_cast<double>(max)) {
+    return Status::InvalidArgument(
+        StrFormat("--%s must be in [%lld, %lld], got '%s'", key.c_str(),
+                  static_cast<long long>(min), static_cast<long long>(max),
+                  it->second.c_str()));
+  }
+  return static_cast<int64_t>(*parsed);
+}
+
+StatusOr<double> Flags::GetDoubleInRange(const std::string& key,
+                                         double fallback, double min,
+                                         double max) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::optional<double> parsed = ParseDouble(it->second);
+  if (!parsed) {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  if (*parsed < min || *parsed > max) {
+    return Status::InvalidArgument(
+        StrFormat("--%s must be in [%g, %g], got '%s'", key.c_str(), min,
+                  max, it->second.c_str()));
+  }
+  return *parsed;
 }
 
 Status Flags::CheckAllowed(const std::vector<std::string>& allowed) const {

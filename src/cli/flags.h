@@ -29,6 +29,16 @@ class Flags {
   int64_t GetInt(const std::string& key, int64_t fallback) const;
   double GetDouble(const std::string& key, double fallback) const;
 
+  /// Strict variants: an absent flag yields `fallback`, but a present
+  /// flag that is non-numeric, fractional (for the integer variant), or
+  /// outside [min, max] is an InvalidArgument naming the flag — never a
+  /// silent fallback. Commands use these for every numeric flag so typos
+  /// like `--threads x` or `--port 0` fail loudly.
+  StatusOr<int64_t> GetIntInRange(const std::string& key, int64_t fallback,
+                                  int64_t min, int64_t max) const;
+  StatusOr<double> GetDoubleInRange(const std::string& key, double fallback,
+                                    double min, double max) const;
+
   /// Fails when any present flag is not in `allowed` (catches typos).
   Status CheckAllowed(const std::vector<std::string>& allowed) const;
 

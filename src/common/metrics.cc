@@ -1,0 +1,85 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace leapme {
+
+BucketHistogram::BucketHistogram(size_t buckets)
+    : counts_(std::max<size_t>(1, buckets)) {}
+
+void BucketHistogram::Record(uint64_t value) {
+  if (value < 1) value = 1;
+  size_t bucket = 0;
+  while (bucket + 1 < counts_.size() && (value >> (bucket + 1)) != 0) {
+    ++bucket;
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> BucketHistogram::Snapshot() const {
+  std::vector<uint64_t> snapshot(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    snapshot[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+std::string BucketHistogram::BucketLabel(size_t index) const {
+  const uint64_t low = uint64_t{1} << index;
+  if (index + 1 == counts_.size()) {
+    return StrFormat("%llu+", static_cast<unsigned long long>(low));
+  }
+  const uint64_t high = (uint64_t{1} << (index + 1)) - 1;
+  if (low == high) {
+    return StrFormat("%llu", static_cast<unsigned long long>(low));
+  }
+  return StrFormat("%llu-%llu", static_cast<unsigned long long>(low),
+                   static_cast<unsigned long long>(high));
+}
+
+LatencyRecorder::LatencyRecorder(size_t window)
+    : ring_(std::max<size_t>(1, window)) {}
+
+void LatencyRecorder::Record(double sample) {
+  total_.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+}
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t index =
+      std::min(sorted.size() - 1,
+               static_cast<size_t>(std::max(1.0, rank)) - 1);
+  return sorted[index];
+}
+
+}  // namespace
+
+LatencyRecorder::Percentiles LatencyRecorder::Snapshot() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.assign(ring_.begin(), ring_.begin() + count_);
+  }
+  Percentiles result;
+  result.samples = samples.size();
+  if (samples.empty()) return result;
+  std::sort(samples.begin(), samples.end());
+  result.p50 = PercentileOfSorted(samples, 0.50);
+  result.p95 = PercentileOfSorted(samples, 0.95);
+  result.p99 = PercentileOfSorted(samples, 0.99);
+  result.max = samples.back();
+  return result;
+}
+
+}  // namespace leapme

@@ -1,0 +1,80 @@
+#ifndef LEAPME_COMMON_METRICS_H_
+#define LEAPME_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace leapme {
+
+/// Monotonically increasing counter, safe for concurrent increments.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Power-of-two bucketed histogram for small positive integers (batch
+/// sizes): bucket i counts values in [2^i, 2^(i+1)), the last bucket is
+/// open-ended. Concurrent Record calls are safe.
+class BucketHistogram {
+ public:
+  /// `buckets` >= 1; bucket 0 covers value 1, bucket 1 covers 2-3, ...
+  explicit BucketHistogram(size_t buckets = 8);
+
+  /// Records one observation (values < 1 count as 1).
+  void Record(uint64_t value);
+
+  size_t bucket_count() const { return counts_.size(); }
+
+  /// Counts per bucket at the time of the call.
+  std::vector<uint64_t> Snapshot() const;
+
+  /// Human-readable range of bucket `index`, e.g. "4-7" or "256+".
+  std::string BucketLabel(size_t index) const;
+
+ private:
+  std::vector<std::atomic<uint64_t>> counts_;
+};
+
+/// Sliding window over the most recent durations (or any scalar samples);
+/// percentiles are computed from a sorted snapshot of the window. Record
+/// and Snapshot are safe to call concurrently.
+class LatencyRecorder {
+ public:
+  struct Percentiles {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    size_t samples = 0;  // samples currently in the window
+  };
+
+  /// Keeps the last `window` samples (window >= 1).
+  explicit LatencyRecorder(size_t window = 4096);
+
+  void Record(double sample);
+
+  Percentiles Snapshot() const;
+
+  /// Total samples ever recorded (not capped by the window).
+  uint64_t total_recorded() const { return total_.value(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  Counter total_;
+};
+
+}  // namespace leapme
+
+#endif  // LEAPME_COMMON_METRICS_H_

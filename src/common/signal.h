@@ -1,0 +1,24 @@
+#ifndef LEAPME_COMMON_SIGNAL_H_
+#define LEAPME_COMMON_SIGNAL_H_
+
+namespace leapme {
+
+/// Installs SIGINT/SIGTERM handlers (first call only) that mark shutdown
+/// as requested and write one byte to a self-pipe, and returns the read
+/// end of that pipe. Poll/select on the fd to wake an event loop when a
+/// shutdown signal arrives; the fd stays readable once triggered. The
+/// handlers are async-signal-safe (a write(2) on the pipe). Returns -1
+/// if the pipe cannot be created.
+int ShutdownSignalFd();
+
+/// True once SIGINT or SIGTERM has been received (or RequestShutdown was
+/// called). Safe to call from any thread.
+bool ShutdownRequested();
+
+/// Programmatic trigger with the same effect as receiving SIGTERM —
+/// used by tests and by in-process embedders to stop a serving loop.
+void RequestShutdown();
+
+}  // namespace leapme
+
+#endif  // LEAPME_COMMON_SIGNAL_H_

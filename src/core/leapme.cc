@@ -9,6 +9,15 @@
 
 namespace leapme::core {
 
+namespace {
+
+/// Upper bound on persisted vector lengths (feature columns, scaler
+/// statistics). Real models stay orders of magnitude below this; counts
+/// above it mean a corrupt or hostile file and must not drive a resize.
+constexpr size_t kMaxPersistedVectorSize = 1 << 20;
+
+}  // namespace
+
 LeapmeMatcher::LeapmeMatcher(const embedding::EmbeddingModel* model,
                              LeapmeOptions options)
     : model_(model),
@@ -135,27 +144,37 @@ nn::Matrix LeapmeMatcher::DesignMatrix(
   return pipeline_.BuildDesignMatrix(lhs, rhs, columns_, options_.threads);
 }
 
-StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
-    const std::vector<data::PropertyPair>& pairs) {
+StatusOr<std::vector<double>> LeapmeMatcher::ScoreFeaturePairs(
+    const std::vector<const features::PropertyFeatures*>& lhs,
+    const std::vector<const features::PropertyFeatures*>& rhs) const {
   if (!fitted_) {
-    return Status::FailedPrecondition("ScorePairs called before Fit");
+    return Status::FailedPrecondition(
+        "ScoreFeaturePairs called before Fit/LoadModel");
   }
-  for (const data::PropertyPair& pair : pairs) {
-    if (pair.a >= property_count_ || pair.b >= property_count_) {
+  if (lhs.size() != rhs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("lhs/rhs size mismatch: %zu vs %zu", lhs.size(),
+                  rhs.size()));
+  }
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i] == nullptr || rhs[i] == nullptr) {
       return Status::InvalidArgument(
-          StrFormat("pair (%u, %u) out of range", pair.a, pair.b));
+          StrFormat("null property features at row %zu", i));
     }
   }
   // Batches bound the transient design matrix and score in parallel; each
   // batch writes its own score range through the const inference path.
   const size_t batch = std::max<size_t>(1, options_.score_batch_size);
-  std::vector<double> scores(pairs.size());
+  std::vector<double> scores(lhs.size());
   LEAPME_RETURN_IF_ERROR(ParallelForStatus(
-      0, pairs.size(), batch,
+      0, lhs.size(), batch,
       [&](size_t start, size_t end) -> Status {
-        std::vector<data::PropertyPair> chunk(pairs.begin() + start,
-                                              pairs.begin() + end);
-        nn::Matrix design = DesignMatrix(chunk);
+        std::vector<const features::PropertyFeatures*> chunk_lhs(
+            lhs.begin() + start, lhs.begin() + end);
+        std::vector<const features::PropertyFeatures*> chunk_rhs(
+            rhs.begin() + start, rhs.begin() + end);
+        nn::Matrix design = pipeline_.BuildDesignMatrix(
+            chunk_lhs, chunk_rhs, columns_, options_.threads);
         if (options_.standardize_features) {
           LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
         }
@@ -168,6 +187,26 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
       },
       options_.threads));
   return scores;
+}
+
+StatusOr<std::vector<double>> LeapmeMatcher::ScorePairs(
+    const std::vector<data::PropertyPair>& pairs) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScorePairs called before Fit");
+  }
+  std::vector<const features::PropertyFeatures*> lhs;
+  std::vector<const features::PropertyFeatures*> rhs;
+  lhs.reserve(pairs.size());
+  rhs.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    if (pair.a >= property_count_ || pair.b >= property_count_) {
+      return Status::InvalidArgument(
+          StrFormat("pair (%u, %u) out of range", pair.a, pair.b));
+    }
+    lhs.push_back(&property_features_[pair.a]);
+    rhs.push_back(&property_features_[pair.b]);
+  }
+  return ScoreFeaturePairs(lhs, rhs);
 }
 
 StatusOr<std::vector<int32_t>> LeapmeMatcher::ClassifyPairs(
@@ -203,35 +242,19 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScorePairsOn(
                 }
               });
 
-  const size_t batch = std::max<size_t>(1, options_.score_batch_size);
-  std::vector<double> scores(pairs.size());
-  LEAPME_RETURN_IF_ERROR(ParallelForStatus(
-      0, pairs.size(), batch,
-      [&](size_t start, size_t end) -> Status {
-        std::vector<const features::PropertyFeatures*> lhs;
-        std::vector<const features::PropertyFeatures*> rhs;
-        for (size_t i = start; i < end; ++i) {
-          if (pairs[i].a >= foreign.size() || pairs[i].b >= foreign.size()) {
-            return Status::InvalidArgument(StrFormat(
-                "pair (%u, %u) out of range", pairs[i].a, pairs[i].b));
-          }
-          lhs.push_back(&foreign[pairs[i].a]);
-          rhs.push_back(&foreign[pairs[i].b]);
-        }
-        nn::Matrix design =
-            pipeline_.BuildDesignMatrix(lhs, rhs, columns_, options_.threads);
-        if (options_.standardize_features) {
-          LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
-        }
-        nn::Matrix probabilities;
-        mlp_.Infer(design, &probabilities);
-        for (size_t i = 0; i < probabilities.rows(); ++i) {
-          scores[start + i] = probabilities(i, 1);
-        }
-        return Status::OK();
-      },
-      options_.threads));
-  return scores;
+  std::vector<const features::PropertyFeatures*> lhs;
+  std::vector<const features::PropertyFeatures*> rhs;
+  lhs.reserve(pairs.size());
+  rhs.reserve(pairs.size());
+  for (const data::PropertyPair& pair : pairs) {
+    if (pair.a >= foreign.size() || pair.b >= foreign.size()) {
+      return Status::InvalidArgument(
+          StrFormat("pair (%u, %u) out of range", pair.a, pair.b));
+    }
+    lhs.push_back(&foreign[pair.a]);
+    rhs.push_back(&foreign[pair.b]);
+  }
+  return ScoreFeaturePairs(lhs, rhs);
 }
 
 StatusOr<graph::SimilarityGraph> LeapmeMatcher::BuildSimilarityGraph(
@@ -257,6 +280,9 @@ Status LeapmeMatcher::SaveModel(const std::string& path) const {
   if (!out) {
     return Status::IoError("cannot open for writing: " + path);
   }
+  // Threshold and scaler statistics must parse back to the exact same
+  // values, so restored matchers score bit-identically to the original.
+  out.precision(17);
   out << "leapme-matcher 1\n";
   out << "embedding_dim " << model_->dimension() << "\n";
   out << "threshold " << decision_threshold_ << "\n";
@@ -335,17 +361,36 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
     } else if (key == "columns") {
       size_t count = 0;
       in >> count;
+      // Bound the allocation before trusting the count: the widest
+      // feature schema has well under 10^4 columns, so anything larger
+      // is a corrupt or hostile file, not a real model.
+      if (!in || count > kMaxPersistedVectorSize) {
+        return Status::Corruption("bad column count in " + path);
+      }
       columns.resize(count);
       for (size_t& column : columns) in >> column;
+      if (!in) {
+        return Status::Corruption("truncated column list in " + path);
+      }
     } else if (key == "scaler") {
       size_t count = 0;
       in >> count;
+      if (!in || count > kMaxPersistedVectorSize) {
+        return Status::Corruption("bad scaler size in " + path);
+      }
       scaler_mean.resize(count);
       scaler_stddev.resize(count);
       for (float& value : scaler_mean) in >> value;
       for (float& value : scaler_stddev) in >> value;
+      if (!in) {
+        return Status::Corruption("truncated scaler statistics in " + path);
+      }
     } else {
       return Status::Corruption("unknown key '" + key + "' in " + path);
+    }
+    if (!in) {
+      return Status::Corruption("truncated value for key '" + key +
+                                "' in " + path);
     }
   }
   if (embedding_dim == 0) {

@@ -98,6 +98,24 @@ class LeapmeMatcher {
       const data::Dataset& dataset,
       const std::vector<data::PropertyPair>& pairs);
 
+  /// Scores pairs of externally supplied, already-computed property
+  /// features: row i pairs `*lhs[i]` with `*rhs[i]`. This is the online
+  /// serving entry point — const and safe to call concurrently on one
+  /// fitted/loaded matcher (it touches only the const inference path).
+  /// Scores are bit-identical to ScorePairs/ScorePairsOn over the same
+  /// properties at any batch split or thread count.
+  StatusOr<std::vector<double>> ScoreFeaturePairs(
+      const std::vector<const features::PropertyFeatures*>& lhs,
+      const std::vector<const features::PropertyFeatures*>& rhs) const;
+
+  /// Computes the property features of one property exactly as Fit /
+  /// ScorePairsOn would (same pipeline, same embedding model). Const and
+  /// thread-safe; pair with ScoreFeaturePairs for online serving.
+  features::PropertyFeatures ComputePropertyFeatures(
+      std::string_view name, std::span<const std::string> values) const {
+    return pipeline_.ComputeProperty(name, values);
+  }
+
   /// Mean training loss per epoch of the last Fit.
   const std::vector<double>& training_losses() const {
     return training_losses_;

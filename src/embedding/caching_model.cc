@@ -1,0 +1,62 @@
+#include "embedding/caching_model.h"
+
+#include <algorithm>
+
+namespace leapme::embedding {
+
+CachingEmbeddingModel::CachingEmbeddingModel(const EmbeddingModel* base,
+                                             size_t capacity)
+    : base_(base), capacity_(std::max<size_t>(1, capacity)) {}
+
+bool CachingEmbeddingModel::Contains(std::string_view word) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(word);
+    if (it != index_.end()) {
+      return it->second->in_vocabulary;
+    }
+  }
+  return base_->Contains(word);
+}
+
+bool CachingEmbeddingModel::Lookup(std::string_view word,
+                                   std::span<float> out) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(word);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      std::copy(it->second->vector.begin(), it->second->vector.end(),
+                out.begin());
+      hits_.Increment();
+      return it->second->in_vocabulary;
+    }
+  }
+  // Compute outside the lock: backing lookups may be slow, and a repeated
+  // concurrent miss merely computes the same deterministic vector twice.
+  Entry entry;
+  entry.word.assign(word);
+  entry.vector.resize(base_->dimension());
+  entry.in_vocabulary = base_->Lookup(word, entry.vector);
+  std::copy(entry.vector.begin(), entry.vector.end(), out.begin());
+  misses_.Increment();
+  const bool in_vocabulary = entry.in_vocabulary;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.find(entry.word) == index_.end()) {
+    lru_.push_front(std::move(entry));
+    index_.emplace(lru_.front().word, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().word);
+      lru_.pop_back();
+    }
+  }
+  return in_vocabulary;
+}
+
+size_t CachingEmbeddingModel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace leapme::embedding

@@ -1,0 +1,62 @@
+#ifndef LEAPME_EMBEDDING_CACHING_MODEL_H_
+#define LEAPME_EMBEDDING_CACHING_MODEL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "embedding/embedding_model.h"
+
+namespace leapme::embedding {
+
+/// Thread-safe bounded LRU cache in front of another EmbeddingModel.
+///
+/// Online serving looks the same tokens up over and over (product
+/// vocabularies are small and Zipf-distributed), while the backing model
+/// may hash, scan a file-loaded table, or synthesize vectors. The cache
+/// stores the full Lookup result — vector bytes plus the in-vocabulary
+/// flag — so cached and uncached lookups are bit-identical.
+///
+/// The decorated model must outlive the cache. All methods are safe to
+/// call concurrently; hit/miss counters are monotone and lock-free to
+/// read.
+class CachingEmbeddingModel : public EmbeddingModel {
+ public:
+  /// `capacity` is the maximum number of cached tokens (>= 1).
+  CachingEmbeddingModel(const EmbeddingModel* base, size_t capacity);
+
+  size_t dimension() const override { return base_->dimension(); }
+  OovPolicy oov_policy() const override { return base_->oov_policy(); }
+  bool Contains(std::string_view word) const override;
+  bool Lookup(std::string_view word, std::span<float> out) const override;
+
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string word;
+    Vector vector;
+    bool in_vocabulary = false;
+  };
+  using LruList = std::list<Entry>;
+
+  const EmbeddingModel* base_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  mutable LruList lru_;  // front = most recently used
+  // Keys view into the stable Entry::word strings of lru_ nodes.
+  mutable std::unordered_map<std::string_view, LruList::iterator> index_;
+  mutable Counter hits_;
+  mutable Counter misses_;
+};
+
+}  // namespace leapme::embedding
+
+#endif  // LEAPME_EMBEDDING_CACHING_MODEL_H_

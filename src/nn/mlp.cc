@@ -115,6 +115,9 @@ Status SaveMlp(const Mlp& mlp, const std::string& path) {
   if (!out) {
     return Status::IoError("cannot open for writing: " + path);
   }
+  // Enough digits that every weight parses back to the exact same value —
+  // a save/load round trip must not perturb scores.
+  out.precision(17);
   out << "leapme-mlp 1\n";
   out << mlp.layer_count() << "\n";
   for (size_t i = 0; i < mlp.layer_count(); ++i) {
@@ -156,6 +159,13 @@ StatusOr<Mlp> LoadMlp(const std::string& path) {
   }
   size_t layer_count = 0;
   in >> layer_count;
+  // Bound sizes read from disk before they drive allocations: a corrupt
+  // or truncated file must come back as a Status, never as a bad_alloc.
+  constexpr size_t kMaxLayers = 1024;
+  constexpr size_t kMaxDenseDim = 1 << 20;
+  if (!in || layer_count > kMaxLayers) {
+    return Status::Corruption("bad layer count in " + path);
+  }
   Mlp mlp;
   for (size_t i = 0; i < layer_count; ++i) {
     std::string type;
@@ -175,7 +185,9 @@ StatusOr<Mlp> LoadMlp(const std::string& path) {
       size_t input_dim = 0;
       size_t output_dim = 0;
       in >> input_dim >> output_dim;
-      if (!in || input_dim == 0 || output_dim == 0) {
+      if (!in || input_dim == 0 || output_dim == 0 ||
+          input_dim > kMaxDenseDim || output_dim > kMaxDenseDim ||
+          input_dim * output_dim > kMaxDenseDim) {
         return Status::Corruption("bad dense shape in " + path);
       }
       Matrix weights(input_dim, output_dim);

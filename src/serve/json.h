@@ -1,0 +1,71 @@
+#ifndef LEAPME_SERVE_JSON_H_
+#define LEAPME_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace leapme::serve {
+
+/// Minimal immutable JSON document model for the line-delimited wire
+/// protocol. Self-contained (the container ships no JSON library):
+/// recursive-descent parser with a depth limit, full-input consumption,
+/// and \uXXXX (incl. surrogate pair) decoding. Numbers are doubles,
+/// matching the protocol's needs; object member order is not preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  /// Parses `text` as one JSON value; trailing non-whitespace is an
+  /// InvalidArgument. Nesting deeper than 64 levels is rejected.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Member keys of an object (sorted), for strict unknown-key checks.
+  std::vector<std::string> ObjectKeys() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+/// Appends `text` to `out` as a quoted JSON string with all required
+/// escaping (control characters as \u00XX).
+void AppendJsonString(std::string* out, std::string_view text);
+
+/// Shortest decimal rendering of `value` that strtod parses back to the
+/// exact same double — scores cross the wire bit-identically. Non-finite
+/// values (not produced by the scorer) render as null.
+std::string FormatJsonDouble(double value);
+
+}  // namespace leapme::serve
+
+#endif  // LEAPME_SERVE_JSON_H_

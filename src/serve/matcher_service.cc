@@ -1,0 +1,306 @@
+#include "serve/matcher_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace leapme::serve {
+
+namespace {
+
+/// Cache key: name and values joined with separators that cannot appear
+/// in TSV-sourced values (unit separator / record separator), so distinct
+/// (name, values) lists never collide.
+std::string PropertyCacheKey(const PropertySpec& spec) {
+  size_t total = spec.name.size() + 1;
+  for (const std::string& value : spec.values) {
+    total += value.size() + 1;
+  }
+  std::string key;
+  key.reserve(total);
+  key.append(spec.name);
+  key.push_back('\x1f');
+  for (const std::string& value : spec.values) {
+    key.append(value);
+    key.push_back('\x1e');
+  }
+  return key;
+}
+
+}  // namespace
+
+MatcherService::MatcherService(
+    const core::LeapmeMatcher* matcher,
+    const embedding::CachingEmbeddingModel* embedding_cache,
+    ServiceOptions options)
+    : matcher_(matcher),
+      embedding_cache_(embedding_cache),
+      options_(options),
+      latency_(options.latency_window) {
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+MatcherService::~MatcherService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) {
+    batcher_.join();
+  }
+}
+
+MatcherService::FeaturePtr MatcherService::GetPropertyFeatures(
+    const PropertySpec& spec) {
+  const std::string key = PropertyCacheKey(spec);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      property_cache_hits_.Increment();
+      return it->second->features;
+    }
+  }
+  // Compute outside the lock; a concurrent duplicate miss computes the
+  // same deterministic vector and the second insert is dropped.
+  property_cache_misses_.Increment();
+  auto features = std::make_shared<features::PropertyFeatures>(
+      matcher_->ComputePropertyFeatures(spec.name, spec.values));
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_index_.find(key) == cache_index_.end()) {
+    cache_lru_.push_front(CacheEntry{key, features});
+    cache_index_.emplace(cache_lru_.front().key, cache_lru_.begin());
+    if (cache_lru_.size() > std::max<size_t>(1,
+                                             options_.property_cache_capacity)) {
+      cache_index_.erase(cache_lru_.back().key);
+      cache_lru_.pop_back();
+    }
+  }
+  return features;
+}
+
+void MatcherService::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // First pair seen: linger up to the batch window so concurrent
+    // requests coalesce, unless the batch is already full or we are
+    // draining for shutdown.
+    if (queue_.size() < options_.max_batch && options_.batch_window_us > 0 &&
+        !stop_) {
+      queue_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.batch_window_us),
+          [this] { return queue_.size() >= options_.max_batch || stop_; });
+    }
+    const size_t take =
+        std::min(queue_.size(), std::max<size_t>(1, options_.max_batch));
+    std::vector<PendingPair> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ScoreBatch(batch);
+    lock.lock();
+  }
+}
+
+void MatcherService::ScoreBatch(std::vector<PendingPair>& batch) {
+  std::vector<const features::PropertyFeatures*> lhs;
+  std::vector<const features::PropertyFeatures*> rhs;
+  lhs.reserve(batch.size());
+  rhs.reserve(batch.size());
+  for (const PendingPair& pending : batch) {
+    lhs.push_back(pending.a.get());
+    rhs.push_back(pending.b.get());
+  }
+  StatusOr<std::vector<double>> scores =
+      matcher_->ScoreFeaturePairs(lhs, rhs);
+  batches_.Increment();
+  batch_sizes_.Record(batch.size());
+  if (scores.ok()) {
+    pairs_scored_.Increment(batch.size());
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::shared_ptr<ScoreJob>& job = batch[i].job;
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (scores.ok()) {
+      job->scores[batch[i].index] = scores.value()[i];
+    } else if (job->status.ok()) {
+      job->status = scores.status();
+    }
+    if (--job->remaining == 0) {
+      job->cv.notify_all();
+    }
+  }
+}
+
+StatusOr<std::vector<double>> MatcherService::ScoreFeaturePairsBatched(
+    std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    for (PendingPair& pair : pending) {
+      queue_.push_back(std::move(pair));
+    }
+  }
+  queue_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&job] { return job->remaining == 0; });
+  if (!job->status.ok()) {
+    return job->status;
+  }
+  return std::move(job->scores);
+}
+
+StatusOr<std::vector<double>> MatcherService::Score(
+    const std::vector<PropertyPairSpec>& pairs) {
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no pairs to score");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto job = std::make_shared<ScoreJob>(pairs.size());
+  std::vector<PendingPair> pending;
+  pending.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    PendingPair pair;
+    pair.a = GetPropertyFeatures(pairs[i].a);
+    pair.b = GetPropertyFeatures(pairs[i].b);
+    pair.job = job;
+    pair.index = i;
+    pending.push_back(std::move(pair));
+  }
+  auto scores = ScoreFeaturePairsBatched(std::move(pending), job);
+  latency_.Record(std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  return scores;
+}
+
+StatusOr<std::vector<MatchResult>> MatcherService::TopK(
+    const PropertySpec& query, const std::vector<PropertySpec>& candidates,
+    size_t k) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto job = std::make_shared<ScoreJob>(candidates.size());
+  FeaturePtr query_features = GetPropertyFeatures(query);
+  std::vector<PendingPair> pending;
+  pending.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    PendingPair pair;
+    pair.a = query_features;
+    pair.b = GetPropertyFeatures(candidates[i]);
+    pair.job = job;
+    pair.index = i;
+    pending.push_back(std::move(pair));
+  }
+  auto scores = ScoreFeaturePairsBatched(std::move(pending), job);
+  if (!scores.ok()) {
+    return scores.status();
+  }
+
+  std::vector<MatchResult> matches(scores->size());
+  for (size_t i = 0; i < scores->size(); ++i) {
+    matches[i] = MatchResult{i, (*scores)[i]};
+  }
+  const size_t keep = std::min(k, matches.size());
+  // Deterministic order: score descending, candidate index ascending.
+  std::partial_sort(matches.begin(), matches.begin() + keep, matches.end(),
+                    [](const MatchResult& a, const MatchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.index < b.index;
+                    });
+  matches.resize(keep);
+  latency_.Record(std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  return matches;
+}
+
+std::string MatcherService::HandleLine(std::string_view line) {
+  StatusOr<Request> request = ParseRequest(line);
+  if (!request.ok()) {
+    request_errors_.Increment();
+    return ErrorResponse(std::nullopt, request.status());
+  }
+  switch (request->op) {
+    case Op::kPing:
+      ping_requests_.Increment();
+      return PingResponse(request->id);
+    case Op::kStats:
+      stats_requests_.Increment();
+      return StatsResponse(request->id, Snapshot());
+    case Op::kScore: {
+      score_requests_.Increment();
+      StatusOr<std::vector<double>> scores = Score(request->pairs);
+      if (!scores.ok()) {
+        request_errors_.Increment();
+        return ErrorResponse(request->id, scores.status());
+      }
+      return ScoreResponse(request->id, scores.value());
+    }
+    case Op::kTopK: {
+      topk_requests_.Increment();
+      StatusOr<std::vector<MatchResult>> matches =
+          TopK(request->query, request->candidates, request->k);
+      if (!matches.ok()) {
+        request_errors_.Increment();
+        return ErrorResponse(request->id, matches.status());
+      }
+      return TopKResponse(request->id, matches.value());
+    }
+  }
+  request_errors_.Increment();
+  return ErrorResponse(request->id, Status::Internal("unhandled op"));
+}
+
+ServiceStats MatcherService::Snapshot() const {
+  ServiceStats stats;
+  stats.ping_requests = ping_requests_.value();
+  stats.score_requests = score_requests_.value();
+  stats.topk_requests = topk_requests_.value();
+  stats.stats_requests = stats_requests_.value();
+  stats.requests = stats.ping_requests + stats.score_requests +
+                   stats.topk_requests + stats.stats_requests;
+  stats.request_errors = request_errors_.value();
+  stats.pairs_scored = pairs_scored_.value();
+  stats.batches = batches_.value();
+  stats.batch_histogram = batch_sizes_.Snapshot();
+  stats.batch_histogram_labels.reserve(stats.batch_histogram.size());
+  for (size_t i = 0; i < stats.batch_histogram.size(); ++i) {
+    stats.batch_histogram_labels.push_back(batch_sizes_.BucketLabel(i));
+  }
+  if (embedding_cache_ != nullptr) {
+    stats.embedding_cache_hits = embedding_cache_->hits();
+    stats.embedding_cache_misses = embedding_cache_->misses();
+  }
+  stats.property_cache_hits = property_cache_hits_.value();
+  stats.property_cache_misses = property_cache_misses_.value();
+  stats.connections_accepted = connections_accepted_.value();
+  stats.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  const LatencyRecorder::Percentiles latency = latency_.Snapshot();
+  stats.latency_p50_us = latency.p50;
+  stats.latency_p95_us = latency.p95;
+  stats.latency_p99_us = latency.p99;
+  stats.latency_samples = latency.samples;
+  return stats;
+}
+
+}  // namespace leapme::serve

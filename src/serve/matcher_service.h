@@ -1,0 +1,168 @@
+#ifndef LEAPME_SERVE_MATCHER_SERVICE_H_
+#define LEAPME_SERVE_MATCHER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status_or.h"
+#include "core/leapme.h"
+#include "embedding/caching_model.h"
+#include "serve/protocol.h"
+
+namespace leapme::serve {
+
+struct ServiceOptions {
+  /// Largest number of pairs scored in one DesignMatrix/Infer call.
+  size_t max_batch = 256;
+  /// How long the batcher waits for more pairs after the first one
+  /// arrives before flushing a partial batch. 0 flushes immediately.
+  size_t batch_window_us = 200;
+  /// Entries kept in the per-property feature-vector LRU cache.
+  size_t property_cache_capacity = 4096;
+  /// Samples kept in the request-latency window for percentile stats.
+  size_t latency_window = 4096;
+};
+
+/// A thread-safe online-matching session over one fitted (typically
+/// LoadModel-restored) LeapmeMatcher.
+///
+/// Concurrent Score/TopK callers do not run inference independently:
+/// every pair is enqueued with a completion slot, and a single batcher
+/// thread drains the queue into micro-batches of up to `max_batch` pairs
+/// (waiting `batch_window_us` for stragglers), scoring each batch with
+/// one ScoreFeaturePairs call on the shared thread pool. Batching is
+/// invisible in the results — scores are bit-identical to offline
+/// ScorePairs at any batch composition — it only changes throughput.
+///
+/// Two caches sit in front of the matcher: the CachingEmbeddingModel the
+/// matcher was built over (token -> vector; pass it in so its hit rate
+/// shows up in stats) and an internal LRU keyed by name + instance
+/// values holding finished per-property feature vectors.
+class MatcherService {
+ public:
+  /// `matcher` must be fitted and outlive the service. `embedding_cache`
+  /// may be null; when given it must also outlive the service (it is only
+  /// read for stats — the matcher's pipeline already uses it for
+  /// lookups).
+  MatcherService(const core::LeapmeMatcher* matcher,
+                 const embedding::CachingEmbeddingModel* embedding_cache,
+                 ServiceOptions options = {});
+
+  /// Drains outstanding work and stops the batcher thread.
+  ~MatcherService();
+
+  MatcherService(const MatcherService&) = delete;
+  MatcherService& operator=(const MatcherService&) = delete;
+
+  /// Scores each a/b pair; blocks until the micro-batcher has scored
+  /// every pair of this request.
+  StatusOr<std::vector<double>> Score(
+      const std::vector<PropertyPairSpec>& pairs);
+
+  /// Scores `query` against every candidate and returns the k best
+  /// (score descending, candidate index ascending on ties).
+  StatusOr<std::vector<MatchResult>> TopK(
+      const PropertySpec& query,
+      const std::vector<PropertySpec>& candidates, size_t k);
+
+  /// Full protocol dispatch for one request line: parse, execute,
+  /// serialize. Never fails — protocol and execution errors become
+  /// ok:false responses.
+  std::string HandleLine(std::string_view line);
+
+  /// Connection lifecycle hooks, called by the transport so connection
+  /// counts show up in the "stats" op.
+  void OnConnectionOpened() {
+    connections_accepted_.Increment();
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnConnectionClosed() {
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// All counters exposed by the "stats" op.
+  ServiceStats Snapshot() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  using FeaturePtr = std::shared_ptr<const features::PropertyFeatures>;
+
+  /// Completion state shared by all in-flight pairs of one request.
+  struct ScoreJob {
+    explicit ScoreJob(size_t pair_count)
+        : scores(pair_count), remaining(pair_count) {}
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<double> scores;
+    size_t remaining;
+    Status status;  // first failure wins
+  };
+
+  struct PendingPair {
+    FeaturePtr a;
+    FeaturePtr b;
+    std::shared_ptr<ScoreJob> job;
+    size_t index;  // row in job->scores
+  };
+
+  /// Computes (or fetches from the LRU) the feature vector of `spec`.
+  FeaturePtr GetPropertyFeatures(const PropertySpec& spec);
+
+  /// Enqueues pairs for the batcher and blocks until the job completes.
+  StatusOr<std::vector<double>> ScoreFeaturePairsBatched(
+      std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job);
+
+  void BatcherLoop();
+  void ScoreBatch(std::vector<PendingPair>& batch);
+
+  const core::LeapmeMatcher* matcher_;
+  const embedding::CachingEmbeddingModel* embedding_cache_;
+  const ServiceOptions options_;
+
+  // Property-feature LRU (front = most recently used); keys view into the
+  // stable key strings stored in the list nodes.
+  struct CacheEntry {
+    std::string key;
+    FeaturePtr features;
+  };
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<std::string_view, std::list<CacheEntry>::iterator>
+      cache_index_;
+
+  // Micro-batch queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingPair> queue_;
+  bool stop_ = false;
+  std::thread batcher_;
+
+  // Stats.
+  Counter ping_requests_;
+  Counter score_requests_;
+  Counter topk_requests_;
+  Counter stats_requests_;
+  Counter request_errors_;
+  Counter pairs_scored_;
+  Counter batches_;
+  BucketHistogram batch_sizes_{10};
+  Counter property_cache_hits_;
+  Counter property_cache_misses_;
+  Counter connections_accepted_;
+  std::atomic<uint64_t> connections_active_{0};
+  LatencyRecorder latency_;
+};
+
+}  // namespace leapme::serve
+
+#endif  // LEAPME_SERVE_MATCHER_SERVICE_H_

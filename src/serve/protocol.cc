@@ -1,0 +1,285 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "serve/json.h"
+
+namespace leapme::serve {
+
+namespace {
+
+Status FieldError(const char* field, const char* problem) {
+  return Status::InvalidArgument(StrFormat("field '%s': %s", field, problem));
+}
+
+/// Rejects members outside `allowed` so client typos surface as errors
+/// instead of being silently ignored.
+Status CheckKnownKeys(const JsonValue& object,
+                      const std::vector<std::string_view>& allowed) {
+  for (const std::string& key : object.ObjectKeys()) {
+    bool known = false;
+    for (std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown field '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<PropertySpec> ParsePropertySpec(const JsonValue& value,
+                                         const char* field,
+                                         const ProtocolLimits& limits) {
+  if (!value.is_object()) {
+    return FieldError(field, "must be an object {name, values}");
+  }
+  LEAPME_RETURN_IF_ERROR(CheckKnownKeys(value, {"name", "values"}));
+  PropertySpec spec;
+  const JsonValue* name = value.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return FieldError(field, "requires a string 'name'");
+  }
+  spec.name = name->AsString();
+  if (spec.name.empty()) {
+    return FieldError(field, "'name' must be non-empty");
+  }
+  const JsonValue* values = value.Find("values");
+  if (values != nullptr) {
+    if (!values->is_array()) {
+      return FieldError(field, "'values' must be an array of strings");
+    }
+    if (values->AsArray().size() > limits.max_values_per_property) {
+      return FieldError(field, "too many instance values");
+    }
+    spec.values.reserve(values->AsArray().size());
+    for (const JsonValue& element : values->AsArray()) {
+      if (!element.is_string()) {
+        return FieldError(field, "'values' must contain only strings");
+      }
+      spec.values.push_back(element.AsString());
+    }
+  }
+  return spec;
+}
+
+StatusOr<std::optional<int64_t>> ParseId(const JsonValue& root) {
+  const JsonValue* id = root.Find("id");
+  if (id == nullptr) {
+    return std::optional<int64_t>();
+  }
+  if (!id->is_number() || id->AsNumber() != std::floor(id->AsNumber()) ||
+      std::abs(id->AsNumber()) > 9.0e15) {
+    return FieldError("id", "must be an integer");
+  }
+  return std::optional<int64_t>(static_cast<int64_t>(id->AsNumber()));
+}
+
+void AppendIdPrefix(std::string* out, const std::optional<int64_t>& id) {
+  out->push_back('{');
+  if (id.has_value()) {
+    out->append(StrFormat("\"id\":%lld,",
+                          static_cast<long long>(*id)));
+  }
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(std::string_view line,
+                               const ProtocolLimits& limits) {
+  LEAPME_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request request;
+  LEAPME_ASSIGN_OR_RETURN(request.id, ParseId(root));
+
+  const JsonValue* op = root.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return FieldError("op", "is required and must be a string");
+  }
+  const std::string& op_name = op->AsString();
+  if (op_name == "ping") {
+    request.op = Op::kPing;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id"}));
+    return request;
+  }
+  if (op_name == "stats") {
+    request.op = Op::kStats;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id"}));
+    return request;
+  }
+  if (op_name == "score") {
+    request.op = Op::kScore;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id", "pairs"}));
+    const JsonValue* pairs = root.Find("pairs");
+    if (pairs == nullptr || !pairs->is_array()) {
+      return FieldError("pairs", "is required and must be an array");
+    }
+    if (pairs->AsArray().empty()) {
+      return FieldError("pairs", "must be non-empty");
+    }
+    if (pairs->AsArray().size() > limits.max_pairs_per_request) {
+      return FieldError("pairs", "exceeds the per-request pair limit");
+    }
+    request.pairs.reserve(pairs->AsArray().size());
+    for (const JsonValue& element : pairs->AsArray()) {
+      if (!element.is_object()) {
+        return FieldError("pairs", "elements must be objects {a, b}");
+      }
+      LEAPME_RETURN_IF_ERROR(CheckKnownKeys(element, {"a", "b"}));
+      const JsonValue* a = element.Find("a");
+      const JsonValue* b = element.Find("b");
+      if (a == nullptr || b == nullptr) {
+        return FieldError("pairs", "elements require both 'a' and 'b'");
+      }
+      PropertyPairSpec pair;
+      LEAPME_ASSIGN_OR_RETURN(pair.a, ParsePropertySpec(*a, "a", limits));
+      LEAPME_ASSIGN_OR_RETURN(pair.b, ParsePropertySpec(*b, "b", limits));
+      request.pairs.push_back(std::move(pair));
+    }
+    return request;
+  }
+  if (op_name == "topk") {
+    request.op = Op::kTopK;
+    LEAPME_RETURN_IF_ERROR(
+        CheckKnownKeys(root, {"op", "id", "query", "candidates", "k"}));
+    const JsonValue* query = root.Find("query");
+    if (query == nullptr) {
+      return FieldError("query", "is required");
+    }
+    LEAPME_ASSIGN_OR_RETURN(request.query,
+                            ParsePropertySpec(*query, "query", limits));
+    const JsonValue* candidates = root.Find("candidates");
+    if (candidates == nullptr || !candidates->is_array()) {
+      return FieldError("candidates", "is required and must be an array");
+    }
+    if (candidates->AsArray().empty()) {
+      return FieldError("candidates", "must be non-empty");
+    }
+    if (candidates->AsArray().size() > limits.max_candidates_per_request) {
+      return FieldError("candidates", "exceeds the per-request limit");
+    }
+    request.candidates.reserve(candidates->AsArray().size());
+    for (const JsonValue& element : candidates->AsArray()) {
+      LEAPME_ASSIGN_OR_RETURN(
+          PropertySpec spec,
+          ParsePropertySpec(element, "candidates", limits));
+      request.candidates.push_back(std::move(spec));
+    }
+    const JsonValue* k = root.Find("k");
+    if (k != nullptr) {
+      if (!k->is_number() || k->AsNumber() != std::floor(k->AsNumber()) ||
+          k->AsNumber() < 1.0 ||
+          k->AsNumber() > static_cast<double>(limits.max_k)) {
+        return FieldError("k", "must be a positive integer within limits");
+      }
+      request.k = static_cast<size_t>(k->AsNumber());
+    }
+    return request;
+  }
+  return Status::InvalidArgument(
+      "unknown op '" + op_name + "' (ping|score|topk|stats)");
+}
+
+std::string PingResponse(const std::optional<int64_t>& id) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"ping\"}");
+  return out;
+}
+
+std::string ScoreResponse(const std::optional<int64_t>& id,
+                          const std::vector<double>& scores) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"score\",\"scores\":[");
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(FormatJsonDouble(scores[i]));
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string TopKResponse(const std::optional<int64_t>& id,
+                         const std::vector<MatchResult>& matches) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"topk\",\"matches\":[");
+  for (size_t i = 0; i < matches.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(StrFormat("{\"index\":%zu,\"score\":", matches[i].index));
+    out.append(FormatJsonDouble(matches[i].score));
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string StatsResponse(const std::optional<int64_t>& id,
+                          const ServiceStats& stats) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"stats\",\"stats\":{");
+  auto field = [&out](const char* name, uint64_t value, bool first = false) {
+    if (!first) out.push_back(',');
+    out.append(StrFormat("\"%s\":%llu", name,
+                         static_cast<unsigned long long>(value)));
+  };
+  field("requests", stats.requests, /*first=*/true);
+  field("ping_requests", stats.ping_requests);
+  field("score_requests", stats.score_requests);
+  field("topk_requests", stats.topk_requests);
+  field("stats_requests", stats.stats_requests);
+  field("request_errors", stats.request_errors);
+  field("pairs_scored", stats.pairs_scored);
+  field("batches", stats.batches);
+  out.append(",\"batch_histogram\":{");
+  bool first_bucket = true;
+  for (size_t i = 0; i < stats.batch_histogram.size(); ++i) {
+    if (stats.batch_histogram[i] == 0) continue;
+    if (!first_bucket) out.push_back(',');
+    first_bucket = false;
+    const std::string label = i < stats.batch_histogram_labels.size()
+                                  ? stats.batch_histogram_labels[i]
+                                  : StrFormat("bucket%zu", i);
+    AppendJsonString(&out, label);
+    out.append(StrFormat(":%llu", static_cast<unsigned long long>(
+                                      stats.batch_histogram[i])));
+  }
+  out.push_back('}');
+  field("embedding_cache_hits", stats.embedding_cache_hits);
+  field("embedding_cache_misses", stats.embedding_cache_misses);
+  field("property_cache_hits", stats.property_cache_hits);
+  field("property_cache_misses", stats.property_cache_misses);
+  field("connections_accepted", stats.connections_accepted);
+  field("connections_active", stats.connections_active);
+  field("latency_samples", stats.latency_samples);
+  out.append(",\"latency_p50_us\":");
+  out.append(FormatJsonDouble(stats.latency_p50_us));
+  out.append(",\"latency_p95_us\":");
+  out.append(FormatJsonDouble(stats.latency_p95_us));
+  out.append(",\"latency_p99_us\":");
+  out.append(FormatJsonDouble(stats.latency_p99_us));
+  out.append("}}");
+  return out;
+}
+
+std::string ErrorResponse(const std::optional<int64_t>& id,
+                          const Status& status) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":false,\"error\":{\"code\":");
+  AppendJsonString(&out, std::string(StatusCodeToString(status.code())));
+  out.append(",\"message\":");
+  AppendJsonString(&out, status.message());
+  out.append("}}");
+  return out;
+}
+
+}  // namespace leapme::serve

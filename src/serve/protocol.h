@@ -1,0 +1,118 @@
+#ifndef LEAPME_SERVE_PROTOCOL_H_
+#define LEAPME_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace leapme::serve {
+
+/// The wire protocol is line-delimited JSON: one request object per line,
+/// one response object per line, over a plain TCP connection.
+///
+/// Requests ("id" is optional and echoed back verbatim):
+///   {"op":"ping","id":1}
+///   {"op":"score","id":2,"pairs":[{"a":PROP,"b":PROP}, ...]}
+///   {"op":"topk","id":3,"query":PROP,"candidates":[PROP,...],"k":5}
+///   {"op":"stats","id":4}
+/// where PROP = {"name":"megapixels","values":["10","12.1", ...]}.
+///
+/// Responses:
+///   {"id":1,"ok":true,"op":"ping"}
+///   {"id":2,"ok":true,"op":"score","scores":[0.93, ...]}
+///   {"id":3,"ok":true,"op":"topk","matches":[{"index":4,"score":0.93},...]}
+///   {"id":4,"ok":true,"op":"stats","stats":{...}}
+///   {"id":2,"ok":false,"error":{"code":"InvalidArgument","message":"..."}}
+///
+/// Scores are serialized with enough digits to parse back to the exact
+/// same double, so wire scores are bit-identical to offline ScorePairs.
+
+/// A property as supplied by a client: surface name + instance values.
+struct PropertySpec {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+struct PropertyPairSpec {
+  PropertySpec a;
+  PropertySpec b;
+};
+
+/// One top-k result: candidate index (into the request's candidate list)
+/// and its match score.
+struct MatchResult {
+  size_t index = 0;
+  double score = 0.0;
+};
+
+enum class Op { kPing, kScore, kTopK, kStats };
+
+/// A parsed, validated request.
+struct Request {
+  Op op = Op::kPing;
+  std::optional<int64_t> id;
+  /// op == kScore
+  std::vector<PropertyPairSpec> pairs;
+  /// op == kTopK
+  PropertySpec query;
+  std::vector<PropertySpec> candidates;
+  size_t k = 1;
+};
+
+/// Counters exposed by the "stats" op. Filled by MatcherService::Snapshot
+/// (scoring/batching/cache fields) and TcpServer (connection fields).
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t ping_requests = 0;
+  uint64_t score_requests = 0;
+  uint64_t topk_requests = 0;
+  uint64_t stats_requests = 0;
+  uint64_t request_errors = 0;
+  uint64_t pairs_scored = 0;
+  uint64_t batches = 0;
+  std::vector<uint64_t> batch_histogram;  // bucket i = sizes [2^i, 2^(i+1))
+  std::vector<std::string> batch_histogram_labels;
+  uint64_t embedding_cache_hits = 0;
+  uint64_t embedding_cache_misses = 0;
+  uint64_t property_cache_hits = 0;
+  uint64_t property_cache_misses = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  uint64_t latency_samples = 0;
+};
+
+/// Limits enforced by ParseRequest, independent of transport limits.
+struct ProtocolLimits {
+  size_t max_pairs_per_request = 4096;
+  size_t max_candidates_per_request = 65536;
+  size_t max_values_per_property = 65536;
+  size_t max_k = 4096;
+};
+
+/// Parses and validates one request line. Unknown ops, missing or
+/// mistyped fields, unknown fields, and limit violations all come back
+/// as InvalidArgument with a message naming the offending field.
+StatusOr<Request> ParseRequest(std::string_view line,
+                               const ProtocolLimits& limits = {});
+
+/// Response serializers; each returns a single line without the trailing
+/// '\n' (the transport appends it).
+std::string PingResponse(const std::optional<int64_t>& id);
+std::string ScoreResponse(const std::optional<int64_t>& id,
+                          const std::vector<double>& scores);
+std::string TopKResponse(const std::optional<int64_t>& id,
+                         const std::vector<MatchResult>& matches);
+std::string StatsResponse(const std::optional<int64_t>& id,
+                          const ServiceStats& stats);
+std::string ErrorResponse(const std::optional<int64_t>& id,
+                          const Status& status);
+
+}  // namespace leapme::serve
+
+#endif  // LEAPME_SERVE_PROTOCOL_H_

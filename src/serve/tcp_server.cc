@@ -1,0 +1,289 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/signal.h"
+#include "common/string_util.h"
+#include "serve/protocol.h"
+
+namespace leapme::serve {
+
+namespace {
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(MatcherService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("port %d out of range", options_.port));
+  }
+  sockaddr_in address = {};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + options_.host +
+                                   "' as an IPv4 address");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IoError(StrFormat("pipe: %s", std::strerror(errno)));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    Status status = Status::IoError(StrFormat(
+        "bind %s:%d: %s", options_.host.c_str(), options_.port,
+        std::strerror(errno)));
+    CloseIfOpen(listen_fd_);
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status status =
+        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+    CloseIfOpen(listen_fd_);
+    return status;
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed) ||
+        (fds[1].revents & POLLIN) != 0) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ReapFinishedWorkers();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const uint64_t token = next_conn_token_++;
+    conn_fds_.emplace(token, conn_fd);
+    conn_threads_.emplace(token, std::thread([this, conn_fd, token] {
+      HandleConnection(conn_fd);
+      {
+        std::lock_guard<std::mutex> inner(conn_mu_);
+        conn_fds_.erase(token);
+        finished_tokens_.push_back(token);
+      }
+      ::close(conn_fd);
+    }));
+  }
+}
+
+void TcpServer::ReapFinishedWorkers() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    finished.reserve(finished_tokens_.size());
+    for (const uint64_t token : finished_tokens_) {
+      auto it = conn_threads_.find(token);
+      if (it != conn_threads_.end()) {
+        finished.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    finished_tokens_.clear();
+  }
+  for (std::thread& worker : finished) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+bool TcpServer::SendLine(int fd, std::string line) {
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
+    // error return, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpServer::DrainBuffer(int fd, std::string& buffer) {
+  size_t start = 0;
+  while (true) {
+    const size_t newline = buffer.find('\n', start);
+    if (newline == std::string::npos) {
+      break;
+    }
+    std::string_view line(buffer.data() + start, newline - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) {
+      if (!SendLine(fd, service_->HandleLine(line))) {
+        buffer.clear();
+        return false;
+      }
+    }
+    start = newline + 1;
+  }
+  buffer.erase(0, start);
+  if (buffer.size() > options_.max_line_bytes) {
+    SendLine(fd, ErrorResponse(
+                     std::nullopt,
+                     Status::InvalidArgument(StrFormat(
+                         "request line exceeds %zu bytes",
+                         options_.max_line_bytes))));
+    return false;
+  }
+  return true;
+}
+
+void TcpServer::HandleConnection(int fd) {
+  service_->OnConnectionOpened();
+  std::string buffer;
+  char chunk[4096];
+  bool server_initiated_close = false;
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // EOF / half-close: requests already received were answered as
+      // their lines completed; an unterminated trailing fragment is
+      // dropped by NDJSON framing rules.
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (!DrainBuffer(fd, buffer)) {
+      server_initiated_close = true;
+      break;
+    }
+  }
+  if (server_initiated_close) {
+    // Lingering close: closing with unread bytes still queued would turn
+    // into an RST that can discard the in-flight error response on the
+    // peer. Send our FIN first and drain until the peer closes (Stop()'s
+    // SHUT_RD unblocks this recv as well).
+    ::shutdown(fd, SHUT_WR);
+    while (::recv(fd, chunk, sizeof(chunk), 0) > 0) {
+    }
+  }
+  service_->OnConnectionClosed();
+}
+
+void TcpServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  if (!stopping_.exchange(true)) {
+    // Wake the accept poll; a full pipe is fine, it is already readable.
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Drain: half-close every connection so blocked recv calls return 0;
+  // workers finish responding to whatever they already read, then exit.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& [token, fd] : conn_fds_) {
+      ::shutdown(fd, SHUT_RD);
+    }
+    workers.reserve(conn_threads_.size());
+    for (auto& [token, worker] : conn_threads_) {
+      workers.push_back(std::move(worker));
+    }
+    conn_threads_.clear();
+    finished_tokens_.clear();
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  CloseIfOpen(listen_fd_);
+  CloseIfOpen(wake_pipe_[0]);
+  CloseIfOpen(wake_pipe_[1]);
+  started_ = false;
+}
+
+Status TcpServer::ServeUntilShutdown() {
+  if (!started_) {
+    return Status::FailedPrecondition("server not started");
+  }
+  const int signal_fd = ShutdownSignalFd();
+  if (signal_fd < 0) {
+    return Status::Internal("cannot create shutdown signal pipe");
+  }
+  while (!ShutdownRequested()) {
+    pollfd pfd = {signal_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/250);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+      break;
+    }
+  }
+  Stop();
+  return Status::OK();
+}
+
+}  // namespace leapme::serve

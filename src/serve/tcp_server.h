@@ -1,0 +1,92 @@
+#ifndef LEAPME_SERVE_TCP_SERVER_H_
+#define LEAPME_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "serve/matcher_service.h"
+
+namespace leapme::serve {
+
+struct ServerOptions {
+  /// Interface to bind; the default keeps the scorer private to the host.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Largest accepted request line. A connection that exceeds it gets one
+  /// error response and is closed (the stream is no longer framed).
+  size_t max_line_bytes = 1 << 20;
+  /// Listen backlog.
+  int backlog = 64;
+};
+
+/// Line-delimited JSON scoring server: one OS thread per connection, each
+/// request line answered through MatcherService::HandleLine (which
+/// funnels all scoring into the shared micro-batcher).
+///
+/// Lifecycle: Start() binds/listens and spawns the accept loop; Stop()
+/// drains gracefully — it stops accepting, half-closes every connection
+/// (SHUT_RD), lets workers finish writing responses for requests already
+/// received, and joins all threads. Stop() is idempotent and also runs on
+/// destruction. ServeUntilShutdown() parks the caller until SIGINT /
+/// SIGTERM (or RequestShutdown()), then Stops.
+class TcpServer {
+ public:
+  /// `service` must outlive the server.
+  TcpServer(MatcherService* service, ServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails on unparseable hosts,
+  /// bind/listen errors (e.g. port in use).
+  Status Start();
+
+  /// The bound port (useful with port 0); valid after a successful Start.
+  int port() const { return port_; }
+
+  /// Graceful shutdown as described above. Safe to call from any thread
+  /// other than a connection worker.
+  void Stop();
+
+  /// Blocks until a process shutdown signal arrives, then Stop()s.
+  /// Requires a successful Start.
+  Status ServeUntilShutdown();
+
+ private:
+  void AcceptLoop();
+  /// Joins workers whose connections have finished, so thread handles do
+  /// not accumulate over the lifetime of a long-running server.
+  void ReapFinishedWorkers();
+  void HandleConnection(int fd);
+  /// Handles every complete line in `buffer`, erasing consumed bytes.
+  /// Returns false when the connection must close (oversized line).
+  bool DrainBuffer(int fd, std::string& buffer);
+  bool SendLine(int fd, std::string line);
+
+  MatcherService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // Stop() wakes the accept poll
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<uint64_t, int> conn_fds_;  // token -> open socket
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_tokens_;  // ready to join
+  uint64_t next_conn_token_ = 0;
+};
+
+}  // namespace leapme::serve
+
+#endif  // LEAPME_SERVE_TCP_SERVER_H_

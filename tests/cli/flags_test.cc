@@ -69,5 +69,57 @@ TEST(FlagsTest, LastValueWinsOnRepeat) {
   EXPECT_EQ(flags->GetInt("seed", 0), 2);
 }
 
+TEST(FlagsTest, GetIntInRangeAcceptsValidValues) {
+  auto flags = ParseArgs({"serve", "--port", "8080", "--max-batch=64"});
+  ASSERT_TRUE(flags.ok());
+  auto port = flags->GetIntInRange("port", 7207, 1, 65535);
+  ASSERT_TRUE(port.ok()) << port.status();
+  EXPECT_EQ(*port, 8080);
+  auto batch = flags->GetIntInRange("max-batch", 256, 1, 65536);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, 64);
+  // Absent flag yields the fallback, even when the fallback is outside
+  // the range (0 = "unset" for --threads).
+  auto absent = flags->GetIntInRange("threads", 0, 1, 65536);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(*absent, 0);
+}
+
+TEST(FlagsTest, GetIntInRangeRejectsInsteadOfFallingBack) {
+  auto flags = ParseArgs({"serve", "--port", "0", "--threads", "x",
+                          "--max-batch", "2.5", "--seed", "-1"});
+  ASSERT_TRUE(flags.ok());
+  // Zero / out of range.
+  auto port = flags->GetIntInRange("port", 7207, 1, 65535);
+  ASSERT_FALSE(port.ok());
+  EXPECT_TRUE(port.status().IsInvalidArgument());
+  EXPECT_NE(port.status().message().find("port"), std::string::npos);
+  // Non-numeric.
+  auto threads = flags->GetIntInRange("threads", 0, 1, 65536);
+  ASSERT_FALSE(threads.ok());
+  EXPECT_TRUE(threads.status().IsInvalidArgument());
+  EXPECT_NE(threads.status().message().find("threads"), std::string::npos);
+  // Fractional.
+  EXPECT_FALSE(flags->GetIntInRange("max-batch", 256, 1, 65536).ok());
+  // Negative below min.
+  EXPECT_FALSE(flags->GetIntInRange("seed", 7, 0, 1000).ok());
+}
+
+TEST(FlagsTest, GetDoubleInRangeValidatesPresentValues) {
+  auto flags = ParseArgs({"evaluate", "--train-fraction", "0.8",
+                          "--threshold", "abc", "--negative-ratio", "-2"});
+  ASSERT_TRUE(flags.ok());
+  auto fraction = flags->GetDoubleInRange("train-fraction", 0.5, 0.0, 1.0);
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_DOUBLE_EQ(*fraction, 0.8);
+  EXPECT_DOUBLE_EQ(*flags->GetDoubleInRange("missing", 0.5, 0.0, 1.0), 0.5);
+  auto threshold = flags->GetDoubleInRange("threshold", 0.5, 0.0, 1.0);
+  ASSERT_FALSE(threshold.ok());
+  EXPECT_TRUE(threshold.status().IsInvalidArgument());
+  EXPECT_NE(threshold.status().message().find("threshold"),
+            std::string::npos);
+  EXPECT_FALSE(flags->GetDoubleInRange("negative-ratio", 2.0, 0.0, 1e6).ok());
+}
+
 }  // namespace
 }  // namespace leapme::cli

@@ -1,0 +1,125 @@
+// Tests for the serving metrics primitives (common/metrics.h).
+
+#include "common/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leapme {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(BucketHistogramTest, PowerOfTwoBucketing) {
+  BucketHistogram histogram(4);
+  // bucket 0: 1, bucket 1: 2-3, bucket 2: 4-7, bucket 3: 8+ (open-ended).
+  histogram.Record(1);
+  histogram.Record(2);
+  histogram.Record(3);
+  histogram.Record(4);
+  histogram.Record(7);
+  histogram.Record(8);
+  histogram.Record(1000);
+  std::vector<uint64_t> counts = histogram.Snapshot();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST(BucketHistogramTest, ZeroCountsAsOne) {
+  BucketHistogram histogram(3);
+  histogram.Record(0);
+  EXPECT_EQ(histogram.Snapshot()[0], 1u);
+}
+
+TEST(BucketHistogramTest, LabelsDescribeRanges) {
+  BucketHistogram histogram(4);
+  EXPECT_EQ(histogram.BucketLabel(0), "1");
+  EXPECT_EQ(histogram.BucketLabel(1), "2-3");
+  EXPECT_EQ(histogram.BucketLabel(2), "4-7");
+  EXPECT_EQ(histogram.BucketLabel(3), "8+");
+}
+
+TEST(LatencyRecorderTest, EmptyWindowIsAllZero) {
+  LatencyRecorder recorder(16);
+  LatencyRecorder::Percentiles p = recorder.Snapshot();
+  EXPECT_EQ(p.samples, 0u);
+  EXPECT_EQ(p.p50, 0.0);
+  EXPECT_EQ(p.p99, 0.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesFromSortedWindow) {
+  LatencyRecorder recorder(100);
+  for (int i = 1; i <= 100; ++i) {
+    recorder.Record(static_cast<double>(i));
+  }
+  LatencyRecorder::Percentiles p = recorder.Snapshot();
+  EXPECT_EQ(p.samples, 100u);
+  EXPECT_EQ(recorder.total_recorded(), 100u);
+  // Nearest-rank percentiles over 1..100.
+  EXPECT_GE(p.p50, 49.0);
+  EXPECT_LE(p.p50, 51.0);
+  EXPECT_GE(p.p95, 94.0);
+  EXPECT_LE(p.p95, 96.0);
+  EXPECT_GE(p.p99, 98.0);
+  EXPECT_LE(p.p99, 100.0);
+  EXPECT_EQ(p.max, 100.0);
+}
+
+TEST(LatencyRecorderTest, WindowEvictsOldestSamples) {
+  LatencyRecorder recorder(4);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Record(1000.0);  // all evicted below
+  }
+  recorder.Record(1.0);
+  recorder.Record(2.0);
+  recorder.Record(3.0);
+  recorder.Record(4.0);
+  LatencyRecorder::Percentiles p = recorder.Snapshot();
+  EXPECT_EQ(p.samples, 4u);
+  EXPECT_EQ(p.max, 4.0);
+  EXPECT_EQ(recorder.total_recorded(), 104u);
+}
+
+TEST(LatencyRecorderTest, ConcurrentRecordsDoNotCrash) {
+  LatencyRecorder recorder(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 1000; ++i) {
+        recorder.Record(static_cast<double>(i));
+        if (i % 100 == 0) recorder.Snapshot();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.total_recorded(), 4000u);
+  EXPECT_EQ(recorder.Snapshot().samples, 64u);
+}
+
+}  // namespace
+}  // namespace leapme

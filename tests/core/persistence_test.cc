@@ -1,7 +1,9 @@
 // Tests for LeapmeMatcher model persistence (SaveModel / LoadModel).
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -118,6 +120,128 @@ TEST_F(PersistenceTest, CorruptHeaderFails) {
   auto loaded = LeapmeMatcher::LoadModel(model_, path);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, RoundTripScoresAreBitIdentical) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("bitexact.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 100));
+  auto original = matcher.ScorePairs(pairs).value();
+  auto restored = loaded->ScorePairsOn(*dataset_, pairs).value();
+  ASSERT_EQ(original.size(), restored.size());
+  // Weights, scaler statistics and threshold are persisted with full
+  // round-trip precision, so the restored matcher reproduces every score
+  // exactly — the guarantee the online service builds on.
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], restored[i]) << "pair " << i;
+  }
+  EXPECT_EQ(loaded->decision_threshold(), matcher.decision_threshold());
+}
+
+TEST_F(PersistenceTest, TruncatedFilesFailCleanly) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("truncate.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  // Truncate both the matcher file and the network weights at several
+  // points; every prefix must come back as a Status, never a crash.
+  for (const std::string& victim : {path, path + ".mlp"}) {
+    std::string contents;
+    {
+      std::ifstream in(victim, std::ios::binary);
+      contents.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(contents.empty());
+    // Cut points land inside the count-driven weight / column / scaler
+    // regions, where a shortfall must surface as !in.
+    for (size_t keep : {contents.size() / 3, contents.size() / 2}) {
+      std::string clipped_path = Path("clipped.model");
+      // Keep the side file intact so the failure is the clipped one.
+      {
+        std::ofstream main_out(clipped_path, std::ios::binary);
+        std::ofstream mlp_out(clipped_path + ".mlp", std::ios::binary);
+        std::ifstream main_in(path, std::ios::binary);
+        std::ifstream mlp_in(path + ".mlp", std::ios::binary);
+        main_out << main_in.rdbuf();
+        mlp_out << mlp_in.rdbuf();
+      }
+      {
+        std::ofstream out(victim == path ? clipped_path
+                                         : clipped_path + ".mlp",
+                          std::ios::binary | std::ios::trunc);
+        out.write(contents.data(), static_cast<std::streamsize>(keep));
+      }
+      auto loaded = LeapmeMatcher::LoadModel(model_, clipped_path);
+      EXPECT_FALSE(loaded.ok())
+          << victim << " truncated to " << keep << " bytes";
+    }
+  }
+}
+
+TEST_F(PersistenceTest, HostileColumnCountRejectedWithoutAllocating) {
+  std::string path = Path("hostile_columns.model");
+  {
+    std::ofstream out(path);
+    out << "leapme-matcher 1\n";
+    out << "embedding_dim 16\n";
+    out << "columns 92233720368547758\n";  // would be an 8 PB resize
+  }
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, HostileScalerCountRejectedWithoutAllocating) {
+  std::string path = Path("hostile_scaler.model");
+  {
+    std::ofstream out(path);
+    out << "leapme-matcher 1\n";
+    out << "embedding_dim 16\n";
+    out << "scaler 92233720368547758\n";
+  }
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, HostileMlpShapesRejected) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("hostile_mlp.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  {
+    std::ofstream out(path + ".mlp", std::ios::trunc);
+    out << "leapme-mlp 1\n99999999\n";  // absurd layer count
+  }
+  auto huge_layers = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(huge_layers.ok());
+  EXPECT_EQ(huge_layers.status().code(), StatusCode::kCorruption);
+
+  {
+    std::ofstream out(path + ".mlp", std::ios::trunc);
+    out << "leapme-mlp 1\n1\ndense\n1048576 1048576\n";  // 4 TB of weights
+  }
+  auto huge_dense = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(huge_dense.ok());
+  EXPECT_EQ(huge_dense.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, MissingWeightsFileFails) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("no_weights.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+  ASSERT_EQ(std::remove((path + ".mlp").c_str()), 0);
+  EXPECT_FALSE(LeapmeMatcher::LoadModel(model_, path).ok());
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Tests for the minimal JSON document model of the wire protocol.
+
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace leapme::serve {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  auto value = JsonValue::Parse("{\"a\":[1,2,3],\"b\":{\"c\":true}} ");
+  ASSERT_TRUE(value.ok()) << value.status();
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[1].AsNumber(), 2.0);
+  const JsonValue* b = value->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_TRUE(b->Find("c")->AsBool());
+  EXPECT_EQ(value->Find("missing"), nullptr);
+  EXPECT_EQ(value->ObjectKeys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto value = JsonValue::Parse(R"("a\"b\\c\/\b\f\n\r\t")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "a\"b\\c/\b\f\n\r\t");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\"")->AsString(), "A");
+  EXPECT_EQ(JsonValue::Parse("\"\\u00e9\"")->AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse("\"\\u20ac\"")->AsString(), "\xe2\x82\xac");
+  // Surrogate pair decoding to U+1F600.
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83d\\ude00\"")->AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing characters
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\escape\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\x01\"").ok());  // raw control char
+  EXPECT_FALSE(JsonValue::Parse("NaN").ok());
+  EXPECT_FALSE(JsonValue::Parse("-").ok());
+  EXPECT_FALSE(JsonValue::Parse("1.").ok());
+  EXPECT_FALSE(JsonValue::Parse("1e").ok());
+  EXPECT_FALSE(JsonValue::Parse("1e999").ok());  // overflows to infinity
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d")").ok());  // unpaired surrogate
+  EXPECT_FALSE(JsonValue::Parse(R"("\udc00")").ok());  // lone low surrogate
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // A modest depth is fine.
+  std::string ok = std::string(10, '[') + std::string(10, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(AppendJsonStringTest, EscapesSpecialsAndControlChars) {
+  std::string out;
+  AppendJsonString(&out, "a\"b\\c\n\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+  // The escaped form parses back to the original bytes.
+  auto parsed = JsonValue::Parse(out);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\n\x01");
+}
+
+TEST(FormatJsonDoubleTest, RoundTripsExactly) {
+  const double cases[] = {0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          0.12345678901234567,
+                          1e-300,
+                          -1e300,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::nextafter(1.0, 2.0)};
+  for (double value : cases) {
+    const std::string text = FormatJsonDouble(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+    // And it is valid JSON.
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->AsNumber(), value);
+  }
+}
+
+TEST(FormatJsonDoubleTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+}  // namespace
+}  // namespace leapme::serve

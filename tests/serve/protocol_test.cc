@@ -1,0 +1,194 @@
+// Tests for the wire protocol: request parsing/validation and response
+// serialization.
+
+#include "serve/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+
+namespace leapme::serve {
+namespace {
+
+TEST(ParseRequestTest, Ping) {
+  auto request = ParseRequest(R"({"op":"ping","id":7})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->op, Op::kPing);
+  ASSERT_TRUE(request->id.has_value());
+  EXPECT_EQ(*request->id, 7);
+}
+
+TEST(ParseRequestTest, IdIsOptional) {
+  auto request = ParseRequest(R"({"op":"stats"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->op, Op::kStats);
+  EXPECT_FALSE(request->id.has_value());
+}
+
+TEST(ParseRequestTest, Score) {
+  auto request = ParseRequest(
+      R"({"op":"score","pairs":[)"
+      R"({"a":{"name":"mp","values":["10","12"]},"b":{"name":"pixels"}}]})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->op, Op::kScore);
+  ASSERT_EQ(request->pairs.size(), 1u);
+  EXPECT_EQ(request->pairs[0].a.name, "mp");
+  EXPECT_EQ(request->pairs[0].a.values,
+            (std::vector<std::string>{"10", "12"}));
+  EXPECT_EQ(request->pairs[0].b.name, "pixels");
+  EXPECT_TRUE(request->pairs[0].b.values.empty());
+}
+
+TEST(ParseRequestTest, TopK) {
+  auto request = ParseRequest(
+      R"({"op":"topk","query":{"name":"zoom"},)"
+      R"("candidates":[{"name":"a"},{"name":"b"}],"k":2})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->op, Op::kTopK);
+  EXPECT_EQ(request->query.name, "zoom");
+  ASSERT_EQ(request->candidates.size(), 2u);
+  EXPECT_EQ(request->k, 2u);
+}
+
+TEST(ParseRequestTest, TopKDefaultsToK1) {
+  auto request = ParseRequest(
+      R"({"op":"topk","query":{"name":"q"},"candidates":[{"name":"c"}]})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->k, 1u);
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequests) {
+  // Not JSON / not an object.
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());
+  // op missing / wrong type / unknown.
+  EXPECT_FALSE(ParseRequest(R"({})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":3})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"frobnicate"})").ok());
+  // Unknown fields are rejected, not ignored.
+  EXPECT_FALSE(ParseRequest(R"({"op":"ping","paris":[]})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"score","pairs":[],"extra":1})").ok());
+  // Bad ids.
+  EXPECT_FALSE(ParseRequest(R"({"op":"ping","id":"x"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"ping","id":1.5})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"ping","id":1e17})").ok());
+  // Bad score payloads.
+  EXPECT_FALSE(ParseRequest(R"({"op":"score"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"score","pairs":[]})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"score","pairs":[{"a":1,"b":2}]})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"score","pairs":[{"a":{"name":""}}]})").ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"op":"score","pairs":[{"a":{"name":"x"}}]})")
+                   .ok());  // missing b
+  EXPECT_FALSE(ParseRequest(
+                   R"({"op":"score","pairs":[{"a":{"name":"x",)"
+                   R"("values":[1]},"b":{"name":"y"}}]})")
+                   .ok());  // non-string value
+  // Bad topk payloads.
+  EXPECT_FALSE(ParseRequest(R"({"op":"topk","candidates":[]})").ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"op":"topk","query":{"name":"q"},"candidates":[]})")
+                   .ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"topk","query":{"name":"q"},)"
+                            R"("candidates":[{"name":"c"}],"k":0})")
+                   .ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"topk","query":{"name":"q"},)"
+                            R"("candidates":[{"name":"c"}],"k":2.5})")
+                   .ok());
+}
+
+TEST(ParseRequestTest, EnforcesLimits) {
+  ProtocolLimits limits;
+  limits.max_pairs_per_request = 1;
+  limits.max_values_per_property = 2;
+  limits.max_k = 3;
+  const char* two_pairs =
+      R"({"op":"score","pairs":[)"
+      R"({"a":{"name":"x"},"b":{"name":"y"}},)"
+      R"({"a":{"name":"x"},"b":{"name":"y"}}]})";
+  EXPECT_FALSE(ParseRequest(two_pairs, limits).ok());
+  EXPECT_TRUE(ParseRequest(two_pairs).ok());  // default limits allow it
+
+  const char* many_values =
+      R"({"op":"score","pairs":[{"a":{"name":"x",)"
+      R"("values":["1","2","3"]},"b":{"name":"y"}}]})";
+  EXPECT_FALSE(ParseRequest(many_values, limits).ok());
+
+  const char* big_k = R"({"op":"topk","query":{"name":"q"},)"
+                      R"("candidates":[{"name":"c"}],"k":4})";
+  EXPECT_FALSE(ParseRequest(big_k, limits).ok());
+}
+
+TEST(ResponseTest, PingAndErrorShapes) {
+  EXPECT_EQ(PingResponse(std::optional<int64_t>(1)),
+            R"({"id":1,"ok":true,"op":"ping"})");
+  EXPECT_EQ(PingResponse(std::nullopt), R"({"ok":true,"op":"ping"})");
+
+  const std::string error =
+      ErrorResponse(std::optional<int64_t>(2),
+                    Status::InvalidArgument("bad \"field\""));
+  auto parsed = JsonValue::Parse(error);
+  ASSERT_TRUE(parsed.ok()) << error;
+  EXPECT_DOUBLE_EQ(parsed->Find("id")->AsNumber(), 2.0);
+  EXPECT_FALSE(parsed->Find("ok")->AsBool());
+  const JsonValue* detail = parsed->Find("error");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->Find("code")->AsString(), "InvalidArgument");
+  EXPECT_EQ(detail->Find("message")->AsString(), "bad \"field\"");
+}
+
+TEST(ResponseTest, ScoreResponseRoundTripsScores) {
+  const std::vector<double> scores = {0.0, 1.0 / 3.0, 0.9999999999999999};
+  const std::string line = ScoreResponse(std::optional<int64_t>(5), scores);
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  const JsonValue* array = parsed->Find("scores");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->AsArray().size(), scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    // Bit-identical after the wire round trip.
+    EXPECT_EQ(array->AsArray()[i].AsNumber(), scores[i]);
+  }
+}
+
+TEST(ResponseTest, TopKResponseShape) {
+  const std::vector<MatchResult> matches = {{4, 0.75}, {0, 0.5}};
+  const std::string line = TopKResponse(std::nullopt, matches);
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  const JsonValue* array = parsed->Find("matches");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(array->AsArray()[0].Find("index")->AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(array->AsArray()[0].Find("score")->AsNumber(), 0.75);
+}
+
+TEST(ResponseTest, StatsResponseIsValidJson) {
+  ServiceStats stats;
+  stats.requests = 3;
+  stats.score_requests = 2;
+  stats.batches = 1;
+  stats.batch_histogram = {0, 5, 0};
+  stats.batch_histogram_labels = {"1", "2-3", "4+"};
+  stats.embedding_cache_hits = 10;
+  stats.latency_p50_us = 123.5;
+  const std::string line = StatsResponse(std::optional<int64_t>(9), stats);
+  auto parsed = JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  const JsonValue* body = parsed->Find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_DOUBLE_EQ(body->Find("requests")->AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(body->Find("embedding_cache_hits")->AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(body->Find("latency_p50_us")->AsNumber(), 123.5);
+  // Only non-empty histogram buckets appear, keyed by range label.
+  const JsonValue* histogram = body->Find("batch_histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->ObjectKeys(), (std::vector<std::string>{"2-3"}));
+}
+
+}  // namespace
+}  // namespace leapme::serve

@@ -1,0 +1,395 @@
+// Load generator and correctness checker for a running `leapme serve`.
+//
+// Opens --clients concurrent connections, each sending --requests score
+// requests of --pairs property pairs drawn from a dataset (--data TSV,
+// or a synthetic catalog generated from --domain/--sources/--entities).
+// Every response is validated: ok:true, echoed id, one score per pair,
+// all scores finite. With --model FILE the same model is additionally
+// loaded in-process and every wire score must be bit-identical to the
+// offline ScorePairsOn result (the embedding flags must match the
+// server's: --domain/--emb-dim/--seed or --embeddings).
+//
+// Prints a summary with throughput and latency percentiles, then the
+// server's own stats line. Exits non-zero on any protocol error or
+// score mismatch.
+//
+// Usage:
+//   serve_client --port N [--host 127.0.0.1] [--clients 8]
+//                [--requests 20] [--pairs 8] [--model FILE]
+//                [--data FILE | --domain tvs] [--sources 4]
+//                [--entities 8] [--seed 7] [--emb-dim 64]
+//                [--embeddings FILE]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/tsv_io.h"
+#include "embedding/caching_model.h"
+#include "embedding/synthetic_model.h"
+#include "embedding/text_embedding_file.h"
+#include "core/leapme.h"
+#include "serve/json.h"
+
+namespace {
+
+using namespace leapme;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "serve_client: %s\n", message.c_str());
+  std::exit(1);
+}
+
+/// `--key value` / `--key=value` argument list; no positional arguments.
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) Die("unexpected argument '" + token + "'");
+    token.erase(0, 2);
+    const size_t equals = token.find('=');
+    if (equals != std::string::npos) {
+      args[token.substr(0, equals)] = token.substr(equals + 1);
+    } else if (i + 1 < argc) {
+      args[token] = argv[++i];
+    } else {
+      Die("--" + token + " needs a value");
+    }
+  }
+  return args;
+}
+
+int64_t ArgInt(const std::map<std::string, std::string>& args,
+               const std::string& key, int64_t fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    Die("--" + key + " must be an integer, got '" + it->second + "'");
+  }
+  return parsed;
+}
+
+/// Blocking line-delimited client over one TCP connection.
+class LineClient {
+ public:
+  LineClient(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* out) {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *out = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string SpecJson(const data::Dataset& dataset, data::PropertyId id) {
+  std::string out = "{\"name\":";
+  serve::AppendJsonString(&out, dataset.property(id).name);
+  out += ",\"values\":[";
+  const auto& instances = dataset.instances(id);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (i > 0) out += ',';
+    serve::AppendJsonString(&out, instances[i].value);
+  }
+  out += "]}";
+  return out;
+}
+
+struct SharedState {
+  std::string host;
+  int port = 0;
+  size_t requests_per_client = 0;
+  size_t pairs_per_request = 0;
+  const data::Dataset* dataset = nullptr;
+  std::vector<data::PropertyPair> pairs;
+  std::vector<double> expected;  // empty without --model
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+};
+
+/// One client connection's worth of load; returns per-request latencies
+/// in microseconds.
+std::vector<double> RunClient(SharedState& state, size_t client_index) {
+  std::vector<double> latencies;
+  LineClient client(state.host, state.port);
+  if (!client.connected()) {
+    std::fprintf(stderr, "client %zu: cannot connect to %s:%d\n",
+                 client_index, state.host.c_str(), state.port);
+    state.errors.fetch_add(state.requests_per_client);
+    return latencies;
+  }
+  for (size_t request = 0; request < state.requests_per_client; ++request) {
+    // Each request scores a deterministic window into the pair list, so
+    // the expected scores are known by offset.
+    const size_t start =
+        (client_index * 131 + request * state.pairs_per_request) %
+        state.pairs.size();
+    const int64_t id =
+        static_cast<int64_t>(client_index * 100000 + request);
+    std::string line =
+        "{\"op\":\"score\",\"id\":" + std::to_string(id) + ",\"pairs\":[";
+    for (size_t i = 0; i < state.pairs_per_request; ++i) {
+      const auto& pair = state.pairs[(start + i) % state.pairs.size()];
+      if (i > 0) line += ',';
+      line += "{\"a\":" + SpecJson(*state.dataset, pair.a) +
+              ",\"b\":" + SpecJson(*state.dataset, pair.b) + "}";
+    }
+    line += "]}";
+
+    const auto begin = std::chrono::steady_clock::now();
+    std::string response;
+    if (!client.SendLine(line) || !client.ReadLine(&response)) {
+      std::fprintf(stderr, "client %zu: connection lost\n", client_index);
+      state.errors.fetch_add(state.requests_per_client - request);
+      return latencies;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(end - begin).count());
+
+    auto parsed = serve::JsonValue::Parse(response);
+    const serve::JsonValue* ok =
+        parsed.ok() ? parsed->Find("ok") : nullptr;
+    const serve::JsonValue* scores =
+        parsed.ok() ? parsed->Find("scores") : nullptr;
+    const serve::JsonValue* echoed_id =
+        parsed.ok() ? parsed->Find("id") : nullptr;
+    if (ok == nullptr || !ok->is_bool() || !ok->AsBool() ||
+        scores == nullptr || !scores->is_array() ||
+        scores->AsArray().size() != state.pairs_per_request ||
+        echoed_id == nullptr || !echoed_id->is_number() ||
+        echoed_id->AsNumber() != static_cast<double>(id)) {
+      std::fprintf(stderr, "client %zu: bad response: %s\n", client_index,
+                   response.c_str());
+      state.errors.fetch_add(1);
+      continue;
+    }
+    bool all_match = true;
+    for (size_t i = 0; i < state.pairs_per_request; ++i) {
+      const serve::JsonValue& score = scores->AsArray()[i];
+      if (!score.is_number()) {
+        all_match = false;
+        break;
+      }
+      if (state.expected.empty()) continue;
+      const double expected = state.expected[(start + i) %
+                                             state.pairs.size()];
+      if (score.AsNumber() != expected) {
+        std::fprintf(stderr,
+                     "client %zu: score mismatch at pair %zu: wire %.17g "
+                     "!= offline %.17g\n",
+                     client_index, (start + i) % state.pairs.size(),
+                     score.AsNumber(), expected);
+        all_match = false;
+      }
+    }
+    if (all_match) {
+      state.requests_ok.fetch_add(1);
+    } else {
+      state.mismatches.fetch_add(1);
+    }
+  }
+  return latencies;
+}
+
+double Percentile(std::vector<double>& sorted, double quantile) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      quantile * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (args.count("port") == 0) {
+    Die("--port is required (see the usage comment at the top of "
+        "tools/serve_client.cc)");
+  }
+
+  SharedState state;
+  state.host = args.count("host") ? args.at("host") : "127.0.0.1";
+  state.port = static_cast<int>(ArgInt(args, "port", 0));
+  const size_t clients = static_cast<size_t>(ArgInt(args, "clients", 8));
+  state.requests_per_client =
+      static_cast<size_t>(ArgInt(args, "requests", 20));
+  state.pairs_per_request = static_cast<size_t>(ArgInt(args, "pairs", 8));
+  if (state.port <= 0 || clients == 0 || state.requests_per_client == 0 ||
+      state.pairs_per_request == 0) {
+    Die("--port/--clients/--requests/--pairs must be positive");
+  }
+
+  // The request corpus: a real TSV dataset or a generated catalog.
+  data::Dataset dataset("");
+  if (args.count("data")) {
+    auto read = data::ReadDatasetTsv(args.at("data"));
+    if (!read.ok()) Die(read.status().ToString());
+    dataset = std::move(*read);
+  } else {
+    const std::string domain_name =
+        args.count("domain") ? args.at("domain") : "tvs";
+    const data::DomainSpec* domain = nullptr;
+    for (const data::DomainSpec* candidate : data::AllDomains()) {
+      if (candidate->name == domain_name) domain = candidate;
+    }
+    if (domain == nullptr) Die("unknown --domain '" + domain_name + "'");
+    data::GeneratorOptions generator;
+    generator.num_sources = static_cast<size_t>(ArgInt(args, "sources", 4));
+    generator.min_entities_per_source =
+        static_cast<size_t>(ArgInt(args, "entities", 8));
+    generator.max_entities_per_source = generator.min_entities_per_source;
+    generator.seed = static_cast<uint64_t>(ArgInt(args, "seed", 7));
+    auto generated = data::GenerateCatalog(*domain, generator);
+    if (!generated.ok()) Die(generated.status().ToString());
+    dataset = std::move(*generated);
+  }
+  state.dataset = &dataset;
+  state.pairs = dataset.AllCrossSourcePairs();
+  if (state.pairs.empty()) Die("dataset has no cross-source pairs");
+
+  // Optional offline reference: load the same model the server serves
+  // and precompute the expected score of every pair.
+  std::unique_ptr<embedding::EmbeddingModel> model;
+  if (args.count("model")) {
+    if (args.count("embeddings")) {
+      auto loaded = embedding::TextEmbeddingFile::Load(args.at("embeddings"));
+      if (!loaded.ok()) Die(loaded.status().ToString());
+      model = std::make_unique<embedding::TextEmbeddingFile>(
+          std::move(*loaded));
+    } else {
+      const std::string domain_name =
+          args.count("domain") ? args.at("domain") : "tvs";
+      const data::DomainSpec* domain = nullptr;
+      for (const data::DomainSpec* candidate : data::AllDomains()) {
+        if (candidate->name == domain_name) domain = candidate;
+      }
+      if (domain == nullptr) Die("unknown --domain '" + domain_name + "'");
+      embedding::SyntheticModelOptions options;
+      options.dimension = static_cast<size_t>(ArgInt(args, "emb-dim", 64));
+      options.seed = static_cast<uint64_t>(ArgInt(args, "seed", 7));
+      options.oov_policy = embedding::OovPolicy::kHashedVector;
+      auto built = embedding::SyntheticEmbeddingModel::Build(
+          data::DomainClusters(*domain), options);
+      if (!built.ok()) Die(built.status().ToString());
+      model = std::make_unique<embedding::SyntheticEmbeddingModel>(
+          std::move(*built));
+    }
+    auto matcher = core::LeapmeMatcher::LoadModel(model.get(),
+                                                  args.at("model"));
+    if (!matcher.ok()) Die(matcher.status().ToString());
+    auto expected = matcher->ScorePairsOn(dataset, state.pairs);
+    if (!expected.ok()) Die(expected.status().ToString());
+    state.expected = std::move(*expected);
+  }
+
+  std::printf("serve_client: %zu clients x %zu requests x %zu pairs "
+              "against %s:%d (%zu distinct pairs%s)\n",
+              clients, state.requests_per_client, state.pairs_per_request,
+              state.host.c_str(), state.port, state.pairs.size(),
+              state.expected.empty() ? ""
+                                     : ", checking against offline scores");
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back(
+        [&state, &latencies, c] { latencies[c] = RunClient(state, c); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& slice : latencies) {
+    all.insert(all.end(), slice.begin(), slice.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const uint64_t ok = state.requests_ok.load();
+  const uint64_t errors = state.errors.load();
+  const uint64_t mismatches = state.mismatches.load();
+  const double pairs_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(ok * state.pairs_per_request) /
+                            elapsed_s
+                      : 0.0;
+  std::printf("requests ok=%llu errors=%llu mismatches=%llu\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(mismatches));
+  std::printf("throughput %.0f pairs/s, latency p50=%.0fus p95=%.0fus "
+              "p99=%.0fus\n",
+              pairs_per_sec, Percentile(all, 0.50), Percentile(all, 0.95),
+              Percentile(all, 0.99));
+
+  // Ask the server how the run looked from its side.
+  LineClient stats_client(state.host, state.port);
+  std::string stats_line;
+  if (stats_client.connected() &&
+      stats_client.SendLine("{\"op\":\"stats\"}") &&
+      stats_client.ReadLine(&stats_line)) {
+    std::printf("server stats: %s\n", stats_line.c_str());
+  }
+
+  return (errors == 0 && mismatches == 0) ? 0 : 1;
+}
