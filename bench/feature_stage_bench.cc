@@ -1,0 +1,109 @@
+// Per-stage feature-timing benchmark: runs the registry-based
+// FeaturePipeline over a synthetic catalog and reports each stage's cost
+// from the pipeline's own StageTimings() counters — the same numbers the
+// serve `stats` op exposes. Prints one JSON object mapping stage name to
+// ns/property and ns/pair so runs are easy to diff and plot.
+//
+// Environment knobs: LEAPME_SCALE (test | bench | paper).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "embedding/synthetic_model.h"
+#include "features/feature_pipeline.h"
+
+namespace {
+
+using namespace leapme;
+
+struct BenchShape {
+  size_t sources;
+  size_t entities;
+  size_t repetitions;  ///< full property+design passes, to stabilize timings
+};
+
+BenchShape ShapeFor(eval::EvalScale scale) {
+  switch (scale) {
+    case eval::EvalScale::kTest:
+      return {3, 6, 1};
+    case eval::EvalScale::kPaper:
+      return {6, 16, 20};
+    default:
+      return {4, 10, 5};
+  }
+}
+
+double PerCall(uint64_t ns, uint64_t calls) {
+  return calls == 0 ? 0.0 : static_cast<double>(ns) / static_cast<double>(calls);
+}
+
+}  // namespace
+
+int main() {
+  const BenchShape shape = ShapeFor(bench::ScaleFromEnv());
+
+  data::GeneratorOptions generator;
+  generator.num_sources = shape.sources;
+  generator.min_entities_per_source = shape.entities;
+  generator.max_entities_per_source = shape.entities;
+  generator.seed = 55;
+  auto dataset_or = data::GenerateCatalog(data::TvDomain(), generator);
+  bench::CheckOk(dataset_or.status(), "GenerateCatalog");
+  const data::Dataset dataset = std::move(dataset_or).value();
+
+  auto model_or = embedding::SyntheticEmbeddingModel::Build(
+      data::DomainClusters(data::TvDomain()),
+      {.dimension = 16,
+       .seed = 56,
+       .oov_policy = embedding::OovPolicy::kHashedVector});
+  bench::CheckOk(model_or.status(), "SyntheticEmbeddingModel::Build");
+  const auto model = std::move(model_or).value();
+
+  features::FeaturePipeline pipeline(&model, {});
+  const std::vector<data::PropertyPair> pairs = dataset.AllCrossSourcePairs();
+
+  std::vector<features::PropertyFeatures> properties;
+  std::vector<std::string> values;
+  for (size_t rep = 0; rep < shape.repetitions; ++rep) {
+    properties.clear();
+    for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+      values.clear();
+      for (const data::InstanceValue& instance : dataset.instances(id)) {
+        values.push_back(instance.value);
+      }
+      properties.push_back(
+          pipeline.ComputeProperty(dataset.property(id).name, values));
+    }
+    std::vector<const features::PropertyFeatures*> lhs;
+    std::vector<const features::PropertyFeatures*> rhs;
+    for (const data::PropertyPair& pair : pairs) {
+      lhs.push_back(&properties[pair.a]);
+      rhs.push_back(&properties[pair.b]);
+    }
+    pipeline.BuildDesignMatrix(lhs, rhs, {});
+  }
+
+  std::printf("{\"benchmark\":\"feature_stage\",\"properties\":%zu,"
+              "\"pairs\":%zu,\"repetitions\":%zu,\"embedding_dim\":%zu,"
+              "\"threads\":%zu,\"stages\":[",
+              dataset.property_count(), pairs.size(), shape.repetitions,
+              model.dimension(), bench::BenchThreads());
+  const std::vector<features::StageTiming> timings = pipeline.StageTimings();
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const features::StageTiming& timing = timings[i];
+    std::printf("%s{\"name\":\"%s\",\"version\":%d,"
+                "\"property_calls\":%llu,\"ns_per_property\":%.1f,"
+                "\"pair_calls\":%llu,\"ns_per_pair\":%.1f}",
+                i == 0 ? "" : ",", timing.name.c_str(), timing.version,
+                static_cast<unsigned long long>(timing.property_calls),
+                PerCall(timing.property_ns, timing.property_calls),
+                static_cast<unsigned long long>(timing.pair_calls),
+                PerCall(timing.pair_ns, timing.pair_calls));
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verification plus a ThreadSanitizer pass over
-# the concurrency surface (the shared execution engine and the online
-# scoring service).
+# CI entry point: tier-1 verification plus sanitizer passes over the
+# concurrency surface (the shared execution engine and the online
+# scoring service) — ThreadSanitizer for races, AddressSanitizer for
+# lifetime bugs in the batcher / cache / registry hot paths.
 #
-#   scripts/ci.sh            # full run
-#   SKIP_TSAN=1 scripts/ci.sh  # tier-1 only
+#   scripts/ci.sh              # full run
+#   SKIP_TSAN=1 scripts/ci.sh  # skip the TSan tier
+#   SKIP_ASAN=1 scripts/ci.sh  # skip the ASan tier
 #
-# Both build trees are kept (build/, build-tsan/) so incremental reruns
-# are cheap.
+# All build trees are kept (build/, build-tsan/, build-asan/) so
+# incremental reruns are cheap.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +26,14 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -L 'parallel|serve'
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== tier 3: AddressSanitizer on the parallel + serve labels =="
+  cmake -B build-asan -S . -DLEAPME_SANITIZE=address
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -L 'parallel|serve'
 fi
 

@@ -16,6 +16,7 @@
 #include "embedding/caching_model.h"
 #include "embedding/synthetic_model.h"
 #include "embedding/text_embedding_file.h"
+#include "features/feature_registry.h"
 #include "graph/similarity_graph.h"
 #include "ml/metrics.h"
 #include "serve/matcher_service.h"
@@ -36,7 +37,11 @@ constexpr const char* kUsage =
     "  evaluate   train on a fraction of sources, report P/R/F1 on the rest\n"
     "             --data FILE [--train-fraction 0.8] [--seed 7]\n"
     "             [--embeddings GLOVE_FILE | --domain NAME] [--emb-dim 64]\n"
-    "             [--features origin/kinds] [--model-out FILE]\n"
+    "             [--features origin/kinds | stage,stage,...] (stages:\n"
+    "             char_class_meta, token_class_meta, numeric_value,\n"
+    "             value_embedding, name_embedding, string_distances)\n"
+    "             [--max-instances-per-property N] (0 = use all values)\n"
+    "             [--model-out FILE]\n"
     "             [--threads N] (defaults to LEAPME_THREADS env or all\n"
     "             cores; results are identical at any thread count)\n"
     "  match      print discovered matches among the held-out sources\n"
@@ -103,16 +108,46 @@ StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
       new embedding::SyntheticEmbeddingModel(std::move(model)));
 }
 
-StatusOr<features::FeatureConfig> ParseFeatureConfig(const Flags& flags) {
-  std::string text = flags.GetString("features", "both/all");
+/// Applies --features to `options`. Two syntaxes: one of the nine §V-A
+/// origin/kind configs ("both/all", "names/embeddings", ...) or a
+/// comma-separated list of registry stage names
+/// ("name_embedding,string_distances"), validated against the built-in
+/// registry so typos fail here instead of at Fit.
+Status ApplyFeatureSelection(const Flags& flags,
+                             core::LeapmeOptions* options) {
+  const std::string text = flags.GetString("features", "both/all");
   for (const features::FeatureConfig& config :
        features::AllFeatureConfigs()) {
-    if (config.ToString() == text) return config;
+    if (config.ToString() == text) {
+      options->feature_config = config;
+      return Status::OK();
+    }
+  }
+  const features::FeatureRegistry& registry =
+      features::FeatureRegistry::BuiltIn();
+  if (text.find('/') == std::string::npos) {
+    std::vector<std::string> stages;
+    for (const std::string& piece : SplitString(text, ',')) {
+      std::string stage(StripAsciiWhitespace(piece));
+      if (stage.empty()) continue;
+      if (registry.Find(stage) == nullptr) {
+        return Status::InvalidArgument(
+            "unknown feature stage '" + stage + "' in --features (stages: " +
+            registry.StageNames() + ")");
+      }
+      stages.push_back(std::move(stage));
+    }
+    if (!stages.empty()) {
+      options->feature_stages = std::move(stages);
+      return Status::OK();
+    }
   }
   return Status::InvalidArgument(
       "unknown --features '" + text +
-      "' (expected e.g. both/all, names/embeddings, "
-      "instances/non-embeddings)");
+      "' (expected an origin/kind config such as both/all, "
+      "names/embeddings, instances/non-embeddings, or a comma-separated "
+      "stage list from: " +
+      registry.StageNames() + ")");
 }
 
 /// Applies --threads to the global pool. The flag must be a positive
@@ -196,9 +231,14 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
                                negative_ratio, rng));
 
   core::LeapmeOptions options;
-  LEAPME_ASSIGN_OR_RETURN(options.feature_config, ParseFeatureConfig(flags));
+  LEAPME_RETURN_IF_ERROR(ApplyFeatureSelection(flags, &options));
   LEAPME_ASSIGN_OR_RETURN(options.decision_threshold,
                           flags.GetDoubleInRange("threshold", 0.5, 0.0, 1.0));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t max_instances,
+      flags.GetIntInRange("max-instances-per-property", 0, 0, 1 << 24));
+  options.pair_features.max_instances_per_property =
+      static_cast<size_t>(max_instances);
   options.threads = threads;
   session.matcher = std::make_unique<core::LeapmeMatcher>(
       session.model.get(), options);
@@ -243,7 +283,7 @@ const std::vector<std::string>& EvaluateFlags() {
       "data",        "train-fraction", "seed",      "embeddings",
       "domain",      "emb-dim",        "features",  "model-out",
       "model-in",    "threshold",      "negative-ratio",
-      "limit",       "threads"};
+      "limit",       "threads",        "max-instances-per-property"};
   return *kFlags;
 }
 
@@ -450,12 +490,14 @@ Status RunServe(const Flags& flags) {
   service_options.max_batch = static_cast<size_t>(max_batch);
   service_options.batch_window_us = static_cast<size_t>(batch_window_us);
   service_options.property_cache_capacity = static_cast<size_t>(prop_cache);
-  serve::MatcherService service(&matcher, &cached, service_options);
+  LEAPME_ASSIGN_OR_RETURN(
+      std::unique_ptr<serve::MatcherService> service,
+      serve::MatcherService::Create(&matcher, &cached, service_options));
 
   serve::ServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
   server_options.port = static_cast<int>(port);
-  serve::TcpServer server(&service, server_options);
+  serve::TcpServer server(service.get(), server_options);
   LEAPME_RETURN_IF_ERROR(server.Start());
   std::fprintf(stderr,
                "leapme serve listening on %s:%d (max-batch %lld, window "

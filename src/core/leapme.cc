@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "ml/metrics.h"
@@ -22,14 +23,30 @@ LeapmeMatcher::LeapmeMatcher(const embedding::EmbeddingModel* model,
                              LeapmeOptions options)
     : model_(model),
       options_(std::move(options)),
-      pipeline_(model, options_.pair_features),
-      columns_(pipeline_.schema().SelectedColumns(options_.feature_config)) {}
+      pipeline_(model, options_.pair_features) {
+  if (options_.feature_stages.empty()) {
+    columns_ = pipeline_.schema().SelectedColumns(options_.feature_config);
+  } else {
+    // Stage-mask selection. A constructor cannot fail, so an unknown
+    // stage name is deferred until Fit.
+    StatusOr<std::vector<size_t>> columns =
+        pipeline_.schema().StageColumns(options_.feature_stages);
+    if (columns.ok()) {
+      columns_ = std::move(columns).value();
+    } else {
+      columns_error_ = columns.status();
+    }
+  }
+}
 
 Status LeapmeMatcher::Fit(
     const data::Dataset& dataset,
     const std::vector<data::LabeledPair>& training_pairs) {
   if (training_pairs.empty()) {
     return Status::InvalidArgument("no training pairs");
+  }
+  if (!columns_error_.ok()) {
+    return columns_error_;
   }
   if (options_.calibration_fraction < 0.0 ||
       options_.calibration_fraction >= 1.0) {
@@ -283,17 +300,27 @@ Status LeapmeMatcher::SaveModel(const std::string& path) const {
   // Threshold and scaler statistics must parse back to the exact same
   // values, so restored matchers score bit-identically to the original.
   out.precision(17);
-  out << "leapme-matcher 1\n";
+  out << "leapme-matcher 2\n";
   out << "embedding_dim " << model_->dimension() << "\n";
+  out << "fingerprint " << pipeline_.schema().fingerprint() << "\n";
   out << "threshold " << decision_threshold_ << "\n";
   out << "standardize " << (options_.standardize_features ? 1 : 0) << "\n";
   out << "absolute_diff "
       << (options_.pair_features.absolute_difference ? 1 : 0) << "\n";
   out << "normalize_distances "
       << (options_.pair_features.normalize_string_distances ? 1 : 0) << "\n";
+  out << "max_instances "
+      << options_.pair_features.max_instances_per_property << "\n";
   out << "origin " << static_cast<int>(options_.feature_config.origin)
       << "\n";
   out << "kinds " << static_cast<int>(options_.feature_config.kinds) << "\n";
+  if (!options_.feature_stages.empty()) {
+    out << "stages " << options_.feature_stages.size();
+    for (const std::string& stage : options_.feature_stages) {
+      out << " " << stage;
+    }
+    out << "\n";
+  }
   out << "columns " << columns_.size();
   for (size_t column : columns_) {
     out << " " << column;
@@ -321,19 +348,35 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
   std::string magic;
   int version = 0;
   in >> magic >> version;
-  if (magic != "leapme-matcher" || version != 1) {
+  if (magic != "leapme-matcher" || (version != 1 && version != 2)) {
     return Status::Corruption("bad matcher header in " + path);
   }
 
   LeapmeOptions options;
   std::string key;
   size_t embedding_dim = 0;
+  std::string fingerprint;
   std::vector<size_t> columns;
   std::vector<float> scaler_mean;
   std::vector<float> scaler_stddev;
   while (in >> key) {
     if (key == "embedding_dim") {
       in >> embedding_dim;
+    } else if (key == "fingerprint") {
+      in >> fingerprint;
+    } else if (key == "max_instances") {
+      in >> options.pair_features.max_instances_per_property;
+    } else if (key == "stages") {
+      size_t count = 0;
+      in >> count;
+      if (!in || count > kMaxPersistedVectorSize) {
+        return Status::Corruption("bad stage count in " + path);
+      }
+      options.feature_stages.resize(count);
+      for (std::string& stage : options.feature_stages) in >> stage;
+      if (!in) {
+        return Status::Corruption("truncated stage list in " + path);
+      }
     } else if (key == "threshold") {
       in >> options.decision_threshold;
     } else if (key == "standardize") {
@@ -397,12 +440,34 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
     return Status::Corruption("missing embedding_dim in " + path);
   }
   if (model->dimension() != embedding_dim) {
-    return Status::InvalidArgument(
-        StrFormat("model dimension %zu != saved %zu", model->dimension(),
-                  embedding_dim));
+    return Status::FailedPrecondition(StrFormat(
+        "model %s was trained with embedding dimension %zu but the live "
+        "embedding model has dimension %zu",
+        path.c_str(), embedding_dim, model->dimension()));
   }
 
   LeapmeMatcher matcher(model, options);
+  if (!matcher.columns_error_.ok()) {
+    return matcher.columns_error_;
+  }
+  // Prove the live pipeline computes the same design matrix the model was
+  // trained on. A v1 file predates fingerprints; a v2 file must carry one
+  // and it must match the schema rebuilt from the persisted options.
+  const std::string& live = matcher.pipeline_.schema().fingerprint();
+  if (version < 2) {
+    LEAPME_LOG(Warning)
+        << "loading v1 model file " << path
+        << " without a feature-schema fingerprint; assuming it matches the "
+           "live pipeline (" << live << ")";
+  } else if (fingerprint.empty()) {
+    return Status::Corruption("missing fingerprint in v2 model " + path);
+  } else if (fingerprint != live) {
+    return Status::FailedPrecondition(StrFormat(
+        "model %s was trained with feature schema %s but the live pipeline "
+        "computes %s (%s); refusing to mis-score",
+        path.c_str(), fingerprint.c_str(), live.c_str(),
+        matcher.pipeline_.schema().canonical().c_str()));
+  }
   if (matcher.columns_ != columns) {
     return Status::Corruption("saved columns disagree with feature config");
   }

@@ -25,6 +25,11 @@ struct LeapmeOptions {
   features::PairFeatureOptions pair_features;
   /// Which of the nine feature configurations to use (§V-A).
   features::FeatureConfig feature_config;
+  /// Explicit registry-stage selection (--features=stage,stage). When
+  /// non-empty it overrides `feature_config`: the classifier input is the
+  /// union of the named stages' pair columns. Unknown names surface as an
+  /// InvalidArgument from Fit.
+  std::vector<std::string> feature_stages;
   nn::TrainerOptions trainer;
   std::vector<size_t> hidden_sizes = {128, 64};
   /// Dropout rate after each hidden ReLU (0 = the paper's configuration).
@@ -130,6 +135,13 @@ class LeapmeMatcher {
 
   const LeapmeOptions& options() const { return options_; }
 
+  /// The feature pipeline this matcher computes with (schema, fingerprint,
+  /// per-stage timings).
+  const features::FeaturePipeline& pipeline() const { return pipeline_; }
+
+  /// True after a successful Fit or LoadModel.
+  bool fitted() const { return fitted_; }
+
   /// Precomputed features of property `id` (valid after Fit).
   const features::PropertyFeatures& property_features(
       data::PropertyId id) const {
@@ -137,13 +149,18 @@ class LeapmeMatcher {
   }
 
   /// Persists the trained classifier (network weights, feature scaler,
-  /// selected feature columns and decision threshold) to `path`. The
-  /// cached per-dataset property features are not saved — a loaded
-  /// matcher scores new datasets via ScorePairsOn.
+  /// selected feature columns and decision threshold) to `path` in the
+  /// `leapme-matcher 2` format, which records the feature-schema
+  /// fingerprint. The cached per-dataset property features are not
+  /// saved — a loaded matcher scores new datasets via ScorePairsOn.
   Status SaveModel(const std::string& path) const;
 
   /// Restores a matcher saved with SaveModel. `model` must have the same
-  /// embedding dimension as at save time.
+  /// embedding dimension as at save time (FailedPrecondition otherwise).
+  /// v2 files additionally prove their feature-schema fingerprint against
+  /// the live pipeline's; a mismatch (e.g. a stage version bumped since
+  /// the model was trained) is a FailedPrecondition, never a silent
+  /// mis-score. v1 files (no fingerprint) still load with a warning.
   static StatusOr<LeapmeMatcher> LoadModel(
       const embedding::EmbeddingModel* model, const std::string& path);
 
@@ -155,6 +172,7 @@ class LeapmeMatcher {
   LeapmeOptions options_;
   features::FeaturePipeline pipeline_;
   std::vector<size_t> columns_;  // selected feature columns
+  Status columns_error_ = Status::OK();  // deferred feature_stages error
   std::vector<features::PropertyFeatures> property_features_;
   size_t property_count_ = 0;
   ml::StandardScaler scaler_;

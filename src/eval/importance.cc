@@ -20,25 +20,15 @@ struct ColumnGroup {
   size_t end;
 };
 
-// The six semantic groups of the Table I pair vector for embedding dim d.
-std::vector<ColumnGroup> PairFeatureGroups(size_t d) {
-  using Schema = features::FeatureSchema;
-  const size_t meta_char = Schema::kCharClassFeatures;
-  const size_t meta_token = Schema::kTokenClassFeatures;
+// One group per registered feature stage: the ablation unit is the
+// stage's pair-column span, so new stages are covered automatically.
+std::vector<ColumnGroup> PairFeatureGroups(
+    const features::FeatureSchema& schema) {
   std::vector<ColumnGroup> groups;
-  size_t offset = 0;
-  groups.push_back({"char meta diff", offset, offset + meta_char});
-  offset += meta_char;
-  groups.push_back({"token meta diff", offset, offset + meta_token});
-  offset += meta_token;
-  groups.push_back({"numeric value diff", offset, offset + 1});
-  offset += 1;
-  groups.push_back({"value embedding diff", offset, offset + d});
-  offset += d;
-  groups.push_back({"name embedding diff", offset, offset + d});
-  offset += d;
-  groups.push_back({"name string distances", offset,
-                    offset + Schema::kStringDistanceFeatures});
+  for (const features::StageSpan& span : schema.stages()) {
+    groups.push_back({std::string(span.stage->name()), span.pair_begin,
+                      span.pair_end});
+  }
   return groups;
 }
 
@@ -131,7 +121,7 @@ StatusOr<std::vector<FeatureGroupImportance>> PermutationImportance(
   const double baseline_f1 = F1At(score(test_design), test_labels, 0.5);
 
   std::vector<FeatureGroupImportance> importances;
-  for (const ColumnGroup& group : PairFeatureGroups(model.dimension())) {
+  for (const ColumnGroup& group : PairFeatureGroups(pipeline.schema())) {
     double permuted_sum = 0.0;
     for (size_t rep = 0; rep < options.permutations; ++rep) {
       nn::Matrix permuted = test_design;

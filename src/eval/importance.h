@@ -15,7 +15,7 @@ namespace leapme::eval {
 /// (breaking their relationship to the label while preserving their
 /// marginal distribution).
 struct FeatureGroupImportance {
-  std::string group;       ///< e.g. "name embedding diff"
+  std::string group;       ///< registry stage name, e.g. "name_embedding"
   size_t columns = 0;      ///< number of feature columns in the group
   double baseline_f1 = 0.0;
   double permuted_f1 = 0.0;
@@ -32,10 +32,11 @@ struct ImportanceOptions {
 };
 
 /// Trains LEAPME (all features, paper defaults) on `eval_dataset` and
-/// measures the permutation importance of the six semantic feature groups
-/// of Table I: character meta-features, token meta-features, numeric
-/// value, value-embedding difference, name-embedding difference, and the
-/// name string distances. A quantitative companion to the paper's §V-A
+/// measures the permutation importance of each registered feature stage
+/// (one group per stage of the feature registry; the built-in registry
+/// yields the six semantic groups of Table I: char_class_meta,
+/// token_class_meta, numeric_value, value_embedding, name_embedding,
+/// string_distances). A quantitative companion to the paper's §V-A
 /// feature-kind ablation: instead of retraining without a group, it asks
 /// how much the *trained* classifier relies on it.
 StatusOr<std::vector<FeatureGroupImportance>> PermutationImportance(

@@ -1,54 +1,55 @@
 #include "features/feature_pipeline.h"
 
 #include <algorithm>
-#include <cmath>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/parallel.h"
-#include "text/string_metrics.h"
-#include "text/tokenizer.h"
 
 namespace leapme::features {
 
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 FeaturePipeline::FeaturePipeline(const embedding::EmbeddingModel* model,
+                                 PairFeatureOptions options)
+    : FeaturePipeline(model, &FeatureRegistry::BuiltIn(), options) {}
+
+FeaturePipeline::FeaturePipeline(const embedding::EmbeddingModel* model,
+                                 const FeatureRegistry* registry,
                                  PairFeatureOptions options)
     : model_(model),
       options_(options),
-      schema_(model->dimension()),
-      instance_extractor_(model) {}
+      schema_(registry, model->dimension(), options),
+      counters_(registry->size()) {}
 
 PropertyFeatures FeaturePipeline::ComputeProperty(
     std::string_view name, std::span<const std::string> values) const {
-  const size_t instance_dim = instance_extractor_.dimension();  // 29 + d
-
   PropertyFeatures features;
   features.name = std::string(name);
   features.vector.assign(property_dimension(), 0.0f);
 
-  // Table I id 5: the average of every instance feature.
-  size_t used = values.size();
-  if (options_.max_instances_per_property > 0) {
-    used = std::min(used, options_.max_instances_per_property);
+  const StageContext ctx = Context();
+  std::span<float> property(features.vector);
+  const auto& spans = schema_.stages();
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const StageSpan& span = spans[s];
+    if (span.property_width() == 0) continue;
+    const uint64_t start = NowNs();
+    span.stage->ComputeProperty(
+        ctx, name, values,
+        property.subspan(span.property_begin, span.property_width()));
+    counters_[s].property_calls.Increment();
+    counters_[s].property_ns.Increment(NowNs() - start);
   }
-  if (used > 0) {
-    embedding::Vector instance(instance_dim, 0.0f);
-    for (size_t i = 0; i < used; ++i) {
-      instance_extractor_.Extract(values[i], instance);
-      for (size_t j = 0; j < instance_dim; ++j) {
-        features.vector[j] += instance[j];
-      }
-    }
-    const auto inv = 1.0f / static_cast<float>(used);
-    for (size_t j = 0; j < instance_dim; ++j) {
-      features.vector[j] *= inv;
-    }
-  }
-
-  // Table I id 6: the average embedding of the property-name words.
-  embedding::Vector name_embedding =
-      embedding::AverageEmbedding(*model_, text::EmbeddingWords(name));
-  std::copy(name_embedding.begin(), name_embedding.end(),
-            features.vector.begin() + instance_dim);
   return features;
 }
 
@@ -56,51 +57,24 @@ void FeaturePipeline::ComputePair(const PropertyFeatures& a,
                                   const PropertyFeatures& b,
                                   std::span<float> out) const {
   LEAPME_CHECK_EQ(out.size(), pair_dimension());
-  const size_t property_dim = property_dimension();
-  LEAPME_CHECK_EQ(a.vector.size(), property_dim);
-  LEAPME_CHECK_EQ(b.vector.size(), property_dim);
+  LEAPME_CHECK_EQ(a.vector.size(), property_dimension());
+  LEAPME_CHECK_EQ(b.vector.size(), property_dimension());
 
-  // Table I id 7: difference between the two property feature vectors.
-  if (options_.absolute_difference) {
-    for (size_t i = 0; i < property_dim; ++i) {
-      out[i] = std::fabs(a.vector[i] - b.vector[i]);
-    }
-  } else {
-    for (size_t i = 0; i < property_dim; ++i) {
-      out[i] = a.vector[i] - b.vector[i];
-    }
+  const StageContext ctx = Context();
+  std::span<const float> a_vec(a.vector);
+  std::span<const float> b_vec(b.vector);
+  const auto& spans = schema_.stages();
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const StageSpan& span = spans[s];
+    const uint64_t start = NowNs();
+    span.stage->ComputePair(
+        ctx, a.name, b.name,
+        a_vec.subspan(span.property_begin, span.property_width()),
+        b_vec.subspan(span.property_begin, span.property_width()),
+        out.subspan(span.pair_begin, span.pair_width()));
+    counters_[s].pair_calls.Increment();
+    counters_[s].pair_ns.Increment(NowNs() - start);
   }
-
-  // Table I ids 8-15: string distances between the property names.
-  const std::string& n1 = a.name;
-  const std::string& n2 = b.name;
-  size_t offset = property_dim;
-  if (options_.normalize_string_distances) {
-    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
-        text::OptimalStringAlignment(n1, n2), n1, n2));
-    out[offset++] = static_cast<float>(
-        text::NormalizedByMaxLength(text::Levenshtein(n1, n2), n1, n2));
-    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
-        text::DamerauLevenshtein(n1, n2), n1, n2));
-    out[offset++] = static_cast<float>(text::NormalizedByMaxLength(
-        text::LcsDistance(n1, n2), n1, n2));
-    // The q-gram count distance is normalized by the total gram count.
-    double total_grams = std::max<double>(
-        1.0, static_cast<double>(n1.size() + n2.size()));
-    out[offset++] =
-        static_cast<float>(text::ThreeGramDistance(n1, n2) / total_grams);
-  } else {
-    out[offset++] =
-        static_cast<float>(text::OptimalStringAlignment(n1, n2));
-    out[offset++] = static_cast<float>(text::Levenshtein(n1, n2));
-    out[offset++] = static_cast<float>(text::DamerauLevenshtein(n1, n2));
-    out[offset++] = static_cast<float>(text::LcsDistance(n1, n2));
-    out[offset++] = static_cast<float>(text::ThreeGramDistance(n1, n2));
-  }
-  out[offset++] = static_cast<float>(text::ThreeGramCosineDistance(n1, n2));
-  out[offset++] = static_cast<float>(text::ThreeGramJaccardDistance(n1, n2));
-  out[offset++] = static_cast<float>(text::JaroWinklerDistance(n1, n2));
-  LEAPME_CHECK_EQ(offset, pair_dimension());
 }
 
 nn::Matrix FeaturePipeline::BuildDesignMatrix(
@@ -111,25 +85,67 @@ nn::Matrix FeaturePipeline::BuildDesignMatrix(
   const size_t full_dim = pair_dimension();
   const size_t out_dim = columns.empty() ? full_dim : columns.size();
   nn::Matrix design(lhs.size(), out_dim);
+  const StageContext ctx = Context();
+  const auto& spans = schema_.stages();
   // Each row is a pure function of its own pair; the chunks share nothing
-  // but the scratch buffer, which is per-chunk.
+  // but the scratch buffer, which is per-chunk. The stage loop is outer
+  // within a chunk so each stage is timed once per chunk, not per row —
+  // every slot is still computed by the same expression as a per-row
+  // ComputePair, so the matrix is bit-identical.
   constexpr size_t kRowGrain = 32;
-  ParallelFor(0, lhs.size(), kRowGrain, max_threads,
-              [&](size_t row_begin, size_t row_end) {
-                std::vector<float> full(full_dim, 0.0f);
-                for (size_t i = row_begin; i < row_end; ++i) {
-                  ComputePair(*lhs[i], *rhs[i], full);
-                  auto row = design.row(i);
-                  if (columns.empty()) {
-                    std::copy(full.begin(), full.end(), row.begin());
-                  } else {
-                    for (size_t c = 0; c < columns.size(); ++c) {
-                      row[c] = full[columns[c]];
-                    }
-                  }
-                }
-              });
+  ParallelFor(
+      0, lhs.size(), kRowGrain, max_threads,
+      [&](size_t row_begin, size_t row_end) {
+        const size_t rows = row_end - row_begin;
+        std::vector<float> full(rows * full_dim, 0.0f);
+        for (size_t s = 0; s < spans.size(); ++s) {
+          const StageSpan& span = spans[s];
+          const uint64_t start = NowNs();
+          for (size_t i = 0; i < rows; ++i) {
+            const PropertyFeatures& a = *lhs[row_begin + i];
+            const PropertyFeatures& b = *rhs[row_begin + i];
+            std::span<float> row(full.data() + i * full_dim, full_dim);
+            span.stage->ComputePair(
+                ctx, a.name, b.name,
+                std::span<const float>(a.vector)
+                    .subspan(span.property_begin, span.property_width()),
+                std::span<const float>(b.vector)
+                    .subspan(span.property_begin, span.property_width()),
+                row.subspan(span.pair_begin, span.pair_width()));
+          }
+          counters_[s].pair_calls.Increment(rows);
+          counters_[s].pair_ns.Increment(NowNs() - start);
+        }
+        for (size_t i = 0; i < rows; ++i) {
+          const float* full_row = full.data() + i * full_dim;
+          auto row = design.row(row_begin + i);
+          if (columns.empty()) {
+            std::copy(full_row, full_row + full_dim, row.begin());
+          } else {
+            for (size_t c = 0; c < columns.size(); ++c) {
+              row[c] = full_row[columns[c]];
+            }
+          }
+        }
+      });
   return design;
+}
+
+std::vector<StageTiming> FeaturePipeline::StageTimings() const {
+  std::vector<StageTiming> timings;
+  const auto& spans = schema_.stages();
+  timings.reserve(spans.size());
+  for (size_t s = 0; s < spans.size(); ++s) {
+    StageTiming timing;
+    timing.name = std::string(spans[s].stage->name());
+    timing.version = spans[s].stage->version();
+    timing.property_calls = counters_[s].property_calls.value();
+    timing.property_ns = counters_[s].property_ns.value();
+    timing.pair_calls = counters_[s].pair_calls.value();
+    timing.pair_ns = counters_[s].pair_ns.value();
+    timings.push_back(std::move(timing));
+  }
+  return timings;
 }
 
 }  // namespace leapme::features

@@ -6,27 +6,13 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "embedding/embedding_model.h"
+#include "features/feature_registry.h"
 #include "features/feature_schema.h"
-#include "features/instance_features.h"
 #include "nn/matrix.h"
 
 namespace leapme::features {
-
-/// Options of the pair-feature computation.
-struct PairFeatureOptions {
-  /// Use |v1 - v2| for the property-vector difference instead of v1 - v2.
-  /// The absolute difference keeps the pair feature order-independent,
-  /// which matches the undirected pair semantics (ablated in
-  /// feature_ablation_bench).
-  bool absolute_difference = true;
-  /// Divide edit-style distances (OSA, Levenshtein, Damerau-Levenshtein,
-  /// LCS) by max(|name1|, |name2|) so all string-distance features share
-  /// the [0, 1] scale of the q-gram profile / Jaro-Winkler distances.
-  bool normalize_string_distances = true;
-  /// Cap on the instances aggregated per property (0 = use all).
-  size_t max_instances_per_property = 0;
-};
 
 /// Precomputed per-property state: the property feature vector (Table I
 /// ids 5-6) plus the raw name for string distances.
@@ -37,20 +23,34 @@ struct PropertyFeatures {
   embedding::Vector vector;
 };
 
+/// Cumulative per-stage instrumentation snapshot (see
+/// FeaturePipeline::StageTimings).
+struct StageTiming {
+  std::string name;
+  int version = 0;
+  uint64_t property_calls = 0;  ///< property blocks computed
+  uint64_t property_ns = 0;     ///< wall time spent in property blocks
+  uint64_t pair_calls = 0;      ///< pair blocks computed
+  uint64_t pair_ns = 0;         ///< wall time spent in pair blocks
+};
+
 /// End-to-end feature computation of Algorithm 1 steps 1-4: instance
-/// features -> per-property aggregation -> pair features.
+/// features -> per-property aggregation -> pair features, composed from
+/// the stages of a FeatureRegistry (the built-in registry by default).
 class FeaturePipeline {
  public:
-  /// `model` must outlive the pipeline.
+  /// `model` must outlive the pipeline. Uses FeatureRegistry::BuiltIn().
   FeaturePipeline(const embedding::EmbeddingModel* model,
                   PairFeatureOptions options = {});
+
+  /// `model` and `registry` must outlive the pipeline.
+  FeaturePipeline(const embedding::EmbeddingModel* model,
+                  const FeatureRegistry* registry, PairFeatureOptions options);
 
   const FeatureSchema& schema() const { return schema_; }
   const PairFeatureOptions& options() const { return options_; }
   size_t pair_dimension() const { return schema_.size(); }
-  size_t property_dimension() const {
-    return FeatureSchema::PropertyDimension(schema_.embedding_dim());
-  }
+  size_t property_dimension() const { return schema_.property_dimension(); }
 
   /// Computes the property features of a property with surface name `name`
   /// and the given instance values (Algorithm 1 lines 2-5).
@@ -63,21 +63,36 @@ class FeaturePipeline {
                    std::span<float> out) const;
 
   /// Convenience: builds the design matrix for a list of pairs, gathering
-  /// only `columns` (from FeatureSchema::SelectedColumns). Empty `columns`
-  /// keeps all features. Rows are filled in parallel on the global thread
-  /// pool (each row depends only on its own pair, so results are
-  /// bit-identical at any thread count); `max_threads` caps the fan-out
-  /// for this call (0 = pool width).
+  /// only `columns` (from FeatureSchema::SelectedColumns or StageColumns).
+  /// Empty `columns` keeps all features. Rows are filled in parallel on
+  /// the global thread pool (each row depends only on its own pair, so
+  /// results are bit-identical at any thread count); `max_threads` caps
+  /// the fan-out for this call (0 = pool width).
   nn::Matrix BuildDesignMatrix(
       const std::vector<const PropertyFeatures*>& lhs,
       const std::vector<const PropertyFeatures*>& rhs,
       const std::vector<size_t>& columns, size_t max_threads = 0) const;
 
+  /// Cumulative per-stage call counts and wall times since construction,
+  /// in stage composition order. Thread-safe; counters keep advancing
+  /// while feature computation runs on other threads.
+  std::vector<StageTiming> StageTimings() const;
+
  private:
+  /// One slot per stage; mutable because extraction is logically const.
+  struct StageCounters {
+    Counter property_calls;
+    Counter property_ns;
+    Counter pair_calls;
+    Counter pair_ns;
+  };
+
+  StageContext Context() const { return StageContext{model_, &options_}; }
+
   const embedding::EmbeddingModel* model_;
   PairFeatureOptions options_;
   FeatureSchema schema_;
-  InstanceFeatureExtractor instance_extractor_;
+  mutable std::vector<StageCounters> counters_;
 };
 
 }  // namespace leapme::features

@@ -1,7 +1,10 @@
 #include "features/feature_schema.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "features/feature_registry.h"
 
 namespace leapme::features {
 
@@ -31,12 +34,14 @@ const char* KindName(KindSelection kinds) {
   return "?";
 }
 
-constexpr const char* kCharClassNames[] = {
-    "upper", "lower", "letter_other", "mark", "number",
-    "punct", "symbol", "separator", "other"};
-
-constexpr const char* kTokenClassNames[] = {
-    "word", "lower_word", "capitalized", "upper_word", "numeric"};
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 }  // namespace
 
@@ -59,42 +64,45 @@ std::vector<FeatureConfig> AllFeatureConfigs() {
 }
 
 FeatureSchema::FeatureSchema(size_t embedding_dim)
-    : embedding_dim_(embedding_dim) {
-  slots_.reserve(PairDimension(embedding_dim));
-  // Difference of the two property vectors (Table I id 7), in property
-  // vector layout order:
-  //   meta features averaged from instances (ids 1-3) ...
-  for (const char* name : kCharClassNames) {
-    slots_.push_back({StrFormat("diff.char.%s.frac", name),
-                      FeatureOrigin::kInstance, false});
-    slots_.push_back({StrFormat("diff.char.%s.count", name),
-                      FeatureOrigin::kInstance, false});
+    : FeatureSchema(&FeatureRegistry::BuiltIn(), embedding_dim,
+                    PairFeatureOptions{}) {}
+
+FeatureSchema::FeatureSchema(const FeatureRegistry* registry,
+                             size_t embedding_dim,
+                             const PairFeatureOptions& options)
+    : registry_(registry), embedding_dim_(embedding_dim) {
+  LEAPME_CHECK(registry_ != nullptr);
+  stages_.reserve(registry_->size());
+  std::string stage_list;
+  for (const FeatureStage* stage : registry_->stages()) {
+    StageSpan span;
+    span.stage = stage;
+    span.property_begin = property_dimension_;
+    span.property_end = property_dimension_ + stage->property_width(embedding_dim);
+    span.pair_begin = slots_.size();
+    stage->DescribePairSlots(embedding_dim, &slots_);
+    span.pair_end = slots_.size();
+    LEAPME_CHECK_EQ(span.pair_width(), stage->pair_width(embedding_dim));
+    property_dimension_ = span.property_end;
+    stages_.push_back(span);
+    if (!stage_list.empty()) stage_list.push_back(',');
+    stage_list.append(stage->name());
+    stage_list.append(StrFormat("@%d", stage->version()));
   }
-  for (const char* name : kTokenClassNames) {
-    slots_.push_back({StrFormat("diff.token.%s.frac", name),
-                      FeatureOrigin::kInstance, false});
-    slots_.push_back({StrFormat("diff.token.%s.count", name),
-                      FeatureOrigin::kInstance, false});
+  canonical_ = StrFormat(
+      "dim=%zu;abs_diff=%d;norm_dist=%d;max_inst=%zu;stages=%s",
+      embedding_dim, options.absolute_difference ? 1 : 0,
+      options.normalize_string_distances ? 1 : 0,
+      options.max_instances_per_property, stage_list.c_str());
+  fingerprint_ = StrFormat("lmf1-%016llx",
+                           static_cast<unsigned long long>(Fnv1a64(canonical_)));
+}
+
+const StageSpan* FeatureSchema::FindStage(std::string_view name) const {
+  for (const StageSpan& span : stages_) {
+    if (span.stage->name() == name) return &span;
   }
-  slots_.push_back({"diff.numeric_value", FeatureOrigin::kInstance, false});
-  //   ... then the averaged value-word embedding (id 4) ...
-  for (size_t i = 0; i < embedding_dim; ++i) {
-    slots_.push_back({StrFormat("diff.value_emb.%zu", i),
-                      FeatureOrigin::kInstance, true});
-  }
-  //   ... then the name-word embedding (id 6).
-  for (size_t i = 0; i < embedding_dim; ++i) {
-    slots_.push_back(
-        {StrFormat("diff.name_emb.%zu", i), FeatureOrigin::kName, true});
-  }
-  // Name string distances (Table I ids 8-15).
-  for (const char* name :
-       {"osa", "levenshtein", "damerau_levenshtein", "lcs", "qgram3",
-        "cosine3", "jaccard3", "jaro_winkler"}) {
-    slots_.push_back(
-        {StrFormat("dist.%s", name), FeatureOrigin::kName, false});
-  }
-  LEAPME_CHECK_EQ(slots_.size(), PairDimension(embedding_dim));
+  return nullptr;
 }
 
 std::vector<size_t> FeatureSchema::SelectedColumns(
@@ -117,6 +125,25 @@ std::vector<size_t> FeatureSchema::SelectedColumns(
       columns.push_back(i);
     }
   }
+  return columns;
+}
+
+StatusOr<std::vector<size_t>> FeatureSchema::StageColumns(
+    const std::vector<std::string>& stage_names) const {
+  std::vector<size_t> columns;
+  for (const std::string& name : stage_names) {
+    const StageSpan* span = FindStage(name);
+    if (span == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("unknown feature stage '%s' (registered: %s)",
+                    name.c_str(), registry_->StageNames().c_str()));
+    }
+    for (size_t i = span->pair_begin; i < span->pair_end; ++i) {
+      columns.push_back(i);
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
   return columns;
 }
 

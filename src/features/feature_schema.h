@@ -3,9 +3,30 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status_or.h"
+
 namespace leapme::features {
+
+class FeatureRegistry;
+class FeatureStage;
+
+/// Options of the pair-feature computation.
+struct PairFeatureOptions {
+  /// Use |v1 - v2| for the property-vector difference instead of v1 - v2.
+  /// The absolute difference keeps the pair feature order-independent,
+  /// which matches the undirected pair semantics (ablated in
+  /// feature_ablation_bench).
+  bool absolute_difference = true;
+  /// Divide edit-style distances (OSA, Levenshtein, Damerau-Levenshtein,
+  /// LCS) by max(|name1|, |name2|) so all string-distance features share
+  /// the [0, 1] scale of the q-gram profile / Jaro-Winkler distances.
+  bool normalize_string_distances = true;
+  /// Cap on the instances aggregated per property (0 = use all).
+  size_t max_instances_per_property = 0;
+};
 
 /// Whether a pair-feature slot derives from instance values or from
 /// property names — the first ablation dimension of the paper's §V-A.
@@ -51,24 +72,80 @@ struct FeatureConfig {
 /// names, both) x (embeddings, non-embeddings, both).
 std::vector<FeatureConfig> AllFeatureConfigs();
 
+/// The slot ranges one registered stage owns: [property_begin,
+/// property_end) in the per-property vector and [pair_begin, pair_end) in
+/// the pair vector. A pair-only stage (string distances) has an empty
+/// property range.
+struct StageSpan {
+  const FeatureStage* stage = nullptr;
+  size_t property_begin = 0;
+  size_t property_end = 0;
+  size_t pair_begin = 0;
+  size_t pair_end = 0;
+
+  size_t property_width() const { return property_end - property_begin; }
+  size_t pair_width() const { return pair_end - pair_begin; }
+};
+
 /// Describes the full pair feature vector layout for a given embedding
-/// dimension d (Table I): element-wise property-vector difference
-/// (29 + 2d slots) followed by the 8 name string distances. With d = 300
-/// the total is 637, matching the paper.
+/// dimension d, derived by composing the stages of a FeatureRegistry in
+/// registration order. The built-in registry reproduces Table I: the
+/// element-wise property-vector difference (29 + 2d slots) followed by
+/// the 8 name string distances; with d = 300 the total is 637, matching
+/// the paper.
+///
+/// The schema also carries a canonical fingerprint of the layout (stage
+/// names + versions, embedding dimension, and the PairFeatureOptions that
+/// shape the computed values). Persisted models record it so a loader can
+/// prove its live pipeline computes the same design matrix the model was
+/// trained on.
 class FeatureSchema {
  public:
-  /// Builds the schema for embedding dimension `embedding_dim`.
+  /// Builds the schema of the built-in registry with default options.
   explicit FeatureSchema(size_t embedding_dim);
+
+  /// Builds the schema for `registry` (must outlive the schema).
+  FeatureSchema(const FeatureRegistry* registry, size_t embedding_dim,
+                const PairFeatureOptions& options);
 
   size_t embedding_dim() const { return embedding_dim_; }
   size_t size() const { return slots_.size(); }
   const std::vector<FeatureSlot>& slots() const { return slots_; }
   const FeatureSlot& slot(size_t i) const { return slots_[i]; }
 
+  /// Width of the per-property feature vector (29 + 2d built-in).
+  size_t property_dimension() const { return property_dimension_; }
+
+  /// The registry this schema was derived from.
+  const FeatureRegistry& registry() const { return *registry_; }
+
+  /// Stage slot ranges in composition order.
+  const std::vector<StageSpan>& stages() const { return stages_; }
+
+  /// The span of stage `name`, or nullptr when not registered.
+  const StageSpan* FindStage(std::string_view name) const;
+
   /// Indices of the slots kept by `config`, in ascending order.
   std::vector<size_t> SelectedColumns(const FeatureConfig& config) const;
 
-  // Layout constants (offsets into the pair vector).
+  /// Indices of the pair slots owned by the named stages, ascending and
+  /// de-duplicated. Unknown names are an InvalidArgument listing the
+  /// registered stages.
+  StatusOr<std::vector<size_t>> StageColumns(
+      const std::vector<std::string>& stage_names) const;
+
+  /// Canonical human-readable description the fingerprint hashes, e.g.
+  ///   dim=16;abs_diff=1;norm_dist=1;max_inst=0;
+  ///   stages=char_class_meta@1,...,string_distances@1
+  const std::string& canonical() const { return canonical_; }
+
+  /// Stable fingerprint of the layout: "lmf1-" + 16 hex digits of the
+  /// FNV-1a hash of canonical(). Equal fingerprints mean bit-identical
+  /// design matrices for the same inputs.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+  // Layout constants of the built-in registry (offsets into the pair
+  // vector).
   static constexpr size_t kCharClassFeatures = 18;  // 9 classes x {frac,count}
   static constexpr size_t kTokenClassFeatures = 10;  // 5 classes x {frac,count}
   static constexpr size_t kNumericValueFeatures = 1;
@@ -90,8 +167,13 @@ class FeatureSchema {
   }
 
  private:
+  const FeatureRegistry* registry_;
   size_t embedding_dim_;
+  size_t property_dimension_ = 0;
   std::vector<FeatureSlot> slots_;
+  std::vector<StageSpan> stages_;
+  std::string canonical_;
+  std::string fingerprint_;
 };
 
 }  // namespace leapme::features

@@ -1,11 +1,7 @@
 #include "features/instance_features.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
-#include "common/string_util.h"
-#include "text/char_class.h"
-#include "text/tokenizer.h"
+#include "features/feature_registry.h"
 
 namespace leapme::features {
 
@@ -18,29 +14,19 @@ InstanceFeatureExtractor::InstanceFeatureExtractor(
 void InstanceFeatureExtractor::Extract(std::string_view value,
                                        std::span<float> out) const {
   LEAPME_CHECK_EQ(out.size(), dimension());
-  std::fill(out.begin(), out.end(), 0.0f);
-
+  // The instance vector is the concatenation of the instance blocks of
+  // every instance-derived registry stage, in composition order.
+  static const PairFeatureOptions kDefaultOptions;
+  const StageContext ctx{model_, &kDefaultOptions};
+  const size_t dim = model_->dimension();
   size_t offset = 0;
-  const text::CharClassCounts char_counts = text::CountCharClasses(value);
-  for (size_t c = 0; c < text::kNumCharClasses; ++c) {
-    auto cls = static_cast<text::CharClass>(c);
-    out[offset++] = static_cast<float>(char_counts.fraction(cls));
-    out[offset++] = static_cast<float>(char_counts.count(cls));
+  for (const FeatureStage* stage : FeatureRegistry::BuiltIn().stages()) {
+    const size_t width = stage->instance_width(dim);
+    if (width == 0) continue;
+    stage->ExtractInstance(ctx, value, out.subspan(offset, width));
+    offset += width;
   }
-
-  const text::TokenClassCounts token_counts = text::CountTokenClasses(value);
-  for (size_t c = 0; c < text::kNumTokenClasses; ++c) {
-    auto cls = static_cast<text::TokenClass>(c);
-    out[offset++] = static_cast<float>(token_counts.fraction(cls));
-    out[offset++] = static_cast<float>(token_counts.count(cls));
-  }
-
-  std::optional<double> numeric = ParseDouble(value);
-  out[offset++] = numeric ? static_cast<float>(*numeric) : -1.0f;
-
-  const std::vector<std::string> words = text::EmbeddingWords(value);
-  embedding::Vector pooled = embedding::AverageEmbedding(*model_, words);
-  std::copy(pooled.begin(), pooled.end(), out.begin() + offset);
+  LEAPME_CHECK_EQ(offset, out.size());
 }
 
 }  // namespace leapme::features

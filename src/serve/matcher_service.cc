@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/string_util.h"
+
 namespace leapme::serve {
 
 namespace {
@@ -37,6 +39,29 @@ MatcherService::MatcherService(
       options_(options),
       latency_(options.latency_window) {
   batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+StatusOr<std::unique_ptr<MatcherService>> MatcherService::Create(
+    const core::LeapmeMatcher* matcher,
+    const embedding::CachingEmbeddingModel* embedding_cache,
+    ServiceOptions options) {
+  if (matcher == nullptr) {
+    return Status::InvalidArgument("MatcherService requires a matcher");
+  }
+  if (!matcher->fitted()) {
+    return Status::FailedPrecondition(
+        "cannot serve an unfitted matcher (Fit or LoadModel first)");
+  }
+  const size_t pipeline_dim = matcher->pipeline().schema().embedding_dim();
+  if (embedding_cache != nullptr &&
+      embedding_cache->dimension() != pipeline_dim) {
+    return Status::FailedPrecondition(StrFormat(
+        "embedding cache dimension %zu does not match the matcher's "
+        "feature pipeline dimension %zu (schema %s)",
+        embedding_cache->dimension(), pipeline_dim,
+        matcher->pipeline().schema().fingerprint().c_str()));
+  }
+  return std::make_unique<MatcherService>(matcher, embedding_cache, options);
 }
 
 MatcherService::~MatcherService() {
@@ -300,6 +325,17 @@ ServiceStats MatcherService::Snapshot() const {
   stats.latency_p95_us = latency.p95;
   stats.latency_p99_us = latency.p99;
   stats.latency_samples = latency.samples;
+  for (const features::StageTiming& timing :
+       matcher_->pipeline().StageTimings()) {
+    StageTimingStat stage;
+    stage.name = timing.name;
+    stage.version = timing.version;
+    stage.property_calls = timing.property_calls;
+    stage.property_ns = timing.property_ns;
+    stage.pair_calls = timing.pair_calls;
+    stage.pair_ns = timing.pair_ns;
+    stats.feature_stages.push_back(std::move(stage));
+  }
   return stats;
 }
 

@@ -57,6 +57,17 @@ class MatcherService {
                  const embedding::CachingEmbeddingModel* embedding_cache,
                  ServiceOptions options = {});
 
+  /// Validated construction for serving entry points: returns a typed
+  /// FailedPrecondition instead of serving wrong scores when `matcher` is
+  /// unfitted or `embedding_cache` (when given) has a different dimension
+  /// than the one the matcher's feature pipeline was built over. (A
+  /// fingerprint-mismatched model never reaches this point — LoadModel
+  /// already refuses it.)
+  static StatusOr<std::unique_ptr<MatcherService>> Create(
+      const core::LeapmeMatcher* matcher,
+      const embedding::CachingEmbeddingModel* embedding_cache,
+      ServiceOptions options = {});
+
   /// Drains outstanding work and stops the batcher thread.
   ~MatcherService();
 

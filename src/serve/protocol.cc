@@ -266,7 +266,21 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   out.append(FormatJsonDouble(stats.latency_p95_us));
   out.append(",\"latency_p99_us\":");
   out.append(FormatJsonDouble(stats.latency_p99_us));
-  out.append("}}");
+  out.append(",\"feature_stages\":[");
+  for (size_t i = 0; i < stats.feature_stages.size(); ++i) {
+    const StageTimingStat& stage = stats.feature_stages[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":");
+    AppendJsonString(&out, stage.name);
+    out.append(StrFormat(
+        ",\"version\":%d,\"property_calls\":%llu,\"property_ns\":%llu,"
+        "\"pair_calls\":%llu,\"pair_ns\":%llu}",
+        stage.version, static_cast<unsigned long long>(stage.property_calls),
+        static_cast<unsigned long long>(stage.property_ns),
+        static_cast<unsigned long long>(stage.pair_calls),
+        static_cast<unsigned long long>(stage.pair_ns)));
+  }
+  out.append("]}}");
   return out;
 }
 

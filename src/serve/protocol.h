@@ -62,6 +62,18 @@ struct Request {
   size_t k = 1;
 };
 
+/// Cumulative per-feature-stage timing exposed in the "stats" op
+/// (mirrors features::StageTiming; redeclared here so the protocol layer
+/// stays decoupled from the feature headers).
+struct StageTimingStat {
+  std::string name;
+  int version = 0;
+  uint64_t property_calls = 0;
+  uint64_t property_ns = 0;
+  uint64_t pair_calls = 0;
+  uint64_t pair_ns = 0;
+};
+
 /// Counters exposed by the "stats" op. Filled by MatcherService::Snapshot
 /// (scoring/batching/cache fields) and TcpServer (connection fields).
 struct ServiceStats {
@@ -85,6 +97,9 @@ struct ServiceStats {
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
   uint64_t latency_samples = 0;
+  /// Per-stage feature timings of the matcher's pipeline, in stage
+  /// composition order.
+  std::vector<StageTimingStat> feature_stages;
 };
 
 /// Limits enforced by ParseRequest, independent of transport limits.

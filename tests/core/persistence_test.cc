@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iterator>
 
 #include <gtest/gtest.h>
@@ -104,7 +105,144 @@ TEST_F(PersistenceTest, DimensionMismatchRejected) {
   ASSERT_TRUE(other_model.ok());
   auto loaded = LeapmeMatcher::LoadModel(&other_model.value(), path);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  // Typed so serving entry points can distinguish "wrong deployment"
+  // from a corrupt file.
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition());
+}
+
+// Rewrites the main model file at `path` through `edit` (a line-list
+// transform), leaving the .mlp side file untouched.
+void RewriteModelFile(const std::string& path,
+                      const std::function<void(std::vector<std::string>*)>&
+                          edit) {
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  edit(&lines);
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+TEST_F(PersistenceTest, V1ModelStillLoadsAndScoresIdentically) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("v1compat.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  // Downgrade the file to the pre-fingerprint v1 format: old header, no
+  // fingerprint / max_instances keys.
+  RewriteModelFile(path, [](std::vector<std::string>* lines) {
+    ASSERT_FALSE(lines->empty());
+    (*lines)[0] = "leapme-matcher 1";
+    lines->erase(std::remove_if(lines->begin(), lines->end(),
+                                [](const std::string& line) {
+                                  return line.rfind("fingerprint ", 0) == 0 ||
+                                         line.rfind("max_instances ", 0) == 0;
+                                }),
+                 lines->end());
+  });
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 50));
+  auto original = matcher.ScorePairs(pairs).value();
+  auto restored = loaded->ScorePairsOn(*dataset_, pairs).value();
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], restored[i]) << "pair " << i;
+  }
+}
+
+TEST_F(PersistenceTest, FingerprintMismatchRejected) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("fingerprint_mismatch.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  // A model trained against a different feature schema (e.g. a stage
+  // version bumped since training) carries a different fingerprint.
+  RewriteModelFile(path, [](std::vector<std::string>* lines) {
+    for (std::string& line : *lines) {
+      if (line.rfind("fingerprint ", 0) == 0) {
+        line = "fingerprint lmf1-00000000deadbeef";
+      }
+    }
+  });
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition());
+  EXPECT_NE(loaded.status().message().find("lmf1-00000000deadbeef"),
+            std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(PersistenceTest, V2WithoutFingerprintIsCorrupt) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("v2_no_fingerprint.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  RewriteModelFile(path, [](std::vector<std::string>* lines) {
+    lines->erase(std::remove_if(lines->begin(), lines->end(),
+                                [](const std::string& line) {
+                                  return line.rfind("fingerprint ", 0) == 0;
+                                }),
+                 lines->end());
+  });
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, StageSelectionRoundTrips) {
+  LeapmeOptions options;
+  options.feature_stages = {"name_embedding", "string_distances"};
+  LeapmeMatcher matcher(model_, options);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  // d + 8 string distances.
+  EXPECT_EQ(matcher.input_dimension(), 16u + 8u);
+  std::string path = Path("stages.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().feature_stages, options.feature_stages);
+  EXPECT_EQ(loaded->input_dimension(), matcher.input_dimension());
+
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 50));
+  auto original = matcher.ScorePairs(pairs).value();
+  auto restored = loaded->ScorePairsOn(*dataset_, pairs).value();
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], restored[i]) << "pair " << i;
+  }
+}
+
+TEST_F(PersistenceTest, MaxInstancesCapRoundTrips) {
+  LeapmeOptions options;
+  options.pair_features.max_instances_per_property = 3;
+  LeapmeMatcher matcher(model_, options);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("max_instances.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().pair_features.max_instances_per_property, 3u);
+  // The cap is part of the fingerprint, so the loaded pipeline recomputes
+  // features under the same cap and reproduces the scores exactly.
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 50));
+  auto original = matcher.ScorePairs(pairs).value();
+  auto restored = loaded->ScorePairsOn(*dataset_, pairs).value();
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], restored[i]) << "pair " << i;
+  }
 }
 
 TEST_F(PersistenceTest, MissingFileFails) {

@@ -338,5 +338,68 @@ TEST_F(MatcherServiceTest, HandleLineDispatchesAndNeverThrows) {
   EXPECT_GT(service.Snapshot().request_errors, 0u);
 }
 
+TEST_F(MatcherServiceTest, CreateValidatesMatcherAndCache) {
+  // Happy path: the fitted matcher and its own cache are accepted.
+  auto service = MatcherService::Create(matcher_, cached_model_);
+  ASSERT_TRUE(service.ok()) << service.status();
+  ASSERT_NE(*service, nullptr);
+
+  EXPECT_TRUE(MatcherService::Create(nullptr, cached_model_)
+                  .status()
+                  .IsInvalidArgument());
+
+  core::LeapmeMatcher unfitted(base_model_);
+  EXPECT_TRUE(MatcherService::Create(&unfitted, cached_model_)
+                  .status()
+                  .IsFailedPrecondition());
+
+  // A cache over a 32-d embedding model cannot front a 16-d pipeline.
+  auto wide_model = embedding::SyntheticEmbeddingModel::Build(
+                        data::DomainClusters(data::TvDomain()),
+                        {.dimension = 32,
+                         .seed = 72,
+                         .oov_policy = embedding::OovPolicy::kHashedVector})
+                        .value();
+  embedding::CachingEmbeddingModel wide_cache(&wide_model, 64);
+  auto mismatched = MatcherService::Create(matcher_, &wide_cache);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsFailedPrecondition());
+  EXPECT_NE(mismatched.status().message().find("32"), std::string::npos)
+      << mismatched.status();
+}
+
+TEST_F(MatcherServiceTest, StatsReportPerStageFeatureTimings) {
+  MatcherService service(matcher_, cached_model_);
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 8));
+  std::vector<PropertyPairSpec> specs;
+  for (const data::PropertyPair& pair : pairs) {
+    specs.push_back({SpecOf(*dataset_, pair.a), SpecOf(*dataset_, pair.b)});
+  }
+  ASSERT_TRUE(service.Score(specs).ok());
+
+  const ServiceStats stats = service.Snapshot();
+  ASSERT_EQ(stats.feature_stages.size(), 6u);
+  uint64_t total_pair_calls = 0;
+  for (const StageTimingStat& stage : stats.feature_stages) {
+    EXPECT_EQ(stage.version, 1);
+    total_pair_calls += stage.pair_calls;
+  }
+  EXPECT_GE(total_pair_calls, 6 * specs.size());
+
+  // The stats op exposes the same counters over the wire.
+  const std::string response = service.HandleLine(R"({"op":"stats"})");
+  auto json = JsonValue::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("ok")->AsBool());
+  for (const char* name :
+       {"feature_stages", "char_class_meta", "token_class_meta",
+        "numeric_value", "value_embedding", "name_embedding",
+        "string_distances", "pair_ns"}) {
+    EXPECT_NE(response.find(name), std::string::npos)
+        << "stats response missing " << name << ": " << response;
+  }
+}
+
 }  // namespace
 }  // namespace leapme::serve
