@@ -104,5 +104,10 @@ int main() {
       "expected shape: AML and FCA-Map have precision near 1.0 with much\n"
       "lower recall; SemProp and LSH trade precision for recall; LEAPME\n"
       "has the best F1 on every dataset.\n");
+
+  bench::JsonReport report("baselines");
+  report.Metric("evaluations", outcomes->size());
+  report.RawMetric("rows", table.RenderJsonRows());
+  bench::WriteJsonReport(report);
   return 0;
 }

@@ -6,8 +6,12 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/kernels/kernels.h"
 #include "common/parallel.h"
+#include "common/string_util.h"
 #include "core/leapme.h"
 #include "eval/experiment.h"
 #include "eval/leapme_adapter.h"
@@ -55,6 +59,84 @@ inline void CheckOk(const Status& status, const char* context) {
     std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// Human-readable name of the active evaluation scale, for reports.
+inline const char* ScaleName(eval::EvalScale scale) {
+  switch (scale) {
+    case eval::EvalScale::kTest:
+      return "test";
+    case eval::EvalScale::kPaper:
+      return "paper";
+    default:
+      return "bench";
+  }
+}
+
+/// Machine-readable benchmark report in the shared schema every bench
+/// binary emits:
+///
+///   {"name":"<bench>","scale":"test|bench|paper","threads":N,
+///    "kernel":"scalar|avx2","metrics":{...}}
+///
+/// Metrics preserve insertion order. Values are either plain numbers
+/// (Metric) or pre-rendered JSON fragments (RawMetric) for nested
+/// objects/arrays a binary already knows how to render.
+struct JsonReport {
+  explicit JsonReport(std::string benchmark_name)
+      : name(std::move(benchmark_name)) {}
+
+  void Metric(const std::string& key, double value) {
+    metrics.emplace_back(key, StrFormat("%.17g", value));
+  }
+  void Metric(const std::string& key, uint64_t value) {
+    metrics.emplace_back(
+        key, StrFormat("%llu", static_cast<unsigned long long>(value)));
+  }
+  /// `raw_json` must already be valid JSON (object, array, string, ...).
+  void RawMetric(const std::string& key, std::string raw_json) {
+    metrics.emplace_back(key, std::move(raw_json));
+  }
+
+  std::string Render() const {
+    std::string out = StrFormat(
+        "{\"name\":\"%s\",\"scale\":\"%s\",\"threads\":%zu,"
+        "\"kernel\":\"%s\",\"metrics\":{",
+        name.c_str(), ScaleName(ScaleFromEnv()), BenchThreads(),
+        kernels::ActiveKernelName());
+    for (size_t i = 0; i < metrics.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += StrFormat("\"%s\":%s", metrics[i].first.c_str(),
+                       metrics[i].second.c_str());
+    }
+    out += "}}";
+    return out;
+  }
+
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> metrics;
+};
+
+/// Writes `report` to BENCH_<name>.json in $LEAPME_BENCH_DIR (or the
+/// working directory) and notes the path on stderr, keeping stdout free
+/// for each binary's human-oriented output. A write failure is reported
+/// but not fatal: the measurements already happened.
+inline void WriteJsonReport(const JsonReport& report) {
+  const char* dir = std::getenv("LEAPME_BENCH_DIR");
+  const std::string path =
+      StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
+                dir != nullptr && *dir != '\0' ? "/" : "",
+                report.name.c_str());
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string body = report.Render();
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::fprintf(stderr, "report: %s\n", path.c_str());
 }
 
 }  // namespace leapme::bench

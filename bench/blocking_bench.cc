@@ -55,6 +55,7 @@ int main() {
   std::printf("%-12s %-14s %10s %12s %12s   %s\n", "dataset", "blocker",
               "candidates", "completeness", "reduction", "LEAPME P/R/F1");
 
+  std::string rows = "[";
   for (const auto& spec : eval::DefaultDatasetSpecs(scale)) {
     auto eval_dataset = eval::BuildEvalDataset(spec);
     bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
@@ -109,13 +110,25 @@ int main() {
                   quality.candidate_count, quality.pair_completeness,
                   quality.reduction_ratio, end_to_end.precision,
                   end_to_end.recall, end_to_end.f1);
+      rows += StrFormat(
+          "%s{\"dataset\":\"%s\",\"blocker\":\"%s\",\"candidates\":%zu,"
+          "\"completeness\":%.4f,\"reduction\":%.4f,\"f1\":%.4f}",
+          rows.size() > 1 ? "," : "", spec.name.c_str(),
+          blocker->Name().c_str(), quality.candidate_count,
+          quality.pair_completeness, quality.reduction_ratio,
+          end_to_end.f1);
     }
   }
+  rows.push_back(']');
 
   std::printf(
       "\nexpected shape: the union blocker keeps nearly all true matches\n"
       "(completeness ~1.0) while pruning most of the candidate space, so\n"
       "end-to-end quality stays close to the unblocked reference at a\n"
       "fraction of the scoring cost.\n");
+
+  bench::JsonReport report("blocking");
+  report.RawMetric("rows", rows);
+  bench::WriteJsonReport(report);
   return 0;
 }

@@ -27,6 +27,9 @@ int main() {
       "%-12s %-22s %-8s %-8s %-8s %-10s\n", "dataset", "method", "P", "R",
       "F1", "clusters");
 
+  bench::JsonReport report("clustering");
+  report.Metric("repetitions", reps);
+  std::string rows = "[";
   for (const auto& spec : eval::DefaultDatasetSpecs(scale)) {
     auto eval_dataset = eval::BuildEvalDataset(spec);
     bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
@@ -71,11 +74,21 @@ int main() {
                 spec.name.c_str(), "star clustering",
                 stars_total.precision / n, stars_total.recall / n,
                 stars_total.f1 / n, star_clusters / reps);
+    rows += StrFormat(
+        "%s{\"dataset\":\"%s\",\"components_f1\":%.4f,\"stars_f1\":%.4f,"
+        "\"components_clusters\":%zu,\"stars_clusters\":%zu}",
+        rows.size() > 1 ? "," : "", spec.name.c_str(),
+        components_total.f1 / n, stars_total.f1 / n,
+        component_clusters / reps, star_clusters / reps);
   }
+  rows.push_back(']');
 
   std::printf(
       "\nexpected shape: star clustering trades a little recall for much\n"
       "better precision than connected components, whose clusters merge\n"
       "through single spurious bridge edges.\n");
+
+  report.RawMetric("rows", rows);
+  bench::WriteJsonReport(report);
   return 0;
 }

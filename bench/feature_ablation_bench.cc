@@ -167,5 +167,10 @@ int main() {
       "within each origin; names beat instances; both >= names. The NN\n"
       "matches or beats the linear learner on the wide embedding-diff\n"
       "features.\n");
+
+  bench::JsonReport report("feature_ablation");
+  report.RawMetric("grid", grid.RenderJsonRows());
+  report.RawMetric("ablations", ablations.RenderJsonRows());
+  bench::WriteJsonReport(report);
   return 0;
 }

@@ -12,6 +12,7 @@
 int main() {
   const auto scale = leapme::bench::ScaleFromEnv();
   std::printf("Permutation importance of the Table I feature groups\n\n");
+  std::string rows = "[";
   for (const auto& spec : leapme::eval::DefaultDatasetSpecs(scale)) {
     auto eval_dataset = leapme::eval::BuildEvalDataset(spec);
     leapme::bench::CheckOk(eval_dataset.status(), "BuildEvalDataset");
@@ -23,11 +24,22 @@ int main() {
       std::printf("  %-24s (%3zu cols)  F1 drop %+.3f  (-> %.2f)\n",
                   importance.group.c_str(), importance.columns,
                   importance.f1_drop, importance.permuted_f1);
+      rows += leapme::StrFormat(
+          "%s{\"dataset\":\"%s\",\"group\":\"%s\",\"columns\":%zu,"
+          "\"f1_drop\":%.4f}",
+          rows.size() > 1 ? "," : "", spec.name.c_str(),
+          importance.group.c_str(), importance.columns,
+          importance.f1_drop);
     }
   }
+  rows.push_back(']');
   std::printf(
       "\nexpected shape (paper §V-C): the name-embedding block carries the\n"
       "most weight, followed by value embeddings and name string\n"
       "distances; the format meta-features contribute least.\n");
+
+  leapme::bench::JsonReport report("feature_importance");
+  report.RawMetric("rows", rows);
+  leapme::bench::WriteJsonReport(report);
   return 0;
 }

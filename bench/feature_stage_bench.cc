@@ -93,17 +93,31 @@ int main() {
               dataset.property_count(), pairs.size(), shape.repetitions,
               model.dimension(), bench::BenchThreads());
   const std::vector<features::StageTiming> timings = pipeline.StageTimings();
+  std::string stages = "[";
   for (size_t i = 0; i < timings.size(); ++i) {
     const features::StageTiming& timing = timings[i];
-    std::printf("%s{\"name\":\"%s\",\"version\":%d,"
-                "\"property_calls\":%llu,\"ns_per_property\":%.1f,"
-                "\"pair_calls\":%llu,\"ns_per_pair\":%.1f}",
-                i == 0 ? "" : ",", timing.name.c_str(), timing.version,
-                static_cast<unsigned long long>(timing.property_calls),
-                PerCall(timing.property_ns, timing.property_calls),
-                static_cast<unsigned long long>(timing.pair_calls),
-                PerCall(timing.pair_ns, timing.pair_calls));
+    const std::string cell = StrFormat(
+        "{\"name\":\"%s\",\"version\":%d,"
+        "\"property_calls\":%llu,\"ns_per_property\":%.1f,"
+        "\"pair_calls\":%llu,\"ns_per_pair\":%.1f}",
+        timing.name.c_str(), timing.version,
+        static_cast<unsigned long long>(timing.property_calls),
+        PerCall(timing.property_ns, timing.property_calls),
+        static_cast<unsigned long long>(timing.pair_calls),
+        PerCall(timing.pair_ns, timing.pair_calls));
+    std::printf("%s%s", i == 0 ? "" : ",", cell.c_str());
+    if (i > 0) stages.push_back(',');
+    stages += cell;
   }
+  stages.push_back(']');
   std::printf("]}\n");
+
+  bench::JsonReport report("feature_stage");
+  report.Metric("properties", dataset.property_count());
+  report.Metric("pairs", pairs.size());
+  report.Metric("repetitions", shape.repetitions);
+  report.Metric("embedding_dim", model.dimension());
+  report.RawMetric("stages", stages);
+  bench::WriteJsonReport(report);
   return 0;
 }

@@ -1,0 +1,259 @@
+// Kernel-layer benchmark: ns/op and GB/s for every entry of the
+// dispatched kernel table (common/kernels), measured on each available
+// dispatch path (scalar, avx2) plus a "baseline" replica of the plain
+// pre-kernel-layer loops this PR replaced. The speedup_* metrics compare
+// the best available SIMD path against that baseline — CI asserts the
+// floors documented in DESIGN.md §12 (>=2x for 300-d dot/cosine, >=1.5x
+// for single-thread a*b^T GEMM on AVX2 hardware). Ends with an
+// end-to-end ScorePairs throughput measurement so kernel-level wins are
+// tied to the number that matters.
+//
+// Environment knobs: LEAPME_SCALE (test shrinks the repetition budget),
+// LEAPME_KERNEL (restricts which dispatch paths exist, as everywhere).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/kernels/aligned.h"
+#include "common/kernels/kernels.h"
+#include "common/rng.h"
+#include "core/leapme.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "embedding/synthetic_model.h"
+
+namespace {
+
+using namespace leapme;
+
+constexpr size_t kDim = 300;  // GloVe-sized vectors, the paper's setting
+
+// Keeps `value` observable so timed loops are not optimized away.
+template <typename T>
+inline void Sink(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// Times `fn` (one logical op per call): warms up, then repeats until the
+/// budget elapses and returns mean ns/op.
+template <typename Fn>
+double TimeNs(Fn&& fn, double budget_ms) {
+  for (int i = 0; i < 3; ++i) fn();
+  const auto budget = std::chrono::duration<double, std::milli>(budget_ms);
+  size_t ops = 0;
+  const auto begin = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point now;
+  do {
+    for (int i = 0; i < 16; ++i) fn();
+    ops += 16;
+    now = std::chrono::steady_clock::now();
+  } while (now - begin < budget);
+  return std::chrono::duration<double, std::nano>(now - begin).count() /
+         static_cast<double>(ops);
+}
+
+void FillRandom(Rng& rng, float* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+  }
+}
+
+// --- Baseline replicas of the pre-kernel-layer loops -------------------
+// These are the exact shapes the hot paths used before this PR: strict
+// sequential reductions and plain elementwise loops, compiled in this TU
+// without any vector ISA so the compiler cannot auto-vectorize the
+// reductions (strict FP semantics forbid it anyway).
+
+float BaselineDot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float BaselineCosine(const float* a, const float* b, size_t n) {
+  const float dot = BaselineDot(a, b, n);
+  const float norm_a = std::sqrt(BaselineDot(a, a, n));
+  const float norm_b = std::sqrt(BaselineDot(b, b, n));
+  if (norm_a == 0.0f || norm_b == 0.0f) return 0.0f;
+  return dot / (norm_a * norm_b);
+}
+
+void BaselineAxpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void BaselineGemmTb(const float* a, const float* b, float* out, size_t rows,
+                    size_t k, size_t m) {
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      out[i * m + j] = BaselineDot(a + i * k, b + j * k, k);
+    }
+  }
+}
+
+struct PathResult {
+  std::string path;
+  double ns;
+  double gbps;
+};
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::ScaleFromEnv() == eval::EvalScale::kTest;
+  const double budget_ms = quick ? 5.0 : 60.0;
+
+  Rng rng(4242);
+  kernels::AlignedFloatVector a(kDim);
+  kernels::AlignedFloatVector b(kDim);
+  kernels::AlignedFloatVector y(kDim);
+  FillRandom(rng, a.data(), kDim);
+  FillRandom(rng, b.data(), kDim);
+  FillRandom(rng, y.data(), kDim);
+
+  constexpr size_t kGemmRows = 64;
+  constexpr size_t kGemmCols = 128;
+  kernels::AlignedFloatVector ga(kGemmRows * kDim);
+  kernels::AlignedFloatVector gb(kGemmCols * kDim);
+  kernels::AlignedFloatVector gout(kGemmRows * kGemmCols);
+  FillRandom(rng, ga.data(), ga.size());
+  FillRandom(rng, gb.data(), gb.size());
+
+  const double dot_bytes = 2.0 * kDim * sizeof(float);
+  const double axpy_bytes = 3.0 * kDim * sizeof(float);
+  const double gemm_bytes =
+      static_cast<double>(kGemmRows * kDim + kGemmCols * kDim +
+                          kGemmRows * kGemmCols) *
+      sizeof(float);
+
+  // The dispatch paths under test: every table the machine offers.
+  std::vector<const kernels::KernelTable*> paths;
+  paths.push_back(&kernels::ScalarKernels());
+  if (const kernels::KernelTable* avx2 = kernels::Avx2Kernels()) {
+    paths.push_back(avx2);
+  }
+
+  bench::JsonReport report("kernels");
+  report.Metric("dim", static_cast<uint64_t>(kDim));
+  std::printf("%-24s %-8s %12s %10s\n", "kernel", "path", "ns/op", "GB/s");
+
+  auto emit = [&](const char* kernel_name, const char* path, double ns,
+                  double bytes) {
+    const double gbps = bytes / ns;  // bytes/ns == GB/s
+    std::printf("%-24s %-8s %12.1f %10.2f\n", kernel_name, path, ns, gbps);
+    report.Metric(StrFormat("%s_%s_ns", kernel_name, path), ns);
+    report.Metric(StrFormat("%s_%s_gbps", kernel_name, path), gbps);
+    return ns;
+  };
+
+  // Pre-PR loop replicas.
+  const double base_dot = emit("dot300", "baseline", TimeNs([&] {
+    Sink(BaselineDot(a.data(), b.data(), kDim));
+  }, budget_ms), dot_bytes);
+  const double base_cos = emit("cosine300", "baseline", TimeNs([&] {
+    Sink(BaselineCosine(a.data(), b.data(), kDim));
+  }, budget_ms), 3.0 * dot_bytes);
+  emit("axpy300", "baseline", TimeNs([&] {
+    BaselineAxpy(0.5f, a.data(), y.data(), kDim);
+    Sink(y[0]);
+  }, budget_ms), axpy_bytes);
+  const double base_gemm = emit("gemm_tb", "baseline", TimeNs([&] {
+    BaselineGemmTb(ga.data(), gb.data(), gout.data(), kGemmRows, kDim,
+                   kGemmCols);
+    Sink(gout[0]);
+  }, budget_ms), gemm_bytes);
+
+  // Dispatched kernels, per available path.
+  double best_dot = base_dot;
+  double best_cos = base_cos;
+  double best_gemm = base_gemm;
+  for (const kernels::KernelTable* table : paths) {
+    const double dot_ns = emit("dot300", table->name, TimeNs([&] {
+      Sink(table->dot(a.data(), b.data(), kDim));
+    }, budget_ms), dot_bytes);
+    const double cos_ns = emit("cosine300", table->name, TimeNs([&] {
+      float dots[3];
+      table->dot3(a.data(), b.data(), kDim, dots);
+      Sink(kernels::CosineFromDots(dots[0], dots[1], dots[2]));
+    }, budget_ms), 3.0 * dot_bytes);
+    emit("squared_l2_300", table->name, TimeNs([&] {
+      Sink(table->squared_l2(a.data(), b.data(), kDim));
+    }, budget_ms), dot_bytes);
+    emit("axpy300", table->name, TimeNs([&] {
+      table->axpy(0.5f, a.data(), y.data(), kDim);
+      Sink(y[0]);
+    }, budget_ms), axpy_bytes);
+    emit("abs_diff300", table->name, TimeNs([&] {
+      table->abs_diff(a.data(), b.data(), y.data(), kDim);
+      Sink(y[0]);
+    }, budget_ms), axpy_bytes);
+    const double gemm_ns = emit("gemm_tb", table->name, TimeNs([&] {
+      table->gemm_tb(ga.data(), gb.data(), gout.data(), kGemmRows, kDim,
+                     kGemmCols);
+      Sink(gout[0]);
+    }, budget_ms), gemm_bytes);
+    best_dot = std::min(best_dot, dot_ns);
+    best_cos = std::min(best_cos, cos_ns);
+    best_gemm = std::min(best_gemm, gemm_ns);
+  }
+
+  report.Metric("speedup_dot300_vs_baseline", base_dot / best_dot);
+  report.Metric("speedup_cosine300_vs_baseline", base_cos / best_cos);
+  report.Metric("speedup_gemm_tb_vs_baseline", base_gemm / best_gemm);
+  std::printf("\nspeedups vs pre-kernel-layer loops: dot300 %.2fx, "
+              "cosine300 %.2fx, gemm_tb %.2fx\n",
+              base_dot / best_dot, base_cos / best_cos,
+              base_gemm / best_gemm);
+
+  // --- End-to-end: ScorePairs throughput on the active path ------------
+  data::GeneratorOptions generator;
+  generator.num_sources = 4;
+  generator.min_entities_per_source = quick ? 6 : 10;
+  generator.max_entities_per_source = quick ? 6 : 10;
+  generator.seed = 77;
+  auto dataset = data::GenerateCatalog(data::HeadphoneDomain(), generator);
+  bench::CheckOk(dataset.status(), "GenerateCatalog");
+  auto model = embedding::SyntheticEmbeddingModel::Build(
+      data::DomainClusters(data::HeadphoneDomain()),
+      {.dimension = 32,
+       .seed = 78,
+       .oov_policy = embedding::OovPolicy::kHashedVector});
+  bench::CheckOk(model.status(), "SyntheticEmbeddingModel::Build");
+  Rng split_rng(79);
+  data::SourceSplit split = data::SplitSources(*dataset, 0.8, split_rng);
+  auto training =
+      data::BuildTrainingPairs(*dataset, split.train_sources, 2.0, split_rng);
+  bench::CheckOk(training.status(), "BuildTrainingPairs");
+  core::LeapmeMatcher matcher(&model.value());
+  bench::CheckOk(matcher.Fit(*dataset, *training), "Fit");
+
+  const std::vector<data::PropertyPair> pairs =
+      dataset->AllCrossSourcePairs();
+  const auto begin = std::chrono::steady_clock::now();
+  size_t scored = 0;
+  const size_t score_reps = quick ? 1 : 5;
+  for (size_t rep = 0; rep < score_reps; ++rep) {
+    auto scores = matcher.ScorePairs(pairs);
+    bench::CheckOk(scores.status(), "ScorePairs");
+    scored += scores->size();
+    Sink((*scores)[0]);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  const double pairs_per_sec =
+      elapsed > 0.0 ? static_cast<double>(scored) / elapsed : 0.0;
+  std::printf("end-to-end ScorePairs: %zu pairs in %.3f s (%.0f pairs/s) "
+              "on kernel path '%s'\n",
+              scored, elapsed, pairs_per_sec, kernels::ActiveKernelName());
+  report.Metric("score_pairs", static_cast<uint64_t>(scored));
+  report.Metric("score_pairs_per_sec", pairs_per_sec);
+
+  bench::WriteJsonReport(report);
+  return 0;
+}

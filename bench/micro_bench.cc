@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/domain.h"
@@ -232,6 +237,40 @@ void BM_MinhashSignature(benchmark::State& state) {
 }
 BENCHMARK(BM_MinhashSignature);
 
+// Console reporter that also collects per-benchmark real time so the run
+// lands in the shared BENCH_micro.json report (see bench_util.h).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      collected_.emplace_back(run.benchmark_name(),
+                              run.GetAdjustedRealTime());
+    }
+  }
+
+  const std::vector<std::pair<std::string, double>>& collected() const {
+    return collected_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> collected_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  leapme::bench::JsonReport report("micro");
+  for (const auto& [name, real_time_ns] : reporter.collected()) {
+    report.Metric(name + "_ns", real_time_ns);
+  }
+  leapme::bench::WriteJsonReport(report);
+  return 0;
+}

@@ -314,5 +314,21 @@ int main() {
          ",\"embedding_cache_misses\":" +
          std::to_string(stats.embedding_cache_misses) + "}}";
   std::printf("%s\n", out.c_str());
+
+  bench::JsonReport report("serve");
+  report.Metric("clients", shape.clients);
+  report.Metric("requests_per_client", shape.requests_per_client);
+  report.Metric("pairs_per_request", shape.pairs_per_request);
+  auto load_fragment = [](const LoadResult& result) {
+    std::string fragment;
+    AppendLoadResult(&fragment, "r", result);
+    // AppendLoadResult emits `"r":{...}`; keep just the object.
+    return fragment.substr(fragment.find('{'));
+  };
+  report.RawMetric("in_process", load_fragment(in_process));
+  report.RawMetric("tcp", load_fragment(tcp));
+  report.Metric("pairs_scored", stats.pairs_scored);
+  report.Metric("batches", stats.batches);
+  bench::WriteJsonReport(report);
   return 0;
 }

@@ -175,5 +175,11 @@ int main() {
                                                          : "test",
               table.Render().c_str());
   std::printf("total time: %.1f s\n", elapsed);
+
+  leapme::bench::JsonReport report("table2");
+  report.Metric("repetitions", eval_options.repetitions);
+  report.Metric("total_time_s", elapsed);
+  report.RawMetric("rows", table.RenderJsonRows());
+  leapme::bench::WriteJsonReport(report);
   return 0;
 }

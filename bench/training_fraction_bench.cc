@@ -63,5 +63,10 @@ int main() {
       "expected shape: F1 grows with the training fraction; LEAPME is\n"
       "already competitive at 20%% (paper observation 2). Higher negative\n"
       "ratios trade recall for precision around the paper's 1:2 choice.\n");
+
+  leapme::bench::JsonReport report("training_fraction");
+  report.Metric("repetitions", eval_options.repetitions);
+  report.RawMetric("rows", table.RenderJsonRows());
+  leapme::bench::WriteJsonReport(report);
   return 0;
 }

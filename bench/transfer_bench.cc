@@ -100,5 +100,19 @@ int main() {
       "true zero-label transfer. Expected shape: transfer loses some F1\n"
       "against the diagonal but stays clearly above the unsupervised\n"
       "baselines' range on most pairs.\n");
+
+  bench::JsonReport report("transfer");
+  std::string cells = "[";
+  for (const auto& train_spec : specs) {
+    for (const auto& test_spec : specs) {
+      cells += StrFormat("%s{\"train\":\"%s\",\"test\":\"%s\",\"f1\":%.4f}",
+                         cells.size() > 1 ? "," : "",
+                         train_spec.name.c_str(), test_spec.name.c_str(),
+                         f1[train_spec.name][test_spec.name]);
+    }
+  }
+  cells.push_back(']');
+  report.RawMetric("cells", cells);
+  bench::WriteJsonReport(report);
   return 0;
 }

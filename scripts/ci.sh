@@ -2,14 +2,17 @@
 # CI entry point: tier-1 verification plus sanitizer passes over the
 # concurrency surface (the shared execution engine and the online
 # scoring service) — ThreadSanitizer for races, AddressSanitizer for
-# lifetime bugs in the batcher / cache / registry hot paths.
+# lifetime bugs in the batcher / cache / registry hot paths, and
+# UndefinedBehaviorSanitizer over the SIMD kernel layer (misaligned or
+# out-of-bounds vector loads would surface here first).
 #
-#   scripts/ci.sh              # full run
-#   SKIP_TSAN=1 scripts/ci.sh  # skip the TSan tier
-#   SKIP_ASAN=1 scripts/ci.sh  # skip the ASan tier
+#   scripts/ci.sh               # full run
+#   SKIP_TSAN=1 scripts/ci.sh   # skip the TSan tier
+#   SKIP_ASAN=1 scripts/ci.sh   # skip the ASan tier
+#   SKIP_UBSAN=1 scripts/ci.sh  # skip the UBSan tier
 #
-# All build trees are kept (build/, build-tsan/, build-asan/) so
-# incremental reruns are cheap.
+# All build trees are kept (build/, build-tsan/, build-asan/,
+# build-ubsan/) so incremental reruns are cheap.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +23,13 @@ echo "== tier 1: build + full test suite =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+# The kernel parity suite again with dispatch forced to the scalar path:
+# together with the default run above, both tables are proven
+# bit-identical on this machine (the suite itself compares the other
+# path when present).
+echo "== tier 1b: kernel parity with LEAPME_KERNEL=scalar =="
+LEAPME_KERNEL=scalar ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L kernels
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tier 2: ThreadSanitizer on the parallel + serve labels =="
@@ -35,6 +45,15 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -L 'parallel|serve'
+fi
+
+if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then
+  echo "== tier 4: UndefinedBehaviorSanitizer on the kernels label =="
+  cmake -B build-ubsan -S . -DLEAPME_SANITIZE=undefined
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L kernels
+  LEAPME_KERNEL=scalar ctest --test-dir build-ubsan --output-on-failure \
+    -j "$JOBS" -L kernels
 fi
 
 echo "ci.sh: all checks passed"

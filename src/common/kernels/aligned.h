@@ -1,0 +1,59 @@
+#ifndef LEAPME_COMMON_KERNELS_ALIGNED_H_
+#define LEAPME_COMMON_KERNELS_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace leapme::kernels {
+
+/// Cache-line alignment used for all dense numeric storage. 64 bytes
+/// covers both the cache-line size and the widest vector unit the kernel
+/// layer dispatches to (32-byte AVX2 lanes), so a kernel may assume a
+/// buffer's first element never straddles a vector boundary.
+inline constexpr size_t kStorageAlignment = 64;
+
+/// Minimal aligned allocator for std::vector-backed numeric buffers.
+/// Allocations come from the C++17 aligned operator new, so they satisfy
+/// `Alignment` even when it exceeds __STDCPP_DEFAULT_NEW_ALIGNMENT__.
+template <typename T, size_t Alignment = kStorageAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned float buffer; drop-in std::vector<float> replacement
+/// for dense numeric storage (nn::Matrix, kernel scratch buffers).
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace leapme::kernels
+
+#endif  // LEAPME_COMMON_KERNELS_ALIGNED_H_

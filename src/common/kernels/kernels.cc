@@ -1,0 +1,62 @@
+// Runtime kernel dispatch. The table is chosen exactly once, on the
+// first call to Active(): LEAPME_KERNEL=scalar|avx2 when set, otherwise
+// AVX2 iff the CPU reports AVX2 and FMA via cpuid. This translation unit
+// is compiled without -mavx2, so probing and falling back is always safe;
+// AVX2 instructions live only behind the function pointers of the table
+// returned by internal::Avx2KernelsUnchecked().
+
+#include "common/kernels/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/kernels/kernels_internal.h"
+#include "common/logging.h"
+
+namespace leapme::kernels {
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* ChooseTable() {
+  const KernelTable* avx2 = Avx2Kernels();
+  const char* env = std::getenv("LEAPME_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) {
+      return &ScalarKernels();
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2 != nullptr) return avx2;
+      LEAPME_LOG(Warning)
+          << "LEAPME_KERNEL=avx2 requested but this CPU lacks AVX2+FMA; "
+             "using the scalar kernels";
+      return &ScalarKernels();
+    }
+    LEAPME_LOG(Warning) << "unknown LEAPME_KERNEL value '" << env
+                        << "' (expected 'scalar' or 'avx2'); auto-detecting";
+  }
+  return avx2 != nullptr ? avx2 : &ScalarKernels();
+}
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (CpuHasAvx2Fma()) return &internal::Avx2KernelsUnchecked();
+#endif
+  return nullptr;
+}
+
+const KernelTable& Active() {
+  static const KernelTable* const table = ChooseTable();
+  return *table;
+}
+
+}  // namespace leapme::kernels

@@ -1,0 +1,153 @@
+#ifndef LEAPME_COMMON_KERNELS_KERNELS_H_
+#define LEAPME_COMMON_KERNELS_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace leapme::kernels {
+
+/// The vectorized kernel layer: every dense float inner loop in the
+/// library (embedding similarity, feature assembly, scaler, classifiers,
+/// the MLP's GEMMs) runs through one of these kernels. An implementation
+/// is chosen once at startup — AVX2 when the CPU supports AVX2+FMA,
+/// scalar otherwise, overridable with LEAPME_KERNEL=scalar|avx2 — and
+/// both implementations produce bit-identical results.
+///
+/// # The canonical reduction-order contract
+///
+/// All dot-style reductions (`dot`, `dot3`, `squared_l2`) accumulate in
+/// **8 lanes with stride 8**: element i contributes to lane (i mod 8),
+/// lanes are filled in ascending i, and the 8 partial sums are combined
+/// in the fixed tree
+///
+///     ((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))
+///
+/// which is exactly the shape of an AVX2 horizontal add (fold the high
+/// 128-bit half onto the low, then pairwise). Double-precision
+/// reductions (`dot_f32_f64`) use the 4-lane analogue
+/// ((l0+l2) + (l1+l3)). The scalar implementation executes the same lane
+/// assignment and the same combine tree, and both implementations are
+/// compiled with -ffp-contract=off (no fused multiply-add anywhere), so
+/// scalar and AVX2 paths — and therefore every machine and every
+/// LEAPME_KERNEL setting — produce identical bits. Elementwise kernels
+/// (axpy, scale, add, sub, abs_diff, standardize, moments) are trivially
+/// order-preserving. This is what keeps PR 1's thread-count determinism
+/// and the 17-digit model round-trip intact underneath SIMD: reductions
+/// are deterministic by construction, not by luck of the autovectorizer.
+struct KernelTable {
+  /// Dispatch-path name as reported in serve stats and bench JSON:
+  /// "scalar" or "avx2".
+  const char* name;
+
+  /// Canonical 8-lane dot product: sum a[i]*b[i].
+  float (*dot)(const float* a, const float* b, size_t n);
+
+  /// One-pass fused dot products for cosine similarity:
+  /// out = {sum a*b, sum a*a, sum b*b}, each in canonical order
+  /// (bit-identical to three separate `dot` calls).
+  void (*dot3)(const float* a, const float* b, size_t n, float out[3]);
+
+  /// Canonical 8-lane squared Euclidean distance: sum (a[i]-b[i])^2.
+  float (*squared_l2)(const float* a, const float* b, size_t n);
+
+  /// y[i] += alpha * x[i].
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+
+  /// y[i] += x[i].
+  void (*add)(const float* x, float* y, size_t n);
+
+  /// x[i] *= alpha.
+  void (*scale)(float alpha, float* x, size_t n);
+
+  /// out[i] = a[i] - b[i].
+  void (*sub)(const float* a, const float* b, float* out, size_t n);
+
+  /// out[i] = |a[i] - b[i]|.
+  void (*abs_diff)(const float* a, const float* b, float* out, size_t n);
+
+  /// row[i] = (row[i] - mean[i]) / stddev[i]. Callers pre-clamp stddev.
+  void (*standardize)(const float* mean, const float* stddev, float* row,
+                      size_t n);
+
+  /// Column-moment accumulation for scaler fitting:
+  /// sum[i] += row[i]; sum_sq[i] += double(row[i]) * row[i].
+  void (*moments)(const float* row, double* sum, double* sum_sq, size_t n);
+
+  /// Canonical 4-lane double-precision dot of a float vector against
+  /// double weights: sum w[i] * x[i] (used by the logistic classifier).
+  double (*dot_f32_f64)(const float* x, const double* w, size_t n);
+
+  /// y[i] += alpha * x[i] with double accumulators over a float row
+  /// (logistic-regression gradient update).
+  void (*axpy_f32_f64)(double alpha, const float* x, double* y, size_t n);
+
+  /// Blocked a * b^T: for i in [0, rows), j in [0, m):
+  ///   out[i*m + j] = canonical dot of a row i (stride k) and b row j
+  /// (stride k). The AVX2 implementation register-tiles 2x4 outputs and
+  /// cache-blocks over b rows; per-element reduction order is canonical
+  /// regardless of tiling, so every implementation and block size agrees
+  /// bit for bit.
+  void (*gemm_tb)(const float* a, const float* b, float* out, size_t rows,
+                  size_t k, size_t m);
+};
+
+/// The portable implementation (canonical order, no SIMD intrinsics).
+/// Always available; also the reference the parity suite tests against.
+const KernelTable& ScalarKernels();
+
+/// The AVX2+FMA-gated implementation, or nullptr when the CPU lacks
+/// AVX2/FMA support. (The kernels themselves use no FMA — see the
+/// contract above — but FMA presence is part of the dispatch gate so
+/// "avx2" consistently means a modern 256-bit core.)
+const KernelTable* Avx2Kernels();
+
+/// The table chosen at startup: LEAPME_KERNEL=scalar|avx2 when set (an
+/// avx2 request on unsupported hardware logs a warning and falls back to
+/// scalar), otherwise AVX2 when supported, else scalar. The choice is
+/// made once and never changes.
+const KernelTable& Active();
+
+/// Name of the active dispatch path ("scalar" | "avx2") for stats and
+/// bench reports.
+inline const char* ActiveKernelName() { return Active().name; }
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers over the active table.
+
+inline float Dot(std::span<const float> a, std::span<const float> b) {
+  return Active().dot(a.data(), b.data(), a.size());
+}
+
+inline float SquaredL2(std::span<const float> a, std::span<const float> b) {
+  return Active().squared_l2(a.data(), b.data(), a.size());
+}
+
+inline float Norm(std::span<const float> a) {
+  return std::sqrt(Active().dot(a.data(), a.data(), a.size()));
+}
+
+inline void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  Active().axpy(alpha, x.data(), y.data(), y.size());
+}
+
+inline void Add(std::span<const float> x, std::span<float> y) {
+  Active().add(x.data(), y.data(), y.size());
+}
+
+inline void Scale(float alpha, std::span<float> x) {
+  Active().scale(alpha, x.data(), x.size());
+}
+
+/// Combines the three dot products of `dot3` into a cosine similarity,
+/// reproducing Dot/(Norm*Norm) including the all-zero guard.
+inline float CosineFromDots(float dot_ab, float dot_aa, float dot_bb) {
+  const float norm_a = std::sqrt(dot_aa);
+  const float norm_b = std::sqrt(dot_bb);
+  if (norm_a == 0.0f || norm_b == 0.0f) return 0.0f;
+  return dot_ab / (norm_a * norm_b);
+}
+
+}  // namespace leapme::kernels
+
+#endif  // LEAPME_COMMON_KERNELS_KERNELS_H_

@@ -1,0 +1,291 @@
+// AVX2 kernel implementations. This translation unit is compiled with
+// -mavx2 -ffp-contract=off (see src/common/CMakeLists.txt); nothing in it
+// executes unless the dispatcher in kernels.cc selected the AVX2 path,
+// which it only does after __builtin_cpu_supports confirms AVX2+FMA.
+//
+// Bit-parity with the scalar path comes from construction, not testing
+// luck: the 8-wide loops accumulate element i into vector lane i mod 8 —
+// exactly the scalar path's canonical lane assignment — remainders and
+// the lane-combine tree run through the very same inline helpers
+// (kernels_internal.h), and contraction is disabled so _mm256_mul_ps +
+// _mm256_add_ps can never silently become a fused multiply-add.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/kernels/kernels.h"
+#include "common/kernels/kernels_internal.h"
+
+namespace leapme::kernels {
+namespace internal {
+
+namespace {
+
+/// Spills a lane accumulator, folds in the [n8, n) remainder, combines.
+float FinishDot(__m256 acc, const float* a, const float* b, size_t n8,
+                size_t n) {
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  DotTail(a, b, n8, n, lanes);
+  return ReduceLanes8(lanes);
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  return FinishDot(acc, a, b, n8, n);
+}
+
+void Dot3Avx2(const float* a, const float* b, size_t n, float out[3]) {
+  __m256 acc_ab = _mm256_setzero_ps();
+  __m256 acc_aa = _mm256_setzero_ps();
+  __m256 acc_bb = _mm256_setzero_ps();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc_ab = _mm256_add_ps(acc_ab, _mm256_mul_ps(va, vb));
+    acc_aa = _mm256_add_ps(acc_aa, _mm256_mul_ps(va, va));
+    acc_bb = _mm256_add_ps(acc_bb, _mm256_mul_ps(vb, vb));
+  }
+  out[0] = FinishDot(acc_ab, a, b, n8, n);
+  out[1] = FinishDot(acc_aa, a, a, n8, n);
+  out[2] = FinishDot(acc_bb, b, b, n8, n);
+}
+
+float SquaredL2Avx2(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  SquaredL2Tail(a, b, n8, n, lanes);
+  return ReduceLanes8(lanes);
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 vy = _mm256_add_ps(
+        _mm256_loadu_ps(y + i),
+        _mm256_mul_ps(valpha, _mm256_loadu_ps(x + i)));
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void AddAvx2(const float* x, float* y, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    y[i] += x[i];
+  }
+}
+
+void ScaleAvx2(float alpha, float* x, size_t n) {
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(valpha, _mm256_loadu_ps(x + i)));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    x[i] *= alpha;
+  }
+}
+
+void SubAvx2(const float* a, const float* b, float* out, size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+void AbsDiffAvx2(const float* a, const float* b, float* out, size_t n) {
+  // |x| = clear the sign bit — identical to std::fabs for every input,
+  // including NaNs (payload preserved) and -0.0f.
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(out + i, _mm256_and_ps(diff, abs_mask));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    out[i] = std::fabs(a[i] - b[i]);
+  }
+}
+
+void StandardizeAvx2(const float* mean, const float* stddev, float* row,
+                     size_t n) {
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 centered =
+        _mm256_sub_ps(_mm256_loadu_ps(row + i), _mm256_loadu_ps(mean + i));
+    _mm256_storeu_ps(row + i,
+                     _mm256_div_ps(centered, _mm256_loadu_ps(stddev + i)));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    row[i] = (row[i] - mean[i]) / stddev[i];
+  }
+}
+
+void MomentsAvx2(const float* row, double* sum, double* sum_sq, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d values = _mm256_cvtps_pd(_mm_loadu_ps(row + i));
+    _mm256_storeu_pd(sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(sum + i), values));
+    _mm256_storeu_pd(
+        sum_sq + i,
+        _mm256_add_pd(_mm256_loadu_pd(sum_sq + i),
+                      _mm256_mul_pd(values, values)));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    sum[i] += row[i];
+    sum_sq[i] += static_cast<double>(row[i]) * row[i];
+  }
+}
+
+double DotF32F64Avx2(const float* x, const double* w, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d values = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc = _mm256_add_pd(acc,
+                        _mm256_mul_pd(_mm256_loadu_pd(w + i), values));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (size_t i = n4; i < n; ++i) {
+    lanes[i - n4] += w[i] * static_cast<double>(x[i]);
+  }
+  return ReduceLanes4(lanes);
+}
+
+void AxpyF32F64Avx2(double alpha, const float* x, double* y, size_t n) {
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const __m256d values = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    _mm256_storeu_pd(y + i,
+                     _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                   _mm256_mul_pd(valpha, values)));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    y[i] += alpha * static_cast<double>(x[i]);
+  }
+}
+
+/// B rows per cache block of the blocked a*b^T. At the paper's 300-d
+/// feature width a block is 64 * 300 * 4B = 75 KiB — comfortably L2
+/// resident while the i-loop streams every A row over it.
+constexpr size_t kGemmTbJTile = 64;
+
+void GemmTbAvx2(const float* a, const float* b, float* out, size_t rows,
+                size_t k, size_t m) {
+  const size_t k8 = k & ~size_t{7};
+  for (size_t j0 = 0; j0 < m; j0 += kGemmTbJTile) {
+    const size_t j1 = std::min(m, j0 + kGemmTbJTile);
+    size_t i = 0;
+    // 2x4 register tile: 8 independent lane accumulators (one ymm per
+    // output element) + 2 A vectors + 1 B vector = 11 of 16 ymm regs.
+    for (; i + 2 <= rows; i += 2) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      float* out0 = out + i * m;
+      float* out1 = out0 + m;
+      size_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        const float* b0 = b + j * k;
+        const float* b1 = b0 + k;
+        const float* b2 = b1 + k;
+        const float* b3 = b2 + k;
+        __m256 acc00 = _mm256_setzero_ps();
+        __m256 acc01 = _mm256_setzero_ps();
+        __m256 acc02 = _mm256_setzero_ps();
+        __m256 acc03 = _mm256_setzero_ps();
+        __m256 acc10 = _mm256_setzero_ps();
+        __m256 acc11 = _mm256_setzero_ps();
+        __m256 acc12 = _mm256_setzero_ps();
+        __m256 acc13 = _mm256_setzero_ps();
+        for (size_t kk = 0; kk < k8; kk += 8) {
+          const __m256 va0 = _mm256_loadu_ps(a0 + kk);
+          const __m256 va1 = _mm256_loadu_ps(a1 + kk);
+          __m256 vb = _mm256_loadu_ps(b0 + kk);
+          acc00 = _mm256_add_ps(acc00, _mm256_mul_ps(va0, vb));
+          acc10 = _mm256_add_ps(acc10, _mm256_mul_ps(va1, vb));
+          vb = _mm256_loadu_ps(b1 + kk);
+          acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(va0, vb));
+          acc11 = _mm256_add_ps(acc11, _mm256_mul_ps(va1, vb));
+          vb = _mm256_loadu_ps(b2 + kk);
+          acc02 = _mm256_add_ps(acc02, _mm256_mul_ps(va0, vb));
+          acc12 = _mm256_add_ps(acc12, _mm256_mul_ps(va1, vb));
+          vb = _mm256_loadu_ps(b3 + kk);
+          acc03 = _mm256_add_ps(acc03, _mm256_mul_ps(va0, vb));
+          acc13 = _mm256_add_ps(acc13, _mm256_mul_ps(va1, vb));
+        }
+        out0[j] = FinishDot(acc00, a0, b0, k8, k);
+        out0[j + 1] = FinishDot(acc01, a0, b1, k8, k);
+        out0[j + 2] = FinishDot(acc02, a0, b2, k8, k);
+        out0[j + 3] = FinishDot(acc03, a0, b3, k8, k);
+        out1[j] = FinishDot(acc10, a1, b0, k8, k);
+        out1[j + 1] = FinishDot(acc11, a1, b1, k8, k);
+        out1[j + 2] = FinishDot(acc12, a1, b2, k8, k);
+        out1[j + 3] = FinishDot(acc13, a1, b3, k8, k);
+      }
+      for (; j < j1; ++j) {
+        const float* b_row = b + j * k;
+        out0[j] = DotAvx2(a0, b_row, k);
+        out1[j] = DotAvx2(a1, b_row, k);
+      }
+    }
+    if (i < rows) {
+      const float* a0 = a + i * k;
+      float* out0 = out + i * m;
+      for (size_t j = j0; j < j1; ++j) {
+        out0[j] = DotAvx2(a0, b + j * k, k);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2KernelsUnchecked() {
+  static constexpr KernelTable kTable = {
+      "avx2",         DotAvx2,         Dot3Avx2,    SquaredL2Avx2,
+      AxpyAvx2,       AddAvx2,         ScaleAvx2,   SubAvx2,
+      AbsDiffAvx2,    StandardizeAvx2, MomentsAvx2, DotF32F64Avx2,
+      AxpyF32F64Avx2, GemmTbAvx2,
+  };
+  return kTable;
+}
+
+}  // namespace internal
+}  // namespace leapme::kernels
+
+#endif  // defined(__x86_64__) || defined(__i386__)

@@ -1,0 +1,59 @@
+#ifndef LEAPME_COMMON_KERNELS_KERNELS_INTERNAL_H_
+#define LEAPME_COMMON_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+#include "common/kernels/kernels.h"
+
+// Shared pieces of the canonical reduction order (see kernels.h), included
+// by both the scalar and the AVX2 translation units so the lane-combine
+// tree and the remainder handling are literally the same code on every
+// dispatch path.
+
+namespace leapme::kernels::internal {
+
+/// Combines 8 partial sums in the canonical tree:
+/// ((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7)) — the shape of an AVX2
+/// horizontal add (high half folded onto low, then pairwise).
+inline float ReduceLanes8(const float lanes[8]) {
+  const float t0 = lanes[0] + lanes[4];
+  const float t1 = lanes[1] + lanes[5];
+  const float t2 = lanes[2] + lanes[6];
+  const float t3 = lanes[3] + lanes[7];
+  return (t0 + t2) + (t1 + t3);
+}
+
+/// 4-lane double analogue: (l0+l2) + (l1+l3).
+inline double ReduceLanes4(const double lanes[4]) {
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+/// Remainder elements of a dot-style reduction: element i (i >= n8,
+/// n8 = n rounded down to a multiple of 8) lands in lane i mod 8, which
+/// equals i - n8 because n8 is a multiple of 8.
+inline void DotTail(const float* a, const float* b, size_t n8, size_t n,
+                    float lanes[8]) {
+  for (size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += a[i] * b[i];
+  }
+}
+
+inline void SquaredL2Tail(const float* a, const float* b, size_t n8, size_t n,
+                          float lanes[8]) {
+  for (size_t i = n8; i < n; ++i) {
+    const float diff = a[i] - b[i];
+    lanes[i - n8] += diff * diff;
+  }
+}
+
+/// The AVX2 table without a CPU-support check, defined in
+/// kernels_avx2.cc (compiled with -mavx2). Only the dispatcher in
+/// kernels.cc may call this, after __builtin_cpu_supports gating; on
+/// non-x86 builds it is absent and the dispatcher never references it.
+#if defined(__x86_64__) || defined(__i386__)
+const ::leapme::kernels::KernelTable& Avx2KernelsUnchecked();
+#endif
+
+}  // namespace leapme::kernels::internal
+
+#endif  // LEAPME_COMMON_KERNELS_KERNELS_INTERNAL_H_

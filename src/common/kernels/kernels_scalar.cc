@@ -1,0 +1,156 @@
+// Portable kernel implementations in the canonical reduction order.
+// Compiled with -ffp-contract=off (see src/common/CMakeLists.txt) so the
+// compiler can neither fuse multiply-adds nor otherwise reassociate —
+// what is written here is the bit-level contract the AVX2 path must
+// reproduce. The 8-lane loops are written so the autovectorizer may
+// still use SSE on the lane arrays (elementwise over lanes, which
+// preserves per-lane order exactly).
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/kernels/kernels.h"
+#include "common/kernels/kernels_internal.h"
+
+namespace leapme::kernels {
+
+namespace {
+
+using internal::DotTail;
+using internal::ReduceLanes4;
+using internal::ReduceLanes8;
+using internal::SquaredL2Tail;
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float lanes[8] = {};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      lanes[l] += a[i + l] * b[i + l];
+    }
+  }
+  DotTail(a, b, n8, n, lanes);
+  return ReduceLanes8(lanes);
+}
+
+void Dot3Scalar(const float* a, const float* b, size_t n, float out[3]) {
+  float ab[8] = {};
+  float aa[8] = {};
+  float bb[8] = {};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      ab[l] += a[i + l] * b[i + l];
+      aa[l] += a[i + l] * a[i + l];
+      bb[l] += b[i + l] * b[i + l];
+    }
+  }
+  DotTail(a, b, n8, n, ab);
+  DotTail(a, a, n8, n, aa);
+  DotTail(b, b, n8, n, bb);
+  out[0] = ReduceLanes8(ab);
+  out[1] = ReduceLanes8(aa);
+  out[2] = ReduceLanes8(bb);
+}
+
+float SquaredL2Scalar(const float* a, const float* b, size_t n) {
+  float lanes[8] = {};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      const float diff = a[i + l] - b[i + l];
+      lanes[l] += diff * diff;
+    }
+  }
+  SquaredL2Tail(a, b, n8, n, lanes);
+  return ReduceLanes8(lanes);
+}
+
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void AddScalar(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += x[i];
+  }
+}
+
+void ScaleScalar(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] *= alpha;
+  }
+}
+
+void SubScalar(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+void AbsDiffScalar(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::fabs(a[i] - b[i]);
+  }
+}
+
+void StandardizeScalar(const float* mean, const float* stddev, float* row,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    row[i] = (row[i] - mean[i]) / stddev[i];
+  }
+}
+
+void MomentsScalar(const float* row, double* sum, double* sum_sq, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    sum[i] += row[i];
+    sum_sq[i] += static_cast<double>(row[i]) * row[i];
+  }
+}
+
+double DotF32F64Scalar(const float* x, const double* w, size_t n) {
+  double lanes[4] = {};
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    for (size_t l = 0; l < 4; ++l) {
+      lanes[l] += w[i + l] * static_cast<double>(x[i + l]);
+    }
+  }
+  for (size_t i = n4; i < n; ++i) {
+    lanes[i - n4] += w[i] * static_cast<double>(x[i]);
+  }
+  return ReduceLanes4(lanes);
+}
+
+void AxpyF32F64Scalar(double alpha, const float* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * static_cast<double>(x[i]);
+  }
+}
+
+void GemmTransposeBScalar(const float* a, const float* b, float* out,
+                          size_t rows, size_t k, size_t m) {
+  for (size_t i = 0; i < rows; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      out_row[j] = DotScalar(a_row, b + j * k, k);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static constexpr KernelTable kTable = {
+      "scalar",         DotScalar,         Dot3Scalar,    SquaredL2Scalar,
+      AxpyScalar,       AddScalar,         ScaleScalar,   SubScalar,
+      AbsDiffScalar,    StandardizeScalar, MomentsScalar, DotF32F64Scalar,
+      AxpyF32F64Scalar, GemmTransposeBScalar,
+  };
+  return kTable;
+}
+
+}  // namespace leapme::kernels

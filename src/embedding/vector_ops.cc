@@ -2,30 +2,27 @@
 
 #include <cmath>
 
+#include "common/kernels/kernels.h"
 #include "common/logging.h"
 
 namespace leapme::embedding {
 
+// All dense loops run on the dispatched kernel layer (common/kernels):
+// AVX2 when the CPU supports it, scalar otherwise, bit-identical either
+// way under the canonical reduction-order contract (DESIGN.md §12).
+
 void AddInPlace(Vector& a, std::span<const float> b) {
   LEAPME_CHECK_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    a[i] += b[i];
-  }
+  kernels::Active().add(b.data(), a.data(), a.size());
 }
 
 void ScaleInPlace(Vector& a, float s) {
-  for (float& value : a) {
-    value *= s;
-  }
+  kernels::Active().scale(s, a.data(), a.size());
 }
 
 float Dot(std::span<const float> a, std::span<const float> b) {
   LEAPME_CHECK_EQ(a.size(), b.size());
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += a[i] * b[i];
-  }
-  return sum;
+  return kernels::Active().dot(a.data(), b.data(), a.size());
 }
 
 float Norm(std::span<const float> a) {
@@ -33,20 +30,18 @@ float Norm(std::span<const float> a) {
 }
 
 float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
-  float norm_a = Norm(a);
-  float norm_b = Norm(b);
-  if (norm_a == 0.0f || norm_b == 0.0f) return 0.0f;
-  return Dot(a, b) / (norm_a * norm_b);
+  LEAPME_CHECK_EQ(a.size(), b.size());
+  // One fused pass computes all three dot products; each follows the
+  // canonical order, so the result is bit-identical to the historical
+  // Dot/Norm composition.
+  float dots[3];
+  kernels::Active().dot3(a.data(), b.data(), a.size(), dots);
+  return kernels::CosineFromDots(dots[0], dots[1], dots[2]);
 }
 
 float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
   LEAPME_CHECK_EQ(a.size(), b.size());
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    float diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(kernels::Active().squared_l2(a.data(), b.data(), a.size()));
 }
 
 void NormalizeInPlace(Vector& a) {

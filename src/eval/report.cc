@@ -92,4 +92,25 @@ std::string ResultsTable::RenderCsv() const {
   return out;
 }
 
+std::string ResultsTable::RenderJsonRows() const {
+  std::string out = "[";
+  bool first = true;
+  for (const RowId& row : row_order_) {
+    const auto& row_cells = cells_.at(row);
+    for (const std::string& approach : approaches_) {
+      auto it = row_cells.find(approach);
+      if (it == row_cells.end()) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out += StrFormat(
+          "{\"section\":\"%s\",\"row\":\"%s\",\"approach\":\"%s\","
+          "\"precision\":%.4f,\"recall\":%.4f,\"f1\":%.4f}",
+          row.section.c_str(), row.row_key.c_str(), approach.c_str(),
+          it->second.precision, it->second.recall, it->second.f1);
+    }
+  }
+  out.push_back(']');
+  return out;
+}
+
 }  // namespace leapme::eval

@@ -32,6 +32,11 @@ class ResultsTable {
   /// Renders as CSV: section,row,approach,precision,recall,f1.
   std::string RenderCsv() const;
 
+  /// Renders as a JSON array of cell objects
+  /// ({"section","row","approach","precision","recall","f1"}) for the
+  /// shared BENCH_<name>.json reports.
+  std::string RenderJsonRows() const;
+
  private:
   struct RowId {
     std::string section;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels/kernels.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "text/char_class.h"
@@ -34,14 +35,11 @@ void DiffBlock(const StageContext& ctx, std::span<const float> a,
                std::span<const float> b, std::span<float> out) {
   LEAPME_CHECK_EQ(a.size(), out.size());
   LEAPME_CHECK_EQ(b.size(), out.size());
+  const kernels::KernelTable& kernel = kernels::Active();
   if (ctx.options->absolute_difference) {
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = std::fabs(a[i] - b[i]);
-    }
+    kernel.abs_diff(a.data(), b.data(), out.data(), out.size());
   } else {
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = a[i] - b[i];
-    }
+    kernel.sub(a.data(), b.data(), out.data(), out.size());
   }
 }
 
@@ -66,17 +64,13 @@ class InstanceAveragedStage : public FeatureStage {
       used = std::min(used, ctx.options->max_instances_per_property);
     }
     if (used == 0) return;  // `out` is pre-zeroed by the pipeline
+    const kernels::KernelTable& kernel = kernels::Active();
     std::vector<float> instance(out.size(), 0.0f);
     for (size_t i = 0; i < used; ++i) {
       ExtractInstance(ctx, values[i], instance);
-      for (size_t j = 0; j < out.size(); ++j) {
-        out[j] += instance[j];
-      }
+      kernel.add(instance.data(), out.data(), out.size());
     }
-    const auto inv = 1.0f / static_cast<float>(used);
-    for (size_t j = 0; j < out.size(); ++j) {
-      out[j] *= inv;
-    }
+    kernel.scale(1.0f / static_cast<float>(used), out.data(), out.size());
   }
 
   void ComputePair(const StageContext& ctx, std::string_view /*a_name*/,

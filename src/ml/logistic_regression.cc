@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/kernels/kernels.h"
+
 namespace leapme::ml {
 
 namespace {
@@ -24,19 +26,19 @@ Status LogisticRegression::Fit(const nn::Matrix& inputs,
   bias_ = 0.0;
   std::vector<double> grad(d);
 
+  // The per-example dot product and gradient update run on the kernel
+  // layer: the dot uses the canonical 4-lane double reduction, the
+  // gradient update is an elementwise double AXPY over the float row.
+  const kernels::KernelTable& kernel = kernels::Active();
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     std::fill(grad.begin(), grad.end(), 0.0);
     double grad_bias = 0.0;
     for (size_t i = 0; i < n; ++i) {
       auto row = inputs.row(i);
-      double z = bias_;
-      for (size_t j = 0; j < d; ++j) {
-        z += weights_[j] * row[j];
-      }
+      const double z =
+          bias_ + kernel.dot_f32_f64(row.data(), weights_.data(), d);
       double error = Sigmoid(z) - (labels[i] != 0 ? 1.0 : 0.0);
-      for (size_t j = 0; j < d; ++j) {
-        grad[j] += error * row[j];
-      }
+      kernel.axpy_f32_f64(error, row.data(), grad.data(), d);
       grad_bias += error;
     }
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -52,13 +54,12 @@ Status LogisticRegression::Fit(const nn::Matrix& inputs,
 std::vector<double> LogisticRegression::PredictProbability(
     const nn::Matrix& inputs) const {
   std::vector<double> probabilities(inputs.rows(), 0.0);
+  const kernels::KernelTable& kernel = kernels::Active();
+  const size_t d = std::min(weights_.size(), inputs.cols());
   for (size_t i = 0; i < inputs.rows(); ++i) {
     auto row = inputs.row(i);
-    double z = bias_;
-    for (size_t j = 0; j < weights_.size() && j < row.size(); ++j) {
-      z += weights_[j] * row[j];
-    }
-    probabilities[i] = Sigmoid(z);
+    probabilities[i] =
+        Sigmoid(bias_ + kernel.dot_f32_f64(row.data(), weights_.data(), d));
   }
   return probabilities;
 }

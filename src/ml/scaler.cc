@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/kernels/kernels.h"
 #include "common/string_util.h"
 
 namespace leapme::ml {
@@ -20,12 +21,13 @@ Status StandardScaler::Fit(const nn::Matrix& inputs) {
   stddev_.assign(d, 0.0f);
   std::vector<double> sum(d, 0.0);
   std::vector<double> sum_sq(d, 0.0);
+  // Column moments accumulate row by row on the kernel layer; the
+  // per-column accumulation order over rows is unchanged by
+  // vectorization (each column is an independent accumulator), so
+  // results are bit-identical on every dispatch path.
+  const kernels::KernelTable& kernel = kernels::Active();
   for (size_t r = 0; r < n; ++r) {
-    const float* row = inputs.data() + r * d;
-    for (size_t c = 0; c < d; ++c) {
-      sum[c] += row[c];
-      sum_sq[c] += static_cast<double>(row[c]) * row[c];
-    }
+    kernel.moments(inputs.data() + r * d, sum.data(), sum_sq.data(), d);
   }
   const double inv_n = 1.0 / static_cast<double>(n);
   for (size_t c = 0; c < d; ++c) {
@@ -57,12 +59,16 @@ Status StandardScaler::Transform(nn::Matrix* inputs) const {
                   mean_.size(), inputs->cols()));
   }
   const size_t d = inputs->cols();
+  // Clamp once, then standardize every row with the dispatched kernel
+  // (same subtract/divide per element as the historical loop).
+  std::vector<float> clamped(d);
+  for (size_t c = 0; c < d; ++c) {
+    clamped[c] = std::max(stddev_[c], kMinStddev);
+  }
+  const kernels::KernelTable& kernel = kernels::Active();
   for (size_t r = 0; r < inputs->rows(); ++r) {
-    float* row = inputs->data() + r * d;
-    for (size_t c = 0; c < d; ++c) {
-      float stddev = std::max(stddev_[c], kMinStddev);
-      row[c] = (row[c] - mean_[c]) / stddev;
-    }
+    kernel.standardize(mean_.data(), clamped.data(), inputs->data() + r * d,
+                       d);
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/kernels/kernels.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -25,21 +26,19 @@ size_t GemmRowGrain(size_t k, size_t m) {
 }
 
 // out rows [r0, r1) of a * b, i-k-j order: the inner loop is a contiguous
-// AXPY over B and OUT rows, which GCC auto-vectorizes.
+// AXPY over B and OUT rows on the dispatched kernel layer. Every
+// multiplier is applied — a zero in A must still propagate NaN/Inf from
+// the B row (0 * NaN = NaN), so there is deliberately no zero-skip here.
 void GemmRows(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
               size_t r1) {
+  const kernels::KernelTable& kernel = kernels::Active();
   const size_t k = a.cols();
   const size_t m = b.cols();
   for (size_t i = r0; i < r1; ++i) {
     const float* a_row = a.data() + i * k;
     float* out_row = out->data() + i * m;
     for (size_t kk = 0; kk < k; ++kk) {
-      const float a_ik = a_row[kk];
-      if (a_ik == 0.0f) continue;
-      const float* b_row = b.data() + kk * m;
-      for (size_t j = 0; j < m; ++j) {
-        out_row[j] += a_ik * b_row[j];
-      }
+      kernel.axpy(a_row[kk], b.data() + kk * m, out_row, m);
     }
   }
 }
@@ -47,48 +46,36 @@ void GemmRows(const Matrix& a, const Matrix& b, Matrix* out, size_t r0,
 // out rows [r0, r1) of a^T * b. Accumulation runs over kk ascending per
 // element, exactly like the k-outer sequential loop, so both orders
 // produce identical bits; this i-outer form gives each thread a disjoint
-// band of output rows.
+// band of output rows. As in GemmRows, zero multipliers are not skipped
+// so non-finite values in B always propagate.
 void GemmTransposeARows(const Matrix& a, const Matrix& b, Matrix* out,
                         size_t r0, size_t r1) {
+  const kernels::KernelTable& kernel = kernels::Active();
   const size_t k = a.rows();
   const size_t n = a.cols();
   const size_t m = b.cols();
   for (size_t i = r0; i < r1; ++i) {
     float* out_row = out->data() + i * m;
     for (size_t kk = 0; kk < k; ++kk) {
-      const float a_ki = a.data()[kk * n + i];
-      if (a_ki == 0.0f) continue;
-      const float* b_row = b.data() + kk * m;
-      for (size_t j = 0; j < m; ++j) {
-        out_row[j] += a_ki * b_row[j];
-      }
+      kernel.axpy(a.data()[kk * n + i], b.data() + kk * m, out_row, m);
     }
   }
 }
 
-// out rows [r0, r1) of a * b^T (dot products of row pairs).
+// out rows [r0, r1) of a * b^T (dot products of row pairs) on the
+// blocked kernel-layer GEMM.
 void GemmTransposeBRows(const Matrix& a, const Matrix& b, Matrix* out,
                         size_t r0, size_t r1) {
   const size_t k = a.cols();
   const size_t m = b.rows();
-  for (size_t i = r0; i < r1; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* out_row = out->data() + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      const float* b_row = b.data() + j * k;
-      float sum = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) {
-        sum += a_row[kk] * b_row[kk];
-      }
-      out_row[j] = sum;
-    }
-  }
+  kernels::Active().gemm_tb(a.data() + r0 * k, b.data(),
+                            out->data() + r0 * m, r1 - r0, k, m);
 }
 
 }  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> values)
-    : rows_(rows), cols_(cols), data_(std::move(values)) {
+    : rows_(rows), cols_(cols), data_(values.begin(), values.end()) {
   LEAPME_CHECK_EQ(data_.size(), rows * cols);
 }
 
@@ -114,15 +101,11 @@ Matrix Matrix::RowSlice(size_t begin, size_t end) const {
 void Matrix::AddInPlace(const Matrix& other) {
   LEAPME_CHECK_EQ(rows_, other.rows_);
   LEAPME_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += other.data_[i];
-  }
+  kernels::Active().add(other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::ScaleInPlace(float s) {
-  for (float& value : data_) {
-    value *= s;
-  }
+  kernels::Active().scale(s, data_.data(), data_.size());
 }
 
 double Matrix::SquaredNorm() const {
@@ -165,17 +148,14 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out) {
   }
   // Sequential path keeps the cache-friendly k-outer order (contiguous
   // reads of A and B rows); per-element accumulation order matches the
-  // row-banded parallel kernel, so results are bit-identical.
+  // row-banded parallel kernel, so results are bit-identical. No
+  // zero-skip (see GemmRows).
+  const kernels::KernelTable& kernel = kernels::Active();
   for (size_t kk = 0; kk < k; ++kk) {
     const float* a_row = a.data() + kk * n;
     const float* b_row = b.data() + kk * m;
     for (size_t i = 0; i < n; ++i) {
-      const float a_ki = a_row[i];
-      if (a_ki == 0.0f) continue;
-      float* out_row = out->data() + i * m;
-      for (size_t j = 0; j < m; ++j) {
-        out_row[j] += a_ki * b_row[j];
-      }
+      kernel.axpy(a_row[i], b_row, out->data() + i * m, m);
     }
   }
 }

@@ -6,12 +6,21 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels/aligned.h"
+
 namespace leapme::nn {
 
 /// Dense row-major float matrix — the numeric workhorse of the NN library.
 /// Deliberately minimal: shape, element access, and the handful of BLAS-like
 /// kernels the MLP needs (GEMM with optional transposes, row/column
 /// reductions, elementwise ops).
+///
+/// Storage is 64-byte aligned (kernels::kStorageAlignment): data() — and
+/// therefore row 0 — always starts on a cache-line boundary, so the
+/// vectorized kernel layer never straddles a vector boundary on its first
+/// element. Interior rows are only aligned when cols() is a multiple of
+/// 16; kernels use unaligned loads and rely on the base alignment for
+/// cache-friendliness, not correctness.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -71,7 +80,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  kernels::AlignedFloatVector data_;
 };
 
 /// out = a * b. Shapes: (n x k) * (k x m) -> (n x m). `out` is resized.
@@ -79,12 +88,19 @@ class Matrix {
 /// global thread pool (common/parallel.h); the parallel and sequential
 /// paths share one per-row kernel, so results are bit-identical at any
 /// thread count. The same applies to the transposed variants below.
+/// Inner loops run on the dispatched kernel layer (common/kernels), whose
+/// canonical reduction order keeps results bit-identical across the
+/// scalar and AVX2 paths as well. NaN/Inf anywhere in either operand
+/// propagates to the affected output cells (no zero-multiplier
+/// shortcuts).
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* out);
 
-/// out = a * b^T. Shapes: (n x k) * (m x k)^T -> (n x m).
+/// out = a * b^T. Shapes: (n x k) * (m x k)^T -> (n x m). Runs the
+/// cache-blocked, register-tiled kernel-layer GEMM under the row
+/// partitioning.
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out[c] = sum over rows of m(r, c). `out` is resized to m.cols().

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/kernels/kernels.h"
 #include "common/string_util.h"
 
 namespace leapme::serve {
@@ -325,6 +326,7 @@ ServiceStats MatcherService::Snapshot() const {
   stats.latency_p95_us = latency.p95;
   stats.latency_p99_us = latency.p99;
   stats.latency_samples = latency.samples;
+  stats.kernel_path = kernels::ActiveKernelName();
   for (const features::StageTiming& timing :
        matcher_->pipeline().StageTimings()) {
     StageTimingStat stage;

@@ -260,6 +260,8 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("connections_accepted", stats.connections_accepted);
   field("connections_active", stats.connections_active);
   field("latency_samples", stats.latency_samples);
+  out.append(",\"kernel\":");
+  AppendJsonString(&out, stats.kernel_path);
   out.append(",\"latency_p50_us\":");
   out.append(FormatJsonDouble(stats.latency_p50_us));
   out.append(",\"latency_p95_us\":");

@@ -97,6 +97,9 @@ struct ServiceStats {
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
   uint64_t latency_samples = 0;
+  /// Active kernel dispatch path ("scalar" or "avx2"); chosen once at
+  /// startup (see common/kernels/kernels.h).
+  std::string kernel_path;
   /// Per-stage feature timings of the matcher's pipeline, in stage
   /// composition order.
   std::vector<StageTimingStat> feature_stages;

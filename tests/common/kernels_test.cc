@@ -1,0 +1,296 @@
+// Kernel parity suite (ctest label `kernels`): every entry of the
+// dispatched kernel table must produce bit-identical results on the
+// scalar and AVX2 paths — the canonical reduction-order contract of
+// common/kernels/kernels.h, which is what keeps golden feature hashes
+// and persisted models stable across machines. Runs in CI under both
+// LEAPME_KERNEL=scalar and the default dispatch.
+
+#include "common/kernels/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/kernels/aligned.h"
+#include "common/rng.h"
+
+namespace leapme::kernels {
+namespace {
+
+// Odd sizes straddle every remainder-lane case of the 8-wide kernels;
+// 300/301 are the GloVe-sized hot case.
+const size_t kSizes[] = {1, 2, 7, 8, 9, 15, 16, 17, 63, 300, 301};
+
+uint32_t Bits(float x) { return std::bit_cast<uint32_t>(x); }
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+/// Fills `out` with a reproducible mix of magnitudes, signs, and exact
+/// zeros (zeros exercise the no-zero-skip contract).
+void FillMixed(Rng& rng, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double mag = rng.NextDouble(-4.0, 4.0);
+    out[i] = i % 13 == 0 ? 0.0f
+                         : static_cast<float>(rng.NextDouble(-1.5, 1.5) *
+                                              std::pow(10.0, mag));
+  }
+}
+
+// Skips the current test on non-AVX2 hardware (the scalar-vs-scalar
+// comparison would be vacuous). Must expand directly in the TEST body.
+#define AVX2_OR_SKIP(var)                                             \
+  const KernelTable* var = Avx2Kernels();                             \
+  if (var == nullptr) {                                               \
+    GTEST_SKIP() << "CPU lacks AVX2+FMA; nothing to compare against"; \
+  }
+
+class KernelParityTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    const size_t n = GetParam();
+    Rng rng(1234 + n);
+    a_.resize(n);
+    b_.resize(n);
+    FillMixed(rng, a_.data(), n);
+    FillMixed(rng, b_.data(), n);
+  }
+
+  AlignedFloatVector a_;
+  AlignedFloatVector b_;
+};
+
+TEST_P(KernelParityTest, DotBitIdentical) {
+  AVX2_OR_SKIP(avx2);
+  const KernelTable& scalar = ScalarKernels();
+  const size_t n = GetParam();
+  EXPECT_EQ(Bits(scalar.dot(a_.data(), b_.data(), n)),
+            Bits(avx2->dot(a_.data(), b_.data(), n)));
+  EXPECT_EQ(Bits(scalar.squared_l2(a_.data(), b_.data(), n)),
+            Bits(avx2->squared_l2(a_.data(), b_.data(), n)));
+  float scalar3[3];
+  float avx23[3];
+  scalar.dot3(a_.data(), b_.data(), n, scalar3);
+  avx2->dot3(a_.data(), b_.data(), n, avx23);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Bits(scalar3[i]), Bits(avx23[i])) << "dot3[" << i << "]";
+  }
+  // dot3's fused pass must equal three independent dots, bit for bit —
+  // CosineSimilarity relies on this to match its historical composition.
+  EXPECT_EQ(Bits(scalar3[0]), Bits(scalar.dot(a_.data(), b_.data(), n)));
+  EXPECT_EQ(Bits(scalar3[1]), Bits(scalar.dot(a_.data(), a_.data(), n)));
+  EXPECT_EQ(Bits(scalar3[2]), Bits(scalar.dot(b_.data(), b_.data(), n)));
+}
+
+TEST_P(KernelParityTest, MixedPrecisionBitIdentical) {
+  AVX2_OR_SKIP(avx2);
+  const KernelTable& scalar = ScalarKernels();
+  const size_t n = GetParam();
+  Rng rng(99 + n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = rng.NextDouble(-2.0, 2.0);
+  EXPECT_EQ(Bits(scalar.dot_f32_f64(a_.data(), w.data(), n)),
+            Bits(avx2->dot_f32_f64(a_.data(), w.data(), n)));
+
+  std::vector<double> y_scalar = w;
+  std::vector<double> y_avx2 = w;
+  scalar.axpy_f32_f64(0.37, a_.data(), y_scalar.data(), n);
+  avx2->axpy_f32_f64(0.37, a_.data(), y_avx2.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(Bits(y_scalar[i]), Bits(y_avx2[i])) << "axpy_f32_f64[" << i
+                                                  << "]";
+  }
+
+  std::vector<double> sum_scalar(n, 0.25), sum_avx2(n, 0.25);
+  std::vector<double> sq_scalar(n, 0.5), sq_avx2(n, 0.5);
+  scalar.moments(a_.data(), sum_scalar.data(), sq_scalar.data(), n);
+  avx2->moments(a_.data(), sum_avx2.data(), sq_avx2.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(Bits(sum_scalar[i]), Bits(sum_avx2[i])) << "sum[" << i << "]";
+    EXPECT_EQ(Bits(sq_scalar[i]), Bits(sq_avx2[i])) << "sum_sq[" << i << "]";
+  }
+}
+
+TEST_P(KernelParityTest, ElementwiseBitIdentical) {
+  AVX2_OR_SKIP(avx2);
+  const KernelTable& scalar = ScalarKernels();
+  const size_t n = GetParam();
+
+  auto expect_same = [n](const float* x, const float* y, const char* what) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(x[i]), Bits(y[i])) << what << "[" << i << "]";
+    }
+  };
+
+  AlignedFloatVector y_scalar(a_.begin(), a_.end());
+  AlignedFloatVector y_avx2(a_.begin(), a_.end());
+  scalar.axpy(1.75f, b_.data(), y_scalar.data(), n);
+  avx2->axpy(1.75f, b_.data(), y_avx2.data(), n);
+  expect_same(y_scalar.data(), y_avx2.data(), "axpy");
+
+  scalar.add(b_.data(), y_scalar.data(), n);
+  avx2->add(b_.data(), y_avx2.data(), n);
+  expect_same(y_scalar.data(), y_avx2.data(), "add");
+
+  scalar.scale(0.125f, y_scalar.data(), n);
+  avx2->scale(0.125f, y_avx2.data(), n);
+  expect_same(y_scalar.data(), y_avx2.data(), "scale");
+
+  AlignedFloatVector out_scalar(n), out_avx2(n);
+  scalar.sub(a_.data(), b_.data(), out_scalar.data(), n);
+  avx2->sub(a_.data(), b_.data(), out_avx2.data(), n);
+  expect_same(out_scalar.data(), out_avx2.data(), "sub");
+
+  scalar.abs_diff(a_.data(), b_.data(), out_scalar.data(), n);
+  avx2->abs_diff(a_.data(), b_.data(), out_avx2.data(), n);
+  expect_same(out_scalar.data(), out_avx2.data(), "abs_diff");
+
+  // standardize: mean from a_, stddev strictly positive.
+  AlignedFloatVector stddev(n);
+  for (size_t i = 0; i < n; ++i) {
+    stddev[i] = 0.5f + std::fabs(b_[i]);
+  }
+  AlignedFloatVector row_scalar(b_.begin(), b_.end());
+  AlignedFloatVector row_avx2(b_.begin(), b_.end());
+  scalar.standardize(a_.data(), stddev.data(), row_scalar.data(), n);
+  avx2->standardize(a_.data(), stddev.data(), row_avx2.data(), n);
+  expect_same(row_scalar.data(), row_avx2.data(), "standardize");
+}
+
+TEST_P(KernelParityTest, GemmTransposeBBitIdentical) {
+  AVX2_OR_SKIP(avx2);
+  const KernelTable& scalar = ScalarKernels();
+  const size_t k = GetParam();
+  // Odd row/column counts exercise the 2x4 micro-kernel's edge handling.
+  const size_t rows = 5;
+  const size_t m = 7;
+  Rng rng(4321 + k);
+  AlignedFloatVector a(rows * k);
+  AlignedFloatVector b(m * k);
+  FillMixed(rng, a.data(), a.size());
+  FillMixed(rng, b.data(), b.size());
+  AlignedFloatVector out_scalar(rows * m), out_avx2(rows * m);
+  scalar.gemm_tb(a.data(), b.data(), out_scalar.data(), rows, k, m);
+  avx2->gemm_tb(a.data(), b.data(), out_avx2.data(), rows, k, m);
+  for (size_t i = 0; i < out_scalar.size(); ++i) {
+    EXPECT_EQ(Bits(out_scalar[i]), Bits(out_avx2[i])) << "out[" << i << "]";
+  }
+  // Every output element must equal the table's own dot of the row pair:
+  // the blocked micro-kernel may reorder which elements it computes when,
+  // but never the per-element reduction order.
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(Bits(out_scalar[i * m + j]),
+                Bits(scalar.dot(a.data() + i * k, b.data() + j * k, k)))
+          << "element (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, KernelParityTest,
+                         ::testing::ValuesIn(kSizes));
+
+TEST(KernelEdgeCaseTest, AllZeroVectors) {
+  const KernelTable& scalar = ScalarKernels();
+  const size_t n = 301;
+  AlignedFloatVector zeros(n, 0.0f);
+  EXPECT_EQ(Bits(scalar.dot(zeros.data(), zeros.data(), n)), Bits(0.0f));
+  if (const KernelTable* avx2 = Avx2Kernels()) {
+    EXPECT_EQ(Bits(avx2->dot(zeros.data(), zeros.data(), n)), Bits(0.0f));
+    EXPECT_EQ(Bits(avx2->squared_l2(zeros.data(), zeros.data(), n)),
+              Bits(0.0f));
+  }
+}
+
+TEST(KernelEdgeCaseTest, DenormalInputsBitIdentical) {
+  AVX2_OR_SKIP(avx2);
+  const KernelTable& scalar = ScalarKernels();
+  const size_t n = 19;
+  AlignedFloatVector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Denormal magnitudes around FLT_MIN / 2^20, alternating signs.
+    a[i] = std::ldexp(1.0f + static_cast<float>(i) * 0.25f, -146) *
+           (i % 2 == 0 ? 1.0f : -1.0f);
+    b[i] = std::ldexp(3.0f + static_cast<float>(i), -140);
+  }
+  EXPECT_EQ(Bits(scalar.dot(a.data(), b.data(), n)),
+            Bits(avx2->dot(a.data(), b.data(), n)));
+  AlignedFloatVector y_scalar(b.begin(), b.end());
+  AlignedFloatVector y_avx2(b.begin(), b.end());
+  scalar.axpy(0.5f, a.data(), y_scalar.data(), n);
+  avx2->axpy(0.5f, a.data(), y_avx2.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(Bits(y_scalar[i]), Bits(y_avx2[i])) << i;
+  }
+}
+
+TEST(KernelEdgeCaseTest, NonFiniteValuesPropagate) {
+  // 0 * NaN = NaN and 0 * Inf = NaN: kernels must never shortcut a zero
+  // multiplier (the bug the GEMM zero-skip removal fixed).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const size_t n = 9;
+  AlignedFloatVector x(n, nan);
+  x[4] = inf;
+  for (const KernelTable* table :
+       {&ScalarKernels(), Avx2Kernels()}) {
+    if (table == nullptr) continue;
+    AlignedFloatVector y(n, 1.0f);
+    table->axpy(0.0f, x.data(), y.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(std::isnan(y[i])) << table->name << " y[" << i << "]";
+    }
+    AlignedFloatVector ones(n, 1.0f);
+    EXPECT_TRUE(std::isnan(table->dot(x.data(), ones.data(), n)))
+        << table->name;
+  }
+}
+
+TEST(KernelReductionOrderTest, DotFollowsCanonicalContract) {
+  // Reference implementation of the documented contract: element i
+  // accumulates into lane (i mod 8); lanes combine as
+  // ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+  const size_t n = 301;
+  Rng rng(7);
+  AlignedFloatVector a(n), b(n);
+  FillMixed(rng, a.data(), n);
+  FillMixed(rng, b.data(), n);
+  float lanes[8] = {0};
+  for (size_t i = 0; i < n; ++i) {
+    lanes[i % 8] += a[i] * b[i];
+  }
+  const float t0 = lanes[0] + lanes[4];
+  const float t1 = lanes[1] + lanes[5];
+  const float t2 = lanes[2] + lanes[6];
+  const float t3 = lanes[3] + lanes[7];
+  const float expected = (t0 + t2) + (t1 + t3);
+  EXPECT_EQ(Bits(ScalarKernels().dot(a.data(), b.data(), n)),
+            Bits(expected));
+  if (const KernelTable* avx2 = Avx2Kernels()) {
+    EXPECT_EQ(Bits(avx2->dot(a.data(), b.data(), n)), Bits(expected));
+  }
+}
+
+TEST(KernelDispatchTest, ActiveRespectsEnvironment) {
+  const KernelTable& active = Active();
+  EXPECT_TRUE(std::strcmp(active.name, "scalar") == 0 ||
+              std::strcmp(active.name, "avx2") == 0)
+      << active.name;
+  EXPECT_STREQ(ActiveKernelName(), active.name);
+  const char* requested = std::getenv("LEAPME_KERNEL");
+  if (requested != nullptr && std::strcmp(requested, "scalar") == 0) {
+    EXPECT_STREQ(active.name, "scalar");
+  }
+  if (Avx2Kernels() == nullptr) {
+    EXPECT_STREQ(active.name, "scalar");
+  }
+  // Dispatch is decided once: repeated calls return the same table.
+  EXPECT_EQ(&Active(), &active);
+}
+
+}  // namespace
+}  // namespace leapme::kernels

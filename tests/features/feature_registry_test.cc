@@ -138,11 +138,16 @@ TEST(FeatureRegistryTest, StageColumnsSelectsSpansSortedAndDeduped) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden byte-parity: the registry-based pipeline must reproduce the
-// design matrix of the pre-registry implementation bit for bit. The
-// hashes below were captured by running the monolithic
-// FeaturePipeline::ComputeProperty/ComputePair (commit a1bf516) over this
-// exact fixture; FNV-1a over the raw float bytes in row order.
+// Golden byte-parity: the feature pipeline must produce the same design
+// matrix bit for bit on every run and on every kernel dispatch path
+// (LEAPME_KERNEL=scalar and avx2 alike). The hashes below were captured
+// against the kernel-layer pipeline (canonical 8-lane reduction order,
+// unfused multiply-add; DESIGN.md §12) over this exact fixture; FNV-1a
+// over the raw float bytes in row order. They were recaptured once when
+// the kernel layer landed: moving embedding normalization from a strict
+// sequential sum-of-squares to the canonical lane order perturbs the
+// synthetic embedding bytes (a one-time, documented renumbering), after
+// which the bytes are again locked across dispatch paths and runs.
 
 uint64_t Fnv1a(const void* data, size_t bytes,
                uint64_t hash = 0xcbf29ce484222325ULL) {
@@ -222,26 +227,26 @@ data::Dataset* GoldenParityTest::dataset_ = nullptr;
 embedding::SyntheticEmbeddingModel* GoldenParityTest::model_ = nullptr;
 
 TEST_F(GoldenParityTest, DefaultOptions) {
-  CheckGolden({PairFeatureOptions{}, 0x2baf9c44de754e47ULL,
-               0xde8c14b49233e5f7ULL});
+  CheckGolden({PairFeatureOptions{}, 0xdce6afc5a8785652ULL,
+               0x84bfcef4de615d24ULL});
 }
 
 TEST_F(GoldenParityTest, SignedDifference) {
   PairFeatureOptions options;
   options.absolute_difference = false;
-  CheckGolden({options, 0x2baf9c44de754e47ULL, 0x9774d800a23ce4f7ULL});
+  CheckGolden({options, 0xdce6afc5a8785652ULL, 0x896e2c6c70e00424ULL});
 }
 
 TEST_F(GoldenParityTest, RawStringDistances) {
   PairFeatureOptions options;
   options.normalize_string_distances = false;
-  CheckGolden({options, 0x2baf9c44de754e47ULL, 0x778e24f9b6061ea0ULL});
+  CheckGolden({options, 0xdce6afc5a8785652ULL, 0x5b4a6391a5f3145fULL});
 }
 
 TEST_F(GoldenParityTest, CappedInstances) {
   PairFeatureOptions options;
   options.max_instances_per_property = 3;
-  CheckGolden({options, 0xfdbb1f9ab6d5e238ULL, 0x485cb37753cbf58eULL});
+  CheckGolden({options, 0xb3c6e9b92fd42a4bULL, 0x95e87cdbf0c44011ULL});
 }
 
 TEST_F(GoldenParityTest, StageTimingsCountEveryCall) {

@@ -1,5 +1,9 @@
 #include "nn/matrix.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace leapme::nn {
@@ -114,6 +118,44 @@ TEST(GemmTransposeBTest, MatchesManualTranspose) {
   EXPECT_FLOAT_EQ(out(0, 1), 2.0f);
   EXPECT_FLOAT_EQ(out(1, 0), 10.0f);
   EXPECT_FLOAT_EQ(out(1, 1), 5.0f);
+}
+
+TEST(GemmTest, ZeroTimesNonFinitePropagatesNaN) {
+  // Regression: the old i-k-j loop skipped a_ik == 0 multipliers, which
+  // silently dropped NaN/Inf from B (IEEE 754: 0 * NaN = NaN and
+  // 0 * Inf = NaN). All three GEMM variants must propagate.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Matrix a(2, 2, {0, 0, 0, 0});
+  Matrix b(2, 2, {nan, inf, 1, 1});
+  Matrix out;
+  Gemm(a, b, &out);
+  EXPECT_TRUE(std::isnan(out(0, 0)));
+  EXPECT_TRUE(std::isnan(out(0, 1)));  // 0*inf + 0*1 = nan
+  EXPECT_TRUE(std::isnan(out(1, 0)));
+
+  GemmTransposeA(a, b, &out);
+  EXPECT_TRUE(std::isnan(out(0, 0)));
+  EXPECT_TRUE(std::isnan(out(1, 1)));
+
+  GemmTransposeB(a, b, &out);
+  EXPECT_TRUE(std::isnan(out(0, 0)));
+  EXPECT_TRUE(std::isnan(out(1, 0)));
+}
+
+TEST(MatrixTest, StorageIsCacheLineAligned) {
+  // The kernel layer is entitled to assume data() starts on a 64-byte
+  // boundary (common/kernels/aligned.h).
+  for (size_t rows : {1u, 3u, 17u}) {
+    Matrix m(rows, 5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) %
+                  leapme::kernels::kStorageAlignment,
+              0u);
+    m.Resize(rows + 1, 9);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) %
+                  leapme::kernels::kStorageAlignment,
+              0u);
+  }
 }
 
 TEST(ColumnSumsTest, SumsColumns) {

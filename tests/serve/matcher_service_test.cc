@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/kernels/kernels.h"
 #include "core/leapme.h"
 #include "data/domain.h"
 #include "data/generator.h"
@@ -327,6 +328,11 @@ TEST_F(MatcherServiceTest, HandleLineDispatchesAndNeverThrows) {
   auto stats = JsonValue::Parse(service.HandleLine(R"({"op":"stats"})"));
   ASSERT_TRUE(stats.ok());
   EXPECT_TRUE(stats->Find("ok")->AsBool());
+  // The active kernel dispatch path is reported and matches the process
+  // wide choice made at startup.
+  const JsonValue* kernel = stats->Find("stats")->Find("kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->AsString(), kernels::ActiveKernelName());
   // garbage comes back as ok:false, never a crash
   for (const char* bad :
        {"", "garbage", "{}", R"({"op":"score","pairs":"x"})",
