@@ -7,6 +7,7 @@
 # out-of-bounds vector loads would surface here first).
 #
 #   scripts/ci.sh               # full run
+#   SKIP_CHAOS=1 scripts/ci.sh  # skip the fault-injection tier
 #   SKIP_TSAN=1 scripts/ci.sh   # skip the TSan tier
 #   SKIP_ASAN=1 scripts/ci.sh   # skip the ASan tier
 #   SKIP_UBSAN=1 scripts/ci.sh  # skip the UBSan tier
@@ -31,20 +32,69 @@ echo "== tier 1b: kernel parity with LEAPME_KERNEL=scalar =="
 LEAPME_KERNEL=scalar ctest --test-dir build --output-on-failure \
   -j "$JOBS" -L kernels
 
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  # Latency-only faults keep every serve assertion deterministic (scores
+  # and framing are unchanged, just slower) while still jittering the
+  # poll/deadline/batching timing paths. Error-kind faults live in the
+  # chaos-labeled tests (which arm programmatically) and in the soak
+  # below, where the client is allowed to retry.
+  echo "== tier 1c: serve suite under an injected latency mix =="
+  LEAPME_FAULTS="seed=7;serve.read:delay:p=0.05:ms=2;\
+serve.write:delay:p=0.05:ms=2;embedding.lookup:delay:p=0.05:ms=1" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" -L serve
+
+  # Fault-storm soak: a real `leapme serve` process armed with a
+  # low-probability latency + error + short-I/O mix, driven by the
+  # retrying serve_client. Passes iff every request resolves to a scored,
+  # degraded, or typed-error reply — no hangs, drops, or mismatches.
+  echo "== tier 1d: fault-storm soak via serve_client =="
+  SOAK_DIR="$(mktemp -d)"
+  SOAK_LOG="$SOAK_DIR/serve.log"
+  build/src/cli/leapme generate --domain tvs --sources 4 --entities 8 \
+    --seed 7 --out "$SOAK_DIR/soak.tsv"
+  build/src/cli/leapme evaluate --data "$SOAK_DIR/soak.tsv" --domain tvs \
+    --emb-dim 32 --seed 7 --model-out "$SOAK_DIR/soak.model" >/dev/null
+  LEAPME_FAULTS="seed=42;serve.read:delay:p=0.05:ms=5;\
+serve.write:delay:p=0.05:ms=5;serve.read:short:p=0.1:bytes=64;\
+serve.write:short:p=0.1:bytes=128;serve.read:error:p=0.005;\
+embedding.lookup:error:p=0.05;alloc:error:p=0.02" \
+    build/src/cli/leapme serve --model "$SOAK_DIR/soak.model" --port 0 \
+    --domain tvs --emb-dim 32 --seed 7 --deadline-ms 2000 \
+    --max-queue 512 2>"$SOAK_LOG" &
+  SOAK_PID=$!
+  trap 'kill "$SOAK_PID" 2>/dev/null || true' EXIT
+  SOAK_PORT=""
+  for _ in $(seq 1 100); do
+    SOAK_PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$SOAK_LOG" | head -n 1)"
+    [[ -n "$SOAK_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$SOAK_PORT" ]] || { echo "soak server never came up"; cat "$SOAK_LOG"; exit 1; }
+  build/bench/serve_client --port "$SOAK_PORT" --clients 8 --requests 40 \
+    --pairs 8 --domain tvs --emb-dim 32 --seed 7 \
+    --model "$SOAK_DIR/soak.model" --data "$SOAK_DIR/soak.tsv" \
+    --retry-budget 8
+  kill "$SOAK_PID" 2>/dev/null || true
+  wait "$SOAK_PID" 2>/dev/null || true
+  trap - EXIT
+  rm -rf "$SOAK_DIR"
+fi
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tier 2: ThreadSanitizer on the parallel + serve labels =="
+  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos labels =="
   cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve'
+    -L 'parallel|serve|chaos'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== tier 3: AddressSanitizer on the parallel + serve labels =="
+  echo "== tier 3: AddressSanitizer on the parallel + serve + chaos labels =="
   cmake -B build-asan -S . -DLEAPME_SANITIZE=address
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve'
+    -L 'parallel|serve|chaos'
 fi
 
 if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then

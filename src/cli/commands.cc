@@ -53,8 +53,14 @@ constexpr const char* kUsage =
     "             (evaluate flags plus [--threshold])\n"
     "  serve      serve a saved model over TCP (line-delimited JSON)\n"
     "             --model FILE --port N [--host 127.0.0.1]\n"
+    "             (--port 0 binds an ephemeral port, printed on stderr)\n"
     "             [--max-batch 256] [--batch-window-us 200]\n"
     "             [--emb-cache 65536] [--prop-cache 4096] [--threads N]\n"
+    "             [--deadline-ms 0] (0 = no per-request deadline)\n"
+    "             [--max-connections 0] (0 = unlimited; above the cap,\n"
+    "             accepts get one Unavailable reply and a close)\n"
+    "             [--max-queue 65536] (admission-queue bound in pairs;\n"
+    "             0 = unbounded; overflow gets ResourceExhausted)\n"
     "             plus the evaluate embedding flags\n";
 
 StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
@@ -458,13 +464,15 @@ Status RunCluster(const Flags& flags) {
 Status RunServe(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(
       {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
-       "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed"}));
+       "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed",
+       "deadline-ms", "max-connections", "max-queue"}));
   if (!flags.Has("model")) {
     return Status::InvalidArgument("--model FILE is required");
   }
   LEAPME_RETURN_IF_ERROR(ApplyThreadsFlag(flags).status());
+  // Port 0 binds an ephemeral port; the actual port is printed on stderr.
   LEAPME_ASSIGN_OR_RETURN(const int64_t port,
-                          flags.GetIntInRange("port", 7207, 1, 65535));
+                          flags.GetIntInRange("port", 7207, 0, 65535));
   LEAPME_ASSIGN_OR_RETURN(const int64_t max_batch,
                           flags.GetIntInRange("max-batch", 256, 1, 65536));
   LEAPME_ASSIGN_OR_RETURN(
@@ -474,6 +482,17 @@ Status RunServe(const Flags& flags) {
                           flags.GetIntInRange("emb-cache", 65536, 1, 1 << 28));
   LEAPME_ASSIGN_OR_RETURN(const int64_t prop_cache,
                           flags.GetIntInRange("prop-cache", 4096, 1, 1 << 28));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t deadline_ms,
+      flags.GetIntInRange("deadline-ms", 0, 0, 3600000));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t max_connections,
+      flags.GetIntInRange("max-connections", 0, 0, 1 << 20));
+  // The CLI bounds the admission queue by default (the library leaves it
+  // unbounded for embedders): a serve process should shed, not swell.
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t max_queue,
+      flags.GetIntInRange("max-queue", 65536, 0, 1 << 28));
 
   LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<embedding::EmbeddingModel> base,
                           BuildEmbeddings(flags));
@@ -490,6 +509,7 @@ Status RunServe(const Flags& flags) {
   service_options.max_batch = static_cast<size_t>(max_batch);
   service_options.batch_window_us = static_cast<size_t>(batch_window_us);
   service_options.property_cache_capacity = static_cast<size_t>(prop_cache);
+  service_options.max_queue_pairs = static_cast<size_t>(max_queue);
   LEAPME_ASSIGN_OR_RETURN(
       std::unique_ptr<serve::MatcherService> service,
       serve::MatcherService::Create(&matcher, &cached, service_options));
@@ -497,6 +517,8 @@ Status RunServe(const Flags& flags) {
   serve::ServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
   server_options.port = static_cast<int>(port);
+  server_options.deadline_ms = deadline_ms;
+  server_options.max_connections = static_cast<size_t>(max_connections);
   serve::TcpServer server(service.get(), server_options);
   LEAPME_RETURN_IF_ERROR(server.Start());
   std::fprintf(stderr,

@@ -1,0 +1,75 @@
+#ifndef LEAPME_COMMON_DEADLINE_H_
+#define LEAPME_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace leapme {
+
+/// A point in monotonic time by which an operation must complete.
+///
+/// Deadlines are created once at the edge (when a request's first bytes
+/// arrive) and threaded by value through every stage that works on the
+/// request — read, batch admission, scoring, response write — so the
+/// total budget is shared instead of being re-granted per stage. The
+/// steady clock makes deadlines immune to wall-clock adjustments.
+///
+/// The default-constructed Deadline never expires, so existing call
+/// sites that do not enforce one keep their behaviour.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires.
+  Deadline() = default;
+
+  /// Never expires (named form of the default).
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget_ms` milliseconds from now. A non-positive budget is
+  /// already expired (useful for "fail fast" probes).
+  static Deadline AfterMs(int64_t budget_ms) {
+    Deadline deadline;
+    deadline.infinite_ = false;
+    deadline.at_ = Clock::now() + std::chrono::milliseconds(budget_ms);
+    return deadline;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Remaining budget, clamped to >= 0. Only meaningful when finite.
+  std::chrono::milliseconds remaining() const {
+    if (infinite_) {
+      return std::chrono::milliseconds::max();
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return std::max(left, std::chrono::milliseconds(0));
+  }
+
+  /// Timeout argument for poll(2): -1 (block forever) when infinite,
+  /// otherwise the remaining budget in ms clamped to [0, INT_MAX].
+  int PollTimeoutMs() const {
+    if (infinite_) {
+      return -1;
+    }
+    const int64_t ms = remaining().count();
+    return static_cast<int>(std::min<int64_t>(ms, 2147483647));
+  }
+
+  /// The absolute expiry instant; only call when finite (callers branch
+  /// on infinite() and use plain condition-variable waits otherwise,
+  /// avoiding wait_until against time_point::max()).
+  Clock::time_point time_point() const { return at_; }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace leapme
+
+#endif  // LEAPME_COMMON_DEADLINE_H_

@@ -1,0 +1,218 @@
+#include "common/faults/fault_injector.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/status_or.h"
+#include "common/string_util.h"
+
+namespace leapme::faults {
+
+namespace {
+
+const char* KindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kShortIo:
+      return "short";
+    case FaultKind::kTruncate:
+      return "trunc";
+  }
+  return "?";
+}
+
+StatusOr<FaultKind> ParseKind(std::string_view text) {
+  if (text == "error") return FaultKind::kError;
+  if (text == "delay") return FaultKind::kDelay;
+  if (text == "short") return FaultKind::kShortIo;
+  if (text == "trunc") return FaultKind::kTruncate;
+  return Status::InvalidArgument("unknown fault kind '" + std::string(text) +
+                                 "' (error|delay|short|trunc)");
+}
+
+StatusOr<uint64_t> ParseUint(std::string_view key, std::string_view text) {
+  uint64_t value = 0;
+  if (text.empty()) {
+    return Status::InvalidArgument("fault key '" + std::string(key) +
+                                   "' needs a value");
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("fault key '" + std::string(key) +
+                                     "' must be a non-negative integer, got '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    if (const char* spec = std::getenv("LEAPME_FAULTS");
+        spec != nullptr && spec[0] != '\0') {
+      const Status status = created->Arm(spec);
+      if (!status.ok()) {
+        LEAPME_LOG(Warning) << "ignoring LEAPME_FAULTS: "
+                            << status.ToString();
+      } else {
+        LEAPME_LOG(Info) << "fault injection armed from LEAPME_FAULTS: "
+                         << created->spec();
+      }
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Arm(std::string_view spec) {
+  std::vector<Rule> rules;
+  uint64_t seed = 1;
+  for (const std::string& piece : SplitString(spec, ';')) {
+    const std::string_view trimmed = StripAsciiWhitespace(piece);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (StartsWith(trimmed, "seed=")) {
+      LEAPME_ASSIGN_OR_RETURN(seed, ParseUint("seed", trimmed.substr(5)));
+      continue;
+    }
+    const std::vector<std::string> fields = SplitString(trimmed, ':');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          "fault rule '" + std::string(trimmed) +
+          "' must be point:kind[:key=value]... (see fault_injector.h)");
+    }
+    Rule rule;
+    rule.point = std::string(StripAsciiWhitespace(fields[0]));
+    if (rule.point.empty()) {
+      return Status::InvalidArgument("fault rule with empty point name");
+    }
+    LEAPME_ASSIGN_OR_RETURN(rule.kind,
+                            ParseKind(StripAsciiWhitespace(fields[1])));
+    // Kind-specific parameter defaults: a delay without ms= still delays
+    // visibly, a short I/O without bytes= is maximally short.
+    rule.param = rule.kind == FaultKind::kDelay ? 10 : 1;
+    for (size_t i = 2; i < fields.size(); ++i) {
+      const std::string_view field = StripAsciiWhitespace(fields[i]);
+      const size_t equals = field.find('=');
+      if (equals == std::string_view::npos) {
+        return Status::InvalidArgument("fault key '" + std::string(field) +
+                                       "' must be key=value");
+      }
+      const std::string_view key = field.substr(0, equals);
+      const std::string_view value = field.substr(equals + 1);
+      if (key == "p") {
+        const std::optional<double> p = ParseDouble(value);
+        if (!p || *p < 0.0 || *p > 1.0) {
+          return Status::InvalidArgument(
+              "fault probability p must be in [0, 1], got '" +
+              std::string(value) + "'");
+        }
+        rule.probability = *p;
+      } else if (key == "ms" || key == "bytes") {
+        LEAPME_ASSIGN_OR_RETURN(rule.param, ParseUint(key, value));
+      } else if (key == "n") {
+        LEAPME_ASSIGN_OR_RETURN(rule.max_fires, ParseUint(key, value));
+      } else {
+        return Status::InvalidArgument("unknown fault key '" +
+                                       std::string(key) + "' (p|ms|bytes|n)");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  const bool arm = !rules.empty();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_ = std::move(rules);
+    // A seeded xorshift64* must start non-zero.
+    rng_state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+  }
+  armed_.store(arm, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+double FaultInjector::NextUniform() {
+  // xorshift64*: tiny, deterministic, good enough for fire/skip draws.
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return static_cast<double>((x * 0x2545f4914f6cdd1dull) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+std::optional<FaultHit> FaultInjector::EvaluateSlow(std::string_view point) {
+  uint64_t delay_ms = 0;
+  std::optional<FaultHit> hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rule& rule : rules_) {
+      if (rule.point != point) {
+        continue;
+      }
+      if (rule.max_fires != 0 && rule.fired >= rule.max_fires) {
+        continue;
+      }
+      if (rule.probability < 1.0 && NextUniform() >= rule.probability) {
+        continue;
+      }
+      ++rule.fired;
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      if (rule.kind == FaultKind::kDelay) {
+        // Delays compose with an error/short hit from another rule: the
+        // operation is slow *and* fails, the worst realistic case.
+        delay_ms += rule.param;
+      } else if (!hit.has_value()) {
+        hit = FaultHit{rule.kind, rule.param};
+      }
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return hit;
+}
+
+std::string FaultInjector::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Rule& rule : rules_) {
+    if (!out.empty()) {
+      out.push_back(';');
+    }
+    out += rule.point;
+    out.push_back(':');
+    out += KindName(rule.kind);
+    out += StrFormat(":p=%g", rule.probability);
+    if (rule.kind == FaultKind::kDelay) {
+      out += StrFormat(":ms=%llu",
+                       static_cast<unsigned long long>(rule.param));
+    } else if (rule.kind != FaultKind::kError) {
+      out += StrFormat(":bytes=%llu",
+                       static_cast<unsigned long long>(rule.param));
+    }
+    if (rule.max_fires != 0) {
+      out += StrFormat(":n=%llu",
+                       static_cast<unsigned long long>(rule.max_fires));
+    }
+  }
+  return out;
+}
+
+}  // namespace leapme::faults

@@ -1,0 +1,131 @@
+#ifndef LEAPME_COMMON_FAULTS_FAULT_INJECTOR_H_
+#define LEAPME_COMMON_FAULTS_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace leapme::faults {
+
+/// What an armed rule does when it fires at an injection point.
+enum class FaultKind : int {
+  kError = 0,     ///< the guarded operation reports failure
+  kDelay = 1,     ///< sleep `param` milliseconds, then proceed
+  kShortIo = 2,   ///< cap the I/O transfer at `param` bytes
+  kTruncate = 3,  ///< truncate the written artifact to `param` bytes
+};
+
+/// One fired fault, returned to the call site to apply.
+struct FaultHit {
+  FaultKind kind = FaultKind::kError;
+  uint64_t param = 0;  ///< ms for kDelay; byte cap for kShortIo/kTruncate
+};
+
+/// Process-wide, deterministic, seedable fault injector.
+///
+/// Production code brackets failure-prone operations with named
+/// injection points; tests (or the LEAPME_FAULTS environment variable)
+/// arm rules that make those points misbehave with a configured
+/// probability. The points wired through this codebase:
+///
+///   serve.accept      accepted connection is dropped before serving
+///   serve.read        connection read errors / latency / short reads
+///   serve.write       response write errors / latency / short writes
+///   embedding.lookup  per-property embedding lookups fail -> degraded
+///   model.load        LeapmeMatcher::LoadModel fails with IoError
+///   model.save        SaveModel fails, or the file is torn (kTruncate)
+///   alloc             batch admission fails as if memory were exhausted
+///
+/// Spec grammar (';'-separated rules, whitespace ignored):
+///
+///   LEAPME_FAULTS="seed=42;serve.read:error:p=0.05;
+///                  serve.read:delay:p=0.05:ms=50;
+///                  embedding.lookup:error:p=0.1:n=200;
+///                  model.save:trunc:bytes=64"
+///
+/// Each rule is `point:kind[:key=value]...` with kind one of
+/// error|delay|short|trunc and keys p (probability in [0,1], default 1),
+/// ms (delay milliseconds, default 10), bytes (byte cap, default 1),
+/// n (maximum fires, default unlimited). `seed=N` seeds the decision
+/// RNG, so a fixed spec and a deterministic call sequence fire the same
+/// faults every run.
+///
+/// Disarmed cost is a single relaxed atomic load per injection point —
+/// the serving hot path pays nothing until faults are armed. Multiple
+/// rules may target the same point (e.g. an error mix plus a latency
+/// mix); every matching rule is evaluated per call.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// The process-wide injector. First access arms it from the
+  /// LEAPME_FAULTS environment variable when set (a malformed spec logs
+  /// a warning and leaves the injector disarmed).
+  static FaultInjector& Global();
+
+  /// Replaces all rules with `spec` and arms. An empty spec disarms.
+  /// On a parse error the previous rules stay in effect.
+  Status Arm(std::string_view spec);
+
+  /// Drops all rules; every Evaluate returns nothing again.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the armed rules at `point`. Delay hits sleep immediately
+  /// inside the call; the first error/short/trunc hit is returned for
+  /// the caller to apply. This is the only per-call entry point — when
+  /// disarmed it is one relaxed atomic load.
+  std::optional<FaultHit> Evaluate(std::string_view point) {
+    if (!armed_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return EvaluateSlow(point);
+  }
+
+  /// Total faults fired (all points, all kinds) since construction.
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// The armed spec in canonical form ("" when disarmed).
+  std::string spec() const;
+
+ private:
+  struct Rule {
+    std::string point;
+    FaultKind kind = FaultKind::kError;
+    double probability = 1.0;
+    uint64_t param = 0;
+    uint64_t max_fires = 0;  // 0 = unlimited
+    uint64_t fired = 0;
+  };
+
+  std::optional<FaultHit> EvaluateSlow(std::string_view point);
+  /// Uniform draw in [0, 1) from the seeded xorshift state; mu_ held.
+  double NextUniform();
+
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> injected_{0};
+};
+
+/// Convenience for the common bracket: evaluates `point` on the global
+/// injector (sleeping through delay hits) and returns true when an
+/// error-kind fault fired, i.e. the guarded operation should fail.
+inline bool InjectError(std::string_view point) {
+  const std::optional<FaultHit> hit = FaultInjector::Global().Evaluate(point);
+  return hit.has_value() && hit->kind == FaultKind::kError;
+}
+
+}  // namespace leapme::faults
+
+#endif  // LEAPME_COMMON_FAULTS_FAULT_INJECTOR_H_

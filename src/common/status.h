@@ -20,6 +20,12 @@ enum class StatusCode : int {
   kCorruption = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  // Overload / robustness codes (serving control plane): a bounded
+  // resource (queue, budget) is full, the service refuses new work, or a
+  // request's deadline passed before its result was produced.
+  kResourceExhausted = 10,
+  kUnavailable = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +78,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +99,13 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// Renders "OK" or "<CodeName>: <message>".

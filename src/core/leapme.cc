@@ -1,8 +1,11 @@
 #include "core/leapme.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 
+#include "common/faults/fault_injector.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -164,6 +167,13 @@ nn::Matrix LeapmeMatcher::DesignMatrix(
 StatusOr<std::vector<double>> LeapmeMatcher::ScoreFeaturePairs(
     const std::vector<const features::PropertyFeatures*>& lhs,
     const std::vector<const features::PropertyFeatures*>& rhs) const {
+  return ScoreFeaturePairs(lhs, rhs, /*degraded_rows=*/nullptr);
+}
+
+StatusOr<std::vector<double>> LeapmeMatcher::ScoreFeaturePairs(
+    const std::vector<const features::PropertyFeatures*>& lhs,
+    const std::vector<const features::PropertyFeatures*>& rhs,
+    const std::vector<uint8_t>* degraded_rows) const {
   if (!fitted_) {
     return Status::FailedPrecondition(
         "ScoreFeaturePairs called before Fit/LoadModel");
@@ -173,10 +183,26 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScoreFeaturePairs(
         StrFormat("lhs/rhs size mismatch: %zu vs %zu", lhs.size(),
                   rhs.size()));
   }
+  if (degraded_rows != nullptr && degraded_rows->size() != lhs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("degraded mask size mismatch: %zu vs %zu pairs",
+                  degraded_rows->size(), lhs.size()));
+  }
   for (size_t i = 0; i < lhs.size(); ++i) {
     if (lhs[i] == nullptr || rhs[i] == nullptr) {
       return Status::InvalidArgument(
           StrFormat("null property features at row %zu", i));
+    }
+  }
+  // Positions (within the selected columns) of embedding-derived slots —
+  // the columns neutralized for degraded rows.
+  std::vector<size_t> embedding_positions;
+  if (degraded_rows != nullptr) {
+    const features::FeatureSchema& schema = pipeline_.schema();
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (schema.slot(columns_[i]).is_embedding) {
+        embedding_positions.push_back(i);
+      }
     }
   }
   // Batches bound the transient design matrix and score in parallel; each
@@ -194,6 +220,18 @@ StatusOr<std::vector<double>> LeapmeMatcher::ScoreFeaturePairs(
             chunk_lhs, chunk_rhs, columns_, options_.threads);
         if (options_.standardize_features) {
           LEAPME_RETURN_IF_ERROR(scaler_.Transform(&design));
+        }
+        // Degraded rows: neutralize the embedding columns after
+        // standardization, so each masked feature sits at the training
+        // mean (z = 0) instead of an out-of-distribution raw zero. Rows
+        // without a mask entry are untouched and stay bit-identical.
+        if (degraded_rows != nullptr) {
+          for (size_t row = start; row < end; ++row) {
+            if ((*degraded_rows)[row] == 0) continue;
+            for (const size_t position : embedding_positions) {
+              design(row - start, position) = 0.0f;
+            }
+          }
         }
         nn::Matrix probabilities;
         mlp_.Infer(design, &probabilities);
@@ -290,6 +328,11 @@ Status LeapmeMatcher::SaveModel(const std::string& path) const {
   if (!fitted_) {
     return Status::FailedPrecondition("SaveModel called before Fit");
   }
+  const std::optional<faults::FaultHit> fault =
+      faults::FaultInjector::Global().Evaluate("model.save");
+  if (fault.has_value() && fault->kind == faults::FaultKind::kError) {
+    return Status::IoError("injected model.save failure: " + path);
+  }
   const std::string mlp_path = path + ".mlp";
   LEAPME_RETURN_IF_ERROR(nn::SaveMlp(mlp_, mlp_path));
 
@@ -333,14 +376,31 @@ Status LeapmeMatcher::SaveModel(const std::string& path) const {
     for (float value : scaler_.stddev()) out << value << " ";
     out << "\n";
   }
+  // End-of-file sentinel: a truncated tail can otherwise still parse (a
+  // shortened final float is a valid float), so v2 loaders require this
+  // marker to prove the file is complete.
+  out << "end leapme\n";
   if (!out) {
     return Status::IoError("write failed: " + path);
+  }
+  if (fault.has_value() && (fault->kind == faults::FaultKind::kTruncate ||
+                            fault->kind == faults::FaultKind::kShortIo)) {
+    // Torn write: flush the full file, then cut it to `param` bytes — the
+    // on-disk state a crash mid-write leaves behind. LoadModel must
+    // refuse the remnant (Corruption), never score with it.
+    out.close();
+    ::truncate(path.c_str(),
+               static_cast<off_t>(std::min<uint64_t>(fault->param, 1u << 30)));
+    return Status::IoError("injected torn write: " + path);
   }
   return Status::OK();
 }
 
 StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
     const embedding::EmbeddingModel* model, const std::string& path) {
+  if (faults::InjectError("model.load")) {
+    return Status::IoError("injected model.load failure: " + path);
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open: " + path);
@@ -359,6 +419,7 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
   std::vector<size_t> columns;
   std::vector<float> scaler_mean;
   std::vector<float> scaler_stddev;
+  bool saw_end = false;
   while (in >> key) {
     if (key == "embedding_dim") {
       in >> embedding_dim;
@@ -428,6 +489,13 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
       if (!in) {
         return Status::Corruption("truncated scaler statistics in " + path);
       }
+    } else if (key == "end") {
+      std::string marker;
+      in >> marker;
+      if (marker != "leapme") {
+        return Status::Corruption("bad end-of-file marker in " + path);
+      }
+      saw_end = true;
     } else {
       return Status::Corruption("unknown key '" + key + "' in " + path);
     }
@@ -438,6 +506,12 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
   }
   if (embedding_dim == 0) {
     return Status::Corruption("missing embedding_dim in " + path);
+  }
+  // v1 predates the sentinel; a v2 file without it is a torn write — a
+  // truncated numeric tail can parse cleanly, so EOF alone proves nothing.
+  if (version >= 2 && !saw_end) {
+    return Status::Corruption("missing end-of-file marker in " + path +
+                              " (torn write?)");
   }
   if (model->dimension() != embedding_dim) {
     return Status::FailedPrecondition(StrFormat(

@@ -113,6 +113,19 @@ class LeapmeMatcher {
       const std::vector<const features::PropertyFeatures*>& lhs,
       const std::vector<const features::PropertyFeatures*>& rhs) const;
 
+  /// ScoreFeaturePairs with graceful degradation: rows whose entry in
+  /// `degraded_rows` is non-zero are scored with every embedding-derived
+  /// column of the classifier input neutralized (imputed to the training
+  /// mean when standardizing, zero otherwise), so a pair whose embedding
+  /// lookups failed still gets a score from its instance/name features.
+  /// Rows with a zero mask entry are bit-identical to the two-argument
+  /// overload. `degraded_rows` may be null (no degradation) or must have
+  /// lhs.size() entries.
+  StatusOr<std::vector<double>> ScoreFeaturePairs(
+      const std::vector<const features::PropertyFeatures*>& lhs,
+      const std::vector<const features::PropertyFeatures*>& rhs,
+      const std::vector<uint8_t>* degraded_rows) const;
+
   /// Computes the property features of one property exactly as Fit /
   /// ScorePairsOn would (same pipeline, same embedding model). Const and
   /// thread-safe; pair with ScoreFeaturePairs for online serving.

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/faults/fault_injector.h"
 #include "common/kernels/kernels.h"
 #include "common/string_util.h"
 
 namespace leapme::serve {
 
 namespace {
+
+/// Backoff hint attached to Unavailable / ResourceExhausted replies:
+/// long enough for a shed queue to drain a few micro-batches, short
+/// enough that a polite client retries promptly.
+constexpr uint64_t kRetryAfterMs = 50;
 
 /// Cache key: name and values joined with separators that cannot appear
 /// in TSV-sourced values (unit separator / record separator), so distinct
@@ -77,7 +83,7 @@ MatcherService::~MatcherService() {
 }
 
 MatcherService::FeaturePtr MatcherService::GetPropertyFeatures(
-    const PropertySpec& spec) {
+    const PropertySpec& spec, bool* degraded) {
   const std::string key = PropertyCacheKey(spec);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -91,8 +97,19 @@ MatcherService::FeaturePtr MatcherService::GetPropertyFeatures(
   // Compute outside the lock; a concurrent duplicate miss computes the
   // same deterministic vector and the second insert is dropped.
   property_cache_misses_.Increment();
+  const bool lookup_failed = faults::InjectError("embedding.lookup");
   auto features = std::make_shared<features::PropertyFeatures>(
       matcher_->ComputePropertyFeatures(spec.name, spec.values));
+  if (lookup_failed) {
+    // The embedding portion of this vector is untrusted: mark the
+    // request degraded (scoring masks the embedding columns) and keep
+    // the vector out of the LRU so one failed lookup never poisons
+    // later requests for the same property.
+    if (degraded != nullptr) {
+      *degraded = true;
+    }
+    return features;
+  }
 
   std::lock_guard<std::mutex> lock(cache_mu_);
   if (cache_index_.find(key) == cache_index_.end()) {
@@ -127,13 +144,34 @@ void MatcherService::BatcherLoop() {
     const size_t take =
         std::min(queue_.size(), std::max<size_t>(1, options_.max_batch));
     std::vector<PendingPair> batch;
+    std::vector<PendingPair> expired;
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+      PendingPair pair = std::move(queue_.front());
       queue_.pop_front();
+      // Load shedding: a pair whose deadline passed while it waited has
+      // no one left to use its score — fail it instead of spending
+      // inference on it (its waiter is told DeadlineExceeded).
+      if (pair.deadline.expired()) {
+        expired.push_back(std::move(pair));
+      } else {
+        batch.push_back(std::move(pair));
+      }
     }
     lock.unlock();
-    ScoreBatch(batch);
+    for (const PendingPair& pair : expired) {
+      std::lock_guard<std::mutex> job_lock(pair.job->mu);
+      if (pair.job->status.ok()) {
+        pair.job->status = Status::DeadlineExceeded(
+            "request deadline expired while queued for scoring");
+      }
+      if (--pair.job->remaining == 0) {
+        pair.job->cv.notify_all();
+      }
+    }
+    if (!batch.empty()) {
+      ScoreBatch(batch);
+    }
     lock.lock();
   }
 }
@@ -143,12 +181,18 @@ void MatcherService::ScoreBatch(std::vector<PendingPair>& batch) {
   std::vector<const features::PropertyFeatures*> rhs;
   lhs.reserve(batch.size());
   rhs.reserve(batch.size());
-  for (const PendingPair& pending : batch) {
-    lhs.push_back(pending.a.get());
-    rhs.push_back(pending.b.get());
+  bool any_degraded = false;
+  std::vector<uint8_t> degraded_rows(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    lhs.push_back(batch[i].a.get());
+    rhs.push_back(batch[i].b.get());
+    if (batch[i].degraded) {
+      degraded_rows[i] = 1;
+      any_degraded = true;
+    }
   }
-  StatusOr<std::vector<double>> scores =
-      matcher_->ScoreFeaturePairs(lhs, rhs);
+  StatusOr<std::vector<double>> scores = matcher_->ScoreFeaturePairs(
+      lhs, rhs, any_degraded ? &degraded_rows : nullptr);
   batches_.Increment();
   batch_sizes_.Record(batch.size());
   if (scores.ok()) {
@@ -170,11 +214,25 @@ void MatcherService::ScoreBatch(std::vector<PendingPair>& batch) {
 }
 
 StatusOr<std::vector<double>> MatcherService::ScoreFeaturePairsBatched(
-    std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job) {
+    std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job,
+    Deadline deadline) {
+  if (faults::InjectError("alloc")) {
+    rejected_overload_.Increment();
+    return Status::ResourceExhausted(
+        "injected allocation failure admitting request");
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_) {
       return Status::FailedPrecondition("service is shutting down");
+    }
+    if (options_.max_queue_pairs > 0 &&
+        queue_.size() + pending.size() > options_.max_queue_pairs) {
+      rejected_overload_.Increment();
+      return Status::ResourceExhausted(StrFormat(
+          "admission queue full: %zu pairs queued, %zu more would exceed "
+          "the %zu-pair bound",
+          queue_.size(), pending.size(), options_.max_queue_pairs));
     }
     for (PendingPair& pair : pending) {
       queue_.push_back(std::move(pair));
@@ -183,31 +241,56 @@ StatusOr<std::vector<double>> MatcherService::ScoreFeaturePairsBatched(
   queue_cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(job->mu);
-  job->cv.wait(lock, [&job] { return job->remaining == 0; });
+  if (deadline.infinite()) {
+    job->cv.wait(lock, [&job] { return job->remaining == 0; });
+  } else if (!job->cv.wait_until(lock, deadline.time_point(),
+                                 [&job] { return job->remaining == 0; })) {
+    // Give up waiting; the batcher still owns shared references to the
+    // job and completes the orphaned slots harmlessly (or sheds them via
+    // the queue-side deadline check).
+    deadline_exceeded_.Increment();
+    return Status::DeadlineExceeded(
+        "request deadline expired before scoring finished");
+  }
   if (!job->status.ok()) {
+    if (job->status.IsDeadlineExceeded()) {
+      deadline_exceeded_.Increment();
+    }
     return job->status;
   }
   return std::move(job->scores);
 }
 
 StatusOr<std::vector<double>> MatcherService::Score(
-    const std::vector<PropertyPairSpec>& pairs) {
+    const std::vector<PropertyPairSpec>& pairs, Deadline deadline,
+    bool* degraded) {
   if (pairs.empty()) {
     return Status::InvalidArgument("no pairs to score");
+  }
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    return Status::DeadlineExceeded(
+        "request deadline expired before feature computation");
   }
   const auto start = std::chrono::steady_clock::now();
   auto job = std::make_shared<ScoreJob>(pairs.size());
   std::vector<PendingPair> pending;
   pending.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
+    bool pair_degraded = false;
     PendingPair pair;
-    pair.a = GetPropertyFeatures(pairs[i].a);
-    pair.b = GetPropertyFeatures(pairs[i].b);
+    pair.a = GetPropertyFeatures(pairs[i].a, &pair_degraded);
+    pair.b = GetPropertyFeatures(pairs[i].b, &pair_degraded);
     pair.job = job;
     pair.index = i;
+    pair.degraded = pair_degraded;
+    pair.deadline = deadline;
+    if (pair_degraded && degraded != nullptr) {
+      *degraded = true;
+    }
     pending.push_back(std::move(pair));
   }
-  auto scores = ScoreFeaturePairsBatched(std::move(pending), job);
+  auto scores = ScoreFeaturePairsBatched(std::move(pending), job, deadline);
   latency_.Record(std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - start)
                       .count());
@@ -216,27 +299,41 @@ StatusOr<std::vector<double>> MatcherService::Score(
 
 StatusOr<std::vector<MatchResult>> MatcherService::TopK(
     const PropertySpec& query, const std::vector<PropertySpec>& candidates,
-    size_t k) {
+    size_t k, Deadline deadline, bool* degraded) {
   if (candidates.empty()) {
     return Status::InvalidArgument("no candidates");
   }
   if (k == 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    return Status::DeadlineExceeded(
+        "request deadline expired before feature computation");
+  }
   const auto start = std::chrono::steady_clock::now();
   auto job = std::make_shared<ScoreJob>(candidates.size());
-  FeaturePtr query_features = GetPropertyFeatures(query);
+  bool query_degraded = false;
+  FeaturePtr query_features = GetPropertyFeatures(query, &query_degraded);
   std::vector<PendingPair> pending;
   pending.reserve(candidates.size());
+  bool any_degraded = query_degraded;
   for (size_t i = 0; i < candidates.size(); ++i) {
+    bool candidate_degraded = false;
     PendingPair pair;
     pair.a = query_features;
-    pair.b = GetPropertyFeatures(candidates[i]);
+    pair.b = GetPropertyFeatures(candidates[i], &candidate_degraded);
     pair.job = job;
     pair.index = i;
+    pair.degraded = query_degraded || candidate_degraded;
+    pair.deadline = deadline;
+    any_degraded = any_degraded || candidate_degraded;
     pending.push_back(std::move(pair));
   }
-  auto scores = ScoreFeaturePairsBatched(std::move(pending), job);
+  if (any_degraded && degraded != nullptr) {
+    *degraded = true;
+  }
+  auto scores = ScoreFeaturePairsBatched(std::move(pending), job, deadline);
   if (!scores.ok()) {
     return scores.status();
   }
@@ -259,11 +356,27 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
   return matches;
 }
 
-std::string MatcherService::HandleLine(std::string_view line) {
+std::string MatcherService::HandleLine(std::string_view line,
+                                       Deadline deadline) {
   StatusOr<Request> request = ParseRequest(line);
   if (!request.ok()) {
     request_errors_.Increment();
     return ErrorResponse(std::nullopt, request.status());
+  }
+  // Shed-queue and capacity errors carry a retry hint; everything else
+  // is a plain typed error.
+  const auto error_response = [this](const std::optional<int64_t>& id,
+                                     const Status& status) {
+    request_errors_.Increment();
+    const bool retryable = status.IsResourceExhausted() ||
+                           status.IsUnavailable();
+    return ErrorResponse(id, status, retryable ? kRetryAfterMs : 0);
+  };
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    return error_response(
+        request->id,
+        Status::DeadlineExceeded("request deadline expired before dispatch"));
   }
   switch (request->op) {
     case Op::kPing:
@@ -274,22 +387,30 @@ std::string MatcherService::HandleLine(std::string_view line) {
       return StatsResponse(request->id, Snapshot());
     case Op::kScore: {
       score_requests_.Increment();
-      StatusOr<std::vector<double>> scores = Score(request->pairs);
+      bool degraded = false;
+      StatusOr<std::vector<double>> scores =
+          Score(request->pairs, deadline, &degraded);
       if (!scores.ok()) {
-        request_errors_.Increment();
-        return ErrorResponse(request->id, scores.status());
+        return error_response(request->id, scores.status());
       }
-      return ScoreResponse(request->id, scores.value());
+      if (degraded) {
+        degraded_responses_.Increment();
+      }
+      return ScoreResponse(request->id, scores.value(), degraded);
     }
     case Op::kTopK: {
       topk_requests_.Increment();
+      bool degraded = false;
       StatusOr<std::vector<MatchResult>> matches =
-          TopK(request->query, request->candidates, request->k);
+          TopK(request->query, request->candidates, request->k, deadline,
+               &degraded);
       if (!matches.ok()) {
-        request_errors_.Increment();
-        return ErrorResponse(request->id, matches.status());
+        return error_response(request->id, matches.status());
       }
-      return TopKResponse(request->id, matches.value());
+      if (degraded) {
+        degraded_responses_.Increment();
+      }
+      return TopKResponse(request->id, matches.value(), degraded);
     }
   }
   request_errors_.Increment();
@@ -321,6 +442,11 @@ ServiceStats MatcherService::Snapshot() const {
   stats.connections_accepted = connections_accepted_.value();
   stats.connections_active =
       connections_active_.load(std::memory_order_relaxed);
+  stats.connections_rejected = connections_rejected_.value();
+  stats.rejected_overload = rejected_overload_.value();
+  stats.deadline_exceeded = deadline_exceeded_.value();
+  stats.degraded_responses = degraded_responses_.value();
+  stats.faults_injected = faults::FaultInjector::Global().injected();
   const LatencyRecorder::Percentiles latency = latency_.Snapshot();
   stats.latency_p50_us = latency.p50;
   stats.latency_p95_us = latency.p95;

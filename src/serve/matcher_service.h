@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status_or.h"
 #include "core/leapme.h"
@@ -30,6 +31,12 @@ struct ServiceOptions {
   size_t property_cache_capacity = 4096;
   /// Samples kept in the request-latency window for percentile stats.
   size_t latency_window = 4096;
+  /// Bound on the pairs admitted into the micro-batch queue. A request
+  /// whose pairs would push the queue past this limit is refused with a
+  /// typed ResourceExhausted (and counted in rejected_overload) instead
+  /// of growing the queue without bound under overload. 0 = unbounded
+  /// (the library default; `leapme serve` bounds it via --max-queue).
+  size_t max_queue_pairs = 0;
 };
 
 /// A thread-safe online-matching session over one fitted (typically
@@ -77,18 +84,45 @@ class MatcherService {
   /// Scores each a/b pair; blocks until the micro-batcher has scored
   /// every pair of this request.
   StatusOr<std::vector<double>> Score(
-      const std::vector<PropertyPairSpec>& pairs);
+      const std::vector<PropertyPairSpec>& pairs) {
+    return Score(pairs, Deadline::Infinite(), nullptr);
+  }
+
+  /// Score with overload semantics: refuses admission past the queue
+  /// bound (ResourceExhausted), gives up when `deadline` passes before
+  /// the scores are ready (DeadlineExceeded), and — when an embedding
+  /// lookup fails mid-request — still scores the affected pairs with
+  /// embedding features masked, setting `*degraded` (may be null) so the
+  /// transport can tag the response instead of failing the batch.
+  StatusOr<std::vector<double>> Score(
+      const std::vector<PropertyPairSpec>& pairs, Deadline deadline,
+      bool* degraded);
 
   /// Scores `query` against every candidate and returns the k best
   /// (score descending, candidate index ascending on ties).
   StatusOr<std::vector<MatchResult>> TopK(
       const PropertySpec& query,
-      const std::vector<PropertySpec>& candidates, size_t k);
+      const std::vector<PropertySpec>& candidates, size_t k) {
+    return TopK(query, candidates, k, Deadline::Infinite(), nullptr);
+  }
+
+  /// TopK with the same overload semantics as the deadline Score.
+  StatusOr<std::vector<MatchResult>> TopK(
+      const PropertySpec& query,
+      const std::vector<PropertySpec>& candidates, size_t k,
+      Deadline deadline, bool* degraded);
 
   /// Full protocol dispatch for one request line: parse, execute,
   /// serialize. Never fails — protocol and execution errors become
   /// ok:false responses.
-  std::string HandleLine(std::string_view line);
+  std::string HandleLine(std::string_view line) {
+    return HandleLine(line, Deadline::Infinite());
+  }
+
+  /// HandleLine under a request deadline (started by the transport when
+  /// the request's first bytes arrived). An expired deadline at any stage
+  /// becomes a typed DeadlineExceeded error response.
+  std::string HandleLine(std::string_view line, Deadline deadline);
 
   /// Connection lifecycle hooks, called by the transport so connection
   /// counts show up in the "stats" op.
@@ -98,6 +132,15 @@ class MatcherService {
   }
   void OnConnectionClosed() {
     connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Called by the transport when an accept is turned away at the
+  /// connection cap (the peer got an Unavailable reply and a close).
+  void OnConnectionRejected() { connections_rejected_.Increment(); }
+  /// Called by the transport when a request's deadline expired before its
+  /// line finished arriving (the service never saw a parseable request).
+  void OnRequestTimeout() {
+    deadline_exceeded_.Increment();
+    request_errors_.Increment();
   }
 
   /// All counters exposed by the "stats" op.
@@ -124,14 +167,25 @@ class MatcherService {
     FeaturePtr b;
     std::shared_ptr<ScoreJob> job;
     size_t index;  // row in job->scores
+    /// Either side's embedding lookup failed: score with embedding
+    /// columns masked instead of failing the batch.
+    bool degraded = false;
+    /// The owning request's deadline; the batcher sheds pairs that
+    /// expire while queued instead of scoring work nobody waits for.
+    Deadline deadline;
   };
 
   /// Computes (or fetches from the LRU) the feature vector of `spec`.
-  FeaturePtr GetPropertyFeatures(const PropertySpec& spec);
+  /// When the embedding.lookup fault point fires on a cache miss,
+  /// `*degraded` is set and the (untrusted) features are not cached.
+  FeaturePtr GetPropertyFeatures(const PropertySpec& spec, bool* degraded);
 
-  /// Enqueues pairs for the batcher and blocks until the job completes.
+  /// Enqueues pairs for the batcher and blocks until the job completes
+  /// or `deadline` passes. Refuses admission (ResourceExhausted) when
+  /// the queue bound would be exceeded.
   StatusOr<std::vector<double>> ScoreFeaturePairsBatched(
-      std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job);
+      std::vector<PendingPair> pending, std::shared_ptr<ScoreJob> job,
+      Deadline deadline);
 
   void BatcherLoop();
   void ScoreBatch(std::vector<PendingPair>& batch);
@@ -170,6 +224,10 @@ class MatcherService {
   Counter property_cache_hits_;
   Counter property_cache_misses_;
   Counter connections_accepted_;
+  Counter connections_rejected_;
+  Counter rejected_overload_;
+  Counter deadline_exceeded_;
+  Counter degraded_responses_;
   std::atomic<uint64_t> connections_active_{0};
   LatencyRecorder latency_;
 };

@@ -194,10 +194,14 @@ std::string PingResponse(const std::optional<int64_t>& id) {
 }
 
 std::string ScoreResponse(const std::optional<int64_t>& id,
-                          const std::vector<double>& scores) {
+                          const std::vector<double>& scores, bool degraded) {
   std::string out;
   AppendIdPrefix(&out, id);
-  out.append("\"ok\":true,\"op\":\"score\",\"scores\":[");
+  out.append("\"ok\":true,\"op\":\"score\",");
+  if (degraded) {
+    out.append("\"degraded\":true,");
+  }
+  out.append("\"scores\":[");
   for (size_t i = 0; i < scores.size(); ++i) {
     if (i > 0) out.push_back(',');
     out.append(FormatJsonDouble(scores[i]));
@@ -207,10 +211,15 @@ std::string ScoreResponse(const std::optional<int64_t>& id,
 }
 
 std::string TopKResponse(const std::optional<int64_t>& id,
-                         const std::vector<MatchResult>& matches) {
+                         const std::vector<MatchResult>& matches,
+                         bool degraded) {
   std::string out;
   AppendIdPrefix(&out, id);
-  out.append("\"ok\":true,\"op\":\"topk\",\"matches\":[");
+  out.append("\"ok\":true,\"op\":\"topk\",");
+  if (degraded) {
+    out.append("\"degraded\":true,");
+  }
+  out.append("\"matches\":[");
   for (size_t i = 0; i < matches.size(); ++i) {
     if (i > 0) out.push_back(',');
     out.append(StrFormat("{\"index\":%zu,\"score\":", matches[i].index));
@@ -259,6 +268,11 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("property_cache_misses", stats.property_cache_misses);
   field("connections_accepted", stats.connections_accepted);
   field("connections_active", stats.connections_active);
+  field("connections_rejected", stats.connections_rejected);
+  field("rejected_overload", stats.rejected_overload);
+  field("deadline_exceeded", stats.deadline_exceeded);
+  field("degraded_responses", stats.degraded_responses);
+  field("faults_injected", stats.faults_injected);
   field("latency_samples", stats.latency_samples);
   out.append(",\"kernel\":");
   AppendJsonString(&out, stats.kernel_path);
@@ -287,13 +301,17 @@ std::string StatsResponse(const std::optional<int64_t>& id,
 }
 
 std::string ErrorResponse(const std::optional<int64_t>& id,
-                          const Status& status) {
+                          const Status& status, uint64_t retry_after_ms) {
   std::string out;
   AppendIdPrefix(&out, id);
   out.append("\"ok\":false,\"error\":{\"code\":");
   AppendJsonString(&out, std::string(StatusCodeToString(status.code())));
   out.append(",\"message\":");
   AppendJsonString(&out, status.message());
+  if (retry_after_ms > 0) {
+    out.append(StrFormat(",\"retry_after_ms\":%llu",
+                         static_cast<unsigned long long>(retry_after_ms)));
+  }
   out.append("}}");
   return out;
 }

@@ -93,6 +93,19 @@ struct ServiceStats {
   uint64_t property_cache_misses = 0;
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
+  /// Overload / robustness counters (PR: fault injection + overload
+  /// control). `connections_rejected` counts accepts turned away at the
+  /// connection cap, `rejected_overload` pairs refused by the bounded
+  /// admission queue, `deadline_exceeded` requests that ran out of budget
+  /// anywhere on the read -> batch -> score -> write path,
+  /// `degraded_responses` scored replies produced with embedding features
+  /// masked after a failed lookup, and `faults_injected` fires of the
+  /// process-wide FaultInjector (0 when disarmed).
+  uint64_t connections_rejected = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded_responses = 0;
+  uint64_t faults_injected = 0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
@@ -121,15 +134,25 @@ StatusOr<Request> ParseRequest(std::string_view line,
 
 /// Response serializers; each returns a single line without the trailing
 /// '\n' (the transport appends it).
+///
+/// `degraded` (score/topk) adds `"degraded":true` to the response: the
+/// scores are real but were computed with embedding features masked after
+/// a failed lookup. `retry_after_ms` (error) adds `"retry_after_ms":N`
+/// inside the error object — the server's backoff hint on Unavailable /
+/// ResourceExhausted replies; well-behaved clients wait at least that
+/// long before retrying.
 std::string PingResponse(const std::optional<int64_t>& id);
 std::string ScoreResponse(const std::optional<int64_t>& id,
-                          const std::vector<double>& scores);
+                          const std::vector<double>& scores,
+                          bool degraded = false);
 std::string TopKResponse(const std::optional<int64_t>& id,
-                         const std::vector<MatchResult>& matches);
+                         const std::vector<MatchResult>& matches,
+                         bool degraded = false);
 std::string StatsResponse(const std::optional<int64_t>& id,
                           const ServiceStats& stats);
 std::string ErrorResponse(const std::optional<int64_t>& id,
-                          const Status& status);
+                          const Status& status,
+                          uint64_t retry_after_ms = 0);
 
 }  // namespace leapme::serve
 

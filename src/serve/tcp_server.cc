@@ -6,9 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/faults/fault_injector.h"
 #include "common/signal.h"
 #include "common/string_util.h"
 #include "serve/protocol.h"
@@ -16,6 +18,9 @@
 namespace leapme::serve {
 
 namespace {
+
+/// Backoff hint sent with accept-time Unavailable rejections.
+constexpr uint64_t kRejectRetryAfterMs = 50;
 
 void CloseIfOpen(int& fd) {
   if (fd >= 0) {
@@ -106,7 +111,36 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    if (faults::InjectError("serve.accept")) {
+      // Simulated accept failure: the connection is dropped before a
+      // worker ever serves it; clients see a close and retry.
+      ::close(conn_fd);
+      continue;
+    }
     ReapFinishedWorkers();
+    if (options_.max_connections > 0) {
+      size_t active = 0;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        active = conn_fds_.size();
+      }
+      if (active >= options_.max_connections) {
+        // Inline rejection: one Unavailable reply with a retry hint on
+        // the fresh socket (its send buffer is empty, the small write
+        // cannot block), then close — clients back off instead of
+        // piling into invisible kernel queues.
+        SendLine(conn_fd,
+                 ErrorResponse(
+                     std::nullopt,
+                     Status::Unavailable(StrFormat(
+                         "serving %zu connections (cap %zu); retry later",
+                         active, options_.max_connections)),
+                     kRejectRetryAfterMs));
+        service_->OnConnectionRejected();
+        ::close(conn_fd);
+        continue;
+      }
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
     const uint64_t token = next_conn_token_++;
     conn_fds_.emplace(token, conn_fd);
@@ -147,12 +181,26 @@ bool TcpServer::SendLine(int fd, std::string line) {
   line.push_back('\n');
   size_t sent = 0;
   while (sent < line.size()) {
+    size_t attempt = line.size() - sent;
+    if (const std::optional<faults::FaultHit> hit =
+            faults::FaultInjector::Global().Evaluate("serve.write")) {
+      if (hit->kind == faults::FaultKind::kError) {
+        return false;
+      }
+      if (hit->kind == faults::FaultKind::kShortIo) {
+        // A short write transfers fewer bytes; the loop must finish the
+        // rest — exactly what real sockets do under pressure.
+        attempt = std::clamp<size_t>(hit->param, 1, attempt);
+      }
+    }
     // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
     // error return, not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, line.data() + sent, attempt, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      // EAGAIN here means SO_SNDTIMEO expired with the socket buffer
+      // still full: the peer stopped reading within the request budget.
+      // Treat it as a dead connection rather than blocking the worker.
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -160,7 +208,8 @@ bool TcpServer::SendLine(int fd, std::string line) {
   return true;
 }
 
-bool TcpServer::DrainBuffer(int fd, std::string& buffer) {
+bool TcpServer::DrainBuffer(int fd, std::string& buffer,
+                            Deadline* deadline) {
   size_t start = 0;
   while (true) {
     const size_t newline = buffer.find('\n', start);
@@ -172,14 +221,22 @@ bool TcpServer::DrainBuffer(int fd, std::string& buffer) {
       line.remove_suffix(1);
     }
     if (!line.empty()) {
-      if (!SendLine(fd, service_->HandleLine(line))) {
+      if (!SendLine(fd, service_->HandleLine(line, *deadline))) {
         buffer.clear();
         return false;
       }
     }
     start = newline + 1;
+    // The answered request's budget is spent; any pipelined follow-up
+    // (already buffered or still arriving) gets a fresh one.
+    *deadline = options_.deadline_ms > 0
+                    ? Deadline::AfterMs(options_.deadline_ms)
+                    : Deadline::Infinite();
   }
   buffer.erase(0, start);
+  if (buffer.empty()) {
+    *deadline = Deadline::Infinite();  // idle again — no clock ticking
+  }
   if (buffer.size() > options_.max_line_bytes) {
     SendLine(fd, ErrorResponse(
                      std::nullopt,
@@ -193,13 +250,62 @@ bool TcpServer::DrainBuffer(int fd, std::string& buffer) {
 
 void TcpServer::HandleConnection(int fd) {
   service_->OnConnectionOpened();
+  if (options_.deadline_ms > 0) {
+    // Bound response writes by the request budget: a peer that stops
+    // reading mid-response must not park this worker forever. SendLine
+    // treats the resulting EAGAIN as a dead connection.
+    timeval timeout = {};
+    timeout.tv_sec = options_.deadline_ms / 1000;
+    timeout.tv_usec = static_cast<suseconds_t>(
+        (options_.deadline_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  }
   std::string buffer;
   char chunk[4096];
   bool server_initiated_close = false;
+  Deadline deadline;  // infinite while the connection is idle
   while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
+    // The poll gate enforces the read side of the request deadline: an
+    // idle connection waits forever, but once a request's first bytes
+    // arrive the rest of the line must show up within the budget.
+    pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, deadline.PollTimeoutMs());
+    if (ready < 0) {
       if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      service_->OnRequestTimeout();
+      SendLine(fd, ErrorResponse(
+                       std::nullopt,
+                       Status::DeadlineExceeded(
+                           "request deadline expired before the request "
+                           "line completed")));
+      server_initiated_close = true;
+      break;
+    }
+    size_t cap = sizeof(chunk);
+    if (const std::optional<faults::FaultHit> hit =
+            faults::FaultInjector::Global().Evaluate("serve.read")) {
+      if (hit->kind == faults::FaultKind::kError) {
+        // Simulated transport failure: drop the connection cleanly (FIN,
+        // not a hang); clients treat it as a lost connection and retry.
+        server_initiated_close = true;
+        break;
+      }
+      if (hit->kind == faults::FaultKind::kShortIo) {
+        // Short read: deliver fewer bytes this round; the rest stays in
+        // the socket buffer for the next loop, as on a real socket.
+        cap = std::clamp<size_t>(hit->param, 1, cap);
+      }
+    }
+    const ssize_t n = ::recv(fd, chunk, cap, 0);
+    if (n < 0) {
+      // EAGAIN/EWOULDBLOCK: spurious wakeup or a racing reader — poll
+      // again; the deadline stays enforced by the poll gate above.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       break;
     }
     if (n == 0) {
@@ -209,7 +315,10 @@ void TcpServer::HandleConnection(int fd) {
       break;
     }
     buffer.append(chunk, static_cast<size_t>(n));
-    if (!DrainBuffer(fd, buffer)) {
+    if (deadline.infinite() && options_.deadline_ms > 0) {
+      deadline = Deadline::AfterMs(options_.deadline_ms);
+    }
+    if (!DrainBuffer(fd, buffer, &deadline)) {
       server_initiated_close = true;
       break;
     }

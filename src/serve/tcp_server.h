@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "serve/matcher_service.h"
@@ -24,6 +25,18 @@ struct ServerOptions {
   size_t max_line_bytes = 1 << 20;
   /// Listen backlog.
   int backlog = 64;
+  /// Per-request deadline in milliseconds, 0 = none. The budget starts
+  /// when a request's first bytes arrive and covers the whole
+  /// read -> batch -> score -> write path: a slow-trickling request line,
+  /// a queue wait, or a slow score all count against the same clock. An
+  /// expired deadline gets one typed DeadlineExceeded response and the
+  /// connection is closed (the request stream may hold a half-sent line).
+  int64_t deadline_ms = 0;
+  /// Cap on concurrently served connections, 0 = unlimited. An accept
+  /// past the cap is answered inline with one Unavailable error (carrying
+  /// a retry_after_ms hint) and closed, so clients shed instead of
+  /// queueing invisibly in the kernel backlog.
+  size_t max_connections = 0;
 };
 
 /// Line-delimited JSON scoring server: one OS thread per connection, each
@@ -67,8 +80,11 @@ class TcpServer {
   void ReapFinishedWorkers();
   void HandleConnection(int fd);
   /// Handles every complete line in `buffer`, erasing consumed bytes.
-  /// Returns false when the connection must close (oversized line).
-  bool DrainBuffer(int fd, std::string& buffer);
+  /// `deadline` is the in-flight request's budget; it is restarted after
+  /// each answered line and cleared (infinite) when the buffer drains.
+  /// Returns false when the connection must close (oversized line, write
+  /// failure).
+  bool DrainBuffer(int fd, std::string& buffer, Deadline* deadline);
   bool SendLine(int fd, std::string line);
 
   MatcherService* service_;

@@ -1,0 +1,174 @@
+// Tests for the deterministic fault injector: spec parsing, canonical
+// re-serialization, seeded determinism, fire caps, delay composition,
+// and the disarmed fast path.
+
+#include "common/faults/fault_injector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leapme::faults {
+namespace {
+
+TEST(FaultInjectorTest, StartsDisarmedAndEvaluatesToNothing) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Evaluate("serve.read").has_value());
+  EXPECT_EQ(injector.injected(), 0u);
+  EXPECT_EQ(injector.spec(), "");
+}
+
+TEST(FaultInjectorTest, ParsesAndCanonicalizesSpec) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .Arm("seed=42; serve.read:error:p=0.25 ;"
+                       "serve.write:delay:ms=5:n=3;"
+                       "model.save:trunc:bytes=64;"
+                       "serve.read:short")
+                  .ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_EQ(injector.spec(),
+            "serve.read:error:p=0.25;serve.write:delay:p=1:ms=5:n=3;"
+            "model.save:trunc:p=1:bytes=64;serve.read:short:p=1:bytes=1");
+}
+
+TEST(FaultInjectorTest, EmptySpecDisarms) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("alloc:error").ok());
+  ASSERT_TRUE(injector.armed());
+  ASSERT_TRUE(injector.Arm("").ok());
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Evaluate("alloc").has_value());
+}
+
+TEST(FaultInjectorTest, MalformedSpecsRejectedAndKeepPreviousRules) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("alloc:error:p=0.5").ok());
+  const std::string before = injector.spec();
+  for (const char* bad :
+       {"alloc", "alloc:frob", "alloc:error:p=2", "alloc:error:p=x",
+        "alloc:error:ms", "alloc:error:count=3", ":error",
+        "alloc:error:n=-1", "seed=abc"}) {
+    EXPECT_FALSE(injector.Arm(bad).ok()) << bad;
+    EXPECT_EQ(injector.spec(), before) << bad;
+    EXPECT_TRUE(injector.armed()) << bad;
+  }
+}
+
+TEST(FaultInjectorTest, CertainErrorRuleAlwaysFires) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("model.load:error").ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto hit = injector.Evaluate("model.load");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->kind, FaultKind::kError);
+  }
+  // Other points are untouched.
+  EXPECT_FALSE(injector.Evaluate("model.save").has_value());
+  EXPECT_EQ(injector.injected(), 10u);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsARule) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("serve.read:error:n=3").ok());
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (injector.Evaluate("serve.read").has_value()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.injected(), 3u);
+}
+
+TEST(FaultInjectorTest, SeededProbabilisticRulesAreDeterministic) {
+  const auto fire_pattern = [](const std::string& spec) {
+    FaultInjector injector;
+    EXPECT_TRUE(injector.Arm(spec).ok());
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(injector.Evaluate("serve.read").has_value());
+    }
+    return fires;
+  };
+  const auto a = fire_pattern("seed=7;serve.read:error:p=0.3");
+  const auto b = fire_pattern("seed=7;serve.read:error:p=0.3");
+  const auto c = fire_pattern("seed=8;serve.read:error:p=0.3");
+  EXPECT_EQ(a, b);  // same seed, same call sequence -> same faults
+  EXPECT_NE(a, c);  // a different seed decorrelates
+  // The fire rate is in the right ballpark for p=0.3 over 200 draws.
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 20);
+  EXPECT_LT(fired, 120);
+}
+
+TEST(FaultInjectorTest, DelayRuleSleepsInsideEvaluate) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("embedding.lookup:delay:ms=30").ok());
+  const auto begin = std::chrono::steady_clock::now();
+  const auto hit = injector.Evaluate("embedding.lookup");
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  // A pure delay slows the operation but does not fail it.
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(injector.injected(), 1u);
+}
+
+TEST(FaultInjectorTest, DelayComposesWithErrorOnTheSamePoint) {
+  FaultInjector injector;
+  ASSERT_TRUE(
+      injector.Arm("serve.write:delay:ms=20;serve.write:error").ok());
+  const auto begin = std::chrono::steady_clock::now();
+  const auto hit = injector.Evaluate("serve.write");
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  // Slow AND failing: the worst realistic case.
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, FaultKind::kError);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+TEST(FaultInjectorTest, ShortAndTruncateCarryByteParams) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("serve.read:short:bytes=5").ok());
+  auto hit = injector.Evaluate("serve.read");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, FaultKind::kShortIo);
+  EXPECT_EQ(hit->param, 5u);
+
+  ASSERT_TRUE(injector.Arm("model.save:trunc:bytes=64").ok());
+  hit = injector.Evaluate("model.save");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, FaultKind::kTruncate);
+  EXPECT_EQ(hit->param, 64u);
+}
+
+TEST(FaultInjectorTest, DisarmDropsAllRules) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("alloc:error").ok());
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Evaluate("alloc").has_value());
+  EXPECT_EQ(injector.spec(), "");
+}
+
+TEST(FaultInjectorTest, GlobalInjectErrorHelperRespectsArming) {
+  // The global injector is shared process state; establish a known
+  // baseline (the suite may run with LEAPME_FAULTS in the environment).
+  FaultInjector& global = FaultInjector::Global();
+  global.Disarm();
+  EXPECT_FALSE(InjectError("serve.accept"));
+  ASSERT_TRUE(global.Arm("serve.accept:error").ok());
+  EXPECT_TRUE(InjectError("serve.accept"));
+  global.Disarm();
+  EXPECT_FALSE(InjectError("serve.accept"));
+}
+
+}  // namespace
+}  // namespace leapme::faults

@@ -199,6 +199,27 @@ TEST_F(PersistenceTest, V2WithoutFingerprintIsCorrupt) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(PersistenceTest, MissingEndMarkerIsCorrupt) {
+  LeapmeMatcher matcher(model_);
+  ASSERT_TRUE(matcher.Fit(*dataset_, *train_).ok());
+  std::string path = Path("no_end.model");
+  ASSERT_TRUE(matcher.SaveModel(path).ok());
+
+  // A v2 file must end with the "end leapme" sentinel; without it the
+  // file is indistinguishable from a torn write and must not load.
+  RewriteModelFile(path, [](std::vector<std::string>* lines) {
+    lines->erase(std::remove_if(lines->begin(), lines->end(),
+                                [](const std::string& line) {
+                                  return line.rfind("end ", 0) == 0;
+                                }),
+                 lines->end());
+  });
+
+  auto loaded = LeapmeMatcher::LoadModel(model_, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
 TEST_F(PersistenceTest, StageSelectionRoundTrips) {
   LeapmeOptions options;
   options.feature_stages = {"name_embedding", "string_distances"};

@@ -139,6 +139,42 @@ TEST(ResponseTest, PingAndErrorShapes) {
   ASSERT_NE(detail, nullptr);
   EXPECT_EQ(detail->Find("code")->AsString(), "InvalidArgument");
   EXPECT_EQ(detail->Find("message")->AsString(), "bad \"field\"");
+  // No hint requested -> the key is absent entirely.
+  EXPECT_EQ(detail->Find("retry_after_ms"), nullptr);
+}
+
+TEST(ResponseTest, ErrorResponseCarriesRetryHint) {
+  const std::string error = ErrorResponse(
+      std::nullopt, Status::Unavailable("full up"), /*retry_after_ms=*/50);
+  auto parsed = JsonValue::Parse(error);
+  ASSERT_TRUE(parsed.ok()) << error;
+  const JsonValue* detail = parsed->Find("error");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->Find("code")->AsString(), "Unavailable");
+  ASSERT_NE(detail->Find("retry_after_ms"), nullptr) << error;
+  EXPECT_DOUBLE_EQ(detail->Find("retry_after_ms")->AsNumber(), 50.0);
+}
+
+TEST(ResponseTest, DegradedResponsesAreTagged) {
+  const std::string score =
+      ScoreResponse(std::optional<int64_t>(4), {0.5}, /*degraded=*/true);
+  auto parsed = JsonValue::Parse(score);
+  ASSERT_TRUE(parsed.ok()) << score;
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  ASSERT_NE(parsed->Find("degraded"), nullptr) << score;
+  EXPECT_TRUE(parsed->Find("degraded")->AsBool());
+
+  const std::string topk =
+      TopKResponse(std::nullopt, {{0, 0.25}}, /*degraded=*/true);
+  parsed = JsonValue::Parse(topk);
+  ASSERT_TRUE(parsed.ok()) << topk;
+  ASSERT_NE(parsed->Find("degraded"), nullptr) << topk;
+  EXPECT_TRUE(parsed->Find("degraded")->AsBool());
+
+  // Full-fidelity responses carry no tag at all.
+  EXPECT_EQ(JsonValue::Parse(ScoreResponse(std::nullopt, {0.5}))
+                ->Find("degraded"),
+            nullptr);
 }
 
 TEST(ResponseTest, ScoreResponseRoundTripsScores) {
@@ -176,6 +212,11 @@ TEST(ResponseTest, StatsResponseIsValidJson) {
   stats.batch_histogram_labels = {"1", "2-3", "4+"};
   stats.embedding_cache_hits = 10;
   stats.latency_p50_us = 123.5;
+  stats.connections_rejected = 2;
+  stats.rejected_overload = 4;
+  stats.deadline_exceeded = 1;
+  stats.degraded_responses = 3;
+  stats.faults_injected = 7;
   const std::string line = StatsResponse(std::optional<int64_t>(9), stats);
   auto parsed = JsonValue::Parse(line);
   ASSERT_TRUE(parsed.ok()) << line;
@@ -184,6 +225,12 @@ TEST(ResponseTest, StatsResponseIsValidJson) {
   EXPECT_DOUBLE_EQ(body->Find("requests")->AsNumber(), 3.0);
   EXPECT_DOUBLE_EQ(body->Find("embedding_cache_hits")->AsNumber(), 10.0);
   EXPECT_DOUBLE_EQ(body->Find("latency_p50_us")->AsNumber(), 123.5);
+  // Overload / failure-model counters introduced with the fault layer.
+  EXPECT_DOUBLE_EQ(body->Find("connections_rejected")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(body->Find("rejected_overload")->AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(body->Find("deadline_exceeded")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(body->Find("degraded_responses")->AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(body->Find("faults_injected")->AsNumber(), 7.0);
   // Only non-empty histogram buckets appear, keyed by range label.
   const JsonValue* histogram = body->Find("batch_histogram");
   ASSERT_NE(histogram, nullptr);

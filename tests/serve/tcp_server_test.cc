@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -383,6 +385,180 @@ TEST_F(TcpServerTest, AbruptDisconnectsDoNotBreakTheServer) {
   std::string response;
   ASSERT_TRUE(client.ReadLine(&response));
   EXPECT_EQ(response, R"({"ok":true,"op":"ping"})");
+  server.Stop();
+}
+
+TEST_F(TcpServerTest, RequestLargerThanQueueBoundIsShedWithRetryHint) {
+  ServiceOptions service_options;
+  service_options.max_queue_pairs = 4;
+  MatcherService service(matcher_, cached_model_, service_options);
+  TcpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 8));  // 8 pairs > bound 4
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(ScoreRequestJson(*dataset_, pairs, 1)));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_FALSE(parsed->Find("ok")->AsBool()) << response;
+  const JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr) << response;
+  EXPECT_EQ(error->Find("code")->AsString(), "ResourceExhausted");
+  ASSERT_NE(error->Find("retry_after_ms"), nullptr) << response;
+  EXPECT_GT(error->Find("retry_after_ms")->AsNumber(), 0.0);
+
+  // Shedding is per request, not per connection: a request that fits the
+  // bound scores normally on the same socket.
+  pairs.resize(2);
+  ASSERT_TRUE(client.SendLine(ScoreRequestJson(*dataset_, pairs, 2)));
+  ASSERT_TRUE(client.ReadLine(&response));
+  parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed->Find("ok")->AsBool()) << response;
+  EXPECT_GE(service.Snapshot().rejected_overload, 1u);
+  server.Stop();
+}
+
+TEST_F(TcpServerTest, SaturationPastQueueBoundNeverHangsOrDropsSilently) {
+  ServiceOptions service_options;
+  service_options.max_queue_pairs = 16;
+  service_options.batch_window_us = 20000;  // keep the queue occupied
+  MatcherService service(matcher_, cached_model_, service_options);
+  TcpServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+  pairs.resize(std::min<size_t>(pairs.size(), 8));
+  const std::vector<double> offline =
+      matcher_->ScorePairsOn(*dataset_, pairs).value();
+
+  // 8 clients x 3 requests x 8 pairs against a 16-pair admission queue:
+  // well past saturation. The contract under test: every connection gets
+  // either a bit-identical scored reply or a well-formed typed rejection
+  // carrying a retry hint — never a hang or a silent drop.
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 3;
+  std::atomic<int> scored{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      ASSERT_TRUE(client.connected());
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        ASSERT_TRUE(client.SendLine(
+            ScoreRequestJson(*dataset_, pairs, c * 100 + r)));
+        std::string response;
+        ASSERT_TRUE(client.ReadLine(&response)) << "client " << c;
+        auto parsed = JsonValue::Parse(response);
+        ASSERT_TRUE(parsed.ok()) << response;
+        if (parsed->Find("ok")->AsBool()) {
+          const auto& scores = parsed->Find("scores")->AsArray();
+          ASSERT_EQ(scores.size(), offline.size());
+          for (size_t i = 0; i < offline.size(); ++i) {
+            EXPECT_EQ(scores[i].AsNumber(), offline[i])
+                << "client " << c << " request " << r << " pair " << i;
+          }
+          scored.fetch_add(1);
+        } else {
+          const JsonValue* error = parsed->Find("error");
+          ASSERT_NE(error, nullptr) << response;
+          const std::string code = error->Find("code")->AsString();
+          EXPECT_TRUE(code == "ResourceExhausted" || code == "Unavailable")
+              << response;
+          ASSERT_NE(error->Find("retry_after_ms"), nullptr) << response;
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(scored.load() + shed.load(), kClients * kRequestsPerClient);
+  EXPECT_GT(scored.load(), 0);  // the server kept making progress
+  server.Stop();
+}
+
+TEST_F(TcpServerTest, ConnectionCapRejectsInlineThenRecovers) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options;
+  options.max_connections = 1;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    TestClient occupant(server.port());
+    ASSERT_TRUE(occupant.connected());
+    ASSERT_TRUE(occupant.SendLine(R"({"op":"ping","id":1})"));
+    std::string response;
+    ASSERT_TRUE(occupant.ReadLine(&response));  // definitely registered
+
+    // Past the cap: one inline Unavailable reply with a hint, then EOF.
+    TestClient second(server.port());
+    ASSERT_TRUE(second.connected());
+    ASSERT_TRUE(second.ReadLine(&response));
+    auto parsed = JsonValue::Parse(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    EXPECT_FALSE(parsed->Find("ok")->AsBool()) << response;
+    const JsonValue* error = parsed->Find("error");
+    ASSERT_NE(error, nullptr) << response;
+    EXPECT_EQ(error->Find("code")->AsString(), "Unavailable");
+    ASSERT_NE(error->Find("retry_after_ms"), nullptr) << response;
+    EXPECT_TRUE(second.AtEof());
+    EXPECT_GE(service.Snapshot().connections_rejected, 1u);
+  }
+
+  // The occupant closed; once its worker notices, capacity frees up.
+  bool served = false;
+  for (int attempt = 0; attempt < 100 && !served; ++attempt) {
+    TestClient retry(server.port());
+    std::string response;
+    if (retry.connected() && retry.SendLine(R"({"op":"ping","id":2})") &&
+        retry.ReadLine(&response)) {
+      auto parsed = JsonValue::Parse(response);
+      served = parsed.ok() && parsed->Find("ok")->AsBool();
+    }
+    if (!served) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(served);
+  server.Stop();
+}
+
+TEST_F(TcpServerTest, StalledRequestLineHitsDeadlineWithTypedReply) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options;
+  options.deadline_ms = 100;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Start a request line but never finish it: the budget starts with the
+  // first bytes and expires waiting for the rest.
+  ASSERT_TRUE(client.SendRaw("{\"op\":\"ping\""));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_FALSE(parsed->Find("ok")->AsBool()) << response;
+  EXPECT_EQ(parsed->Find("error")->Find("code")->AsString(),
+            "DeadlineExceeded");
+  EXPECT_TRUE(client.AtEof());
+  EXPECT_GE(service.Snapshot().deadline_exceeded, 1u);
+
+  // An idle connection never times out, and a prompt request is
+  // unaffected by the budget.
+  TestClient quick(server.port());
+  ASSERT_TRUE(quick.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // idle > budget
+  ASSERT_TRUE(quick.SendLine(R"({"op":"ping","id":9})"));
+  ASSERT_TRUE(quick.ReadLine(&response));
+  EXPECT_EQ(response, R"({"id":9,"ok":true,"op":"ping"})");
   server.Stop();
 }
 
