@@ -3,15 +3,16 @@
 // The cross-source pair space is quadratic in the number of properties
 // (the paper's camera dataset already has >3200 properties = ~5M pairs).
 // This example combines two library extensions:
-//   1. candidate blocking (name-token index + embedding LSH) to prune the
-//      pair space before scoring, and
+//   1. candidate blocking (name-token index + embedding LSH, parsed from a
+//      CandidatePipeline spec string — the same grammar the CLI's
+//      --blocking flag accepts) to prune the pair space before scoring,
 //   2. model persistence, so the trained matcher is reused across runs
 //      without retraining.
 
 #include <cstdio>
 #include <set>
 
-#include "blocking/blocker.h"
+#include "blocking/candidate_pipeline.h"
 #include "core/leapme.h"
 #include "data/domain.h"
 #include "data/generator.h"
@@ -70,11 +71,15 @@ int main() {
     return 1;
   }
 
-  // Prune the quadratic pair space with the union blocker.
-  blocking::NameTokenBlocker tokens;
-  blocking::EmbeddingBlocker embeddings(&model.value());
-  blocking::UnionBlocker blocker({&tokens, &embeddings});
-  auto candidates = blocker.Candidates(*dataset);
+  // Prune the quadratic pair space with the union blocker, built from the
+  // same spec string `leapme match --blocking=...` accepts.
+  auto pipeline = blocking::CandidatePipeline::Parse(
+      "union(name-token,embedding-lsh)", &model.value());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto candidates = (*pipeline)->Candidates(*dataset);
   if (!candidates.ok()) {
     std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
     return 1;

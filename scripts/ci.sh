@@ -32,6 +32,16 @@ echo "== tier 1b: kernel parity with LEAPME_KERNEL=scalar =="
 LEAPME_KERNEL=scalar ctest --test-dir build --output-on-failure \
   -j "$JOBS" -L kernels
 
+# The blocking suite again at pinned thread counts: candidate generation
+# promises identical (sorted, deduplicated) pair lists at any pool
+# width, so run the label single-threaded and wide and let the
+# determinism assertions compare against the spec.
+echo "== tier 1e: blocking determinism at 1 and 4 threads =="
+LEAPME_THREADS=1 ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L blocking
+LEAPME_THREADS=4 ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L blocking
+
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   # Latency-only faults keep every serve assertion deterministic (scores
   # and framing are unchanged, just slower) while still jittering the
@@ -82,19 +92,19 @@ embedding.lookup:error:p=0.05;alloc:error:p=0.02" \
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos labels =="
+  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos + blocking labels =="
   cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve|chaos'
+    -L 'parallel|serve|chaos|blocking'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== tier 3: AddressSanitizer on the parallel + serve + chaos labels =="
+  echo "== tier 3: AddressSanitizer on the parallel + serve + chaos + blocking labels =="
   cmake -B build-asan -S . -DLEAPME_SANITIZE=address
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve|chaos'
+    -L 'parallel|serve|chaos|blocking'
 fi
 
 if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then

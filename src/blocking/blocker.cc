@@ -1,15 +1,25 @@
 #include "blocking/blocker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
-#include <unordered_map>
 
+#include "common/faults/fault_injector.h"
+#include "common/kernels/kernels.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "text/tokenizer.h"
 
 namespace leapme::blocking {
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Canonicalizes and deduplicates a candidate list.
 std::vector<data::PropertyPair> Deduplicate(
@@ -23,6 +33,14 @@ std::vector<data::PropertyPair> Deduplicate(
             });
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   return pairs;
+}
+
+// Sorted, deduplicated property-id list.
+std::vector<data::PropertyId> DeduplicateIds(
+    std::vector<data::PropertyId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
 // Emits all cross-source pairs within one bucket of property ids.
@@ -39,80 +57,243 @@ void EmitBucketPairs(const data::Dataset& dataset,
   }
 }
 
-}  // namespace
+// Unique lower-cased embedding words of a property name.
+std::set<std::string> NameTokens(std::string_view name) {
+  std::set<std::string> tokens;
+  for (std::string& token : text::EmbeddingWords(name)) {
+    tokens.insert(std::move(token));
+  }
+  return tokens;
+}
 
-StatusOr<std::vector<data::PropertyPair>> NameTokenBlocker::Candidates(
+// Token -> ascending property ids for every property of `dataset`.
+std::unordered_map<std::string, std::vector<data::PropertyId>> BuildTokenIndex(
     const data::Dataset& dataset) {
   std::unordered_map<std::string, std::vector<data::PropertyId>> index;
   for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
-    std::set<std::string> tokens;
-    for (const std::string& token :
-         text::EmbeddingWords(dataset.property(id).name)) {
-      tokens.insert(token);
-    }
-    for (const std::string& token : tokens) {
+    for (const std::string& token : NameTokens(dataset.property(id).name)) {
       index[token].push_back(id);
     }
   }
-  const auto stop_size = static_cast<size_t>(
-      options_.max_token_frequency *
-      static_cast<double>(dataset.property_count()));
-  std::vector<data::PropertyPair> candidates;
-  for (const auto& [token, bucket] : index) {
-    if (bucket.size() <= 1 || bucket.size() > std::max<size_t>(stop_size, 2)) {
-      continue;
-    }
-    EmitBucketPairs(dataset, bucket, &candidates);
-  }
-  return Deduplicate(std::move(candidates));
+  return index;
 }
 
-StatusOr<std::vector<data::PropertyPair>> EmbeddingBlocker::Candidates(
+// A bucket larger than this is a stop-token bucket: a token so frequent
+// it would reconnect nearly everything.
+size_t StopBucketSize(double max_token_frequency, size_t property_count) {
+  const auto stop_size = static_cast<size_t>(
+      max_token_frequency * static_cast<double>(property_count));
+  return std::max<size_t>(stop_size, 2);
+}
+
+}  // namespace
+
+void Blocker::CollectStats(std::vector<BlockerStats>* out) const {
+  BlockerStats stats;
+  stats.name = Name();
+  stats.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.candidates = candidates_.load(std::memory_order_relaxed);
+  stats.total_ns = total_ns_.load(std::memory_order_relaxed);
+  out->push_back(std::move(stats));
+}
+
+void Blocker::RecordBatch(size_t candidates, uint64_t ns) const {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  candidates_.fetch_add(candidates, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void Blocker::RecordQuery(size_t candidates, uint64_t ns) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  candidates_.fetch_add(candidates, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// AllPairsBlocker
+
+StatusOr<std::vector<data::PropertyPair>> AllPairsBlocker::Candidates(
     const data::Dataset& dataset) {
+  const uint64_t start = NowNs();
+  std::vector<data::PropertyPair> pairs = dataset.AllCrossSourcePairs();
+  RecordBatch(pairs.size(), NowNs() - start);
+  return pairs;
+}
+
+Status AllPairsBlocker::BuildIndex(const data::Dataset& dataset) {
+  indexed_properties_ = dataset.property_count();
+  indexed_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<data::PropertyId>> AllPairsBlocker::Query(
+    std::string_view /*name*/) const {
+  if (!indexed_) {
+    return Status::FailedPrecondition("all-pairs: BuildIndex not called");
+  }
+  const uint64_t start = NowNs();
+  std::vector<data::PropertyId> ids(indexed_properties_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<data::PropertyId>(i);
+  }
+  RecordQuery(ids.size(), NowNs() - start);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// NameTokenBlocker
+
+StatusOr<std::vector<data::PropertyPair>> NameTokenBlocker::Candidates(
+    const data::Dataset& dataset) {
+  const uint64_t start = NowNs();
+  const auto index = BuildTokenIndex(dataset);
+  const size_t stop_size =
+      StopBucketSize(options_.max_token_frequency, dataset.property_count());
+  std::vector<data::PropertyPair> candidates;
+  for (const auto& [token, bucket] : index) {
+    if (bucket.size() <= 1 || bucket.size() > stop_size) continue;
+    EmitBucketPairs(dataset, bucket, &candidates);
+  }
+  candidates = Deduplicate(std::move(candidates));
+  RecordBatch(candidates.size(), NowNs() - start);
+  return candidates;
+}
+
+Status NameTokenBlocker::BuildIndex(const data::Dataset& dataset) {
+  index_ = BuildTokenIndex(dataset);
+  // Drop stop-token buckets at build time so queries pay no frequency
+  // check. Size-1 buckets stay: the external query property is the
+  // second member of the pair.
+  const size_t stop_size =
+      StopBucketSize(options_.max_token_frequency, dataset.property_count());
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.size() > stop_size) {
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  indexed_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<data::PropertyId>> NameTokenBlocker::Query(
+    std::string_view name) const {
+  if (!indexed_) {
+    return Status::FailedPrecondition("name-token: BuildIndex not called");
+  }
+  const uint64_t start = NowNs();
+  std::vector<data::PropertyId> ids;
+  for (const std::string& token : NameTokens(name)) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    ids.insert(ids.end(), it->second.begin(), it->second.end());
+  }
+  ids = DeduplicateIds(std::move(ids));
+  RecordQuery(ids.size(), NowNs() - start);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// EmbeddingBlocker
+
+Status EmbeddingBlocker::Validate() const {
+  if (model_ == nullptr) {
+    return Status::InvalidArgument("embedding-lsh requires a model");
+  }
   if (options_.bands == 0 || options_.bits_per_band == 0 ||
       options_.bits_per_band > 63) {
     return Status::InvalidArgument("bad LSH configuration");
   }
-  const size_t d = model_->dimension();
-  const size_t total_bits = options_.bands * options_.bits_per_band;
+  return Status::OK();
+}
 
-  // Random hyperplanes, derived deterministically from the seed.
+void EmbeddingBlocker::EnsureHyperplanes(size_t dimension) {
+  const size_t total_bits = options_.bands * options_.bits_per_band;
+  if (dimension_ == dimension && hyperplanes_.size() == total_bits * dimension) {
+    return;
+  }
+  // Random hyperplanes, derived deterministically from the seed. Row
+  // band*bits_per_band + bit holds the hyperplane for that signature bit.
   Rng rng(options_.seed);
-  std::vector<float> hyperplanes(total_bits * d);
-  for (float& value : hyperplanes) {
+  hyperplanes_.assign(total_bits * dimension, 0.0f);
+  for (float& value : hyperplanes_) {
     value = static_cast<float>(rng.NextGaussian());
   }
+  dimension_ = dimension;
+}
 
-  // Per-band hash buckets.
+EmbeddingBlocker::Signatures EmbeddingBlocker::ComputeSignatures(
+    std::string_view name) const {
+  Signatures result;
+  const embedding::Vector name_embedding = embedding::AverageEmbedding(
+      *model_, text::EmbeddingWords(name));
+  // All-zero embeddings (fully OOV names under the zero-vector policy)
+  // carry no locality signal; skip them rather than bucket them all
+  // together.
+  bool all_zero = true;
+  for (float value : name_embedding) {
+    if (value != 0.0f) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    result.skip = true;
+    return result;
+  }
+
+  // One kernel GEMM projects the embedding onto every hyperplane at once:
+  // out[row] = canonical dot(embedding, hyperplane row).
+  const size_t total_bits = options_.bands * options_.bits_per_band;
+  std::vector<float> projections(total_bits);
+  kernels::Active().gemm_tb(name_embedding.data(), hyperplanes_.data(),
+                            projections.data(), /*rows=*/1, dimension_,
+                            total_bits);
+
+  result.bands.resize(options_.bands);
+  for (size_t band = 0; band < options_.bands; ++band) {
+    uint64_t signature = 0;
+    for (size_t bit = 0; bit < options_.bits_per_band; ++bit) {
+      const float dot = projections[band * options_.bits_per_band + bit];
+      signature = (signature << 1) | (dot >= 0.0f ? 1 : 0);
+    }
+    result.bands[band] = signature;
+  }
+  return result;
+}
+
+std::vector<EmbeddingBlocker::Signatures>
+EmbeddingBlocker::ComputeAllSignatures(const data::Dataset& dataset) const {
+  std::vector<Signatures> signatures(dataset.property_count());
+  // Each chunk writes only its own slots, so the result is bit-identical
+  // at any thread count (ParallelFor's determinism contract).
+  ParallelFor(0, dataset.property_count(), /*grain=*/64,
+              [&](size_t begin, size_t end) {
+                for (size_t id = begin; id < end; ++id) {
+                  signatures[id] = ComputeSignatures(
+                      dataset.property(static_cast<data::PropertyId>(id)).name);
+                }
+              });
+  return signatures;
+}
+
+StatusOr<std::vector<data::PropertyPair>> EmbeddingBlocker::Candidates(
+    const data::Dataset& dataset) {
+  LEAPME_RETURN_IF_ERROR(Validate());
+  const uint64_t start = NowNs();
+  EnsureHyperplanes(model_->dimension());
+  const std::vector<Signatures> signatures = ComputeAllSignatures(dataset);
+
+  // Bucket assembly is sequential in ascending property id, so bucket
+  // member order — and therefore the emitted pair list — is deterministic.
   std::vector<std::unordered_map<uint64_t, std::vector<data::PropertyId>>>
       buckets(options_.bands);
   for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
-    embedding::Vector name_embedding = embedding::AverageEmbedding(
-        *model_, text::EmbeddingWords(dataset.property(id).name));
-    // All-zero embeddings (fully OOV names under the zero-vector policy)
-    // carry no locality signal; skip them rather than bucket them all
-    // together.
-    bool all_zero = true;
-    for (float value : name_embedding) {
-      if (value != 0.0f) {
-        all_zero = false;
-        break;
-      }
-    }
-    if (all_zero) continue;
-
+    if (signatures[id].skip) continue;
     for (size_t band = 0; band < options_.bands; ++band) {
-      uint64_t signature = 0;
-      for (size_t bit = 0; bit < options_.bits_per_band; ++bit) {
-        const float* hyperplane =
-            hyperplanes.data() + (band * options_.bits_per_band + bit) * d;
-        float dot = 0.0f;
-        for (size_t k = 0; k < d; ++k) {
-          dot += hyperplane[k] * name_embedding[k];
-        }
-        signature = (signature << 1) | (dot >= 0.0f ? 1 : 0);
-      }
-      buckets[band][signature].push_back(id);
+      buckets[band][signatures[id].bands[band]].push_back(id);
     }
   }
 
@@ -122,13 +303,57 @@ StatusOr<std::vector<data::PropertyPair>> EmbeddingBlocker::Candidates(
       EmitBucketPairs(dataset, bucket, &candidates);
     }
   }
-  return Deduplicate(std::move(candidates));
+  candidates = Deduplicate(std::move(candidates));
+  RecordBatch(candidates.size(), NowNs() - start);
+  return candidates;
 }
+
+Status EmbeddingBlocker::BuildIndex(const data::Dataset& dataset) {
+  LEAPME_RETURN_IF_ERROR(Validate());
+  EnsureHyperplanes(model_->dimension());
+  const std::vector<Signatures> signatures = ComputeAllSignatures(dataset);
+  index_buckets_.assign(options_.bands, {});
+  for (data::PropertyId id = 0; id < dataset.property_count(); ++id) {
+    if (signatures[id].skip) continue;
+    for (size_t band = 0; band < options_.bands; ++band) {
+      index_buckets_[band][signatures[id].bands[band]].push_back(id);
+    }
+  }
+  indexed_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<data::PropertyId>> EmbeddingBlocker::Query(
+    std::string_view name) const {
+  if (!indexed_) {
+    return Status::FailedPrecondition("embedding-lsh: BuildIndex not called");
+  }
+  if (faults::InjectError("embedding.lookup")) {
+    return Status::Unavailable("injected embedding failure during blocking");
+  }
+  const uint64_t start = NowNs();
+  const Signatures signatures = ComputeSignatures(name);
+  std::vector<data::PropertyId> ids;
+  if (!signatures.skip) {
+    for (size_t band = 0; band < options_.bands; ++band) {
+      auto it = index_buckets_[band].find(signatures.bands[band]);
+      if (it == index_buckets_[band].end()) continue;
+      ids.insert(ids.end(), it->second.begin(), it->second.end());
+    }
+    ids = DeduplicateIds(std::move(ids));
+  }
+  RecordQuery(ids.size(), NowNs() - start);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// UnionBlocker
 
 StatusOr<std::vector<data::PropertyPair>> UnionBlocker::Candidates(
     const data::Dataset& dataset) {
+  const uint64_t start = NowNs();
   std::vector<data::PropertyPair> all;
-  for (Blocker* blocker : blockers_) {
+  for (const std::unique_ptr<Blocker>& blocker : blockers_) {
     if (blocker == nullptr) {
       return Status::InvalidArgument("null blocker in union");
     }
@@ -136,7 +361,40 @@ StatusOr<std::vector<data::PropertyPair>> UnionBlocker::Candidates(
                             blocker->Candidates(dataset));
     all.insert(all.end(), candidates.begin(), candidates.end());
   }
-  return Deduplicate(std::move(all));
+  all = Deduplicate(std::move(all));
+  RecordBatch(all.size(), NowNs() - start);
+  return all;
+}
+
+Status UnionBlocker::BuildIndex(const data::Dataset& dataset) {
+  for (const std::unique_ptr<Blocker>& blocker : blockers_) {
+    if (blocker == nullptr) {
+      return Status::InvalidArgument("null blocker in union");
+    }
+    LEAPME_RETURN_IF_ERROR(blocker->BuildIndex(dataset));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<data::PropertyId>> UnionBlocker::Query(
+    std::string_view name) const {
+  const uint64_t start = NowNs();
+  std::vector<data::PropertyId> ids;
+  for (const std::unique_ptr<Blocker>& blocker : blockers_) {
+    LEAPME_ASSIGN_OR_RETURN(std::vector<data::PropertyId> part,
+                            blocker->Query(name));
+    ids.insert(ids.end(), part.begin(), part.end());
+  }
+  ids = DeduplicateIds(std::move(ids));
+  RecordQuery(ids.size(), NowNs() - start);
+  return ids;
+}
+
+void UnionBlocker::CollectStats(std::vector<BlockerStats>* out) const {
+  Blocker::CollectStats(out);
+  for (const std::unique_ptr<Blocker>& blocker : blockers_) {
+    if (blocker != nullptr) blocker->CollectStats(out);
+  }
 }
 
 BlockingQuality EvaluateBlocking(

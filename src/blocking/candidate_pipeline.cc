@@ -1,0 +1,234 @@
+#include "blocking/candidate_pipeline.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace leapme::blocking {
+
+namespace {
+
+Status SpecError(const std::string& message) {
+  return Status::InvalidArgument("blocking spec: " + message);
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+         c == '_';
+}
+
+void SkipSpaces(std::string_view* rest) {
+  while (!rest->empty() &&
+         std::isspace(static_cast<unsigned char>(rest->front())) != 0) {
+    rest->remove_prefix(1);
+  }
+}
+
+std::string_view TrimSpaces(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && end == text.data() + text.size();
+}
+
+bool ParseFiniteDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  std::string buffer(text);
+  char* end = nullptr;
+  *out = std::strtod(buffer.c_str(), &end);
+  return end == buffer.c_str() + buffer.size() && std::isfinite(*out);
+}
+
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+/// Builds a leaf blocker from its registry name and `key=value` params.
+StatusOr<std::unique_ptr<Blocker>> MakeLeafBlocker(
+    const std::string& name, const Params& params,
+    const embedding::EmbeddingModel* model) {
+  if (name == "all-pairs") {
+    if (!params.empty()) {
+      return SpecError("all-pairs takes no parameters");
+    }
+    return std::unique_ptr<Blocker>(std::make_unique<AllPairsBlocker>());
+  }
+  if (name == "name-token") {
+    NameTokenBlockerOptions options;
+    for (const auto& [key, value] : params) {
+      if (key == "max-freq") {
+        double freq = 0.0;
+        if (!ParseFiniteDouble(value, &freq) || freq <= 0.0 || freq > 1.0) {
+          return SpecError("name-token max-freq must be in (0, 1], got '" +
+                           value + "'");
+        }
+        options.max_token_frequency = freq;
+      } else {
+        return SpecError("unknown name-token parameter '" + key + "'");
+      }
+    }
+    return std::unique_ptr<Blocker>(
+        std::make_unique<NameTokenBlocker>(options));
+  }
+  if (name == "embedding-lsh") {
+    if (model == nullptr) {
+      return SpecError(
+          "embedding-lsh requires an embedding model (none configured)");
+    }
+    EmbeddingBlockerOptions options;
+    for (const auto& [key, value] : params) {
+      uint64_t parsed = 0;
+      if (!ParseUint64(value, &parsed)) {
+        return SpecError("embedding-lsh " + key +
+                         " must be a non-negative integer, got '" + value +
+                         "'");
+      }
+      if (key == "bands") {
+        if (parsed == 0 || parsed > 256) {
+          return SpecError("embedding-lsh bands must be in [1, 256]");
+        }
+        options.bands = static_cast<size_t>(parsed);
+      } else if (key == "bits") {
+        if (parsed == 0 || parsed > 63) {
+          return SpecError("embedding-lsh bits must be in [1, 63]");
+        }
+        options.bits_per_band = static_cast<size_t>(parsed);
+      } else if (key == "seed") {
+        options.seed = parsed;
+      } else {
+        return SpecError("unknown embedding-lsh parameter '" + key + "'");
+      }
+    }
+    return std::unique_ptr<Blocker>(
+        std::make_unique<EmbeddingBlocker>(model, options));
+  }
+  return SpecError("unknown blocker '" + name +
+                   "' (all-pairs|name-token|embedding-lsh|union)");
+}
+
+/// Recursive-descent parse of one `blocker` production; advances `rest`
+/// past the consumed text.
+StatusOr<std::unique_ptr<Blocker>> ParseBlockerExpr(
+    std::string_view* rest, const embedding::EmbeddingModel* model) {
+  SkipSpaces(rest);
+  size_t name_len = 0;
+  while (name_len < rest->size() && IsNameChar((*rest)[name_len])) {
+    ++name_len;
+  }
+  if (name_len == 0) {
+    return SpecError("expected a blocker name");
+  }
+  std::string name(rest->substr(0, name_len));
+  rest->remove_prefix(name_len);
+  SkipSpaces(rest);
+
+  if (name == "union") {
+    if (rest->empty() || rest->front() != '(') {
+      return SpecError("union requires a parenthesized blocker list");
+    }
+    rest->remove_prefix(1);
+    std::vector<std::unique_ptr<Blocker>> children;
+    while (true) {
+      LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<Blocker> child,
+                              ParseBlockerExpr(rest, model));
+      children.push_back(std::move(child));
+      SkipSpaces(rest);
+      if (!rest->empty() && rest->front() == ',') {
+        rest->remove_prefix(1);
+        continue;
+      }
+      if (!rest->empty() && rest->front() == ')') {
+        rest->remove_prefix(1);
+        break;
+      }
+      return SpecError("expected ',' or ')' in union(...)");
+    }
+    return std::unique_ptr<Blocker>(
+        std::make_unique<UnionBlocker>(std::move(children)));
+  }
+
+  Params params;
+  while (!rest->empty() && rest->front() == ':') {
+    rest->remove_prefix(1);
+    SkipSpaces(rest);
+    size_t key_len = 0;
+    while (key_len < rest->size() && IsNameChar((*rest)[key_len])) {
+      ++key_len;
+    }
+    if (key_len == 0) {
+      return SpecError("expected a parameter name after ':' in '" + name +
+                       "'");
+    }
+    std::string key(rest->substr(0, key_len));
+    rest->remove_prefix(key_len);
+    SkipSpaces(rest);
+    if (rest->empty() || rest->front() != '=') {
+      return SpecError("parameter '" + key + "' of '" + name +
+                       "' requires '=value'");
+    }
+    rest->remove_prefix(1);
+    size_t value_len = 0;
+    while (value_len < rest->size() && (*rest)[value_len] != ':' &&
+           (*rest)[value_len] != ',' && (*rest)[value_len] != ')') {
+      ++value_len;
+    }
+    std::string value(TrimSpaces(rest->substr(0, value_len)));
+    rest->remove_prefix(value_len);
+    if (value.empty()) {
+      return SpecError("parameter '" + key + "' of '" + name +
+                       "' has an empty value");
+    }
+    params.emplace_back(std::move(key), std::move(value));
+  }
+  return MakeLeafBlocker(name, params, model);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CandidatePipeline>> CandidatePipeline::Parse(
+    std::string_view spec, const embedding::EmbeddingModel* model) {
+  std::string_view rest = spec;
+  LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<Blocker> root,
+                          ParseBlockerExpr(&rest, model));
+  SkipSpaces(&rest);
+  if (!rest.empty()) {
+    return SpecError("trailing characters '" + std::string(rest) + "'");
+  }
+  return std::unique_ptr<CandidatePipeline>(
+      new CandidatePipeline(std::string(spec), std::move(root)));
+}
+
+StatusOr<std::vector<data::PropertyPair>> CandidatePipeline::Candidates(
+    const data::Dataset& dataset) {
+  return root_->Candidates(dataset);
+}
+
+Status CandidatePipeline::BuildIndex(const data::Dataset& dataset) {
+  return root_->BuildIndex(dataset);
+}
+
+StatusOr<std::vector<data::PropertyId>> CandidatePipeline::Query(
+    std::string_view name) const {
+  return root_->Query(name);
+}
+
+std::vector<BlockerStats> CandidatePipeline::SnapshotStats() const {
+  std::vector<BlockerStats> stats;
+  root_->CollectStats(&stats);
+  return stats;
+}
+
+}  // namespace leapme::blocking

@@ -1,0 +1,91 @@
+#ifndef LEAPME_BLOCKING_CANDIDATE_PIPELINE_H_
+#define LEAPME_BLOCKING_CANDIDATE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "embedding/embedding_model.h"
+
+namespace leapme::blocking {
+
+/// The candidate-generation half of the two-step matching pipeline:
+/// parses a blocker spec string into an owned blocker tree and exposes
+/// its batch (Candidates) and index (BuildIndex/Query) modes plus
+/// cumulative per-blocker stats for serve and bench reporting.
+///
+/// Spec grammar (whitespace around tokens is ignored):
+///
+///   spec    := blocker
+///   blocker := name params | "union(" blocker ("," blocker)* ")"
+///   params  := (":" key "=" value)*
+///
+/// Registered blockers and their parameters:
+///
+///   all-pairs                  passthrough; every cross-source pair
+///   name-token                 max-freq=<(0,1]>      (default 0.25)
+///   embedding-lsh              bands=<1..256>        (default 16)
+///                              bits=<1..63>          (default 8)
+///                              seed=<uint>           (default 3)
+///   union(a,b,...)             union of child candidate sets
+///
+/// Examples: "all-pairs", "name-token:max-freq=0.1",
+/// "union(name-token,embedding-lsh:bands=16:bits=8)".
+///
+/// Malformed specs (unknown blocker or parameter, bad value, unbalanced
+/// parentheses, empty union, trailing characters) parse to
+/// InvalidArgument.
+class CandidatePipeline {
+ public:
+  /// Parses `spec`; `model` backs `embedding-lsh` blockers and must
+  /// outlive the pipeline (may be nullptr for specs that never use
+  /// embeddings — an embedding-lsh spec without a model is
+  /// InvalidArgument).
+  static StatusOr<std::unique_ptr<CandidatePipeline>> Parse(
+      std::string_view spec, const embedding::EmbeddingModel* model);
+
+  /// Batch mode: candidate cross-source pairs of `dataset` (a < b,
+  /// sorted, deduplicated).
+  StatusOr<std::vector<data::PropertyPair>> Candidates(
+      const data::Dataset& dataset);
+
+  /// Index mode, step 1: ingest `dataset` as the catalog. Not
+  /// thread-safe; call once before serving queries. `dataset` must
+  /// outlive subsequent queries.
+  Status BuildIndex(const data::Dataset& dataset);
+
+  /// Index mode, step 2: catalog property ids blocked against an
+  /// external property named `name` (sorted, deduplicated). Const and
+  /// thread-safe after BuildIndex.
+  StatusOr<std::vector<data::PropertyId>> Query(std::string_view name) const;
+
+  /// Cumulative per-blocker stats (one entry per blocker in the tree).
+  std::vector<BlockerStats> SnapshotStats() const;
+
+  /// The spec string this pipeline was parsed from.
+  const std::string& spec() const { return spec_; }
+
+ private:
+  CandidatePipeline(std::string spec, std::unique_ptr<Blocker> root)
+      : spec_(std::move(spec)), root_(std::move(root)) {}
+
+  std::string spec_;
+  std::unique_ptr<Blocker> root_;
+};
+
+/// The default spec for batch CLI paths: the passthrough blocker, which
+/// preserves the pre-pipeline full-enumeration behavior bit for bit.
+inline constexpr std::string_view kDefaultBlockingSpec = "all-pairs";
+
+/// The default spec for the serve catalog index, where full enumeration
+/// per query defeats the point: lexical + embedding recall.
+inline constexpr std::string_view kDefaultIndexBlockingSpec =
+    "union(name-token,embedding-lsh)";
+
+}  // namespace leapme::blocking
+
+#endif  // LEAPME_BLOCKING_CANDIDATE_PIPELINE_H_

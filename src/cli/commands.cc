@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
+#include <optional>
 
+#include "blocking/candidate_pipeline.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/leapme.h"
@@ -41,15 +43,21 @@ constexpr const char* kUsage =
     "             char_class_meta, token_class_meta, numeric_value,\n"
     "             value_embedding, name_embedding, string_distances)\n"
     "             [--max-instances-per-property N] (0 = use all values)\n"
+    "             [--blocking SPEC] (candidate generation before scoring;\n"
+    "             default all-pairs = score everything. Specs: all-pairs,\n"
+    "             name-token[:max-freq=F], embedding-lsh[:bands=N:bits=N:\n"
+    "             seed=N], union(spec,spec,...))\n"
     "             [--model-out FILE]\n"
     "             [--threads N] (defaults to LEAPME_THREADS env or all\n"
     "             cores; results are identical at any thread count)\n"
     "  match      print discovered matches among the held-out sources\n"
     "             (evaluate flags plus [--threshold 0.5] [--limit 25]);\n"
     "             with --model-in FILE scores all cross-source pairs\n"
-    "             using a saved model instead of retraining\n"
+    "             using a saved model instead of retraining;\n"
+    "             --blocking restricts scoring to blocked candidates\n"
     "  cluster    train (or load --model-in FILE), build the similarity\n"
-    "             graph over all pairs and print star clusters\n"
+    "             graph over candidate pairs (--blocking, default\n"
+    "             all-pairs) and print star clusters\n"
     "             (evaluate flags plus [--threshold])\n"
     "  serve      serve a saved model over TCP (line-delimited JSON)\n"
     "             --model FILE --port N [--host 127.0.0.1]\n"
@@ -61,6 +69,11 @@ constexpr const char* kUsage =
     "             accepts get one Unavailable reply and a close)\n"
     "             [--max-queue 65536] (admission-queue bound in pairs;\n"
     "             0 = unbounded; overflow gets ResourceExhausted)\n"
+    "             [--index-data FILE] (load a catalog, build the blocker\n"
+    "             index once, and answer index_match requests that score\n"
+    "             one property against blocked catalog candidates)\n"
+    "             [--blocking SPEC] (index blocker; default\n"
+    "             union(name-token,embedding-lsh); requires --index-data)\n"
     "             plus the evaluate embedding flags\n";
 
 StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
@@ -73,8 +86,9 @@ StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
 
 /// Builds the embedding model per the flags: a GloVe-format file, a
 /// domain-specific synthetic space, or a hashed-vector-only fallback.
+/// `seed` comes from the caller's one --seed parse (ParseMatcherFlags).
 StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
-    const Flags& flags) {
+    const Flags& flags, uint64_t seed) {
   LEAPME_ASSIGN_OR_RETURN(const int64_t emb_dim,
                           flags.GetIntInRange("emb-dim", 64, 1, 65536));
   const auto dimension = static_cast<size_t>(emb_dim);
@@ -101,11 +115,7 @@ StatusOr<std::unique_ptr<embedding::EmbeddingModel>> BuildEmbeddings(
   }
   embedding::SyntheticModelOptions options;
   options.dimension = dimension;
-  LEAPME_ASSIGN_OR_RETURN(
-      const int64_t seed,
-      flags.GetIntInRange("seed", 7, 0,
-                          std::numeric_limits<int64_t>::max()));
-  options.seed = static_cast<uint64_t>(seed);
+  options.seed = seed;
   options.oov_policy = embedding::OovPolicy::kHashedVector;
   LEAPME_ASSIGN_OR_RETURN(
       auto model, embedding::SyntheticEmbeddingModel::Build(clusters,
@@ -168,32 +178,93 @@ StatusOr<size_t> ApplyThreadsFlag(const Flags& flags) {
   return static_cast<size_t>(threads);
 }
 
+/// The matcher flags shared by evaluate/match/cluster (and, where
+/// meaningful, serve), parsed exactly once so every command interprets
+/// --seed/--threshold/--blocking/... identically.
+struct MatcherFlags {
+  core::LeapmeOptions options;
+  uint64_t seed = 7;
+  double train_fraction = 0.8;
+  double negative_ratio = 2.0;
+  size_t threads = 0;
+  /// --threshold when given; the trained/loaded matcher's (possibly
+  /// calibrated) threshold wins otherwise.
+  std::optional<double> threshold;
+  /// The --blocking candidate-generation spec. The all-pairs default
+  /// preserves the pre-pipeline score-everything behavior bit for bit.
+  std::string blocking{blocking::kDefaultBlockingSpec};
+};
+
+StatusOr<MatcherFlags> ParseMatcherFlags(const Flags& flags) {
+  MatcherFlags parsed;
+  // --threads beats the LEAPME_THREADS environment variable, which beats
+  // hardware concurrency.
+  LEAPME_ASSIGN_OR_RETURN(parsed.threads, ApplyThreadsFlag(flags));
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      flags.GetIntInRange("seed", 7, 0,
+                          std::numeric_limits<int64_t>::max()));
+  parsed.seed = static_cast<uint64_t>(seed);
+  LEAPME_ASSIGN_OR_RETURN(
+      parsed.train_fraction,
+      flags.GetDoubleInRange("train-fraction", 0.8, 0.0, 1.0));
+  LEAPME_ASSIGN_OR_RETURN(
+      parsed.negative_ratio,
+      flags.GetDoubleInRange("negative-ratio", 2.0, 0.0, 1e6));
+  LEAPME_RETURN_IF_ERROR(ApplyFeatureSelection(flags, &parsed.options));
+  if (flags.Has("threshold")) {
+    LEAPME_ASSIGN_OR_RETURN(
+        const double threshold,
+        flags.GetDoubleInRange("threshold", 0.5, 0.0, 1.0));
+    parsed.threshold = threshold;
+  }
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t max_instances,
+      flags.GetIntInRange("max-instances-per-property", 0, 0, 1 << 24));
+  parsed.options.pair_features.max_instances_per_property =
+      static_cast<size_t>(max_instances);
+  parsed.options.threads = parsed.threads;
+  parsed.options.decision_threshold = parsed.threshold.value_or(0.5);
+  parsed.blocking = flags.GetString("blocking", parsed.blocking);
+  return parsed;
+}
+
 /// Shared setup of evaluate/match/cluster: load data, build embeddings,
 /// then either train LEAPME on a source split or — with --model-in —
-/// restore a matcher saved by `evaluate --model-out`.
+/// restore a matcher saved by `evaluate --model-out`. Every session
+/// carries the parsed --blocking pipeline; scoring goes candidates-first.
 struct TrainedSession {
   data::Dataset dataset{""};
   std::unique_ptr<embedding::EmbeddingModel> model;
   std::unique_ptr<core::LeapmeMatcher> matcher;
+  std::unique_ptr<blocking::CandidatePipeline> pipeline;
+  MatcherFlags config;
   data::SourceSplit split;
   /// True when the matcher came from --model-in: it has no cached
-  /// property features or source split, so callers score all
-  /// cross-source pairs via ScorePairsOn.
+  /// property features or source split, so callers score candidate
+  /// pairs via ScorePairsOn.
   bool from_saved_model = false;
 };
 
-StatusOr<TrainedSession> LoadSessionFromModel(const Flags& flags) {
+StatusOr<TrainedSession> LoadSessionFromModel(const Flags& flags,
+                                              MatcherFlags config) {
   TrainedSession session;
   session.from_saved_model = true;
+  session.config = std::move(config);
   LEAPME_ASSIGN_OR_RETURN(session.dataset,
                           data::ReadDatasetTsv(flags.GetString("data", "")));
-  LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
+  LEAPME_ASSIGN_OR_RETURN(session.model,
+                          BuildEmbeddings(flags, session.config.seed));
   LEAPME_ASSIGN_OR_RETURN(
       core::LeapmeMatcher loaded,
       core::LeapmeMatcher::LoadModel(session.model.get(),
                                      flags.GetString("model-in", "")));
   session.matcher =
       std::make_unique<core::LeapmeMatcher>(std::move(loaded));
+  LEAPME_ASSIGN_OR_RETURN(
+      session.pipeline,
+      blocking::CandidatePipeline::Parse(session.config.blocking,
+                                         session.model.get()));
   std::fprintf(stderr, "loaded model %s (input dimension %zu)\n",
                flags.GetString("model-in", "").c_str(),
                session.matcher->input_dimension());
@@ -204,51 +275,36 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
   if (!flags.Has("data")) {
     return Status::InvalidArgument("--data FILE is required");
   }
-  // --threads beats the LEAPME_THREADS environment variable, which beats
-  // hardware concurrency.
-  LEAPME_ASSIGN_OR_RETURN(const size_t threads, ApplyThreadsFlag(flags));
+  LEAPME_ASSIGN_OR_RETURN(MatcherFlags config, ParseMatcherFlags(flags));
   if (flags.Has("model-in")) {
     if (flags.Has("model-out")) {
       return Status::InvalidArgument(
           "--model-in and --model-out are mutually exclusive");
     }
-    return LoadSessionFromModel(flags);
+    return LoadSessionFromModel(flags, std::move(config));
   }
   TrainedSession session;
+  session.config = std::move(config);
   LEAPME_ASSIGN_OR_RETURN(session.dataset,
                           data::ReadDatasetTsv(flags.GetString("data", "")));
-  LEAPME_ASSIGN_OR_RETURN(session.model, BuildEmbeddings(flags));
+  LEAPME_ASSIGN_OR_RETURN(session.model,
+                          BuildEmbeddings(flags, session.config.seed));
 
-  LEAPME_ASSIGN_OR_RETURN(
-      const int64_t seed,
-      flags.GetIntInRange("seed", 7, 0,
-                          std::numeric_limits<int64_t>::max()));
-  LEAPME_ASSIGN_OR_RETURN(
-      const double train_fraction,
-      flags.GetDoubleInRange("train-fraction", 0.8, 0.0, 1.0));
-  LEAPME_ASSIGN_OR_RETURN(
-      const double negative_ratio,
-      flags.GetDoubleInRange("negative-ratio", 2.0, 0.0, 1e6));
-  Rng rng(static_cast<uint64_t>(seed));
-  session.split = data::SplitSources(session.dataset, train_fraction, rng);
+  Rng rng(session.config.seed);
+  session.split = data::SplitSources(session.dataset,
+                                     session.config.train_fraction, rng);
   LEAPME_ASSIGN_OR_RETURN(
       std::vector<data::LabeledPair> training,
       data::BuildTrainingPairs(session.dataset, session.split.train_sources,
-                               negative_ratio, rng));
+                               session.config.negative_ratio, rng));
 
-  core::LeapmeOptions options;
-  LEAPME_RETURN_IF_ERROR(ApplyFeatureSelection(flags, &options));
-  LEAPME_ASSIGN_OR_RETURN(options.decision_threshold,
-                          flags.GetDoubleInRange("threshold", 0.5, 0.0, 1.0));
-  LEAPME_ASSIGN_OR_RETURN(
-      const int64_t max_instances,
-      flags.GetIntInRange("max-instances-per-property", 0, 0, 1 << 24));
-  options.pair_features.max_instances_per_property =
-      static_cast<size_t>(max_instances);
-  options.threads = threads;
   session.matcher = std::make_unique<core::LeapmeMatcher>(
-      session.model.get(), options);
+      session.model.get(), session.config.options);
   LEAPME_RETURN_IF_ERROR(session.matcher->Fit(session.dataset, training));
+  LEAPME_ASSIGN_OR_RETURN(
+      session.pipeline,
+      blocking::CandidatePipeline::Parse(session.config.blocking,
+                                         session.model.get()));
   std::fprintf(stderr,
                "trained on %zu pairs from %zu sources (%zu properties)\n",
                training.size(), session.split.train_sources.size(),
@@ -265,10 +321,37 @@ StatusOr<TrainedSession> TrainFromFlags(const Flags& flags) {
 
 /// The decision threshold of a session: --threshold when given, else the
 /// matcher's (possibly calibrated or restored) threshold.
-StatusOr<double> SessionThreshold(const Flags& flags,
-                                  const TrainedSession& session) {
-  return flags.GetDoubleInRange("threshold", session.matcher->decision_threshold(),
-                                0.0, 1.0);
+double SessionThreshold(const TrainedSession& session) {
+  return session.config.threshold.value_or(
+      session.matcher->decision_threshold());
+}
+
+/// Candidate pairs of the session's dataset under its --blocking
+/// pipeline. With `restrict_to_test` the list keeps only pairs touching
+/// at least one held-out source — under all-pairs this reproduces
+/// data::BuildTestPairs' pair list (same ascending enumeration) exactly.
+StatusOr<std::vector<data::PropertyPair>> SessionCandidates(
+    TrainedSession& session, bool restrict_to_test) {
+  LEAPME_ASSIGN_OR_RETURN(std::vector<data::PropertyPair> pairs,
+                          session.pipeline->Candidates(session.dataset));
+  const size_t blocked = pairs.size();
+  if (restrict_to_test) {
+    std::vector<bool> is_train(session.dataset.source_count(), false);
+    for (data::SourceId source : session.split.train_sources) {
+      is_train[source] = true;
+    }
+    std::erase_if(pairs, [&](const data::PropertyPair& pair) {
+      return is_train[session.dataset.property(pair.a).source] &&
+             is_train[session.dataset.property(pair.b).source];
+    });
+  }
+  std::fprintf(stderr, "blocking %s: %zu candidate pairs%s\n",
+               session.pipeline->spec().c_str(), blocked,
+               restrict_to_test
+                   ? StrFormat(" (%zu in held-out sources)", pairs.size())
+                         .c_str()
+                   : "");
+  return pairs;
 }
 
 /// Scores the session's pairs: the trained path uses the cached property
@@ -289,7 +372,8 @@ const std::vector<std::string>& EvaluateFlags() {
       "data",        "train-fraction", "seed",      "embeddings",
       "domain",      "emb-dim",        "features",  "model-out",
       "model-in",    "threshold",      "negative-ratio",
-      "limit",       "threads",        "max-instances-per-property"};
+      "limit",       "threads",        "max-instances-per-property",
+      "blocking"};
   return *kFlags;
 }
 
@@ -355,8 +439,32 @@ Status RunEvaluate(const Flags& flags) {
     pairs.push_back(labeled.pair);
     labels.push_back(labeled.label);
   }
-  LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
-                          session.matcher->ScorePairs(pairs));
+  // Two-step pipeline: only blocked candidates get scored; a test pair
+  // the blocker dropped is predicted non-match with score 0. Under the
+  // all-pairs default every test pair is a candidate, reproducing the
+  // score-everything evaluation bit for bit.
+  LEAPME_ASSIGN_OR_RETURN(
+      std::vector<data::PropertyPair> candidates,
+      SessionCandidates(session, /*restrict_to_test=*/true));
+  const auto pair_less = [](const data::PropertyPair& x,
+                            const data::PropertyPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  };
+  const auto is_candidate = [&](const data::PropertyPair& pair) {
+    return std::binary_search(candidates.begin(), candidates.end(), pair,
+                              pair_less);
+  };
+  std::vector<data::PropertyPair> to_score;
+  for (const data::PropertyPair& pair : pairs) {
+    if (is_candidate(pair)) to_score.push_back(pair);
+  }
+  LEAPME_ASSIGN_OR_RETURN(std::vector<double> candidate_scores,
+                          session.matcher->ScorePairs(to_score));
+  std::vector<double> scores(pairs.size(), 0.0);
+  size_t next_scored = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (is_candidate(pairs[i])) scores[i] = candidate_scores[next_scored++];
+  }
   std::vector<int32_t> predictions(scores.size());
   const double threshold = session.matcher->decision_threshold();
   for (size_t i = 0; i < scores.size(); ++i) {
@@ -380,24 +488,20 @@ Status RunMatch(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
   LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
 
-  // The trained path scores the held-out sources; a saved model has no
-  // split, so it scores every cross-source pair of --data.
-  std::vector<data::PropertyPair> pairs;
-  if (session.from_saved_model) {
-    pairs = session.dataset.AllCrossSourcePairs();
-  } else {
-    for (const auto& labeled : data::BuildTestPairs(
-             session.dataset, session.split.train_sources)) {
-      pairs.push_back(labeled.pair);
-    }
-  }
+  // Two-step pipeline: the --blocking blocker picks the candidates, the
+  // matcher scores only those. The trained path reports matches among
+  // the held-out sources; a saved model has no split, so its candidates
+  // span all of --data.
+  LEAPME_ASSIGN_OR_RETURN(
+      std::vector<data::PropertyPair> pairs,
+      SessionCandidates(session,
+                        /*restrict_to_test=*/!session.from_saved_model));
   LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
                           ScoreSessionPairs(session, pairs));
 
   // Sort matches by score, print the strongest.
   std::vector<size_t> order;
-  LEAPME_ASSIGN_OR_RETURN(const double threshold,
-                          SessionThreshold(flags, session));
+  const double threshold = SessionThreshold(session);
   for (size_t i = 0; i < scores.size(); ++i) {
     if (scores[i] >= threshold) order.push_back(i);
   }
@@ -427,13 +531,14 @@ Status RunCluster(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(EvaluateFlags()));
   LEAPME_ASSIGN_OR_RETURN(TrainedSession session, TrainFromFlags(flags));
 
-  LEAPME_ASSIGN_OR_RETURN(const double threshold,
-                          SessionThreshold(flags, session));
-  // Score all cross-source pairs (ScorePairs for the trained path,
-  // ScorePairsOn for --model-in) and keep the edges above threshold —
-  // the same Sim graph BuildSimilarityGraph produces.
-  const std::vector<data::PropertyPair> pairs =
-      session.dataset.AllCrossSourcePairs();
+  const double threshold = SessionThreshold(session);
+  // Score the --blocking candidate pairs (all cross-source pairs under
+  // the all-pairs default; ScorePairs for the trained path, ScorePairsOn
+  // for --model-in) and keep the edges above threshold — the same Sim
+  // graph BuildSimilarityGraph produces.
+  LEAPME_ASSIGN_OR_RETURN(
+      const std::vector<data::PropertyPair> pairs,
+      SessionCandidates(session, /*restrict_to_test=*/false));
   LEAPME_ASSIGN_OR_RETURN(std::vector<double> scores,
                           ScoreSessionPairs(session, pairs));
   graph::SimilarityGraph similarity(session.dataset.property_count());
@@ -465,11 +570,21 @@ Status RunServe(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(
       {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
        "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed",
-       "deadline-ms", "max-connections", "max-queue"}));
+       "deadline-ms", "max-connections", "max-queue", "index-data",
+       "blocking"}));
   if (!flags.Has("model")) {
     return Status::InvalidArgument("--model FILE is required");
   }
+  if (flags.Has("blocking") && !flags.Has("index-data")) {
+    return Status::InvalidArgument(
+        "--blocking for serve requires --index-data FILE (the catalog the "
+        "blocker indexes)");
+  }
   LEAPME_RETURN_IF_ERROR(ApplyThreadsFlag(flags).status());
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      flags.GetIntInRange("seed", 7, 0,
+                          std::numeric_limits<int64_t>::max()));
   // Port 0 binds an ephemeral port; the actual port is printed on stderr.
   LEAPME_ASSIGN_OR_RETURN(const int64_t port,
                           flags.GetIntInRange("port", 7207, 0, 65535));
@@ -495,7 +610,7 @@ Status RunServe(const Flags& flags) {
       flags.GetIntInRange("max-queue", 65536, 0, 1 << 28));
 
   LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<embedding::EmbeddingModel> base,
-                          BuildEmbeddings(flags));
+                          BuildEmbeddings(flags, static_cast<uint64_t>(seed)));
   embedding::CachingEmbeddingModel cached(base.get(),
                                           static_cast<size_t>(emb_cache));
   LEAPME_ASSIGN_OR_RETURN(
@@ -513,6 +628,24 @@ Status RunServe(const Flags& flags) {
   LEAPME_ASSIGN_OR_RETURN(
       std::unique_ptr<serve::MatcherService> service,
       serve::MatcherService::Create(&matcher, &cached, service_options));
+
+  // Catalog-index mode: load the catalog, build the blocker index once,
+  // and serve index_match requests against it. The catalog and pipeline
+  // outlive the server (this scope holds them through ServeUntilShutdown).
+  data::Dataset catalog{""};
+  std::unique_ptr<blocking::CandidatePipeline> index_pipeline;
+  if (flags.Has("index-data")) {
+    LEAPME_ASSIGN_OR_RETURN(
+        catalog, data::ReadDatasetTsv(flags.GetString("index-data", "")));
+    const std::string spec = flags.GetString(
+        "blocking", std::string(blocking::kDefaultIndexBlockingSpec));
+    LEAPME_ASSIGN_OR_RETURN(index_pipeline,
+                            blocking::CandidatePipeline::Parse(spec, &cached));
+    LEAPME_RETURN_IF_ERROR(
+        service->AttachCatalog(&catalog, index_pipeline.get()));
+    std::fprintf(stderr, "catalog index: %zu properties via %s\n",
+                 catalog.property_count(), spec.c_str());
+  }
 
   serve::ServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");

@@ -274,6 +274,23 @@ StatusOr<std::vector<int32_t>> LeapmeMatcher::ClassifyPairs(
   return decisions;
 }
 
+StatusOr<BlockedScores> LeapmeMatcher::ScoreCandidates(
+    const data::Dataset& dataset, blocking::CandidatePipeline& pipeline) {
+  BlockedScores result;
+  LEAPME_ASSIGN_OR_RETURN(result.candidates, pipeline.Candidates(dataset));
+  LEAPME_ASSIGN_OR_RETURN(result.scores, ScorePairs(result.candidates));
+  return result;
+}
+
+StatusOr<BlockedScores> LeapmeMatcher::ScoreCandidatesOn(
+    const data::Dataset& dataset, blocking::CandidatePipeline& pipeline) {
+  BlockedScores result;
+  LEAPME_ASSIGN_OR_RETURN(result.candidates, pipeline.Candidates(dataset));
+  LEAPME_ASSIGN_OR_RETURN(result.scores,
+                          ScorePairsOn(dataset, result.candidates));
+  return result;
+}
+
 StatusOr<std::vector<double>> LeapmeMatcher::ScorePairsOn(
     const data::Dataset& dataset,
     const std::vector<data::PropertyPair>& pairs) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "blocking/candidate_pipeline.h"
 #include "common/status_or.h"
 #include "data/dataset.h"
 #include "data/splitting.h"
@@ -60,6 +61,13 @@ struct LeapmeOptions {
   size_t threads = 0;
 };
 
+/// Result of the two-step (blocking -> scoring) pipeline: the candidate
+/// pairs a blocker selected and their scores, aligned by index.
+struct BlockedScores {
+  std::vector<data::PropertyPair> candidates;
+  std::vector<double> scores;
+};
+
 /// LEAPME (Algorithm 1): supervised property matching with embedding and
 /// instance features.
 ///
@@ -93,6 +101,22 @@ class LeapmeMatcher {
   /// whose score reaches the decision threshold (the paper's Sim output).
   StatusOr<graph::SimilarityGraph> BuildSimilarityGraph(
       const std::vector<data::PropertyPair>& pairs);
+
+  /// The two-step pipeline, fitted-dataset flavor: candidate generation
+  /// via `pipeline` followed by scoring only the candidates. `dataset`
+  /// must be the dataset this matcher was Fit on. With the `all-pairs`
+  /// passthrough blocker the candidate list equals
+  /// dataset.AllCrossSourcePairs() and the scores are bit-identical to
+  /// ScorePairs over that list — blocking never changes a score, only
+  /// which pairs get one.
+  StatusOr<BlockedScores> ScoreCandidates(
+      const data::Dataset& dataset, blocking::CandidatePipeline& pipeline);
+
+  /// The two-step pipeline over a foreign dataset (ScorePairsOn
+  /// semantics: features computed on the fly, fitted scaler reused).
+  /// This is the saved-model / transfer path.
+  StatusOr<BlockedScores> ScoreCandidatesOn(
+      const data::Dataset& dataset, blocking::CandidatePipeline& pipeline);
 
   /// Transfer matching: scores pairs of a *different* dataset with the
   /// classifier trained by Fit. Property features of `dataset` are

@@ -1,7 +1,9 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "blocking/candidate_pipeline.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -110,6 +112,27 @@ StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
   }
   const data::Dataset& dataset = eval_dataset.dataset;
 
+  // Two-step pipeline: blocking depends only on the dataset, never on the
+  // split, so candidates are generated once up front and shared (sorted,
+  // so per-repetition membership checks are binary searches).
+  std::vector<data::PropertyPair> blocked;
+  bool use_blocking = !options.blocking_spec.empty();
+  if (use_blocking) {
+    LEAPME_ASSIGN_OR_RETURN(
+        std::unique_ptr<blocking::CandidatePipeline> pipeline,
+        blocking::CandidatePipeline::Parse(options.blocking_spec,
+                                           eval_dataset.model.get()));
+    LEAPME_ASSIGN_OR_RETURN(blocked, pipeline->Candidates(dataset));
+  }
+  const auto pair_less = [](const data::PropertyPair& x,
+                            const data::PropertyPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  };
+  const auto is_candidate = [&](const data::PropertyPair& pair) {
+    return std::binary_search(blocked.begin(), blocked.end(), pair,
+                              pair_less);
+  };
+
   // Repetitions are independent: each derives its RNG from `seed + rep`
   // and writes only its own slot, so the fan-out cannot change metrics.
   const size_t reps = options.repetitions;
@@ -149,8 +172,25 @@ StatusOr<EvaluationResult> EvaluateMatcher(const MatcherFactory& factory,
             pairs.push_back(labeled.pair);
             labels.push_back(labeled.label);
           }
-          LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> predictions,
-                                  matcher->ClassifyPairs(pairs));
+          std::vector<int32_t> predictions;
+          if (use_blocking) {
+            // Classify only blocked candidates; a dropped test pair is a
+            // predicted non-match, charging blocking misses to recall.
+            std::vector<data::PropertyPair> to_classify;
+            for (const data::PropertyPair& pair : pairs) {
+              if (is_candidate(pair)) to_classify.push_back(pair);
+            }
+            LEAPME_ASSIGN_OR_RETURN(std::vector<int32_t> classified,
+                                    matcher->ClassifyPairs(to_classify));
+            predictions.assign(pairs.size(), 0);
+            size_t next = 0;
+            for (size_t i = 0; i < pairs.size(); ++i) {
+              if (is_candidate(pairs[i])) predictions[i] = classified[next++];
+            }
+          } else {
+            LEAPME_ASSIGN_OR_RETURN(predictions,
+                                    matcher->ClassifyPairs(pairs));
+          }
           result.per_repetition[rep] = ml::ComputeQuality(predictions, labels);
           train_counts[rep] = training_pairs.size();
           test_counts[rep] = test_pairs.size();

@@ -65,6 +65,12 @@ struct EvaluationOptions {
   /// repetition derives its RNG from `seed + rep` and writes its own result
   /// slot, so metrics are identical at any thread count.
   size_t threads = 0;
+  /// Candidate-generation spec (see blocking::CandidatePipeline). When
+  /// non-empty, only blocked candidate test pairs are classified; dropped
+  /// pairs are predicted non-matches, so blocking recall losses show up
+  /// in the reported metrics. Empty = classify every test pair (identical
+  /// to the "all-pairs" spec).
+  std::string blocking_spec;
 };
 
 /// Result of one matcher evaluation, averaged over repetitions.

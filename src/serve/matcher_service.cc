@@ -5,6 +5,7 @@
 
 #include "common/faults/fault_injector.h"
 #include "common/kernels/kernels.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace leapme::serve {
@@ -356,6 +357,148 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
   return matches;
 }
 
+Status MatcherService::AttachCatalog(const data::Dataset* catalog,
+                                     blocking::CandidatePipeline* pipeline) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("AttachCatalog requires a dataset");
+  }
+  if (pipeline == nullptr) {
+    return Status::InvalidArgument("AttachCatalog requires a pipeline");
+  }
+  if (catalog->property_count() == 0) {
+    return Status::InvalidArgument("catalog dataset has no properties");
+  }
+  LEAPME_RETURN_IF_ERROR(pipeline->BuildIndex(*catalog));
+  // Precompute every catalog property's feature vector once; each slot is
+  // written by exactly one chunk, so the fan-out is deterministic.
+  const size_t count = catalog->property_count();
+  std::vector<FeaturePtr> precomputed(count);
+  ParallelFor(0, count, /*grain=*/8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto id = static_cast<data::PropertyId>(i);
+      const std::vector<data::InstanceValue>& instances =
+          catalog->instances(id);
+      std::vector<std::string> values;
+      values.reserve(instances.size());
+      for (const data::InstanceValue& instance : instances) {
+        values.push_back(instance.value);
+      }
+      precomputed[i] = std::make_shared<features::PropertyFeatures>(
+          matcher_->ComputePropertyFeatures(catalog->property(id).name,
+                                            values));
+    }
+  });
+  catalog_ = catalog;
+  catalog_pipeline_ = pipeline;
+  catalog_features_ = std::move(precomputed);
+  return Status::OK();
+}
+
+StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
+    const PropertySpec& query, size_t k, Deadline deadline, bool* degraded) {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no catalog index attached (start serve with --index-data)");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    return Status::DeadlineExceeded(
+        "request deadline expired before blocking");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  index_requests_.Increment();
+
+  IndexMatchOutcome outcome;
+  StatusOr<std::vector<data::PropertyId>> blocked =
+      catalog_pipeline_->Query(query.name);
+  std::vector<data::PropertyId> candidates;
+  if (blocked.ok()) {
+    candidates = std::move(blocked).value();
+  } else if (blocked.status().IsUnavailable()) {
+    // Candidate generation failed (e.g. an embedding fault inside an LSH
+    // blocker). Degrade to a full-catalog scan: slower, but the request
+    // is still served with real scores.
+    if (degraded != nullptr) {
+      *degraded = true;
+    }
+    candidates.resize(catalog_features_.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      candidates[i] = static_cast<data::PropertyId>(i);
+    }
+  } else {
+    return blocked.status();
+  }
+  const uint64_t blocking_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  blocking_ns_.Increment(blocking_ns);
+  index_candidates_.Increment(candidates.size());
+  outcome.candidate_count = candidates.size();
+  outcome.blocking_us = static_cast<double>(blocking_ns) / 1000.0;
+  if (candidates.empty()) {
+    latency_.Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+    return outcome;
+  }
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    return Status::DeadlineExceeded(
+        "request deadline expired during blocking");
+  }
+
+  auto job = std::make_shared<ScoreJob>(candidates.size());
+  bool query_degraded = false;
+  FeaturePtr query_features = GetPropertyFeatures(query, &query_degraded);
+  if (query_degraded && degraded != nullptr) {
+    *degraded = true;
+  }
+  std::vector<PendingPair> pending;
+  pending.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    PendingPair pair;
+    pair.a = query_features;
+    pair.b = catalog_features_[candidates[i]];
+    pair.job = job;
+    pair.index = i;
+    pair.degraded = query_degraded;
+    pair.deadline = deadline;
+    pending.push_back(std::move(pair));
+  }
+  auto scores = ScoreFeaturePairsBatched(std::move(pending), job, deadline);
+  if (!scores.ok()) {
+    return scores.status();
+  }
+
+  std::vector<IndexMatchResult> matches(scores->size());
+  for (size_t i = 0; i < scores->size(); ++i) {
+    matches[i].property = candidates[i];
+    matches[i].score = (*scores)[i];
+  }
+  const size_t keep = std::min(k, matches.size());
+  // Deterministic order: score descending, property id ascending.
+  std::partial_sort(matches.begin(), matches.begin() + keep, matches.end(),
+                    [](const IndexMatchResult& a, const IndexMatchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.property < b.property;
+                    });
+  matches.resize(keep);
+  for (IndexMatchResult& match : matches) {
+    const auto id = static_cast<data::PropertyId>(match.property);
+    match.name = catalog_->property(id).name;
+    match.source = catalog_->source_name(catalog_->property(id).source);
+  }
+  outcome.matches = std::move(matches);
+  latency_.Record(std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  return outcome;
+}
+
 std::string MatcherService::HandleLine(std::string_view line,
                                        Deadline deadline) {
   StatusOr<Request> request = ParseRequest(line);
@@ -412,6 +555,18 @@ std::string MatcherService::HandleLine(std::string_view line,
       }
       return TopKResponse(request->id, matches.value(), degraded);
     }
+    case Op::kIndexMatch: {
+      bool degraded = false;
+      StatusOr<IndexMatchOutcome> outcome =
+          IndexMatch(request->query, request->k, deadline, &degraded);
+      if (!outcome.ok()) {
+        return error_response(request->id, outcome.status());
+      }
+      if (degraded) {
+        degraded_responses_.Increment();
+      }
+      return IndexMatchResponse(request->id, outcome.value(), degraded);
+    }
   }
   request_errors_.Increment();
   return ErrorResponse(request->id, Status::Internal("unhandled op"));
@@ -422,9 +577,11 @@ ServiceStats MatcherService::Snapshot() const {
   stats.ping_requests = ping_requests_.value();
   stats.score_requests = score_requests_.value();
   stats.topk_requests = topk_requests_.value();
+  stats.index_requests = index_requests_.value();
   stats.stats_requests = stats_requests_.value();
   stats.requests = stats.ping_requests + stats.score_requests +
-                   stats.topk_requests + stats.stats_requests;
+                   stats.topk_requests + stats.index_requests +
+                   stats.stats_requests;
   stats.request_errors = request_errors_.value();
   stats.pairs_scored = pairs_scored_.value();
   stats.batches = batches_.value();
@@ -453,6 +610,22 @@ ServiceStats MatcherService::Snapshot() const {
   stats.latency_p99_us = latency.p99;
   stats.latency_samples = latency.samples;
   stats.kernel_path = kernels::ActiveKernelName();
+  stats.catalog_properties = catalog_features_.size();
+  stats.index_candidates = index_candidates_.value();
+  stats.blocking_us_total =
+      static_cast<double>(blocking_ns_.value()) / 1000.0;
+  if (catalog_pipeline_ != nullptr) {
+    for (const blocking::BlockerStats& blocker :
+         catalog_pipeline_->SnapshotStats()) {
+      BlockerStat stat;
+      stat.name = blocker.name;
+      stat.batch_calls = blocker.batch_calls;
+      stat.queries = blocker.queries;
+      stat.candidates = blocker.candidates;
+      stat.total_ns = blocker.total_ns;
+      stats.blockers.push_back(std::move(stat));
+    }
+  }
   for (const features::StageTiming& timing :
        matcher_->pipeline().StageTimings()) {
     StageTimingStat stage;

@@ -12,10 +12,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blocking/candidate_pipeline.h"
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status_or.h"
 #include "core/leapme.h"
+#include "data/dataset.h"
 #include "embedding/caching_model.h"
 #include "serve/protocol.h"
 
@@ -112,6 +114,27 @@ class MatcherService {
       const std::vector<PropertySpec>& candidates, size_t k,
       Deadline deadline, bool* degraded);
 
+  /// Catalog-index mode: attaches a pre-loaded dataset and its blocking
+  /// pipeline, builds the blocker index over the catalog, and precomputes
+  /// every catalog property's feature vector once so index_match requests
+  /// only compute features for the incoming property. Both pointers must
+  /// outlive the service. Not thread-safe — call once, before serving.
+  Status AttachCatalog(const data::Dataset* catalog,
+                       blocking::CandidatePipeline* pipeline);
+
+  /// Answers one index_match request: blocks `query` against the attached
+  /// catalog (FailedPrecondition when none is attached), scores the
+  /// blocked candidates through the micro-batcher, and returns the k best
+  /// catalog properties (score descending, property id ascending on
+  /// ties) plus blocking metrics. When candidate generation itself fails
+  /// (e.g. an injected embedding fault inside an LSH blocker), the
+  /// request degrades to scoring the full catalog instead of failing:
+  /// `*degraded` is set and the response stays usable. Deadline and
+  /// overload semantics match Score/TopK, with the deadline also covering
+  /// the blocking step.
+  StatusOr<IndexMatchOutcome> IndexMatch(const PropertySpec& query, size_t k,
+                                         Deadline deadline, bool* degraded);
+
   /// Full protocol dispatch for one request line: parse, execute,
   /// serialize. Never fails — protocol and execution errors become
   /// ok:false responses.
@@ -205,6 +228,12 @@ class MatcherService {
   std::unordered_map<std::string_view, std::list<CacheEntry>::iterator>
       cache_index_;
 
+  // Catalog-index mode (AttachCatalog): the indexed dataset, its blocking
+  // pipeline, and one precomputed feature vector per catalog property.
+  const data::Dataset* catalog_ = nullptr;
+  blocking::CandidatePipeline* catalog_pipeline_ = nullptr;
+  std::vector<FeaturePtr> catalog_features_;
+
   // Micro-batch queue.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -216,6 +245,9 @@ class MatcherService {
   Counter ping_requests_;
   Counter score_requests_;
   Counter topk_requests_;
+  Counter index_requests_;
+  Counter index_candidates_;
+  Counter blocking_ns_;
   Counter stats_requests_;
   Counter request_errors_;
   Counter pairs_scored_;

@@ -182,8 +182,30 @@ StatusOr<Request> ParseRequest(std::string_view line,
     }
     return request;
   }
+  if (op_name == "index_match") {
+    request.op = Op::kIndexMatch;
+    request.k = 5;
+    LEAPME_RETURN_IF_ERROR(
+        CheckKnownKeys(root, {"op", "id", "property", "k"}));
+    const JsonValue* property = root.Find("property");
+    if (property == nullptr) {
+      return FieldError("property", "is required");
+    }
+    LEAPME_ASSIGN_OR_RETURN(request.query,
+                            ParsePropertySpec(*property, "property", limits));
+    const JsonValue* k = root.Find("k");
+    if (k != nullptr) {
+      if (!k->is_number() || k->AsNumber() != std::floor(k->AsNumber()) ||
+          k->AsNumber() < 1.0 ||
+          k->AsNumber() > static_cast<double>(limits.max_k)) {
+        return FieldError("k", "must be a positive integer within limits");
+      }
+      request.k = static_cast<size_t>(k->AsNumber());
+    }
+    return request;
+  }
   return Status::InvalidArgument(
-      "unknown op '" + op_name + "' (ping|score|topk|stats)");
+      "unknown op '" + op_name + "' (ping|score|topk|index_match|stats)");
 }
 
 std::string PingResponse(const std::optional<int64_t>& id) {
@@ -230,6 +252,36 @@ std::string TopKResponse(const std::optional<int64_t>& id,
   return out;
 }
 
+std::string IndexMatchResponse(const std::optional<int64_t>& id,
+                               const IndexMatchOutcome& outcome,
+                               bool degraded) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"index_match\",");
+  if (degraded) {
+    out.append("\"degraded\":true,");
+  }
+  out.append(StrFormat(
+      "\"candidates\":%llu,\"blocking_us\":",
+      static_cast<unsigned long long>(outcome.candidate_count)));
+  out.append(FormatJsonDouble(outcome.blocking_us));
+  out.append(",\"matches\":[");
+  for (size_t i = 0; i < outcome.matches.size(); ++i) {
+    const IndexMatchResult& match = outcome.matches[i];
+    if (i > 0) out.push_back(',');
+    out.append(StrFormat("{\"property\":%llu,\"name\":",
+                         static_cast<unsigned long long>(match.property)));
+    AppendJsonString(&out, match.name);
+    out.append(",\"source\":");
+    AppendJsonString(&out, match.source);
+    out.append(",\"score\":");
+    out.append(FormatJsonDouble(match.score));
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
 std::string StatsResponse(const std::optional<int64_t>& id,
                           const ServiceStats& stats) {
   std::string out;
@@ -244,6 +296,7 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("ping_requests", stats.ping_requests);
   field("score_requests", stats.score_requests);
   field("topk_requests", stats.topk_requests);
+  field("index_requests", stats.index_requests);
   field("stats_requests", stats.stats_requests);
   field("request_errors", stats.request_errors);
   field("pairs_scored", stats.pairs_scored);
@@ -282,6 +335,25 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   out.append(FormatJsonDouble(stats.latency_p95_us));
   out.append(",\"latency_p99_us\":");
   out.append(FormatJsonDouble(stats.latency_p99_us));
+  field("catalog_properties", stats.catalog_properties);
+  field("index_candidates", stats.index_candidates);
+  out.append(",\"blocking_us_total\":");
+  out.append(FormatJsonDouble(stats.blocking_us_total));
+  out.append(",\"blocking\":[");
+  for (size_t i = 0; i < stats.blockers.size(); ++i) {
+    const BlockerStat& blocker = stats.blockers[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":");
+    AppendJsonString(&out, blocker.name);
+    out.append(StrFormat(
+        ",\"batch_calls\":%llu,\"queries\":%llu,\"candidates\":%llu,"
+        "\"total_ns\":%llu}",
+        static_cast<unsigned long long>(blocker.batch_calls),
+        static_cast<unsigned long long>(blocker.queries),
+        static_cast<unsigned long long>(blocker.candidates),
+        static_cast<unsigned long long>(blocker.total_ns)));
+  }
+  out.push_back(']');
   out.append(",\"feature_stages\":[");
   for (size_t i = 0; i < stats.feature_stages.size(); ++i) {
     const StageTimingStat& stage = stats.feature_stages[i];

@@ -17,13 +17,22 @@ namespace leapme::serve {
 ///   {"op":"ping","id":1}
 ///   {"op":"score","id":2,"pairs":[{"a":PROP,"b":PROP}, ...]}
 ///   {"op":"topk","id":3,"query":PROP,"candidates":[PROP,...],"k":5}
+///   {"op":"index_match","id":5,"property":PROP,"k":5}
 ///   {"op":"stats","id":4}
 /// where PROP = {"name":"megapixels","values":["10","12.1", ...]}.
+///
+/// index_match requires the server's catalog-index mode (`leapme serve
+/// --index-data`): the service blocks `property` against the indexed
+/// catalog and scores only the blocked candidates, instead of the client
+/// shipping explicit pairs or candidate lists.
 ///
 /// Responses:
 ///   {"id":1,"ok":true,"op":"ping"}
 ///   {"id":2,"ok":true,"op":"score","scores":[0.93, ...]}
 ///   {"id":3,"ok":true,"op":"topk","matches":[{"index":4,"score":0.93},...]}
+///   {"id":5,"ok":true,"op":"index_match","candidates":17,
+///    "blocking_us":42.0,"matches":[{"property":3,"name":"mp",
+///    "source":"web1","score":0.93},...]}
 ///   {"id":4,"ok":true,"op":"stats","stats":{...}}
 ///   {"id":2,"ok":false,"error":{"code":"InvalidArgument","message":"..."}}
 ///
@@ -48,7 +57,25 @@ struct MatchResult {
   double score = 0.0;
 };
 
-enum class Op { kPing, kScore, kTopK, kStats };
+/// One index_match result: a catalog property (id plus its display
+/// name/source for clients without the catalog) and its match score.
+struct IndexMatchResult {
+  uint64_t property = 0;
+  std::string name;
+  std::string source;
+  double score = 0.0;
+};
+
+/// Everything an index_match response reports besides the matches:
+/// how many catalog candidates the blocker produced and how long
+/// candidate generation took (microseconds).
+struct IndexMatchOutcome {
+  std::vector<IndexMatchResult> matches;
+  size_t candidate_count = 0;
+  double blocking_us = 0.0;
+};
+
+enum class Op { kPing, kScore, kTopK, kIndexMatch, kStats };
 
 /// A parsed, validated request.
 struct Request {
@@ -56,10 +83,22 @@ struct Request {
   std::optional<int64_t> id;
   /// op == kScore
   std::vector<PropertyPairSpec> pairs;
-  /// op == kTopK
+  /// op == kTopK ("query") / kIndexMatch ("property")
   PropertySpec query;
+  /// op == kTopK
   std::vector<PropertySpec> candidates;
   size_t k = 1;
+};
+
+/// Cumulative per-blocker counters exposed in the "stats" op (mirrors
+/// blocking::BlockerStats; redeclared here so the protocol layer stays
+/// decoupled from the blocking headers).
+struct BlockerStat {
+  std::string name;
+  uint64_t batch_calls = 0;
+  uint64_t queries = 0;
+  uint64_t candidates = 0;
+  uint64_t total_ns = 0;
 };
 
 /// Cumulative per-feature-stage timing exposed in the "stats" op
@@ -81,6 +120,7 @@ struct ServiceStats {
   uint64_t ping_requests = 0;
   uint64_t score_requests = 0;
   uint64_t topk_requests = 0;
+  uint64_t index_requests = 0;
   uint64_t stats_requests = 0;
   uint64_t request_errors = 0;
   uint64_t pairs_scored = 0;
@@ -116,6 +156,15 @@ struct ServiceStats {
   /// Per-stage feature timings of the matcher's pipeline, in stage
   /// composition order.
   std::vector<StageTimingStat> feature_stages;
+  /// Catalog-index mode (`serve --index-data`): number of indexed catalog
+  /// properties (0 when no catalog is attached), cumulative candidates
+  /// produced by blocking across index_match requests, total time spent
+  /// in candidate generation, and per-blocker counters of the attached
+  /// pipeline.
+  uint64_t catalog_properties = 0;
+  uint64_t index_candidates = 0;
+  double blocking_us_total = 0.0;
+  std::vector<BlockerStat> blockers;
 };
 
 /// Limits enforced by ParseRequest, independent of transport limits.
@@ -148,6 +197,9 @@ std::string ScoreResponse(const std::optional<int64_t>& id,
 std::string TopKResponse(const std::optional<int64_t>& id,
                          const std::vector<MatchResult>& matches,
                          bool degraded = false);
+std::string IndexMatchResponse(const std::optional<int64_t>& id,
+                               const IndexMatchOutcome& outcome,
+                               bool degraded = false);
 std::string StatsResponse(const std::optional<int64_t>& id,
                           const ServiceStats& stats);
 std::string ErrorResponse(const std::optional<int64_t>& id,

@@ -1,6 +1,8 @@
 #include "blocking/blocker.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 #include <gtest/gtest.h>
 
 #include "data/domain.h"
@@ -115,8 +117,10 @@ TEST(UnionBlockerTest, CombinesCandidateSets) {
   ASSERT_TRUE(model.ok());
   data::Dataset dataset = MakeSmallDataset();
   NameTokenBlocker tokens;
-  EmbeddingBlocker embeddings(&model.value());
-  UnionBlocker both({&tokens, &embeddings});
+  std::vector<std::unique_ptr<Blocker>> children;
+  children.push_back(std::make_unique<NameTokenBlocker>());
+  children.push_back(std::make_unique<EmbeddingBlocker>(&model.value()));
+  UnionBlocker both(std::move(children));
   auto token_candidates = tokens.Candidates(dataset);
   auto union_candidates = both.Candidates(dataset);
   ASSERT_TRUE(token_candidates.ok());
@@ -126,7 +130,9 @@ TEST(UnionBlockerTest, CombinesCandidateSets) {
 
 TEST(UnionBlockerTest, NullBlockerRejected) {
   data::Dataset dataset = MakeSmallDataset();
-  UnionBlocker broken({nullptr});
+  std::vector<std::unique_ptr<Blocker>> children;
+  children.push_back(nullptr);
+  UnionBlocker broken(std::move(children));
   EXPECT_FALSE(broken.Candidates(dataset).ok());
 }
 
@@ -161,9 +167,10 @@ TEST(BlockingOnGeneratedDataTest, UnionBlockerKeepsMostMatches) {
        .oov_policy = embedding::OovPolicy::kHashedVector});
   ASSERT_TRUE(model.ok());
 
-  NameTokenBlocker tokens;
-  EmbeddingBlocker embeddings(&model.value());
-  UnionBlocker both({&tokens, &embeddings});
+  std::vector<std::unique_ptr<Blocker>> children;
+  children.push_back(std::make_unique<NameTokenBlocker>());
+  children.push_back(std::make_unique<EmbeddingBlocker>(&model.value()));
+  UnionBlocker both(std::move(children));
   auto candidates = both.Candidates(*dataset);
   ASSERT_TRUE(candidates.ok());
   BlockingQuality quality = EvaluateBlocking(*dataset, *candidates);

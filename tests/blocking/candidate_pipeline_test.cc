@@ -1,0 +1,185 @@
+// Tests for CandidatePipeline: spec-string parsing (malformed specs are
+// typed InvalidArgument), deterministic candidate generation across
+// thread counts, the all-pairs parity guarantee (blocking through the
+// passthrough pipeline is bit-identical to scoring the full enumeration),
+// and index-mode queries.
+
+#include "blocking/candidate_pipeline.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/leapme.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "embedding/synthetic_model.h"
+
+namespace leapme::blocking {
+namespace {
+
+embedding::SyntheticEmbeddingModel MakeModel() {
+  return embedding::SyntheticEmbeddingModel::Build(
+             data::DomainClusters(data::HeadphoneDomain()),
+             {.dimension = 32,
+              .seed = 18,
+              .oov_policy = embedding::OovPolicy::kHashedVector})
+      .value();
+}
+
+data::Dataset MakeDataset() {
+  data::GeneratorOptions generator;
+  generator.num_sources = 5;
+  generator.min_entities_per_source = 8;
+  generator.max_entities_per_source = 8;
+  generator.seed = 17;
+  return data::GenerateCatalog(data::HeadphoneDomain(), generator).value();
+}
+
+TEST(CandidatePipelineParseTest, AcceptsRegisteredSpecs) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  for (const char* spec :
+       {"all-pairs", "name-token", "name-token:max-freq=0.5",
+        "embedding-lsh", "embedding-lsh:bands=16:bits=8:seed=9",
+        "union(name-token,embedding-lsh)",
+        "union( name-token , union(all-pairs) )"}) {
+    auto pipeline = CandidatePipeline::Parse(spec, &model);
+    EXPECT_TRUE(pipeline.ok()) << spec << ": " << pipeline.status();
+  }
+}
+
+TEST(CandidatePipelineParseTest, MalformedSpecsAreInvalidArgument) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  for (const char* spec :
+       {"", "bogus", "union()", "union(name-token", "union(,name-token)",
+        "name-token:max-freq=0", "name-token:max-freq=2",
+        "name-token:freq=0.5", "embedding-lsh:bands=0",
+        "embedding-lsh:bands=257", "embedding-lsh:bits=64",
+        "embedding-lsh:seed=-1", "all-pairs:k=1", "all-pairs extra",
+        "union(name-token))"}) {
+    auto pipeline = CandidatePipeline::Parse(spec, &model);
+    ASSERT_FALSE(pipeline.ok()) << spec;
+    EXPECT_TRUE(pipeline.status().IsInvalidArgument()) << spec;
+    EXPECT_NE(pipeline.status().message().find("blocking spec"),
+              std::string::npos)
+        << pipeline.status();
+  }
+}
+
+TEST(CandidatePipelineParseTest, EmbeddingLshRequiresAModel) {
+  auto pipeline = CandidatePipeline::Parse("embedding-lsh", nullptr);
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_TRUE(pipeline.status().IsInvalidArgument());
+}
+
+TEST(CandidatePipelineTest, CandidatesAreSortedDeduplicatedAndCrossSource) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  auto pipeline = CandidatePipeline::Parse(
+      "union(name-token,embedding-lsh)", &model);
+  ASSERT_TRUE(pipeline.ok());
+  auto candidates = (*pipeline)->Candidates(dataset);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  const auto pair_less = [](const data::PropertyPair& x,
+                            const data::PropertyPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  };
+  EXPECT_TRUE(std::is_sorted(candidates->begin(), candidates->end(),
+                             pair_less));
+  EXPECT_EQ(std::adjacent_find(candidates->begin(), candidates->end()),
+            candidates->end());
+  for (const data::PropertyPair& pair : *candidates) {
+    EXPECT_LT(pair.a, pair.b);
+    EXPECT_NE(dataset.property(pair.a).source,
+              dataset.property(pair.b).source);
+  }
+}
+
+TEST(CandidatePipelineTest, CandidatesAreIdenticalAtAnyThreadCount) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  std::vector<std::vector<data::PropertyPair>> runs;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SetGlobalThreadCount(threads);
+    auto pipeline = CandidatePipeline::Parse(
+        "union(name-token,embedding-lsh:bands=16)", &model);
+    ASSERT_TRUE(pipeline.ok());
+    auto candidates = (*pipeline)->Candidates(dataset);
+    ASSERT_TRUE(candidates.ok()) << candidates.status();
+    runs.push_back(std::move(candidates).value());
+  }
+  SetGlobalThreadCount(0);
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(CandidatePipelineTest, IndexQueriesAreSortedAndRepeatable) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  auto pipeline = CandidatePipeline::Parse(
+      "union(name-token,embedding-lsh)", &model);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->BuildIndex(dataset).ok());
+  const std::string name = dataset.property(0).name;
+  auto first = (*pipeline)->Query(name);
+  auto second = (*pipeline)->Query(name);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_TRUE(std::is_sorted(first->begin(), first->end()));
+  EXPECT_EQ(std::adjacent_find(first->begin(), first->end()), first->end());
+}
+
+TEST(CandidatePipelineTest, QueryBeforeBuildIndexFails) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  auto pipeline = CandidatePipeline::Parse("name-token", &model);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE((*pipeline)->Query("weight").ok());
+}
+
+TEST(CandidatePipelineTest, SnapshotStatsCoversEveryBlockerInTheTree) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  auto pipeline = CandidatePipeline::Parse(
+      "union(name-token,embedding-lsh)", &model);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Candidates(dataset).ok());
+  std::vector<BlockerStats> stats = (*pipeline)->SnapshotStats();
+  ASSERT_EQ(stats.size(), 3u);  // union + two children
+  for (const BlockerStats& blocker : stats) {
+    EXPECT_FALSE(blocker.name.empty());
+    EXPECT_EQ(blocker.batch_calls, 1u);
+    EXPECT_GT(blocker.candidates, 0u);
+  }
+}
+
+TEST(CandidatePipelineTest, AllPairsScoringIsBitIdenticalToFullEnumeration) {
+  embedding::SyntheticEmbeddingModel model = MakeModel();
+  data::Dataset dataset = MakeDataset();
+  Rng rng(29);
+  data::SourceSplit split = data::SplitSources(dataset, 0.8, rng);
+  auto training =
+      data::BuildTrainingPairs(dataset, split.train_sources, 2.0, rng);
+  ASSERT_TRUE(training.ok());
+  core::LeapmeMatcher matcher(&model);
+  ASSERT_TRUE(matcher.Fit(dataset, *training).ok());
+
+  // Pre-pipeline reference: enumerate and score every cross-source pair.
+  const std::vector<data::PropertyPair> all = dataset.AllCrossSourcePairs();
+  auto reference = matcher.ScorePairs(all);
+  ASSERT_TRUE(reference.ok());
+
+  auto pipeline = CandidatePipeline::Parse("all-pairs", &model);
+  ASSERT_TRUE(pipeline.ok());
+  auto blocked = matcher.ScoreCandidates(dataset, **pipeline);
+  ASSERT_TRUE(blocked.ok()) << blocked.status();
+  ASSERT_EQ(blocked->candidates, all);
+  ASSERT_EQ(blocked->scores.size(), reference->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    EXPECT_EQ(blocked->scores[i], (*reference)[i]) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace leapme::blocking
