@@ -1,14 +1,13 @@
 // Serving benchmark: throughput and latency of the online scoring path,
-// both in-process (MatcherService::Score, isolating the micro-batcher)
-// and over a loopback TCP connection (the full wire path). Prints one
-// JSON object so runs are easy to diff and plot.
+// in-process (MatcherService::Score, isolating the micro-batcher), over
+// a loopback TCP connection (the full wire path), and as a third phase
+// the same TCP load offered open-loop at a fixed rate, reporting latency
+// against both the send-start and the intended-start clock so the
+// coordinated-omission gap of the closed-loop phases is visible
+// (DESIGN.md §15). Prints one JSON object so runs are easy to diff and
+// plot.
 //
 // Environment knobs: LEAPME_SCALE (test | bench | paper).
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +24,10 @@
 #include "embedding/synthetic_model.h"
 #include "serve/json.h"
 #include "serve/tcp_server.h"
+#include "tools/line_client.h"
+#include "workload/arrival.h"
+#include "workload/latency_recorder.h"
+#include "workload/open_loop.h"
 
 namespace {
 
@@ -36,61 +39,55 @@ struct LoadShape {
   size_t clients;
   size_t requests_per_client;
   size_t pairs_per_request;
+  double open_loop_duration_s;
 };
 
 LoadShape ShapeFor(eval::EvalScale scale) {
   switch (scale) {
     case eval::EvalScale::kTest:
-      return {3, 6, 2, 5, 4};
+      return {3, 6, 2, 5, 4, 0.5};
     case eval::EvalScale::kPaper:
-      return {6, 12, 8, 200, 32};
+      return {6, 12, 8, 200, 32, 8.0};
     default:
-      return {4, 10, 8, 40, 16};
+      return {4, 10, 8, 40, 16, 3.0};
   }
 }
 
 struct LoadResult {
   double elapsed_s = 0.0;
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
+  workload::LatencyRecorder::Summary latency;
   uint64_t requests = 0;
   uint64_t pairs = 0;
 };
 
-double Percentile(const std::vector<double>& sorted, double quantile) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank =
-      static_cast<size_t>(quantile * static_cast<double>(sorted.size()));
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-/// Runs `clients` threads of `body(client_index)` (which returns that
-/// client's per-request latencies in microseconds) and aggregates.
+/// Runs `clients` threads of `body(client_index, recorder)` recording
+/// each request's latency into the shared (thread-safe) recorder.
 template <typename Body>
 LoadResult RunLoad(const LoadShape& shape, const Body& body) {
+  workload::LatencyRecorder recorder;
   std::vector<std::thread> threads;
-  std::vector<std::vector<double>> latencies(shape.clients);
   const auto begin = std::chrono::steady_clock::now();
   for (size_t c = 0; c < shape.clients; ++c) {
-    threads.emplace_back([&, c] { latencies[c] = body(c); });
+    threads.emplace_back([&, c] { body(c, recorder); });
   }
   for (std::thread& thread : threads) thread.join();
   LoadResult result;
   result.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
-  std::vector<double> all;
-  for (const auto& slice : latencies) {
-    all.insert(all.end(), slice.begin(), slice.end());
-  }
-  std::sort(all.begin(), all.end());
-  result.requests = all.size();
-  result.pairs = all.size() * shape.pairs_per_request;
-  result.p50_us = Percentile(all, 0.50);
-  result.p95_us = Percentile(all, 0.95);
-  result.p99_us = Percentile(all, 0.99);
+  result.latency = recorder.Snapshot();
+  result.requests = result.latency.count;
+  result.pairs = result.requests * shape.pairs_per_request;
   return result;
+}
+
+void AppendSummary(std::string* out,
+                   const workload::LatencyRecorder::Summary& summary) {
+  *out += "\"latency_p50_us\":" + serve::FormatJsonDouble(summary.p50_us) +
+          ",\"latency_p95_us\":" + serve::FormatJsonDouble(summary.p95_us) +
+          ",\"latency_p99_us\":" + serve::FormatJsonDouble(summary.p99_us) +
+          ",\"latency_p999_us\":" +
+          serve::FormatJsonDouble(summary.p999_us);
 }
 
 void AppendLoadResult(std::string* out, const char* key,
@@ -103,61 +100,10 @@ void AppendLoadResult(std::string* out, const char* key,
               result.elapsed_s > 0.0
                   ? static_cast<double>(result.pairs) / result.elapsed_s
                   : 0.0) +
-          ",\"latency_p50_us\":" + serve::FormatJsonDouble(result.p50_us) +
-          ",\"latency_p95_us\":" + serve::FormatJsonDouble(result.p95_us) +
-          ",\"latency_p99_us\":" + serve::FormatJsonDouble(result.p99_us) +
-          "}";
+          ",";
+  AppendSummary(out, result.latency);
+  *out += "}";
 }
-
-/// Minimal blocking line client for the TCP phase.
-class LineClient {
- public:
-  explicit LineClient(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    sockaddr_in address = {};
-    address.sin_family = AF_INET;
-    address.sin_port = htons(static_cast<uint16_t>(port));
-    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                  sizeof(address)) != 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-  ~LineClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  bool connected() const { return fd_ >= 0; }
-
-  bool RoundTrip(const std::string& line, std::string* response) {
-    std::string framed = line + "\n";
-    size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n = ::send(fd_, framed.data() + sent,
-                               framed.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<size_t>(n);
-    }
-    while (true) {
-      const size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        *response = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
 
 serve::PropertySpec SpecOf(const data::Dataset& dataset,
                            data::PropertyId id) {
@@ -231,58 +177,108 @@ int main() {
     }
     return window;
   };
+  auto request_line = [&](size_t client, size_t request) {
+    const auto window = request_pairs(client, request);
+    std::string line = "{\"op\":\"score\",\"pairs\":[";
+    for (size_t i = 0; i < window.size(); ++i) {
+      if (i > 0) line += ',';
+      line += "{\"a\":" + SpecJson(window[i].a) +
+              ",\"b\":" + SpecJson(window[i].b) + "}";
+    }
+    line += "]}";
+    return line;
+  };
 
   // Phase 1: straight into the micro-batcher, no sockets.
-  LoadResult in_process = RunLoad(shape, [&](size_t client) {
-    std::vector<double> latencies;
-    for (size_t request = 0; request < shape.requests_per_client;
-         ++request) {
-      const auto window = request_pairs(client, request);
-      const auto begin = std::chrono::steady_clock::now();
-      auto scores = service.Score(window);
-      bench::CheckOk(scores.status(), "MatcherService::Score");
-      latencies.push_back(std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - begin)
-                              .count());
-    }
-    return latencies;
-  });
+  LoadResult in_process = RunLoad(
+      shape, [&](size_t client, workload::LatencyRecorder& recorder) {
+        for (size_t request = 0; request < shape.requests_per_client;
+             ++request) {
+          const auto window = request_pairs(client, request);
+          const auto begin = std::chrono::steady_clock::now();
+          auto scores = service.Score(window);
+          bench::CheckOk(scores.status(), "MatcherService::Score");
+          recorder.RecordNanos(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - begin)
+                  .count()));
+        }
+      });
 
   // Phase 2: the same load through the TCP front end on loopback.
   serve::TcpServer server(&service, {.port = 0});
   bench::CheckOk(server.Start(), "TcpServer::Start");
-  LoadResult tcp = RunLoad(shape, [&](size_t client) {
-    std::vector<double> latencies;
-    LineClient connection(server.port());
-    if (!connection.connected()) {
-      std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n",
-                   server.port());
-      std::exit(1);
-    }
-    for (size_t request = 0; request < shape.requests_per_client;
-         ++request) {
-      const auto window = request_pairs(client, request);
-      std::string line = "{\"op\":\"score\",\"pairs\":[";
-      for (size_t i = 0; i < window.size(); ++i) {
-        if (i > 0) line += ',';
-        line += "{\"a\":" + SpecJson(window[i].a) +
-                ",\"b\":" + SpecJson(window[i].b) + "}";
-      }
-      line += "]}";
-      std::string response;
-      const auto begin = std::chrono::steady_clock::now();
-      if (!connection.RoundTrip(line, &response)) {
-        std::fprintf(stderr, "connection lost mid-benchmark\n");
-        std::exit(1);
-      }
-      latencies.push_back(std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - begin)
-                              .count());
-    }
-    return latencies;
-  });
+  LoadResult tcp = RunLoad(
+      shape, [&](size_t client, workload::LatencyRecorder& recorder) {
+        tools::LineClient connection("127.0.0.1", server.port());
+        if (!connection.connected()) {
+          std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n",
+                       server.port());
+          std::exit(1);
+        }
+        for (size_t request = 0; request < shape.requests_per_client;
+             ++request) {
+          const std::string line = request_line(client, request);
+          std::string response;
+          const auto begin = std::chrono::steady_clock::now();
+          if (!connection.RoundTrip(line, &response)) {
+            std::fprintf(stderr, "connection lost mid-benchmark\n");
+            std::exit(1);
+          }
+          recorder.RecordNanos(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - begin)
+                  .count()));
+        }
+      });
+
+  // Phase 3: open loop. The offered rate is set from the measured
+  // closed-loop throughput (at 75%, so a healthy server keeps up), and
+  // latency is recorded against both clocks: `service` matches what the
+  // closed-loop phases report, `intended` additionally charges the time
+  // requests spent waiting behind a busy server — the difference IS the
+  // coordinated omission the closed loop hides.
+  const double closed_rps =
+      tcp.elapsed_s > 0.0
+          ? static_cast<double>(tcp.requests) / tcp.elapsed_s
+          : 50.0;
+  workload::ArrivalOptions arrival;
+  arrival.target_rps = std::max(20.0, 0.75 * closed_rps);
+  arrival.duration_s = shape.open_loop_duration_s;
+  arrival.seed = 94;
+  auto schedule = workload::ArrivalSchedule::Build(arrival);
+  bench::CheckOk(schedule.status(), "ArrivalSchedule::Build");
+  workload::OpenLoopResult open_loop;
+  const int port = server.port();
+  workload::RunOpenLoop(
+      *schedule, static_cast<unsigned>(shape.clients),
+      [&](size_t event) {
+        thread_local std::unique_ptr<tools::LineClient> connection;
+        if (connection == nullptr || !connection->connected()) {
+          connection =
+              std::make_unique<tools::LineClient>("127.0.0.1", port);
+        }
+        if (!connection->connected()) return workload::Outcome::kError;
+        std::string response;
+        if (!connection->RoundTrip(request_line(event % shape.clients,
+                                                event),
+                                   &response)) {
+          connection.reset();
+          return workload::Outcome::kError;
+        }
+        return response.find("\"ok\":true") != std::string::npos
+                   ? workload::Outcome::kOk
+                   : workload::Outcome::kError;
+      },
+      &open_loop);
+
   const serve::ServiceStats stats = service.Snapshot();
   server.Stop();
+
+  const workload::LatencyRecorder::Summary open_intended =
+      open_loop.intended.Snapshot();
+  const workload::LatencyRecorder::Summary open_service =
+      open_loop.service.Snapshot();
 
   std::string out = "{\"config\":{\"threads\":" +
                     std::to_string(bench::BenchThreads()) +
@@ -296,6 +292,16 @@ int main() {
   AppendLoadResult(&out, "in_process", in_process);
   out += ',';
   AppendLoadResult(&out, "tcp", tcp);
+  out += ",\"open_loop\":{\"target_rps\":" +
+         serve::FormatJsonDouble(arrival.target_rps) +
+         ",\"sent\":" + std::to_string(open_loop.sent) +
+         ",\"errors\":" + std::to_string(open_loop.errors) +
+         ",\"late_starts\":" + std::to_string(open_loop.late_starts) +
+         ",\"service\":{";
+  AppendSummary(&out, open_service);
+  out += "},\"intended\":{";
+  AppendSummary(&out, open_intended);
+  out += "}}";
   out += ",\"service\":{\"pairs_scored\":" +
          std::to_string(stats.pairs_scored) +
          ",\"batches\":" + std::to_string(stats.batches) +
@@ -327,6 +333,17 @@ int main() {
   };
   report.RawMetric("in_process", load_fragment(in_process));
   report.RawMetric("tcp", load_fragment(tcp));
+  auto summary_fragment =
+      [](const workload::LatencyRecorder::Summary& summary) {
+        std::string fragment = "{";
+        AppendSummary(&fragment, summary);
+        fragment += "}";
+        return fragment;
+      };
+  report.RawMetric("open_loop_service", summary_fragment(open_service));
+  report.RawMetric("open_loop_intended", summary_fragment(open_intended));
+  report.Metric("open_loop_sent", open_loop.sent);
+  report.Metric("open_loop_errors", open_loop.errors);
   report.Metric("pairs_scored", stats.pairs_scored);
   report.Metric("batches", stats.batches);
   bench::WriteJsonReport(report);

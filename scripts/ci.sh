@@ -42,6 +42,33 @@ LEAPME_THREADS=1 ctest --test-dir build --output-on-failure \
 LEAPME_THREADS=4 ctest --test-dir build --output-on-failure \
   -j "$JOBS" -L blocking
 
+# Open-loop smoke soak: a short fixed-RPS Zipf run against the serve
+# stack in catalog-index mode (LEAPME_SCALE=test keeps it to ~2s). The
+# check asserts the report parses and the outcome mix is healthy — an
+# unloaded test-scale server must answer nearly everything it is
+# offered, and transport errors mean a protocol regression, not load.
+echo "== tier 1f: open-loop smoke soak via soak_bench =="
+SMOKE_DIR="$(mktemp -d)"
+LEAPME_SCALE=test LEAPME_BENCH_DIR="$SMOKE_DIR" build/bench/soak_bench \
+  > "$SMOKE_DIR/soak.stdout"
+python3 - "$SMOKE_DIR/BENCH_soak.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+metrics = report["metrics"]
+sent = metrics["sent"]
+answered = metrics["ok"] + metrics["degraded"]
+assert sent > 0, "soak sent nothing"
+assert metrics["errors"] <= max(2, sent // 50), f"errors: {metrics['errors']}/{sent}"
+assert metrics["shed"] + metrics["deadline"] <= sent // 5, \
+    f"shed+deadline: {metrics['shed']}+{metrics['deadline']}/{sent}"
+assert answered >= (4 * sent) // 5, f"answered only {answered}/{sent}"
+assert metrics["intended"]["p99_us"] >= metrics["service"]["p99_us"], \
+    "intended clock below service clock"
+print(f"soak ok: {answered}/{sent} answered, "
+      f"intended p99 {metrics['intended']['p99_us']:.0f}us")
+PYEOF
+rm -rf "$SMOKE_DIR"
+
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   # Latency-only faults keep every serve assertion deterministic (scores
   # and framing are unchanged, just slower) while still jittering the
@@ -92,11 +119,11 @@ embedding.lookup:error:p=0.05;alloc:error:p=0.02" \
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos + blocking labels =="
+  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos + blocking + workload labels =="
   cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve|chaos|blocking'
+    -L 'parallel|serve|chaos|blocking|workload'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

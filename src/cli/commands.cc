@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "blocking/candidate_pipeline.h"
 #include "common/parallel.h"
@@ -33,8 +34,10 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  generate   write a synthetic multi-source product catalog as TSV\n"
-    "             --domain cameras|headphones|phones|tvs --sources N\n"
-    "             --entities N --seed N --out FILE\n"
+    "             --domain cameras|headphones|phones|tvs|groceries|autos\n"
+    "             --sources N --entities N --seed N --out FILE\n"
+    "             [--scale-properties N] multi-category catalog with ~N\n"
+    "             properties across all domains (ignores --domain)\n"
     "  stats      print dataset statistics           --data FILE\n"
     "  evaluate   train on a fraction of sources, report P/R/F1 on the rest\n"
     "             --data FILE [--train-fraction 0.8] [--seed 7]\n"
@@ -80,8 +83,9 @@ StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
   for (const data::DomainSpec* domain : data::AllDomains()) {
     if (domain->name == name) return domain;
   }
-  return Status::InvalidArgument("unknown domain '" + name +
-                                 "' (cameras|headphones|phones|tvs)");
+  return Status::InvalidArgument(
+      "unknown domain '" + name +
+      "' (cameras|headphones|phones|tvs|groceries|autos)");
 }
 
 /// Builds the embedding model per the flags: a GloVe-format file, a
@@ -379,9 +383,64 @@ const std::vector<std::string>& EvaluateFlags() {
 
 }  // namespace
 
+// Matching-pair count by reference grouping: C(n, 2) per reference group
+// minus the same-source pairs. Equivalent to Dataset::CountMatchingPairs
+// but linear in properties, which is what makes it usable on the
+// million-property scaled catalogs.
+size_t CountMatchingPairsGrouped(const data::Dataset& dataset) {
+  std::unordered_map<std::string, std::unordered_map<data::SourceId, size_t>>
+      groups;
+  for (const data::PropertyRecord& record : dataset.properties()) {
+    if (record.reference.empty()) continue;
+    ++groups[record.reference][record.source];
+  }
+  size_t count = 0;
+  for (const auto& [reference, by_source] : groups) {
+    size_t total = 0;
+    size_t same_source = 0;
+    for (const auto& [source, n] : by_source) {
+      total += n;
+      same_source += n * (n - 1) / 2;
+    }
+    count += total * (total - 1) / 2 - same_source;
+  }
+  return count;
+}
+
 Status RunGenerate(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(flags.CheckAllowed(
-      {"domain", "sources", "entities", "seed", "out"}));
+      {"domain", "sources", "entities", "seed", "out",
+       "scale-properties"}));
+  if (flags.Has("scale-properties")) {
+    data::ScaledCatalogOptions options;
+    LEAPME_ASSIGN_OR_RETURN(
+        const int64_t target,
+        flags.GetIntInRange("scale-properties", 1000000, 1, 100000000));
+    options.target_properties = static_cast<size_t>(target);
+    LEAPME_ASSIGN_OR_RETURN(const int64_t sources,
+                            flags.GetIntInRange("sources", 400, 2, 1 << 20));
+    options.num_sources = static_cast<size_t>(sources);
+    options.sources_per_category =
+        std::min<size_t>(options.sources_per_category, options.num_sources);
+    LEAPME_ASSIGN_OR_RETURN(const int64_t entities,
+                            flags.GetIntInRange("entities", 12, 1, 1 << 16));
+    options.entities_per_source = static_cast<size_t>(entities);
+    LEAPME_ASSIGN_OR_RETURN(
+        const int64_t seed,
+        flags.GetIntInRange("seed", 42, 0,
+                            std::numeric_limits<int64_t>::max()));
+    options.seed = static_cast<uint64_t>(seed);
+    LEAPME_ASSIGN_OR_RETURN(data::Dataset dataset,
+                            data::GenerateScaledCatalog(options));
+    std::string out = flags.GetString("out", "scaled.tsv");
+    LEAPME_RETURN_IF_ERROR(data::WriteDatasetTsv(dataset, out));
+    std::printf("wrote %s: %zu sources, %zu properties, %zu instances, "
+                "%zu matching pairs\n",
+                out.c_str(), dataset.source_count(),
+                dataset.property_count(), dataset.instance_count(),
+                CountMatchingPairsGrouped(dataset));
+    return Status::OK();
+  }
   LEAPME_ASSIGN_OR_RETURN(
       const data::DomainSpec* domain,
       DomainByName(flags.GetString("domain", "cameras")));

@@ -555,6 +555,199 @@ DomainSpec BuildTvDomain() {
   return d;
 }
 
+// The two scale-out domains (groceries, autos) back the million-property
+// synthetic catalogs of the workload engine. They are built like the four
+// paper domains — reference ontology, synonym lists with a hard tail,
+// per-source value styling — but model categories whose real-world
+// catalogs have hundreds of sources (supermarket feeds, car listing
+// sites), which is the regime the scaled generator replicates.
+
+DomainSpec BuildGroceryDomain() {
+  DomainSpec d;
+  d.name = "groceries";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Enum("brand", {"brand", "brand name", "manufacturer", "producer"},
+           {{"Nestle"}, {"Kraft"}, {"Danone"}, {"Unilever"}, {"Kellogg's"},
+            {"General Mills"}, {"Barilla"}},
+           0.95, 0.98),
+      Code("sku", {"sku", "sku code", "article number", "product code"},
+           {"GR", "SKU", "ART", "EAN"}, 6, 0.9),
+      Num("net weight",
+          {"net weight", "net content", "weight", "package weight"}, 50,
+          2500, 0, {"g", "grams", "gr"}, 0.9),
+      Price("price", {"price", "retail price", "unit price", "cost"}, 0.5,
+            49),
+      Num("calories",
+          {"calories", "energy", "calories per 100g", "energy value"}, 15,
+          650, 0, {"kcal", "kcal/100g", "calories"}, 0.85),
+      Num("fat", {"fat", "total fat", "fat content", "lipids"}, 0, 60, 1,
+          {"g", "grams", "g/100g"}, 0.8),
+      Num("carbohydrates",
+          {"carbohydrates", "total carbohydrates", "carbs", "saccharides"},
+          0, 90, 1, {"g", "grams", "g/100g"}, 0.8),
+      Num("protein", {"protein", "protein content", "proteins"}, 0, 40, 1,
+          {"g", "grams", "g/100g"}, 0.8),
+      Num("sugar", {"sugar", "sugars", "of which sugars", "sugar content"},
+          0, 70, 1, {"g", "grams", "g/100g"}, 0.7),
+      Num("salt", {"salt", "salt content", "sodium", "salt equivalent"}, 0,
+          8, 2, {"g", "grams", "mg"}, 0.7),
+      Text("ingredients",
+           {"ingredients", "ingredient list", "ingredients list",
+            "composition"},
+           {"wheat", "flour", "sugar", "palm", "oil", "cocoa", "milk",
+            "salt", "yeast", "barley", "malt", "rice", "corn", "soy",
+            "emulsifier", "lecithin", "vanilla", "hazelnut"},
+           0.75),
+      Enum("allergens",
+           {"allergens", "allergen info", "allergy advice",
+            "contains traces"},
+           {{"gluten", "contains gluten"},
+            {"milk", "contains milk"},
+            {"nuts", "may contain nuts"},
+            {"soy", "contains soy"},
+            {"none", "allergen free"}},
+           0.65),
+      Flag("organic", {"organic", "organic certified", "bio",
+                       "ecological"},
+           {"eu organic", "usda organic", "certified"}, 0.55),
+      Flag("gluten free",
+           {"gluten free", "gluten-free", "free from gluten",
+            "no gluten"},
+           {"certified", "crossed grain"}, 0.5),
+      Enum("packaging",
+           {"packaging", "packaging type", "package format", "container"},
+           {{"box", "carton"},
+            {"bag", "pouch"},
+            {"jar", "glass jar"},
+            {"can", "tin"},
+            {"bottle"}},
+           0.7),
+      Enum("country of origin",
+           {"country of origin", "origin", "made in", "produced in"},
+           {{"Italy"}, {"France"}, {"Germany"}, {"Spain"}, {"USA"},
+            {"Netherlands"}},
+           0.6),
+      Num("shelf life",
+          {"shelf life", "shelf life days", "best before",
+           "storage duration"},
+          30, 720, 0, {"days", "d", "months"}, 0.6),
+      Num("serving size",
+          {"serving size", "portion size", "serving", "portion"}, 15, 250,
+          0, {"g", "grams", "ml"}, 0.6),
+      Enum("storage",
+           {"storage", "storage instructions", "keep", "conservation"},
+           {{"ambient", "room temperature"},
+            {"refrigerated", "keep refrigerated"},
+            {"frozen", "keep frozen"},
+            {"cool and dry", "store in a cool dry place"}},
+           0.6),
+      Num("units per pack",
+          {"units per pack", "pack size", "pieces per pack", "count"}, 1,
+          24, 0, {"pcs", "pieces", "units"}, 0.55),
+  };
+  return d;
+}
+
+DomainSpec BuildAutoDomain() {
+  DomainSpec d;
+  d.name = "autos";
+  d.decoration_prefixes = CommonDecorationPrefixes();
+  d.decoration_suffixes = CommonDecorationSuffixes();
+  d.properties = {
+      Enum("make", {"make", "car make", "brand", "manufacturer"},
+           {{"Toyota"}, {"Volkswagen"}, {"Ford"}, {"BMW"}, {"Honda"},
+            {"Hyundai"}, {"Renault"}},
+           0.95, 0.98),
+      Code("model", {"model", "model name", "model code", "trim code"},
+           {"GT", "RS", "LX", "SE", "XD"}, 3, 0.95),
+      Num("year", {"year", "model year", "registration year",
+                   "first registration"},
+          2005, 2021, 0, {}, 0.9),
+      Price("price", {"price", "asking price", "list price", "cost"}, 4900,
+            89000),
+      Num("mileage", {"mileage", "odometer", "kilometers", "miles driven"},
+          0, 250000, 0, {"km", "miles", "mi"}, 0.85),
+      Enum("fuel type",
+           {"fuel type", "fuel", "engine fuel", "power source"},
+           {{"petrol", "gasoline"},
+            {"diesel"},
+            {"hybrid", "petrol hybrid"},
+            {"electric", "ev", "battery electric"},
+            {"lpg", "autogas"}},
+           0.85),
+      Enum("transmission",
+           {"transmission", "transmission type", "gearbox", "shift"},
+           {{"manual", "manual 6-speed"},
+            {"automatic", "auto"},
+            {"dual clutch", "dsg", "dct"},
+            {"cvt", "continuously variable"}},
+           0.8),
+      Num("engine displacement",
+          {"engine displacement", "displacement", "engine size",
+           "cubic capacity"},
+          900, 6200, 0, {"cc", "cm3", "l"}, 0.75),
+      Num("horsepower",
+          {"horsepower", "engine power", "power hp", "output"}, 60, 650, 0,
+          {"hp", "bhp", "ps"}, 0.8),
+      Num("torque", {"torque", "max torque", "torque nm", "twist"}, 90,
+          900, 0, {"Nm", "newton meters", "lb-ft"}, 0.6),
+      Num("doors", {"doors", "number of doors", "door count"}, 2, 5, 0,
+          {"doors", "dr"}, 0.7),
+      Num("seats", {"seats", "number of seats", "seating capacity"}, 2, 9,
+          0, {"seats", "persons"}, 0.7),
+      Enum("body type",
+           {"body type", "body style", "vehicle type", "chassis"},
+           {{"sedan", "saloon"},
+            {"hatchback"},
+            {"suv", "sport utility"},
+            {"estate", "wagon", "touring"},
+            {"coupe"},
+            {"van", "minivan"}},
+           0.8),
+      Enum("drivetrain",
+           {"drivetrain", "drive type", "driven wheels", "traction"},
+           {{"front wheel drive", "fwd"},
+            {"rear wheel drive", "rwd"},
+            {"all wheel drive", "awd", "4x4"}},
+           0.65),
+      Enum("color", {"color", "exterior color", "colour", "paint"},
+           {{"black"}, {"white"}, {"silver"}, {"blue"}, {"red"},
+            {"grey", "gray"}},
+           0.75),
+      Num("fuel economy",
+          {"fuel economy", "fuel consumption", "combined consumption",
+           "mpg"},
+          3, 15, 1, {"l/100km", "mpg", "km/l"}, 0.65),
+      Num("co2 emissions",
+          {"co2 emissions", "co2", "emissions", "carbon output"}, 0, 280,
+          0, {"g/km", "grams per km"}, 0.55),
+      Num("curb weight",
+          {"curb weight", "weight", "kerb weight", "mass"}, 850, 2800, 0,
+          {"kg", "kilograms"}, 0.65),
+      Dims("dimensions",
+           {"dimensions", "exterior dimensions", "size l x w x h",
+            "measurements"},
+           1400, 5400, 0.6),
+      Num("trunk capacity",
+          {"trunk capacity", "boot capacity", "cargo volume",
+           "luggage space"},
+          150, 800, 0, {"l", "liters", "litres"}, 0.55),
+      Num("warranty", {"warranty", "warranty period", "guarantee"}, 2, 7,
+          0, {"years", "yr", "year"}, 0.5),
+      Num("airbags", {"airbags", "number of airbags", "airbag count"}, 1,
+          10, 0, {"airbags", "bags"}, 0.5),
+      Flag("sunroof", {"sunroof", "sun roof", "panoramic roof",
+                       "moonroof"},
+           {"panoramic", "tilt and slide"}, 0.45),
+      Flag("navigation",
+           {"navigation", "navigation system", "sat nav", "gps system"},
+           {"built-in", "touchscreen", "connected"}, 0.5),
+  };
+  return d;
+}
+
 }  // namespace
 
 const DomainSpec& CameraDomain() {
@@ -577,8 +770,19 @@ const DomainSpec& TvDomain() {
   return *kDomain;
 }
 
+const DomainSpec& GroceryDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildGroceryDomain());
+  return *kDomain;
+}
+
+const DomainSpec& AutoDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildAutoDomain());
+  return *kDomain;
+}
+
 std::vector<const DomainSpec*> AllDomains() {
-  return {&CameraDomain(), &HeadphoneDomain(), &PhoneDomain(), &TvDomain()};
+  return {&CameraDomain(), &HeadphoneDomain(), &PhoneDomain(), &TvDomain(),
+          &GroceryDomain(), &AutoDomain()};
 }
 
 std::vector<embedding::SemanticCluster> DomainClusters(

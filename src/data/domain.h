@@ -93,7 +93,12 @@ const DomainSpec& HeadphoneDomain();
 const DomainSpec& PhoneDomain();
 const DomainSpec& TvDomain();
 
-/// All four domains in evaluation order.
+/// Scale-out domains used by the million-property workload catalogs
+/// (hundreds-of-sources categories: supermarket feeds, car listings).
+const DomainSpec& GroceryDomain();
+const DomainSpec& AutoDomain();
+
+/// Every domain, evaluation domains first, scale-out domains last.
 std::vector<const DomainSpec*> AllDomains();
 
 /// Builds the semantic clusters for the synthetic embedding space of

@@ -427,4 +427,117 @@ StatusOr<Dataset> GenerateCatalog(const DomainSpec& domain,
   return dataset;
 }
 
+StatusOr<Dataset> GenerateScaledCatalog(const ScaledCatalogOptions& options) {
+  if (options.num_sources < 2) {
+    return Status::InvalidArgument("need at least two sources");
+  }
+  if (options.target_properties == 0) {
+    return Status::InvalidArgument("target_properties must be positive");
+  }
+  if (options.target_properties > 100000000) {
+    return Status::InvalidArgument("target_properties too large");
+  }
+  if (options.entities_per_source == 0) {
+    return Status::InvalidArgument("entities_per_source must be positive");
+  }
+  if (options.sources_per_category < 2 ||
+      options.sources_per_category > options.num_sources) {
+    return Status::InvalidArgument(
+        "sources_per_category must be in [2, num_sources]");
+  }
+
+  const std::vector<const DomainSpec*> domains = AllDomains();
+  Rng rng(options.seed);
+  Dataset dataset("scaled");
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    dataset.AddSource(StrFormat("scaled_source_%04zu", s));
+  }
+  // Each category keeps a small private universe of products; two sources
+  // listing the same category overlap heavily in it, which is where the
+  // instance-feature matching signal comes from.
+  const size_t universe = 2 * options.entities_per_source;
+
+  for (size_t category = 0;
+       dataset.property_count() < options.target_properties; ++category) {
+    const DomainSpec& domain = *domains[category % domains.size()];
+    const size_t replica = category / domains.size();
+    const std::string tag = StrFormat("c%05zu", category);
+
+    std::vector<size_t> carrier_sources =
+        rng.SampleIndices(options.num_sources, options.sources_per_category);
+    for (size_t source_index : carrier_sources) {
+      const auto source = static_cast<SourceId>(source_index);
+      auto source_style = static_cast<NameStyle>(1 + rng.NextBounded(5));
+      std::vector<SourceProperty> carried;
+      std::set<std::string> used_names;
+
+      for (size_t r = 0; r < domain.properties.size(); ++r) {
+        const ReferenceProperty& reference = domain.properties[r];
+        if (!rng.NextBool(reference.source_prevalence)) continue;
+
+        std::string base_name = reference.surface_names[ZipfIndex(
+            rng, reference.surface_names.size())];
+        std::string name =
+            rng.NextBool(options.name_decoration_probability)
+                ? ApplyStyle(base_name, source_style, domain, rng)
+                : base_name;
+        if (used_names.count(name) > 0) name = base_name;
+        size_t disambiguator = 2;
+        while (used_names.count(name) > 0) {
+          name = StrFormat("%s %zu", base_name.c_str(), disambiguator++);
+        }
+        used_names.insert(name);
+
+        SourceProperty sp;
+        sp.reference_index = r;
+        // The category tag makes the name unique within the source (each
+        // source carries a category at most once) and gives name-token
+        // blocking a shared token that scopes candidates to the category.
+        sp.property_id = dataset.AddProperty(
+            source, tag + " " + name,
+            StrFormat("%s#%zu/%s", domain.name.c_str(), replica,
+                      reference.reference.c_str()));
+        if (const auto* numeric =
+                std::get_if<NumericValueSpec>(&reference.value)) {
+          if (!numeric->units.empty()) {
+            sp.unit_index = rng.NextBounded(numeric->units.size());
+          }
+          sp.space_before_unit = rng.NextBool(0.8);
+          sp.comma_decimal = rng.NextBool(0.15);
+        }
+        sp.enum_rendering_seed = rng.NextBounded(8);
+        sp.dimension_separator =
+            rng.NextBounded(DimensionSeparators().size());
+        sp.boolean_style = rng.NextBounded(BooleanStyles().size());
+        carried.push_back(sp);
+      }
+
+      std::vector<size_t> universe_ids =
+          rng.SampleIndices(universe, options.entities_per_source);
+      for (size_t universe_id : universe_ids) {
+        std::string entity =
+            StrFormat("%s_prod_%03zu", tag.c_str(), universe_id);
+        for (const SourceProperty& sp : carried) {
+          const ReferenceProperty& reference =
+              domain.properties[sp.reference_index];
+          if (!rng.NextBool(reference.fill_rate)) continue;
+          // The property-class key folds the category in, so replica 3 of
+          // "cameras" draws canonical values independent of replica 7's.
+          CanonicalValue canonical =
+              MakeCanonical(reference, universe_id,
+                            category * 1009 + sp.reference_index,
+                            options.seed);
+          dataset.AddInstance(
+              sp.property_id, entity,
+              RenderValue(reference, sp, canonical, rng,
+                          options.value_noise_probability));
+        }
+      }
+    }
+  }
+
+  LEAPME_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
 }  // namespace leapme::data

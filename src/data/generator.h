@@ -59,6 +59,43 @@ GeneratorOptions LowQualityOptions(size_t num_sources = 10);
 StatusOr<Dataset> GenerateCatalog(const DomainSpec& domain,
                                   const GeneratorOptions& options);
 
+/// Knobs of the scaled catalog generator: the million-property regime the
+/// workload engine soaks against. Instead of one domain's ontology per
+/// source (a few dozen properties), every source carries many *category
+/// instances* — independent replicas of the reference ontologies, the way
+/// a big-retailer feed lists cameras next to groceries next to car
+/// accessories. Property count grows as sources x categories x ontology
+/// size, so hundreds of sources reach 10^6 properties while each category
+/// keeps the per-domain matching structure intact.
+struct ScaledCatalogOptions {
+  /// Generation stops adding category instances once the catalog holds at
+  /// least this many properties.
+  size_t target_properties = 1000000;
+  /// Number of sources the categories are spread over (hundreds).
+  size_t num_sources = 400;
+  /// Entities listed per (source, category); bounds instance volume.
+  size_t entities_per_source = 12;
+  /// Sources carrying each category instance. Matches only exist between
+  /// sources listing the same category, so this is the knob for how many
+  /// cross-source positives a category contributes.
+  size_t sources_per_category = 6;
+  uint64_t seed = 42;
+  double name_decoration_probability = 0.25;
+  double value_noise_probability = 0.05;
+};
+
+/// Generates one Dataset with ~target_properties properties spread over
+/// num_sources sources.
+///
+/// Category instance c replicates domain AllDomains()[c % domains] with
+/// an independent canonical-value universe (replica index keys the value
+/// derivation), references namespaced "domain#replica/reference", and
+/// every property name prefixed with the category tag ("c00042 ...") so
+/// names stay unique per source and name-token blocking groups candidates
+/// within a category. Ground truth stays exact: two properties match iff
+/// they carry the same namespaced reference in different sources.
+StatusOr<Dataset> GenerateScaledCatalog(const ScaledCatalogOptions& options);
+
 /// Boolean renderings ("Yes"/"No", "TRUE"/"FALSE", ...) used by the
 /// generator for BooleanValueSpec, exposed so the embedding vocabulary can
 /// cover them.

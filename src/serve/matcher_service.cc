@@ -235,7 +235,9 @@ StatusOr<std::vector<double>> MatcherService::ScoreFeaturePairsBatched(
           "the %zu-pair bound",
           queue_.size(), pending.size(), options_.max_queue_pairs));
     }
+    const auto now = std::chrono::steady_clock::now();
     for (PendingPair& pair : pending) {
+      pair.enqueued = now;
       queue_.push_back(std::move(pair));
     }
   }
@@ -604,6 +606,19 @@ ServiceStats MatcherService::Snapshot() const {
   stats.deadline_exceeded = deadline_exceeded_.value();
   stats.degraded_responses = degraded_responses_.value();
   stats.faults_injected = faults::FaultInjector::Global().injected();
+  {
+    // The queue gauges pair up: depth says how much work is waiting,
+    // age says how long the head has waited — depth alone cannot tell a
+    // full-but-moving queue from a stalled one.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.queue_depth = queue_.size();
+    if (!queue_.empty()) {
+      stats.queue_age_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - queue_.front().enqueued)
+              .count());
+    }
+  }
   const LatencyRecorder::Percentiles latency = latency_.Snapshot();
   stats.latency_p50_us = latency.p50;
   stats.latency_p95_us = latency.p95;

@@ -2,6 +2,7 @@
 #define LEAPME_SERVE_MATCHER_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <list>
@@ -196,6 +197,8 @@ class MatcherService {
     /// The owning request's deadline; the batcher sheds pairs that
     /// expire while queued instead of scoring work nobody waits for.
     Deadline deadline;
+    /// Admission instant, for the queue_age_us gauge.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   /// Computes (or fetches from the LRU) the feature vector of `spec`.
@@ -234,8 +237,9 @@ class MatcherService {
   blocking::CandidatePipeline* catalog_pipeline_ = nullptr;
   std::vector<FeaturePtr> catalog_features_;
 
-  // Micro-batch queue.
-  std::mutex queue_mu_;
+  // Micro-batch queue. Mutable so the const Snapshot() can read the
+  // queue_depth/queue_age_us gauges under the lock.
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<PendingPair> queue_;
   bool stop_ = false;

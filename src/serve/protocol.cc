@@ -326,6 +326,8 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("deadline_exceeded", stats.deadline_exceeded);
   field("degraded_responses", stats.degraded_responses);
   field("faults_injected", stats.faults_injected);
+  field("queue_depth", stats.queue_depth);
+  field("queue_age_us", stats.queue_age_us);
   field("latency_samples", stats.latency_samples);
   out.append(",\"kernel\":");
   AppendJsonString(&out, stats.kernel_path);

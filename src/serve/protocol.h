@@ -146,6 +146,12 @@ struct ServiceStats {
   uint64_t deadline_exceeded = 0;
   uint64_t degraded_responses = 0;
   uint64_t faults_injected = 0;
+  /// Micro-batch queue gauges sampled at stats time: pairs currently
+  /// queued, and how long the oldest of them has been waiting (0 when
+  /// the queue is empty). Together they separate a busy-but-draining
+  /// queue (depth high, age low) from a stalled one (age climbing).
+  uint64_t queue_depth = 0;
+  uint64_t queue_age_us = 0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;

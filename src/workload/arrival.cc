@@ -1,0 +1,50 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace leapme::workload {
+
+StatusOr<ArrivalSchedule> ArrivalSchedule::Build(
+    const ArrivalOptions& options) {
+  if (!(options.target_rps > 0.0) || !std::isfinite(options.target_rps)) {
+    return Status::InvalidArgument(
+        StrFormat("target_rps must be positive, got %g",
+                  options.target_rps));
+  }
+  if (!(options.duration_s > 0.0) || !std::isfinite(options.duration_s)) {
+    return Status::InvalidArgument(
+        StrFormat("duration_s must be positive, got %g",
+                  options.duration_s));
+  }
+  const double expected =
+      std::round(options.target_rps * options.duration_s);
+  if (expected < 1.0 || expected > 1e9) {
+    return Status::InvalidArgument(StrFormat(
+        "schedule of %g events (rps %g x %gs) is out of range",
+        expected, options.target_rps, options.duration_s));
+  }
+  const auto count = static_cast<size_t>(expected);
+  const double mean_gap_ns = 1e9 / options.target_rps;
+
+  ArrivalSchedule schedule;
+  schedule.options_ = options;
+  schedule.intended_nanos_.reserve(count);
+  Rng rng(options.seed);
+  double at_ns = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    schedule.intended_nanos_.push_back(static_cast<uint64_t>(at_ns));
+    if (options.poisson) {
+      // Inverse-CDF exponential gap; 1 - u keeps the argument of log
+      // strictly positive since NextDouble() is in [0, 1).
+      at_ns += -mean_gap_ns * std::log(1.0 - rng.NextDouble());
+    } else {
+      at_ns = mean_gap_ns * static_cast<double>(i + 1);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace leapme::workload

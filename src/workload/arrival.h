@@ -1,0 +1,60 @@
+#ifndef LEAPME_WORKLOAD_ARRIVAL_H_
+#define LEAPME_WORKLOAD_ARRIVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace leapme::workload {
+
+struct ArrivalOptions {
+  /// Intended request rate. The schedule is laid out before the run
+  /// starts, so the offered load never adapts to response latency —
+  /// that is the open-loop property.
+  double target_rps = 100.0;
+  /// Schedule length in seconds; the event count is round(rps * s).
+  double duration_s = 10.0;
+  /// Poisson arrivals (exponential gaps, the memoryless traffic real
+  /// services see) when true; a metronome with exact 1/rps spacing when
+  /// false.
+  bool poisson = true;
+  /// Seeds the gap draws; a fixed seed reproduces the schedule exactly.
+  uint64_t seed = 1;
+};
+
+/// A precomputed open-loop arrival schedule: the intended send time of
+/// every request, as an offset from the run's start instant.
+///
+/// Coordinated omission is avoided by construction. A closed-loop client
+/// sends request i+1 only after response i, so a server stall silently
+/// deletes all the requests that *would* have arrived during the stall —
+/// the measured percentiles then describe traffic the server itself got
+/// to choose. Here the intended times are fixed before the run: when the
+/// run falls behind, events fire late and their latency is measured from
+/// intended_nanos(i), charging the whole backlog to the tail instead of
+/// hiding it.
+///
+/// Threads partition the schedule by stride (client t of T takes events
+/// i with i % T == t), so the union of per-thread streams is the same
+/// schedule at any thread count.
+class ArrivalSchedule {
+ public:
+  static StatusOr<ArrivalSchedule> Build(const ArrivalOptions& options);
+
+  size_t size() const { return intended_nanos_.size(); }
+
+  /// Intended send time of event `i` in nanoseconds after run start.
+  uint64_t intended_nanos(size_t i) const { return intended_nanos_[i]; }
+
+  const ArrivalOptions& options() const { return options_; }
+
+ private:
+  ArrivalOptions options_;
+  std::vector<uint64_t> intended_nanos_;
+};
+
+}  // namespace leapme::workload
+
+#endif  // LEAPME_WORKLOAD_ARRIVAL_H_

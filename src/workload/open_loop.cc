@@ -1,0 +1,95 @@
+#include "workload/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leapme::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NanosBetween(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+struct ThreadTally {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t errors = 0;
+  uint64_t late_starts = 0;
+};
+
+}  // namespace
+
+void RunOpenLoop(const ArrivalSchedule& schedule, unsigned threads,
+                 const std::function<Outcome(size_t)>& fire,
+                 OpenLoopResult* result) {
+  const size_t count = schedule.size();
+  if (count == 0) return;
+  threads = std::clamp<unsigned>(threads, 1,
+                                 static_cast<unsigned>(count));
+  const auto late_threshold_ns = static_cast<uint64_t>(
+      1e9 / schedule.options().target_rps);
+
+  std::vector<ThreadTally> tallies(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  // Fixed before the workers launch so every thread shares one origin.
+  const Clock::time_point run_start = Clock::now();
+
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadTally& tally = tallies[t];
+      for (size_t i = t; i < count; i += threads) {
+        const auto intended =
+            run_start +
+            std::chrono::nanoseconds(schedule.intended_nanos(i));
+        std::this_thread::sleep_until(intended);
+        const Clock::time_point send_start = Clock::now();
+        if (NanosBetween(intended, send_start) > late_threshold_ns) {
+          ++tally.late_starts;
+        }
+        const Outcome outcome = fire(i);
+        const Clock::time_point end = Clock::now();
+        ++tally.sent;
+        switch (outcome) {
+          case Outcome::kOk: ++tally.ok; break;
+          case Outcome::kDegraded: ++tally.degraded; break;
+          case Outcome::kShed: ++tally.shed; break;
+          case Outcome::kDeadline: ++tally.deadline; break;
+          case Outcome::kError: ++tally.errors; break;
+        }
+        // Shed and errored requests still consumed schedule capacity,
+        // so they stay in both histograms: dropping them would let an
+        // overloaded server improve its own percentiles by refusing
+        // work.
+        result->service.RecordNanos(NanosBetween(send_start, end));
+        result->intended.RecordNanos(NanosBetween(intended, end));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  result->elapsed_s =
+      static_cast<double>(NanosBetween(run_start, Clock::now())) / 1e9;
+  for (const ThreadTally& tally : tallies) {
+    result->sent += tally.sent;
+    result->ok += tally.ok;
+    result->degraded += tally.degraded;
+    result->shed += tally.shed;
+    result->deadline += tally.deadline;
+    result->errors += tally.errors;
+    result->late_starts += tally.late_starts;
+  }
+}
+
+}  // namespace leapme::workload

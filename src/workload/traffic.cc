@@ -1,0 +1,58 @@
+#include "workload/traffic.h"
+
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace leapme::workload {
+
+StatusOr<RequestSampler> RequestSampler::Build(
+    const TrafficOptions& options) {
+  if (options.catalog_size == 0) {
+    return Status::InvalidArgument("traffic needs a non-empty catalog");
+  }
+  if (options.catalog_size >
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max())) {
+    return Status::InvalidArgument("catalog too large for the sampler");
+  }
+  std::vector<uint32_t> permutation(options.catalog_size);
+  std::iota(permutation.begin(), permutation.end(), 0u);
+  Rng rng(Mix64(options.seed ^ 0x5ca1ab1e5ca1ab1eULL));
+  rng.Shuffle(permutation);
+  return RequestSampler(ZipfDistribution(options.catalog_size,
+                                         options.zipf_s),
+                        std::move(permutation), options.seed);
+}
+
+RequestSampler::RequestSampler(ZipfDistribution zipf,
+                               std::vector<uint32_t> permutation,
+                               uint64_t seed)
+    : zipf_(std::move(zipf)),
+      permutation_(std::move(permutation)),
+      seed_(seed) {}
+
+double RequestSampler::UniformAt(uint64_t stream,
+                                 size_t event_index) const {
+  const uint64_t bits = Mix64(Mix64(seed_ ^ stream) ^
+                              (static_cast<uint64_t>(event_index) + 1));
+  // Top 53 bits -> [0, 1), the same construction Rng::NextDouble uses.
+  return static_cast<double>(bits >> 11) / 9007199254740992.0;
+}
+
+size_t RequestSampler::RankAt(size_t event_index) const {
+  return zipf_.Sample(UniformAt(0x9192a3b4c5d6e7f8ULL, event_index));
+}
+
+size_t RequestSampler::PropertyAt(size_t event_index) const {
+  return permutation_[RankAt(event_index)];
+}
+
+size_t RequestSampler::PairPropertyAt(size_t event_index) const {
+  return permutation_[zipf_.Sample(
+      UniformAt(0x0f1e2d3c4b5a6978ULL, event_index))];
+}
+
+}  // namespace leapme::workload

@@ -1,0 +1,69 @@
+#ifndef LEAPME_WORKLOAD_TRAFFIC_H_
+#define LEAPME_WORKLOAD_TRAFFIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "workload/zipf.h"
+
+namespace leapme::workload {
+
+struct TrafficOptions {
+  /// Number of catalog properties traffic is drawn over.
+  size_t catalog_size = 0;
+  /// Zipf popularity exponent: 0 = uniform, ~1 = web-like skew where the
+  /// hot head hammers the serve caches.
+  double zipf_s = 1.0;
+  /// Seeds both the popularity permutation and the per-event draws.
+  uint64_t seed = 1;
+};
+
+/// Draws which catalog properties each request touches, with Zipf-skewed
+/// popularity.
+///
+/// Two determinism properties matter for benchmarking:
+///  - Popularity rank r is mapped to a property id through a seeded
+///    permutation, so the hot set is scattered across sources instead of
+///    being the first properties the generator happened to emit.
+///  - Every draw is keyed by the *event index* (hashed, then fed to the
+///    Zipf inverse CDF), not by a shared stream: client threads that
+///    partition the schedule by stride see exactly the draws a single
+///    thread would, so 1-thread and N-thread runs offer identical
+///    traffic.
+class RequestSampler {
+ public:
+  static StatusOr<RequestSampler> Build(const TrafficOptions& options);
+
+  /// The property event `i` queries (index-keyed, thread-independent).
+  size_t PropertyAt(size_t event_index) const;
+
+  /// A second, independently drawn property for pair-scoring traffic;
+  /// decorrelated from PropertyAt(event_index) by a different hash
+  /// stream. May coincide with the first draw (self-pairs are legal
+  /// scoring requests).
+  size_t PairPropertyAt(size_t event_index) const;
+
+  /// Popularity rank of event `i`'s primary draw (0 = hottest); exposed
+  /// so tests can check the empirical rank frequencies against pmf.
+  size_t RankAt(size_t event_index) const;
+
+  const ZipfDistribution& distribution() const { return zipf_; }
+
+ private:
+  RequestSampler(ZipfDistribution zipf, std::vector<uint32_t> permutation,
+                 uint64_t seed);
+
+  /// Uniform double in [0, 1) derived from (seed, stream, event index).
+  double UniformAt(uint64_t stream, size_t event_index) const;
+
+  ZipfDistribution zipf_;
+  /// permutation_[rank] = property id.
+  std::vector<uint32_t> permutation_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace leapme::workload
+
+#endif  // LEAPME_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,41 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leapme::workload {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s)
+    : s_(s > 0.0 ? s : 0.0) {
+  if (n == 0) n = 1;
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -s_);
+    total += weights[i];
+  }
+  total_weight_ = total;
+  cdf_.resize(n);
+  double running = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    running += weights[i] / total;
+    cdf_[i] = running;
+  }
+  // Guard against accumulated rounding: u just below 1.0 must still map
+  // into range, so the last step is pinned to exactly 1.
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(double u) const {
+  if (u < 0.0) u = 0.0;
+  if (u >= 1.0) return cdf_.size() - 1;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfDistribution::pmf(size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  return std::pow(static_cast<double>(i + 1), -s_) / total_weight_;
+}
+
+}  // namespace leapme::workload

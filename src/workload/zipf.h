@@ -1,0 +1,44 @@
+#ifndef LEAPME_WORKLOAD_ZIPF_H_
+#define LEAPME_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace leapme::workload {
+
+/// Zipf(s) popularity distribution over ranks 0..n-1: rank i carries mass
+/// proportional to 1/(i+1)^s. s = 0 degenerates to uniform; s around 1
+/// matches the skew of web and product-catalog traffic, where a handful
+/// of hot keys dominate and a long tail is touched rarely.
+///
+/// The distribution is a precomputed CDF (built once, O(n)), so sampling
+/// is one binary search and is trivially deterministic: Sample(u) is a
+/// pure function of u. Callers that need reproducible streams derive u
+/// from a seeded source (see RequestSampler, which derives u from the
+/// event index so draws are independent of thread count).
+class ZipfDistribution {
+ public:
+  /// `n` >= 1 ranks; negative exponents are clamped to 0 (uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Maps u in [0, 1) to a rank in [0, n). Monotone in u: small u lands
+  /// on the popular head ranks.
+  size_t Sample(double u) const;
+
+  /// Analytic probability mass of rank `i` (the normalized 1/(i+1)^s
+  /// weight); the reference tests compare empirical frequencies against.
+  double pmf(size_t i) const;
+
+  size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_ = 0.0;
+  double total_weight_ = 0.0;
+  std::vector<double> cdf_;
+};
+
+}  // namespace leapme::workload
+
+#endif  // LEAPME_WORKLOAD_ZIPF_H_

@@ -7,13 +7,15 @@
 namespace leapme::data {
 namespace {
 
-TEST(DomainTest, FourDomainsExist) {
+TEST(DomainTest, SixDomainsExist) {
   auto domains = AllDomains();
-  ASSERT_EQ(domains.size(), 4u);
+  ASSERT_EQ(domains.size(), 6u);
   EXPECT_EQ(domains[0]->name, "cameras");
   EXPECT_EQ(domains[1]->name, "headphones");
   EXPECT_EQ(domains[2]->name, "phones");
   EXPECT_EQ(domains[3]->name, "tvs");
+  EXPECT_EQ(domains[4]->name, "groceries");
+  EXPECT_EQ(domains[5]->name, "autos");
 }
 
 TEST(DomainTest, CamerasIsTheLargestDomain) {

@@ -1,0 +1,96 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leapme::workload {
+namespace {
+
+TEST(ArrivalScheduleTest, RejectsNonPositiveShapes) {
+  EXPECT_FALSE(ArrivalSchedule::Build({.target_rps = 0.0}).ok());
+  EXPECT_FALSE(ArrivalSchedule::Build({.target_rps = -5.0}).ok());
+  EXPECT_FALSE(
+      ArrivalSchedule::Build({.target_rps = 100.0, .duration_s = 0.0}).ok());
+  // rps * duration below half an event rounds to zero arrivals.
+  EXPECT_FALSE(
+      ArrivalSchedule::Build({.target_rps = 0.1, .duration_s = 1.0}).ok());
+}
+
+TEST(ArrivalScheduleTest, EventCountIsRateTimesDuration) {
+  auto schedule =
+      ArrivalSchedule::Build({.target_rps = 250.0, .duration_s = 4.0});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->size(), 1000u);
+}
+
+TEST(ArrivalScheduleTest, MetronomeSpacingIsExact) {
+  auto schedule = ArrivalSchedule::Build(
+      {.target_rps = 1000.0, .duration_s = 0.1, .poisson = false});
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->size(), 100u);
+  for (size_t i = 0; i < schedule->size(); ++i) {
+    EXPECT_EQ(schedule->intended_nanos(i), i * 1000000u);
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonGapsAverageTheMeanGap) {
+  auto schedule = ArrivalSchedule::Build(
+      {.target_rps = 500.0, .duration_s = 20.0, .poisson = true, .seed = 3});
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->size(), 10000u);
+  EXPECT_EQ(schedule->intended_nanos(0), 0u);
+  for (size_t i = 1; i < schedule->size(); ++i) {
+    EXPECT_GE(schedule->intended_nanos(i), schedule->intended_nanos(i - 1));
+  }
+  // The last intended time is the sum of n-1 exponential gaps: mean
+  // (n-1)/rps seconds, stddev sqrt(n-1)/rps — 10 sigma here is ~5% slack.
+  const double last_s =
+      static_cast<double>(schedule->intended_nanos(schedule->size() - 1)) /
+      1e9;
+  EXPECT_NEAR(last_s, 20.0, 1.0);
+  // And the gaps must actually vary — a metronome in disguise would
+  // defeat the memoryless-traffic point of the Poisson mode.
+  std::vector<uint64_t> gaps;
+  for (size_t i = 1; i < 1000; ++i) {
+    gaps.push_back(schedule->intended_nanos(i) -
+                   schedule->intended_nanos(i - 1));
+  }
+  double mean = 0.0;
+  for (const uint64_t gap : gaps) mean += static_cast<double>(gap);
+  mean /= static_cast<double>(gaps.size());
+  double variance = 0.0;
+  for (const uint64_t gap : gaps) {
+    const double d = static_cast<double>(gap) - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(gaps.size());
+  // Exponential gaps have stddev == mean; require at least half that.
+  EXPECT_GT(std::sqrt(variance), 0.5 * mean);
+}
+
+TEST(ArrivalScheduleTest, SameSeedReproducesTheSchedule) {
+  const ArrivalOptions options{
+      .target_rps = 200.0, .duration_s = 2.0, .poisson = true, .seed = 17};
+  auto a = ArrivalSchedule::Build(options);
+  auto b = ArrivalSchedule::Build(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->intended_nanos(i), b->intended_nanos(i));
+  }
+  auto c = ArrivalSchedule::Build({.target_rps = 200.0,
+                                   .duration_s = 2.0,
+                                   .poisson = true,
+                                   .seed = 18});
+  ASSERT_TRUE(c.ok());
+  size_t differences = 0;
+  for (size_t i = 1; i < c->size(); ++i) {
+    if (c->intended_nanos(i) != a->intended_nanos(i)) ++differences;
+  }
+  EXPECT_GT(differences, c->size() / 2);
+}
+
+}  // namespace
+}  // namespace leapme::workload

@@ -1,0 +1,118 @@
+#include "workload/traffic.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/arrival.h"
+
+namespace leapme::workload {
+namespace {
+
+TEST(RequestSamplerTest, RejectsEmptyCatalog) {
+  EXPECT_FALSE(RequestSampler::Build({.catalog_size = 0}).ok());
+}
+
+TEST(RequestSamplerTest, DrawsStayInsideTheCatalog) {
+  auto sampler =
+      RequestSampler::Build({.catalog_size = 37, .zipf_s = 1.0, .seed = 5});
+  ASSERT_TRUE(sampler.ok());
+  for (size_t i = 0; i < 5000; ++i) {
+    EXPECT_LT(sampler->PropertyAt(i), 37u);
+    EXPECT_LT(sampler->PairPropertyAt(i), 37u);
+    EXPECT_LT(sampler->RankAt(i), 37u);
+  }
+}
+
+TEST(RequestSamplerTest, HotRanksScatterAcrossTheCatalog) {
+  // The popularity permutation must cover every property exactly once:
+  // walking all ranks through PropertyAt's mapping (via events that hit
+  // each rank) touches each property id at most once per rank. Checked
+  // indirectly: over many events the distinct-property count approaches
+  // the catalog, which a broken (non-bijective) mapping would cap.
+  auto sampler =
+      RequestSampler::Build({.catalog_size = 64, .zipf_s = 0.0, .seed = 9});
+  ASSERT_TRUE(sampler.ok());
+  std::set<size_t> seen;
+  for (size_t i = 0; i < 20000; ++i) seen.insert(sampler->PropertyAt(i));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RequestSamplerTest, SeedChangesThePermutation) {
+  auto a =
+      RequestSampler::Build({.catalog_size = 500, .zipf_s = 1.0, .seed = 1});
+  auto b =
+      RequestSampler::Build({.catalog_size = 500, .zipf_s = 1.0, .seed = 2});
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t differences = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    if (a->PropertyAt(i) != b->PropertyAt(i)) ++differences;
+  }
+  EXPECT_GT(differences, 100u);
+}
+
+// The determinism property the open-loop runner depends on: draws are a
+// pure function of the event index, so client threads that stride over
+// the schedule (thread t takes events i % T == t) collectively offer
+// exactly the traffic a single thread would.
+TEST(RequestSamplerTest, StridePartitionReassemblesTheSingleThreadStream) {
+  auto sampler = RequestSampler::Build(
+      {.catalog_size = 1000, .zipf_s = 1.0, .seed = 42});
+  ASSERT_TRUE(sampler.ok());
+  const size_t kEvents = 4000;
+  std::vector<size_t> single(kEvents);
+  for (size_t i = 0; i < kEvents; ++i) single[i] = sampler->PropertyAt(i);
+
+  const unsigned kThreads = 4;
+  std::vector<size_t> reassembled(kEvents, ~size_t{0});
+  for (unsigned thread = 0; thread < kThreads; ++thread) {
+    for (size_t i = thread; i < kEvents; i += kThreads) {
+      reassembled[i] = sampler->PropertyAt(i);
+    }
+  }
+  EXPECT_EQ(single, reassembled);
+}
+
+TEST(RequestSamplerTest, EmpiricalRankFrequenciesTrackThePmf) {
+  auto sampler = RequestSampler::Build(
+      {.catalog_size = 200, .zipf_s = 1.0, .seed = 7});
+  ASSERT_TRUE(sampler.ok());
+  const size_t kEvents = 200000;
+  std::vector<size_t> counts(200, 0);
+  for (size_t i = 0; i < kEvents; ++i) ++counts[sampler->RankAt(i)];
+  // The head ranks carry enough mass for tight relative bounds; the
+  // deep tail is checked in aggregate.
+  double tail_mass = 0.0;
+  double tail_frequency = 0.0;
+  for (size_t rank = 0; rank < 200; ++rank) {
+    const double pmf = sampler->distribution().pmf(rank);
+    const double frequency =
+        static_cast<double>(counts[rank]) / static_cast<double>(kEvents);
+    if (rank < 10) {
+      EXPECT_NEAR(frequency, pmf, 0.1 * pmf) << "rank=" << rank;
+    } else {
+      tail_mass += pmf;
+      tail_frequency += frequency;
+    }
+  }
+  EXPECT_NEAR(tail_frequency, tail_mass, 0.02 * tail_mass);
+}
+
+TEST(RequestSamplerTest, PairDrawDecorrelatesFromPrimaryDraw) {
+  auto sampler = RequestSampler::Build(
+      {.catalog_size = 100, .zipf_s = 0.0, .seed = 11});
+  ASSERT_TRUE(sampler.ok());
+  size_t coincidences = 0;
+  const size_t kEvents = 10000;
+  for (size_t i = 0; i < kEvents; ++i) {
+    if (sampler->PropertyAt(i) == sampler->PairPropertyAt(i)) ++coincidences;
+  }
+  // Independent uniform draws over 100 properties coincide ~1% of the
+  // time; perfectly correlated streams would coincide always.
+  EXPECT_LT(coincidences, kEvents / 20);
+}
+
+}  // namespace
+}  // namespace leapme::workload

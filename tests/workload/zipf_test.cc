@@ -1,0 +1,85 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leapme::workload {
+namespace {
+
+TEST(ZipfDistributionTest, PmfSumsToOne) {
+  for (const double s : {0.0, 0.5, 1.0, 1.5}) {
+    ZipfDistribution zipf(200, s);
+    double total = 0.0;
+    for (size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(ZipfDistributionTest, ZeroExponentIsUniform) {
+  ZipfDistribution zipf(64, 0.0);
+  for (size_t i = 0; i < zipf.size(); ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 1.0 / 64.0, 1e-12);
+  }
+  // Negative exponents clamp to uniform rather than inverting the skew.
+  ZipfDistribution clamped(64, -2.0);
+  EXPECT_NEAR(clamped.pmf(0), clamped.pmf(63), 1e-12);
+}
+
+TEST(ZipfDistributionTest, PmfIsMonotoneDecreasingWhenSkewed) {
+  ZipfDistribution zipf(100, 1.0);
+  for (size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GT(zipf.pmf(i - 1), zipf.pmf(i));
+  }
+  // At s=1 over 100 ranks the head carries web-like weight: rank 0
+  // alone is ~19% of all traffic.
+  EXPECT_GT(zipf.pmf(0), 0.15);
+}
+
+TEST(ZipfDistributionTest, SampleIsMonotoneInU) {
+  ZipfDistribution zipf(50, 1.2);
+  EXPECT_EQ(zipf.Sample(0.0), 0u);
+  size_t previous = 0;
+  for (int step = 0; step <= 1000; ++step) {
+    const size_t rank = zipf.Sample(static_cast<double>(step) / 1001.0);
+    EXPECT_GE(rank, previous);
+    EXPECT_LT(rank, zipf.size());
+    previous = rank;
+  }
+  EXPECT_EQ(zipf.Sample(std::nextafter(1.0, 0.0)), zipf.size() - 1);
+}
+
+// The core frequency contract: sampling on a uniform grid of u values
+// must reproduce the analytic pmf to within grid resolution. A grid
+// (rather than random draws) makes the bound deterministic — the number
+// of grid points inside [cdf(i-1), cdf(i)) differs from n_draws * pmf(i)
+// by at most 1 on each boundary.
+TEST(ZipfDistributionTest, GridFrequenciesMatchAnalyticPmf) {
+  const size_t kRanks = 100;
+  const size_t kDraws = 100000;
+  for (const double s : {0.0, 0.8, 1.0}) {
+    ZipfDistribution zipf(kRanks, s);
+    std::vector<size_t> counts(kRanks, 0);
+    for (size_t i = 0; i < kDraws; ++i) {
+      const double u = (static_cast<double>(i) + 0.5) / kDraws;
+      ++counts[zipf.Sample(u)];
+    }
+    for (size_t rank = 0; rank < kRanks; ++rank) {
+      const double expected = static_cast<double>(kDraws) * zipf.pmf(rank);
+      EXPECT_NEAR(static_cast<double>(counts[rank]), expected, 2.0)
+          << "s=" << s << " rank=" << rank;
+    }
+  }
+}
+
+TEST(ZipfDistributionTest, SingleRankAlwaysSamplesZero) {
+  ZipfDistribution zipf(1, 1.0);
+  EXPECT_EQ(zipf.size(), 1u);
+  EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+  EXPECT_EQ(zipf.Sample(0.0), 0u);
+  EXPECT_EQ(zipf.Sample(0.999), 0u);
+}
+
+}  // namespace
+}  // namespace leapme::workload

@@ -1,0 +1,86 @@
+#ifndef LEAPME_TOOLS_LINE_CLIENT_H_
+#define LEAPME_TOOLS_LINE_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace leapme::tools {
+
+/// Blocking line-delimited client over one TCP connection, shared by the
+/// load-generation tools and benches (serve_client, serve_bench,
+/// soak_bench). Send and receive are EINTR-safe and handle partial I/O,
+/// mirroring the server's reader/writer loops.
+class LineClient {
+ public:
+  LineClient(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* out) {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *out = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  bool RoundTrip(const std::string& line, std::string* response) {
+    return SendLine(line) && ReadLine(response);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace leapme::tools
+
+#endif  // LEAPME_TOOLS_LINE_CLIENT_H_

@@ -1,29 +1,42 @@
 // Load generator and correctness checker for a running `leapme serve`.
 //
-// Opens --clients concurrent connections, each sending --requests score
-// requests of --pairs property pairs drawn from a dataset (--data TSV,
-// or a synthetic catalog generated from --domain/--sources/--entities).
-// Every response is validated: ok:true, echoed id, one score per pair,
-// all scores finite. With --model FILE the same model is additionally
-// loaded in-process and every wire score must be bit-identical to the
-// offline ScorePairsOn result (the embedding flags must match the
-// server's: --domain/--emb-dim/--seed or --embeddings).
+// Closed-loop mode (default): opens --clients concurrent connections,
+// each sending --requests score requests of --pairs property pairs drawn
+// from a dataset (--data TSV, or a synthetic catalog generated from
+// --domain/--sources/--entities). Every response is validated: ok:true,
+// echoed id, one score per pair, all scores finite. With --model FILE
+// the same model is additionally loaded in-process and every wire score
+// must be bit-identical to the offline ScorePairsOn result (the
+// embedding flags must match the server's: --domain/--emb-dim/--seed or
+// --embeddings).
+//
+// Open-loop mode (--open-loop-rps R [--duration S]): instead of a fixed
+// request count per client, requests are fired from a precomputed
+// Poisson arrival schedule at R requests/second for S seconds,
+// regardless of how fast the server answers. There are no retries —
+// every scheduled arrival is one attempt, classified as ok / degraded /
+// shed / deadline / error — and latency is reported against both the
+// send-start clock and the schedule's intended-start clock, so a server
+// that stalls shows the backlog in the intended percentiles instead of
+// silently pausing the generator (coordinated omission; DESIGN.md §15).
 //
 // Prints a summary with throughput and latency percentiles, then the
 // server's own stats line. Exits non-zero on any protocol error or
-// score mismatch.
+// score mismatch (in open-loop mode, shed / deadline / transport-error
+// outcomes are expected under overload and reported but do not fail the
+// run; only malformed replies and score mismatches do).
 //
-// Overload-aware: a reply typed Unavailable / ResourceExhausted /
-// DeadlineExceeded — or a lost connection — is retried with jittered
-// exponential backoff up to --retry-budget attempts per request,
-// honoring the server's retry_after_ms hint when one is present. A
-// response tagged "degraded":true (scored with embedding features
-// masked after an injected lookup fault) is accepted and counted but
-// exempted from the bit-exact offline comparison. This makes the tool
-// double as the fault-storm soak driver: under an armed LEAPME_FAULTS
-// server, a run passes iff every request eventually resolves to a
-// scored, degraded, or typed-error reply — never a hang or a malformed
-// line.
+// Closed-loop mode is overload-aware: a reply typed Unavailable /
+// ResourceExhausted / DeadlineExceeded — or a lost connection — is
+// retried with jittered exponential backoff up to --retry-budget
+// attempts per request, honoring the server's retry_after_ms hint when
+// one is present. A response tagged "degraded":true (scored with
+// embedding features masked after an injected lookup fault) is accepted
+// and counted but exempted from the bit-exact offline comparison. This
+// makes the tool double as the fault-storm soak driver: under an armed
+// LEAPME_FAULTS server, a run passes iff every request eventually
+// resolves to a scored, degraded, or typed-error reply — never a hang
+// or a malformed line.
 //
 // Usage:
 //   serve_client --port N [--host 127.0.0.1] [--clients 8]
@@ -31,11 +44,7 @@
 //                [--data FILE | --domain tvs] [--sources 4]
 //                [--entities 8] [--seed 7] [--emb-dim 64]
 //                [--embeddings FILE] [--retry-budget 4]
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
+//                [--open-loop-rps R] [--duration SECONDS]
 
 #include <algorithm>
 #include <atomic>
@@ -57,10 +66,15 @@
 #include "embedding/text_embedding_file.h"
 #include "core/leapme.h"
 #include "serve/json.h"
+#include "tools/line_client.h"
+#include "workload/arrival.h"
+#include "workload/latency_recorder.h"
+#include "workload/open_loop.h"
 
 namespace {
 
 using namespace leapme;
+using tools::LineClient;
 
 [[noreturn]] void Die(const std::string& message) {
   std::fprintf(stderr, "serve_client: %s\n", message.c_str());
@@ -98,66 +112,17 @@ int64_t ArgInt(const std::map<std::string, std::string>& args,
   return parsed;
 }
 
-/// Blocking line-delimited client over one TCP connection.
-class LineClient {
- public:
-  LineClient(const std::string& host, int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    sockaddr_in address = {};
-    address.sin_family = AF_INET;
-    address.sin_port = htons(static_cast<uint16_t>(port));
-    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
-        ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                  sizeof(address)) != 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
+double ArgDouble(const std::map<std::string, std::string>& args,
+                 const std::string& key, double fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    Die("--" + key + " must be a number, got '" + it->second + "'");
   }
-  ~LineClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  bool connected() const { return fd_ >= 0; }
-
-  bool SendLine(const std::string& line) {
-    std::string framed = line + "\n";
-    size_t sent = 0;
-    while (sent < framed.size()) {
-      // EINTR-safe partial-send loop, mirroring the server's writer.
-      const ssize_t n = ::send(fd_, framed.data() + sent,
-                               framed.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
-      }
-      sent += static_cast<size_t>(n);
-    }
-    return true;
-  }
-
-  bool ReadLine(std::string* out) {
-    while (true) {
-      const size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        *out = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
-      }
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
+  return parsed;
+}
 
 std::string SpecJson(const data::Dataset& dataset, data::PropertyId id) {
   std::string out = "{\"name\":";
@@ -181,6 +146,7 @@ struct SharedState {
   const data::Dataset* dataset = nullptr;
   std::vector<data::PropertyPair> pairs;
   std::vector<double> expected;  // empty without --model
+  workload::LatencyRecorder latency;
   std::atomic<uint64_t> requests_ok{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> mismatches{0};
@@ -195,10 +161,90 @@ bool RetryableCode(const std::string& code) {
          code == "DeadlineExceeded";
 }
 
-/// One client connection's worth of load; returns per-request latencies
-/// in microseconds (end-to-end, including any retries and backoff).
-std::vector<double> RunClient(SharedState& state, size_t client_index) {
-  std::vector<double> latencies;
+/// The deterministic pair-list offset request (client, request) scores,
+/// so the expected scores are known by offset in both modes.
+size_t WindowStart(const SharedState& state, size_t client_index,
+                   size_t request_index) {
+  return (client_index * 131 + request_index * state.pairs_per_request) %
+         state.pairs.size();
+}
+
+std::string RequestLine(const SharedState& state, size_t client_index,
+                        size_t request_index, int64_t id) {
+  const size_t start = WindowStart(state, client_index, request_index);
+  std::string line =
+      "{\"op\":\"score\",\"id\":" + std::to_string(id) + ",\"pairs\":[";
+  for (size_t i = 0; i < state.pairs_per_request; ++i) {
+    const auto& pair = state.pairs[(start + i) % state.pairs.size()];
+    if (i > 0) line += ',';
+    line += "{\"a\":" + SpecJson(*state.dataset, pair.a) +
+            ",\"b\":" + SpecJson(*state.dataset, pair.b) + "}";
+  }
+  line += "]}";
+  return line;
+}
+
+/// Validates a scored reply (shape, echoed id, per-pair scores, optional
+/// bit-exact offline comparison), updating the shared counters. Returns
+/// false when the reply is malformed or mismatched.
+bool CheckScoredResponse(SharedState& state, size_t client_index,
+                         size_t request_index, int64_t id,
+                         const std::string& response) {
+  auto parsed = serve::JsonValue::Parse(response);
+  const serve::JsonValue* ok = parsed.ok() ? parsed->Find("ok") : nullptr;
+  const serve::JsonValue* scores =
+      parsed.ok() ? parsed->Find("scores") : nullptr;
+  const serve::JsonValue* echoed_id =
+      parsed.ok() ? parsed->Find("id") : nullptr;
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool() ||
+      scores == nullptr || !scores->is_array() ||
+      scores->AsArray().size() != state.pairs_per_request ||
+      echoed_id == nullptr || !echoed_id->is_number() ||
+      echoed_id->AsNumber() != static_cast<double>(id)) {
+    std::fprintf(stderr, "client %zu: bad response: %s\n", client_index,
+                 response.c_str());
+    state.errors.fetch_add(1);
+    return false;
+  }
+  // A degraded response was scored with embedding features masked after
+  // an injected lookup failure: the scores are finite and well formed
+  // but intentionally differ from the full model, so they are exempt
+  // from the bit-exact offline comparison.
+  const serve::JsonValue* degraded_tag = parsed->Find("degraded");
+  const bool degraded = degraded_tag != nullptr && degraded_tag->is_bool() &&
+                        degraded_tag->AsBool();
+  if (degraded) state.degraded.fetch_add(1);
+  const size_t start = WindowStart(state, client_index, request_index);
+  bool all_match = true;
+  for (size_t i = 0; i < state.pairs_per_request; ++i) {
+    const serve::JsonValue& score = scores->AsArray()[i];
+    if (!score.is_number()) {
+      all_match = false;
+      break;
+    }
+    if (degraded || state.expected.empty()) continue;
+    const double expected =
+        state.expected[(start + i) % state.pairs.size()];
+    if (score.AsNumber() != expected) {
+      std::fprintf(stderr,
+                   "client %zu: score mismatch at pair %zu: wire %.17g "
+                   "!= offline %.17g\n",
+                   client_index, (start + i) % state.pairs.size(),
+                   score.AsNumber(), expected);
+      all_match = false;
+    }
+  }
+  if (all_match) {
+    state.requests_ok.fetch_add(1);
+  } else {
+    state.mismatches.fetch_add(1);
+  }
+  return all_match;
+}
+
+/// One closed-loop client connection's worth of load; latencies (end to
+/// end, including any retries and backoff) land in `state.latency`.
+void RunClient(SharedState& state, size_t client_index) {
   auto client = std::make_unique<LineClient>(state.host, state.port);
 
   // Deterministic per-client jitter source (xorshift64*), so runs are
@@ -225,22 +271,9 @@ std::vector<double> RunClient(SharedState& state, size_t client_index) {
   };
 
   for (size_t request = 0; request < state.requests_per_client; ++request) {
-    // Each request scores a deterministic window into the pair list, so
-    // the expected scores are known by offset.
-    const size_t start =
-        (client_index * 131 + request * state.pairs_per_request) %
-        state.pairs.size();
     const int64_t id =
         static_cast<int64_t>(client_index * 100000 + request);
-    std::string line =
-        "{\"op\":\"score\",\"id\":" + std::to_string(id) + ",\"pairs\":[";
-    for (size_t i = 0; i < state.pairs_per_request; ++i) {
-      const auto& pair = state.pairs[(start + i) % state.pairs.size()];
-      if (i > 0) line += ',';
-      line += "{\"a\":" + SpecJson(*state.dataset, pair.a) +
-              ",\"b\":" + SpecJson(*state.dataset, pair.b) + "}";
-    }
-    line += "]}";
+    const std::string line = RequestLine(state, client_index, request, id);
 
     const auto begin = std::chrono::steady_clock::now();
     std::string response;
@@ -297,68 +330,125 @@ std::vector<double> RunClient(SharedState& state, size_t client_index) {
       state.errors.fetch_add(1);
       continue;
     }
-    const auto end = std::chrono::steady_clock::now();
-    latencies.push_back(
-        std::chrono::duration<double, std::micro>(end - begin).count());
-
-    auto parsed = serve::JsonValue::Parse(response);
-    const serve::JsonValue* ok =
-        parsed.ok() ? parsed->Find("ok") : nullptr;
-    const serve::JsonValue* scores =
-        parsed.ok() ? parsed->Find("scores") : nullptr;
-    const serve::JsonValue* echoed_id =
-        parsed.ok() ? parsed->Find("id") : nullptr;
-    if (ok == nullptr || !ok->is_bool() || !ok->AsBool() ||
-        scores == nullptr || !scores->is_array() ||
-        scores->AsArray().size() != state.pairs_per_request ||
-        echoed_id == nullptr || !echoed_id->is_number() ||
-        echoed_id->AsNumber() != static_cast<double>(id)) {
-      std::fprintf(stderr, "client %zu: bad response: %s\n", client_index,
-                   response.c_str());
-      state.errors.fetch_add(1);
-      continue;
-    }
-    // A degraded response was scored with embedding features masked
-    // after an injected lookup failure: the scores are finite and well
-    // formed but intentionally differ from the full model, so they are
-    // exempt from the bit-exact offline comparison.
-    const serve::JsonValue* degraded_tag = parsed->Find("degraded");
-    const bool degraded = degraded_tag != nullptr &&
-                          degraded_tag->is_bool() && degraded_tag->AsBool();
-    if (degraded) state.degraded.fetch_add(1);
-    bool all_match = true;
-    for (size_t i = 0; i < state.pairs_per_request; ++i) {
-      const serve::JsonValue& score = scores->AsArray()[i];
-      if (!score.is_number()) {
-        all_match = false;
-        break;
-      }
-      if (degraded || state.expected.empty()) continue;
-      const double expected = state.expected[(start + i) %
-                                             state.pairs.size()];
-      if (score.AsNumber() != expected) {
-        std::fprintf(stderr,
-                     "client %zu: score mismatch at pair %zu: wire %.17g "
-                     "!= offline %.17g\n",
-                     client_index, (start + i) % state.pairs.size(),
-                     score.AsNumber(), expected);
-        all_match = false;
-      }
-    }
-    if (all_match) {
-      state.requests_ok.fetch_add(1);
-    } else {
-      state.mismatches.fetch_add(1);
-    }
+    state.latency.RecordNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count()));
+    CheckScoredResponse(state, client_index, request, id, response);
   }
-  return latencies;
 }
 
-double Percentile(std::vector<double>& sorted, double quantile) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(
-      quantile * static_cast<double>(sorted.size()));
-  return sorted[std::min(rank, sorted.size() - 1)];
+void PrintSummaryLine(const char* label,
+                      const workload::LatencyRecorder::Summary& summary) {
+  std::printf("%s p50=%.0fus p95=%.0fus p99=%.0fus p999=%.0fus "
+              "max=%.0fus\n",
+              label, summary.p50_us, summary.p95_us, summary.p99_us,
+              summary.p999_us, summary.max_us);
+}
+
+void PrintServerStats(const SharedState& state) {
+  LineClient stats_client(state.host, state.port);
+  std::string stats_line;
+  if (stats_client.connected() &&
+      stats_client.SendLine("{\"op\":\"stats\"}") &&
+      stats_client.ReadLine(&stats_line)) {
+    std::printf("server stats: %s\n", stats_line.c_str());
+  }
+}
+
+/// Open-loop run: fire the arrival schedule, one attempt per event, and
+/// report both latency clocks. Returns the process exit code.
+int RunOpenLoopMode(SharedState& state, size_t clients, double target_rps,
+                    double duration_s, uint64_t seed) {
+  workload::ArrivalOptions arrival;
+  arrival.target_rps = target_rps;
+  arrival.duration_s = duration_s;
+  arrival.seed = seed;
+  auto schedule = workload::ArrivalSchedule::Build(arrival);
+  if (!schedule.ok()) Die(schedule.status().ToString());
+
+  std::printf("serve_client: open loop, %.0f rps x %.1fs (%zu arrivals) "
+              "over %zu client threads against %s:%d\n",
+              target_rps, duration_s, schedule->size(), clients,
+              state.host.c_str(), state.port);
+
+  workload::OpenLoopResult result;
+  workload::RunOpenLoop(
+      *schedule, static_cast<unsigned>(clients),
+      [&](size_t event) {
+        thread_local std::unique_ptr<LineClient> client;
+        if (client == nullptr || !client->connected()) {
+          client = std::make_unique<LineClient>(state.host, state.port);
+        }
+        if (!client->connected()) return workload::Outcome::kError;
+        const size_t client_index = event % clients;
+        const int64_t id = static_cast<int64_t>(event);
+        std::string response;
+        if (!client->RoundTrip(RequestLine(state, client_index, event, id),
+                               &response)) {
+          client.reset();
+          return workload::Outcome::kError;
+        }
+        auto parsed = serve::JsonValue::Parse(response);
+        const serve::JsonValue* ok =
+            parsed.ok() ? parsed->Find("ok") : nullptr;
+        if (ok != nullptr && ok->is_bool() && !ok->AsBool()) {
+          const serve::JsonValue* error = parsed->Find("error");
+          const serve::JsonValue* code =
+              error != nullptr && error->is_object() ? error->Find("code")
+                                                     : nullptr;
+          const std::string name =
+              code != nullptr && code->is_string() ? code->AsString() : "";
+          if (name == "Unavailable" || name == "ResourceExhausted") {
+            return workload::Outcome::kShed;
+          }
+          if (name == "DeadlineExceeded") return workload::Outcome::kDeadline;
+          return workload::Outcome::kError;
+        }
+        const serve::JsonValue* degraded_tag =
+            parsed.ok() ? parsed->Find("degraded") : nullptr;
+        const bool degraded = degraded_tag != nullptr &&
+                              degraded_tag->is_bool() &&
+                              degraded_tag->AsBool();
+        if (!CheckScoredResponse(state, client_index, event, id, response)) {
+          return workload::Outcome::kError;
+        }
+        return degraded ? workload::Outcome::kDegraded
+                        : workload::Outcome::kOk;
+      },
+      &result);
+
+  const double achieved_rps =
+      result.elapsed_s > 0.0
+          ? static_cast<double>(result.sent) / result.elapsed_s
+          : 0.0;
+  std::printf("sent=%llu ok=%llu degraded=%llu shed=%llu deadline=%llu "
+              "errors=%llu late_starts=%llu achieved=%.0frps\n",
+              static_cast<unsigned long long>(result.sent),
+              static_cast<unsigned long long>(result.ok),
+              static_cast<unsigned long long>(result.degraded),
+              static_cast<unsigned long long>(result.shed),
+              static_cast<unsigned long long>(result.deadline),
+              static_cast<unsigned long long>(result.errors),
+              static_cast<unsigned long long>(result.late_starts),
+              achieved_rps);
+  PrintSummaryLine("latency (service)  ", result.service.Snapshot());
+  PrintSummaryLine("latency (intended) ", result.intended.Snapshot());
+  PrintServerStats(state);
+
+  // Under deliberate overload shed / deadline / dropped-connection
+  // outcomes are the server doing its job; only malformed replies and
+  // score mismatches fail the run.
+  const uint64_t malformed = state.errors.load();
+  const uint64_t mismatches = state.mismatches.load();
+  if (malformed > 0 || mismatches > 0) {
+    std::fprintf(stderr,
+                 "serve_client: %llu malformed, %llu mismatched\n",
+                 static_cast<unsigned long long>(malformed),
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -386,6 +476,12 @@ int main(int argc, char** argv) {
     Die("--retry-budget must be in [0, 64]");
   }
   state.retry_budget = static_cast<size_t>(retry_budget);
+  const double open_loop_rps = ArgDouble(args, "open-loop-rps", 0.0);
+  const double duration_s = ArgDouble(args, "duration", 5.0);
+  if (args.count("open-loop-rps") &&
+      (open_loop_rps <= 0.0 || duration_s <= 0.0)) {
+    Die("--open-loop-rps and --duration must be positive");
+  }
 
   // The request corpus: a real TSV dataset or a generated catalog.
   data::Dataset dataset("");
@@ -450,6 +546,11 @@ int main(int argc, char** argv) {
     state.expected = std::move(*expected);
   }
 
+  if (args.count("open-loop-rps")) {
+    return RunOpenLoopMode(state, clients, open_loop_rps, duration_s,
+                           static_cast<uint64_t>(ArgInt(args, "seed", 7)));
+  }
+
   std::printf("serve_client: %zu clients x %zu requests x %zu pairs "
               "against %s:%d (%zu distinct pairs%s)\n",
               clients, state.requests_per_client, state.pairs_per_request,
@@ -459,21 +560,13 @@ int main(int argc, char** argv) {
 
   const auto begin = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
-  std::vector<std::vector<double>> latencies(clients);
   for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back(
-        [&state, &latencies, c] { latencies[c] = RunClient(state, c); });
+    threads.emplace_back([&state, c] { RunClient(state, c); });
   }
   for (std::thread& thread : threads) thread.join();
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
-
-  std::vector<double> all;
-  for (const auto& slice : latencies) {
-    all.insert(all.end(), slice.begin(), slice.end());
-  }
-  std::sort(all.begin(), all.end());
 
   const uint64_t ok = state.requests_ok.load();
   const uint64_t errors = state.errors.load();
@@ -489,19 +582,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mismatches),
               static_cast<unsigned long long>(state.retries.load()),
               static_cast<unsigned long long>(state.degraded.load()));
+  const workload::LatencyRecorder::Summary summary =
+      state.latency.Snapshot();
   std::printf("throughput %.0f pairs/s, latency p50=%.0fus p95=%.0fus "
-              "p99=%.0fus\n",
-              pairs_per_sec, Percentile(all, 0.50), Percentile(all, 0.95),
-              Percentile(all, 0.99));
+              "p99=%.0fus p999=%.0fus\n",
+              pairs_per_sec, summary.p50_us, summary.p95_us, summary.p99_us,
+              summary.p999_us);
 
   // Ask the server how the run looked from its side.
-  LineClient stats_client(state.host, state.port);
-  std::string stats_line;
-  if (stats_client.connected() &&
-      stats_client.SendLine("{\"op\":\"stats\"}") &&
-      stats_client.ReadLine(&stats_line)) {
-    std::printf("server stats: %s\n", stats_line.c_str());
-  }
+  PrintServerStats(state);
 
   return (errors == 0 && mismatches == 0) ? 0 : 1;
 }
