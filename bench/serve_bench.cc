@@ -28,6 +28,7 @@
 #include "workload/arrival.h"
 #include "workload/latency_recorder.h"
 #include "workload/open_loop.h"
+#include "workload/traffic.h"
 
 namespace {
 
@@ -40,16 +41,21 @@ struct LoadShape {
   size_t requests_per_client;
   size_t pairs_per_request;
   double open_loop_duration_s;
+  /// Idle keep-alive connections held open during the phase-4 run. The
+  /// reactor's per-connection cost is just epoll registration + a small
+  /// state struct, so a 10k fleet should leave the intended-clock p99
+  /// flat relative to phase 3.
+  size_t idle_fleet;
 };
 
 LoadShape ShapeFor(eval::EvalScale scale) {
   switch (scale) {
     case eval::EvalScale::kTest:
-      return {3, 6, 2, 5, 4, 0.5};
+      return {3, 6, 2, 5, 4, 0.5, 64};
     case eval::EvalScale::kPaper:
-      return {6, 12, 8, 200, 32, 8.0};
+      return {6, 12, 8, 200, 32, 8.0, 10000};
     default:
-      return {4, 10, 8, 40, 16, 3.0};
+      return {4, 10, 8, 40, 16, 3.0, 10000};
   }
 }
 
@@ -205,8 +211,10 @@ int main() {
         }
       });
 
-  // Phase 2: the same load through the TCP front end on loopback.
-  serve::TcpServer server(&service, {.port = 0});
+  // Phase 2: the same load through the TCP front end on loopback. The
+  // deep backlog is for phase 4, whose connect waves arrive faster than
+  // single accepts.
+  serve::TcpServer server(&service, {.port = 0, .backlog = 4096});
   bench::CheckOk(server.Start(), "TcpServer::Start");
   LoadResult tcp = RunLoad(
       shape, [&](size_t client, workload::LatencyRecorder& recorder) {
@@ -272,6 +280,75 @@ int main() {
       },
       &open_loop);
 
+  // Phase 4: open-loop Zipf traffic near saturation, underneath a large
+  // fleet of idle keep-alive connections. The fleet's client half lives
+  // in a forked child (ForkedIdleFleet) so it does not share this
+  // process's RLIMIT_NOFILE budget with the server-side fds; when even
+  // the server half does not fit the limit, the fleet shrinks to what
+  // the budget allows and the achieved size is reported.
+  size_t fleet_target = shape.idle_fleet;
+  {
+    const size_t need = shape.idle_fleet + 2048;
+    const size_t available = tools::RaiseFdLimit(need);
+    if (available < need) {
+      fleet_target =
+          available > 4096 ? available - 2048 : std::min<size_t>(64, fleet_target);
+      std::fprintf(stderr,
+                   "idle fleet capped at %zu connections "
+                   "(RLIMIT_NOFILE allows %zu fds)\n",
+                   fleet_target, available);
+    }
+  }
+  tools::ForkedIdleFleet fleet("127.0.0.1", port, fleet_target,
+                               /*timeout_ms=*/30000);
+
+  // Zipf-skewed pair draws: the hot head hammers the serve-side property
+  // cache the way web-shaped traffic would.
+  auto sampler = workload::RequestSampler::Build(
+      {.catalog_size = dataset->property_count(), .zipf_s = 1.0, .seed = 95});
+  bench::CheckOk(sampler.status(), "RequestSampler::Build");
+  auto zipf_line = [&](size_t event) {
+    std::string line = "{\"op\":\"score\",\"pairs\":[";
+    for (size_t i = 0; i < shape.pairs_per_request; ++i) {
+      const size_t draw = event * shape.pairs_per_request + i;
+      if (i > 0) line += ',';
+      line += "{\"a\":" + SpecJson(specs[sampler->PropertyAt(draw)]) +
+              ",\"b\":" + SpecJson(specs[sampler->PairPropertyAt(draw)]) +
+              "}";
+    }
+    line += "]}";
+    return line;
+  };
+
+  workload::ArrivalOptions fleet_arrival;
+  fleet_arrival.target_rps = std::max(20.0, 0.9 * closed_rps);
+  fleet_arrival.duration_s = shape.open_loop_duration_s;
+  fleet_arrival.seed = 96;
+  auto fleet_schedule = workload::ArrivalSchedule::Build(fleet_arrival);
+  bench::CheckOk(fleet_schedule.status(), "ArrivalSchedule::Build");
+  workload::OpenLoopResult fleet_loop;
+  workload::RunOpenLoop(
+      *fleet_schedule, static_cast<unsigned>(shape.clients),
+      [&](size_t event) {
+        thread_local std::unique_ptr<tools::LineClient> connection;
+        if (connection == nullptr || !connection->connected()) {
+          connection =
+              std::make_unique<tools::LineClient>("127.0.0.1", port);
+        }
+        if (!connection->connected()) return workload::Outcome::kError;
+        std::string response;
+        if (!connection->RoundTrip(zipf_line(event), &response)) {
+          connection.reset();
+          return workload::Outcome::kError;
+        }
+        return response.find("\"ok\":true") != std::string::npos
+                   ? workload::Outcome::kOk
+                   : workload::Outcome::kError;
+      },
+      &fleet_loop);
+
+  // Snapshot while the fleet is still connected, so connections_active
+  // and the reactor gauges reflect the 10k-idle steady state.
   const serve::ServiceStats stats = service.Snapshot();
   server.Stop();
 
@@ -279,6 +356,10 @@ int main() {
       open_loop.intended.Snapshot();
   const workload::LatencyRecorder::Summary open_service =
       open_loop.service.Snapshot();
+  const workload::LatencyRecorder::Summary fleet_intended =
+      fleet_loop.intended.Snapshot();
+  const workload::LatencyRecorder::Summary fleet_service =
+      fleet_loop.service.Snapshot();
 
   std::string out = "{\"config\":{\"threads\":" +
                     std::to_string(bench::BenchThreads()) +
@@ -302,6 +383,28 @@ int main() {
   out += "},\"intended\":{";
   AppendSummary(&out, open_intended);
   out += "}}";
+  out += ",\"idle_fleet\":{\"connections\":" +
+         std::to_string(fleet.connected()) +
+         ",\"target_connections\":" + std::to_string(fleet_target) +
+         ",\"target_rps\":" +
+         serve::FormatJsonDouble(fleet_arrival.target_rps) +
+         ",\"sent\":" + std::to_string(fleet_loop.sent) +
+         ",\"errors\":" + std::to_string(fleet_loop.errors) +
+         ",\"late_starts\":" + std::to_string(fleet_loop.late_starts) +
+         ",\"service\":{";
+  AppendSummary(&out, fleet_service);
+  out += "},\"intended\":{";
+  AppendSummary(&out, fleet_intended);
+  out += "}}";
+  out += ",\"reactor\":{\"io_backend\":";
+  serve::AppendJsonString(&out, stats.io_backend);
+  out += ",\"event_loop_threads\":" +
+         std::to_string(stats.event_loop_threads) +
+         ",\"epoll_wakeups\":" + std::to_string(stats.epoll_wakeups) +
+         ",\"writable_backlog_bytes\":" +
+         std::to_string(stats.writable_backlog_bytes) +
+         ",\"connections_active\":" +
+         std::to_string(stats.connections_active) + "}";
   out += ",\"service\":{\"pairs_scored\":" +
          std::to_string(stats.pairs_scored) +
          ",\"batches\":" + std::to_string(stats.batches) +
@@ -344,6 +447,19 @@ int main() {
   report.RawMetric("open_loop_intended", summary_fragment(open_intended));
   report.Metric("open_loop_sent", open_loop.sent);
   report.Metric("open_loop_errors", open_loop.errors);
+  report.Metric("idle_fleet_connections", fleet.connected());
+  report.Metric("idle_fleet_target", static_cast<uint64_t>(fleet_target));
+  report.RawMetric("idle_fleet_service", summary_fragment(fleet_service));
+  report.RawMetric("idle_fleet_intended", summary_fragment(fleet_intended));
+  report.Metric("idle_fleet_sent", fleet_loop.sent);
+  report.Metric("idle_fleet_errors", fleet_loop.errors);
+  std::string backend_json;
+  serve::AppendJsonString(&backend_json, stats.io_backend);
+  report.RawMetric("io_backend", backend_json);
+  report.Metric("event_loop_threads", stats.event_loop_threads);
+  report.Metric("epoll_wakeups", stats.epoll_wakeups);
+  report.Metric("writable_backlog_bytes", stats.writable_backlog_bytes);
+  report.Metric("connections_active", stats.connections_active);
   report.Metric("pairs_scored", stats.pairs_scored);
   report.Metric("batches", stats.batches);
   bench::WriteJsonReport(report);

@@ -272,7 +272,15 @@ int main() {
       ",\"faults_injected\":" + std::to_string(stats.faults_injected) +
       ",\"queue_depth\":" + std::to_string(stats.queue_depth) +
       ",\"queue_age_us\":" + std::to_string(stats.queue_age_us) +
-      ",\"pairs_scored\":" + std::to_string(stats.pairs_scored) + "}}";
+      ",\"pairs_scored\":" + std::to_string(stats.pairs_scored) +
+      ",\"io_backend\":\"" + stats.io_backend +
+      "\",\"event_loop_threads\":" +
+      std::to_string(stats.event_loop_threads) +
+      ",\"epoll_wakeups\":" + std::to_string(stats.epoll_wakeups) +
+      ",\"writable_backlog_bytes\":" +
+      std::to_string(stats.writable_backlog_bytes) +
+      ",\"connections_active\":" +
+      std::to_string(stats.connections_active) + "}}";
   std::printf("%s\n", out.c_str());
 
   bench::JsonReport report("soak");
@@ -295,6 +303,16 @@ int main() {
   report.Metric("server_degraded_responses", stats.degraded_responses);
   report.Metric("server_faults_injected", stats.faults_injected);
   report.Metric("server_pairs_scored", stats.pairs_scored);
+  report.Metric("server_queue_depth", stats.queue_depth);
+  report.Metric("server_queue_age_us", stats.queue_age_us);
+  std::string backend_json;
+  serve::AppendJsonString(&backend_json, stats.io_backend);
+  report.RawMetric("server_io_backend", backend_json);
+  report.Metric("server_event_loop_threads", stats.event_loop_threads);
+  report.Metric("server_epoll_wakeups", stats.epoll_wakeups);
+  report.Metric("server_writable_backlog_bytes",
+                stats.writable_backlog_bytes);
+  report.Metric("server_connections_active", stats.connections_active);
   bench::WriteJsonReport(report);
   return 0;
 }

@@ -69,6 +69,44 @@ print(f"soak ok: {answered}/{sent} answered, "
 PYEOF
 rm -rf "$SMOKE_DIR"
 
+# Both I/O backends must speak the same protocol: the full run above
+# covered the epoll reactor (the default), so re-run the serve + chaos
+# labels with the thread-per-connection fallback selected through the
+# environment, and once more with the reactor pinned explicitly at a
+# multi-loop width so the selection plumbing itself is exercised.
+echo "== tier 1g: serve + chaos labels on both io backends =="
+LEAPME_IO_BACKEND=threaded ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L 'serve|chaos'
+LEAPME_IO_BACKEND=epoll LEAPME_EVENT_LOOP_THREADS=2 \
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L 'serve|chaos'
+
+# serve_bench's idle-fleet phase end to end (LEAPME_SCALE=test keeps the
+# fleet small and the open-loop runs short): the report must carry the
+# reactor gauges and the idle-fleet intended-clock latency, or dashboards
+# tracking them silently go blank.
+echo "== tier 1h: serve_bench idle-fleet phase + reactor gauge fields =="
+SERVE_DIR="$(mktemp -d)"
+LEAPME_SCALE=test LEAPME_BENCH_DIR="$SERVE_DIR" build/bench/serve_bench \
+  > "$SERVE_DIR/serve.stdout"
+python3 - "$SERVE_DIR/BENCH_serve.json" <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))["metrics"]
+for field in ("io_backend", "event_loop_threads", "epoll_wakeups",
+              "writable_backlog_bytes", "connections_active",
+              "idle_fleet_connections", "idle_fleet_target",
+              "idle_fleet_service", "idle_fleet_intended"):
+    assert field in metrics, f"BENCH_serve.json missing {field}"
+assert metrics["io_backend"] == "epoll", metrics["io_backend"]
+assert metrics["event_loop_threads"] >= 1, metrics["event_loop_threads"]
+assert metrics["idle_fleet_connections"] > 0, "idle fleet never connected"
+assert metrics["idle_fleet_intended"]["latency_p99_us"] > 0, \
+    "no intended-clock latency recorded under the idle fleet"
+print(f"serve bench ok: {metrics['idle_fleet_connections']} idle conns, "
+      f"idle-fleet intended p99 "
+      f"{metrics['idle_fleet_intended']['latency_p99_us']:.0f}us")
+PYEOF
+rm -rf "$SERVE_DIR"
+
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   # Latency-only faults keep every serve assertion deterministic (scores
   # and framing are unchanged, just slower) while still jittering the
@@ -124,6 +162,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -L 'parallel|serve|chaos|blocking|workload'
+  # Idle-fleet smoke under TSan: the 10k keep-alive test already ran as
+  # part of the serve label above; re-run it by name so a label
+  # reshuffle cannot silently drop it from the sanitizer tier.
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'TenThousandIdleConnectionsStayResponsive'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

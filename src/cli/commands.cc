@@ -72,6 +72,10 @@ constexpr const char* kUsage =
     "             accepts get one Unavailable reply and a close)\n"
     "             [--max-queue 65536] (admission-queue bound in pairs;\n"
     "             0 = unbounded; overflow gets ResourceExhausted)\n"
+    "             [--io-backend epoll|threaded] (default epoll, or\n"
+    "             $LEAPME_IO_BACKEND; threaded = legacy 1 thread/conn)\n"
+    "             [--event-loop-threads 1] (epoll reactor loops, or\n"
+    "             $LEAPME_EVENT_LOOP_THREADS)\n"
     "             [--index-data FILE] (load a catalog, build the blocker\n"
     "             index once, and answer index_match requests that score\n"
     "             one property against blocked catalog candidates)\n"
@@ -630,7 +634,7 @@ Status RunServe(const Flags& flags) {
       {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
        "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed",
        "deadline-ms", "max-connections", "max-queue", "index-data",
-       "blocking"}));
+       "blocking", "io-backend", "event-loop-threads"}));
   if (!flags.Has("model")) {
     return Status::InvalidArgument("--model FILE is required");
   }
@@ -711,12 +715,26 @@ Status RunServe(const Flags& flags) {
   server_options.port = static_cast<int>(port);
   server_options.deadline_ms = deadline_ms;
   server_options.max_connections = static_cast<size_t>(max_connections);
+  if (flags.Has("io-backend")) {
+    LEAPME_ASSIGN_OR_RETURN(
+        server_options.io_backend,
+        serve::ParseIoBackend(flags.GetString("io-backend", "epoll")));
+  }
+  LEAPME_ASSIGN_OR_RETURN(
+      const int64_t event_loop_threads,
+      flags.GetIntInRange("event-loop-threads",
+                          static_cast<int64_t>(
+                              server_options.event_loop_threads),
+                          1, 64));
+  server_options.event_loop_threads =
+      static_cast<size_t>(event_loop_threads);
   serve::TcpServer server(service.get(), server_options);
   LEAPME_RETURN_IF_ERROR(server.Start());
   std::fprintf(stderr,
-               "leapme serve listening on %s:%d (max-batch %lld, window "
-               "%lld us); Ctrl-C to stop\n",
+               "leapme serve listening on %s:%d (backend %s, max-batch "
+               "%lld, window %lld us); Ctrl-C to stop\n",
                server_options.host.c_str(), server.port(),
+               serve::IoBackendName(server_options.io_backend),
                static_cast<long long>(max_batch),
                static_cast<long long>(batch_window_us));
   return server.ServeUntilShutdown();

@@ -607,6 +607,16 @@ ServiceStats MatcherService::Snapshot() const {
   stats.degraded_responses = degraded_responses_.value();
   stats.faults_injected = faults::FaultInjector::Global().injected();
   {
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    stats.io_backend = transport_backend_;
+    stats.event_loop_threads = transport_loops_;
+  }
+  stats.epoll_wakeups = epoll_wakeups_.value();
+  // Clamp: deltas from concurrently-flushing loops can transiently read
+  // below zero.
+  stats.writable_backlog_bytes = static_cast<uint64_t>(std::max<int64_t>(
+      writable_backlog_bytes_.load(std::memory_order_relaxed), 0));
+  {
     // The queue gauges pair up: depth says how much work is waiting,
     // age says how long the head has waited — depth alone cannot tell a
     // full-but-moving queue from a stalled one.

@@ -167,6 +167,23 @@ class MatcherService {
     request_errors_.Increment();
   }
 
+  /// Transport identification, pushed once by TcpServer::Start so the
+  /// "stats" op reports which I/O backend is serving and how many reactor
+  /// loops it runs (0 for the threaded backend).
+  void SetTransport(const std::string& io_backend,
+                    uint64_t event_loop_threads) {
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    transport_backend_ = io_backend;
+    transport_loops_ = event_loop_threads;
+  }
+  /// Reactor gauges, pushed by the epoll backend: one call per
+  /// epoll_wait return, and signed deltas tracking the total unflushed
+  /// response bytes across all per-connection output queues.
+  void OnEpollWakeup() { epoll_wakeups_.Increment(); }
+  void AddWritableBacklog(int64_t delta) {
+    writable_backlog_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
   /// All counters exposed by the "stats" op.
   ServiceStats Snapshot() const;
 
@@ -265,6 +282,13 @@ class MatcherService {
   Counter deadline_exceeded_;
   Counter degraded_responses_;
   std::atomic<uint64_t> connections_active_{0};
+  // Transport info + reactor gauges (SetTransport / OnEpollWakeup /
+  // AddWritableBacklog).
+  mutable std::mutex transport_mu_;
+  std::string transport_backend_;
+  uint64_t transport_loops_ = 0;
+  Counter epoll_wakeups_;
+  std::atomic<int64_t> writable_backlog_bytes_{0};
   LatencyRecorder latency_;
 };
 

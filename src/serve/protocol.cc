@@ -326,6 +326,11 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("deadline_exceeded", stats.deadline_exceeded);
   field("degraded_responses", stats.degraded_responses);
   field("faults_injected", stats.faults_injected);
+  out.append(",\"io_backend\":");
+  AppendJsonString(&out, stats.io_backend);
+  field("event_loop_threads", stats.event_loop_threads);
+  field("epoll_wakeups", stats.epoll_wakeups);
+  field("writable_backlog_bytes", stats.writable_backlog_bytes);
   field("queue_depth", stats.queue_depth);
   field("queue_age_us", stats.queue_age_us);
   field("latency_samples", stats.latency_samples);

@@ -146,6 +146,18 @@ struct ServiceStats {
   uint64_t deadline_exceeded = 0;
   uint64_t degraded_responses = 0;
   uint64_t faults_injected = 0;
+  /// Transport identity and reactor gauges (PR: epoll reactor backend).
+  /// `io_backend` is "epoll" or "threaded" (empty before a TcpServer
+  /// attaches), `event_loop_threads` the reactor loop count (0 for
+  /// threaded), `epoll_wakeups` cumulative epoll_wait returns across all
+  /// loops, and `writable_backlog_bytes` the response bytes currently
+  /// buffered across per-connection output queues waiting for writable
+  /// sockets — the reactor-side analogue of queue_depth for the write
+  /// path (a climbing value means peers are not keeping up with reads).
+  std::string io_backend;
+  uint64_t event_loop_threads = 0;
+  uint64_t epoll_wakeups = 0;
+  uint64_t writable_backlog_bytes = 0;
   /// Micro-batch queue gauges sampled at stats time: pairs currently
   /// queued, and how long the oldest of them has been waiting (0 when
   /// the queue is empty). Together they separate a busy-but-draining

@@ -7,36 +7,116 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/faults/fault_injector.h"
+#include "common/logging.h"
 #include "common/signal.h"
 #include "common/string_util.h"
+#include "serve/io_util.h"
 #include "serve/protocol.h"
+#include "serve/reactor_server.h"
 
 namespace leapme::serve {
 
-namespace {
-
-/// Backoff hint sent with accept-time Unavailable rejections.
-constexpr uint64_t kRejectRetryAfterMs = 50;
-
-void CloseIfOpen(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
+StatusOr<IoBackend> ParseIoBackend(const std::string& name) {
+  if (name == "epoll") {
+    return IoBackend::kEpoll;
   }
+  if (name == "threaded") {
+    return IoBackend::kThreaded;
+  }
+  return Status::InvalidArgument("unknown io backend '" + name +
+                                 "' (expected 'epoll' or 'threaded')");
 }
 
-}  // namespace
+const char* IoBackendName(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kEpoll:
+      return "epoll";
+    case IoBackend::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
 
-TcpServer::TcpServer(MatcherService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+IoBackend IoBackendFromEnv() {
+  const char* value = std::getenv("LEAPME_IO_BACKEND");
+  if (value == nullptr || *value == '\0') {
+    return IoBackend::kEpoll;
+  }
+  const StatusOr<IoBackend> parsed = ParseIoBackend(value);
+  if (!parsed.ok()) {
+    LEAPME_LOG(Warning) << "LEAPME_IO_BACKEND='" << value
+                        << "' not recognized; using epoll";
+    return IoBackend::kEpoll;
+  }
+  return parsed.value();
+}
 
-TcpServer::~TcpServer() { Stop(); }
+size_t EventLoopThreadsFromEnv() {
+  const char* value = std::getenv("LEAPME_EVENT_LOOP_THREADS");
+  if (value == nullptr || *value == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) {
+    LEAPME_LOG(Warning) << "LEAPME_EVENT_LOOP_THREADS='" << value
+                        << "' not a positive integer; using 1";
+    return 1;
+  }
+  return static_cast<size_t>(std::min<long>(parsed, 64));
+}
 
-Status TcpServer::Start() {
+namespace internal {
+
+/// The original blocking accept / thread-per-connection backend, kept
+/// selectable (`--io-backend=threaded`) for one release to de-risk the
+/// reactor migration. Wire protocol, deadline semantics, overload
+/// controls, and fault points are identical to the epoll backend.
+class ThreadedServer : public ServerImpl {
+ public:
+  ThreadedServer(MatcherService* service, const ServerOptions& options)
+      : service_(service), options_(options) {}
+  ~ThreadedServer() override { Stop(); }
+
+  Status Start() override;
+  void Stop() override;
+  int port() const override { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  bool SendLine(int fd, std::string line);
+  bool DrainBuffer(int fd, std::string& buffer, Deadline* deadline);
+  void ReapFinishedWorkers();
+
+  MatcherService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  ReserveFd reserve_fd_;
+
+  std::mutex conn_mu_;
+  uint64_t next_conn_token_ = 0;
+  std::unordered_map<uint64_t, int> conn_fds_;
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_tokens_;
+  bool started_ = false;
+};
+
+Status ThreadedServer::Start() {
   if (started_) {
     return Status::FailedPrecondition("server already started");
   }
@@ -61,6 +141,12 @@ Status TcpServer::Start() {
   const int enable = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
                sizeof(enable));
+  if (options_.sndbuf_bytes > 0) {
+    // Set on the listener so accepted sockets inherit it; tests use a
+    // tiny buffer to force writable backpressure deterministically.
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+  }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
              sizeof(address)) != 0) {
     Status status = Status::IoError(StrFormat(
@@ -89,7 +175,7 @@ Status TcpServer::Start() {
   return Status::OK();
 }
 
-void TcpServer::AcceptLoop() {
+void ThreadedServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
@@ -108,8 +194,42 @@ void TcpServer::AcceptLoop() {
     }
     const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
     if (conn_fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      const int error = errno;
+      switch (ClassifyAcceptErrno(error)) {
+        case AcceptFailure::kRetry:
+          // EINTR / ECONNABORTED / ENOBUFS...: one connection attempt
+          // failed, the listener is fine.
+          LEAPME_LOG(Warning) << "accept: " << std::strerror(error)
+                              << " (transient; continuing)";
+          continue;
+        case AcceptFailure::kOverflow: {
+          // Out of fds: momentarily give back the reserve fd so the
+          // pending connection can be accepted, told to back off, and
+          // closed — the shed contract instead of a silent stall.
+          LEAPME_LOG(Warning)
+              << "accept: " << std::strerror(error) << "; shedding";
+          reserve_fd_.Release();
+          const int shed = ::accept(listen_fd_, nullptr, nullptr);
+          if (shed >= 0) {
+            BestEffortSendLine(
+                shed, ErrorResponse(
+                          std::nullopt,
+                          Status::Unavailable(
+                              "server out of file descriptors; retry later"),
+                          kRejectRetryAfterMs));
+            service_->OnConnectionRejected();
+            ::close(shed);
+          }
+          if (!reserve_fd_.Reacquire()) {
+            LEAPME_LOG(Warning) << "accept: cannot reacquire reserve fd";
+          }
+          continue;
+        }
+        case AcceptFailure::kFatal:
+          LEAPME_LOG(Error) << "accept: " << std::strerror(error)
+                            << "; listener disabled";
+          return;
+      }
     }
     if (faults::InjectError("serve.accept")) {
       // Simulated accept failure: the connection is dropped before a
@@ -156,7 +276,7 @@ void TcpServer::AcceptLoop() {
   }
 }
 
-void TcpServer::ReapFinishedWorkers() {
+void ThreadedServer::ReapFinishedWorkers() {
   std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -177,7 +297,7 @@ void TcpServer::ReapFinishedWorkers() {
   }
 }
 
-bool TcpServer::SendLine(int fd, std::string line) {
+bool ThreadedServer::SendLine(int fd, std::string line) {
   line.push_back('\n');
   size_t sent = 0;
   while (sent < line.size()) {
@@ -208,8 +328,8 @@ bool TcpServer::SendLine(int fd, std::string line) {
   return true;
 }
 
-bool TcpServer::DrainBuffer(int fd, std::string& buffer,
-                            Deadline* deadline) {
+bool ThreadedServer::DrainBuffer(int fd, std::string& buffer,
+                                 Deadline* deadline) {
   size_t start = 0;
   while (true) {
     const size_t newline = buffer.find('\n', start);
@@ -248,7 +368,7 @@ bool TcpServer::DrainBuffer(int fd, std::string& buffer,
   return true;
 }
 
-void TcpServer::HandleConnection(int fd) {
+void ThreadedServer::HandleConnection(int fd) {
   service_->OnConnectionOpened();
   if (options_.deadline_ms > 0) {
     // Bound response writes by the request budget: a peer that stops
@@ -335,7 +455,7 @@ void TcpServer::HandleConnection(int fd) {
   service_->OnConnectionClosed();
 }
 
-void TcpServer::Stop() {
+void ThreadedServer::Stop() {
   if (!started_) {
     return;
   }
@@ -370,6 +490,50 @@ void TcpServer::Stop() {
   CloseIfOpen(listen_fd_);
   CloseIfOpen(wake_pipe_[0]);
   CloseIfOpen(wake_pipe_[1]);
+  started_ = false;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Facade
+
+TcpServer::TcpServer(MatcherService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  switch (options_.io_backend) {
+    case IoBackend::kEpoll:
+      impl_ = std::make_unique<internal::ReactorServer>(service_, options_);
+      break;
+    case IoBackend::kThreaded:
+      impl_ = std::make_unique<internal::ThreadedServer>(service_, options_);
+      break;
+  }
+  const Status status = impl_->Start();
+  if (!status.ok()) {
+    impl_.reset();
+    return status;
+  }
+  service_->SetTransport(IoBackendName(options_.io_backend),
+                         options_.io_backend == IoBackend::kEpoll
+                             ? std::max<size_t>(options_.event_loop_threads, 1)
+                             : 0);
+  started_ = true;
+  return Status::OK();
+}
+
+int TcpServer::port() const { return impl_ ? impl_->port() : -1; }
+
+void TcpServer::Stop() {
+  if (impl_) {
+    impl_->Stop();
+  }
   started_ = false;
 }
 

@@ -1,19 +1,38 @@
 #ifndef LEAPME_SERVE_TCP_SERVER_H_
 #define LEAPME_SERVE_TCP_SERVER_H_
 
-#include <atomic>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
-#include "common/deadline.h"
-#include "common/metrics.h"
 #include "common/status.h"
+#include "common/status_or.h"
 #include "serve/matcher_service.h"
 
 namespace leapme::serve {
+
+/// How the server multiplexes connections onto OS threads.
+enum class IoBackend {
+  /// Non-blocking epoll readiness loop(s) owning per-connection state
+  /// machines, with a small fixed worker pool executing requests. Scales
+  /// to tens of thousands of idle keep-alive connections (DESIGN.md §16).
+  kEpoll,
+  /// One OS thread per connection, blocking I/O — the pre-reactor
+  /// design, kept selectable for one release to de-risk the migration.
+  kThreaded,
+};
+
+/// Parses "epoll" / "threaded"; anything else is InvalidArgument.
+StatusOr<IoBackend> ParseIoBackend(const std::string& name);
+const char* IoBackendName(IoBackend backend);
+
+/// Backend selected by $LEAPME_IO_BACKEND ("epoll" | "threaded");
+/// defaults to the reactor. A malformed value logs a warning and falls
+/// back to epoll, so a typo cannot silently change serving semantics.
+IoBackend IoBackendFromEnv();
+/// Event-loop thread count from $LEAPME_EVENT_LOOP_THREADS (clamped to
+/// [1, 64]); defaults to 1 — one reactor loop drives tens of thousands
+/// of connections, more loops spread readiness work across cores.
+size_t EventLoopThreadsFromEnv();
 
 struct ServerOptions {
   /// Interface to bind; the default keeps the scorer private to the host.
@@ -28,27 +47,60 @@ struct ServerOptions {
   /// Per-request deadline in milliseconds, 0 = none. The budget starts
   /// when a request's first bytes arrive and covers the whole
   /// read -> batch -> score -> write path: a slow-trickling request line,
-  /// a queue wait, or a slow score all count against the same clock. An
-  /// expired deadline gets one typed DeadlineExceeded response and the
-  /// connection is closed (the request stream may hold a half-sent line).
+  /// a queue wait, a slow score, or a peer that stops reading the
+  /// response all count against the same clock. An expired deadline gets
+  /// one typed DeadlineExceeded response and the connection is closed
+  /// (the request stream may hold a half-sent line).
   int64_t deadline_ms = 0;
   /// Cap on concurrently served connections, 0 = unlimited. An accept
   /// past the cap is answered inline with one Unavailable error (carrying
   /// a retry_after_ms hint) and closed, so clients shed instead of
   /// queueing invisibly in the kernel backlog.
   size_t max_connections = 0;
+  /// Connection multiplexing strategy; see IoBackend.
+  IoBackend io_backend = IoBackendFromEnv();
+  /// Reactor loops (epoll backend only). Connections are assigned
+  /// round-robin to loops at accept time and stay pinned, so all state
+  /// of one connection is touched by exactly one loop thread.
+  size_t event_loop_threads = EventLoopThreadsFromEnv();
+  /// Worker threads executing requests for the reactor (epoll backend
+  /// only). Workers block in MatcherService::HandleLine (micro-batch
+  /// wait included) and post finished responses back to the owning loop,
+  /// so the loops themselves never block on scoring.
+  size_t worker_threads = 4;
+  /// SO_SNDBUF for accepted connections (0 = OS default), set on the
+  /// listening socket so accepts inherit it. Tests use a tiny buffer to
+  /// force writable backpressure deterministically.
+  int sndbuf_bytes = 0;
 };
 
-/// Line-delimited JSON scoring server: one OS thread per connection, each
-/// request line answered through MatcherService::HandleLine (which
-/// funnels all scoring into the shared micro-batcher).
+namespace internal {
+
+/// One serving backend behind the TcpServer facade. Implementations must
+/// make Stop() idempotent and callable after a failed Start().
+class ServerImpl {
+ public:
+  virtual ~ServerImpl() = default;
+  virtual Status Start() = 0;
+  virtual void Stop() = 0;
+  virtual int port() const = 0;
+};
+
+}  // namespace internal
+
+/// Line-delimited JSON scoring server. Each request line is answered
+/// through MatcherService::HandleLine (which funnels all scoring into
+/// the shared micro-batcher); how connections map onto threads is chosen
+/// by ServerOptions::io_backend — the epoll reactor by default, with the
+/// legacy thread-per-connection design selectable as a fallback. The
+/// wire protocol, deadline semantics, overload controls, and
+/// fault-injection points are identical across backends.
 ///
-/// Lifecycle: Start() binds/listens and spawns the accept loop; Stop()
-/// drains gracefully — it stops accepting, half-closes every connection
-/// (SHUT_RD), lets workers finish writing responses for requests already
-/// received, and joins all threads. Stop() is idempotent and also runs on
-/// destruction. ServeUntilShutdown() parks the caller until SIGINT /
-/// SIGTERM (or RequestShutdown()), then Stops.
+/// Lifecycle: Start() binds/listens and starts serving; Stop() drains
+/// gracefully — it stops accepting, lets requests already received
+/// finish writing their responses, and joins all threads. Stop() is
+/// idempotent and also runs on destruction. ServeUntilShutdown() parks
+/// the caller until SIGINT / SIGTERM (or RequestShutdown()), then Stops.
 class TcpServer {
  public:
   /// `service` must outlive the server.
@@ -63,7 +115,7 @@ class TcpServer {
   Status Start();
 
   /// The bound port (useful with port 0); valid after a successful Start.
-  int port() const { return port_; }
+  int port() const;
 
   /// Graceful shutdown as described above. Safe to call from any thread
   /// other than a connection worker.
@@ -74,33 +126,10 @@ class TcpServer {
   Status ServeUntilShutdown();
 
  private:
-  void AcceptLoop();
-  /// Joins workers whose connections have finished, so thread handles do
-  /// not accumulate over the lifetime of a long-running server.
-  void ReapFinishedWorkers();
-  void HandleConnection(int fd);
-  /// Handles every complete line in `buffer`, erasing consumed bytes.
-  /// `deadline` is the in-flight request's budget; it is restarted after
-  /// each answered line and cleared (infinite) when the buffer drains.
-  /// Returns false when the connection must close (oversized line, write
-  /// failure).
-  bool DrainBuffer(int fd, std::string& buffer, Deadline* deadline);
-  bool SendLine(int fd, std::string line);
-
   MatcherService* service_;
   ServerOptions options_;
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // Stop() wakes the accept poll
-  int port_ = -1;
-  std::atomic<bool> stopping_{false};
+  std::unique_ptr<internal::ServerImpl> impl_;
   bool started_ = false;
-  std::thread accept_thread_;
-
-  std::mutex conn_mu_;
-  std::unordered_map<uint64_t, int> conn_fds_;  // token -> open socket
-  std::unordered_map<uint64_t, std::thread> conn_threads_;
-  std::vector<uint64_t> finished_tokens_;  // ready to join
-  uint64_t next_conn_token_ = 0;
 };
 
 }  // namespace leapme::serve

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -435,6 +436,109 @@ TEST_F(ServeChaosTest, InjectedAcceptFaultDropsThenRecovers) {
   std::string response;
   ASSERT_TRUE(client.ReadLine(&response));
   EXPECT_EQ(response, R"({"ok":true,"op":"ping"})");
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Transport faults pinned to the epoll reactor. The tests above run on
+// the session default backend (epoll unless LEAPME_IO_BACKEND overrides
+// it, single loop); these re-run the serve.read / serve.write faults
+// explicitly on the event loop with 4 loop threads, so multi-loop
+// dispatch is always chaos-covered regardless of environment.
+
+TEST_F(ServeChaosTest, ReactorShortIoFaultsFrameCorrectlyAcrossFourLoops) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options;
+  options.io_backend = IoBackend::kEpoll;
+  options.event_loop_threads = 4;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  const auto pairs = SomePairs(4);
+  const std::vector<double> offline =
+      matcher_->ScorePairsOn(*dataset_, pairs).value();
+
+  ScopedFaults faults("serve.read:short:bytes=3;serve.write:short:bytes=5");
+  // Several connections so the round-robin spreads them over the loops;
+  // byte-capped transfers must not bleed frames between connections.
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.push_back(std::make_unique<TestClient>(server.port()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  for (int request = 0; request < 2; ++request) {
+    for (size_t c = 0; c < clients.size(); ++c) {
+      ASSERT_TRUE(clients[c]->SendLine(ScoreRequestJson(
+          *dataset_, pairs, static_cast<int64_t>(c) * 10 + request)));
+    }
+    for (size_t c = 0; c < clients.size(); ++c) {
+      std::string response;
+      ASSERT_TRUE(clients[c]->ReadLine(&response));
+      auto parsed = JsonValue::Parse(response);
+      ASSERT_TRUE(parsed.ok()) << response;
+      ASSERT_TRUE(parsed->Find("ok")->AsBool()) << response;
+      EXPECT_EQ(parsed->Find("id")->AsNumber(),
+                static_cast<double>(c) * 10 + request);
+      const auto& scores = parsed->Find("scores")->AsArray();
+      ASSERT_EQ(scores.size(), offline.size());
+      for (size_t i = 0; i < offline.size(); ++i) {
+        EXPECT_EQ(scores[i].AsNumber(), offline[i]) << "pair " << i;
+      }
+    }
+  }
+  server.Stop();
+}
+
+TEST_F(ServeChaosTest, ReactorInjectedReadErrorDropsConnectionCleanly) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options;
+  options.io_backend = IoBackend::kEpoll;
+  options.event_loop_threads = 4;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    ScopedFaults faults("serve.read:error:n=1");
+    TestClient victim(server.port());
+    ASSERT_TRUE(victim.connected());
+    ASSERT_TRUE(victim.SendLine(R"({"op":"ping","id":1})"));
+    std::string response;
+    EXPECT_FALSE(victim.ReadLine(&response));
+  }
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"op":"ping","id":2})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, R"({"id":2,"ok":true,"op":"ping"})");
+  server.Stop();
+}
+
+TEST_F(ServeChaosTest, ReactorInjectedWriteErrorDropsConnectionCleanly) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options;
+  options.io_backend = IoBackend::kEpoll;
+  options.event_loop_threads = 4;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    ScopedFaults faults("serve.write:error:n=1");
+    TestClient victim(server.port());
+    ASSERT_TRUE(victim.connected());
+    ASSERT_TRUE(victim.SendLine(R"({"op":"ping","id":1})"));
+    // The response write fails: the connection drops without the reply
+    // ever arriving — EOF, not a hang.
+    std::string response;
+    EXPECT_FALSE(victim.ReadLine(&response));
+  }
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine(R"({"op":"ping","id":2})"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, R"({"id":2,"ok":true,"op":"ping"})");
   server.Stop();
 }
 

@@ -3,11 +3,20 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace leapme::tools {
 
@@ -30,6 +39,74 @@ class LineClient {
       fd_ = -1;
     }
   }
+
+  /// Non-blocking connect bounded by `timeout_ms`: initiates the TCP
+  /// handshake without blocking, waits for writability with poll, and
+  /// checks SO_ERROR before restoring blocking mode. A fleet opener can
+  /// overlap many handshakes this way instead of paying one serial RTT
+  /// per connection. Failure (refused, timeout) leaves connected() false.
+  LineClient(const std::string& host, int port, int timeout_ms) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+      Fail();
+      return;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      if (errno != EINPROGRESS) {
+        Fail();
+        return;
+      }
+      if (!FinishConnect(timeout_ms)) {
+        Fail();
+        return;
+      }
+    }
+    // Back to blocking: SendLine/ReadLine expect blocking semantics.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+      Fail();
+    }
+  }
+
+  /// Adopts a socket whose handshake already completed (see
+  /// StartConnect), restoring blocking mode for SendLine/ReadLine.
+  explicit LineClient(int connected_fd) : fd_(connected_fd) {
+    if (fd_ < 0) return;
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+      Fail();
+    }
+  }
+
+  /// Initiates a non-blocking TCP handshake and returns the fd without
+  /// waiting for completion (-1 when the socket/address setup fails).
+  /// Fleet openers start a whole wave of these, then harvest each with
+  /// poll(POLLOUT) + SO_ERROR — the kernel completes the handshakes
+  /// concurrently while the wave is still being opened.
+  static int StartConnect(const std::string& host, int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) return -1;
+    sockaddr_in address = {};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
   ~LineClient() {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -77,8 +154,197 @@ class LineClient {
   }
 
  private:
+  bool FinishConnect(int timeout_ms) {
+    pollfd pfd = {fd_, POLLOUT, 0};
+    while (true) {
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return false;  // timeout or poll failure
+      break;
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    return ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &len) == 0 &&
+           error == 0;
+  }
+
+  void Fail() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
   int fd_ = -1;
   std::string buffer_;
+};
+
+/// Raises RLIMIT_NOFILE toward `needed` fds (hard limit too, when the
+/// process may — root can push past it up to the kernel's fs.nr_open).
+/// Returns the soft limit in effect afterwards; callers compare it
+/// against their need and skip/shrink the fleet when it falls short.
+inline size_t RaiseFdLimit(size_t needed) {
+  rlimit limit = {};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur >= needed) return static_cast<size_t>(limit.rlim_cur);
+  rlimit raised = limit;
+  raised.rlim_cur = needed;
+  if (raised.rlim_max < needed) {
+    raised.rlim_max = needed;  // only takes effect with CAP_SYS_RESOURCE
+  }
+  if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+    return needed;
+  }
+  // Could not raise the hard limit: settle for the full soft range.
+  raised.rlim_max = limit.rlim_max;
+  raised.rlim_cur = limit.rlim_max;
+  if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+    return static_cast<size_t>(raised.rlim_cur);
+  }
+  return static_cast<size_t>(limit.rlim_cur);
+}
+
+/// Opens `count` keep-alive connections with overlapped non-blocking
+/// handshakes, `batch` at a time so the server's listen backlog is never
+/// overrun within one wave. Entries that fail to connect within
+/// `timeout_ms` (per wave) are dropped, so the result can be shorter
+/// than `count` (callers decide whether a partial fleet is acceptable).
+inline std::vector<std::unique_ptr<LineClient>> ConnectFleet(
+    const std::string& host, int port, size_t count, int timeout_ms,
+    size_t batch = 256) {
+  std::vector<std::unique_ptr<LineClient>> fleet;
+  fleet.reserve(count);
+  if (batch == 0) batch = 1;
+  for (size_t opened = 0; opened < count; opened += batch) {
+    const size_t n = std::min(batch, count - opened);
+    // Initiate the whole wave before harvesting any of it: the kernel
+    // completes the n handshakes concurrently.
+    std::vector<int> fds;
+    fds.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      fds.push_back(LineClient::StartConnect(host, port));
+    }
+    const auto wave_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(timeout_ms);
+    for (int& fd : fds) {
+      if (fd < 0) continue;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          wave_deadline - std::chrono::steady_clock::now());
+      pollfd pfd = {fd, POLLOUT, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(left.count(), 0)));
+      int error = 0;
+      socklen_t len = sizeof(error);
+      if (ready <= 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+          error != 0) {
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      auto client = std::make_unique<LineClient>(fd);
+      fd = -1;  // owned by the client now
+      if (client->connected()) {
+        fleet.push_back(std::move(client));
+      }
+    }
+  }
+  return fleet;
+}
+
+/// Holds `count` idle keep-alive connections open from a forked child
+/// process, so the client half of a large fleet does not share the
+/// parent's RLIMIT_NOFILE budget with the server half. With a 20000-fd
+/// cap (and no CAP_SYS_RESOURCE to raise it), a 10k in-process loopback
+/// fleet needs >20k fds in one process — split across two, each side
+/// stays comfortably under its own limit.
+///
+/// The child connects via ConnectFleet, reports how many connections it
+/// established through a pipe, then parks until the destructor signals
+/// it (or the parent dies — the pipe EOF doubles as a dead-parent
+/// switch, so no orphan holds sockets).
+class ForkedIdleFleet {
+ public:
+  ForkedIdleFleet(const std::string& host, int port, size_t count,
+                  int timeout_ms) {
+    int to_parent[2] = {-1, -1};
+    int to_child[2] = {-1, -1};
+    if (::pipe(to_parent) != 0) return;
+    if (::pipe(to_child) != 0) {
+      ::close(to_parent[0]);
+      ::close(to_parent[1]);
+      return;
+    }
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      for (const int fd : {to_parent[0], to_parent[1], to_child[0],
+                           to_child[1]}) {
+        ::close(fd);
+      }
+      return;
+    }
+    if (pid_ == 0) {
+      ::close(to_parent[0]);
+      ::close(to_child[1]);
+      RaiseFdLimit(count + 64);
+      auto fleet = ConnectFleet(host, port, count, timeout_ms);
+      const uint64_t connected = fleet.size();
+      size_t sent = 0;
+      while (sent < sizeof(connected)) {
+        const ssize_t n =
+            ::write(to_parent[1],
+                    reinterpret_cast<const char*>(&connected) + sent,
+                    sizeof(connected) - sent);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          break;
+        }
+        sent += static_cast<size_t>(n);
+      }
+      char byte;
+      while (::read(to_child[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      ::_exit(0);  // closes the whole fleet at once
+    }
+    ::close(to_parent[1]);
+    ::close(to_child[0]);
+    report_fd_ = to_parent[0];
+    signal_fd_ = to_child[1];
+    uint64_t reported = 0;
+    size_t got = 0;
+    while (got < sizeof(reported)) {
+      const ssize_t n = ::read(report_fd_,
+                               reinterpret_cast<char*>(&reported) + got,
+                               sizeof(reported) - got);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;  // child died before reporting; connected() stays 0
+      }
+      got += static_cast<size_t>(n);
+    }
+    connected_ = static_cast<size_t>(reported);
+  }
+
+  ~ForkedIdleFleet() {
+    if (signal_fd_ >= 0) ::close(signal_fd_);  // EOF tells the child to exit
+    if (report_fd_ >= 0) ::close(report_fd_);
+    if (pid_ > 0) {
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  ForkedIdleFleet(const ForkedIdleFleet&) = delete;
+  ForkedIdleFleet& operator=(const ForkedIdleFleet&) = delete;
+
+  /// Connections the child actually established (0 when the fork or the
+  /// whole fleet failed).
+  size_t connected() const { return connected_; }
+
+ private:
+  pid_t pid_ = -1;
+  int report_fd_ = -1;
+  int signal_fd_ = -1;
+  size_t connected_ = 0;
 };
 
 }  // namespace leapme::tools
