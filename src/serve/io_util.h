@@ -63,8 +63,12 @@ inline AcceptFailure ClassifyAcceptErrno(int error) {
 /// Best-effort single-response write used for inline accept-time
 /// rejections: the socket is fresh (empty send buffer), so the small
 /// write almost always completes; on EAGAIN (non-blocking fd) it waits
-/// briefly for writability rather than stalling the accept path.
-inline void BestEffortSendLine(int fd, std::string line) {
+/// up to `poll_timeout_ms` per retry for writability. A dedicated accept
+/// thread (threaded backend) can afford the default wait; an event loop
+/// must pass 0 so a rejection storm cannot stall every connection pinned
+/// to it.
+inline void BestEffortSendLine(int fd, std::string line,
+                               int poll_timeout_ms = 100) {
   line.push_back('\n');
   size_t sent = 0;
   int polls_left = 2;
@@ -79,7 +83,7 @@ inline void BestEffortSendLine(int fd, std::string line) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
         polls_left-- > 0) {
       pollfd pfd = {fd, POLLOUT, 0};
-      ::poll(&pfd, 1, /*timeout_ms=*/100);
+      ::poll(&pfd, 1, poll_timeout_ms);
       continue;
     }
     return;  // peer gone or persistently unwritable: drop the reply

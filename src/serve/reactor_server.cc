@@ -338,7 +338,8 @@ void ReactorServer::EventLoop::HandleListener() {
                           std::nullopt,
                           Status::Unavailable(
                               "server out of file descriptors; retry later"),
-                          kRejectRetryAfterMs));
+                          kRejectRetryAfterMs),
+                /*poll_timeout_ms=*/0);
             server_->service_->OnConnectionRejected();
             ::close(shed);
           }
@@ -368,13 +369,16 @@ void ReactorServer::EventLoop::HandleListener() {
       // Inline rejection: one Unavailable reply with a retry hint on the
       // fresh socket, then close — clients back off instead of piling
       // into invisible kernel queues.
+      // poll_timeout_ms 0: this runs on the event-loop thread, which must
+      // not block per rejected connection during an overload storm.
       BestEffortSendLine(
           fd, ErrorResponse(std::nullopt,
                             Status::Unavailable(StrFormat(
                                 "serving %zu connections (cap %zu); retry "
                                 "later",
                                 active, cap)),
-                            kRejectRetryAfterMs));
+                            kRejectRetryAfterMs),
+          /*poll_timeout_ms=*/0);
       server_->service_->OnConnectionRejected();
       ::close(fd);
       continue;
@@ -415,9 +419,12 @@ void ReactorServer::EventLoop::HandleEvent(Connection* conn,
 
 void ReactorServer::EventLoop::ReadFromConnection(Connection* conn) {
   if (conn->draining) {
-    // Lingering close: discard everything until the peer's FIN.
+    // Lingering close: discard everything until the peer's FIN — with the
+    // same per-wakeup round cap as the normal read path, so a peer that
+    // keeps streaming during the linger window cannot monopolize the
+    // loop. Level-triggered EPOLLIN resumes the discard next wakeup.
     char scratch[4096];
-    while (true) {
+    for (int round = 0; round < kMaxReadRoundsPerWakeup; ++round) {
       const ssize_t n = ::recv(conn->fd, scratch, sizeof(scratch), 0);
       if (n > 0) {
         continue;
@@ -431,6 +438,7 @@ void ReactorServer::EventLoop::ReadFromConnection(Connection* conn) {
       CloseConnection(conn);  // FIN (n == 0) or a real error
       return;
     }
+    return;
   }
   if (conn->peer_eof) {
     return;
@@ -636,6 +644,23 @@ void ReactorServer::EventLoop::FlushOutput(Connection* conn) {
   if (conn->backlog() == 0 && conn->close_after_flush && !conn->draining) {
     BeginLingeringClose(conn);
     return;
+  }
+  if (conn->backlog() == 0 && conn->peer_eof && conn->pending.empty() &&
+      !conn->in_flight && !conn->draining) {
+    // This flush wrote the last response of a half-closed connection
+    // (reached via EPOLLOUT after the peer's EOF); nothing more can
+    // arrive or depart.
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->backlog() == 0 && !conn->in_flight && conn->pending.empty() &&
+      conn->input.empty() && !conn->draining) {
+    // The flush left the connection fully idle: the answered request's
+    // budget is spent and no new request has started, so no clock may
+    // keep ticking (the idle keep-alive contract). This also undoes the
+    // restart OnResponse applies while the response is still queued.
+    conn->deadline = Deadline::Infinite();
+    deadlined_.erase(conn->token);
   }
   UpdateWriteInterest(conn);
 }
@@ -849,13 +874,21 @@ void ReactorServer::Stop() {
   for (auto& loop : loops_) {
     loop->RequestDrain();
   }
-  // Destroying a loop joins its thread; loops drain before the workers
-  // stop so in-flight requests can still post their completions.
-  loops_.clear();
+  // Join the loop threads so drains run to completion, but keep the
+  // EventLoop objects alive until the workers have stopped: a drain
+  // (grace expiry) or EPOLLHUP can force-close an in-flight connection
+  // and let a loop exit Run() while a worker still holds a WorkItem for
+  // it, and that worker's PostCompletion must land on a live mailbox.
+  for (auto& loop : loops_) {
+    if (loop->thread_.joinable()) {
+      loop->thread_.join();
+    }
+  }
   if (workers_) {
     workers_->Stop();
     workers_.reset();
   }
+  loops_.clear();
   CloseIfOpen(listen_fd_);
   started_ = false;
 }

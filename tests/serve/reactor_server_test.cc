@@ -1,6 +1,7 @@
 // Reactor-backend tests: line framing across arbitrary read() boundaries,
-// pipelined response ordering, slow-reader writable backpressure (with
-// the writable_backlog_bytes gauge), reactor stats fields, and a
+// pipelined response ordering, idle keep-alive surviving the request
+// deadline, slow-reader writable backpressure (with the
+// writable_backlog_bytes gauge), reactor stats fields, and a
 // 10k-idle-connection smoke — parameterized over 1 and 4 event-loop
 // threads so both the single-loop and the cross-loop paths are covered.
 
@@ -213,6 +214,32 @@ TEST_P(ReactorServerTest, PipelinedRequestsAnswerInOrder) {
     ASSERT_TRUE(client.ReadLine(&response));
     EXPECT_EQ(IdOf(response), i) << response;
   }
+  server.Stop();
+}
+
+TEST_P(ReactorServerTest, IdleKeepAliveOutlivesRequestDeadline) {
+  MatcherService service(matcher_, cached_model_);
+  ServerOptions options = ReactorOptions();
+  options.deadline_ms = 150;
+  TcpServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\",\"id\":1}"));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(IdOf(response), 1);
+
+  // The deadline is per request, not per connection: once the answer is
+  // flushed and nothing further has arrived, no clock ticks. Idling far
+  // past deadline_ms must not surface a DeadlineExceeded or a close —
+  // the next request on the same connection still round-trips.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\",\"id\":2}"));
+  ASSERT_TRUE(client.ReadLine(&response))
+      << "idle keep-alive connection was closed by the request deadline";
+  EXPECT_EQ(IdOf(response), 2);
   server.Stop();
 }
 
