@@ -1,0 +1,317 @@
+// Cache micro-benchmark: the sharded set-associative cache
+// (common/cache) against a faithful replica of the global-mutex
+// std::list LRU it replaced, at 1 and 8 threads, plus the batched
+// prefetch-wave lookup path (DESIGN.md §17).
+//
+// Workload: a hit-dominated mix (90% lookups over a resident working
+// set, 10% inserts of novel keys forcing eviction churn), the shape the
+// serving path produces once the embedding / property caches are warm.
+// Each value encodes its key index and every hit verifies it, so the
+// benchmark double-checks correctness while it measures.
+//
+// Emits BENCH_cache.json:
+//   lru_ops_per_sec_{1t,8t}, sharded_ops_per_sec_{1t,8t},
+//   sharded_batch_ops_per_sec_{1t,8t}, speedup_{1t,8t},
+//   speedup_batch_{1t,8t}
+// Honors LEAPME_SCALE=test for a quick run and LEAPME_BENCH_REPEATS
+// (default 5, median reported).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cache/sharded_cache.h"
+#include "common/rng.h"
+
+namespace leapme::bench {
+namespace {
+
+/// Replica of the retired design (see git history of
+/// embedding/caching_model.cc): one global mutex guarding an
+/// std::unordered_map index into an std::list in recency order, hits
+/// splicing their node to the front, overflow popping the back.
+class MutexLruCache {
+ public:
+  explicit MutexLruCache(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  bool Lookup(std::string_view key, uint64_t* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->value;
+    return true;
+  }
+
+  void Insert(std::string_view key, uint64_t value) {
+    Entry entry;
+    entry.key.assign(key);
+    entry.value = value;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.find(entry.key) != index_.end()) {
+      return;
+    }
+    lru_.push_front(std::move(entry));
+    index_.emplace(lru_.front().key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t value = 0;
+  };
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view key) const {
+      return std::hash<std::string_view>()(key);
+    }
+  };
+
+  const size_t capacity_;
+  std::mutex mu_;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator, Hash,
+                     std::equal_to<>>
+      index_;
+};
+
+struct WorkloadShape {
+  // Sized so the resident set outruns L2: both designs go to memory on
+  // most probes, which is exactly where a 1-line tag probe plus a
+  // prefetch wave separates from a pointer-chasing map + list splice.
+  size_t capacity = 1 << 17;
+  size_t resident_keys = 1 << 16;  // half the capacity stays hit-hot
+  size_t ops_per_thread = 200000;
+  size_t repeats = 5;
+};
+
+uint64_t ValueOf(size_t i) {
+  return static_cast<uint64_t>(i) * 2654435761u + 7;
+}
+
+/// Runs `threads` workers, each doing `ops` operations of the 90/10
+/// lookup/insert mix against `lookup`/`insert` closures, and returns
+/// aggregate operations per second. `verify_failures` counts value
+/// mismatches (must end at zero).
+double RunWorkers(
+    size_t threads, size_t ops, const std::vector<std::string>& keys,
+    std::atomic<uint64_t>* verify_failures,
+    const std::function<void(size_t tid, size_t ops,
+                             std::atomic<uint64_t>*)>& body) {
+  (void)keys;
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] { body(tid, ops, verify_failures); });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads * ops) / std::max(elapsed, 1e-9);
+}
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+}  // namespace leapme::bench
+
+int main() {
+  using namespace leapme;
+  using namespace leapme::bench;
+
+  WorkloadShape shape;
+  if (ScaleFromEnv() == eval::EvalScale::kTest) {
+    shape.capacity = 1 << 11;
+    shape.resident_keys = 1 << 10;
+    shape.ops_per_thread = 20000;
+    shape.repeats = 3;
+  }
+  if (const char* env = std::getenv("LEAPME_BENCH_REPEATS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 99) {
+      shape.repeats = static_cast<size_t>(parsed);
+    }
+  }
+
+  // Shared key table: resident keys plus a churn tail each thread walks
+  // monotonically so inserts always bring novel keys (real evictions).
+  const size_t churn_keys = shape.resident_keys;
+  std::vector<std::string> keys;
+  keys.reserve(shape.resident_keys + churn_keys);
+  // Keys sized like real cache traffic: embedding-cache keys are short
+  // vocabulary tokens that fit std::string's SSO buffer, so a key
+  // compare stays inside the already-fetched node/slot line.
+  for (size_t i = 0; i < shape.resident_keys + churn_keys; ++i) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "k%07u",
+                  static_cast<unsigned>(i % 10000000u));
+    keys.emplace_back(key);
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::atomic<uint64_t> verify_failures{0};
+
+  // One measured run of the 90/10 mix against either implementation.
+  auto measure = [&](size_t threads, auto& cache, auto lookup_one) {
+    std::vector<double> samples;
+    for (size_t repeat = 0; repeat < shape.repeats; ++repeat) {
+      samples.push_back(RunWorkers(
+          threads, shape.ops_per_thread, keys, &verify_failures,
+          [&](size_t tid, size_t ops, std::atomic<uint64_t>* failures) {
+            Rng rng(100 + 17 * tid);
+            size_t churn = tid;
+            for (size_t i = 0; i < ops; ++i) {
+              if (rng.NextInt(0, 9) < 9) {
+                const auto pick = static_cast<size_t>(
+                    rng.NextInt(0, shape.resident_keys - 1));
+                lookup_one(cache, pick, failures);
+              } else {
+                const size_t pick =
+                    shape.resident_keys + (churn % churn_keys);
+                churn += threads;
+                cache.Insert(views[pick], ValueOf(pick));
+              }
+            }
+          }));
+    }
+    return Median(std::move(samples));
+  };
+
+  auto lru_lookup = [&](MutexLruCache& cache, size_t pick,
+                        std::atomic<uint64_t>* failures) {
+    uint64_t value = 0;
+    if (cache.Lookup(views[pick], &value) && value != ValueOf(pick)) {
+      failures->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto sharded_lookup = [&](cache::ShardedCache<uint64_t>& cache,
+                            size_t pick, std::atomic<uint64_t>* failures) {
+    cache.Lookup(views[pick], [&](const uint64_t& value) {
+      if (value != ValueOf(pick)) {
+        failures->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  };
+
+  auto warm_lru = [&] {
+    auto cache = std::make_unique<MutexLruCache>(shape.capacity);
+    for (size_t i = 0; i < shape.resident_keys; ++i) {
+      cache->Insert(views[i], ValueOf(i));
+    }
+    return cache;
+  };
+  auto warm_sharded = [&] {
+    auto cache =
+        std::make_unique<cache::ShardedCache<uint64_t>>(shape.capacity, 16);
+    for (size_t i = 0; i < shape.resident_keys; ++i) {
+      cache->Insert(views[i], ValueOf(i));
+    }
+    return cache;
+  };
+
+  auto lru_1t = warm_lru();
+  const double lru_ops_1t = measure(1, *lru_1t, lru_lookup);
+  auto lru_8t = warm_lru();
+  const double lru_ops_8t = measure(8, *lru_8t, lru_lookup);
+  auto sharded_1t = warm_sharded();
+  const double sharded_ops_1t = measure(1, *sharded_1t, sharded_lookup);
+  auto sharded_8t = warm_sharded();
+  const double sharded_ops_8t = measure(8, *sharded_8t, sharded_lookup);
+
+  // Batched passes: full waves through LookupBatch, the prefetch-ahead
+  // path the scoring pipeline uses (the old LRU has no batch API — its
+  // callers issued dependent sequential probes, which is the point).
+  auto measure_batch = [&](size_t threads, auto& cache) {
+    std::vector<double> samples;
+    for (size_t repeat = 0; repeat < shape.repeats; ++repeat) {
+      samples.push_back(RunWorkers(
+          threads, shape.ops_per_thread, keys, &verify_failures,
+          [&](size_t tid, size_t ops, std::atomic<uint64_t>* failures) {
+            constexpr size_t kWave = 64;
+            Rng rng(300 + 13 * tid);
+            std::vector<std::string_view> wave(kWave);
+            std::vector<size_t> picks(kWave);
+            uint8_t found[kWave];
+            for (size_t done = 0; done + kWave <= ops; done += kWave) {
+              for (size_t i = 0; i < kWave; ++i) {
+                picks[i] = static_cast<size_t>(
+                    rng.NextInt(0, shape.resident_keys - 1));
+                wave[i] = views[picks[i]];
+              }
+              cache.LookupBatch(
+                  wave, found, [&](size_t i, const uint64_t& value) {
+                    if (value != ValueOf(picks[i])) {
+                      failures->fetch_add(1, std::memory_order_relaxed);
+                    }
+                  });
+            }
+          }));
+    }
+    return Median(std::move(samples));
+  };
+  auto sharded_batch_1 = warm_sharded();
+  const double sharded_batch_ops_1t = measure_batch(1, *sharded_batch_1);
+  auto sharded_batch_8 = warm_sharded();
+  const double sharded_batch_ops_8t = measure_batch(8, *sharded_batch_8);
+
+  if (verify_failures.load() != 0) {
+    std::fprintf(stderr, "cache_bench: %llu value mismatches\n",
+                 static_cast<unsigned long long>(verify_failures.load()));
+    return 1;
+  }
+
+  std::printf(
+      "cache_bench: capacity=%zu resident=%zu ops/thread=%zu repeats=%zu\n"
+      "  mutex-lru   1t %12.0f ops/s   8t %12.0f ops/s\n"
+      "  sharded     1t %12.0f ops/s   8t %12.0f ops/s\n"
+      "  sharded/batch 1t %10.0f ops/s   8t %12.0f ops/s\n"
+      "  speedup     1t %.2fx  8t %.2fx  batch-vs-lru 1t %.2fx  8t %.2fx\n",
+      shape.capacity, shape.resident_keys, shape.ops_per_thread,
+      shape.repeats, lru_ops_1t, lru_ops_8t, sharded_ops_1t, sharded_ops_8t,
+      sharded_batch_ops_1t, sharded_batch_ops_8t,
+      sharded_ops_1t / lru_ops_1t, sharded_ops_8t / lru_ops_8t,
+      sharded_batch_ops_1t / lru_ops_1t,
+      sharded_batch_ops_8t / lru_ops_8t);
+
+  JsonReport report("cache");
+  report.Metric("capacity", static_cast<uint64_t>(shape.capacity));
+  report.Metric("resident_keys", static_cast<uint64_t>(shape.resident_keys));
+  report.Metric("ops_per_thread",
+                static_cast<uint64_t>(shape.ops_per_thread));
+  report.Metric("repeats", static_cast<uint64_t>(shape.repeats));
+  report.Metric("lru_ops_per_sec_1t", lru_ops_1t);
+  report.Metric("lru_ops_per_sec_8t", lru_ops_8t);
+  report.Metric("sharded_ops_per_sec_1t", sharded_ops_1t);
+  report.Metric("sharded_ops_per_sec_8t", sharded_ops_8t);
+  report.Metric("sharded_batch_ops_per_sec_1t", sharded_batch_ops_1t);
+  report.Metric("sharded_batch_ops_per_sec_8t", sharded_batch_ops_8t);
+  report.Metric("speedup_1t", sharded_ops_1t / lru_ops_1t);
+  report.Metric("speedup_8t", sharded_ops_8t / lru_ops_8t);
+  report.Metric("speedup_batch_1t", sharded_batch_ops_1t / lru_ops_1t);
+  report.Metric("speedup_batch_8t", sharded_batch_ops_8t / lru_ops_8t);
+  WriteJsonReport(report);
+  return 0;
+}

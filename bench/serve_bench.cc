@@ -136,7 +136,17 @@ std::string SpecJson(const serve::PropertySpec& spec) {
 }  // namespace
 
 int main() {
-  const LoadShape shape = ShapeFor(bench::ScaleFromEnv());
+  LoadShape shape = ShapeFor(bench::ScaleFromEnv());
+  // Concurrency override for before/after comparisons at a pinned client
+  // count (e.g. the 64-client cache-contention runs), independent of the
+  // LEAPME_SCALE shape.
+  if (const char* clients_env = std::getenv("LEAPME_SERVE_CLIENTS");
+      clients_env != nullptr && *clients_env != '\0') {
+    const long parsed = std::strtol(clients_env, nullptr, 10);
+    if (parsed > 0 && parsed <= 4096) {
+      shape.clients = static_cast<size_t>(parsed);
+    }
+  }
 
   data::GeneratorOptions generator;
   generator.num_sources = shape.sources;
@@ -246,10 +256,18 @@ int main() {
   // closed-loop phases report, `intended` additionally charges the time
   // requests spent waiting behind a busy server — the difference IS the
   // coordinated omission the closed loop hides.
-  const double closed_rps =
+  double closed_rps =
       tcp.elapsed_s > 0.0
           ? static_cast<double>(tcp.requests) / tcp.elapsed_s
           : 50.0;
+  // Pin the open-loop offered rate for before/after comparisons: the
+  // default derives it from this run's measured closed-loop throughput,
+  // which makes intended-clock percentiles incomparable across builds.
+  if (const char* rps_env = std::getenv("LEAPME_SERVE_RPS");
+      rps_env != nullptr && *rps_env != '\0') {
+    const double parsed = std::strtod(rps_env, nullptr);
+    if (parsed > 0.0) closed_rps = parsed;
+  }
   workload::ArrivalOptions arrival;
   arrival.target_rps = std::max(20.0, 0.75 * closed_rps);
   arrival.duration_s = shape.open_loop_duration_s;
@@ -421,7 +439,16 @@ int main() {
          ",\"embedding_cache_hits\":" +
          std::to_string(stats.embedding_cache_hits) +
          ",\"embedding_cache_misses\":" +
-         std::to_string(stats.embedding_cache_misses) + "}}";
+         std::to_string(stats.embedding_cache_misses) +
+         ",\"embedding_cache_evictions\":" +
+         std::to_string(stats.embedding_cache_evictions) +
+         ",\"property_cache_evictions\":" +
+         std::to_string(stats.property_cache_evictions) +
+         ",\"cache_shards\":" + std::to_string(stats.cache_shards) +
+         ",\"embedding_cache_max_probe\":" +
+         std::to_string(stats.embedding_cache_max_probe) +
+         ",\"property_cache_max_probe\":" +
+         std::to_string(stats.property_cache_max_probe) + "}}";
   std::printf("%s\n", out.c_str());
 
   bench::JsonReport report("serve");
@@ -462,6 +489,15 @@ int main() {
   report.Metric("connections_active", stats.connections_active);
   report.Metric("pairs_scored", stats.pairs_scored);
   report.Metric("batches", stats.batches);
+  report.Metric("embedding_cache_hits", stats.embedding_cache_hits);
+  report.Metric("embedding_cache_misses", stats.embedding_cache_misses);
+  report.Metric("embedding_cache_evictions", stats.embedding_cache_evictions);
+  report.Metric("embedding_cache_max_probe", stats.embedding_cache_max_probe);
+  report.Metric("property_cache_hits", stats.property_cache_hits);
+  report.Metric("property_cache_misses", stats.property_cache_misses);
+  report.Metric("property_cache_evictions", stats.property_cache_evictions);
+  report.Metric("property_cache_max_probe", stats.property_cache_max_probe);
+  report.Metric("cache_shards", stats.cache_shards);
   bench::WriteJsonReport(report);
   return 0;
 }

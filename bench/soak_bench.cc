@@ -280,7 +280,20 @@ int main() {
       ",\"writable_backlog_bytes\":" +
       std::to_string(stats.writable_backlog_bytes) +
       ",\"connections_active\":" +
-      std::to_string(stats.connections_active) + "}}";
+      std::to_string(stats.connections_active) +
+      ",\"embedding_cache_hits\":" +
+      std::to_string(stats.embedding_cache_hits) +
+      ",\"embedding_cache_misses\":" +
+      std::to_string(stats.embedding_cache_misses) +
+      ",\"embedding_cache_evictions\":" +
+      std::to_string(stats.embedding_cache_evictions) +
+      ",\"property_cache_hits\":" +
+      std::to_string(stats.property_cache_hits) +
+      ",\"property_cache_misses\":" +
+      std::to_string(stats.property_cache_misses) +
+      ",\"property_cache_evictions\":" +
+      std::to_string(stats.property_cache_evictions) +
+      ",\"cache_shards\":" + std::to_string(stats.cache_shards) + "}}";
   std::printf("%s\n", out.c_str());
 
   bench::JsonReport report("soak");
@@ -313,6 +326,16 @@ int main() {
   report.Metric("server_writable_backlog_bytes",
                 stats.writable_backlog_bytes);
   report.Metric("server_connections_active", stats.connections_active);
+  report.Metric("server_embedding_cache_hits", stats.embedding_cache_hits);
+  report.Metric("server_embedding_cache_misses",
+                stats.embedding_cache_misses);
+  report.Metric("server_embedding_cache_evictions",
+                stats.embedding_cache_evictions);
+  report.Metric("server_property_cache_hits", stats.property_cache_hits);
+  report.Metric("server_property_cache_misses", stats.property_cache_misses);
+  report.Metric("server_property_cache_evictions",
+                stats.property_cache_evictions);
+  report.Metric("server_cache_shards", stats.cache_shards);
   bench::WriteJsonReport(report);
   return 0;
 }

@@ -69,16 +69,28 @@ print(f"soak ok: {answered}/{sent} answered, "
 PYEOF
 rm -rf "$SMOKE_DIR"
 
-# Both I/O backends must speak the same protocol: the full run above
-# covered the epoll reactor (the default), so re-run the serve + chaos
-# labels with the thread-per-connection fallback selected through the
-# environment, and once more with the reactor pinned explicitly at a
-# multi-loop width so the selection plumbing itself is exercised.
-echo "== tier 1g: serve + chaos labels on both io backends =="
-LEAPME_IO_BACKEND=threaded ctest --test-dir build --output-on-failure \
-  -j "$JOBS" -L 'serve|chaos'
+# The full run above covered the epoll reactor at its default single
+# loop; re-run the serve + chaos labels with the reactor pinned
+# explicitly at a multi-loop width so the selection plumbing itself is
+# exercised. (The legacy thread-per-connection backend is retired — the
+# flag parser's rejection of it is a unit test, not a CI tier.)
+echo "== tier 1g: serve + chaos labels on a multi-loop reactor =="
 LEAPME_IO_BACKEND=epoll LEAPME_EVENT_LOOP_THREADS=2 \
   ctest --test-dir build --output-on-failure -j "$JOBS" -L 'serve|chaos'
+
+# The sharded cache suite at pinned widths: single-threaded it must be a
+# drop-in LRU-alike (the equivalence tests compare against a reference),
+# and at 8 stress threads the per-shard locking and CLOCK eviction carry
+# the concurrency. A third run forces the scalar tag-probe kernel so the
+# SIMD bucket probe is proven bit-identical through the cache itself,
+# not just the kernel parity suite.
+echo "== tier 1i: cache suite at 1 and 8 threads + scalar tag probe =="
+LEAPME_CACHE_THREADS=1 ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L cache
+LEAPME_CACHE_THREADS=8 ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L cache
+LEAPME_KERNEL=scalar ctest --test-dir build --output-on-failure \
+  -j "$JOBS" -L cache
 
 # serve_bench's idle-fleet phase end to end (LEAPME_SCALE=test keeps the
 # fleet small and the open-loop runs short): the report must carry the
@@ -94,10 +106,18 @@ metrics = json.load(open(sys.argv[1]))["metrics"]
 for field in ("io_backend", "event_loop_threads", "epoll_wakeups",
               "writable_backlog_bytes", "connections_active",
               "idle_fleet_connections", "idle_fleet_target",
-              "idle_fleet_service", "idle_fleet_intended"):
+              "idle_fleet_service", "idle_fleet_intended",
+              "embedding_cache_hits", "embedding_cache_misses",
+              "embedding_cache_evictions", "embedding_cache_max_probe",
+              "property_cache_hits", "property_cache_misses",
+              "property_cache_evictions", "property_cache_max_probe",
+              "cache_shards"):
     assert field in metrics, f"BENCH_serve.json missing {field}"
 assert metrics["io_backend"] == "epoll", metrics["io_backend"]
 assert metrics["event_loop_threads"] >= 1, metrics["event_loop_threads"]
+assert metrics["cache_shards"] >= 1, metrics["cache_shards"]
+assert metrics["property_cache_hits"] + metrics["property_cache_misses"] > 0, \
+    "serve bench never touched the property cache"
 assert metrics["idle_fleet_connections"] > 0, "idle fleet never connected"
 assert metrics["idle_fleet_intended"]["latency_p99_us"] > 0, \
     "no intended-clock latency recorded under the idle fleet"
@@ -157,16 +177,21 @@ embedding.lookup:error:p=0.05;alloc:error:p=0.02" \
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos + blocking + workload labels =="
+  echo "== tier 2: ThreadSanitizer on the parallel + serve + chaos + blocking + workload + cache labels =="
   cmake -B build-tsan -S . -DLEAPME_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -L 'parallel|serve|chaos|blocking|workload'
+    -L 'parallel|serve|chaos|blocking|workload|cache'
   # Idle-fleet smoke under TSan: the 10k keep-alive test already ran as
   # part of the serve label above; re-run it by name so a label
   # reshuffle cannot silently drop it from the sanitizer tier.
   ctest --test-dir build-tsan --output-on-failure \
     -R 'TenThousandIdleConnectionsStayResponsive'
+  # Same insurance for the sharded-cache stress test: many threads
+  # hammering overlapping keys across shards is exactly the shape TSan
+  # exists for, so pin it by name too.
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'ManyThreadsHammerOverlappingKeys'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

@@ -67,13 +67,15 @@ constexpr const char* kUsage =
     "             (--port 0 binds an ephemeral port, printed on stderr)\n"
     "             [--max-batch 256] [--batch-window-us 200]\n"
     "             [--emb-cache 65536] [--prop-cache 4096] [--threads N]\n"
+    "             [--cache-shards 0] (cache partitions, 0 = \n"
+    "             $LEAPME_CACHE_SHARDS or 16; power of two)\n"
     "             [--deadline-ms 0] (0 = no per-request deadline)\n"
     "             [--max-connections 0] (0 = unlimited; above the cap,\n"
     "             accepts get one Unavailable reply and a close)\n"
     "             [--max-queue 65536] (admission-queue bound in pairs;\n"
     "             0 = unbounded; overflow gets ResourceExhausted)\n"
-    "             [--io-backend epoll|threaded] (default epoll, or\n"
-    "             $LEAPME_IO_BACKEND; threaded = legacy 1 thread/conn)\n"
+    "             [--io-backend epoll] (or $LEAPME_IO_BACKEND; the\n"
+    "             legacy 'threaded' backend is retired)\n"
     "             [--event-loop-threads 1] (epoll reactor loops, or\n"
     "             $LEAPME_EVENT_LOOP_THREADS)\n"
     "             [--index-data FILE] (load a catalog, build the blocker\n"
@@ -634,7 +636,7 @@ Status RunServe(const Flags& flags) {
       {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
        "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed",
        "deadline-ms", "max-connections", "max-queue", "index-data",
-       "blocking", "io-backend", "event-loop-threads"}));
+       "blocking", "io-backend", "event-loop-threads", "cache-shards"}));
   if (!flags.Has("model")) {
     return Status::InvalidArgument("--model FILE is required");
   }
@@ -660,6 +662,10 @@ Status RunServe(const Flags& flags) {
                           flags.GetIntInRange("emb-cache", 65536, 1, 1 << 28));
   LEAPME_ASSIGN_OR_RETURN(const int64_t prop_cache,
                           flags.GetIntInRange("prop-cache", 4096, 1, 1 << 28));
+  // 0 = take the partition count from LEAPME_CACHE_SHARDS (default 16);
+  // both caches share the setting, each clamped to its own capacity/16.
+  LEAPME_ASSIGN_OR_RETURN(const int64_t cache_shards,
+                          flags.GetIntInRange("cache-shards", 0, 0, 1024));
   LEAPME_ASSIGN_OR_RETURN(
       const int64_t deadline_ms,
       flags.GetIntInRange("deadline-ms", 0, 0, 3600000));
@@ -675,7 +681,8 @@ Status RunServe(const Flags& flags) {
   LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<embedding::EmbeddingModel> base,
                           BuildEmbeddings(flags, static_cast<uint64_t>(seed)));
   embedding::CachingEmbeddingModel cached(base.get(),
-                                          static_cast<size_t>(emb_cache));
+                                          static_cast<size_t>(emb_cache),
+                                          static_cast<size_t>(cache_shards));
   LEAPME_ASSIGN_OR_RETURN(
       core::LeapmeMatcher matcher,
       core::LeapmeMatcher::LoadModel(&cached, flags.GetString("model", "")));
@@ -687,6 +694,7 @@ Status RunServe(const Flags& flags) {
   service_options.max_batch = static_cast<size_t>(max_batch);
   service_options.batch_window_us = static_cast<size_t>(batch_window_us);
   service_options.property_cache_capacity = static_cast<size_t>(prop_cache);
+  service_options.property_cache_shards = static_cast<size_t>(cache_shards);
   service_options.max_queue_pairs = static_cast<size_t>(max_queue);
   LEAPME_ASSIGN_OR_RETURN(
       std::unique_ptr<serve::MatcherService> service,

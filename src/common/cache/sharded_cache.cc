@@ -1,0 +1,58 @@
+#include "common/cache/sharded_cache.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace leapme::cache {
+
+namespace {
+
+constexpr size_t kDefaultShards = 16;
+constexpr size_t kMaxShards = 1024;
+
+}  // namespace
+
+size_t DefaultCacheShards() {
+  const char* value = std::getenv("LEAPME_CACHE_SHARDS");
+  if (value == nullptr || *value == '\0') {
+    return kDefaultShards;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) {
+    LEAPME_LOG(Warning) << "LEAPME_CACHE_SHARDS='" << value
+                        << "' not a positive integer; using "
+                        << kDefaultShards;
+    return kDefaultShards;
+  }
+  const auto clamped =
+      std::min<size_t>(static_cast<size_t>(parsed), kMaxShards);
+  // Round down to a power of two: shard selection masks hash bits.
+  return std::bit_floor(clamped);
+}
+
+CacheShape ComputeCacheShape(size_t capacity, size_t shards_requested) {
+  capacity = std::max<size_t>(1, capacity);
+  if (shards_requested == 0) {
+    shards_requested = DefaultCacheShards();
+  }
+  // Every shard must hold at least one full bucket; a shard count above
+  // capacity/16 would multiply a small cache's footprint for no
+  // concurrency the workload could ever use.
+  const size_t shard_ceiling =
+      std::bit_floor(std::max<size_t>(1, capacity / kSlotsPerBucket));
+  CacheShape shape;
+  shape.shards = std::min(
+      std::bit_floor(std::min(shards_requested, kMaxShards)), shard_ceiling);
+  shape.shards = std::max<size_t>(1, shape.shards);
+  const size_t slots_per_shard =
+      (capacity + shape.shards - 1) / shape.shards;
+  shape.buckets_per_shard = std::bit_ceil(std::max<size_t>(
+      1, (slots_per_shard + kSlotsPerBucket - 1) / kSlotsPerBucket));
+  shape.slot_capacity =
+      shape.shards * shape.buckets_per_shard * kSlotsPerBucket;
+  return shape;
+}
+
+}  // namespace leapme::cache

@@ -1,0 +1,344 @@
+#ifndef LEAPME_COMMON_CACHE_SHARDED_CACHE_H_
+#define LEAPME_COMMON_CACHE_SHARDED_CACHE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/kernels/kernels.h"
+#include "common/rng.h"
+
+namespace leapme::cache {
+
+/// Number of slots per set-associative bucket. One bucket's tags occupy
+/// exactly one 16-byte line probed by the kernel layer's tag_probe16.
+inline constexpr size_t kSlotsPerBucket = 16;
+
+/// The resolved geometry of a ShardedCache: both counts are powers of
+/// two, and `slot_capacity` (= shards * buckets_per_shard * 16) is the
+/// requested capacity rounded up to the bucket grid.
+struct CacheShape {
+  size_t shards = 1;
+  size_t buckets_per_shard = 1;
+  size_t slot_capacity = kSlotsPerBucket;
+};
+
+/// Rounds a requested (capacity, shard count) to the power-of-two bucket
+/// grid. `shards_requested` = 0 means "use DefaultCacheShards()". Shards
+/// never exceed capacity / kSlotsPerBucket so a tiny cache cannot be
+/// inflated far past its requested bound by a large shard count.
+CacheShape ComputeCacheShape(size_t capacity, size_t shards_requested);
+
+/// Default shard count: LEAPME_CACHE_SHARDS when set (clamped to
+/// [1, 1024], rounded down to a power of two; malformed values log a
+/// warning and fall through), otherwise 16.
+size_t DefaultCacheShards();
+
+/// Aggregate counters of one cache, summed across shards under the
+/// per-shard locks (reads are exact, not racy approximations).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;
+  /// Largest number of full-key comparisons any single probe (hit or
+  /// miss) has performed in any partition — the "how degenerate did a
+  /// bucket get" gauge. At most kSlotsPerBucket by construction.
+  size_t max_probe = 0;
+};
+
+/// A sharded, set-associative concurrent cache (DRAMHiT-style):
+///
+///  - The key hash picks one of N power-of-two **shards** (low bits),
+///    one power-of-two **bucket** within the shard (next bits), and an
+///    8-bit **tag** (top bits, high bit forced so 0 always means
+///    "empty slot").
+///  - Each bucket is 16 slots whose tags sit in one contiguous 16-byte
+///    line, compared in a single SIMD-dispatched `tag_probe16` call
+///    (scalar fallback bit-identical — integer compares can't round).
+///    Only tag-matching slots get a full key comparison.
+///  - Eviction is **CLOCK second-chance within the bucket**: every hit
+///    sets the slot's reference byte, a full bucket's insert sweeps a
+///    per-bucket hand clearing reference bytes until it finds a cold
+///    slot. This replaces the old global `std::list` LRU: no list nodes
+///    to splice (the hit path writes one byte instead of relinking), no
+///    global order to maintain, and — unlike linear probing — evicting
+///    a slot cannot punch a hole in anyone's probe chain, because a
+///    key's candidate set is always exactly its one bucket.
+///  - Each shard has its own mutex, so concurrent lookups to different
+///    shards never contend. The arrays never reallocate after
+///    construction, which is what makes the batched prefetch wave below
+///    safe without taking any lock.
+///
+/// `LookupBatch` is the DRAMHiT move: compute every key's bucket
+/// address first, issue a `__builtin_prefetch` wave over all the tag
+/// lines (and first slots), and only then start probing — by the time
+/// the first probe touches memory the later lines are already in
+/// flight, so a batch pays one memory round-trip instead of a
+/// dependent-miss chain.
+///
+/// Counter contract (matches the mutex-LRU caches this replaces): the
+/// single-key `Lookup` counts one hit or one miss per call;
+/// `LookupBatch` counts hits only and leaves misses to the caller's
+/// resolve step (a counted `Lookup` before compute+`Insert`), so a key
+/// that misses and is then re-looked-up counts exactly one miss, the
+/// same as the sequential per-call flow it replaces.
+///
+/// `Value` must be default-constructible and move-assignable. Hits hand
+/// the value to a visitor **under the shard lock** (copy out what you
+/// need; don't block), which is what keeps the hit path allocation-free
+/// for any Value — an embedding entry is copied element-wise into the
+/// caller's buffer, a shared_ptr is refcount-bumped, never boxed.
+template <typename Value>
+class ShardedCache {
+ public:
+  /// `capacity` is rounded up to the power-of-two bucket grid (see
+  /// ComputeCacheShape); `shards` = 0 uses LEAPME_CACHE_SHARDS / 16.
+  explicit ShardedCache(size_t capacity, size_t shards = 0)
+      : shape_(ComputeCacheShape(capacity, shards)),
+        shard_bits_(static_cast<unsigned>(std::countr_zero(shape_.shards))),
+        bucket_mask_(shape_.buckets_per_shard - 1),
+        kernels_(&kernels::Active()),
+        shards_(std::make_unique<Shard[]>(shape_.shards)) {
+    const size_t slots = shape_.buckets_per_shard * kSlotsPerBucket;
+    for (size_t s = 0; s < shape_.shards; ++s) {
+      shards_[s].tags.assign(slots, 0);
+      shards_[s].ref.assign(slots, 0);
+      shards_[s].hand.assign(shape_.buckets_per_shard, 0);
+      shards_[s].slots.resize(slots);
+    }
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Single-key probe. On a hit, runs `on_hit(const Value&)` under the
+  /// shard lock, marks the slot referenced, and counts a hit; a miss
+  /// counts a miss. Returns whether the key was present.
+  template <typename Fn>
+  bool Lookup(std::string_view key, Fn&& on_hit) const {
+    const SlotRef ref = Locate(key);
+    Shard& shard = shards_[ref.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t slot = ProbeLocked(shard, ref, key);
+    if (slot == kNotFound) {
+      ++shard.misses;
+      return false;
+    }
+    shard.ref[slot] = 1;
+    ++shard.hits;
+    on_hit(static_cast<const Value&>(shard.slots[slot].value));
+    return true;
+  }
+
+  /// Batched probe with a prefetch wave: hashes every key of a wave and
+  /// prefetches its tag line + first slot **before** probing any of
+  /// them, then probes each key under its shard lock. (Grouping the
+  /// wave by shard to amortize lock acquisitions was measured and lost:
+  /// the in-place sort cost more than the uncontended lock ops it
+  /// saved.) `found[i]` is set to 1/0 per key; hits run
+  /// `on_hit(i, const Value&)` under the shard lock and count as hits.
+  /// Misses are NOT counted — resolve them with the counted single-key
+  /// Lookup (see the class counter contract). Returns the number of
+  /// hits.
+  template <typename Fn>
+  size_t LookupBatch(std::span<const std::string_view> keys, uint8_t* found,
+                     Fn&& on_hit) const {
+    constexpr size_t kWave = 64;
+    size_t hit_count = 0;
+    for (size_t start = 0; start < keys.size(); start += kWave) {
+      const size_t n = std::min(kWave, keys.size() - start);
+      SlotRef wave[kWave];
+      // Address-computation + prefetch pass: lock-free — the tag and
+      // slot arrays are fixed at construction, so the addresses are
+      // stable whatever concurrent inserts do to their contents.
+      for (size_t i = 0; i < n; ++i) {
+        wave[i] = Locate(keys[start + i]);
+        const Shard& shard = shards_[wave[i].shard];
+        __builtin_prefetch(shard.tags.data() + wave[i].slot_base, 0, 3);
+        __builtin_prefetch(shard.slots.data() + wave[i].slot_base, 0, 1);
+      }
+      // Probe pass: by now the early lines are resident or in flight.
+      for (size_t i = 0; i < n; ++i) {
+        Shard& shard = shards_[wave[i].shard];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const size_t slot = ProbeLocked(shard, wave[i], keys[start + i]);
+        if (slot == kNotFound) {
+          found[start + i] = 0;
+          continue;
+        }
+        shard.ref[slot] = 1;
+        ++shard.hits;
+        found[start + i] = 1;
+        ++hit_count;
+        on_hit(start + i,
+               static_cast<const Value&>(shard.slots[slot].value));
+      }
+    }
+    return hit_count;
+  }
+
+  /// Counter-free probe for presence checks (Contains-style callers):
+  /// no hit/miss is recorded and the slot's CLOCK reference byte is
+  /// left alone, so peeking never perturbs eviction or the hit ratio.
+  /// On a hit, runs `on_hit(const Value&)` under the shard lock.
+  template <typename Fn>
+  bool Peek(std::string_view key, Fn&& on_hit) const {
+    const SlotRef ref = Locate(key);
+    Shard& shard = shards_[ref.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t slot = ProbeLocked(shard, ref, key);
+    if (slot == kNotFound) {
+      return false;
+    }
+    on_hit(static_cast<const Value&>(shard.slots[slot].value));
+    return true;
+  }
+
+  /// Inserts `key` if absent (first writer wins — a concurrent
+  /// duplicate insert is dropped, exactly like the LRU caches this
+  /// replaces). A full bucket evicts its CLOCK victim first.
+  void Insert(std::string_view key, Value value) const {
+    const SlotRef ref = Locate(key);
+    Shard& shard = shards_[ref.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (ProbeLocked(shard, ref, key) != kNotFound) {
+      return;
+    }
+    size_t slot;
+    const uint32_t empty =
+        kernels_->tag_probe16(shard.tags.data() + ref.slot_base, 0);
+    if (empty != 0) {
+      slot = ref.slot_base + static_cast<size_t>(std::countr_zero(empty));
+      ++shard.occupied;
+    } else {
+      // CLOCK second chance: sweep the hand, demoting referenced slots,
+      // until a cold one turns up. Terminates within two revolutions
+      // because every pass clears the bits it skips.
+      uint8_t& hand = shard.hand[ref.slot_base / kSlotsPerBucket];
+      for (;;) {
+        const size_t candidate = ref.slot_base + hand;
+        hand = static_cast<uint8_t>((hand + 1) & (kSlotsPerBucket - 1));
+        if (shard.ref[candidate] == 0) {
+          slot = candidate;
+          break;
+        }
+        shard.ref[candidate] = 0;
+      }
+      ++shard.evictions;
+    }
+    Slot& dst = shard.slots[slot];
+    dst.key.assign(key);
+    dst.value = std::move(value);
+    shard.tags[slot] = ref.tag;
+    shard.ref[slot] = 1;
+  }
+
+  /// Exact counter snapshot (locks each shard in turn).
+  CacheCounters Counters() const {
+    CacheCounters total;
+    for (size_t s = 0; s < shape_.shards; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.evictions += shard.evictions;
+      total.size += shard.occupied;
+      total.max_probe = std::max(total.max_probe, shard.max_probe);
+    }
+    return total;
+  }
+
+  uint64_t hits() const { return Counters().hits; }
+  uint64_t misses() const { return Counters().misses; }
+  uint64_t evictions() const { return Counters().evictions; }
+  size_t size() const { return Counters().size; }
+  size_t max_probe() const { return Counters().max_probe; }
+  size_t capacity() const { return shape_.slot_capacity; }
+  size_t shards() const { return shape_.shards; }
+
+ private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  struct Slot {
+    std::string key;
+    Value value{};
+  };
+
+  /// One partition: its own lock, a flat 16-tags-per-bucket line array,
+  /// CLOCK reference bytes + per-bucket hands, and the slot payloads.
+  /// The vectors are sized once in the cache constructor and never
+  /// resized again (prefetch-address stability). alignas keeps one
+  /// shard's mutex off its neighbors' cache lines.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<uint8_t> tags;
+    std::vector<uint8_t> ref;
+    std::vector<uint8_t> hand;
+    std::vector<Slot> slots;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t occupied = 0;
+    size_t max_probe = 0;
+  };
+
+  struct SlotRef {
+    size_t shard;
+    size_t slot_base;  // bucket index * kSlotsPerBucket
+    uint8_t tag;
+  };
+
+  /// Hash-splits a key: shard from the low bits, bucket from the next
+  /// bits, tag from the top byte with the high bit forced (a stored tag
+  /// is never 0, so tag 0 probes find exactly the empty slots).
+  SlotRef Locate(std::string_view key) const {
+    const uint64_t h = HashBytes(key.data(), key.size());
+    SlotRef ref;
+    ref.shard = static_cast<size_t>(h) & (shape_.shards - 1);
+    ref.slot_base =
+        ((static_cast<size_t>(h >> shard_bits_) & bucket_mask_)) *
+        kSlotsPerBucket;
+    ref.tag = static_cast<uint8_t>(h >> 56) | 0x80;
+    return ref;
+  }
+
+  /// Finds `key`'s slot in its bucket, or kNotFound. Tag compare first
+  /// (one SIMD probe of the 16-byte line), full key compare only on tag
+  /// matches. Tracks the per-shard max key-comparison count.
+  size_t ProbeLocked(Shard& shard, const SlotRef& ref,
+                     std::string_view key) const {
+    uint32_t mask = kernels_->tag_probe16(shard.tags.data() + ref.slot_base,
+                                          ref.tag);
+    size_t compares = 0;
+    size_t found = kNotFound;
+    while (mask != 0) {
+      const auto i = static_cast<size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      ++compares;
+      if (shard.slots[ref.slot_base + i].key == key) {
+        found = ref.slot_base + i;
+        break;
+      }
+    }
+    shard.max_probe = std::max(shard.max_probe, compares);
+    return found;
+  }
+
+  const CacheShape shape_;
+  const unsigned shard_bits_;
+  const size_t bucket_mask_;
+  const kernels::KernelTable* const kernels_;
+  const std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace leapme::cache
+
+#endif  // LEAPME_COMMON_CACHE_SHARDED_CACHE_H_

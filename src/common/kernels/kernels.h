@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace leapme::kernels {
@@ -90,6 +91,14 @@ struct KernelTable {
   /// bit for bit.
   void (*gemm_tb)(const float* a, const float* b, float* out, size_t rows,
                   size_t k, size_t m);
+
+  /// Probes one 16-byte cache-bucket tag line: returns a bitmask whose
+  /// bit i is set iff tags[i] == tag (bits 16..31 always clear). Integer
+  /// byte compares have no rounding, so scalar and SIMD paths are
+  /// identical by construction; the parity suite still exercises both.
+  /// Used by the sharded concurrent cache (src/common/cache/) to match
+  /// an 8-bit hash tag against a bucket's slots in one compare.
+  uint32_t (*tag_probe16)(const uint8_t* tags, uint8_t tag);
 };
 
 /// The portable implementation (canonical order, no SIMD intrinsics).

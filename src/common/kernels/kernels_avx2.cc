@@ -273,6 +273,13 @@ void GemmTbAvx2(const float* a, const float* b, float* out, size_t rows,
   }
 }
 
+uint32_t TagProbe16Sse(const uint8_t* tags, uint8_t tag) {
+  const __m128i line = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(tag));
+  const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(line, needle));
+  return static_cast<uint32_t>(mask);
+}
+
 }  // namespace
 
 const KernelTable& Avx2KernelsUnchecked() {
@@ -280,7 +287,7 @@ const KernelTable& Avx2KernelsUnchecked() {
       "avx2",         DotAvx2,         Dot3Avx2,    SquaredL2Avx2,
       AxpyAvx2,       AddAvx2,         ScaleAvx2,   SubAvx2,
       AbsDiffAvx2,    StandardizeAvx2, MomentsAvx2, DotF32F64Avx2,
-      AxpyF32F64Avx2, GemmTbAvx2,
+      AxpyF32F64Avx2, GemmTbAvx2,      TagProbe16Sse,
   };
   return kTable;
 }

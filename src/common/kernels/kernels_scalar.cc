@@ -130,6 +130,14 @@ void AxpyF32F64Scalar(double alpha, const float* x, double* y, size_t n) {
   }
 }
 
+uint32_t TagProbe16Scalar(const uint8_t* tags, uint8_t tag) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    mask |= static_cast<uint32_t>(tags[i] == tag) << i;
+  }
+  return mask;
+}
+
 void GemmTransposeBScalar(const float* a, const float* b, float* out,
                           size_t rows, size_t k, size_t m) {
   for (size_t i = 0; i < rows; ++i) {
@@ -148,7 +156,7 @@ const KernelTable& ScalarKernels() {
       "scalar",         DotScalar,         Dot3Scalar,    SquaredL2Scalar,
       AxpyScalar,       AddScalar,         ScaleScalar,   SubScalar,
       AbsDiffScalar,    StandardizeScalar, MomentsScalar, DotF32F64Scalar,
-      AxpyF32F64Scalar, GemmTransposeBScalar,
+      AxpyF32F64Scalar, GemmTransposeBScalar, TagProbe16Scalar,
   };
   return kTable;
 }

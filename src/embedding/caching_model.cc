@@ -5,58 +5,74 @@
 namespace leapme::embedding {
 
 CachingEmbeddingModel::CachingEmbeddingModel(const EmbeddingModel* base,
-                                             size_t capacity)
-    : base_(base), capacity_(std::max<size_t>(1, capacity)) {}
+                                             size_t capacity, size_t shards)
+    : base_(base), cache_(capacity, shards) {}
 
 bool CachingEmbeddingModel::Contains(std::string_view word) const {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(word);
-    if (it != index_.end()) {
-      return it->second->in_vocabulary;
-    }
+  bool in_vocabulary = false;
+  // Peek, not Lookup: a presence check must not skew the hit/miss
+  // counters or refresh the slot's eviction state (same contract as the
+  // LRU predecessor, which looked at the index without splicing).
+  if (cache_.Peek(word, [&](const CachedVector& entry) {
+        in_vocabulary = entry.in_vocabulary;
+      })) {
+    return in_vocabulary;
   }
   return base_->Contains(word);
 }
 
 bool CachingEmbeddingModel::Lookup(std::string_view word,
                                    std::span<float> out) const {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(word);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      std::copy(it->second->vector.begin(), it->second->vector.end(),
-                out.begin());
-      hits_.Increment();
-      return it->second->in_vocabulary;
-    }
+  bool in_vocabulary = false;
+  const bool hit = cache_.Lookup(word, [&](const CachedVector& entry) {
+    std::copy(entry.vector.begin(), entry.vector.end(), out.begin());
+    in_vocabulary = entry.in_vocabulary;
+  });
+  if (hit) {
+    return in_vocabulary;
   }
   // Compute outside the lock: backing lookups may be slow, and a repeated
-  // concurrent miss merely computes the same deterministic vector twice.
-  Entry entry;
-  entry.word.assign(word);
+  // concurrent miss merely computes the same deterministic vector twice
+  // (the second insert is dropped).
+  CachedVector entry;
   entry.vector.resize(base_->dimension());
   entry.in_vocabulary = base_->Lookup(word, entry.vector);
   std::copy(entry.vector.begin(), entry.vector.end(), out.begin());
-  misses_.Increment();
-  const bool in_vocabulary = entry.in_vocabulary;
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (index_.find(entry.word) == index_.end()) {
-    lru_.push_front(std::move(entry));
-    index_.emplace(lru_.front().word, lru_.begin());
-    if (lru_.size() > capacity_) {
-      index_.erase(lru_.back().word);
-      lru_.pop_back();
-    }
-  }
+  in_vocabulary = entry.in_vocabulary;
+  cache_.Insert(word, std::move(entry));
   return in_vocabulary;
 }
 
-size_t CachingEmbeddingModel::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+void CachingEmbeddingModel::LookupBatch(
+    std::span<const std::string_view> words, float* out,
+    uint8_t* in_vocabulary) const {
+  const size_t dim = base_->dimension();
+  // Chunks of 64 match the cache's internal prefetch wave, and the found
+  // mask stays on the stack so a fully-hitting batch allocates nothing.
+  constexpr size_t kWave = 64;
+  for (size_t start = 0; start < words.size(); start += kWave) {
+    const size_t n = std::min(kWave, words.size() - start);
+    uint8_t found[kWave];
+    cache_.LookupBatch(
+        words.subspan(start, n), found,
+        [&](size_t i, const CachedVector& entry) {
+          std::copy(entry.vector.begin(), entry.vector.end(),
+                    out + (start + i) * dim);
+          in_vocabulary[start + i] = entry.in_vocabulary ? 1 : 0;
+        });
+    for (size_t i = 0; i < n; ++i) {
+      if (found[i]) continue;
+      // Counted resolve: this Lookup records the miss (or a hit, when a
+      // duplicate earlier in the batch or a concurrent caller just
+      // inserted the token), computes, and caches — the same per-call
+      // totals as the sequential flow this batch replaces.
+      in_vocabulary[start + i] =
+          Lookup(words[start + i],
+                 std::span<float>(out + (start + i) * dim, dim))
+              ? 1
+              : 0;
+    }
+  }
 }
 
 }  // namespace leapme::embedding

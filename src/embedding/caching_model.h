@@ -2,18 +2,14 @@
 #define LEAPME_EMBEDDING_CACHING_MODEL_H_
 
 #include <cstdint>
-#include <list>
-#include <mutex>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 
-#include "common/metrics.h"
+#include "common/cache/sharded_cache.h"
 #include "embedding/embedding_model.h"
 
 namespace leapme::embedding {
 
-/// Thread-safe bounded LRU cache in front of another EmbeddingModel.
+/// Thread-safe bounded cache in front of another EmbeddingModel.
 ///
 /// Online serving looks the same tokens up over and over (product
 /// vocabularies are small and Zipf-distributed), while the backing model
@@ -21,40 +17,51 @@ namespace leapme::embedding {
 /// stores the full Lookup result — vector bytes plus the in-vocabulary
 /// flag — so cached and uncached lookups are bit-identical.
 ///
+/// Built on the sharded set-associative concurrent cache (DESIGN.md
+/// §17): concurrent lookups of different tokens land on different
+/// partitions and never contend, the hit path copies straight out of the
+/// flat slot array without allocating or relinking anything, eviction is
+/// CLOCK second-chance within the token's bucket, and LookupBatch
+/// prefetches every token's bucket before probing any of them.
+///
 /// The decorated model must outlive the cache. All methods are safe to
-/// call concurrently; hit/miss counters are monotone and lock-free to
-/// read.
+/// call concurrently; counters are exact (summed under per-shard locks).
 class CachingEmbeddingModel : public EmbeddingModel {
  public:
-  /// `capacity` is the maximum number of cached tokens (>= 1).
-  CachingEmbeddingModel(const EmbeddingModel* base, size_t capacity);
+  /// `capacity` is the maximum number of cached tokens (>= 1; rounded up
+  /// to the cache's power-of-two bucket grid). `shards` = 0 takes the
+  /// partition count from LEAPME_CACHE_SHARDS (default 16).
+  CachingEmbeddingModel(const EmbeddingModel* base, size_t capacity,
+                        size_t shards = 0);
 
   size_t dimension() const override { return base_->dimension(); }
   OovPolicy oov_policy() const override { return base_->oov_policy(); }
   bool Contains(std::string_view word) const override;
   bool Lookup(std::string_view word, std::span<float> out) const override;
 
-  uint64_t hits() const { return hits_.value(); }
-  uint64_t misses() const { return misses_.value(); }
-  size_t size() const;
-  size_t capacity() const { return capacity_; }
+  /// Batched lookup with one software-prefetch wave across all the
+  /// tokens' cache buckets before any of them is probed; misses fall
+  /// back to the counted single-token path (compute + insert). Output
+  /// layout and counter totals are identical to looping Lookup.
+  void LookupBatch(std::span<const std::string_view> words, float* out,
+                   uint8_t* in_vocabulary) const override;
+
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  uint64_t evictions() const { return cache_.evictions(); }
+  size_t size() const { return cache_.size(); }
+  size_t capacity() const { return cache_.capacity(); }
+  size_t shards() const { return cache_.shards(); }
+  size_t max_probe() const { return cache_.max_probe(); }
 
  private:
-  struct Entry {
-    std::string word;
+  struct CachedVector {
     Vector vector;
     bool in_vocabulary = false;
   };
-  using LruList = std::list<Entry>;
 
   const EmbeddingModel* base_;
-  const size_t capacity_;
-  mutable std::mutex mu_;
-  mutable LruList lru_;  // front = most recently used
-  // Keys view into the stable Entry::word strings of lru_ nodes.
-  mutable std::unordered_map<std::string_view, LruList::iterator> index_;
-  mutable Counter hits_;
-  mutable Counter misses_;
+  cache::ShardedCache<CachedVector> cache_;
 };
 
 }  // namespace leapme::embedding

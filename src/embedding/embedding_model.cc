@@ -1,5 +1,6 @@
 #include "embedding/embedding_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -12,14 +13,38 @@ Vector EmbeddingModel::Embed(std::string_view word) const {
   return out;
 }
 
+void EmbeddingModel::LookupBatch(std::span<const std::string_view> words,
+                                 float* out, uint8_t* in_vocabulary) const {
+  const size_t dim = dimension();
+  for (size_t i = 0; i < words.size(); ++i) {
+    in_vocabulary[i] =
+        Lookup(words[i], std::span<float>(out + i * dim, dim)) ? 1 : 0;
+  }
+}
+
 Vector AverageEmbedding(const EmbeddingModel& model,
                         const std::vector<std::string>& words) {
   Vector sum(model.dimension(), 0.0f);
   if (words.empty()) return sum;
-  Vector buffer(model.dimension(), 0.0f);
-  for (const std::string& word : words) {
-    model.Lookup(word, buffer);
-    AddInPlace(sum, buffer);
+  const size_t dim = model.dimension();
+  // Batched pooling: hand the model whole chunks so a caching model can
+  // prefetch every word's cache bucket in one wave. The accumulation
+  // stays strictly in word order over the chunk results, so the sum is
+  // bit-identical to the per-word loop this replaces.
+  constexpr size_t kChunk = 32;
+  std::string_view views[kChunk];
+  uint8_t in_vocabulary[kChunk];
+  std::vector<float> block(std::min(kChunk, words.size()) * dim);
+  for (size_t start = 0; start < words.size(); start += kChunk) {
+    const size_t n = std::min(kChunk, words.size() - start);
+    for (size_t i = 0; i < n; ++i) {
+      views[i] = words[start + i];
+    }
+    model.LookupBatch(std::span<const std::string_view>(views, n),
+                      block.data(), in_vocabulary);
+    for (size_t i = 0; i < n; ++i) {
+      AddInPlace(sum, std::span<const float>(block.data() + i * dim, dim));
+    }
   }
   ScaleInPlace(sum, 1.0f / static_cast<float>(words.size()));
   return sum;

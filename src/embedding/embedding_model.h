@@ -2,6 +2,8 @@
 #define LEAPME_EMBEDDING_EMBEDDING_MODEL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +45,14 @@ class EmbeddingModel {
 
   /// The policy applied to out-of-vocabulary words by Lookup.
   virtual OovPolicy oov_policy() const = 0;
+
+  /// Looks up `words` into the row-major buffer `out` (words.size() rows
+  /// of dimension() floats) and sets `in_vocabulary[i]` to Lookup's
+  /// return per word. The default loops Lookup; caching implementations
+  /// override it to issue one prefetch wave across the whole batch.
+  /// Results are bit-identical to per-word Lookup either way.
+  virtual void LookupBatch(std::span<const std::string_view> words,
+                           float* out, uint8_t* in_vocabulary) const;
 
   /// Convenience: returns the embedding as a fresh Vector.
   Vector Embed(std::string_view word) const;

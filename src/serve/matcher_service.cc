@@ -45,6 +45,8 @@ MatcherService::MatcherService(
     : matcher_(matcher),
       embedding_cache_(embedding_cache),
       options_(options),
+      property_cache_(std::max<size_t>(1, options.property_cache_capacity),
+                      options.property_cache_shards),
       latency_(options.latency_window) {
   batcher_ = std::thread([this] { BatcherLoop(); });
 }
@@ -85,44 +87,60 @@ MatcherService::~MatcherService() {
 
 MatcherService::FeaturePtr MatcherService::GetPropertyFeatures(
     const PropertySpec& spec, bool* degraded) {
-  const std::string key = PropertyCacheKey(spec);
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_index_.find(key);
-    if (it != cache_index_.end()) {
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      property_cache_hits_.Increment();
-      return it->second->features;
-    }
+  return ResolvePropertyFeatures(PropertyCacheKey(spec), spec, degraded);
+}
+
+MatcherService::FeaturePtr MatcherService::ResolvePropertyFeatures(
+    std::string_view key, const PropertySpec& spec, bool* degraded) {
+  FeaturePtr cached;
+  if (property_cache_.Lookup(
+          key, [&](const FeaturePtr& features) { cached = features; })) {
+    return cached;
   }
-  // Compute outside the lock; a concurrent duplicate miss computes the
-  // same deterministic vector and the second insert is dropped.
-  property_cache_misses_.Increment();
+  // Compute outside the shard lock; a concurrent duplicate miss computes
+  // the same deterministic vector and the second insert is dropped.
   const bool lookup_failed = faults::InjectError("embedding.lookup");
   auto features = std::make_shared<features::PropertyFeatures>(
       matcher_->ComputePropertyFeatures(spec.name, spec.values));
   if (lookup_failed) {
     // The embedding portion of this vector is untrusted: mark the
     // request degraded (scoring masks the embedding columns) and keep
-    // the vector out of the LRU so one failed lookup never poisons
+    // the vector out of the cache so one failed lookup never poisons
     // later requests for the same property.
     if (degraded != nullptr) {
       *degraded = true;
     }
     return features;
   }
-
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  if (cache_index_.find(key) == cache_index_.end()) {
-    cache_lru_.push_front(CacheEntry{key, features});
-    cache_index_.emplace(cache_lru_.front().key, cache_lru_.begin());
-    if (cache_lru_.size() > std::max<size_t>(1,
-                                             options_.property_cache_capacity)) {
-      cache_index_.erase(cache_lru_.back().key);
-      cache_lru_.pop_back();
-    }
-  }
+  property_cache_.Insert(key, features);
   return features;
+}
+
+void MatcherService::GatherPropertyFeatures(
+    const std::vector<const PropertySpec*>& specs, FeaturePtr* out,
+    uint8_t* degraded) {
+  const size_t count = specs.size();
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  std::vector<std::string_view> views(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(PropertyCacheKey(*specs[i]));
+    views[i] = keys.back();
+  }
+  std::vector<uint8_t> found(count, 0);
+  // One prefetch wave across every property of the request, then probe:
+  // hits are counted inside; misses fall through to the counted resolve
+  // below, so the totals match the sequential per-property flow.
+  property_cache_.LookupBatch(
+      views, found.data(),
+      [&](size_t i, const FeaturePtr& features) { out[i] = features; });
+  for (size_t i = 0; i < count; ++i) {
+    degraded[i] = 0;
+    if (found[i]) continue;
+    bool spec_degraded = false;
+    out[i] = ResolvePropertyFeatures(views[i], *specs[i], &spec_degraded);
+    degraded[i] = spec_degraded ? 1 : 0;
+  }
 }
 
 void MatcherService::BatcherLoop() {
@@ -277,13 +295,25 @@ StatusOr<std::vector<double>> MatcherService::Score(
   }
   const auto start = std::chrono::steady_clock::now();
   auto job = std::make_shared<ScoreJob>(pairs.size());
+  // Gather both sides of every pair in one batched cache wave, then
+  // enqueue: the request pays one prefetch pass instead of 2N dependent
+  // probe round-trips.
+  std::vector<const PropertySpec*> specs(2 * pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    specs[2 * i] = &pairs[i].a;
+    specs[2 * i + 1] = &pairs[i].b;
+  }
+  std::vector<FeaturePtr> features(specs.size());
+  std::vector<uint8_t> spec_degraded(specs.size(), 0);
+  GatherPropertyFeatures(specs, features.data(), spec_degraded.data());
   std::vector<PendingPair> pending;
   pending.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
-    bool pair_degraded = false;
+    const bool pair_degraded =
+        spec_degraded[2 * i] != 0 || spec_degraded[2 * i + 1] != 0;
     PendingPair pair;
-    pair.a = GetPropertyFeatures(pairs[i].a, &pair_degraded);
-    pair.b = GetPropertyFeatures(pairs[i].b, &pair_degraded);
+    pair.a = std::move(features[2 * i]);
+    pair.b = std::move(features[2 * i + 1]);
     pair.job = job;
     pair.index = i;
     pair.degraded = pair_degraded;
@@ -316,16 +346,25 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
   }
   const auto start = std::chrono::steady_clock::now();
   auto job = std::make_shared<ScoreJob>(candidates.size());
-  bool query_degraded = false;
-  FeaturePtr query_features = GetPropertyFeatures(query, &query_degraded);
+  // One batched cache wave over the query + every candidate.
+  std::vector<const PropertySpec*> specs(1 + candidates.size());
+  specs[0] = &query;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    specs[1 + i] = &candidates[i];
+  }
+  std::vector<FeaturePtr> features(specs.size());
+  std::vector<uint8_t> spec_degraded(specs.size(), 0);
+  GatherPropertyFeatures(specs, features.data(), spec_degraded.data());
+  const bool query_degraded = spec_degraded[0] != 0;
+  FeaturePtr query_features = std::move(features[0]);
   std::vector<PendingPair> pending;
   pending.reserve(candidates.size());
   bool any_degraded = query_degraded;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    bool candidate_degraded = false;
+    const bool candidate_degraded = spec_degraded[1 + i] != 0;
     PendingPair pair;
     pair.a = query_features;
-    pair.b = GetPropertyFeatures(candidates[i], &candidate_degraded);
+    pair.b = std::move(features[1 + i]);
     pair.job = job;
     pair.index = i;
     pair.degraded = query_degraded || candidate_degraded;
@@ -595,9 +634,17 @@ ServiceStats MatcherService::Snapshot() const {
   if (embedding_cache_ != nullptr) {
     stats.embedding_cache_hits = embedding_cache_->hits();
     stats.embedding_cache_misses = embedding_cache_->misses();
+    stats.embedding_cache_evictions = embedding_cache_->evictions();
+    stats.embedding_cache_max_probe = embedding_cache_->max_probe();
   }
-  stats.property_cache_hits = property_cache_hits_.value();
-  stats.property_cache_misses = property_cache_misses_.value();
+  {
+    const cache::CacheCounters property = property_cache_.Counters();
+    stats.property_cache_hits = property.hits;
+    stats.property_cache_misses = property.misses;
+    stats.property_cache_evictions = property.evictions;
+    stats.property_cache_max_probe = property.max_probe;
+  }
+  stats.cache_shards = property_cache_.shards();
   stats.connections_accepted = connections_accepted_.value();
   stats.connections_active =
       connections_active_.load(std::memory_order_relaxed);

@@ -5,15 +5,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "blocking/candidate_pipeline.h"
+#include "common/cache/sharded_cache.h"
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status_or.h"
@@ -30,8 +29,13 @@ struct ServiceOptions {
   /// How long the batcher waits for more pairs after the first one
   /// arrives before flushing a partial batch. 0 flushes immediately.
   size_t batch_window_us = 200;
-  /// Entries kept in the per-property feature-vector LRU cache.
+  /// Entries kept in the per-property feature-vector cache (rounded up
+  /// to the sharded cache's power-of-two bucket grid).
   size_t property_cache_capacity = 4096;
+  /// Partitions of the property-feature cache. 0 takes the count from
+  /// LEAPME_CACHE_SHARDS (default 16); `leapme serve` exposes it as
+  /// --cache-shards.
+  size_t property_cache_shards = 0;
   /// Samples kept in the request-latency window for percentile stats.
   size_t latency_window = 4096;
   /// Bound on the pairs admitted into the micro-batch queue. A request
@@ -55,8 +59,11 @@ struct ServiceOptions {
 ///
 /// Two caches sit in front of the matcher: the CachingEmbeddingModel the
 /// matcher was built over (token -> vector; pass it in so its hit rate
-/// shows up in stats) and an internal LRU keyed by name + instance
-/// values holding finished per-property feature vectors.
+/// shows up in stats) and an internal sharded concurrent cache keyed by
+/// name + instance values holding finished per-property feature vectors.
+/// Each Score/TopK request gathers all its property features through one
+/// batched, prefetch-ahead cache wave before its pairs enter the
+/// micro-batch queue (DESIGN.md §17).
 class MatcherService {
  public:
   /// `matcher` must be fitted and outlive the service. `embedding_cache`
@@ -218,10 +225,25 @@ class MatcherService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// Computes (or fetches from the LRU) the feature vector of `spec`.
+  /// Computes (or fetches from the cache) the feature vector of `spec`.
   /// When the embedding.lookup fault point fires on a cache miss,
   /// `*degraded` is set and the (untrusted) features are not cached.
   FeaturePtr GetPropertyFeatures(const PropertySpec& spec, bool* degraded);
+
+  /// Counted single-key resolve behind GetPropertyFeatures and the
+  /// batch gather: probe (hit or miss counted), compute on miss, cache
+  /// unless the embedding fault fired.
+  FeaturePtr ResolvePropertyFeatures(std::string_view key,
+                                     const PropertySpec& spec,
+                                     bool* degraded);
+
+  /// Fetches every spec's features with one prefetch-ahead LookupBatch
+  /// wave over the property cache, resolving misses through the counted
+  /// single-key path. `out[i]` receives spec i's features and
+  /// `degraded[i]` is set when its embedding lookup failed (those
+  /// features are never cached).
+  void GatherPropertyFeatures(const std::vector<const PropertySpec*>& specs,
+                              FeaturePtr* out, uint8_t* degraded);
 
   /// Enqueues pairs for the batcher and blocks until the job completes
   /// or `deadline` passes. Refuses admission (ResourceExhausted) when
@@ -237,16 +259,10 @@ class MatcherService {
   const embedding::CachingEmbeddingModel* embedding_cache_;
   const ServiceOptions options_;
 
-  // Property-feature LRU (front = most recently used); keys view into the
-  // stable key strings stored in the list nodes.
-  struct CacheEntry {
-    std::string key;
-    FeaturePtr features;
-  };
-  mutable std::mutex cache_mu_;
-  std::list<CacheEntry> cache_lru_;
-  std::unordered_map<std::string_view, std::list<CacheEntry>::iterator>
-      cache_index_;
+  // Property-feature cache: sharded, set-associative, CLOCK-evicting
+  // (common/cache/sharded_cache.h). Hits copy the shared_ptr out under
+  // the slot's shard lock; hit/miss/eviction counters live inside.
+  cache::ShardedCache<FeaturePtr> property_cache_;
 
   // Catalog-index mode (AttachCatalog): the indexed dataset, its blocking
   // pipeline, and one precomputed feature vector per catalog property.
@@ -274,8 +290,6 @@ class MatcherService {
   Counter pairs_scored_;
   Counter batches_;
   BucketHistogram batch_sizes_{10};
-  Counter property_cache_hits_;
-  Counter property_cache_misses_;
   Counter connections_accepted_;
   Counter connections_rejected_;
   Counter rejected_overload_;

@@ -317,8 +317,13 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   out.push_back('}');
   field("embedding_cache_hits", stats.embedding_cache_hits);
   field("embedding_cache_misses", stats.embedding_cache_misses);
+  field("embedding_cache_evictions", stats.embedding_cache_evictions);
+  field("embedding_cache_max_probe", stats.embedding_cache_max_probe);
   field("property_cache_hits", stats.property_cache_hits);
   field("property_cache_misses", stats.property_cache_misses);
+  field("property_cache_evictions", stats.property_cache_evictions);
+  field("property_cache_max_probe", stats.property_cache_max_probe);
+  field("cache_shards", stats.cache_shards);
   field("connections_accepted", stats.connections_accepted);
   field("connections_active", stats.connections_active);
   field("connections_rejected", stats.connections_rejected);

@@ -127,10 +127,21 @@ struct ServiceStats {
   uint64_t batches = 0;
   std::vector<uint64_t> batch_histogram;  // bucket i = sizes [2^i, 2^(i+1))
   std::vector<std::string> batch_histogram_labels;
+  /// Cache observability (PR: sharded concurrent cache, DESIGN.md §17):
+  /// hit/miss/eviction totals for the token-embedding and
+  /// property-feature caches, the partition count (`cache_shards`), and
+  /// each cache's worst-case probe length (max full-key comparisons any
+  /// single lookup has done in any partition — creeping values flag
+  /// degenerate buckets before they cost latency).
   uint64_t embedding_cache_hits = 0;
   uint64_t embedding_cache_misses = 0;
+  uint64_t embedding_cache_evictions = 0;
+  uint64_t embedding_cache_max_probe = 0;
   uint64_t property_cache_hits = 0;
   uint64_t property_cache_misses = 0;
+  uint64_t property_cache_evictions = 0;
+  uint64_t property_cache_max_probe = 0;
+  uint64_t cache_shards = 0;
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
   /// Overload / robustness counters (PR: fault injection + overload
@@ -147,9 +158,9 @@ struct ServiceStats {
   uint64_t degraded_responses = 0;
   uint64_t faults_injected = 0;
   /// Transport identity and reactor gauges (PR: epoll reactor backend).
-  /// `io_backend` is "epoll" or "threaded" (empty before a TcpServer
-  /// attaches), `event_loop_threads` the reactor loop count (0 for
-  /// threaded), `epoll_wakeups` cumulative epoll_wait returns across all
+  /// `io_backend` is "epoll" (empty before a TcpServer attaches),
+  /// `event_loop_threads` the reactor loop count,
+  /// `epoll_wakeups` cumulative epoll_wait returns across all
   /// loops, and `writable_backlog_bytes` the response bytes currently
   /// buffered across per-connection output queues waiting for writable
   /// sockets — the reactor-side analogue of queue_depth for the write

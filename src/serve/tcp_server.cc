@@ -1,27 +1,14 @@
 #include "serve/tcp_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <cstdlib>
-#include <cstring>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <vector>
+#include <memory>
 
-#include "common/faults/fault_injector.h"
 #include "common/logging.h"
 #include "common/signal.h"
-#include "common/string_util.h"
-#include "serve/io_util.h"
-#include "serve/protocol.h"
 #include "serve/reactor_server.h"
 
 namespace leapme::serve {
@@ -31,18 +18,19 @@ StatusOr<IoBackend> ParseIoBackend(const std::string& name) {
     return IoBackend::kEpoll;
   }
   if (name == "threaded") {
-    return IoBackend::kThreaded;
+    return Status::InvalidArgument(
+        "the 'threaded' io backend (one thread per connection) was retired "
+        "after the epoll reactor became the default; use --io-backend epoll "
+        "and tune --event-loop-threads instead");
   }
   return Status::InvalidArgument("unknown io backend '" + name +
-                                 "' (expected 'epoll' or 'threaded')");
+                                 "' (expected 'epoll')");
 }
 
 const char* IoBackendName(IoBackend backend) {
   switch (backend) {
     case IoBackend::kEpoll:
       return "epoll";
-    case IoBackend::kThreaded:
-      return "threaded";
   }
   return "unknown";
 }
@@ -54,8 +42,10 @@ IoBackend IoBackendFromEnv() {
   }
   const StatusOr<IoBackend> parsed = ParseIoBackend(value);
   if (!parsed.ok()) {
-    LEAPME_LOG(Warning) << "LEAPME_IO_BACKEND='" << value
-                        << "' not recognized; using epoll";
+    // Environments outlive flag migrations: a retired or malformed value
+    // degrades to the reactor with a warning instead of refusing to serve.
+    LEAPME_LOG(Warning) << "LEAPME_IO_BACKEND='" << value << "': "
+                        << parsed.status().message() << "; using epoll";
     return IoBackend::kEpoll;
   }
   return parsed.value();
@@ -76,424 +66,7 @@ size_t EventLoopThreadsFromEnv() {
   return static_cast<size_t>(std::min<long>(parsed, 64));
 }
 
-namespace internal {
 
-/// The original blocking accept / thread-per-connection backend, kept
-/// selectable (`--io-backend=threaded`) for one release to de-risk the
-/// reactor migration. Wire protocol, deadline semantics, overload
-/// controls, and fault points are identical to the epoll backend.
-class ThreadedServer : public ServerImpl {
- public:
-  ThreadedServer(MatcherService* service, const ServerOptions& options)
-      : service_(service), options_(options) {}
-  ~ThreadedServer() override { Stop(); }
-
-  Status Start() override;
-  void Stop() override;
-  int port() const override { return port_; }
-
- private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  bool SendLine(int fd, std::string line);
-  bool DrainBuffer(int fd, std::string& buffer, Deadline* deadline);
-  void ReapFinishedWorkers();
-
-  MatcherService* service_;
-  ServerOptions options_;
-  int listen_fd_ = -1;
-  int port_ = -1;
-  int wake_pipe_[2] = {-1, -1};
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  ReserveFd reserve_fd_;
-
-  std::mutex conn_mu_;
-  uint64_t next_conn_token_ = 0;
-  std::unordered_map<uint64_t, int> conn_fds_;
-  std::unordered_map<uint64_t, std::thread> conn_threads_;
-  std::vector<uint64_t> finished_tokens_;
-  bool started_ = false;
-};
-
-Status ThreadedServer::Start() {
-  if (started_) {
-    return Status::FailedPrecondition("server already started");
-  }
-  if (options_.port < 0 || options_.port > 65535) {
-    return Status::InvalidArgument(
-        StrFormat("port %d out of range", options_.port));
-  }
-  sockaddr_in address = {};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
-    return Status::InvalidArgument("cannot parse host '" + options_.host +
-                                   "' as an IPv4 address");
-  }
-  if (::pipe(wake_pipe_) != 0) {
-    return Status::IoError(StrFormat("pipe: %s", std::strerror(errno)));
-  }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  if (options_.sndbuf_bytes > 0) {
-    // Set on the listener so accepted sockets inherit it; tests use a
-    // tiny buffer to force writable backpressure deterministically.
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
-                 sizeof(options_.sndbuf_bytes));
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    Status status = Status::IoError(StrFormat(
-        "bind %s:%d: %s", options_.host.c_str(), options_.port,
-        std::strerror(errno)));
-    CloseIfOpen(listen_fd_);
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    Status status =
-        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
-    CloseIfOpen(listen_fd_);
-    return status;
-  }
-  sockaddr_in bound = {};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  } else {
-    port_ = options_.port;
-  }
-  started_ = true;
-  stopping_.store(false, std::memory_order_relaxed);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
-
-void ThreadedServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (stopping_.load(std::memory_order_relaxed) ||
-        (fds[1].revents & POLLIN) != 0) {
-      break;
-    }
-    if ((fds[0].revents & POLLIN) == 0) {
-      continue;
-    }
-    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn_fd < 0) {
-      const int error = errno;
-      switch (ClassifyAcceptErrno(error)) {
-        case AcceptFailure::kRetry:
-          // EINTR / ECONNABORTED / ENOBUFS...: one connection attempt
-          // failed, the listener is fine.
-          LEAPME_LOG(Warning) << "accept: " << std::strerror(error)
-                              << " (transient; continuing)";
-          continue;
-        case AcceptFailure::kOverflow: {
-          // Out of fds: momentarily give back the reserve fd so the
-          // pending connection can be accepted, told to back off, and
-          // closed — the shed contract instead of a silent stall.
-          LEAPME_LOG(Warning)
-              << "accept: " << std::strerror(error) << "; shedding";
-          reserve_fd_.Release();
-          const int shed = ::accept(listen_fd_, nullptr, nullptr);
-          if (shed >= 0) {
-            BestEffortSendLine(
-                shed, ErrorResponse(
-                          std::nullopt,
-                          Status::Unavailable(
-                              "server out of file descriptors; retry later"),
-                          kRejectRetryAfterMs));
-            service_->OnConnectionRejected();
-            ::close(shed);
-          }
-          if (!reserve_fd_.Reacquire()) {
-            LEAPME_LOG(Warning) << "accept: cannot reacquire reserve fd";
-          }
-          continue;
-        }
-        case AcceptFailure::kFatal:
-          LEAPME_LOG(Error) << "accept: " << std::strerror(error)
-                            << "; listener disabled";
-          return;
-      }
-    }
-    if (faults::InjectError("serve.accept")) {
-      // Simulated accept failure: the connection is dropped before a
-      // worker ever serves it; clients see a close and retry.
-      ::close(conn_fd);
-      continue;
-    }
-    ReapFinishedWorkers();
-    if (options_.max_connections > 0) {
-      size_t active = 0;
-      {
-        std::lock_guard<std::mutex> lock(conn_mu_);
-        active = conn_fds_.size();
-      }
-      if (active >= options_.max_connections) {
-        // Inline rejection: one Unavailable reply with a retry hint on
-        // the fresh socket (its send buffer is empty, the small write
-        // cannot block), then close — clients back off instead of
-        // piling into invisible kernel queues.
-        SendLine(conn_fd,
-                 ErrorResponse(
-                     std::nullopt,
-                     Status::Unavailable(StrFormat(
-                         "serving %zu connections (cap %zu); retry later",
-                         active, options_.max_connections)),
-                     kRejectRetryAfterMs));
-        service_->OnConnectionRejected();
-        ::close(conn_fd);
-        continue;
-      }
-    }
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    const uint64_t token = next_conn_token_++;
-    conn_fds_.emplace(token, conn_fd);
-    conn_threads_.emplace(token, std::thread([this, conn_fd, token] {
-      HandleConnection(conn_fd);
-      {
-        std::lock_guard<std::mutex> inner(conn_mu_);
-        conn_fds_.erase(token);
-        finished_tokens_.push_back(token);
-      }
-      ::close(conn_fd);
-    }));
-  }
-}
-
-void ThreadedServer::ReapFinishedWorkers() {
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    finished.reserve(finished_tokens_.size());
-    for (const uint64_t token : finished_tokens_) {
-      auto it = conn_threads_.find(token);
-      if (it != conn_threads_.end()) {
-        finished.push_back(std::move(it->second));
-        conn_threads_.erase(it);
-      }
-    }
-    finished_tokens_.clear();
-  }
-  for (std::thread& worker : finished) {
-    if (worker.joinable()) {
-      worker.join();
-    }
-  }
-}
-
-bool ThreadedServer::SendLine(int fd, std::string line) {
-  line.push_back('\n');
-  size_t sent = 0;
-  while (sent < line.size()) {
-    size_t attempt = line.size() - sent;
-    if (const std::optional<faults::FaultHit> hit =
-            faults::FaultInjector::Global().Evaluate("serve.write")) {
-      if (hit->kind == faults::FaultKind::kError) {
-        return false;
-      }
-      if (hit->kind == faults::FaultKind::kShortIo) {
-        // A short write transfers fewer bytes; the loop must finish the
-        // rest — exactly what real sockets do under pressure.
-        attempt = std::clamp<size_t>(hit->param, 1, attempt);
-      }
-    }
-    // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
-    // error return, not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, line.data() + sent, attempt, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      // EAGAIN here means SO_SNDTIMEO expired with the socket buffer
-      // still full: the peer stopped reading within the request budget.
-      // Treat it as a dead connection rather than blocking the worker.
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool ThreadedServer::DrainBuffer(int fd, std::string& buffer,
-                                 Deadline* deadline) {
-  size_t start = 0;
-  while (true) {
-    const size_t newline = buffer.find('\n', start);
-    if (newline == std::string::npos) {
-      break;
-    }
-    std::string_view line(buffer.data() + start, newline - start);
-    if (!line.empty() && line.back() == '\r') {
-      line.remove_suffix(1);
-    }
-    if (!line.empty()) {
-      if (!SendLine(fd, service_->HandleLine(line, *deadline))) {
-        buffer.clear();
-        return false;
-      }
-    }
-    start = newline + 1;
-    // The answered request's budget is spent; any pipelined follow-up
-    // (already buffered or still arriving) gets a fresh one.
-    *deadline = options_.deadline_ms > 0
-                    ? Deadline::AfterMs(options_.deadline_ms)
-                    : Deadline::Infinite();
-  }
-  buffer.erase(0, start);
-  if (buffer.empty()) {
-    *deadline = Deadline::Infinite();  // idle again — no clock ticking
-  }
-  if (buffer.size() > options_.max_line_bytes) {
-    SendLine(fd, ErrorResponse(
-                     std::nullopt,
-                     Status::InvalidArgument(StrFormat(
-                         "request line exceeds %zu bytes",
-                         options_.max_line_bytes))));
-    return false;
-  }
-  return true;
-}
-
-void ThreadedServer::HandleConnection(int fd) {
-  service_->OnConnectionOpened();
-  if (options_.deadline_ms > 0) {
-    // Bound response writes by the request budget: a peer that stops
-    // reading mid-response must not park this worker forever. SendLine
-    // treats the resulting EAGAIN as a dead connection.
-    timeval timeout = {};
-    timeout.tv_sec = options_.deadline_ms / 1000;
-    timeout.tv_usec = static_cast<suseconds_t>(
-        (options_.deadline_ms % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-  }
-  std::string buffer;
-  char chunk[4096];
-  bool server_initiated_close = false;
-  Deadline deadline;  // infinite while the connection is idle
-  while (true) {
-    // The poll gate enforces the read side of the request deadline: an
-    // idle connection waits forever, but once a request's first bytes
-    // arrive the rest of the line must show up within the budget.
-    pollfd pfd = {fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, deadline.PollTimeoutMs());
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) {
-      service_->OnRequestTimeout();
-      SendLine(fd, ErrorResponse(
-                       std::nullopt,
-                       Status::DeadlineExceeded(
-                           "request deadline expired before the request "
-                           "line completed")));
-      server_initiated_close = true;
-      break;
-    }
-    size_t cap = sizeof(chunk);
-    if (const std::optional<faults::FaultHit> hit =
-            faults::FaultInjector::Global().Evaluate("serve.read")) {
-      if (hit->kind == faults::FaultKind::kError) {
-        // Simulated transport failure: drop the connection cleanly (FIN,
-        // not a hang); clients treat it as a lost connection and retry.
-        server_initiated_close = true;
-        break;
-      }
-      if (hit->kind == faults::FaultKind::kShortIo) {
-        // Short read: deliver fewer bytes this round; the rest stays in
-        // the socket buffer for the next loop, as on a real socket.
-        cap = std::clamp<size_t>(hit->param, 1, cap);
-      }
-    }
-    const ssize_t n = ::recv(fd, chunk, cap, 0);
-    if (n < 0) {
-      // EAGAIN/EWOULDBLOCK: spurious wakeup or a racing reader — poll
-      // again; the deadline stays enforced by the poll gate above.
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-        continue;
-      }
-      break;
-    }
-    if (n == 0) {
-      // EOF / half-close: requests already received were answered as
-      // their lines completed; an unterminated trailing fragment is
-      // dropped by NDJSON framing rules.
-      break;
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    if (deadline.infinite() && options_.deadline_ms > 0) {
-      deadline = Deadline::AfterMs(options_.deadline_ms);
-    }
-    if (!DrainBuffer(fd, buffer, &deadline)) {
-      server_initiated_close = true;
-      break;
-    }
-  }
-  if (server_initiated_close) {
-    // Lingering close: closing with unread bytes still queued would turn
-    // into an RST that can discard the in-flight error response on the
-    // peer. Send our FIN first and drain until the peer closes (Stop()'s
-    // SHUT_RD unblocks this recv as well).
-    ::shutdown(fd, SHUT_WR);
-    while (::recv(fd, chunk, sizeof(chunk), 0) > 0) {
-    }
-  }
-  service_->OnConnectionClosed();
-}
-
-void ThreadedServer::Stop() {
-  if (!started_) {
-    return;
-  }
-  if (!stopping_.exchange(true)) {
-    // Wake the accept poll; a full pipe is fine, it is already readable.
-    const char byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  }
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  // Drain: half-close every connection so blocked recv calls return 0;
-  // workers finish responding to whatever they already read, then exit.
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const auto& [token, fd] : conn_fds_) {
-      ::shutdown(fd, SHUT_RD);
-    }
-    workers.reserve(conn_threads_.size());
-    for (auto& [token, worker] : conn_threads_) {
-      workers.push_back(std::move(worker));
-    }
-    conn_threads_.clear();
-    finished_tokens_.clear();
-  }
-  for (std::thread& worker : workers) {
-    if (worker.joinable()) {
-      worker.join();
-    }
-  }
-  CloseIfOpen(listen_fd_);
-  CloseIfOpen(wake_pipe_[0]);
-  CloseIfOpen(wake_pipe_[1]);
-  started_ = false;
-}
-
-}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Facade
@@ -507,23 +80,14 @@ Status TcpServer::Start() {
   if (started_) {
     return Status::FailedPrecondition("server already started");
   }
-  switch (options_.io_backend) {
-    case IoBackend::kEpoll:
-      impl_ = std::make_unique<internal::ReactorServer>(service_, options_);
-      break;
-    case IoBackend::kThreaded:
-      impl_ = std::make_unique<internal::ThreadedServer>(service_, options_);
-      break;
-  }
+  impl_ = std::make_unique<internal::ReactorServer>(service_, options_);
   const Status status = impl_->Start();
   if (!status.ok()) {
     impl_.reset();
     return status;
   }
   service_->SetTransport(IoBackendName(options_.io_backend),
-                         options_.io_backend == IoBackend::kEpoll
-                             ? std::max<size_t>(options_.event_loop_threads, 1)
-                             : 0);
+                         std::max<size_t>(options_.event_loop_threads, 1));
   started_ = true;
   return Status::OK();
 }

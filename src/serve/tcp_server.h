@@ -16,18 +16,19 @@ enum class IoBackend {
   /// machines, with a small fixed worker pool executing requests. Scales
   /// to tens of thousands of idle keep-alive connections (DESIGN.md §16).
   kEpoll,
-  /// One OS thread per connection, blocking I/O — the pre-reactor
-  /// design, kept selectable for one release to de-risk the migration.
-  kThreaded,
 };
 
-/// Parses "epoll" / "threaded"; anything else is InvalidArgument.
+/// Parses "epoll". "threaded" — the retired thread-per-connection
+/// design, selectable for one release after the reactor landed — gets a
+/// dedicated InvalidArgument naming the migration path; anything else is
+/// a plain InvalidArgument.
 StatusOr<IoBackend> ParseIoBackend(const std::string& name);
 const char* IoBackendName(IoBackend backend);
 
-/// Backend selected by $LEAPME_IO_BACKEND ("epoll" | "threaded");
-/// defaults to the reactor. A malformed value logs a warning and falls
-/// back to epoll, so a typo cannot silently change serving semantics.
+/// Backend selected by $LEAPME_IO_BACKEND; "epoll" is the only live
+/// value. A malformed or retired value logs a warning and falls back to
+/// epoll (environments migrate more slowly than flags, so the env path
+/// degrades gracefully where the explicit --io-backend flag refuses).
 IoBackend IoBackendFromEnv();
 /// Event-loop thread count from $LEAPME_EVENT_LOOP_THREADS (clamped to
 /// [1, 64]); defaults to 1 — one reactor loop drives tens of thousands
@@ -59,14 +60,14 @@ struct ServerOptions {
   size_t max_connections = 0;
   /// Connection multiplexing strategy; see IoBackend.
   IoBackend io_backend = IoBackendFromEnv();
-  /// Reactor loops (epoll backend only). Connections are assigned
-  /// round-robin to loops at accept time and stay pinned, so all state
-  /// of one connection is touched by exactly one loop thread.
+  /// Reactor loops. Connections are assigned round-robin to loops at
+  /// accept time and stay pinned, so all state of one connection is
+  /// touched by exactly one loop thread.
   size_t event_loop_threads = EventLoopThreadsFromEnv();
-  /// Worker threads executing requests for the reactor (epoll backend
-  /// only). Workers block in MatcherService::HandleLine (micro-batch
-  /// wait included) and post finished responses back to the owning loop,
-  /// so the loops themselves never block on scoring.
+  /// Worker threads executing requests for the reactor. Workers block in
+  /// MatcherService::HandleLine (micro-batch wait included) and post
+  /// finished responses back to the owning loop, so the loops themselves
+  /// never block on scoring.
   size_t worker_threads = 4;
   /// SO_SNDBUF for accepted connections (0 = OS default), set on the
   /// listening socket so accepts inherit it. Tests use a tiny buffer to
@@ -90,11 +91,9 @@ class ServerImpl {
 
 /// Line-delimited JSON scoring server. Each request line is answered
 /// through MatcherService::HandleLine (which funnels all scoring into
-/// the shared micro-batcher); how connections map onto threads is chosen
-/// by ServerOptions::io_backend — the epoll reactor by default, with the
-/// legacy thread-per-connection design selectable as a fallback. The
-/// wire protocol, deadline semantics, overload controls, and
-/// fault-injection points are identical across backends.
+/// the shared micro-batcher); connections are multiplexed by the epoll
+/// reactor (DESIGN.md §16 — the legacy thread-per-connection backend was
+/// retired one release after the reactor replaced it as the default).
 ///
 /// Lifecycle: Start() binds/listens and starts serving; Stop() drains
 /// gracefully — it stops accepting, lets requests already received

@@ -194,6 +194,48 @@ TEST_P(KernelParityTest, GemmTransposeBBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(AllSizes, KernelParityTest,
                          ::testing::ValuesIn(kSizes));
 
+// Tag probing is integer-exact, so "parity" here is a full functional
+// check of both implementations against a reference loop: every needle
+// value over randomized tag lines, plus the all-match / no-match edges.
+TEST(TagProbeParityTest, MatchesReferenceOnBothPaths) {
+  const KernelTable& scalar = ScalarKernels();
+  const KernelTable* avx2 = Avx2Kernels();
+  Rng rng(977);
+  uint8_t tags[16];
+  for (int round = 0; round < 64; ++round) {
+    for (auto& t : tags) {
+      // A narrow byte range forces plenty of duplicate-tag collisions.
+      t = static_cast<uint8_t>(rng.NextInt(0, round % 2 == 0 ? 255 : 7));
+    }
+    for (int needle = 0; needle <= 255; ++needle) {
+      const auto tag = static_cast<uint8_t>(needle);
+      uint32_t want = 0;
+      for (size_t i = 0; i < 16; ++i) {
+        want |= static_cast<uint32_t>(tags[i] == tag) << i;
+      }
+      ASSERT_EQ(scalar.tag_probe16(tags, tag), want) << "round " << round;
+      if (avx2 != nullptr) {
+        ASSERT_EQ(avx2->tag_probe16(tags, tag), want) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(TagProbeParityTest, AllMatchAndNoMatchEdges) {
+  const KernelTable& scalar = ScalarKernels();
+  const KernelTable* avx2 = Avx2Kernels();
+  uint8_t tags[16];
+  std::memset(tags, 0xAB, sizeof(tags));
+  EXPECT_EQ(scalar.tag_probe16(tags, 0xAB), 0xFFFFu);
+  EXPECT_EQ(scalar.tag_probe16(tags, 0xAC), 0u);
+  if (avx2 != nullptr) {
+    EXPECT_EQ(avx2->tag_probe16(tags, 0xAB), 0xFFFFu);
+    EXPECT_EQ(avx2->tag_probe16(tags, 0xAC), 0u);
+  }
+  // The active table (whatever LEAPME_KERNEL selected) agrees too.
+  EXPECT_EQ(Active().tag_probe16(tags, 0xAB), 0xFFFFu);
+}
+
 TEST(KernelEdgeCaseTest, AllZeroVectors) {
   const KernelTable& scalar = ScalarKernels();
   const size_t n = 301;
