@@ -226,6 +226,10 @@ int main() {
   // single accepts.
   serve::TcpServer server(&service, {.port = 0, .backlog = 4096});
   bench::CheckOk(server.Start(), "TcpServer::Start");
+  if (!tools::WaitForServerReady("127.0.0.1", server.port())) {
+    std::fprintf(stderr, "server never reported ready\n");
+    std::exit(1);
+  }
   LoadResult tcp = RunLoad(
       shape, [&](size_t client, workload::LatencyRecorder& recorder) {
         tools::LineClient connection("127.0.0.1", server.port());

@@ -195,6 +195,10 @@ int main() {
   server_options.deadline_ms = 750;
   serve::TcpServer server(service->get(), server_options);
   bench::CheckOk(server.Start(), "TcpServer::Start");
+  if (!tools::WaitForServerReady("127.0.0.1", server.port())) {
+    std::fprintf(stderr, "soak_bench: server never reported ready\n");
+    return 1;
+  }
 
   // Zipf request sampler + open-loop schedule, both seeded: the same
   // traffic fires at any client thread count.
@@ -293,7 +297,8 @@ int main() {
       std::to_string(stats.property_cache_misses) +
       ",\"property_cache_evictions\":" +
       std::to_string(stats.property_cache_evictions) +
-      ",\"cache_shards\":" + std::to_string(stats.cache_shards) + "}}";
+      ",\"cache_shards\":" + std::to_string(stats.cache_shards) +
+      ",\"model_version\":" + std::to_string(stats.model_version) + "}}";
   std::printf("%s\n", out.c_str());
 
   bench::JsonReport report("soak");
@@ -336,6 +341,9 @@ int main() {
   report.Metric("server_property_cache_evictions",
                 stats.property_cache_evictions);
   report.Metric("server_cache_shards", stats.cache_shards);
+  // Which model generation answered the soak: >1 would mean a reload
+  // happened mid-run (none is driven here, but the provenance is free).
+  report.Metric("model_version", stats.model_version);
   bench::WriteJsonReport(report);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "blocking/candidate_pipeline.h"
 #include "common/parallel.h"
+#include "common/signal.h"
 #include "common/string_util.h"
 #include "core/leapme.h"
 #include "data/domain.h"
@@ -83,6 +85,13 @@ constexpr const char* kUsage =
     "             one property against blocked catalog candidates)\n"
     "             [--blocking SPEC] (index blocker; default\n"
     "             union(name-token,embedding-lsh); requires --index-data)\n"
+    "             [--model-watch MS] (poll the model file's mtime every\n"
+    "             MS ms and hot-reload on change; 0 = off. SIGHUP and the\n"
+    "             'reload' op trigger the same staged reload)\n"
+    "             [--canary-threshold 0.5] (max score divergence the\n"
+    "             shadow canary tolerates before rejecting a reload)\n"
+    "             [--rollback-error-rate 0] (post-swap error fraction\n"
+    "             that auto-rolls back to the previous model; 0 = off)\n"
     "             plus the evaluate embedding flags\n";
 
 StatusOr<const data::DomainSpec*> DomainByName(const std::string& name) {
@@ -636,7 +645,8 @@ Status RunServe(const Flags& flags) {
       {"model", "port", "host", "max-batch", "batch-window-us", "emb-cache",
        "prop-cache", "threads", "embeddings", "domain", "emb-dim", "seed",
        "deadline-ms", "max-connections", "max-queue", "index-data",
-       "blocking", "io-backend", "event-loop-threads", "cache-shards"}));
+       "blocking", "io-backend", "event-loop-threads", "cache-shards",
+       "model-watch", "canary-threshold", "rollback-error-rate"}));
   if (!flags.Has("model")) {
     return Status::InvalidArgument("--model FILE is required");
   }
@@ -677,18 +687,76 @@ Status RunServe(const Flags& flags) {
   LEAPME_ASSIGN_OR_RETURN(
       const int64_t max_queue,
       flags.GetIntInRange("max-queue", 65536, 0, 1 << 28));
-
-  LEAPME_ASSIGN_OR_RETURN(std::unique_ptr<embedding::EmbeddingModel> base,
-                          BuildEmbeddings(flags, static_cast<uint64_t>(seed)));
-  embedding::CachingEmbeddingModel cached(base.get(),
-                                          static_cast<size_t>(emb_cache),
-                                          static_cast<size_t>(cache_shards));
+  // Hot-reload controls: mtime polling interval, canary strictness, and
+  // the post-swap rollback trip (DESIGN.md §18).
   LEAPME_ASSIGN_OR_RETURN(
-      core::LeapmeMatcher matcher,
-      core::LeapmeMatcher::LoadModel(&cached, flags.GetString("model", "")));
-  std::fprintf(stderr, "loaded model %s (input dimension %zu)\n",
-               flags.GetString("model", "").c_str(),
-               matcher.input_dimension());
+      const int64_t model_watch_ms,
+      flags.GetIntInRange("model-watch", 0, 0, 3600000));
+  LEAPME_ASSIGN_OR_RETURN(
+      const double canary_threshold,
+      flags.GetDoubleInRange("canary-threshold", 0.5, 0.0, 1.0));
+  LEAPME_ASSIGN_OR_RETURN(
+      const double rollback_error_rate,
+      flags.GetDoubleInRange("rollback-error-rate", 0.0, 0.0, 1.0));
+
+  // Every generation (startup and each hot reload) gets its own embedding
+  // stack: the base model, its cache, and the matcher live and die
+  // together, so a swapped-out model cannot serve vectors through a
+  // successor's cache.
+  const serve::ModelRegistry::Loader loader =
+      [&flags, seed, emb_cache, cache_shards](const std::string& path)
+      -> StatusOr<serve::ModelGeneration::Resources> {
+    serve::ModelGeneration::Resources resources;
+    LEAPME_ASSIGN_OR_RETURN(
+        resources.base_model,
+        BuildEmbeddings(flags, static_cast<uint64_t>(seed)));
+    resources.embedding_cache =
+        std::make_unique<embedding::CachingEmbeddingModel>(
+            resources.base_model.get(), static_cast<size_t>(emb_cache),
+            static_cast<size_t>(cache_shards));
+    LEAPME_ASSIGN_OR_RETURN(
+        core::LeapmeMatcher matcher,
+        core::LeapmeMatcher::LoadModel(resources.embedding_cache.get(),
+                                       path));
+    resources.matcher =
+        std::make_unique<core::LeapmeMatcher>(std::move(matcher));
+    return resources;
+  };
+
+  serve::RegistryOptions registry_options;
+  registry_options.property_cache_capacity = static_cast<size_t>(prop_cache);
+  registry_options.property_cache_shards = static_cast<size_t>(cache_shards);
+  registry_options.canary_threshold = canary_threshold;
+  registry_options.rollback_error_rate = rollback_error_rate;
+  serve::ModelRegistry registry(loader, registry_options);
+  const std::string model_path = flags.GetString("model", "");
+  LEAPME_RETURN_IF_ERROR(registry.Init(model_path));
+  {
+    const auto generation = registry.Acquire();
+    const serve::ModelInfo& info = generation->info();
+    std::fprintf(stderr,
+                 "loaded model %s (input dimension %zu, schema fingerprint "
+                 "%s, format v%d, mtime %lld)\n",
+                 model_path.c_str(),
+                 generation->matcher().input_dimension(),
+                 info.fingerprint.c_str(), info.format_version,
+                 static_cast<long long>(info.file_mtime));
+  }
+
+  // Catalog-index mode: load the catalog and remember the blocking spec
+  // in the registry, which indexes it for the startup generation and
+  // re-indexes on every admitted reload. The catalog outlives the server
+  // (this scope holds it through ServeUntilShutdown).
+  data::Dataset catalog{""};
+  if (flags.Has("index-data")) {
+    LEAPME_ASSIGN_OR_RETURN(
+        catalog, data::ReadDatasetTsv(flags.GetString("index-data", "")));
+    const std::string spec = flags.GetString(
+        "blocking", std::string(blocking::kDefaultIndexBlockingSpec));
+    LEAPME_RETURN_IF_ERROR(registry.AttachCatalog(&catalog, spec));
+    std::fprintf(stderr, "catalog index: %zu properties via %s\n",
+                 catalog.property_count(), spec.c_str());
+  }
 
   serve::ServiceOptions service_options;
   service_options.max_batch = static_cast<size_t>(max_batch);
@@ -698,25 +766,7 @@ Status RunServe(const Flags& flags) {
   service_options.max_queue_pairs = static_cast<size_t>(max_queue);
   LEAPME_ASSIGN_OR_RETURN(
       std::unique_ptr<serve::MatcherService> service,
-      serve::MatcherService::Create(&matcher, &cached, service_options));
-
-  // Catalog-index mode: load the catalog, build the blocker index once,
-  // and serve index_match requests against it. The catalog and pipeline
-  // outlive the server (this scope holds them through ServeUntilShutdown).
-  data::Dataset catalog{""};
-  std::unique_ptr<blocking::CandidatePipeline> index_pipeline;
-  if (flags.Has("index-data")) {
-    LEAPME_ASSIGN_OR_RETURN(
-        catalog, data::ReadDatasetTsv(flags.GetString("index-data", "")));
-    const std::string spec = flags.GetString(
-        "blocking", std::string(blocking::kDefaultIndexBlockingSpec));
-    LEAPME_ASSIGN_OR_RETURN(index_pipeline,
-                            blocking::CandidatePipeline::Parse(spec, &cached));
-    LEAPME_RETURN_IF_ERROR(
-        service->AttachCatalog(&catalog, index_pipeline.get()));
-    std::fprintf(stderr, "catalog index: %zu properties via %s\n",
-                 catalog.property_count(), spec.c_str());
-  }
+      serve::MatcherService::Create(&registry, service_options));
 
   serve::ServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
@@ -740,12 +790,51 @@ Status RunServe(const Flags& flags) {
   LEAPME_RETURN_IF_ERROR(server.Start());
   std::fprintf(stderr,
                "leapme serve listening on %s:%d (backend %s, max-batch "
-               "%lld, window %lld us); Ctrl-C to stop\n",
+               "%lld, window %lld us); Ctrl-C to stop, SIGHUP to reload\n",
                server_options.host.c_str(), server.port(),
                serve::IoBackendName(server_options.io_backend),
                static_cast<long long>(max_batch),
                static_cast<long long>(batch_window_us));
-  return server.ServeUntilShutdown();
+
+  // Reload triggers outside the protocol: SIGHUP and --model-watch mtime
+  // polling, both serviced from the parked ServeUntilShutdown thread.
+  InstallReloadSignalHandler();
+  int64_t watched_mtime = serve::FileMtimeSeconds(model_path);
+  auto last_poll = std::chrono::steady_clock::now();
+  const auto run_reload = [&registry](const char* trigger) {
+    const StatusOr<serve::ReloadOutcome> outcome = registry.Reload();
+    if (outcome.ok()) {
+      std::fprintf(stderr,
+                   "reload (%s): now serving model version %llu "
+                   "(fingerprint %s, canary divergence %.6f over %zu "
+                   "pairs)\n",
+                   trigger,
+                   static_cast<unsigned long long>(outcome->info.version),
+                   outcome->info.fingerprint.c_str(),
+                   outcome->canary_divergence, outcome->canary_pairs);
+    } else {
+      std::fprintf(stderr, "reload (%s) rejected: %s\n", trigger,
+                   outcome.status().ToString().c_str());
+    }
+  };
+  return server.ServeUntilShutdown([&] {
+    if (ConsumeReloadRequest()) {
+      run_reload("SIGHUP");
+    }
+    if (model_watch_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_poll >= std::chrono::milliseconds(model_watch_ms)) {
+        last_poll = now;
+        const int64_t mtime = serve::FileMtimeSeconds(model_path);
+        // Record the new mtime before attempting the reload: a bad file
+        // is rejected once, not once per poll until it is fixed.
+        if (mtime != 0 && mtime != watched_mtime) {
+          watched_mtime = mtime;
+          run_reload("model-watch");
+        }
+      }
+    }
+  });
 }
 
 int RunCli(int argc, const char* const* argv) {

@@ -38,6 +38,7 @@ struct FaultHit {
 ///   serve.read        connection read errors / latency / short reads
 ///   serve.write       response write errors / latency / short writes
 ///   embedding.lookup  per-property embedding lookups fail -> degraded
+///   serve.score       a whole micro-batch group fails with Internal
 ///   model.load        LeapmeMatcher::LoadModel fails with IoError
 ///   model.save        SaveModel fails, or the file is torn (kTruncate)
 ///   alloc             batch admission fails as if memory were exhausted

@@ -5,10 +5,13 @@ namespace leapme {
 
 /// Installs SIGINT/SIGTERM handlers (first call only) that mark shutdown
 /// as requested and write one byte to a self-pipe, and returns the read
-/// end of that pipe. Poll/select on the fd to wake an event loop when a
-/// shutdown signal arrives; the fd stays readable once triggered. The
-/// handlers are async-signal-safe (a write(2) on the pipe). Returns -1
-/// if the pipe cannot be created.
+/// end of that pipe (non-blocking). Poll/select on the fd to wake an
+/// event loop when a signal arrives. Readability is a wakeup, not a
+/// verdict: SIGHUP reload requests share the pipe, so a woken loop must
+/// drain the fd and consult ShutdownRequested() / ConsumeReloadRequest()
+/// to learn which event fired (the flags stay set even after a drain).
+/// The handlers are async-signal-safe (a write(2) on the pipe). Returns
+/// -1 if the pipe cannot be created.
 int ShutdownSignalFd();
 
 /// True once SIGINT or SIGTERM has been received (or RequestShutdown was
@@ -18,6 +21,19 @@ bool ShutdownRequested();
 /// Programmatic trigger with the same effect as receiving SIGTERM —
 /// used by tests and by in-process embedders to stop a serving loop.
 void RequestShutdown();
+
+/// Installs the SIGHUP handler (first call only): marks a model reload
+/// as requested and wakes the shared self-pipe, so a serving loop parked
+/// on ShutdownSignalFd() notices without polling. Call before serving.
+void InstallReloadSignalHandler();
+
+/// True exactly once per reload request (SIGHUP or RequestReload) since
+/// the last call — the flag is consumed, so coalesced signals trigger
+/// one reload. Safe to call from any thread.
+bool ConsumeReloadRequest();
+
+/// Programmatic trigger with the same effect as receiving SIGHUP.
+void RequestReload();
 
 }  // namespace leapme
 

@@ -569,6 +569,7 @@ StatusOr<LeapmeMatcher> LeapmeMatcher::LoadModel(
         matcher.scaler_.Restore(scaler_mean, scaler_stddev));
   }
   matcher.fitted_ = true;
+  matcher.loaded_format_version_ = version;
   return matcher;
 }
 

@@ -179,6 +179,11 @@ class LeapmeMatcher {
   /// True after a successful Fit or LoadModel.
   bool fitted() const { return fitted_; }
 
+  /// On-disk format version this matcher was restored from: 1 for legacy
+  /// pre-fingerprint files, 2 for current files. A matcher that was
+  /// fitted in-process (never persisted) reports the current format.
+  int loaded_format_version() const { return loaded_format_version_; }
+
   /// Precomputed features of property `id` (valid after Fit).
   const features::PropertyFeatures& property_features(
       data::PropertyId id) const {
@@ -216,6 +221,7 @@ class LeapmeMatcher {
   nn::Mlp mlp_;
   double decision_threshold_ = 0.5;
   bool fitted_ = false;
+  int loaded_format_version_ = 2;
   std::vector<double> training_losses_;
 };
 

@@ -36,17 +36,39 @@ std::string PropertyCacheKey(const PropertySpec& spec) {
   return key;
 }
 
+/// Errors that indict the serving model for the post-swap rollback trip:
+/// client mistakes (InvalidArgument), load shedding and deadline
+/// pressure (ResourceExhausted / Unavailable / DeadlineExceeded), and
+/// configuration gaps (FailedPrecondition) say nothing about the model,
+/// so only the remaining codes (Internal, IoError, Corruption, ...)
+/// count as model faults.
+bool IsModelFault(const Status& status) {
+  return !status.ok() && !status.IsInvalidArgument() &&
+         !status.IsResourceExhausted() && !status.IsDeadlineExceeded() &&
+         !status.IsUnavailable() && !status.IsFailedPrecondition();
+}
+
 }  // namespace
+
+MatcherService::MatcherService(ModelRegistry* registry,
+                               ServiceOptions options)
+    : registry_(registry),
+      options_(options),
+      latency_(options.latency_window) {
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
 
 MatcherService::MatcherService(
     const core::LeapmeMatcher* matcher,
     const embedding::CachingEmbeddingModel* embedding_cache,
     ServiceOptions options)
-    : matcher_(matcher),
-      embedding_cache_(embedding_cache),
+    : owned_registry_(ModelRegistry::WrapExisting(
+          matcher, embedding_cache,
+          RegistryOptions{
+              .property_cache_capacity = options.property_cache_capacity,
+              .property_cache_shards = options.property_cache_shards})),
+      registry_(owned_registry_.get()),
       options_(options),
-      property_cache_(std::max<size_t>(1, options.property_cache_capacity),
-                      options.property_cache_shards),
       latency_(options.latency_window) {
   batcher_ = std::thread([this] { BatcherLoop(); });
 }
@@ -58,20 +80,20 @@ StatusOr<std::unique_ptr<MatcherService>> MatcherService::Create(
   if (matcher == nullptr) {
     return Status::InvalidArgument("MatcherService requires a matcher");
   }
-  if (!matcher->fitted()) {
-    return Status::FailedPrecondition(
-        "cannot serve an unfitted matcher (Fit or LoadModel first)");
-  }
-  const size_t pipeline_dim = matcher->pipeline().schema().embedding_dim();
-  if (embedding_cache != nullptr &&
-      embedding_cache->dimension() != pipeline_dim) {
-    return Status::FailedPrecondition(StrFormat(
-        "embedding cache dimension %zu does not match the matcher's "
-        "feature pipeline dimension %zu (schema %s)",
-        embedding_cache->dimension(), pipeline_dim,
-        matcher->pipeline().schema().fingerprint().c_str()));
-  }
+  LEAPME_RETURN_IF_ERROR(ValidateServingModel(matcher, embedding_cache));
   return std::make_unique<MatcherService>(matcher, embedding_cache, options);
+}
+
+StatusOr<std::unique_ptr<MatcherService>> MatcherService::Create(
+    ModelRegistry* registry, ServiceOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("MatcherService requires a registry");
+  }
+  if (registry->Acquire() == nullptr) {
+    return Status::FailedPrecondition(
+        "MatcherService requires an initialized registry (Init first)");
+  }
+  return std::make_unique<MatcherService>(registry, options);
 }
 
 MatcherService::~MatcherService() {
@@ -86,14 +108,17 @@ MatcherService::~MatcherService() {
 }
 
 MatcherService::FeaturePtr MatcherService::GetPropertyFeatures(
-    const PropertySpec& spec, bool* degraded) {
-  return ResolvePropertyFeatures(PropertyCacheKey(spec), spec, degraded);
+    const ModelGeneration& generation, const PropertySpec& spec,
+    bool* degraded) {
+  return ResolvePropertyFeatures(generation, PropertyCacheKey(spec), spec,
+                                 degraded);
 }
 
 MatcherService::FeaturePtr MatcherService::ResolvePropertyFeatures(
-    std::string_view key, const PropertySpec& spec, bool* degraded) {
+    const ModelGeneration& generation, std::string_view key,
+    const PropertySpec& spec, bool* degraded) {
   FeaturePtr cached;
-  if (property_cache_.Lookup(
+  if (generation.property_cache().Lookup(
           key, [&](const FeaturePtr& features) { cached = features; })) {
     return cached;
   }
@@ -101,7 +126,7 @@ MatcherService::FeaturePtr MatcherService::ResolvePropertyFeatures(
   // the same deterministic vector and the second insert is dropped.
   const bool lookup_failed = faults::InjectError("embedding.lookup");
   auto features = std::make_shared<features::PropertyFeatures>(
-      matcher_->ComputePropertyFeatures(spec.name, spec.values));
+      generation.matcher().ComputePropertyFeatures(spec.name, spec.values));
   if (lookup_failed) {
     // The embedding portion of this vector is untrusted: mark the
     // request degraded (scoring masks the embedding columns) and keep
@@ -112,11 +137,12 @@ MatcherService::FeaturePtr MatcherService::ResolvePropertyFeatures(
     }
     return features;
   }
-  property_cache_.Insert(key, features);
+  generation.property_cache().Insert(key, features);
   return features;
 }
 
 void MatcherService::GatherPropertyFeatures(
+    const ModelGeneration& generation,
     const std::vector<const PropertySpec*>& specs, FeaturePtr* out,
     uint8_t* degraded) {
   const size_t count = specs.size();
@@ -131,14 +157,15 @@ void MatcherService::GatherPropertyFeatures(
   // One prefetch wave across every property of the request, then probe:
   // hits are counted inside; misses fall through to the counted resolve
   // below, so the totals match the sequential per-property flow.
-  property_cache_.LookupBatch(
+  generation.property_cache().LookupBatch(
       views, found.data(),
       [&](size_t i, const FeaturePtr& features) { out[i] = features; });
   for (size_t i = 0; i < count; ++i) {
     degraded[i] = 0;
     if (found[i]) continue;
     bool spec_degraded = false;
-    out[i] = ResolvePropertyFeatures(views[i], *specs[i], &spec_degraded);
+    out[i] = ResolvePropertyFeatures(generation, views[i], *specs[i],
+                                     &spec_degraded);
     degraded[i] = spec_degraded ? 1 : 0;
   }
 }
@@ -196,33 +223,57 @@ void MatcherService::BatcherLoop() {
 }
 
 void MatcherService::ScoreBatch(std::vector<PendingPair>& batch) {
+  // A batch drained across a reload boundary can hold pairs whose
+  // features were computed by different generations; each pair must be
+  // scored by the matcher that computed its features. Pairs of one
+  // request share a generation and the queue is FIFO, so the batch is a
+  // handful of contiguous same-generation runs — score each run with one
+  // ScoreFeaturePairs call. In steady state there is exactly one run and
+  // this degenerates to the single-inference path.
+  size_t begin = 0;
+  for (size_t i = 1; i <= batch.size(); ++i) {
+    if (i == batch.size() ||
+        batch[i].generation.get() != batch[begin].generation.get()) {
+      ScoreBatchGroup(batch, begin, i);
+      begin = i;
+    }
+  }
+}
+
+void MatcherService::ScoreBatchGroup(std::vector<PendingPair>& batch,
+                                     size_t begin, size_t end) {
+  const size_t count = end - begin;
   std::vector<const features::PropertyFeatures*> lhs;
   std::vector<const features::PropertyFeatures*> rhs;
-  lhs.reserve(batch.size());
-  rhs.reserve(batch.size());
+  lhs.reserve(count);
+  rhs.reserve(count);
   bool any_degraded = false;
-  std::vector<uint8_t> degraded_rows(batch.size(), 0);
-  for (size_t i = 0; i < batch.size(); ++i) {
-    lhs.push_back(batch[i].a.get());
-    rhs.push_back(batch[i].b.get());
-    if (batch[i].degraded) {
+  std::vector<uint8_t> degraded_rows(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    lhs.push_back(batch[begin + i].a.get());
+    rhs.push_back(batch[begin + i].b.get());
+    if (batch[begin + i].degraded) {
       degraded_rows[i] = 1;
       any_degraded = true;
     }
   }
-  StatusOr<std::vector<double>> scores = matcher_->ScoreFeaturePairs(
-      lhs, rhs, any_degraded ? &degraded_rows : nullptr);
+  StatusOr<std::vector<double>> scores =
+      faults::InjectError("serve.score")
+          ? StatusOr<std::vector<double>>(Status::Internal(
+                "injected scoring failure (serve.score fault)"))
+          : batch[begin].generation->matcher().ScoreFeaturePairs(
+                lhs, rhs, any_degraded ? &degraded_rows : nullptr);
   batches_.Increment();
-  batch_sizes_.Record(batch.size());
+  batch_sizes_.Record(count);
   if (scores.ok()) {
-    pairs_scored_.Increment(batch.size());
+    pairs_scored_.Increment(count);
   }
 
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const std::shared_ptr<ScoreJob>& job = batch[i].job;
+  for (size_t i = 0; i < count; ++i) {
+    const std::shared_ptr<ScoreJob>& job = batch[begin + i].job;
     std::lock_guard<std::mutex> lock(job->mu);
     if (scores.ok()) {
-      job->scores[batch[i].index] = scores.value()[i];
+      job->scores[batch[begin + i].index] = scores.value()[i];
     } else if (job->status.ok()) {
       job->status = scores.status();
     }
@@ -294,6 +345,13 @@ StatusOr<std::vector<double>> MatcherService::Score(
         "request deadline expired before feature computation");
   }
   const auto start = std::chrono::steady_clock::now();
+  // One generation for the whole request: features, queueing, and
+  // scoring all happen on the model this shared_ptr pins, whatever
+  // reloads land meanwhile.
+  const GenerationPtr generation = registry_->Acquire();
+  // Feed the reload canary with real traffic (the first pair stands in
+  // for the request).
+  registry_->CapturePair(pairs.front());
   auto job = std::make_shared<ScoreJob>(pairs.size());
   // Gather both sides of every pair in one batched cache wave, then
   // enqueue: the request pays one prefetch pass instead of 2N dependent
@@ -305,7 +363,8 @@ StatusOr<std::vector<double>> MatcherService::Score(
   }
   std::vector<FeaturePtr> features(specs.size());
   std::vector<uint8_t> spec_degraded(specs.size(), 0);
-  GatherPropertyFeatures(specs, features.data(), spec_degraded.data());
+  GatherPropertyFeatures(*generation, specs, features.data(),
+                         spec_degraded.data());
   std::vector<PendingPair> pending;
   pending.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -314,6 +373,7 @@ StatusOr<std::vector<double>> MatcherService::Score(
     PendingPair pair;
     pair.a = std::move(features[2 * i]);
     pair.b = std::move(features[2 * i + 1]);
+    pair.generation = generation;
     pair.job = job;
     pair.index = i;
     pair.degraded = pair_degraded;
@@ -345,6 +405,8 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
         "request deadline expired before feature computation");
   }
   const auto start = std::chrono::steady_clock::now();
+  const GenerationPtr generation = registry_->Acquire();
+  registry_->CapturePair(PropertyPairSpec{query, candidates.front()});
   auto job = std::make_shared<ScoreJob>(candidates.size());
   // One batched cache wave over the query + every candidate.
   std::vector<const PropertySpec*> specs(1 + candidates.size());
@@ -354,7 +416,8 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
   }
   std::vector<FeaturePtr> features(specs.size());
   std::vector<uint8_t> spec_degraded(specs.size(), 0);
-  GatherPropertyFeatures(specs, features.data(), spec_degraded.data());
+  GatherPropertyFeatures(*generation, specs, features.data(),
+                         spec_degraded.data());
   const bool query_degraded = spec_degraded[0] != 0;
   FeaturePtr query_features = std::move(features[0]);
   std::vector<PendingPair> pending;
@@ -365,6 +428,7 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
     PendingPair pair;
     pair.a = query_features;
     pair.b = std::move(features[1 + i]);
+    pair.generation = generation;
     pair.job = job;
     pair.index = i;
     pair.degraded = query_degraded || candidate_degraded;
@@ -400,44 +464,13 @@ StatusOr<std::vector<MatchResult>> MatcherService::TopK(
 
 Status MatcherService::AttachCatalog(const data::Dataset* catalog,
                                      blocking::CandidatePipeline* pipeline) {
-  if (catalog == nullptr) {
-    return Status::InvalidArgument("AttachCatalog requires a dataset");
-  }
-  if (pipeline == nullptr) {
-    return Status::InvalidArgument("AttachCatalog requires a pipeline");
-  }
-  if (catalog->property_count() == 0) {
-    return Status::InvalidArgument("catalog dataset has no properties");
-  }
-  LEAPME_RETURN_IF_ERROR(pipeline->BuildIndex(*catalog));
-  // Precompute every catalog property's feature vector once; each slot is
-  // written by exactly one chunk, so the fan-out is deterministic.
-  const size_t count = catalog->property_count();
-  std::vector<FeaturePtr> precomputed(count);
-  ParallelFor(0, count, /*grain=*/8, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const auto id = static_cast<data::PropertyId>(i);
-      const std::vector<data::InstanceValue>& instances =
-          catalog->instances(id);
-      std::vector<std::string> values;
-      values.reserve(instances.size());
-      for (const data::InstanceValue& instance : instances) {
-        values.push_back(instance.value);
-      }
-      precomputed[i] = std::make_shared<features::PropertyFeatures>(
-          matcher_->ComputePropertyFeatures(catalog->property(id).name,
-                                            values));
-    }
-  });
-  catalog_ = catalog;
-  catalog_pipeline_ = pipeline;
-  catalog_features_ = std::move(precomputed);
-  return Status::OK();
+  return registry_->AttachCatalogUnowned(catalog, pipeline);
 }
 
 StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
     const PropertySpec& query, size_t k, Deadline deadline, bool* degraded) {
-  if (catalog_ == nullptr) {
+  const GenerationPtr generation = registry_->Acquire();
+  if (generation->catalog() == nullptr) {
     return Status::FailedPrecondition(
         "no catalog index attached (start serve with --index-data)");
   }
@@ -454,7 +487,7 @@ StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
 
   IndexMatchOutcome outcome;
   StatusOr<std::vector<data::PropertyId>> blocked =
-      catalog_pipeline_->Query(query.name);
+      generation->catalog_pipeline()->Query(query.name);
   std::vector<data::PropertyId> candidates;
   if (blocked.ok()) {
     candidates = std::move(blocked).value();
@@ -465,7 +498,7 @@ StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
     if (degraded != nullptr) {
       *degraded = true;
     }
-    candidates.resize(catalog_features_.size());
+    candidates.resize(generation->catalog_features().size());
     for (size_t i = 0; i < candidates.size(); ++i) {
       candidates[i] = static_cast<data::PropertyId>(i);
     }
@@ -494,16 +527,31 @@ StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
 
   auto job = std::make_shared<ScoreJob>(candidates.size());
   bool query_degraded = false;
-  FeaturePtr query_features = GetPropertyFeatures(query, &query_degraded);
+  FeaturePtr query_features =
+      GetPropertyFeatures(*generation, query, &query_degraded);
   if (query_degraded && degraded != nullptr) {
     *degraded = true;
+  }
+  // Feed the canary with a realistic catalog pair: the query against its
+  // first blocked candidate (reconstructed from the catalog dataset).
+  {
+    const auto id = static_cast<data::PropertyId>(candidates.front());
+    PropertyPairSpec sample;
+    sample.a = query;
+    sample.b.name = generation->catalog()->property(id).name;
+    for (const data::InstanceValue& instance :
+         generation->catalog()->instances(id)) {
+      sample.b.values.push_back(instance.value);
+    }
+    registry_->CapturePair(sample);
   }
   std::vector<PendingPair> pending;
   pending.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     PendingPair pair;
     pair.a = query_features;
-    pair.b = catalog_features_[candidates[i]];
+    pair.b = generation->catalog_features()[candidates[i]];
+    pair.generation = generation;
     pair.job = job;
     pair.index = i;
     pair.degraded = query_degraded;
@@ -530,8 +578,9 @@ StatusOr<IndexMatchOutcome> MatcherService::IndexMatch(
   matches.resize(keep);
   for (IndexMatchResult& match : matches) {
     const auto id = static_cast<data::PropertyId>(match.property);
-    match.name = catalog_->property(id).name;
-    match.source = catalog_->source_name(catalog_->property(id).source);
+    const data::Dataset& catalog = *generation->catalog();
+    match.name = catalog.property(id).name;
+    match.source = catalog.source_name(catalog.property(id).source);
   }
   outcome.matches = std::move(matches);
   latency_.Record(std::chrono::duration<double, std::micro>(
@@ -569,11 +618,43 @@ std::string MatcherService::HandleLine(std::string_view line,
     case Op::kStats:
       stats_requests_.Increment();
       return StatsResponse(request->id, Snapshot());
+    case Op::kHealth: {
+      admin_requests_.Increment();
+      const GenerationPtr generation = registry_->Acquire();
+      ModelIdentity identity;
+      identity.version = generation->info().version;
+      identity.fingerprint = generation->info().fingerprint;
+      identity.format_version = generation->info().format_version;
+      return HealthResponse(request->id, !draining(), identity);
+    }
+    case Op::kReady: {
+      admin_requests_.Increment();
+      const GenerationPtr generation = registry_->Acquire();
+      ModelIdentity identity;
+      identity.version = generation->info().version;
+      identity.fingerprint = generation->info().fingerprint;
+      identity.format_version = generation->info().format_version;
+      return ReadyResponse(request->id, ready(), identity);
+    }
+    case Op::kReload: {
+      admin_requests_.Increment();
+      StatusOr<ReloadOutcome> outcome = registry_->Reload(request->model_path);
+      if (!outcome.ok()) {
+        return error_response(request->id, outcome.status());
+      }
+      ModelIdentity identity;
+      identity.version = outcome->info.version;
+      identity.fingerprint = outcome->info.fingerprint;
+      identity.format_version = outcome->info.format_version;
+      return ReloadResponse(request->id, identity, outcome->canary_divergence,
+                            outcome->canary_pairs);
+    }
     case Op::kScore: {
       score_requests_.Increment();
       bool degraded = false;
       StatusOr<std::vector<double>> scores =
           Score(request->pairs, deadline, &degraded);
+      registry_->RecordOutcome(IsModelFault(scores.status()));
       if (!scores.ok()) {
         return error_response(request->id, scores.status());
       }
@@ -588,6 +669,7 @@ std::string MatcherService::HandleLine(std::string_view line,
       StatusOr<std::vector<MatchResult>> matches =
           TopK(request->query, request->candidates, request->k, deadline,
                &degraded);
+      registry_->RecordOutcome(IsModelFault(matches.status()));
       if (!matches.ok()) {
         return error_response(request->id, matches.status());
       }
@@ -600,6 +682,7 @@ std::string MatcherService::HandleLine(std::string_view line,
       bool degraded = false;
       StatusOr<IndexMatchOutcome> outcome =
           IndexMatch(request->query, request->k, deadline, &degraded);
+      registry_->RecordOutcome(IsModelFault(outcome.status()));
       if (!outcome.ok()) {
         return error_response(request->id, outcome.status());
       }
@@ -620,9 +703,10 @@ ServiceStats MatcherService::Snapshot() const {
   stats.topk_requests = topk_requests_.value();
   stats.index_requests = index_requests_.value();
   stats.stats_requests = stats_requests_.value();
+  stats.admin_requests = admin_requests_.value();
   stats.requests = stats.ping_requests + stats.score_requests +
                    stats.topk_requests + stats.index_requests +
-                   stats.stats_requests;
+                   stats.stats_requests + stats.admin_requests;
   stats.request_errors = request_errors_.value();
   stats.pairs_scored = pairs_scored_.value();
   stats.batches = batches_.value();
@@ -631,20 +715,24 @@ ServiceStats MatcherService::Snapshot() const {
   for (size_t i = 0; i < stats.batch_histogram.size(); ++i) {
     stats.batch_histogram_labels.push_back(batch_sizes_.BucketLabel(i));
   }
-  if (embedding_cache_ != nullptr) {
-    stats.embedding_cache_hits = embedding_cache_->hits();
-    stats.embedding_cache_misses = embedding_cache_->misses();
-    stats.embedding_cache_evictions = embedding_cache_->evictions();
-    stats.embedding_cache_max_probe = embedding_cache_->max_probe();
+  const GenerationPtr generation = registry_->Acquire();
+  if (generation->embedding_cache() != nullptr) {
+    stats.embedding_cache_hits = generation->embedding_cache()->hits();
+    stats.embedding_cache_misses = generation->embedding_cache()->misses();
+    stats.embedding_cache_evictions =
+        generation->embedding_cache()->evictions();
+    stats.embedding_cache_max_probe =
+        generation->embedding_cache()->max_probe();
   }
   {
-    const cache::CacheCounters property = property_cache_.Counters();
+    const cache::CacheCounters property =
+        generation->property_cache().Counters();
     stats.property_cache_hits = property.hits;
     stats.property_cache_misses = property.misses;
     stats.property_cache_evictions = property.evictions;
     stats.property_cache_max_probe = property.max_probe;
   }
-  stats.cache_shards = property_cache_.shards();
+  stats.cache_shards = generation->property_cache().shards();
   stats.connections_accepted = connections_accepted_.value();
   stats.connections_active =
       connections_active_.load(std::memory_order_relaxed);
@@ -682,13 +770,13 @@ ServiceStats MatcherService::Snapshot() const {
   stats.latency_p99_us = latency.p99;
   stats.latency_samples = latency.samples;
   stats.kernel_path = kernels::ActiveKernelName();
-  stats.catalog_properties = catalog_features_.size();
+  stats.catalog_properties = generation->catalog_features().size();
   stats.index_candidates = index_candidates_.value();
   stats.blocking_us_total =
       static_cast<double>(blocking_ns_.value()) / 1000.0;
-  if (catalog_pipeline_ != nullptr) {
+  if (generation->catalog_pipeline() != nullptr) {
     for (const blocking::BlockerStats& blocker :
-         catalog_pipeline_->SnapshotStats()) {
+         generation->catalog_pipeline()->SnapshotStats()) {
       BlockerStat stat;
       stat.name = blocker.name;
       stat.batch_calls = blocker.batch_calls;
@@ -699,7 +787,7 @@ ServiceStats MatcherService::Snapshot() const {
     }
   }
   for (const features::StageTiming& timing :
-       matcher_->pipeline().StageTimings()) {
+       generation->matcher().pipeline().StageTimings()) {
     StageTimingStat stage;
     stage.name = timing.name;
     stage.version = timing.version;
@@ -709,6 +797,15 @@ ServiceStats MatcherService::Snapshot() const {
     stage.pair_ns = timing.pair_ns;
     stats.feature_stages.push_back(std::move(stage));
   }
+  const RegistryStats registry = registry_->Snapshot();
+  stats.model_version = registry.info.version;
+  stats.model_fingerprint = registry.info.fingerprint;
+  stats.model_format_version = registry.info.format_version;
+  stats.model_mtime = registry.info.file_mtime;
+  stats.reloads_ok = registry.reloads_ok;
+  stats.reloads_rejected = registry.reloads_rejected;
+  stats.reloads_rolled_back = registry.reloads_rolled_back;
+  stats.canary_divergence = registry.canary_divergence;
   return stats;
 }
 

@@ -19,6 +19,7 @@
 #include "core/leapme.h"
 #include "data/dataset.h"
 #include "embedding/caching_model.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 
 namespace leapme::serve {
@@ -46,30 +47,46 @@ struct ServiceOptions {
   size_t max_queue_pairs = 0;
 };
 
-/// A thread-safe online-matching session over one fitted (typically
-/// LoadModel-restored) LeapmeMatcher.
+/// A thread-safe online-matching session over the generations of a
+/// ModelRegistry (or, in the legacy embedder path, one fixed fitted
+/// matcher wrapped into an internal registry).
+///
+/// Every request acquires the serving ModelGeneration once at entry and
+/// carries that shared_ptr through feature gathering, the micro-batch
+/// queue, and scoring — a hot reload that lands mid-request is invisible
+/// to it, and the old generation is freed when its last in-flight pair
+/// completes (DESIGN.md §18).
 ///
 /// Concurrent Score/TopK callers do not run inference independently:
 /// every pair is enqueued with a completion slot, and a single batcher
 /// thread drains the queue into micro-batches of up to `max_batch` pairs
-/// (waiting `batch_window_us` for stragglers), scoring each batch with
-/// one ScoreFeaturePairs call on the shared thread pool. Batching is
-/// invisible in the results — scores are bit-identical to offline
-/// ScorePairs at any batch composition — it only changes throughput.
+/// (waiting `batch_window_us` for stragglers). A batch drained across a
+/// reload boundary may hold pairs from two generations; the batcher
+/// groups rows by generation and issues one ScoreFeaturePairs call per
+/// group, so batching stays invisible in the results — scores are
+/// bit-identical to offline ScorePairs at any batch composition and any
+/// reload schedule.
 ///
-/// Two caches sit in front of the matcher: the CachingEmbeddingModel the
-/// matcher was built over (token -> vector; pass it in so its hit rate
-/// shows up in stats) and an internal sharded concurrent cache keyed by
-/// name + instance values holding finished per-property feature vectors.
-/// Each Score/TopK request gathers all its property features through one
+/// Two caches sit in front of each generation's matcher: its
+/// CachingEmbeddingModel (token -> vector) and its own sharded
+/// concurrent cache keyed by name + instance values holding finished
+/// per-property feature vectors (a swapped-in model starts cold — it
+/// must never serve features computed by its predecessor). Each
+/// Score/TopK request gathers all its property features through one
 /// batched, prefetch-ahead cache wave before its pairs enter the
 /// micro-batch queue (DESIGN.md §17).
 class MatcherService {
  public:
-  /// `matcher` must be fitted and outlive the service. `embedding_cache`
-  /// may be null; when given it must also outlive the service (it is only
-  /// read for stats — the matcher's pipeline already uses it for
-  /// lookups).
+  /// Serves the generations of `registry`, which must be initialized
+  /// (Init / WrapExisting) and outlive the service. Reload-capable when
+  /// the registry has a Loader.
+  explicit MatcherService(ModelRegistry* registry,
+                          ServiceOptions options = {});
+
+  /// Legacy embedder path: wraps `matcher` (fitted, must outlive the
+  /// service) and `embedding_cache` (may be null; only read for stats —
+  /// the matcher's pipeline already uses it for lookups) into an
+  /// internal single-generation registry. Such a service cannot reload.
   MatcherService(const core::LeapmeMatcher* matcher,
                  const embedding::CachingEmbeddingModel* embedding_cache,
                  ServiceOptions options = {});
@@ -84,6 +101,11 @@ class MatcherService {
       const core::LeapmeMatcher* matcher,
       const embedding::CachingEmbeddingModel* embedding_cache,
       ServiceOptions options = {});
+
+  /// Validated construction over an initialized registry (the registry's
+  /// own Init already gated the model through ValidateServingModel).
+  static StatusOr<std::unique_ptr<MatcherService>> Create(
+      ModelRegistry* registry, ServiceOptions options = {});
 
   /// Drains outstanding work and stops the batcher thread.
   ~MatcherService();
@@ -123,10 +145,12 @@ class MatcherService {
       Deadline deadline, bool* degraded);
 
   /// Catalog-index mode: attaches a pre-loaded dataset and its blocking
-  /// pipeline, builds the blocker index over the catalog, and precomputes
-  /// every catalog property's feature vector once so index_match requests
-  /// only compute features for the incoming property. Both pointers must
-  /// outlive the service. Not thread-safe — call once, before serving.
+  /// pipeline to the *current* generation — builds the blocker index and
+  /// precomputes every catalog property's feature vector once so
+  /// index_match requests only compute features for the incoming
+  /// property. Both pointers must outlive the service. Not thread-safe —
+  /// call once, before serving. (Registry-backed servers instead call
+  /// ModelRegistry::AttachCatalog, which also re-attaches on reload.)
   Status AttachCatalog(const data::Dataset* catalog,
                        blocking::CandidatePipeline* pipeline);
 
@@ -174,6 +198,23 @@ class MatcherService {
     request_errors_.Increment();
   }
 
+  /// Drain gate for the `ready`/`health` ops: TcpServer::Stop flips it
+  /// before the transport stops accepting, so load balancers polling
+  /// `ready` steer traffic away while in-flight requests finish.
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  /// ready = not draining and no reload mid-flight.
+  bool ready() const {
+    return !draining() && !registry_->reload_in_progress();
+  }
+
+  /// The registry this service scores through (never null).
+  ModelRegistry* registry() const { return registry_; }
+
   /// Transport identification, pushed once by TcpServer::Start so the
   /// "stats" op reports which I/O backend is serving and how many reactor
   /// loops it runs (0 for the threaded backend).
@@ -197,7 +238,8 @@ class MatcherService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  using FeaturePtr = std::shared_ptr<const features::PropertyFeatures>;
+  using FeaturePtr = ModelGeneration::FeaturePtr;
+  using GenerationPtr = std::shared_ptr<const ModelGeneration>;
 
   /// Completion state shared by all in-flight pairs of one request.
   struct ScoreJob {
@@ -213,6 +255,11 @@ class MatcherService {
   struct PendingPair {
     FeaturePtr a;
     FeaturePtr b;
+    /// The generation this pair's features were computed with. Held
+    /// until the pair is scored, so a hot swap can never destroy the
+    /// matcher under a queued pair; the batcher scores each batch
+    /// grouped by generation.
+    GenerationPtr generation;
     std::shared_ptr<ScoreJob> job;
     size_t index;  // row in job->scores
     /// Either side's embedding lookup failed: score with embedding
@@ -225,24 +272,28 @@ class MatcherService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// Computes (or fetches from the cache) the feature vector of `spec`.
-  /// When the embedding.lookup fault point fires on a cache miss,
-  /// `*degraded` is set and the (untrusted) features are not cached.
-  FeaturePtr GetPropertyFeatures(const PropertySpec& spec, bool* degraded);
+  /// Computes (or fetches from the generation's cache) the feature
+  /// vector of `spec`. When the embedding.lookup fault point fires on a
+  /// cache miss, `*degraded` is set and the (untrusted) features are not
+  /// cached.
+  FeaturePtr GetPropertyFeatures(const ModelGeneration& generation,
+                                 const PropertySpec& spec, bool* degraded);
 
   /// Counted single-key resolve behind GetPropertyFeatures and the
   /// batch gather: probe (hit or miss counted), compute on miss, cache
   /// unless the embedding fault fired.
-  FeaturePtr ResolvePropertyFeatures(std::string_view key,
+  FeaturePtr ResolvePropertyFeatures(const ModelGeneration& generation,
+                                     std::string_view key,
                                      const PropertySpec& spec,
                                      bool* degraded);
 
   /// Fetches every spec's features with one prefetch-ahead LookupBatch
-  /// wave over the property cache, resolving misses through the counted
-  /// single-key path. `out[i]` receives spec i's features and
-  /// `degraded[i]` is set when its embedding lookup failed (those
+  /// wave over the generation's property cache, resolving misses through
+  /// the counted single-key path. `out[i]` receives spec i's features
+  /// and `degraded[i]` is set when its embedding lookup failed (those
   /// features are never cached).
-  void GatherPropertyFeatures(const std::vector<const PropertySpec*>& specs,
+  void GatherPropertyFeatures(const ModelGeneration& generation,
+                              const std::vector<const PropertySpec*>& specs,
                               FeaturePtr* out, uint8_t* degraded);
 
   /// Enqueues pairs for the batcher and blocks until the job completes
@@ -254,21 +305,17 @@ class MatcherService {
 
   void BatcherLoop();
   void ScoreBatch(std::vector<PendingPair>& batch);
+  /// Scores one same-generation slice [begin, end) of a drained batch
+  /// with a single ScoreFeaturePairs call and completes its jobs.
+  void ScoreBatchGroup(std::vector<PendingPair>& batch, size_t begin,
+                       size_t end);
 
-  const core::LeapmeMatcher* matcher_;
-  const embedding::CachingEmbeddingModel* embedding_cache_;
+  /// The generations served; either external (registry ctor) or the
+  /// internal single-generation wrap (legacy ctor).
+  std::unique_ptr<ModelRegistry> owned_registry_;
+  ModelRegistry* registry_;
   const ServiceOptions options_;
-
-  // Property-feature cache: sharded, set-associative, CLOCK-evicting
-  // (common/cache/sharded_cache.h). Hits copy the shared_ptr out under
-  // the slot's shard lock; hit/miss/eviction counters live inside.
-  cache::ShardedCache<FeaturePtr> property_cache_;
-
-  // Catalog-index mode (AttachCatalog): the indexed dataset, its blocking
-  // pipeline, and one precomputed feature vector per catalog property.
-  const data::Dataset* catalog_ = nullptr;
-  blocking::CandidatePipeline* catalog_pipeline_ = nullptr;
-  std::vector<FeaturePtr> catalog_features_;
+  std::atomic<bool> draining_{false};
 
   // Micro-batch queue. Mutable so the const Snapshot() can read the
   // queue_depth/queue_age_us gauges under the lock.
@@ -286,6 +333,7 @@ class MatcherService {
   Counter index_candidates_;
   Counter blocking_ns_;
   Counter stats_requests_;
+  Counter admin_requests_;
   Counter request_errors_;
   Counter pairs_scored_;
   Counter batches_;

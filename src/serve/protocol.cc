@@ -113,6 +113,31 @@ StatusOr<Request> ParseRequest(std::string_view line,
     LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id"}));
     return request;
   }
+  if (op_name == "health") {
+    request.op = Op::kHealth;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id"}));
+    return request;
+  }
+  if (op_name == "ready") {
+    request.op = Op::kReady;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id"}));
+    return request;
+  }
+  if (op_name == "reload") {
+    request.op = Op::kReload;
+    LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id", "model"}));
+    const JsonValue* model = root.Find("model");
+    if (model != nullptr) {
+      if (!model->is_string()) {
+        return FieldError("model", "must be a string path");
+      }
+      request.model_path = model->AsString();
+      if (request.model_path.empty()) {
+        return FieldError("model", "must be non-empty when given");
+      }
+    }
+    return request;
+  }
   if (op_name == "score") {
     request.op = Op::kScore;
     LEAPME_RETURN_IF_ERROR(CheckKnownKeys(root, {"op", "id", "pairs"}));
@@ -205,7 +230,8 @@ StatusOr<Request> ParseRequest(std::string_view line,
     return request;
   }
   return Status::InvalidArgument(
-      "unknown op '" + op_name + "' (ping|score|topk|index_match|stats)");
+      "unknown op '" + op_name +
+      "' (ping|score|topk|index_match|stats|health|ready|reload)");
 }
 
 std::string PingResponse(const std::optional<int64_t>& id) {
@@ -298,6 +324,7 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   field("topk_requests", stats.topk_requests);
   field("index_requests", stats.index_requests);
   field("stats_requests", stats.stats_requests);
+  field("admin_requests", stats.admin_requests);
   field("request_errors", stats.request_errors);
   field("pairs_scored", stats.pairs_scored);
   field("batches", stats.batches);
@@ -347,6 +374,16 @@ std::string StatsResponse(const std::optional<int64_t>& id,
   out.append(FormatJsonDouble(stats.latency_p95_us));
   out.append(",\"latency_p99_us\":");
   out.append(FormatJsonDouble(stats.latency_p99_us));
+  field("model_version", stats.model_version);
+  out.append(",\"model_fingerprint\":");
+  AppendJsonString(&out, stats.model_fingerprint);
+  field("model_format_version", stats.model_format_version);
+  field("model_mtime", stats.model_mtime);
+  field("reloads_ok", stats.reloads_ok);
+  field("reloads_rejected", stats.reloads_rejected);
+  field("reloads_rolled_back", stats.reloads_rolled_back);
+  out.append(",\"canary_divergence\":");
+  out.append(FormatJsonDouble(stats.canary_divergence));
   field("catalog_properties", stats.catalog_properties);
   field("index_candidates", stats.index_candidates);
   out.append(",\"blocking_us_total\":");
@@ -381,6 +418,46 @@ std::string StatsResponse(const std::optional<int64_t>& id,
         static_cast<unsigned long long>(stage.pair_ns)));
   }
   out.append("]}}");
+  return out;
+}
+
+std::string HealthResponse(const std::optional<int64_t>& id, bool serving,
+                           const ModelIdentity& model) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"health\",\"status\":");
+  out.append(serving ? "\"serving\"" : "\"draining\"");
+  out.append(StrFormat(",\"model_version\":%llu}",
+                       static_cast<unsigned long long>(model.version)));
+  return out;
+}
+
+std::string ReadyResponse(const std::optional<int64_t>& id, bool ready,
+                          const ModelIdentity& model) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append("\"ok\":true,\"op\":\"ready\",\"ready\":");
+  out.append(ready ? "true" : "false");
+  out.append(StrFormat(",\"model_version\":%llu}",
+                       static_cast<unsigned long long>(model.version)));
+  return out;
+}
+
+std::string ReloadResponse(const std::optional<int64_t>& id,
+                           const ModelIdentity& model,
+                           double canary_divergence, uint64_t canary_pairs) {
+  std::string out;
+  AppendIdPrefix(&out, id);
+  out.append(StrFormat("\"ok\":true,\"op\":\"reload\",\"model_version\":%llu",
+                       static_cast<unsigned long long>(model.version)));
+  out.append(",\"model_fingerprint\":");
+  AppendJsonString(&out, model.fingerprint);
+  out.append(StrFormat(",\"model_format_version\":%d,\"canary_pairs\":%llu",
+                       model.format_version,
+                       static_cast<unsigned long long>(canary_pairs)));
+  out.append(",\"canary_divergence\":");
+  out.append(FormatJsonDouble(canary_divergence));
+  out.push_back('}');
   return out;
 }
 

@@ -19,6 +19,9 @@ namespace leapme::serve {
 ///   {"op":"topk","id":3,"query":PROP,"candidates":[PROP,...],"k":5}
 ///   {"op":"index_match","id":5,"property":PROP,"k":5}
 ///   {"op":"stats","id":4}
+///   {"op":"health","id":6}
+///   {"op":"ready","id":7}
+///   {"op":"reload","id":8,"model":"/path/to/model"}
 /// where PROP = {"name":"megapixels","values":["10","12.1", ...]}.
 ///
 /// index_match requires the server's catalog-index mode (`leapme serve
@@ -34,7 +37,20 @@ namespace leapme::serve {
 ///    "blocking_us":42.0,"matches":[{"property":3,"name":"mp",
 ///    "source":"web1","score":0.93},...]}
 ///   {"id":4,"ok":true,"op":"stats","stats":{...}}
+///   {"id":6,"ok":true,"op":"health","status":"serving","model_version":1}
+///   {"id":7,"ok":true,"op":"ready","ready":true,"model_version":1}
+///   {"id":8,"ok":true,"op":"reload","model_version":2,
+///    "model_fingerprint":"lmf1-...","model_format_version":2,
+///    "canary_pairs":64,"canary_divergence":0.0}
 ///   {"id":2,"ok":false,"error":{"code":"InvalidArgument","message":"..."}}
+///
+/// `health` answers on any serving process ("serving" flips to
+/// "draining" once shutdown starts); `ready` is the load-balancer /
+/// warmup gate — false while draining or while a reload is between
+/// stages. `reload` runs the registry's staged admission pipeline on
+/// "model" (omitted = re-read the serving generation's path); a rejected
+/// candidate comes back as an ok:false error and leaves serving
+/// untouched.
 ///
 /// Scores are serialized with enough digits to parse back to the exact
 /// same double, so wire scores are bit-identical to offline ScorePairs.
@@ -75,7 +91,16 @@ struct IndexMatchOutcome {
   double blocking_us = 0.0;
 };
 
-enum class Op { kPing, kScore, kTopK, kIndexMatch, kStats };
+enum class Op {
+  kPing,
+  kScore,
+  kTopK,
+  kIndexMatch,
+  kStats,
+  kHealth,
+  kReady,
+  kReload,
+};
 
 /// A parsed, validated request.
 struct Request {
@@ -88,6 +113,8 @@ struct Request {
   /// op == kTopK
   std::vector<PropertySpec> candidates;
   size_t k = 1;
+  /// op == kReload: model file to admit ("" = reload the serving path).
+  std::string model_path;
 };
 
 /// Cumulative per-blocker counters exposed in the "stats" op (mirrors
@@ -99,6 +126,15 @@ struct BlockerStat {
   uint64_t queries = 0;
   uint64_t candidates = 0;
   uint64_t total_ns = 0;
+};
+
+/// Serving-model identity carried by health/ready/reload responses
+/// (mirrors the registry's ModelInfo; redeclared here so the protocol
+/// layer stays decoupled from the registry headers).
+struct ModelIdentity {
+  uint64_t version = 0;
+  std::string fingerprint;
+  int format_version = 0;
 };
 
 /// Cumulative per-feature-stage timing exposed in the "stats" op
@@ -122,6 +158,8 @@ struct ServiceStats {
   uint64_t topk_requests = 0;
   uint64_t index_requests = 0;
   uint64_t stats_requests = 0;
+  /// health + ready + reload requests.
+  uint64_t admin_requests = 0;
   uint64_t request_errors = 0;
   uint64_t pairs_scored = 0;
   uint64_t batches = 0;
@@ -194,6 +232,25 @@ struct ServiceStats {
   uint64_t index_candidates = 0;
   double blocking_us_total = 0.0;
   std::vector<BlockerStat> blockers;
+  /// Hot-reload observability (PR: versioned model registry, DESIGN.md
+  /// §18). `model_version` is the serving generation (1 = startup model;
+  /// a backwards jump means a rollback), `model_fingerprint` its feature
+  /// schema, `model_format_version` the on-disk format it loaded from,
+  /// `model_mtime` the model file's mtime at load (unix seconds, 0 for
+  /// in-process models). `reloads_ok` counts completed swaps,
+  /// `reloads_rejected` admissions that failed at any stage (load fault,
+  /// validation, canary divergence, catalog rebuild, concurrent reload),
+  /// `reloads_rolled_back` post-swap error-rate trips, and
+  /// `canary_divergence` the max score delta the most recent canary
+  /// measured.
+  uint64_t model_version = 0;
+  std::string model_fingerprint;
+  uint64_t model_format_version = 0;
+  uint64_t model_mtime = 0;
+  uint64_t reloads_ok = 0;
+  uint64_t reloads_rejected = 0;
+  uint64_t reloads_rolled_back = 0;
+  double canary_divergence = 0.0;
 };
 
 /// Limits enforced by ParseRequest, independent of transport limits.
@@ -231,6 +288,13 @@ std::string IndexMatchResponse(const std::optional<int64_t>& id,
                                bool degraded = false);
 std::string StatsResponse(const std::optional<int64_t>& id,
                           const ServiceStats& stats);
+std::string HealthResponse(const std::optional<int64_t>& id, bool serving,
+                           const ModelIdentity& model);
+std::string ReadyResponse(const std::optional<int64_t>& id, bool ready,
+                          const ModelIdentity& model);
+std::string ReloadResponse(const std::optional<int64_t>& id,
+                           const ModelIdentity& model,
+                           double canary_divergence, uint64_t canary_pairs);
 std::string ErrorResponse(const std::optional<int64_t>& id,
                           const Status& status,
                           uint64_t retry_after_ms = 0);

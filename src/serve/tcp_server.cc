@@ -1,6 +1,7 @@
 #include "serve/tcp_server.h"
 
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -88,6 +89,7 @@ Status TcpServer::Start() {
   }
   service_->SetTransport(IoBackendName(options_.io_backend),
                          std::max<size_t>(options_.event_loop_threads, 1));
+  service_->SetDraining(false);
   started_ = true;
   return Status::OK();
 }
@@ -96,12 +98,15 @@ int TcpServer::port() const { return impl_ ? impl_->port() : -1; }
 
 void TcpServer::Stop() {
   if (impl_) {
+    // Flip readiness first so health checks observe the drain before the
+    // listener closes.
+    service_->SetDraining(true);
     impl_->Stop();
   }
   started_ = false;
 }
 
-Status TcpServer::ServeUntilShutdown() {
+Status TcpServer::ServeUntilShutdown(const std::function<void()>& on_tick) {
   if (!started_) {
     return Status::FailedPrecondition("server not started");
   }
@@ -116,7 +121,18 @@ Status TcpServer::ServeUntilShutdown() {
       break;
     }
     if (ready > 0 && (pfd.revents & POLLIN) != 0) {
-      break;
+      // The pipe is shared by shutdown and reload signals: drain the
+      // wakeup bytes (the read end is non-blocking), then consult the
+      // flags — only a shutdown request ends the loop.
+      char buffer[64];
+      while (::read(signal_fd, buffer, sizeof(buffer)) > 0) {
+      }
+      if (ShutdownRequested()) {
+        break;
+      }
+    }
+    if (on_tick) {
+      on_tick();
     }
   }
   Stop();

@@ -1,6 +1,7 @@
 #ifndef LEAPME_SERVE_TCP_SERVER_H_
 #define LEAPME_SERVE_TCP_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -121,8 +122,12 @@ class TcpServer {
   void Stop();
 
   /// Blocks until a process shutdown signal arrives, then Stop()s.
-  /// Requires a successful Start.
-  Status ServeUntilShutdown();
+  /// Requires a successful Start. `on_tick`, when given, runs on the
+  /// parked thread roughly every poll interval (~250ms) and after every
+  /// signal-pipe wakeup that was not a shutdown — it is how the serve
+  /// command notices SIGHUP reload requests and model-file mtime changes
+  /// without a dedicated watcher thread.
+  Status ServeUntilShutdown(const std::function<void()>& on_tick = nullptr);
 
  private:
   MatcherService* service_;

@@ -1,0 +1,311 @@
+// Chaos tests for hot model reload: a torn candidate file, an injected
+// model.load fault, and a reload storm must all leave the server
+// answering on the prior generation, and a post-swap scoring-fault storm
+// must trip the automatic rollback. In every scenario the registry's
+// counters record what happened.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/faults/fault_injector.h"
+#include "core/leapme.h"
+#include "data/domain.h"
+#include "data/generator.h"
+#include "data/splitting.h"
+#include "embedding/caching_model.h"
+#include "embedding/synthetic_model.h"
+#include "serve/matcher_service.h"
+#include "serve/model_registry.h"
+
+namespace leapme::serve {
+namespace {
+
+/// Arms the process-wide injector for one test scope; always disarms on
+/// the way out so a failing assertion cannot poison later tests.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) {
+    EXPECT_TRUE(faults::FaultInjector::Global().Arm(spec).ok()) << spec;
+  }
+  ~ScopedFaults() { faults::FaultInjector::Global().Disarm(); }
+};
+
+PropertySpec SpecOf(const data::Dataset& dataset, data::PropertyId id) {
+  PropertySpec spec;
+  spec.name = dataset.property(id).name;
+  for (const data::InstanceValue& instance : dataset.instances(id)) {
+    spec.values.push_back(instance.value);
+  }
+  return spec;
+}
+
+class ReloadChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorOptions generator;
+    generator.num_sources = 4;
+    generator.min_entities_per_source = 8;
+    generator.max_entities_per_source = 8;
+    generator.seed = 271;
+    dataset_ = new data::Dataset(
+        data::GenerateCatalog(data::TvDomain(), generator).value());
+    base_model_ = new embedding::SyntheticEmbeddingModel(
+        embedding::SyntheticEmbeddingModel::Build(
+            data::DomainClusters(data::TvDomain()),
+            {.dimension = 16,
+             .seed = 272,
+             .oov_policy = embedding::OovPolicy::kHashedVector})
+            .value());
+
+    const std::string stem = ::testing::TempDir() + "/reload_chaos." +
+                             std::to_string(::getpid());
+    path_a_ = new std::string(stem + ".a.model");
+    path_b_ = new std::string(stem + ".b.model");
+    TrainAndSave({0, 1, 2}, 273, *path_a_);
+    TrainAndSave({1, 2, 3}, 274, *path_b_);
+  }
+
+  static void TrainAndSave(const std::vector<data::SourceId>& sources,
+                           uint64_t seed, const std::string& path) {
+    Rng rng(seed);
+    auto training =
+        data::BuildTrainingPairs(*dataset_, sources, 2.0, rng).value();
+    core::LeapmeMatcher trained(base_model_);
+    ASSERT_TRUE(trained.Fit(*dataset_, training).ok());
+    ASSERT_TRUE(trained.SaveModel(path).ok());
+  }
+
+  static ModelRegistry::Loader Loader() {
+    return [](const std::string& path)
+               -> StatusOr<ModelGeneration::Resources> {
+      ModelGeneration::Resources resources;
+      resources.base_model =
+          std::make_unique<embedding::SyntheticEmbeddingModel>(
+              embedding::SyntheticEmbeddingModel::Build(
+                  data::DomainClusters(data::TvDomain()),
+                  {.dimension = 16,
+                   .seed = 272,
+                   .oov_policy = embedding::OovPolicy::kHashedVector})
+                  .value());
+      resources.embedding_cache =
+          std::make_unique<embedding::CachingEmbeddingModel>(
+              resources.base_model.get(), 4096);
+      LEAPME_ASSIGN_OR_RETURN(
+          core::LeapmeMatcher matcher,
+          core::LeapmeMatcher::LoadModel(resources.embedding_cache.get(),
+                                         path));
+      resources.matcher =
+          std::make_unique<core::LeapmeMatcher>(std::move(matcher));
+      return resources;
+    };
+  }
+
+  static std::vector<double> OfflineScores(
+      const std::string& path, const std::vector<data::PropertyPair>& pairs) {
+    auto resources = Loader()(path);
+    EXPECT_TRUE(resources.ok()) << resources.status();
+    return resources->matcher->ScorePairsOn(*dataset_, pairs).value();
+  }
+
+  static std::vector<data::PropertyPair> SamplePairs(size_t n) {
+    std::vector<data::PropertyPair> pairs = dataset_->AllCrossSourcePairs();
+    pairs.resize(std::min(pairs.size(), n));
+    return pairs;
+  }
+
+  static std::vector<PropertyPairSpec> SpecsOf(
+      const std::vector<data::PropertyPair>& pairs) {
+    std::vector<PropertyPairSpec> specs;
+    for (const data::PropertyPair& pair : pairs) {
+      specs.push_back({SpecOf(*dataset_, pair.a), SpecOf(*dataset_, pair.b)});
+    }
+    return specs;
+  }
+
+  static data::Dataset* dataset_;
+  static embedding::SyntheticEmbeddingModel* base_model_;
+  static std::string* path_a_;
+  static std::string* path_b_;
+};
+
+data::Dataset* ReloadChaosTest::dataset_ = nullptr;
+embedding::SyntheticEmbeddingModel* ReloadChaosTest::base_model_ = nullptr;
+std::string* ReloadChaosTest::path_a_ = nullptr;
+std::string* ReloadChaosTest::path_b_ = nullptr;
+
+TEST_F(ReloadChaosTest, TornCandidateFileIsRejectedAndServingSurvives) {
+  ModelRegistry registry(Loader());
+  ASSERT_TRUE(registry.Init(*path_a_).ok());
+  auto service = MatcherService::Create(&registry);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const auto pairs = SamplePairs(10);
+  const std::vector<double> offline = OfflineScores(*path_a_, pairs);
+
+  // A crash mid-save leaves a torn candidate on disk: copy model A and
+  // cut it off halfway (the v2 sentinel and part of the payload vanish).
+  const std::string torn_path = ::testing::TempDir() + "/reload_chaos." +
+                                std::to_string(::getpid()) + ".torn.model";
+  {
+    std::ifstream in(*path_a_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(torn_path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+    std::ifstream mlp_in(*path_a_ + ".mlp", std::ios::binary);
+    std::ofstream mlp_out(torn_path + ".mlp",
+                          std::ios::binary | std::ios::trunc);
+    mlp_out << mlp_in.rdbuf();
+  }
+
+  auto outcome = registry.Reload(torn_path);
+  ASSERT_FALSE(outcome.ok());
+
+  // The rejection is counted and serving is untouched: generation 1,
+  // model A's exact scores.
+  const RegistryStats stats = registry.Snapshot();
+  EXPECT_EQ(stats.reloads_rejected, 1u);
+  EXPECT_EQ(stats.reloads_ok, 0u);
+  EXPECT_EQ(stats.info.version, 1u);
+  auto scores = (*service)->Score(SpecsOf(pairs));
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  for (size_t i = 0; i < offline.size(); ++i) {
+    EXPECT_EQ((*scores)[i], offline[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ReloadChaosTest, InjectedLoadFaultIsRejectedAndServingSurvives) {
+  ModelRegistry registry(Loader());
+  ASSERT_TRUE(registry.Init(*path_a_).ok());
+  auto service = MatcherService::Create(&registry);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const auto pairs = SamplePairs(10);
+  const std::vector<double> offline = OfflineScores(*path_a_, pairs);
+  {
+    ScopedFaults faults("model.load:error:p=1");
+    auto outcome = registry.Reload(*path_b_);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_TRUE(outcome.status().IsIoError()) << outcome.status();
+  }
+  EXPECT_EQ(registry.Snapshot().reloads_rejected, 1u);
+  EXPECT_EQ(registry.Snapshot().info.version, 1u);
+  auto scores = (*service)->Score(SpecsOf(pairs));
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  for (size_t i = 0; i < offline.size(); ++i) {
+    EXPECT_EQ((*scores)[i], offline[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ReloadChaosTest, PostSwapScoringFaultStormTripsRollback) {
+  RegistryOptions options;
+  options.canary_threshold = 1.0;
+  options.rollback_error_rate = 0.5;
+  options.rollback_window = 16;
+  options.rollback_min_samples = 4;
+  ModelRegistry registry(Loader(), options);
+  ASSERT_TRUE(registry.Init(*path_a_).ok());
+  auto service = MatcherService::Create(&registry);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const auto pairs = SamplePairs(10);
+  const std::vector<double> offline_a = OfflineScores(*path_a_, pairs);
+
+  // The swap itself is clean...
+  auto outcome = registry.Reload(*path_b_);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->info.version, 2u);
+
+  // ...but the new generation then fails in production. Drive scoring
+  // requests through the protocol path (HandleLine records outcomes) —
+  // the sliding-window trip must fire and republish generation 1.
+  {
+    ScopedFaults faults("serve.score:error:p=1");
+    const std::string line =
+        "{\"op\":\"score\",\"id\":1,\"pairs\":[{\"a\":{\"name\":\"x\","
+        "\"values\":[]},\"b\":{\"name\":\"y\",\"values\":[]}}]}";
+    bool rolled_back = false;
+    for (int i = 0; i < 16 && !rolled_back; ++i) {
+      const std::string response = (*service)->HandleLine(line);
+      EXPECT_NE(response.find("\"ok\":false"), std::string::npos)
+          << response;
+      rolled_back = registry.Snapshot().reloads_rolled_back > 0;
+    }
+    EXPECT_TRUE(rolled_back);
+  }
+
+  // Back on generation 1, serving model A's exact scores again.
+  const RegistryStats stats = registry.Snapshot();
+  EXPECT_EQ(stats.reloads_rolled_back, 1u);
+  EXPECT_EQ(stats.info.version, 1u);
+  auto scores = (*service)->Score(SpecsOf(pairs));
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  for (size_t i = 0; i < offline_a.size(); ++i) {
+    EXPECT_EQ((*scores)[i], offline_a[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ReloadChaosTest, ReloadStormUnderLoadFaultsNeverBreaksServing) {
+  RegistryOptions options;
+  options.canary_threshold = 1.0;
+  ModelRegistry registry(Loader(), options);
+  ASSERT_TRUE(registry.Init(*path_a_).ok());
+  auto service = MatcherService::Create(&registry);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const auto pairs = SamplePairs(8);
+  const auto specs = SpecsOf(pairs);
+  const std::vector<double> offline_a = OfflineScores(*path_a_, pairs);
+  const std::vector<double> offline_b = OfflineScores(*path_b_, pairs);
+
+  // Half of all loads fail while reloads alternate targets and scoring
+  // threads hammer the service: every response must be one generation's
+  // exact scores, and serving must survive every rejection.
+  ScopedFaults faults("seed=7;model.load:error:p=0.5");
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 2; ++t) {
+    scorers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto scores = (*service)->Score(specs);
+        ASSERT_TRUE(scores.ok()) << scores.status();
+        const bool all_a = std::equal(scores->begin(), scores->end(),
+                                      offline_a.begin());
+        const bool all_b = std::equal(scores->begin(), scores->end(),
+                                      offline_b.begin());
+        if (!all_a && !all_b) torn.fetch_add(1);
+      }
+    });
+  }
+  size_t accepted = 0;
+  size_t rejected = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto outcome = registry.Reload(round % 2 == 0 ? *path_b_ : *path_a_);
+    if (outcome.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  stop.store(true);
+  for (std::thread& thread : scorers) thread.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(rejected, 0u) << "p=0.5 load faults must reject some reloads";
+  const RegistryStats stats = registry.Snapshot();
+  EXPECT_EQ(stats.reloads_ok, accepted);
+  EXPECT_EQ(stats.reloads_rejected, rejected);
+}
+
+}  // namespace
+}  // namespace leapme::serve

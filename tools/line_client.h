@@ -9,6 +9,7 @@
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -176,6 +177,35 @@ class LineClient {
   int fd_ = -1;
   std::string buffer_;
 };
+
+/// Polls the server's `ready` op until it answers `"ready":true` or
+/// `timeout_ms` elapses. Replaces blind connect-retry sleeps in the
+/// warmup path of every load tool: readiness (not mere accept-ability)
+/// is what matters, since a server drains or swaps models while the
+/// listener stays open. Backoff doubles from 10ms to a 200ms cap.
+inline bool WaitForServerReady(const std::string& host, int port,
+                               int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int backoff_ms = 10;
+  uint64_t id = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    LineClient probe(host, port);
+    if (probe.connected()) {
+      std::string response;
+      if (probe.RoundTrip("{\"op\":\"ready\",\"id\":" + std::to_string(++id) +
+                              "}",
+                          &response) &&
+          response.find("\"ready\":true") != std::string::npos) {
+        return true;
+      }
+    }
+    struct timespec pause = {0, backoff_ms * 1000000L};
+    ::nanosleep(&pause, nullptr);
+    backoff_ms = std::min(backoff_ms * 2, 200);
+  }
+  return false;
+}
 
 /// Raises RLIMIT_NOFILE toward `needed` fds (hard limit too, when the
 /// process may — root can push past it up to the kernel's fs.nr_open).

@@ -45,6 +45,13 @@
 //                [--entities 8] [--seed 7] [--emb-dim 64]
 //                [--embeddings FILE] [--retry-budget 4]
 //                [--open-loop-rps R] [--duration SECONDS]
+//                [--ready-timeout-ms 10000] [--reload-interval-ms 0]
+//
+// Startup gates on the server's `ready` op (with backoff) instead of
+// sleeping: load begins only once the server reports a serving model.
+// With --reload-interval-ms N a side thread fires `reload` ops at that
+// cadence while the load runs — the hot-reload chaos driver. Reload
+// rejections are expected under fault storms and never fail the run.
 
 #include <algorithm>
 #include <atomic>
@@ -546,9 +553,71 @@ int main(int argc, char** argv) {
     state.expected = std::move(*expected);
   }
 
+  // Readiness gate: poll the `ready` op with backoff rather than
+  // sleeping after connect — the listener being open does not mean a
+  // model is serving (startup, drain, mid-swap).
+  const int ready_timeout_ms =
+      static_cast<int>(ArgInt(args, "ready-timeout-ms", 10000));
+  if (!tools::WaitForServerReady(state.host, state.port, ready_timeout_ms)) {
+    Die("server at " + state.host + ":" + std::to_string(state.port) +
+        " did not report ready within " + std::to_string(ready_timeout_ms) +
+        "ms");
+  }
+
+  // Optional hot-reload chaos driver: fire `reload` ops at a fixed
+  // cadence for the whole run. Every reply must be well formed, but
+  // rejections (fault storms, canary refusals, concurrent reloads) are
+  // the server working as designed and never fail the client.
+  const int64_t reload_interval_ms = ArgInt(args, "reload-interval-ms", 0);
+  std::atomic<bool> reload_stop{false};
+  std::atomic<uint64_t> reloads_ok{0};
+  std::atomic<uint64_t> reloads_rejected{0};
+  std::thread reloader;
+  if (reload_interval_ms > 0) {
+    reloader = std::thread([&] {
+      std::unique_ptr<LineClient> client;
+      int64_t id = 9000000;
+      while (!reload_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(reload_interval_ms));
+        if (reload_stop.load(std::memory_order_relaxed)) break;
+        if (client == nullptr || !client->connected()) {
+          client = std::make_unique<LineClient>(state.host, state.port);
+          if (!client->connected()) {
+            client.reset();
+            continue;
+          }
+        }
+        std::string response;
+        if (!client->RoundTrip(
+                "{\"op\":\"reload\",\"id\":" + std::to_string(++id) + "}",
+                &response)) {
+          client.reset();
+          continue;
+        }
+        if (response.find("\"ok\":true") != std::string::npos) {
+          reloads_ok.fetch_add(1);
+        } else {
+          reloads_rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  const auto finish_reloader = [&] {
+    if (!reloader.joinable()) return;
+    reload_stop.store(true);
+    reloader.join();
+    std::printf("reloads driven: ok=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(reloads_ok.load()),
+                static_cast<unsigned long long>(reloads_rejected.load()));
+  };
+
   if (args.count("open-loop-rps")) {
-    return RunOpenLoopMode(state, clients, open_loop_rps, duration_s,
-                           static_cast<uint64_t>(ArgInt(args, "seed", 7)));
+    const int code =
+        RunOpenLoopMode(state, clients, open_loop_rps, duration_s,
+                        static_cast<uint64_t>(ArgInt(args, "seed", 7)));
+    finish_reloader();
+    return code;
   }
 
   std::printf("serve_client: %zu clients x %zu requests x %zu pairs "
@@ -567,6 +636,7 @@ int main(int argc, char** argv) {
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
+  finish_reloader();
 
   const uint64_t ok = state.requests_ok.load();
   const uint64_t errors = state.errors.load();
